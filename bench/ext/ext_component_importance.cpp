@@ -1,0 +1,103 @@
+// Extension study: component importance for compression ratio, after
+// Azami & Burtscher (ISPASS'25), which the paper cites as its inspiration
+// (§2) — "various stages prefer distinct component types". For every
+// component we measure, over the cached sweep's real statistics, the
+// geometric-mean whole-pipeline compression ratio of all pipelines that
+// contain it in stage 1, 2 or 3, against the all-pipeline baseline. A
+// value above the baseline means pipelines with that component compress
+// better than average at that stage.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/figures/bench_common.h"
+
+namespace {
+
+using lc::charlab::Sweep;
+
+/// Whole-pipeline compression ratio from the sweep's stage-3 records.
+double pipeline_ratio(const Sweep& sweep, std::size_t i1, std::size_t i2,
+                      std::size_t i3) {
+  double log_sum = 0.0;
+  for (std::size_t in = 0; in < sweep.num_inputs(); ++in) {
+    const auto& r1 = sweep.stage1_record(in, i1);
+    const auto& r3 = sweep.stage3_record(in, i1, i2, i3);
+    const double out_bytes =
+        r3.applied * r3.avg_out + (1.0 - r3.applied) * r3.avg_in;
+    log_sum += std::log(static_cast<double>(r1.avg_in) / out_bytes);
+  }
+  return std::exp(log_sum / sweep.num_inputs());
+}
+
+}  // namespace
+
+int main() {
+  using namespace lc;
+  using namespace lc::bench;
+  const charlab::Sweep& sweep = shared_sweep();
+  const std::size_t n = sweep.num_components(), r = sweep.num_reducers();
+
+  // Precompute every pipeline's ratio once (107,632 values).
+  std::vector<double> log_ratio(n * n * r);
+  double baseline_log = 0.0;
+  for (std::size_t i1 = 0; i1 < n; ++i1) {
+    for (std::size_t i2 = 0; i2 < n; ++i2) {
+      for (std::size_t i3 = 0; i3 < r; ++i3) {
+        const double lr = std::log(pipeline_ratio(sweep, i1, i2, i3));
+        log_ratio[(i1 * n + i2) * r + i3] = lr;
+        baseline_log += lr;
+      }
+    }
+  }
+  const double baseline = std::exp(baseline_log / log_ratio.size());
+  std::printf(
+      "Extension: component importance for compression ratio "
+      "(geomean pipeline ratio when the component occupies a stage;\n"
+      " baseline over all %zu pipelines: %.3f)\n\n",
+      log_ratio.size(), baseline);
+  std::printf("%-10s %10s %10s %10s\n", "component", "stage 1", "stage 2",
+              "stage 3");
+
+  for (std::size_t c = 0; c < n; ++c) {
+    double stage_log[3] = {0, 0, 0};
+    std::size_t stage_count[3] = {0, 0, 0};
+    std::ptrdiff_t reducer_index = -1;
+    for (std::size_t i3 = 0; i3 < r; ++i3) {
+      if (&sweep.reducer(i3) == &sweep.component(c)) {
+        reducer_index = static_cast<std::ptrdiff_t>(i3);
+      }
+    }
+    for (std::size_t i1 = 0; i1 < n; ++i1) {
+      for (std::size_t i2 = 0; i2 < n; ++i2) {
+        for (std::size_t i3 = 0; i3 < r; ++i3) {
+          const double lr = log_ratio[(i1 * n + i2) * r + i3];
+          if (i1 == c) {
+            stage_log[0] += lr;
+            ++stage_count[0];
+          }
+          if (i2 == c) {
+            stage_log[1] += lr;
+            ++stage_count[1];
+          }
+          if (reducer_index >= 0 &&
+              i3 == static_cast<std::size_t>(reducer_index)) {
+            stage_log[2] += lr;
+            ++stage_count[2];
+          }
+        }
+      }
+    }
+    std::printf("%-10s %10.3f %10.3f ", sweep.component(c).name().c_str(),
+                std::exp(stage_log[0] / stage_count[0]),
+                std::exp(stage_log[1] / stage_count[1]));
+    if (stage_count[2] > 0) {
+      std::printf("%10.3f\n", std::exp(stage_log[2] / stage_count[2]));
+    } else {
+      std::printf("%10s\n", "-");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension study: Fig. 11's mechanism mirrored on double-precision data.
+//
+// On the SP dataset, RLE_4 is the word size that compresses (and
+// therefore decodes slowly) while RLE_1/2/8 ride the copy-fallback. On
+// the double-precision companion dataset the value width is 8 bytes, so
+// the roles must swap: RLE_8 compresses and decodes slowly, RLE_4 (which
+// now sees an ABAB half-word pattern) rides the fallback. This bench
+// runs a DP-mode sweep (cached separately) and prints the Fig. 11
+// grouping for both precisions side by side.
+//
+// Env knobs as usual; the DP sweep uses its own cache file.
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  using namespace lc;
+  using namespace lc::bench;
+
+  charlab::SweepConfig sp_config = config_from_env();
+  charlab::SweepConfig dp_config = sp_config;
+  dp_config.double_precision = true;
+  dp_config.cache_path = dp_config.cache_path.empty()
+                             ? "lc_sweep_cache_dp.bin"
+                             : dp_config.cache_path + ".dp";
+
+  const charlab::Sweep sp = charlab::Sweep::load_or_compute(sp_config);
+  const charlab::Sweep dp = charlab::Sweep::load_or_compute(dp_config);
+
+  const gpusim::GpuSpec& gpu = fastest_nvidia();
+  const std::pair<const char*, const charlab::Sweep*> datasets[] = {
+      {"single-precision (SP)", &sp}, {"double-precision (DP)", &dp}};
+  for (const auto& [label, sweep] : datasets) {
+    std::vector<charlab::Series> series;
+    for (const int w : {1, 2, 4, 8}) {
+      charlab::Series s;
+      s.group = "RLE_" + std::to_string(w);
+      s.variant = "NVCC";
+      s.values = throughputs_where(
+          *sweep, gpu, gpusim::Toolchain::kNvcc, gpusim::OptLevel::kO3,
+          gpusim::Direction::kDecode,
+          [w](const Component& s1, const Component&, const Component&) {
+            return charlab::family(s1.name()) == "RLE" &&
+                   s1.word_size() == w;
+          });
+      series.push_back(std::move(s));
+    }
+    emit(std::string("ext_dp_rle_mirror_") +
+             (label[0] == 's' ? "sp" : "dp"),
+         std::string("decode, RLE in Stage 1 on ") + label + " inputs — " +
+             gpu.name,
+         "GB/s; the slow word size must follow the value width", series);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension study: word-size preference vs input value width.
+//
+// §2 of the paper cites Azami & Burtscher's ISPASS'25 finding that "the
+// preferred word size of certain components depends on the data type of
+// the input (i.e., single- vs. double-precision data)". This bench
+// measures it directly on the real components: for every reducer family
+// and word size it compresses the synthetic SP files and their
+// double-precision (DP) companions and reports geometric-mean
+// compression ratios. Expected shape: RLE's best word size follows the
+// value width (4 bytes on SP, 8 bytes on DP); CLOG-style leading-zero
+// reducers prefer matching or double-width words on DP data.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "charlab/grouping.h"
+#include "data/sp_dataset.h"
+#include "lc/analysis.h"
+#include "lc/codec.h"
+#include "lc/registry.h"
+
+namespace {
+
+/// Whole-file compression ratio of a single reducer with LC's chunked
+/// copy-fallback (ratio 1.0 when the component never applies).
+double reducer_ratio(const lc::Component& comp, const lc::Bytes& data) {
+  return lc::measure_component(comp, lc::ByteSpan(data.data(), data.size()))
+      .ratio();
+}
+
+}  // namespace
+
+int main() {
+  using namespace lc;
+  const std::vector<std::string> files = {"msg_bt", "msg_sp", "num_brain",
+                                          "obs_error"};
+
+  std::map<std::string, lc::Bytes> sp, dp;
+  for (const auto& f : files) {
+    sp[f] = data::generate_sp_file(f);
+    dp[f] = data::generate_dp_file(f, data::kDefaultScale / 2);  // same bytes
+  }
+
+  std::printf(
+      "Extension: reducer compression ratio by word size, single- vs "
+      "double-precision inputs\n(geometric mean over %zu files; the "
+      "preferred word size should follow the value width)\n\n",
+      files.size());
+  std::printf("%-8s %10s %10s %10s %10s   %10s %10s %10s %10s\n", "family",
+              "SP w=1", "SP w=2", "SP w=4", "SP w=8", "DP w=1", "DP w=2",
+              "DP w=4", "DP w=8");
+
+  for (const char* fam : {"CLOG", "HCLOG", "RARE", "RAZE", "RLE", "RRE",
+                          "RZE"}) {
+    double ratios[2][4] = {};
+    for (int precision = 0; precision < 2; ++precision) {
+      const auto& dataset = precision == 0 ? sp : dp;
+      int wi = 0;
+      for (const int w : {1, 2, 4, 8}) {
+        const Component* comp = Registry::instance().find(
+            std::string(fam) + "_" + std::to_string(w));
+        double log_sum = 0.0;
+        for (const auto& f : files) {
+          log_sum += std::log(reducer_ratio(*comp, dataset.at(f)));
+        }
+        ratios[precision][wi++] = std::exp(log_sum / files.size());
+      }
+    }
+    std::printf("%-8s %10.3f %10.3f %10.3f %10.3f   %10.3f %10.3f %10.3f "
+                "%10.3f\n",
+                fam, ratios[0][0], ratios[0][1], ratios[0][2], ratios[0][3],
+                ratios[1][0], ratios[1][1], ratios[1][2], ratios[1][3]);
+  }
+
+  // Headline check: RLE's best word size.
+  std::printf("\nRLE preference: the best word size should be 4 on SP and 8 "
+              "on DP inputs.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Extension: the Stage 2 results the paper describes but omits ("We omit
+// the Stage 2 results since the trends echo Stage 1 with the following
+// minor exceptions", §6.4). This bench produces them: decoding
+// throughputs with each component family pinned to Stage 2. Expected per
+// the paper's text: distributions more uniform than Stage 1; in
+// particular RLE no longer shows Stage 1's wide 50% box, because Stage 2
+// sees transformed data that is more evenly compressible across RLE word
+// sizes.
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  lc::bench::run_grouped_figure(
+      "ext_stage2", "decode throughputs by component in Stage 2",
+      lc::gpusim::Direction::kDecode,
+      lc::bench::family_pin_groups(1, /*reducers_only=*/false));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension tool: the timing model's "explain plan". For a handful of
+// representative pipelines, print where the modeled time goes on each
+// GPU — compute vs memory vs serial (span/sync) vs launch vs framework —
+// and which stage dominates. This is the quantitative backing for the
+// narrative claims in EXPERIMENTS.md (e.g. "decode medians ride the
+// memory floor", "RARE's encode time is dominated by its own stage").
+
+#include <cstdio>
+
+#include "common/error.h"
+
+#include "bench/figures/bench_common.h"
+#include "gpusim/cost_model.h"
+
+namespace {
+
+void print_breakdown(const lc::charlab::Sweep& sweep, std::size_t i1,
+                     std::size_t i2, std::size_t i3,
+                     const lc::gpusim::GpuSpec& gpu,
+                     lc::gpusim::Direction dir) {
+  using namespace lc::gpusim;
+  const PipelineStats stats = sweep.pipeline_stats(i1, i2, i3, 0);
+  // The vendor's primary toolchain: NVCC on NVIDIA, HIPCC on AMD (§3.1).
+  const Toolchain tc =
+      gpu.vendor == Vendor::kNvidia ? Toolchain::kNvcc : Toolchain::kHipcc;
+  const TimeBreakdown b = explain(stats, gpu, tc, OptLevel::kO3, dir);
+  std::printf(
+      "%-28s %-12s %s  total %8.1f us  [compute %7.1f | serial %5.1f | "
+      "memory %7.1f | launch %4.1f | framework %4.1f]%s\n",
+      (sweep.component(i1).name() + " " + sweep.component(i2).name() + " " +
+       sweep.reducer(i3).name())
+          .c_str(),
+      gpu.name.c_str(), to_string(dir), b.total_seconds * 1e6,
+      b.compute_seconds * 1e6, b.serial_seconds * 1e6,
+      b.memory_seconds * 1e6, b.launch_seconds * 1e6,
+      b.framework_seconds * 1e6, b.memory_bound ? "  <- memory-bound" : "");
+  for (std::size_t s = 0; s < b.stage_compute_seconds.size(); ++s) {
+    std::printf("    stage %zu (%s): %8.1f us of lane-op time\n", s + 1,
+                (s < 2 ? sweep.component(s == 0 ? i1 : i2).name()
+                       : sweep.reducer(i3).name())
+                    .c_str(),
+                b.stage_compute_seconds[s] * 1e6);
+  }
+}
+
+std::size_t index_of(const lc::charlab::Sweep& sweep, const char* name) {
+  for (std::size_t i = 0; i < sweep.num_components(); ++i) {
+    if (sweep.component(i).name() == name) return i;
+  }
+  throw lc::Error(std::string("component not found: ") + name);
+}
+
+std::size_t reducer_index_of(const lc::charlab::Sweep& sweep,
+                             const char* name) {
+  for (std::size_t i = 0; i < sweep.num_reducers(); ++i) {
+    if (sweep.reducer(i).name() == name) return i;
+  }
+  throw lc::Error(std::string("reducer not found: ") + name);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lc;
+  using namespace lc::bench;
+  const charlab::Sweep& sweep = shared_sweep();
+
+  struct Case {
+    const char* s1;
+    const char* s2;
+    const char* s3;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"TCMS_4", "TCMS_4", "RZE_4", "mutator-heavy: near the memory floor"},
+      {"DIFF_4", "TCMS_4", "CLOG_4", "the quickstart compressor"},
+      {"RLE_4", "DIFF_4", "RARE_4", "worst-case encode (adaptive k)"},
+      {"BIT_1", "DIFF_1", "RLE_1", "1-byte words: 4x the lane-ops"},
+  };
+
+  for (const Case& c : cases) {
+    std::printf("== %s (%s)\n", (std::string(c.s1) + " " + c.s2 + " " + c.s3).c_str(),
+                c.why);
+    for (const gpusim::Direction dir :
+         {gpusim::Direction::kEncode, gpusim::Direction::kDecode}) {
+      print_breakdown(sweep, index_of(sweep, c.s1), index_of(sweep, c.s2),
+                      reducer_index_of(sweep, c.s3), fastest_nvidia(), dir);
+      print_breakdown(sweep, index_of(sweep, c.s1), index_of(sweep, c.s2),
+                      reducer_index_of(sweep, c.s3), fastest_amd(), dir);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension study: warp-width economics, quantified on the SIMT engine.
+//
+// §1 of the paper notes that "code that is able to exploit larger warp
+// sizes (e.g., warp-based reductions) can achieve more warp-level
+// parallelism on such AMD GPUs". This bench executes the actual LC
+// building blocks (Listing 1 warp scan, the CLOG-style warp min
+// reduction, the 512-thread block scan) at warp widths 32 and 64 and
+// reports lockstep steps and shuffle rounds *per element* — the measured
+// basis for the cost model's warp_width_factor.
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "gpusim/simt/block.h"
+
+namespace {
+
+using namespace lc::gpusim::simt;
+
+std::vector<std::uint32_t> values(int n, std::uint64_t seed) {
+  lc::SplitMix rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(1000));
+  return v;
+}
+
+void report(const char* what, int ws, const ExecutionStats& stats,
+            int elements) {
+  std::printf("%-24s WS=%-3d %8llu steps %8llu shuffle-ops  -> %6.3f "
+              "steps/elem %6.3f shuffles/elem\n",
+              what, ws, static_cast<unsigned long long>(stats.steps),
+              static_cast<unsigned long long>(stats.shuffle_ops),
+              static_cast<double>(stats.steps) / elements,
+              static_cast<double>(stats.shuffle_ops) / elements);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: warp-width economics of LC's building blocks "
+              "(SIMT engine measurements)\n\n");
+
+  for (const int ws : {32, 64}) {
+    ExecutionStats stats;
+    const Warp warp(ws, &stats);
+    (void)warp_prefix_sum(WarpValue<std::uint32_t>(warp, values(ws, 1)));
+    report("warp prefix sum", ws, stats, ws);
+  }
+  std::printf("\n");
+
+  for (const int ws : {32, 64}) {
+    ExecutionStats stats;
+    const Warp warp(ws, &stats);
+    (void)warp_min(WarpValue<std::uint32_t>(warp, values(ws, 2)));
+    report("warp min reduction", ws, stats, ws);
+  }
+  std::printf("\n");
+
+  for (const int ws : {32, 64}) {
+    ExecutionStats stats;
+    const Block block(512 / ws, ws, &stats);
+    (void)block.inclusive_prefix_sum(values(512, 3));
+    report("512-thread block scan", ws, stats, 512);
+    std::printf("%-24s WS=%-3d %8llu barriers\n", "", ws,
+                static_cast<unsigned long long>(stats.barriers));
+  }
+
+  std::printf(
+      "\nReading: lane-ops per element rise slightly at WS=64 (log2(64)=6 "
+      "vs log2(32)=5 shuffle rounds),\nbut each lockstep round covers "
+      "twice the elements, so *time* per element (steps/elem) drops by\n"
+      "~%d%% — a 64-wide warp finishes warp-level reductions/scans over "
+      "the same data in fewer issue\nslots. The model's warp_width_factor "
+      "(cost_model.cpp) encodes this modest MI100 advantage.\n",
+      100 - static_cast<int>(100.0 * (6.0 / 64) / (5.0 / 32)));
+  return 0;
+}

@@ -1,0 +1,187 @@
+#ifndef LC_BENCH_FIGURES_BENCH_COMMON_H
+#define LC_BENCH_FIGURES_BENCH_COMMON_H
+
+/// \file bench_common.h
+/// Shared machinery for the figure benches. Every fig* binary:
+///   1. obtains the (cached) characterization sweep — the first binary to
+///      run computes it by actually executing all 62 components over the
+///      memoized 107,632-pipeline space on the synthetic SP dataset, and
+///      writes `lc_sweep_cache.bin`; subsequent binaries reload it;
+///   2. evaluates the gpusim timing model over the requested GPU /
+///      compiler / opt-level grid;
+///   3. prints the figure's letter-value (boxen) table, and optionally a
+///      CSV next to it.
+///
+/// Environment knobs (all optional):
+///   LC_SCALE   dataset size scale (default 1/64 of Table 3 sizes)
+///   LC_CHUNKS  sampled 16 kB chunks per input (default 2)
+///   LC_CACHE   sweep cache path (default ./lc_sweep_cache.bin)
+///   LC_INPUTS  comma-separated SP file subset (default: all 13)
+///   LC_CSV     if set, also write <figure>.csv to this directory
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "charlab/grouping.h"
+#include "charlab/report.h"
+#include "charlab/sweep.h"
+#include "gpusim/compiler_model.h"
+#include "gpusim/gpu_model.h"
+
+namespace lc::bench {
+
+inline charlab::SweepConfig config_from_env() {
+  charlab::SweepConfig config;
+  if (const char* s = std::getenv("LC_SCALE")) config.scale = std::atof(s);
+  if (const char* s = std::getenv("LC_CHUNKS")) {
+    config.chunks_per_input = static_cast<std::size_t>(std::atoll(s));
+  }
+  if (const char* s = std::getenv("LC_CACHE")) config.cache_path = s;
+  if (const char* s = std::getenv("LC_INPUTS")) {
+    std::stringstream ss(s);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) config.inputs.push_back(name);
+    }
+  }
+  return config;
+}
+
+/// The sweep, computed once per process (and cached on disk across
+/// processes).
+inline const charlab::Sweep& shared_sweep() {
+  static const charlab::Sweep sweep = [] {
+    const charlab::SweepConfig config = config_from_env();
+    std::fprintf(stderr,
+                 "[sweep] scale=%.5f chunks/input=%zu inputs=%zu "
+                 "(cache: %s)\n",
+                 config.scale, config.chunks_per_input,
+                 config.inputs.empty() ? std::size_t{13}
+                                       : config.inputs.size(),
+                 config.cache_path.empty() ? "lc_sweep_cache.bin"
+                                           : config.cache_path.c_str());
+    return charlab::Sweep::load_or_compute(config);
+  }();
+  return sweep;
+}
+
+/// Geomean throughput of every pipeline for one execution context, in
+/// enumeration order (i1-major). ~107,632 values.
+inline std::vector<double> all_throughputs(const charlab::Sweep& sweep,
+                                           const gpusim::GpuSpec& gpu,
+                                           gpusim::Toolchain tc,
+                                           gpusim::OptLevel opt,
+                                           gpusim::Direction dir) {
+  std::vector<double> out;
+  out.reserve(sweep.num_pipelines());
+  for (std::size_t i1 = 0; i1 < sweep.num_components(); ++i1) {
+    for (std::size_t i2 = 0; i2 < sweep.num_components(); ++i2) {
+      for (std::size_t i3 = 0; i3 < sweep.num_reducers(); ++i3) {
+        out.push_back(sweep.geomean_throughput(i1, i2, i3, gpu, tc, opt, dir));
+      }
+    }
+  }
+  return out;
+}
+
+inline void emit(const std::string& figure_id, const std::string& title,
+                 const std::string& value_label,
+                 const std::vector<charlab::Series>& series);
+
+/// A predicate over a pipeline's three components.
+using PipelinePredicate =
+    bool (*)(const Component& s1, const Component& s2, const Component& s3);
+
+/// Geomean throughputs of the pipelines matching `pred`, in enumeration
+/// order.
+inline std::vector<double> throughputs_where(
+    const charlab::Sweep& sweep, const gpusim::GpuSpec& gpu,
+    gpusim::Toolchain tc, gpusim::OptLevel opt, gpusim::Direction dir,
+    const std::function<bool(const Component&, const Component&,
+                             const Component&)>& pred) {
+  std::vector<double> out;
+  for (std::size_t i1 = 0; i1 < sweep.num_components(); ++i1) {
+    for (std::size_t i2 = 0; i2 < sweep.num_components(); ++i2) {
+      for (std::size_t i3 = 0; i3 < sweep.num_reducers(); ++i3) {
+        if (pred(sweep.component(i1), sweep.component(i2),
+                 sweep.reducer(i3))) {
+          out.push_back(
+              sweep.geomean_throughput(i1, i2, i3, gpu, tc, opt, dir));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Grouped-figure driver for the paper's Figs. 4-13: one subfigure per
+/// vendor (fastest tested GPU), one series per (group, compiler).
+struct FigureGroup {
+  std::string label;
+  std::function<bool(const Component&, const Component&, const Component&)>
+      pred;
+};
+
+inline void run_grouped_figure(const std::string& figure_id,
+                               const std::string& title,
+                               gpusim::Direction dir,
+                               const std::vector<FigureGroup>& groups) {
+  const charlab::Sweep& sweep = shared_sweep();
+  const gpusim::GpuSpec* gpus[] = {&gpusim::gpu_by_name("RTX 4090"),
+                                   &gpusim::gpu_by_name("RX 7900 XTX")};
+  const char* subfig[] = {"a", "b"};
+  for (int g = 0; g < 2; ++g) {
+    const gpusim::GpuSpec& gpu = *gpus[g];
+    std::vector<charlab::Series> series;
+    for (const FigureGroup& group : groups) {
+      for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
+        charlab::Series s;
+        s.group = group.label;
+        s.variant = gpusim::to_string(tc);
+        s.values = throughputs_where(sweep, gpu, tc, gpusim::OptLevel::kO3,
+                                     dir, group.pred);
+        series.push_back(std::move(s));
+      }
+    }
+    emit(figure_id + std::string(subfig[g]),
+         title + " — " + gpu.name + " (" +
+             gpusim::to_string(gpu.vendor) + ")",
+         "GB/s, geometric mean across the 13 SP inputs, -O3", series);
+  }
+}
+
+/// The fastest tested GPU of each vendor (the paper's Figs. 4-13 show
+/// only these).
+inline const gpusim::GpuSpec& fastest_nvidia() {
+  return gpusim::gpu_by_name("RTX 4090");
+}
+inline const gpusim::GpuSpec& fastest_amd() {
+  return gpusim::gpu_by_name("RX 7900 XTX");
+}
+
+/// Emit the table and the optional CSV.
+inline void emit(const std::string& figure_id, const std::string& title,
+                 const std::string& value_label,
+                 const std::vector<charlab::Series>& series) {
+  charlab::print_boxen_table(std::cout, figure_id + ": " + title, value_label,
+                             series);
+  charlab::print_ascii_boxen(std::cout, series);
+  if (const char* dir = std::getenv("LC_CSV")) {
+    const std::string path = std::string(dir) + "/" + figure_id + ".csv";
+    std::ofstream csv(path);
+    if (csv) {
+      charlab::write_boxen_csv(csv, series);
+      std::fprintf(stderr, "[csv] wrote %s\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace lc::bench
+
+#endif  // LC_BENCH_FIGURES_BENCH_COMMON_H

@@ -1,0 +1,11 @@
+// Fig. 2 reproduction: encoding throughputs of all 107,632 pipelines by
+// GPU and compiler. Expected shape (paper §6.1): staircase from older to
+// newer GPUs within each vendor; NVCC ~= HIPCC on NVIDIA; Clang
+// consistently lower than both; symmetric distributions.
+
+#include "bench/figures/fig_by_gpu.h"
+
+int main() {
+  lc::bench::run_fig_by_gpu("fig02", lc::gpusim::Direction::kEncode);
+  return 0;
+}

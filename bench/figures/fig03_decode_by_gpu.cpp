@@ -1,0 +1,11 @@
+// Fig. 3 reproduction: decoding throughputs of all 107,632 pipelines by
+// GPU and compiler. Expected shape (paper §6.1): higher than encoding,
+// skewed toward high throughputs; NVCC ~= HIPCC; Clang consistently
+// *higher* than both (opposite of encoding).
+
+#include "bench/figures/fig_by_gpu.h"
+
+int main() {
+  lc::bench::run_fig_by_gpu("fig03", lc::gpusim::Direction::kDecode);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 4 reproduction: encoding throughputs of uniform-word-size
+// pipelines. Expected shape (§6.2): throughput grows with word size, but
+// the 4->8 byte gain is smaller than the 2->4 byte gain (32-bit
+// architectures); same relative trends under every compiler.
+
+#include "bench/figures/fig_by_wordsize.h"
+
+int main() {
+  lc::bench::run_fig_by_wordsize("fig04", lc::gpusim::Direction::kEncode);
+  return 0;
+}

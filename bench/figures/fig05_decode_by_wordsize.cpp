@@ -1,0 +1,11 @@
+// Fig. 5 reproduction: decoding throughputs of uniform-word-size
+// pipelines. Expected shape (§6.2): 1/2/4-byte distributions close with
+// the 2-byte median highest (the RLE copy-fallback side effect on 4-byte
+// float inputs), 8-byte trending highest overall.
+
+#include "bench/figures/fig_by_wordsize.h"
+
+int main() {
+  lc::bench::run_fig_by_wordsize("fig05", lc::gpusim::Direction::kDecode);
+  return 0;
+}

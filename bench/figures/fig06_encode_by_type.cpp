@@ -1,0 +1,11 @@
+// Fig. 6 reproduction: encoding throughputs by component type in the
+// first two stages. Expected shape (§6.3): the four types are similar
+// except reducer-prefixed pipelines, which are slower (reducers do the
+// most work and synchronization when encoding).
+
+#include "bench/figures/fig_by_type.h"
+
+int main() {
+  lc::bench::run_fig_by_type("fig06", lc::gpusim::Direction::kEncode);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 7 reproduction: decoding throughputs by component type in the
+// first two stages. Expected shape (§6.3): predictor pipelines slowest
+// (prefix sums), mutator pipelines heavily skewed toward the top
+// (embarrassingly parallel, regular accesses); reducers no longer the
+// slowest.
+
+#include "bench/figures/fig_by_type.h"
+
+int main() {
+  lc::bench::run_fig_by_type("fig07", lc::gpusim::Direction::kDecode);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 8 reproduction: encoding throughputs by component pinned to
+// Stage 1. Expected shape (§6.4): RARE and RAZE far slower than the rest
+// (adaptive-k search); HCLOG also low, markedly so on the RX 7900 XTX;
+// other families close to each other; symmetric distributions.
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  lc::bench::run_grouped_figure(
+      "fig08", "encode throughputs by component in Stage 1",
+      lc::gpusim::Direction::kEncode,
+      lc::bench::family_pin_groups(0, /*reducers_only=*/false));
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 9 reproduction: decoding throughputs by component pinned to
+// Stage 1. Expected shape (§6.4): CLOG/HCLOG/RRE/RZE have the highest
+// medians; most distributions skew upward, but BIT and RLE have wide,
+// centered middle boxes (see Figs. 10 and 11 for the word-size split).
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  lc::bench::run_grouped_figure(
+      "fig09", "decode throughputs by component in Stage 1",
+      lc::gpusim::Direction::kDecode,
+      lc::bench::family_pin_groups(0, /*reducers_only=*/false));
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 10 reproduction: decoding throughputs of pipelines with a BIT
+// component in Stage 1, split by word size. Expected shape (§6.4):
+// BIT_1/BIT_2 skew toward high throughputs (plain bitwise kernels, no
+// synchronization) while BIT_4/BIT_8 are symmetric (__shfl_xor butterfly
+// with implicit warp synchronization).
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  lc::bench::run_grouped_figure(
+      "fig10", "decode throughputs, BIT in Stage 1, by word size",
+      lc::gpusim::Direction::kDecode,
+      lc::bench::word_size_pin_groups("BIT", 0));
+  return 0;
+}

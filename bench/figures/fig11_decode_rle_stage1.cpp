@@ -1,0 +1,25 @@
+// Fig. 11 reproduction: decoding throughputs of pipelines with an RLE
+// component in Stage 1, split by word size. Expected shape (§6.4): on
+// 4-byte float inputs, RLE_4 actually compresses and therefore must run
+// its decoder (lower throughput), while RLE_1/2/8 usually fail to
+// compress, trigger LC's copy-fallback, and decode almost for free.
+//
+// Run with --stage2 for the paper's §6.4 text observation: RLE pinned to
+// Stage 2 sees transformed data, the word-size discrepancy fades, and
+// the median rises by roughly 100 GB/s.
+
+#include <cstring>
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main(int argc, char** argv) {
+  const bool stage2 = (argc > 1 && std::strcmp(argv[1], "--stage2") == 0);
+  const int stage = stage2 ? 1 : 0;
+  lc::bench::run_grouped_figure(
+      stage2 ? "fig11_stage2" : "fig11",
+      std::string("decode throughputs, RLE in Stage ") +
+          (stage2 ? "2" : "1") + ", by word size",
+      lc::gpusim::Direction::kDecode,
+      lc::bench::word_size_pin_groups("RLE", stage));
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 12 reproduction: encoding throughputs by reducer pinned to
+// Stage 3 (15,376 pipelines per group). Expected shape (§6.4): RARE and
+// RAZE slowest; HCLOG relatively slower on the AMD RX 7900 XTX than on
+// NVIDIA.
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  lc::bench::run_grouped_figure(
+      "fig12", "encode throughputs by component in Stage 3",
+      lc::gpusim::Direction::kEncode,
+      lc::bench::family_pin_groups(2, /*reducers_only=*/true));
+  return 0;
+}

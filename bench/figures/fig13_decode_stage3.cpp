@@ -1,0 +1,13 @@
+// Fig. 13 reproduction: decoding throughputs by reducer pinned to
+// Stage 3. Expected shape (§6.4): similar to the earlier stages; RLE has
+// the widest distribution; decoding varies less than encoding overall.
+
+#include "bench/figures/fig_stage_pin.h"
+
+int main() {
+  lc::bench::run_grouped_figure(
+      "fig13", "decode throughputs by component in Stage 3",
+      lc::gpusim::Direction::kDecode,
+      lc::bench::family_pin_groups(2, /*reducers_only=*/true));
+  return 0;
+}

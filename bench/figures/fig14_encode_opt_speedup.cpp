@@ -1,0 +1,11 @@
+// Fig. 14 reproduction: encoding speedups from -O1 to -O3. Expected
+// shape (§6.5): negligible for NVCC and HIPCC everywhere and for HIPCC
+// on AMD; Clang's encoding *slows down* at -O3 on every NVIDIA GPU
+// (median speedup below 1.0).
+
+#include "bench/figures/fig_opt_speedup.h"
+
+int main() {
+  lc::bench::run_fig_opt_speedup("fig14", lc::gpusim::Direction::kEncode);
+  return 0;
+}

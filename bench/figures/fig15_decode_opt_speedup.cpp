@@ -1,0 +1,11 @@
+// Fig. 15 reproduction: decoding speedups from -O1 to -O3. Expected
+// shape (§6.5): negligible for NVCC/HIPCC; Clang's decoding improves
+// noticeably at -O3 but by less than 10% — not enough to explain the
+// full Clang decode advantage, which also lives in the framework paths.
+
+#include "bench/figures/fig_opt_speedup.h"
+
+int main() {
+  lc::bench::run_fig_opt_speedup("fig15", lc::gpusim::Direction::kDecode);
+  return 0;
+}

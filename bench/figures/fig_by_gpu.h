@@ -1,0 +1,32 @@
+#ifndef LC_BENCH_FIGURES_FIG_BY_GPU_H
+#define LC_BENCH_FIGURES_FIG_BY_GPU_H
+
+/// Shared driver for Figs. 2 and 3: throughput of all 107,632 pipelines,
+/// grouped by GPU along the x-axis, one series per compiler available on
+/// that GPU (§6.1).
+
+#include "bench/figures/bench_common.h"
+
+namespace lc::bench {
+
+inline void run_fig_by_gpu(const std::string& figure_id,
+                           gpusim::Direction dir) {
+  const charlab::Sweep& sweep = shared_sweep();
+  std::vector<charlab::Series> series;
+  for (const gpusim::GpuSpec& gpu : gpusim::all_gpus()) {
+    for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
+      charlab::Series s;
+      s.group = gpu.name;
+      s.variant = gpusim::to_string(tc);
+      s.values = all_throughputs(sweep, gpu, tc, gpusim::OptLevel::kO3, dir);
+      series.push_back(std::move(s));
+    }
+  }
+  emit(figure_id,
+       std::string(gpusim::to_string(dir)) + " throughputs by GPU",
+       "GB/s, geometric mean across the 13 SP inputs, -O3", series);
+}
+
+}  // namespace lc::bench
+
+#endif  // LC_BENCH_FIGURES_FIG_BY_GPU_H

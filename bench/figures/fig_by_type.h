@@ -1,0 +1,33 @@
+#ifndef LC_BENCH_FIGURES_FIG_BY_TYPE_H
+#define LC_BENCH_FIGURES_FIG_BY_TYPE_H
+
+/// Shared driver for Figs. 6 and 7: pipelines whose first two stages are
+/// components of the same category, grouped by that category (§6.3).
+/// Populations: 4,032 mutator / 2,800 shuffler / 4,032 predictor /
+/// 21,952 reducer pipelines.
+
+#include "bench/figures/bench_common.h"
+
+namespace lc::bench {
+
+inline void run_fig_by_type(const std::string& figure_id,
+                            gpusim::Direction dir) {
+  std::vector<FigureGroup> groups;
+  for (const Category cat :
+       {Category::kMutator, Category::kShuffler, Category::kPredictor,
+        Category::kReducer}) {
+    groups.push_back(
+        {to_string(cat),
+         [cat](const Component& s1, const Component& s2, const Component&) {
+           return s1.category() == cat && s2.category() == cat;
+         }});
+  }
+  run_grouped_figure(figure_id,
+                     std::string(gpusim::to_string(dir)) +
+                         " throughputs by component type (stages 1-2)",
+                     dir, groups);
+}
+
+}  // namespace lc::bench
+
+#endif  // LC_BENCH_FIGURES_FIG_BY_TYPE_H

@@ -1,0 +1,31 @@
+#ifndef LC_BENCH_FIGURES_FIG_BY_WORDSIZE_H
+#define LC_BENCH_FIGURES_FIG_BY_WORDSIZE_H
+
+/// Shared driver for Figs. 4 and 5: pipelines whose three components all
+/// share one word size, grouped by that word size (§6.2). Populations:
+/// 1,792 / 1,575 / 1,792 / 1,575 pipelines for 1/2/4/8 bytes.
+
+#include "bench/figures/bench_common.h"
+
+namespace lc::bench {
+
+inline void run_fig_by_wordsize(const std::string& figure_id,
+                                gpusim::Direction dir) {
+  std::vector<FigureGroup> groups;
+  for (const int w : {1, 2, 4, 8}) {
+    groups.push_back(
+        {std::to_string(w) + " B",
+         [w](const Component& s1, const Component& s2, const Component& s3) {
+           return s1.word_size() == w && s2.word_size() == w &&
+                  s3.word_size() == w;
+         }});
+  }
+  run_grouped_figure(figure_id,
+                     std::string(gpusim::to_string(dir)) +
+                         " throughputs by word size",
+                     dir, groups);
+}
+
+}  // namespace lc::bench
+
+#endif  // LC_BENCH_FIGURES_FIG_BY_WORDSIZE_H

@@ -1,0 +1,41 @@
+#ifndef LC_BENCH_FIGURES_FIG_OPT_SPEEDUP_H
+#define LC_BENCH_FIGURES_FIG_OPT_SPEEDUP_H
+
+/// Shared driver for Figs. 14 and 15: per-pipeline speedup of -O3 over
+/// -O1, grouped by GPU, one series per compiler (§6.5). Values above 1.0
+/// mean -O3 is faster.
+
+#include "bench/figures/bench_common.h"
+
+namespace lc::bench {
+
+inline void run_fig_opt_speedup(const std::string& figure_id,
+                                gpusim::Direction dir) {
+  const charlab::Sweep& sweep = shared_sweep();
+  std::vector<charlab::Series> series;
+  for (const gpusim::GpuSpec& gpu : gpusim::all_gpus()) {
+    for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
+      charlab::Series s;
+      s.group = gpu.name;
+      s.variant = gpusim::to_string(tc);
+      const std::vector<double> o3 =
+          all_throughputs(sweep, gpu, tc, gpusim::OptLevel::kO3, dir);
+      const std::vector<double> o1 =
+          all_throughputs(sweep, gpu, tc, gpusim::OptLevel::kO1, dir);
+      s.values.reserve(o3.size());
+      for (std::size_t i = 0; i < o3.size(); ++i) {
+        s.values.push_back(o3[i] / o1[i]);
+      }
+      series.push_back(std::move(s));
+    }
+  }
+  emit(figure_id,
+       std::string(gpusim::to_string(dir)) +
+           " speedups from -O1 to -O3 by GPU",
+       "speedup (-O3 throughput / -O1 throughput), > 1.0 means -O3 faster",
+       series);
+}
+
+}  // namespace lc::bench
+
+#endif  // LC_BENCH_FIGURES_FIG_OPT_SPEEDUP_H

@@ -1,0 +1,63 @@
+#ifndef LC_BENCH_FIGURES_FIG_STAGE_PIN_H
+#define LC_BENCH_FIGURES_FIG_STAGE_PIN_H
+
+/// Shared driver for Figs. 8-13: throughputs of pipelines with a given
+/// component family pinned to one stage (§6.4). Families group all word
+/// sizes of a component; the six TUPL variants form one family. Groups
+/// are ordered alphabetically along the x-axis like the paper's figures.
+/// Populations for stage 1: 6,944 per family (3,472 for DBEFS/DBESF,
+/// 10,416 for TUPL); for stage 3: 15,376 per reducer family.
+
+#include <algorithm>
+#include <set>
+
+#include "bench/figures/bench_common.h"
+
+namespace lc::bench {
+
+/// Families present among stage candidates (alphabetical).
+inline std::vector<std::string> families_for_stage(bool reducers_only) {
+  const Registry& reg = Registry::instance();
+  std::set<std::string> fams;
+  const auto& pool = reducers_only ? reg.reducers() : reg.all();
+  for (const Component* c : pool) fams.insert(charlab::family(c->name()));
+  return {fams.begin(), fams.end()};
+}
+
+/// Groups for "family pinned to stage `stage_index` (0-based)".
+inline std::vector<FigureGroup> family_pin_groups(int stage_index,
+                                                  bool reducers_only) {
+  std::vector<FigureGroup> groups;
+  for (const std::string& fam : families_for_stage(reducers_only)) {
+    groups.push_back(
+        {fam, [fam, stage_index](const Component& s1, const Component& s2,
+                                 const Component& s3) {
+           const Component* stages[3] = {&s1, &s2, &s3};
+           return charlab::family(stages[stage_index]->name()) == fam;
+         }});
+  }
+  return groups;
+}
+
+/// Groups for "each word size of one family pinned to a stage"
+/// (Figs. 10 and 11).
+inline std::vector<FigureGroup> word_size_pin_groups(
+    const std::string& fam, int stage_index) {
+  std::vector<FigureGroup> groups;
+  for (const int w : {1, 2, 4, 8}) {
+    const std::string label = fam + "_" + std::to_string(w);
+    groups.push_back(
+        {label, [fam, w, stage_index](const Component& s1,
+                                      const Component& s2,
+                                      const Component& s3) {
+           const Component* stages[3] = {&s1, &s2, &s3};
+           return charlab::family(stages[stage_index]->name()) == fam &&
+                  stages[stage_index]->word_size() == w;
+         }});
+  }
+  return groups;
+}
+
+}  // namespace lc::bench
+
+#endif  // LC_BENCH_FIGURES_FIG_STAGE_PIN_H

@@ -1,0 +1,62 @@
+// Real (CPU-measured) per-component throughput microbenchmarks using
+// google-benchmark: encode and decode of every one of the 62 components
+// over a representative 64 kB buffer. This is the substrate-level sanity
+// bench — it measures the portable C++ implementations themselves, not
+// the gpusim model.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "data/sp_dataset.h"
+#include "lc/registry.h"
+
+namespace {
+
+const lc::Bytes& bench_input() {
+  static const lc::Bytes data = [] {
+    // A realistic float stream: the head of the synthetic msg_bt file.
+    lc::Bytes b = lc::data::generate_sp_file("msg_bt", 1.0 / 2048);
+    b.resize(64 * 1024);
+    return b;
+  }();
+  return data;
+}
+
+void BM_Encode(benchmark::State& state, const lc::Component* comp) {
+  const lc::Bytes& in = bench_input();
+  lc::Bytes out;
+  for (auto _ : state) {
+    comp->encode(lc::ByteSpan(in.data(), in.size()), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+void BM_Decode(benchmark::State& state, const lc::Component* comp) {
+  const lc::Bytes& in = bench_input();
+  lc::Bytes encoded, out;
+  comp->encode(lc::ByteSpan(in.data(), in.size()), encoded);
+  for (auto _ : state) {
+    comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+const int kRegistered = [] {
+  for (const lc::Component* comp : lc::Registry::instance().all()) {
+    benchmark::RegisterBenchmark(("encode/" + comp->name()).c_str(),
+                                 BM_Encode, comp);
+    benchmark::RegisterBenchmark(("decode/" + comp->name()).c_str(),
+                                 BM_Decode, comp);
+  }
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

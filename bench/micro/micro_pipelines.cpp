@@ -1,0 +1,61 @@
+// Real (CPU-measured) end-to-end pipeline benchmarks using
+// google-benchmark: compress and decompress representative 3-stage
+// pipelines over a multi-chunk synthetic input through the public codec
+// API — the substrate-level counterpart of the modeled figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "data/sp_dataset.h"
+#include "lc/codec.h"
+
+namespace {
+
+const lc::Bytes& bench_input() {
+  static const lc::Bytes data =
+      lc::data::generate_sp_file("msg_bt", 1.0 / 512);  // ~256 kB, 16 chunks
+  return data;
+}
+
+void BM_Compress(benchmark::State& state, const char* spec) {
+  const lc::Pipeline p = lc::Pipeline::parse(spec);
+  const lc::Bytes& in = bench_input();
+  for (auto _ : state) {
+    const lc::Bytes packed =
+        lc::compress(p, lc::ByteSpan(in.data(), in.size()));
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+void BM_Decompress(benchmark::State& state, const char* spec) {
+  const lc::Pipeline p = lc::Pipeline::parse(spec);
+  const lc::Bytes& in = bench_input();
+  const lc::Bytes packed = lc::compress(p, lc::ByteSpan(in.data(), in.size()));
+  for (auto _ : state) {
+    const lc::Bytes out =
+        lc::decompress(lc::ByteSpan(packed.data(), packed.size()));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+const int kRegistered = [] {
+  for (const char* spec :
+       {"DIFF_4 TCMS_4 CLOG_4",  // the quickstart compressor
+        "BIT_4 DIFF_4 RZE_4",    // shuffle + predict + zero-reduce
+        "RLE_4 RLE_4 RLE_4",     // run-length stack (Fig. 11's subject)
+        "DBEFS_4 DIFFMS_4 RARE_4",  // float-aware + adaptive reducer
+        "TUPL2_4 DIFFNB_8 RRE_8"}) {
+    benchmark::RegisterBenchmark((std::string("compress/") + spec).c_str(),
+                                 BM_Compress, spec);
+    benchmark::RegisterBenchmark((std::string("decompress/") + spec).c_str(),
+                                 BM_Decompress, spec);
+  }
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table 2 reproduction: work complexity and span of each component.
+// The span classes are the model's KernelTraits (asserted against the
+// paper in tests); the work column is verified *empirically* here by
+// fitting the scaling exponent of real encode/decode times between
+// n and 4n inputs — every component must come out ~linear in n
+// (Table 2's work column is n or n log w; w is fixed per component, so
+// both are linear in n).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "charlab/grouping.h"
+#include "common/hash.h"
+#include "lc/registry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+lc::Bytes make_random_buffer(std::size_t n, std::uint64_t seed) {
+  lc::SplitMix rng(seed);
+  lc::Bytes b(n);
+  for (auto& x : b) x = static_cast<unsigned char>(rng.next());
+  return b;
+}
+
+double time_encode(const lc::Component& c, const lc::Bytes& data, int reps) {
+  lc::Bytes out;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) {
+    c.encode(lc::ByteSpan(data.data(), data.size()), out);
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+}
+
+double time_decode(const lc::Component& c, const lc::Bytes& data, int reps) {
+  lc::Bytes encoded, out;
+  c.encode(lc::ByteSpan(data.data(), data.size()), encoded);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) {
+    c.decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+}
+
+const char* span_name(lc::SpanClass s) {
+  switch (s) {
+    case lc::SpanClass::kConst: return "1";
+    case lc::SpanClass::kLogW: return "log w";
+    case lc::SpanClass::kLogN: return "log n";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace lc;
+  constexpr std::size_t kSmall = 1 << 16, kLarge = 1 << 18;  // 4x
+  constexpr int kReps = 8;
+  const Bytes buf_small = make_random_buffer(kSmall, 1);
+  const Bytes buf_large = make_random_buffer(kLarge, 2);
+
+  std::printf("Table 2: component work complexity and span\n");
+  std::printf(
+      "  (span: model classes matching the paper; work exponent: measured\n"
+      "   log4(t(4n)/t(n)) on this CPU — ~1.0 confirms linear work)\n\n");
+  std::printf("%-10s %-9s %-9s %12s %12s\n", "component", "enc span",
+              "dec span", "enc work exp", "dec work exp");
+
+  std::map<std::string, const Component*> families;  // one sample per family
+  for (const Component* c : Registry::instance().all()) {
+    families.emplace(charlab::family(c->name()) + "_" +
+                         std::to_string(c->word_size()),
+                     c);
+  }
+  for (const auto& [key, c] : families) {
+    const double enc_exp =
+        std::log(time_encode(*c, buf_large, kReps) /
+                 time_encode(*c, buf_small, kReps)) /
+        std::log(4.0);
+    const double dec_exp =
+        std::log(time_decode(*c, buf_large, kReps) /
+                 time_decode(*c, buf_small, kReps)) /
+        std::log(4.0);
+    std::printf("%-10s %-9s %-9s %12.2f %12.2f\n", c->name().c_str(),
+                span_name(c->encode_traits().span),
+                span_name(c->decode_traits().span), enc_exp, dec_exp);
+  }
+  return 0;
+}

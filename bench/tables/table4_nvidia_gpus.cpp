@@ -1,0 +1,35 @@
+// Table 4 reproduction: NVIDIA GPU specifications, plus the §5 occupancy
+// arithmetic (one 512-thread block per 16 kB chunk).
+
+#include <cstdio>
+
+#include "gpusim/gpu_model.h"
+
+int main() {
+  using namespace lc::gpusim;
+  std::printf("Table 4: NVIDIA GPU specifications\n\n");
+  std::printf("%-22s %9s %9s %9s\n", "", "TITAN V", "3080 Ti", "4090");
+  const GpuSpec* gpus[] = {&gpu_by_name("TITAN V"),
+                           &gpu_by_name("RTX 3080 Ti"),
+                           &gpu_by_name("RTX 4090")};
+  std::printf("%-22s %9.0f %9.0f %9.0f\n", "Clock Freq. (MHz)",
+              gpus[0]->clock_mhz, gpus[1]->clock_mhz, gpus[2]->clock_mhz);
+  std::printf("%-22s %9d %9d %9d\n", "SMs", gpus[0]->sms, gpus[1]->sms,
+              gpus[2]->sms);
+  std::printf("%-22s %9d %9d %9d\n", "Max Threads per SM",
+              gpus[0]->max_threads_per_sm, gpus[1]->max_threads_per_sm,
+              gpus[2]->max_threads_per_sm);
+  std::printf("%-22s %9d %9d %9d\n", "Warp Size", gpus[0]->warp_size,
+              gpus[1]->warp_size, gpus[2]->warp_size);
+  std::printf("%-22s %9.0f %9.0f %9.0f\n", "Memory (GB)",
+              gpus[0]->memory_gb, gpus[1]->memory_gb, gpus[2]->memory_gb);
+  std::printf("%-22s %9s %9s %9s\n", "Compute Capability", "7.0", "8.6",
+              "8.9");
+  std::printf("\nOccupancy (512-thread blocks, one 16 kB chunk each):\n");
+  for (const GpuSpec* g : gpus) {
+    std::printf("  %-12s %4d resident blocks -> %.3f MB fully occupies it\n",
+                g->name.c_str(), resident_blocks(*g),
+                bytes_to_fully_occupy(*g) / (1024.0 * 1024.0));
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table 5 reproduction: AMD GPU specifications, plus the §5 occupancy
+// arithmetic (the paper's 9.375 MB MI100 example is asserted in tests).
+
+#include <cstdio>
+
+#include "gpusim/gpu_model.h"
+
+int main() {
+  using namespace lc::gpusim;
+  std::printf("Table 5: AMD GPU specifications\n\n");
+  std::printf("%-22s %9s %13s\n", "", "MI100", "RX 7900 XTX");
+  const GpuSpec* gpus[] = {&gpu_by_name("MI100"),
+                           &gpu_by_name("RX 7900 XTX")};
+  std::printf("%-22s %9.0f %13.0f\n", "Clock Freq. (MHz)",
+              gpus[0]->clock_mhz, gpus[1]->clock_mhz);
+  std::printf("%-22s %9d %13d\n", "CUs", gpus[0]->sms, gpus[1]->sms);
+  std::printf("%-22s %9d %13d\n", "Max Threads per CU",
+              gpus[0]->max_threads_per_sm, gpus[1]->max_threads_per_sm);
+  std::printf("%-22s %9d %13d\n", "Warp Size", gpus[0]->warp_size,
+              gpus[1]->warp_size);
+  std::printf("%-22s %9.0f %13.0f\n", "Memory (GB)", gpus[0]->memory_gb,
+              gpus[1]->memory_gb);
+  std::printf("%-22s %9s %13s\n", "Target Processor",
+              gpus[0]->arch.c_str(), gpus[1]->arch.c_str());
+  std::printf("\nOccupancy (512-thread blocks, one 16 kB chunk each):\n");
+  for (const GpuSpec* g : gpus) {
+    std::printf("  %-12s %4d resident blocks -> %.3f MB fully occupies it\n",
+                g->name.c_str(), resident_blocks(*g),
+                bytes_to_fully_occupy(*g) / (1024.0 * 1024.0));
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// compiler_advisor: the paper's §7 recommendation as a tool. Given a
+// pipeline and a target GPU, model every available compiler at -O1/-O3
+// for both directions and report the best choice — including the paper's
+// headline advice (encode with NVCC/HIPCC, decode with Clang, since LC
+// decodes correctly regardless of which compiler built the encoder).
+//
+// Usage: compiler_advisor ["<pipeline spec>"] [gpu name]
+//   default: "DIFF_4 TCMS_4 CLOG_4" on every GPU
+
+#include <cstdio>
+#include <string>
+
+#include "data/sp_dataset.h"
+#include "gpusim/cost_model.h"
+#include "lc/codec.h"
+#include "lc/pipeline.h"
+
+namespace {
+
+/// Measure the pipeline's data statistics on one representative input.
+lc::gpusim::PipelineStats measure(const lc::Pipeline& pipeline,
+                                  const std::string& input_name) {
+  using namespace lc;
+  const Bytes data = data::generate_sp_file(input_name);
+  const std::size_t chunks = (data.size() + kChunkSize - 1) / kChunkSize;
+
+  gpusim::PipelineStats stats;
+  stats.pipeline_id = pipeline.id();
+  stats.input_bytes =
+      data::sp_file_by_name(input_name).paper_size_mb * 1024.0 * 1024.0;
+  stats.chunk_count = stats.input_bytes / kChunkSize;
+
+  std::vector<double> in_sum(pipeline.size(), 0.0),
+      out_sum(pipeline.size(), 0.0), applied_sum(pipeline.size(), 0.0);
+  std::vector<StageTrace> trace;
+  std::uint8_t mask = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * kChunkSize;
+    const std::size_t hi = std::min(data.size(), lo + kChunkSize);
+    (void)encode_chunk(pipeline, ByteSpan(data.data() + lo, hi - lo), mask,
+                       &trace);
+    for (std::size_t s = 0; s < pipeline.size(); ++s) {
+      in_sum[s] += static_cast<double>(trace[s].bytes_in);
+      out_sum[s] += static_cast<double>(trace[s].bytes_out);
+      applied_sum[s] += trace[s].applied ? 1.0 : 0.0;
+    }
+  }
+  for (std::size_t s = 0; s < pipeline.size(); ++s) {
+    gpusim::StageStats st;
+    st.component = &pipeline.stage(s);
+    st.avg_bytes_in = in_sum[s] / chunks;
+    st.avg_bytes_out = out_sum[s] / chunks;
+    st.applied_fraction = applied_sum[s] / chunks;
+    stats.stages.push_back(st);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lc;
+  using namespace lc::gpusim;
+  const Pipeline pipeline =
+      Pipeline::parse(argc > 1 ? argv[1] : "DIFF_4 TCMS_4 CLOG_4");
+  const std::string gpu_filter = argc > 2 ? argv[2] : "";
+
+  const gpusim::PipelineStats stats = measure(pipeline, "num_brain");
+  std::printf("pipeline: %s  (modeled on num_brain statistics)\n\n",
+              pipeline.spec().c_str());
+
+  for (const GpuSpec& gpu : all_gpus()) {
+    if (!gpu_filter.empty() && gpu.name != gpu_filter) continue;
+    std::printf("%s (%s):\n", gpu.name.c_str(), to_string(gpu.vendor));
+    const Toolchain best_enc = [&] {
+      Toolchain best = toolchains_for(gpu.vendor)[0];
+      double best_t = 0.0;
+      for (const Toolchain tc : toolchains_for(gpu.vendor)) {
+        const double t = simulate(stats, gpu, tc, OptLevel::kO3,
+                                  Direction::kEncode)
+                             .throughput_gbps;
+        std::printf("  encode %-6s -O3: %7.1f GB/s\n", to_string(tc), t);
+        if (t > best_t) {
+          best_t = t;
+          best = tc;
+        }
+      }
+      return best;
+    }();
+    const Toolchain best_dec = [&] {
+      Toolchain best = toolchains_for(gpu.vendor)[0];
+      double best_t = 0.0;
+      for (const Toolchain tc : toolchains_for(gpu.vendor)) {
+        const double t = simulate(stats, gpu, tc, OptLevel::kO3,
+                                  Direction::kDecode)
+                             .throughput_gbps;
+        std::printf("  decode %-6s -O3: %7.1f GB/s\n", to_string(tc), t);
+        if (t > best_t) {
+          best_t = t;
+          best = tc;
+        }
+      }
+      return best;
+    }();
+    std::printf(
+        "  => compile the encoder with %s and the decoder with %s\n"
+        "     (LC maintains correctness across compilers, so mixing is "
+        "safe)\n\n",
+        to_string(best_enc), to_string(best_dec));
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Example: inspect LC's per-chunk copy-fallback behaviour on the SP
+// dataset — for every component, what fraction of chunks does it actually
+// transform (i.e., not expand), and what compression ratio does it achieve
+// alone? This is the data-dependent mechanism behind the paper's §6.4
+// findings (RLE_4 compresses 4-byte float data, RLE_1/2/8 mostly do not).
+//
+// Usage: fallback_inspector [file ...]   (default: four representative
+// SP files; pass names from Table 3)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/sp_dataset.h"
+#include "lc/analysis.h"
+#include "lc/codec.h"
+#include "lc/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace lc;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) files.emplace_back(argv[i]);
+  if (files.empty()) {
+    files = {"msg_bt", "msg_sppm", "num_brain", "obs_error"};
+  }
+
+  for (const std::string& name : files) {
+    const Bytes data = data::generate_sp_file(name);
+    const std::size_t chunks = (data.size() + kChunkSize - 1) / kChunkSize;
+    std::printf("=== %s (%zu bytes, %zu chunks) ===\n", name.c_str(),
+                data.size(), chunks);
+    std::printf("%-10s %9s %9s\n", "component", "applied%", "ratio");
+
+    for (const Component* comp : Registry::instance().all()) {
+      if (!comp->is_reducer()) continue;  // non-reducers always apply
+      const ChunkedStats s =
+          measure_component(*comp, ByteSpan(data.data(), data.size()));
+      std::printf("%-10s %8.1f%% %9.3f\n", comp->name().c_str(),
+                  100.0 * s.applied_fraction(), s.ratio());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Real-measurement analogue of the paper's §6.5 on this host's CPU:
+# build the component microbenchmarks at -O1 and at -O3 with the host
+# compiler and report per-component encode/decode speedups, mirroring
+# Figs. 14/15 (speedup > 1.0 means -O3 is faster).
+#
+# Usage: scripts/cpu_compiler_study.sh [extra benchmark args]
+# Writes build trees under build-o1/ and build-o3/ and prints a table.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for opt in o1 o3; do
+  flag="-O${opt#o}"
+  cmake -B "build-$opt" -G Ninja \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="$flag -DNDEBUG" >/dev/null
+  cmake --build "build-$opt" --target micro_components >/dev/null
+done
+
+run() {
+  "build-$1/bench/micro_components" \
+    --benchmark_min_time=0.05 --benchmark_format=csv 2>/dev/null |
+    awk -F, '$1 ~ /code\// {gsub(/"/,"",$1); print $1","$4}'
+}
+
+echo "CPU -O1 -> -O3 speedups per component ($(c++ --version | head -1))"
+echo "(real wall-clock of the portable implementations; > 1.0 = -O3 faster)"
+printf '%-22s %10s\n' "benchmark" "speedup"
+
+join -t, <(run o1 | sort) <(run o3 | sort) |
+  awk -F, '{ if ($3+0 > 0) printf "%-22s %10.2f\n", $1, $2/$3 }'

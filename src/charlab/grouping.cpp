@@ -1,0 +1,23 @@
+#include "charlab/grouping.h"
+
+namespace lc::charlab {
+
+std::string family(std::string_view component_name) {
+  const std::size_t underscore = component_name.rfind('_');
+  std::string_view base = (underscore == std::string_view::npos)
+                              ? component_name
+                              : component_name.substr(0, underscore);
+  if (base.rfind("TUPL", 0) == 0) return "TUPL";
+  return std::string(base);
+}
+
+bool uniform_word_size(const Component& s1, const Component& s2,
+                       const Component& s3) {
+  return s1.word_size() == s2.word_size() && s2.word_size() == s3.word_size();
+}
+
+bool type_pure_prefix(const Component& s1, const Component& s2) {
+  return s1.category() == s2.category();
+}
+
+}  // namespace lc::charlab

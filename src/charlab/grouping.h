@@ -1,0 +1,31 @@
+#ifndef LC_CHARLAB_GROUPING_H
+#define LC_CHARLAB_GROUPING_H
+
+/// \file grouping.h
+/// Pipeline-population groupings used by the paper's figures: component
+/// families (Fig. 8-13 group all word sizes of a component together, with
+/// every TUPL variant forming one group), uniform-word-size pipelines
+/// (Fig. 4/5), and type-pure prefixes (Fig. 6/7).
+
+#include <string>
+#include <string_view>
+
+#include "lc/component.h"
+
+namespace lc::charlab {
+
+/// Family name of a component: "BIT_4" -> "BIT", "TUPL2_1" -> "TUPL"
+/// (the paper's Fig. 8 treats all six TUPL variants as one group),
+/// "DBEFS_8" -> "DBEFS".
+[[nodiscard]] std::string family(std::string_view component_name);
+
+/// True when all three stages share one word size (Fig. 4/5 population).
+[[nodiscard]] bool uniform_word_size(const Component& s1, const Component& s2,
+                                     const Component& s3);
+
+/// True when the first two stages share a category (Fig. 6/7 population).
+[[nodiscard]] bool type_pure_prefix(const Component& s1, const Component& s2);
+
+}  // namespace lc::charlab
+
+#endif  // LC_CHARLAB_GROUPING_H

@@ -1,0 +1,84 @@
+#include "charlab/letter_values.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lc::charlab {
+namespace {
+
+/// Interpolated order statistic at (1-based, possibly fractional) rank.
+double at_rank(const std::vector<double>& sorted, double rank) {
+  const double idx = rank - 1.0;  // 0-based
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = std::min(sorted.size() - 1,
+                                  static_cast<std::size_t>(std::ceil(idx)));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+LetterValueSummary letter_values(std::vector<double> values,
+                                 double outlier_rate) {
+  LetterValueSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+
+  const double n = static_cast<double>(values.size());
+  // Depth-1 rank (the median), then each further depth halves it:
+  // d_{i+1} = (1 + floor(d_i)) / 2 (Hofmann et al., eq. 2).
+  double depth_rank = (1.0 + n) / 2.0;
+  s.median = at_rank(values, depth_rank);
+
+  // Keep adding letter-value pairs while the tail beyond them still holds
+  // more than the allowed outlier fraction — but stop once a letter value
+  // would rest on fewer than ~4 observations, the Hofmann et al.
+  // trustworthiness cut-off that keeps small populations from being
+  // halved all the way down to single points.
+  while (true) {
+    depth_rank = (1.0 + std::floor(depth_rank)) / 2.0;
+    if (depth_rank < 1.0) break;
+    LetterValuePair pair;
+    pair.lower = at_rank(values, depth_rank);
+    pair.upper = at_rank(values, n + 1.0 - depth_rank);
+    s.boxes.push_back(pair);
+    const double tail_fraction = 2.0 * depth_rank / n;  // beyond both LVs
+    if (s.boxes.size() >= 2 && tail_fraction <= outlier_rate) break;
+    if (depth_rank < 8.0) break;  // next halving would be untrustworthy
+    if (s.boxes.size() > 16) break;  // numerical backstop
+  }
+
+  const LetterValuePair outer = s.boxes.back();
+  s.outliers_low = static_cast<std::size_t>(
+      std::lower_bound(values.begin(), values.end(), outer.lower) -
+      values.begin());
+  s.outliers_high = static_cast<std::size_t>(
+      values.end() -
+      std::upper_bound(values.begin(), values.end(), outer.upper));
+  return s;
+}
+
+double upper_tail_share(const LetterValueSummary& summary) {
+  if (summary.boxes.empty()) return 0.5;
+  const LetterValuePair& f = summary.boxes.front();
+  const double width = f.upper - f.lower;
+  if (width <= 0.0) return 0.5;
+  return (f.upper - summary.median) / width;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    LC_REQUIRE(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace lc::charlab

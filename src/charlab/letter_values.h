@@ -1,0 +1,52 @@
+#ifndef LC_CHARLAB_LETTER_VALUES_H
+#define LC_CHARLAB_LETTER_VALUES_H
+
+/// \file letter_values.h
+/// Letter-value ("boxen plot") summaries, after Hofmann, Wickham &
+/// Kafadar (2017), the presentation the paper uses for every figure.
+/// The summary recursively halves the distribution around the median:
+/// depth 1 is the median, depth 2 the fourths (the classic box), depth 3
+/// the eighths, and so on, stopping at the depth where the points beyond
+/// the outermost letter values fall below a fixed outlier rate (the paper
+/// fixes it at 0.7%).
+
+#include <cstddef>
+#include <vector>
+
+namespace lc::charlab {
+
+/// One depth level's lower/upper letter values.
+struct LetterValuePair {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+struct LetterValueSummary {
+  std::size_t count = 0;
+  double median = 0.0;
+  /// boxes[0] = fourths (F), boxes[1] = eighths (E), ... outermost last.
+  std::vector<LetterValuePair> boxes;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t outliers_low = 0;   ///< points below the outermost lower LV
+  std::size_t outliers_high = 0;  ///< points above the outermost upper LV
+};
+
+/// Compute the letter-value summary of `values` (copied and sorted
+/// internally). `outlier_rate` is the total fraction of points allowed
+/// beyond the outermost letter values (paper: 0.007).
+[[nodiscard]] LetterValueSummary letter_values(std::vector<double> values,
+                                               double outlier_rate = 0.007);
+
+/// Geometric mean; values must be positive. Returns 0 for empty input.
+[[nodiscard]] double geometric_mean(const std::vector<double>& values);
+
+/// Box-asymmetry index from the fourths: (F_hi - median) / (F_hi - F_lo),
+/// in [0, 1]. 0.5 = symmetric middle box; below ~0.35 = the box hugs the
+/// top ("skews towards higher throughputs" in the paper's wording);
+/// above ~0.65 = hugs the bottom. Returns 0.5 for degenerate summaries.
+[[nodiscard]] double upper_tail_share(const LetterValueSummary& summary);
+
+}  // namespace lc::charlab
+
+#endif  // LC_CHARLAB_LETTER_VALUES_H

@@ -1,0 +1,128 @@
+#include "charlab/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace lc::charlab {
+namespace {
+
+LetterValuePair box_at(const LetterValueSummary& s, std::size_t depth) {
+  if (depth < s.boxes.size()) return s.boxes[depth];
+  return s.boxes.empty() ? LetterValuePair{s.median, s.median}
+                         : s.boxes.back();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+void print_boxen_table(std::ostream& os, const std::string& title,
+                       const std::string& value_label,
+                       const std::vector<Series>& series) {
+  os << "== " << title << " ==\n";
+  os << "   (letter-value summaries; " << value_label << ")\n";
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "%-14s %-8s %8s %9s  [%8s, %8s]  [%8s, %8s]  [%8s, %8s] "
+                "%9s %9s %8s %6s\n",
+                "group", "variant", "n", "median", "F_lo", "F_hi", "E_lo",
+                "E_hi", "D_lo", "D_hi", "min", "max", "outliers", "skew");
+  os << header;
+  for (const Series& s : series) {
+    const LetterValueSummary lv = letter_values(s.values);
+    const LetterValuePair f = box_at(lv, 0), e = box_at(lv, 1),
+                          d = box_at(lv, 2);
+    char row[320];
+    // skew: share of the middle (F) box above the median. 0.50 reads as
+    // symmetric; small values mean the box hugs the top (the paper's
+    // "skewed towards higher throughputs").
+    std::snprintf(
+        row, sizeof(row),
+        "%-14s %-8s %8zu %s  [%s,%s]  [%s,%s]  [%s,%s] %s %s %8zu %6.2f\n",
+        s.group.c_str(), s.variant.c_str(), lv.count, fmt(lv.median).c_str(),
+        fmt(f.lower).c_str(), fmt(f.upper).c_str(), fmt(e.lower).c_str(),
+        fmt(e.upper).c_str(), fmt(d.lower).c_str(), fmt(d.upper).c_str(),
+        fmt(lv.min).c_str(), fmt(lv.max).c_str(),
+        lv.outliers_low + lv.outliers_high, upper_tail_share(lv));
+    os << row;
+  }
+  os << "\n";
+}
+
+void write_boxen_csv(std::ostream& os, const std::vector<Series>& series) {
+  os << "group,variant,n,median,f_lo,f_hi,e_lo,e_hi,d_lo,d_hi,min,max,"
+        "outliers,skew\n";
+  for (const Series& s : series) {
+    const LetterValueSummary lv = letter_values(s.values);
+    const LetterValuePair f = box_at(lv, 0), e = box_at(lv, 1),
+                          d = box_at(lv, 2);
+    os << s.group << ',' << s.variant << ',' << lv.count << ',' << lv.median
+       << ',' << f.lower << ',' << f.upper << ',' << e.lower << ',' << e.upper
+       << ',' << d.lower << ',' << d.upper << ',' << lv.min << ',' << lv.max
+       << ',' << (lv.outliers_low + lv.outliers_high) << ','
+       << upper_tail_share(lv) << '\n';
+  }
+}
+
+void print_ascii_boxen(std::ostream& os, const std::vector<Series>& series,
+                       int width) {
+  if (series.empty()) return;
+  // Shared axis across all series.
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  std::vector<LetterValueSummary> summaries;
+  summaries.reserve(series.size());
+  for (const Series& s : series) {
+    summaries.push_back(letter_values(s.values));
+    const LetterValueSummary& lv = summaries.back();
+    if (lv.count == 0) continue;
+    lo = first ? lv.min : std::min(lo, lv.min);
+    hi = first ? lv.max : std::max(hi, lv.max);
+    first = false;
+  }
+  if (first || hi <= lo) return;
+
+  const auto column = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    const int c = static_cast<int>(t * (width - 1));
+    return std::max(0, std::min(width - 1, c));
+  };
+
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %-8s %*.1f%*.1f\n", "", "",
+                8, lo, width - 4, hi);
+  os << line;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const LetterValueSummary& lv = summaries[i];
+    std::string row(static_cast<std::size_t>(width), ' ');
+    if (lv.count > 0) {
+      for (int c = column(lv.min); c <= column(lv.max); ++c) row[c] = '.';
+      if (lv.boxes.size() >= 2) {
+        for (int c = column(lv.boxes[1].lower);
+             c <= column(lv.boxes[1].upper); ++c) {
+          row[c] = '=';
+        }
+      }
+      if (!lv.boxes.empty()) {
+        for (int c = column(lv.boxes[0].lower);
+             c <= column(lv.boxes[0].upper); ++c) {
+          row[c] = '#';
+        }
+      }
+      row[column(lv.median)] = '|';
+    }
+    std::snprintf(line, sizeof(line), "%-14s %-8s %s\n",
+                  series[i].group.c_str(), series[i].variant.c_str(),
+                  row.c_str());
+    os << line;
+  }
+  os << "\n";
+}
+
+}  // namespace lc::charlab

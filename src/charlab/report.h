@@ -1,0 +1,46 @@
+#ifndef LC_CHARLAB_REPORT_H
+#define LC_CHARLAB_REPORT_H
+
+/// \file report.h
+/// Textual rendering of the paper's boxen plots: one letter-value row per
+/// (group, compiler) series, in the order the figure shows them. Every
+/// figure bench prints one of these tables; the CSV twin (one row per
+/// series with the full letter-value set) can be fed to a plotting
+/// script.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "charlab/letter_values.h"
+
+namespace lc::charlab {
+
+/// One plotted series: a group along the figure's x-axis and a variant
+/// (compiler color) within the group.
+struct Series {
+  std::string group;
+  std::string variant;
+  std::vector<double> values;
+};
+
+/// Print the boxen-plot table: median, fourths (F), eighths (E),
+/// sixteenths (D), min/max, population size and outlier count per series.
+void print_boxen_table(std::ostream& os, const std::string& title,
+                       const std::string& value_label,
+                       const std::vector<Series>& series);
+
+/// Write the same data as CSV (group,variant,n,median,f_lo,f_hi,e_lo,
+/// e_hi,d_lo,d_hi,min,max,outliers,skew).
+void write_boxen_csv(std::ostream& os, const std::vector<Series>& series);
+
+/// Render the series as horizontal ASCII boxen plots on a shared axis —
+/// the closest textual analogue of the paper's figures. One row per
+/// series:  min..max as '.', the eighths (E) box as '=', the fourths (F)
+/// box as '#', and the median as '|'.
+void print_ascii_boxen(std::ostream& os, const std::vector<Series>& series,
+                       int width = 72);
+
+}  // namespace lc::charlab
+
+#endif  // LC_CHARLAB_REPORT_H

@@ -1,0 +1,376 @@
+#include "charlab/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "lc/codec.h"
+
+namespace lc::charlab {
+namespace {
+
+constexpr char kCacheMagic[8] = {'L', 'C', 'S', 'W', '0', '0', '0', '2'};
+
+/// Evenly spaced sample chunk offsets over a file of `total` bytes.
+std::vector<std::size_t> sample_chunk_offsets(std::size_t total,
+                                              std::size_t want) {
+  const std::size_t chunks = (total + kChunkSize - 1) / kChunkSize;
+  std::vector<std::size_t> offsets;
+  if (chunks == 0) return offsets;
+  const std::size_t take = std::min(want, chunks);
+  for (std::size_t i = 0; i < take; ++i) {
+    // Spread across the file; the last sampled chunk may be short.
+    const std::size_t c = i * chunks / take;
+    offsets.push_back(c * kChunkSize);
+  }
+  return offsets;
+}
+
+struct ChunkOutcome {
+  Bytes output;       ///< post-fallback stage output
+  std::uint64_t in = 0, out_raw = 0;
+  bool applied = false;
+};
+
+/// Run one component on one chunk with LC's copy-fallback.
+ChunkOutcome run_stage(const Component& comp, ByteSpan in) {
+  ChunkOutcome o;
+  Bytes raw;
+  comp.encode(in, raw);
+  o.in = in.size();
+  o.out_raw = raw.size();
+  o.applied = raw.size() <= in.size();
+  if (o.applied) {
+    o.output = std::move(raw);
+  } else {
+    o.output.assign(in.begin(), in.end());
+  }
+  return o;
+}
+
+StageRecord to_record(const std::vector<ChunkOutcome>& outcomes) {
+  StageRecord r;
+  if (outcomes.empty()) return r;
+  double in = 0, out = 0, applied = 0;
+  for (const ChunkOutcome& o : outcomes) {
+    in += static_cast<double>(o.in);
+    out += static_cast<double>(o.out_raw);
+    applied += o.applied ? 1.0 : 0.0;
+  }
+  const double k = static_cast<double>(outcomes.size());
+  r.avg_in = static_cast<float>(in / k);
+  r.avg_out = static_cast<float>(out / k);
+  r.applied = static_cast<float>(applied / k);
+  return r;
+}
+
+}  // namespace
+
+Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
+  Sweep sweep;
+  sweep.config_ = config;
+  const Registry& reg = Registry::instance();
+  sweep.n_ = reg.all().size();
+  sweep.r_ = reg.reducers().size();
+
+  std::vector<std::string> names = config.inputs;
+  if (names.empty()) {
+    for (const auto& f : data::sp_files()) names.push_back(f.name);
+  }
+  sweep.input_names_ = names;
+  sweep.file_bytes_.resize(names.size());
+  sweep.nominal_bytes_.resize(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    sweep.nominal_bytes_[i] =
+        data::sp_file_by_name(names[i]).paper_size_mb * 1024.0 * 1024.0;
+  }
+  sweep.s1_.resize(names.size());
+  sweep.s2_.resize(names.size());
+  sweep.s3_.resize(names.size());
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    sweep.compute_input(i, names[i], pool);
+  }
+
+  // Precompute pipeline ids (hash of "S1 S2 S3" specs) for the
+  // deterministic dispersion model.
+  sweep.pipeline_ids_.resize(sweep.n_ * sweep.n_ * sweep.r_);
+  for (std::size_t i1 = 0; i1 < sweep.n_; ++i1) {
+    for (std::size_t i2 = 0; i2 < sweep.n_; ++i2) {
+      for (std::size_t i3 = 0; i3 < sweep.r_; ++i3) {
+        const std::string spec = reg.all()[i1]->name() + " " +
+                                 reg.all()[i2]->name() + " " +
+                                 reg.reducers()[i3]->name();
+        sweep.pipeline_ids_[(i1 * sweep.n_ + i2) * sweep.r_ + i3] =
+            hash_string(spec);
+      }
+    }
+  }
+  return sweep;
+}
+
+void Sweep::compute_input(std::size_t input_index, const std::string& name,
+                          ThreadPool& pool) {
+  const Bytes file =
+      config_.double_precision
+          ? data::generate_dp_file(name, config_.scale, config_.seed_salt)
+          : data::generate_sp_file(name, config_.scale, config_.seed_salt);
+  file_bytes_[input_index] = static_cast<double>(file.size());
+
+  const std::vector<std::size_t> offsets =
+      sample_chunk_offsets(file.size(), config_.chunks_per_input);
+  std::vector<ByteSpan> chunks;
+  for (const std::size_t off : offsets) {
+    const std::size_t len = std::min(kChunkSize, file.size() - off);
+    chunks.emplace_back(file.data() + off, len);
+  }
+  const std::size_t k = chunks.size();
+
+  const Registry& reg = Registry::instance();
+  auto& s1 = s1_[input_index];
+  auto& s2 = s2_[input_index];
+  auto& s3 = s3_[input_index];
+  s1.assign(n_, {});
+  s2.assign(n_ * n_, {});
+  s3.assign(n_ * n_ * r_, {});
+
+  // Stage 1: 62 components on the raw chunks. Keep outputs for stage 2.
+  std::vector<std::vector<ChunkOutcome>> out1(n_);
+  parallel_for(pool, 0, n_, [&](std::size_t i1) {
+    out1[i1].reserve(k);
+    for (const ByteSpan chunk : chunks) {
+      out1[i1].push_back(run_stage(*reg.all()[i1], chunk));
+    }
+    s1[i1] = to_record(out1[i1]);
+  });
+
+  // Stages 2 and 3, memoized over the (i1, i2) prefix. Parallel over i1
+  // so each task owns its stage-2 buffers.
+  parallel_for(pool, 0, n_, [&](std::size_t i1) {
+    std::vector<ChunkOutcome> out2;
+    out2.reserve(k);
+    for (std::size_t i2 = 0; i2 < n_; ++i2) {
+      out2.clear();
+      for (const ChunkOutcome& prev : out1[i1]) {
+        out2.push_back(run_stage(
+            *reg.all()[i2], ByteSpan(prev.output.data(), prev.output.size())));
+      }
+      s2[i1 * n_ + i2] = to_record(out2);
+
+      for (std::size_t i3 = 0; i3 < r_; ++i3) {
+        std::vector<ChunkOutcome> out3;
+        out3.reserve(k);
+        for (const ChunkOutcome& prev : out2) {
+          out3.push_back(
+              run_stage(*reg.reducers()[i3],
+                        ByteSpan(prev.output.data(), prev.output.size())));
+        }
+        s3[(i1 * n_ + i2) * r_ + i3] = to_record(out3);
+      }
+    }
+  });
+}
+
+void Sweep::fill_pipeline_stats(std::size_t i1, std::size_t i2,
+                                std::size_t i3, std::size_t input,
+                                gpusim::PipelineStats& p) const {
+  const Registry& reg = Registry::instance();
+  p.pipeline_id = pipeline_id(i1, i2, i3);
+  // The timing model simulates the paper's experiment at the paper's file
+  // sizes (Table 3); the per-chunk statistics measured on the scaled
+  // synthetic files are size-independent averages.
+  p.input_bytes = nominal_bytes_[input];
+  p.chunk_count = std::ceil(p.input_bytes / static_cast<double>(kChunkSize));
+  p.stages.resize(3);
+  const auto set = [&p](std::size_t s, const Component* comp,
+                        const StageRecord& r) {
+    p.stages[s].component = comp;
+    p.stages[s].avg_bytes_in = r.avg_in;
+    p.stages[s].avg_bytes_out = r.avg_out;
+    p.stages[s].applied_fraction = r.applied;
+  };
+  set(0, reg.all()[i1], stage1_record(input, i1));
+  set(1, reg.all()[i2], stage2_record(input, i1, i2));
+  set(2, reg.reducers()[i3], stage3_record(input, i1, i2, i3));
+}
+
+gpusim::PipelineStats Sweep::pipeline_stats(std::size_t i1, std::size_t i2,
+                                            std::size_t i3,
+                                            std::size_t input) const {
+  gpusim::PipelineStats p;
+  fill_pipeline_stats(i1, i2, i3, input, p);
+  return p;
+}
+
+double Sweep::throughput(std::size_t i1, std::size_t i2, std::size_t i3,
+                         std::size_t input, const gpusim::GpuSpec& gpu,
+                         gpusim::Toolchain tc, gpusim::OptLevel opt,
+                         gpusim::Direction dir) const {
+  return gpusim::simulate(pipeline_stats(i1, i2, i3, input), gpu, tc, opt, dir)
+      .throughput_gbps;
+}
+
+double Sweep::geomean_throughput(std::size_t i1, std::size_t i2,
+                                 std::size_t i3, const gpusim::GpuSpec& gpu,
+                                 gpusim::Toolchain tc, gpusim::OptLevel opt,
+                                 gpusim::Direction dir) const {
+  thread_local gpusim::PipelineStats scratch;
+  double log_sum = 0.0;
+  for (std::size_t in = 0; in < num_inputs(); ++in) {
+    fill_pipeline_stats(i1, i2, i3, in, scratch);
+    log_sum += std::log(
+        gpusim::simulate(scratch, gpu, tc, opt, dir).throughput_gbps);
+  }
+  return std::exp(log_sum / static_cast<double>(num_inputs()));
+}
+
+const StageRecord& Sweep::stage1_record(std::size_t input,
+                                        std::size_t i1) const {
+  return s1_[input][i1];
+}
+
+const StageRecord& Sweep::stage2_record(std::size_t input, std::size_t i1,
+                                        std::size_t i2) const {
+  return s2_[input][i1 * n_ + i2];
+}
+
+const StageRecord& Sweep::stage3_record(std::size_t input, std::size_t i1,
+                                        std::size_t i2, std::size_t i3) const {
+  return s3_[input][(i1 * n_ + i2) * r_ + i3];
+}
+
+std::uint64_t Sweep::pipeline_id(std::size_t i1, std::size_t i2,
+                                 std::size_t i3) const {
+  return pipeline_ids_[(i1 * n_ + i2) * r_ + i3];
+}
+
+std::uint64_t Sweep::fingerprint() const {
+  std::uint64_t h = hash_string("sweep");
+  std::uint64_t scale_bits = 0;
+  static_assert(sizeof(scale_bits) == sizeof(config_.scale));
+  std::memcpy(&scale_bits, &config_.scale, sizeof(scale_bits));
+  h = hash_combine(h, scale_bits);
+  h = hash_combine(h, config_.chunks_per_input);
+  h = hash_combine(h, config_.seed_salt);
+  h = hash_combine(h, config_.double_precision ? 2 : 1);
+  for (const std::string& name : input_names_) {
+    h = hash_combine(h, hash_string(name));
+  }
+  h = hash_combine(h, n_);
+  h = hash_combine(h, r_);
+  return h;
+}
+
+bool Sweep::save_cache(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kCacheMagic, sizeof(kCacheMagic));
+  const std::uint64_t fp = fingerprint();
+  out.write(reinterpret_cast<const char*>(&fp), sizeof(fp));
+  const std::uint64_t inputs = input_names_.size();
+  out.write(reinterpret_cast<const char*>(&inputs), sizeof(inputs));
+  for (std::size_t i = 0; i < input_names_.size(); ++i) {
+    out.write(reinterpret_cast<const char*>(&file_bytes_[i]),
+              sizeof(double));
+    const auto write_vec = [&out](const std::vector<StageRecord>& v) {
+      const std::uint64_t sz = v.size();
+      out.write(reinterpret_cast<const char*>(&sz), sizeof(sz));
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(sz * sizeof(StageRecord)));
+    };
+    write_vec(s1_[i]);
+    write_vec(s2_[i]);
+    write_vec(s3_[i]);
+  }
+  return static_cast<bool>(out);
+}
+
+bool Sweep::load_cache(const std::string& path, std::uint64_t fingerprint,
+                       Sweep& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kCacheMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return false;
+  std::uint64_t fp = 0;
+  in.read(reinterpret_cast<char*>(&fp), sizeof(fp));
+  if (!in || fp != fingerprint) return false;
+  std::uint64_t inputs = 0;
+  in.read(reinterpret_cast<char*>(&inputs), sizeof(inputs));
+  if (!in || inputs != out.input_names_.size()) return false;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    in.read(reinterpret_cast<char*>(&out.file_bytes_[i]), sizeof(double));
+    const auto read_vec = [&in](std::vector<StageRecord>& v,
+                                std::size_t expect) {
+      std::uint64_t sz = 0;
+      in.read(reinterpret_cast<char*>(&sz), sizeof(sz));
+      if (!in || sz != expect) return false;
+      v.resize(sz);
+      in.read(reinterpret_cast<char*>(v.data()),
+              static_cast<std::streamsize>(sz * sizeof(StageRecord)));
+      return static_cast<bool>(in);
+    };
+    if (!read_vec(out.s1_[i], out.n_)) return false;
+    if (!read_vec(out.s2_[i], out.n_ * out.n_)) return false;
+    if (!read_vec(out.s3_[i], out.n_ * out.n_ * out.r_)) return false;
+  }
+  return true;
+}
+
+Sweep Sweep::load_or_compute(const SweepConfig& config, ThreadPool& pool) {
+  const std::string path =
+      config.cache_path.empty() ? "lc_sweep_cache.bin" : config.cache_path;
+
+  // Build the skeleton so the fingerprint (which covers the resolved
+  // input list) can be computed before deciding to load.
+  Sweep skeleton;
+  skeleton.config_ = config;
+  const Registry& reg = Registry::instance();
+  skeleton.n_ = reg.all().size();
+  skeleton.r_ = reg.reducers().size();
+  std::vector<std::string> names = config.inputs;
+  if (names.empty()) {
+    for (const auto& f : data::sp_files()) names.push_back(f.name);
+  }
+  skeleton.input_names_ = names;
+  skeleton.file_bytes_.resize(names.size());
+  skeleton.nominal_bytes_.resize(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    skeleton.nominal_bytes_[i] =
+        data::sp_file_by_name(names[i]).paper_size_mb * 1024.0 * 1024.0;
+  }
+  skeleton.s1_.resize(names.size());
+  skeleton.s2_.resize(names.size());
+  skeleton.s3_.resize(names.size());
+
+  if (config.use_cache &&
+      load_cache(path, skeleton.fingerprint(), skeleton)) {
+    // Pipeline ids are cheap; recompute rather than cache.
+    skeleton.pipeline_ids_.resize(skeleton.n_ * skeleton.n_ * skeleton.r_);
+    for (std::size_t i1 = 0; i1 < skeleton.n_; ++i1) {
+      for (std::size_t i2 = 0; i2 < skeleton.n_; ++i2) {
+        for (std::size_t i3 = 0; i3 < skeleton.r_; ++i3) {
+          const std::string spec = reg.all()[i1]->name() + " " +
+                                   reg.all()[i2]->name() + " " +
+                                   reg.reducers()[i3]->name();
+          skeleton.pipeline_ids_[(i1 * skeleton.n_ + i2) * skeleton.r_ + i3] =
+              hash_string(spec);
+        }
+      }
+    }
+    return skeleton;
+  }
+
+  Sweep sweep = compute(config, pool);
+  if (config.use_cache && !sweep.save_cache(path)) {
+    std::fprintf(stderr, "charlab: warning: could not write cache %s\n",
+                 path.c_str());
+  }
+  return sweep;
+}
+
+}  // namespace lc::charlab

@@ -1,0 +1,159 @@
+#ifndef LC_CHARLAB_SWEEP_H
+#define LC_CHARLAB_SWEEP_H
+
+/// \file sweep.h
+/// The characterization sweep engine: measures the data-dependent
+/// statistics of every one of the 107,632 three-stage pipelines on every
+/// input, exactly once, by exploiting the tree structure of the pipeline
+/// space — there are only 62 distinct stage-1 computations, 62*62 = 3,844
+/// distinct stage-2 computations, and 62*62*28 stage-3 computations per
+/// input, because a stage's input depends only on the pipeline prefix.
+///
+/// The sweep runs every component for real on sampled 16 kB chunks of
+/// the synthetic SP inputs and records, per (prefix, stage), the average
+/// input/output sizes and the copy-fallback application rate. These feed
+/// the gpusim timing model; GPU/compiler/opt-level combinations are then
+/// evaluated analytically without re-running any transform.
+///
+/// Results are cached on disk (binary, config-fingerprinted) so every
+/// figure bench after the first reuses one sweep.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/sp_dataset.h"
+#include "gpusim/cost_model.h"
+#include "lc/registry.h"
+
+namespace lc::charlab {
+
+struct SweepConfig {
+  /// Size scale applied to the Table 3 file sizes.
+  double scale = data::kDefaultScale;
+  /// 16 kB chunks sampled per input (evenly spaced).
+  std::size_t chunks_per_input = 2;
+  /// Perturbs the synthetic data streams.
+  std::uint64_t seed_salt = 0;
+  /// Measure on the double-precision companion dataset instead of the SP
+  /// files (the word-size extension study).
+  bool double_precision = false;
+  /// Input subset; empty = all 13 SP files.
+  std::vector<std::string> inputs;
+  /// Cache file; empty = "lc_sweep_cache.bin" in the working directory.
+  std::string cache_path;
+  /// Set false to force recomputation.
+  bool use_cache = true;
+};
+
+/// Per-(prefix, input) stage measurement (compact form of
+/// gpusim::StageStats).
+struct StageRecord {
+  float avg_in = 0.0f;    ///< mean stage input bytes per chunk
+  float avg_out = 0.0f;   ///< mean component output bytes per chunk
+  float applied = 1.0f;   ///< copy-fallback application rate
+};
+
+/// The completed sweep. Indexing convention: i1, i2 in [0, 62) index
+/// Registry::all(); i3 in [0, 28) indexes Registry::reducers().
+class Sweep {
+ public:
+  /// Load from cache if compatible, else compute (and write the cache).
+  [[nodiscard]] static Sweep load_or_compute(
+      const SweepConfig& config, ThreadPool& pool = ThreadPool::global());
+
+  /// Compute unconditionally (no cache I/O).
+  [[nodiscard]] static Sweep compute(const SweepConfig& config,
+                                     ThreadPool& pool);
+
+  [[nodiscard]] const SweepConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept {
+    return input_names_;
+  }
+  [[nodiscard]] std::size_t num_inputs() const noexcept {
+    return input_names_.size();
+  }
+  [[nodiscard]] std::size_t num_components() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_reducers() const noexcept { return r_; }
+  [[nodiscard]] std::size_t num_pipelines() const noexcept {
+    return n_ * n_ * r_;
+  }
+
+  /// The components backing index i1/i2 and i3.
+  [[nodiscard]] const Component& component(std::size_t i) const {
+    return *Registry::instance().all()[i];
+  }
+  [[nodiscard]] const Component& reducer(std::size_t i3) const {
+    return *Registry::instance().reducers()[i3];
+  }
+
+  /// Assemble the gpusim input for one (pipeline, input) pair.
+  [[nodiscard]] gpusim::PipelineStats pipeline_stats(std::size_t i1,
+                                                     std::size_t i2,
+                                                     std::size_t i3,
+                                                     std::size_t input) const;
+
+  /// Allocation-free variant for hot loops: fills `out` in place.
+  void fill_pipeline_stats(std::size_t i1, std::size_t i2, std::size_t i3,
+                           std::size_t input,
+                           gpusim::PipelineStats& out) const;
+
+  /// Modeled throughput (GB/s) for one pipeline on one input.
+  [[nodiscard]] double throughput(std::size_t i1, std::size_t i2,
+                                  std::size_t i3, std::size_t input,
+                                  const gpusim::GpuSpec& gpu,
+                                  gpusim::Toolchain tc, gpusim::OptLevel opt,
+                                  gpusim::Direction dir) const;
+
+  /// Geometric-mean throughput across all inputs (the paper's per-pipeline
+  /// aggregate, §5).
+  [[nodiscard]] double geomean_throughput(std::size_t i1, std::size_t i2,
+                                          std::size_t i3,
+                                          const gpusim::GpuSpec& gpu,
+                                          gpusim::Toolchain tc,
+                                          gpusim::OptLevel opt,
+                                          gpusim::Direction dir) const;
+
+  /// Raw records (exposed for tests/ablations).
+  [[nodiscard]] const StageRecord& stage1_record(std::size_t input,
+                                                 std::size_t i1) const;
+  [[nodiscard]] const StageRecord& stage2_record(std::size_t input,
+                                                 std::size_t i1,
+                                                 std::size_t i2) const;
+  [[nodiscard]] const StageRecord& stage3_record(std::size_t input,
+                                                 std::size_t i1,
+                                                 std::size_t i2,
+                                                 std::size_t i3) const;
+  [[nodiscard]] double input_bytes(std::size_t input) const {
+    return file_bytes_[input];
+  }
+
+  /// Stable pipeline id (matches Pipeline::id() for the same spec).
+  [[nodiscard]] std::uint64_t pipeline_id(std::size_t i1, std::size_t i2,
+                                          std::size_t i3) const;
+
+ private:
+  Sweep() = default;
+
+  void compute_input(std::size_t input_index, const std::string& name,
+                     ThreadPool& pool);
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] bool save_cache(const std::string& path) const;
+  [[nodiscard]] static bool load_cache(const std::string& path,
+                                       std::uint64_t fingerprint, Sweep& out);
+
+  SweepConfig config_;
+  std::size_t n_ = 0;  ///< 62
+  std::size_t r_ = 0;  ///< 28
+  std::vector<std::string> input_names_;
+  std::vector<double> file_bytes_;
+  std::vector<double> nominal_bytes_;  ///< Table 3 sizes (model inputs)
+  // Flattened per input: stage1 [n], stage2 [n*n], stage3 [n*n*r].
+  std::vector<std::vector<StageRecord>> s1_, s2_, s3_;
+  std::vector<std::uint64_t> pipeline_ids_;  ///< [n*n*r]
+};
+
+}  // namespace lc::charlab
+
+#endif  // LC_CHARLAB_SWEEP_H

@@ -1,0 +1,102 @@
+#ifndef LC_COMMON_BITPACK_H
+#define LC_COMMON_BITPACK_H
+
+/// \file bitpack.h
+/// Dense bit packing used by the reducers (CLOG/HCLOG pack value
+/// remainders at arbitrary bit widths; RRE/RZE/RARE/RAZE pack bitmaps and
+/// k-bit slices). The writer accumulates into a 64-bit register and spills
+/// whole bytes; the reader mirrors it. Both are deliberately simple and
+/// fully bounds-checked on the read side, since readers run on untrusted
+/// compressed data.
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace lc {
+
+/// Append-only bit stream writer (LSB-first within the stream).
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+
+  BitWriter(const BitWriter&) = delete;
+  BitWriter& operator=(const BitWriter&) = delete;
+
+  /// Append the low `bits` bits of `v` (0 <= bits <= 64).
+  void put(std::uint64_t v, int bits) {
+    while (bits > 0) {
+      const int take = bits < 56 ? bits : 56;  // keep acc + take <= 64
+      const std::uint64_t chunk = (take == 64) ? v : (v & ((1ULL << take) - 1));
+      acc_ |= chunk << fill_;
+      fill_ += take;
+      while (fill_ >= 8) {
+        out_.push_back(static_cast<Byte>(acc_));
+        acc_ >>= 8;
+        fill_ -= 8;
+      }
+      v >>= take;
+      bits -= take;
+    }
+  }
+
+  /// Append a single bit.
+  void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Flush any partial byte (zero-padded). Must be called exactly once,
+  /// after the last put().
+  void finish() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<Byte>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+ private:
+  Bytes& out_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+/// Bounds-checked bit stream reader matching BitWriter's layout.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan in) : in_(in) {}
+
+  /// Read `bits` bits (0 <= bits <= 64). Throws CorruptDataError past end.
+  [[nodiscard]] std::uint64_t get(int bits) {
+    std::uint64_t v = 0;
+    int got = 0;
+    while (got < bits) {
+      if (fill_ == 0) {
+        LC_DECODE_REQUIRE(pos_ < in_.size(), "bit stream truncated");
+        acc_ = in_[pos_++];
+        fill_ = 8;
+      }
+      const int take = (bits - got) < fill_ ? (bits - got) : fill_;
+      const std::uint64_t chunk = acc_ & ((take == 64) ? ~0ULL : ((1ULL << take) - 1));
+      v |= chunk << got;
+      acc_ >>= take;
+      fill_ -= take;
+      got += take;
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  /// Bytes consumed so far, counting a partially-consumed byte as whole.
+  [[nodiscard]] std::size_t bytes_consumed() const noexcept { return pos_; }
+
+ private:
+  ByteSpan in_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+}  // namespace lc
+
+#endif  // LC_COMMON_BITPACK_H

@@ -1,0 +1,169 @@
+#ifndef LC_COMMON_BITS_H
+#define LC_COMMON_BITS_H
+
+/// \file bits.h
+/// Word-level bit manipulation primitives shared by the LC components:
+/// leading-zero counts, magnitude-sign (zigzag) mapping, negabinary
+/// mapping, and IEEE-754 field splitting. Everything here is branch-light
+/// and total (defined for every input word), which is what makes the
+/// component transforms lossless on arbitrary byte strings.
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace lc {
+
+/// Unsigned word types the component library instantiates over.
+template <typename T>
+concept Word = std::same_as<T, std::uint8_t> || std::same_as<T, std::uint16_t> ||
+               std::same_as<T, std::uint32_t> || std::same_as<T, std::uint64_t>;
+
+/// Number of value bits in a word type.
+template <Word T>
+inline constexpr int kBits = static_cast<int>(sizeof(T) * 8);
+
+/// Count of leading zero bits; defined as kBits<T> for zero.
+template <Word T>
+[[nodiscard]] constexpr int leading_zeros(T v) noexcept {
+  return std::countl_zero(v);
+}
+
+/// Two's complement -> magnitude-sign ("TCMS"). The sign moves to the
+/// least-significant bit so small-magnitude values (positive or negative)
+/// have many leading zero bits — the property the reducers exploit.
+/// Bijective on the full word range.
+template <Word T>
+[[nodiscard]] constexpr T to_magnitude_sign(T v) noexcept {
+  using S = std::make_signed_t<T>;
+  const S s = static_cast<S>(v);
+  // Classic zigzag: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+  return static_cast<T>((static_cast<T>(s) << 1) ^
+                        static_cast<T>(s >> (kBits<T> - 1)));
+}
+
+/// Inverse of to_magnitude_sign.
+template <Word T>
+[[nodiscard]] constexpr T from_magnitude_sign(T v) noexcept {
+  return static_cast<T>((v >> 1) ^ static_cast<T>(~(v & 1) + 1));
+}
+
+/// Alternating-bit mask 0b...1010 used by the negabinary mapping.
+template <Word T>
+inline constexpr T kNegabinaryMask = static_cast<T>(0xAAAAAAAAAAAAAAAAULL);
+
+/// Two's complement -> base (-2) ("TCNB"). Uses the well-known carry
+/// trick: nb = (v + M) ^ M with M = 0b...1010, in wrapping unsigned
+/// arithmetic. Bijective on the full word range.
+template <Word T>
+[[nodiscard]] constexpr T to_negabinary(T v) noexcept {
+  return static_cast<T>((v + kNegabinaryMask<T>) ^ kNegabinaryMask<T>);
+}
+
+/// Inverse of to_negabinary.
+template <Word T>
+[[nodiscard]] constexpr T from_negabinary(T v) noexcept {
+  return static_cast<T>((v ^ kNegabinaryMask<T>) - kNegabinaryMask<T>);
+}
+
+/// IEEE-754 field geometry for the float word sizes (4 and 8 bytes).
+template <Word T>
+struct FloatFields;
+
+template <>
+struct FloatFields<std::uint32_t> {
+  static constexpr int exponent_bits = 8;
+  static constexpr int fraction_bits = 23;
+  static constexpr std::uint32_t bias = 127;
+};
+
+template <>
+struct FloatFields<std::uint64_t> {
+  static constexpr int exponent_bits = 11;
+  static constexpr int fraction_bits = 52;
+  static constexpr std::uint64_t bias = 1023;
+};
+
+/// De-bias the exponent and rearrange an IEEE-754 word from
+/// [sign | exponent | fraction] to [exponent' | fraction | sign] ("DBEFS").
+/// The exponent de-bias is a modular subtraction inside the exponent
+/// field, so the mapping is bijective.
+template <Word T>
+  requires(sizeof(T) >= 4)
+[[nodiscard]] constexpr T debias_efs(T v) noexcept {
+  using F = FloatFields<T>;
+  constexpr T exp_mask = (T{1} << F::exponent_bits) - 1;
+  constexpr T frac_mask = (T{1} << F::fraction_bits) - 1;
+  const T sign = v >> (kBits<T> - 1);
+  const T exponent = (v >> F::fraction_bits) & exp_mask;
+  const T fraction = v & frac_mask;
+  const T debiased = (exponent - F::bias) & exp_mask;
+  return static_cast<T>((debiased << (F::fraction_bits + 1)) |
+                        (fraction << 1) | sign);
+}
+
+/// Inverse of debias_efs.
+template <Word T>
+  requires(sizeof(T) >= 4)
+[[nodiscard]] constexpr T rebias_efs(T v) noexcept {
+  using F = FloatFields<T>;
+  constexpr T exp_mask = (T{1} << F::exponent_bits) - 1;
+  constexpr T frac_mask = (T{1} << F::fraction_bits) - 1;
+  const T sign = v & 1;
+  const T fraction = (v >> 1) & frac_mask;
+  const T debiased = (v >> (F::fraction_bits + 1)) & exp_mask;
+  const T exponent = (debiased + F::bias) & exp_mask;
+  return static_cast<T>((sign << (kBits<T> - 1)) |
+                        (exponent << F::fraction_bits) | fraction);
+}
+
+/// Like debias_efs but rearranges to [exponent' | sign | fraction]
+/// ("DBESF").
+template <Word T>
+  requires(sizeof(T) >= 4)
+[[nodiscard]] constexpr T debias_esf(T v) noexcept {
+  using F = FloatFields<T>;
+  constexpr T exp_mask = (T{1} << F::exponent_bits) - 1;
+  constexpr T frac_mask = (T{1} << F::fraction_bits) - 1;
+  const T sign = v >> (kBits<T> - 1);
+  const T exponent = (v >> F::fraction_bits) & exp_mask;
+  const T fraction = v & frac_mask;
+  const T debiased = (exponent - F::bias) & exp_mask;
+  return static_cast<T>((debiased << (F::fraction_bits + 1)) |
+                        (sign << F::fraction_bits) | fraction);
+}
+
+/// Inverse of debias_esf.
+template <Word T>
+  requires(sizeof(T) >= 4)
+[[nodiscard]] constexpr T rebias_esf(T v) noexcept {
+  using F = FloatFields<T>;
+  constexpr T exp_mask = (T{1} << F::exponent_bits) - 1;
+  constexpr T frac_mask = (T{1} << F::fraction_bits) - 1;
+  const T fraction = v & frac_mask;
+  const T sign = (v >> F::fraction_bits) & 1;
+  const T debiased = (v >> (F::fraction_bits + 1)) & exp_mask;
+  const T exponent = (debiased + F::bias) & exp_mask;
+  return static_cast<T>((sign << (kBits<T> - 1)) |
+                        (exponent << F::fraction_bits) | fraction);
+}
+
+/// Load a word from (possibly unaligned) bytes, little-endian.
+template <Word T>
+[[nodiscard]] inline T load_word(const unsigned char* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;  // this reproduction targets little-endian hosts (asserted in tests)
+}
+
+/// Store a word to (possibly unaligned) bytes, little-endian.
+template <Word T>
+inline void store_word(unsigned char* p, T v) noexcept {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+}  // namespace lc
+
+#endif  // LC_COMMON_BITS_H

@@ -1,0 +1,48 @@
+#ifndef LC_COMMON_BYTES_H
+#define LC_COMMON_BYTES_H
+
+/// \file bytes.h
+/// Byte-buffer vocabulary types used across the library. Components
+/// consume a read-only view of their input and append to an owned output
+/// buffer; using one vocabulary everywhere keeps the interfaces uniform.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lc {
+
+using Byte = unsigned char;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+
+/// Append a span to an owned buffer.
+inline void append(Bytes& out, ByteSpan in) {
+  out.insert(out.end(), in.begin(), in.end());
+}
+
+/// Append a little-endian fixed-width integer.
+template <typename T>
+inline void append_le(Bytes& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<Byte>(v >> (8 * i)));
+  }
+}
+
+/// Read a little-endian fixed-width integer at `pos`; advances `pos`.
+/// Returns false if the span is too short.
+template <typename T>
+[[nodiscard]] inline bool read_le(ByteSpan in, std::size_t& pos, T& v) {
+  if (pos + sizeof(T) > in.size()) return false;
+  v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v = static_cast<T>(v | (static_cast<T>(in[pos + i]) << (8 * i)));
+  }
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace lc
+
+#endif  // LC_COMMON_BYTES_H

@@ -1,0 +1,42 @@
+#ifndef LC_COMMON_ERROR_H
+#define LC_COMMON_ERROR_H
+
+/// \file error.h
+/// Error handling for the LC reproduction: a single exception type plus
+/// check macros used at API boundaries and when parsing untrusted input
+/// (e.g. compressed containers).
+
+#include <stdexcept>
+#include <string>
+
+namespace lc {
+
+/// Exception thrown on malformed input, corrupt compressed data, or API
+/// misuse. All public entry points document when they throw.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown specifically when decoding encounters corrupt or truncated data.
+class CorruptDataError : public Error {
+ public:
+  explicit CorruptDataError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace lc
+
+/// Validate a condition that reflects input well-formedness (not a bug).
+#define LC_REQUIRE(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) throw ::lc::Error(std::string("LC: ") + (msg));   \
+  } while (0)
+
+/// Validate integrity of compressed data during decode.
+#define LC_DECODE_REQUIRE(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      throw ::lc::CorruptDataError(std::string("LC decode: ") + (msg));       \
+  } while (0)
+
+#endif  // LC_COMMON_ERROR_H

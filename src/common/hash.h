@@ -1,0 +1,96 @@
+#ifndef LC_COMMON_HASH_H
+#define LC_COMMON_HASH_H
+
+/// \file hash.h
+/// Deterministic hashing used for (a) reproducible synthetic-data
+/// generation and (b) the gpusim's per-pipeline dispersion model. Nothing
+/// here is cryptographic; reproducibility across runs and platforms is the
+/// only requirement.
+
+#include <cstdint>
+#include <string_view>
+
+namespace lc {
+
+/// splitmix64 finalizer — a fast, well-mixed 64-bit permutation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes order-sensitively.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a over a string, for seeding from names.
+[[nodiscard]] constexpr std::uint64_t hash_string(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over raw bytes — the container's integrity checksum. Not
+/// cryptographic; detects accidental corruption (bit flips, truncation
+/// survivors) like any archive checksum.
+[[nodiscard]] inline std::uint64_t hash_bytes(const unsigned char* data,
+                                              std::size_t size) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Map a hash to a double uniformly in [0, 1).
+[[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Small deterministic PRNG (splitmix64 stream) for synthetic data.
+class SplitMix {
+ public:
+  explicit constexpr SplitMix(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_unit() noexcept { return hash_to_unit(next()); }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_in(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_unit();
+  }
+
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t next_below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next() % n;
+  }
+
+  /// Approximately standard-normal deviate (sum of 4 uniforms, rescaled).
+  /// Adequate for synthetic signal shaping; not for statistics.
+  constexpr double next_gaussian() noexcept {
+    const double s = next_unit() + next_unit() + next_unit() + next_unit();
+    return (s - 2.0) * 1.732050807568877;  // variance 4/12 -> scale to ~1
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lc
+
+#endif  // LC_COMMON_HASH_H

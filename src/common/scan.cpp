@@ -1,0 +1,148 @@
+#include "common/scan.h"
+
+#include <atomic>
+#include <cstddef>
+
+namespace lc {
+namespace {
+
+/// Tile status for the decoupled look-back protocol. The whole status
+/// (flag + value) is packed into one 64-bit atomic so a single load
+/// observes a consistent pair, mirroring the GPU implementation's use of
+/// a flagged status word.
+enum : std::uint64_t {
+  kStatusInvalid = 0,
+  kStatusAggregate = 1,
+  kStatusPrefix = 2,
+};
+
+constexpr std::uint64_t pack_status(std::uint64_t flag, std::uint64_t value) {
+  // Chunk sizes are bounded far below 2^62 in practice; tests assert the
+  // precondition at the codec layer.
+  return (flag << 62) | (value & ((std::uint64_t{1} << 62) - 1));
+}
+
+constexpr std::uint64_t status_flag(std::uint64_t packed) { return packed >> 62; }
+constexpr std::uint64_t status_value(std::uint64_t packed) {
+  return packed & ((std::uint64_t{1} << 62) - 1);
+}
+
+}  // namespace
+
+std::uint64_t exclusive_scan_sequential(const std::vector<std::uint64_t>& values,
+                                        std::vector<std::uint64_t>& out) {
+  out.resize(values.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = total;
+    total += values[i];
+  }
+  return total;
+}
+
+std::uint64_t exclusive_scan_lookback(ThreadPool& pool,
+                                      const std::vector<std::uint64_t>& values,
+                                      std::vector<std::uint64_t>& out,
+                                      std::size_t tile_size) {
+  const std::size_t n = values.size();
+  out.resize(n);
+  if (n == 0) return 0;
+  if (tile_size == 0) tile_size = 1;
+  const std::size_t tiles = (n + tile_size - 1) / tile_size;
+
+  std::vector<std::atomic<std::uint64_t>> status(tiles);
+  for (auto& s : status) s.store(pack_status(kStatusInvalid, 0),
+                                 std::memory_order_relaxed);
+  std::atomic<std::uint64_t> grand_total{0};
+
+  parallel_for(pool, 0, tiles, [&](std::size_t t) {
+    const std::size_t lo = t * tile_size;
+    const std::size_t hi = std::min(n, lo + tile_size);
+
+    // Phase 1: local scan, publish the tile aggregate.
+    std::uint64_t aggregate = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = aggregate;  // local exclusive prefix, offset added below
+      aggregate += values[i];
+    }
+    if (t == 0) {
+      status[0].store(pack_status(kStatusPrefix, aggregate),
+                      std::memory_order_release);
+    } else {
+      status[t].store(pack_status(kStatusAggregate, aggregate),
+                      std::memory_order_release);
+    }
+
+    // Phase 2: decoupled look-back — walk predecessors, summing published
+    // aggregates, until a tile with a known inclusive prefix is found.
+    std::uint64_t exclusive = 0;
+    if (t > 0) {
+      std::size_t p = t - 1;
+      for (;;) {
+        const std::uint64_t s = status[p].load(std::memory_order_acquire);
+        const std::uint64_t flag = status_flag(s);
+        if (flag == kStatusPrefix) {
+          exclusive += status_value(s);
+          break;
+        }
+        if (flag == kStatusAggregate) {
+          exclusive += status_value(s);
+          if (p == 0) break;  // tile 0 publishes Prefix, but be safe
+          --p;
+          continue;
+        }
+        // Invalid: the predecessor has not published yet — spin, exactly
+        // like the GPU kernel polls the status word.
+        std::this_thread::yield();
+      }
+      status[t].store(pack_status(kStatusPrefix, exclusive + aggregate),
+                      std::memory_order_release);
+    }
+
+    for (std::size_t i = lo; i < hi; ++i) out[i] += exclusive;
+    if (hi == n) {
+      grand_total.store(exclusive + aggregate, std::memory_order_release);
+    }
+  });
+
+  return grand_total.load(std::memory_order_acquire);
+}
+
+std::uint64_t exclusive_scan_blocked(ThreadPool& pool,
+                                     const std::vector<std::uint64_t>& values,
+                                     std::vector<std::uint64_t>& out,
+                                     std::size_t block_size) {
+  const std::size_t n = values.size();
+  out.resize(n);
+  if (n == 0) return 0;
+  if (block_size == 0) block_size = 1;
+  const std::size_t blocks = (n + block_size - 1) / block_size;
+
+  // Phase 1: independent local scans, recording each block's sum.
+  std::vector<std::uint64_t> block_sums(blocks);
+  parallel_for(pool, 0, blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    std::uint64_t sum = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = sum;
+      sum += values[i];
+    }
+    block_sums[b] = sum;
+  });
+
+  // Phase 2: scan of the block sums (small; sequential).
+  std::vector<std::uint64_t> block_offsets;
+  const std::uint64_t total = exclusive_scan_sequential(block_sums, block_offsets);
+
+  // Phase 3: add block offsets.
+  parallel_for(pool, 0, blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    for (std::size_t i = lo; i < hi; ++i) out[i] += block_offsets[b];
+  });
+
+  return total;
+}
+
+}  // namespace lc

@@ -1,0 +1,44 @@
+#ifndef LC_COMMON_SCAN_H
+#define LC_COMMON_SCAN_H
+
+/// \file scan.h
+/// Parallel prefix sums over per-chunk sizes. The paper attributes the
+/// compiler-dependent framework overhead to exactly these two code paths
+/// (§6.1): the LC *encoder* propagates compressed-chunk offsets with
+/// Merrill & Garland's decoupled look-back single-pass scan, while the
+/// *decoder* uses a block-local scan. We implement both faithfully (as
+/// CPU analogues with atomics) and use them in the real codec; the gpusim
+/// compiler model charges them different costs per compiler.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace lc {
+
+/// Reference implementation: exclusive prefix sum of `values`.
+/// out[i] = sum(values[0..i)). Returns the total.
+std::uint64_t exclusive_scan_sequential(const std::vector<std::uint64_t>& values,
+                                        std::vector<std::uint64_t>& out);
+
+/// Single-pass decoupled look-back scan (Merrill & Garland, NVR-2016-002),
+/// the encoder-side strategy. Tiles are processed concurrently; each tile
+/// publishes its local aggregate, then resolves its exclusive prefix by
+/// scanning backwards over predecessor tile statuses until it meets a tile
+/// whose inclusive prefix is already known. Returns the total.
+std::uint64_t exclusive_scan_lookback(ThreadPool& pool,
+                                      const std::vector<std::uint64_t>& values,
+                                      std::vector<std::uint64_t>& out,
+                                      std::size_t tile_size = 256);
+
+/// Three-phase block scan (scan blocks in parallel, scan the block sums,
+/// add block offsets), the decoder-side strategy. Returns the total.
+std::uint64_t exclusive_scan_blocked(ThreadPool& pool,
+                                     const std::vector<std::uint64_t>& values,
+                                     std::vector<std::uint64_t>& out,
+                                     std::size_t block_size = 256);
+
+}  // namespace lc
+
+#endif  // LC_COMMON_SCAN_H

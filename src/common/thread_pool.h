@@ -1,0 +1,77 @@
+#ifndef LC_COMMON_THREAD_POOL_H
+#define LC_COMMON_THREAD_POOL_H
+
+/// \file thread_pool.h
+/// A fixed-size worker pool plus `parallel_for`. The LC codec parallelizes
+/// over 16 kB chunks exactly like the GPU original parallelizes over
+/// thread blocks; on the CPU each worker plays the role of a streaming
+/// multiprocessor draining a queue of chunk indices.
+///
+/// Design notes (per the C++ Core Guidelines concurrency rules): the pool
+/// owns its threads (RAII), tasks may not throw across the pool boundary —
+/// `parallel_for` captures the first exception and rethrows it on the
+/// calling thread — and all shared state is confined behind the mutex or
+/// atomics.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lc {
+
+/// Fixed-size thread pool with a simple shared queue.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw (wrap with parallel_for for
+  /// exception propagation).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed, never destroyed before
+  /// exit).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::vector<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for every i in [begin, end) across the pool, splitting the
+/// range into `size()*4` contiguous slices for load balance (chunk costs
+/// are data-dependent, exactly like GPU blocks). The first exception thrown
+/// by any invocation is rethrown on the calling thread after all slices
+/// finish. Runs inline when the range is tiny or the pool has one worker.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace lc
+
+#endif  // LC_COMMON_THREAD_POOL_H

@@ -1,0 +1,41 @@
+#ifndef LC_COMMON_VARINT_H
+#define LC_COMMON_VARINT_H
+
+/// \file varint.h
+/// LEB128 variable-length integers. RLE uses these for run/literal counts
+/// so short runs cost one byte; the container header uses them for sizes.
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace lc {
+
+/// Append an unsigned LEB128 varint.
+inline void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<Byte>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<Byte>(v));
+}
+
+/// Decode an unsigned LEB128 varint at `pos`; advances `pos`.
+/// Throws CorruptDataError on truncation or overlong (>10 byte) encoding.
+[[nodiscard]] inline std::uint64_t get_varint(ByteSpan in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    LC_DECODE_REQUIRE(pos < in.size(), "varint truncated");
+    const Byte b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  throw CorruptDataError("LC decode: varint too long");
+}
+
+}  // namespace lc
+
+#endif  // LC_COMMON_VARINT_H

@@ -1,0 +1,196 @@
+#include "data/sp_dataset.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace lc::data {
+namespace {
+
+template <typename F>
+void push_value(Bytes& out, F v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(F));
+  std::memcpy(out.data() + at, &v, sizeof(F));
+}
+
+/// Per-file generator tuning. The knobs control the statistics the LC
+/// components are sensitive to; values differ per file so the 13 inputs
+/// cover a spread of compressibility like the real dataset does.
+struct GenParams {
+  double repeat_fraction;   ///< fraction of floats inside exact-repeat runs
+  double zero_fraction;     ///< fraction of floats inside zero runs
+  double mean_run;          ///< mean length of repeat/zero runs (floats)
+  double smoothness;        ///< step size of the smooth component (smaller
+                            ///  = smoother = better for predictors)
+  double noise;             ///< white-noise amplitude mixed in
+  double quantum;           ///< quantization grid (0 = none)
+  double sentinel_fraction; ///< missing-data sentinel runs (obs files)
+};
+
+GenParams params_for(const SpFileInfo& info, SplitMix& rng) {
+  GenParams p{};
+  if (info.domain == "mpi") {
+    // MPI message buffers: stretches of exactly repeated 4-byte payload
+    // values plus a little zero padding. Repeat runs are kept moderate
+    // (mean ~4-6 floats) and zeros sparse: that matches the SP data's
+    // §6.4 behaviour, where RLE at the 4-byte granularity compresses but
+    // byte-granularity runs are too short for RLE_1 to win a chunk.
+    // Short runs (mostly 2-5 floats): long enough for 4-byte run-length
+    // coding to win, mostly too short to form 8-byte (double-word) runs.
+    p.repeat_fraction = rng.next_in(0.45, 0.60);
+    p.zero_fraction = rng.next_in(0.003, 0.012);
+    p.mean_run = rng.next_in(1.5, 2.5);
+    p.smoothness = rng.next_in(0.02, 0.2);
+    p.noise = rng.next_in(0.0, 0.05);
+    p.quantum = 0.0;
+    p.sentinel_fraction = 0.0;
+  } else if (info.domain == "simulation") {
+    // Numeric simulation fields: smooth, exact repeats rare.
+    p.repeat_fraction = rng.next_in(0.0, 0.04);
+    p.zero_fraction = rng.next_in(0.0, 0.006);
+    p.mean_run = rng.next_in(2.0, 4.0);
+    p.smoothness = rng.next_in(0.001, 0.02);
+    p.noise = rng.next_in(0.0, 0.01);
+    p.quantum = 0.0;
+    p.sentinel_fraction = 0.0;
+  } else {
+    // Observations: quantized, noisy, with missing-data sentinels.
+    p.repeat_fraction = rng.next_in(0.08, 0.20);
+    p.zero_fraction = rng.next_in(0.0, 0.01);
+    p.mean_run = rng.next_in(1.5, 2.5);
+    p.smoothness = rng.next_in(0.05, 0.5);
+    p.noise = rng.next_in(0.05, 0.3);
+    p.quantum = rng.next_in(0.001, 0.02);
+    p.sentinel_fraction = rng.next_in(0.01, 0.05);
+  }
+  return p;
+}
+
+}  // namespace
+
+const std::vector<SpFileInfo>& sp_files() {
+  // Table 3, in order; the SP files are the single-precision halves of
+  // the FP dataset, hence the familiar names.
+  static const std::vector<SpFileInfo> files = {
+      {"msg_bt", 133.2, "mpi"},
+      {"msg_lu", 97.1, "mpi"},
+      {"msg_sp", 145.1, "mpi"},
+      {"msg_sppm", 139.5, "mpi"},
+      {"msg_sweep3d", 62.9, "mpi"},
+      {"num_brain", 70.9, "simulation"},
+      {"num_comet", 53.7, "simulation"},
+      {"num_control", 79.8, "simulation"},
+      {"num_plasma", 17.5, "simulation"},
+      {"obs_error", 31.1, "observation"},
+      {"obs_info", 9.5, "observation"},
+      {"obs_spitzer", 99.1, "observation"},
+      {"obs_temp", 20.0, "observation"},
+  };
+  return files;
+}
+
+const SpFileInfo& sp_file_by_name(std::string_view name) {
+  for (const SpFileInfo& f : sp_files()) {
+    if (f.name == name) return f;
+  }
+  throw Error("unknown SP file '" + std::string(name) + "'");
+}
+
+template <typename F>
+Bytes generate_file_impl(std::string_view name, double scale,
+                         std::uint64_t seed_salt) {
+  const SpFileInfo& info = sp_file_by_name(name);
+  LC_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  // The same number of values as the SP file at this scale, regardless of
+  // the value width.
+  const std::size_t floats = static_cast<std::size_t>(
+      info.paper_size_mb * 1024.0 * 1024.0 * scale / 4.0);
+
+  SplitMix rng(hash_combine(hash_string(info.name), seed_salt));
+  const GenParams p = params_for(info, rng);
+
+  Bytes out;
+  out.reserve(floats * sizeof(F));
+
+  // The smooth carrier: a random walk plus two sinusoids, re-based
+  // occasionally (field boundaries / timesteps).
+  double base = rng.next_in(-100.0, 100.0);
+  double walk = 0.0;
+  double phase1 = rng.next_unit() * 6.28318, phase2 = rng.next_unit() * 6.28318;
+  const double freq1 = rng.next_in(0.001, 0.02);
+  const double freq2 = rng.next_in(0.0001, 0.002);
+  std::size_t t = 0;
+
+  while (out.size() < floats * sizeof(F)) {
+    const double dice = rng.next_unit();
+    const std::size_t remaining = floats - out.size() / sizeof(F);
+
+    if (dice < p.repeat_fraction / p.mean_run) {
+      // Exact-repeat run of the current value: 2 or 3 floats. A run of
+      // 2-3 equal floats is a run at the 4-byte granularity but (almost)
+      // never at the 8-byte granularity — the word-size asymmetry §6.4
+      // reports for the SP data.
+      const std::size_t run =
+          std::min<std::size_t>(remaining, 2 + rng.next_below(2));
+      const F v = static_cast<F>(base + walk);
+      for (std::size_t i = 0; i < run; ++i) push_value<F>(out, v);
+      t += run;
+      // Move the carrier visibly so back-to-back repeat events cannot
+      // merge into one long run (the step is far above float epsilon at
+      // the carrier's magnitude).
+      walk += rng.next_in(0.5, 1.5) * (rng.next_unit() < 0.5 ? -0.02 : 0.02) *
+              (1.0 + 50.0 * p.smoothness);
+      continue;
+    }
+    if (dice < p.repeat_fraction / p.mean_run + p.zero_fraction) {
+      // Zeros appear isolated or in pairs (missing samples, padding
+      // words), not in long blocks: word-granularity zero reducers (RZE)
+      // profit, byte-granularity run-length coding does not — matching
+      // the SP data's §6.4 behaviour.
+      const std::size_t run =
+          std::min<std::size_t>(remaining, 1 + rng.next_below(2));
+      for (std::size_t i = 0; i < run; ++i) push_value<F>(out, F{0});
+      t += run;
+      continue;
+    }
+    if (p.sentinel_fraction > 0.0 &&
+        dice < (p.repeat_fraction + p.zero_fraction + p.sentinel_fraction) /
+                   p.mean_run) {
+      const std::size_t run =
+          std::min<std::size_t>(remaining, 1 + rng.next_below(4));
+      for (std::size_t i = 0; i < run; ++i) push_value<F>(out, F{-9999});
+      t += run;
+      continue;
+    }
+    if (dice > 0.999) {
+      // Field boundary: re-base the carrier.
+      base = rng.next_in(-1000.0, 1000.0);
+      walk = 0.0;
+    }
+
+    // One smooth sample.
+    walk += rng.next_gaussian() * p.smoothness;
+    double v = base + walk + 3.0 * std::sin(phase1 + freq1 * t) +
+               11.0 * std::sin(phase2 + freq2 * t) +
+               rng.next_gaussian() * p.noise;
+    if (p.quantum > 0.0) v = std::round(v / p.quantum) * p.quantum;
+    push_value<F>(out, static_cast<F>(v));
+    ++t;
+  }
+  return out;
+}
+
+Bytes generate_sp_file(std::string_view name, double scale,
+                       std::uint64_t seed_salt) {
+  return generate_file_impl<float>(name, scale, seed_salt);
+}
+
+Bytes generate_dp_file(std::string_view name, double scale,
+                       std::uint64_t seed_salt) {
+  return generate_file_impl<double>(name, scale, seed_salt);
+}
+
+}  // namespace lc::data

@@ -1,0 +1,73 @@
+#ifndef LC_DATA_SP_DATASET_H
+#define LC_DATA_SP_DATASET_H
+
+/// \file sp_dataset.h
+/// Synthetic stand-in for the SP dataset (Table 3): 13 single-precision
+/// floating-point files from three domains — MPI message traces (msg_*),
+/// numeric simulation results (num_*), and observational data (obs_*).
+/// The real dataset is not redistributable here; these generators are
+/// built so the *component-level statistics that drive the paper's
+/// figures* match the real data's qualitative behaviour:
+///
+///  * msg_* files contain runs of exactly repeated 4-byte floats and zero
+///    stretches (so RLE_4/RZE_4 compress on most chunks while RLE at
+///    other word sizes usually fails — the §6.4 / Fig. 11 mechanism);
+///  * num_* files are smooth simulation fields (predictors produce small
+///    residuals; exact repeats are rare);
+///  * obs_* files are quantized noisy observations with occasional
+///    missing-data sentinel runs.
+///
+/// File names and relative sizes follow Table 3 (the SP files are the
+/// single-precision halves of Burtscher & Ratanaworabhan's FP dataset).
+/// Sizes are scaled down by default; pass scale = 1.0 to synthesize
+/// paper-sized files.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace lc::data {
+
+/// Metadata for one SP file.
+struct SpFileInfo {
+  std::string name;        ///< e.g. "msg_bt"
+  double paper_size_mb;    ///< Table 3 size in MB
+  std::string domain;      ///< "mpi", "simulation", or "observation"
+};
+
+/// The 13 files of Table 3, in the paper's order.
+[[nodiscard]] const std::vector<SpFileInfo>& sp_files();
+
+/// Lookup by name; throws lc::Error when unknown.
+[[nodiscard]] const SpFileInfo& sp_file_by_name(std::string_view name);
+
+/// Default size scale for experiments: 1/64 of the paper's sizes
+/// (9.5 MB ... 145 MB become ~150 kB ... 2.3 MB), which keeps the full
+/// 107,632-pipeline sweep tractable on a laptop-class machine while
+/// leaving every file larger than several 16 kB chunks.
+inline constexpr double kDefaultScale = 1.0 / 64.0;
+
+/// Deterministically synthesize one SP file's contents.
+/// `scale` multiplies the Table 3 size (rounded down to whole floats).
+/// `seed_salt` perturbs the stream for sensitivity studies.
+[[nodiscard]] Bytes generate_sp_file(std::string_view name,
+                                     double scale = kDefaultScale,
+                                     std::uint64_t seed_salt = 0);
+
+/// Double-precision companion of generate_sp_file: the same signal per
+/// file name, emitted as IEEE-754 doubles (the FP-dataset counterpart of
+/// the SP files). Used by the word-size extension study, which mirrors
+/// Azami & Burtscher's observation (paper §2) that the preferred
+/// component word size follows the input's value width: repeat runs align
+/// at 8 bytes here instead of 4. The byte size equals the SP file's
+/// scaled size times two.
+[[nodiscard]] Bytes generate_dp_file(std::string_view name,
+                                     double scale = kDefaultScale,
+                                     std::uint64_t seed_salt = 0);
+
+}  // namespace lc::data
+
+#endif  // LC_DATA_SP_DATASET_H

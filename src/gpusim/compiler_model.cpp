@@ -1,0 +1,104 @@
+#include "gpusim/compiler_model.h"
+
+#include "common/error.h"
+
+namespace lc::gpusim {
+
+const char* to_string(Toolchain t) noexcept {
+  switch (t) {
+    case Toolchain::kNvcc: return "NVCC";
+    case Toolchain::kClang: return "Clang";
+    case Toolchain::kHipcc: return "HIPCC";
+  }
+  return "?";
+}
+
+const char* to_string(OptLevel o) noexcept {
+  return o == OptLevel::kO1 ? "-O1" : "-O3";
+}
+
+const char* to_string(Direction d) noexcept {
+  return d == Direction::kEncode ? "encode" : "decode";
+}
+
+std::vector<Toolchain> toolchains_for(Vendor vendor) {
+  if (vendor == Vendor::kNvidia) {
+    return {Toolchain::kNvcc, Toolchain::kClang, Toolchain::kHipcc};
+  }
+  return {Toolchain::kHipcc};
+}
+
+CompilerFactors compiler_factors(Toolchain tc, Vendor vendor, OptLevel opt,
+                                 Direction dir) {
+  LC_REQUIRE(vendor == Vendor::kNvidia || tc == Toolchain::kHipcc,
+             "only HIPCC can target AMD GPUs");
+
+  CompilerFactors f;
+  const bool encode = (dir == Direction::kEncode);
+
+  switch (tc) {
+    case Toolchain::kNvcc:
+      // Baseline. §6.5: NVCC's -O1 vs -O3 difference is negligible; we
+      // model -O1 as ~1.5% slower kernels so Fig. 14/15 shows speedups
+      // hugging 1.0.
+      f.kernel_cycle_factor = (opt == OptLevel::kO1) ? 1.015 : 1.0;
+      f.framework_overhead_us = encode ? 5.0 : 4.0;
+      f.launch_overhead_us = 3.0;
+      break;
+
+    case Toolchain::kClang:
+      // §6.1/§7: Clang is consistently slower for encoding and faster
+      // for decoding than NVCC/HIPCC, and the difference is localized in
+      // the pipeline-independent framework paths: the encoder's
+      // decoupled look-back costs noticeably more, the decoder's block
+      // scan noticeably less. Kernel bodies are near parity (gpucc
+      // reported "on par" performance).
+      f.kernel_cycle_factor = encode ? 1.04 : 0.97;
+      f.warp_op_factor = encode ? 1.10 : 0.95;
+      f.framework_overhead_us = encode ? 11.0 : 2.5;
+      f.launch_overhead_us = encode ? 4.5 : 2.5;
+      // §6.5: Clang's -O3 *hurts* most encoders relative to -O1 (median
+      // speedup below 1.0 on every NVIDIA GPU) and helps decoders by
+      // just under 10%.
+      if (opt == OptLevel::kO1) {
+        f.kernel_cycle_factor *= encode ? 0.96 : 1.07;
+        f.framework_overhead_us *= encode ? 0.97 : 1.05;
+      }
+      break;
+
+    case Toolchain::kHipcc:
+      if (vendor == Vendor::kNvidia) {
+        // §3.1: HIPCC targeting NVIDIA simply invokes NVCC with the HIP
+        // headers; §6.1 finds the result indistinguishable from NVCC.
+        // We model a hair of header/wrapper overhead.
+        f.kernel_cycle_factor = (opt == OptLevel::kO1) ? 1.017 : 1.002;
+        f.framework_overhead_us = encode ? 5.1 : 4.1;
+        f.launch_overhead_us = 3.1;
+        // §4: HIP lacks block-scope atomics; the fallback to device
+        // scope costs a little on kernels that used them.
+        f.block_atomic_factor = 1.03;
+      } else {
+        // HIPCC on AMD: §6.5 shows -O1 vs -O3 is essentially flat.
+        f.kernel_cycle_factor = (opt == OptLevel::kO1) ? 1.01 : 1.0;
+        f.framework_overhead_us = encode ? 6.0 : 4.5;
+        f.launch_overhead_us = 3.5;
+        f.block_atomic_factor = 1.03;
+      }
+      break;
+  }
+  return f;
+}
+
+double arch_component_quirk(std::string_view component_name,
+                            const GpuSpec& gpu) noexcept {
+  // §6.4: "the HCLOG components also have markedly lower throughputs ...
+  // especially on the 7900 XTX. On the MI100 ... the HCLOG behavior is
+  // closer to that on the NVIDIA GPUs." RDNA3's dual-issue lanes handle
+  // HCLOG's divergent TCMS-rescue path poorly.
+  if (gpu.arch == "gfx1100" && component_name.rfind("HCLOG", 0) == 0) {
+    return 2.8;
+  }
+  return 1.0;
+}
+
+}  // namespace lc::gpusim

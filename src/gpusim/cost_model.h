@@ -1,0 +1,109 @@
+#ifndef LC_GPUSIM_COST_MODEL_H
+#define LC_GPUSIM_COST_MODEL_H
+
+/// \file cost_model.h
+/// The kernel timing model: maps measured, data-dependent pipeline
+/// statistics (chunk sizes, copy-fallback application rates) plus the
+/// static KernelTraits (Table 2 work/span classes, warp/sync/atomic
+/// usage) onto modeled execution times for a (GPU, toolchain, opt-level,
+/// direction) combination.
+///
+/// Model structure. LC generates ONE fused kernel per direction: each
+/// 16 kB chunk is loaded into shared memory once, all pipeline stages
+/// execute there, and the result is written out once (§7 of the paper
+/// notes this single-load property). Accordingly:
+///
+///   t = max(compute, memory) + launch + framework
+///     compute = sum over stages of lane-op cycles / (SMs * lanes * clock)
+///               + waves * per-chunk serial cycles (span ladder + barriers)
+///     memory  = (uncompressed bytes + compressed bytes) / bandwidth
+///     launch  = one kernel launch per direction
+///     framework = offset propagation: decoupled look-back (encode) or
+///                 block-local scan (decode); per-compiler cost (§6.1)
+///
+/// During ENCODING every component always runs (its output may be
+/// discarded by the copy-fallback), so encode cost is charged in full.
+/// During DECODING a stage skipped by the fallback costs nothing — the
+/// mechanism behind the paper's RLE word-size findings (§6.4). A
+/// deterministic per-(pipeline, GPU, compiler) dispersion factor gives
+/// populations the spread of real measurements without nondeterminism.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/compiler_model.h"
+#include "gpusim/gpu_model.h"
+#include "lc/component.h"
+
+namespace lc::gpusim {
+
+/// Measured statistics for one pipeline stage, averaged over the chunks
+/// of one input (produced by the charlab sweep from real encodes).
+struct StageStats {
+  const Component* component = nullptr;
+  double avg_bytes_in = 0.0;        ///< stage input per chunk (uncompressed side)
+  double avg_bytes_out = 0.0;       ///< component output per chunk (pre-fallback)
+  double applied_fraction = 1.0;    ///< fraction of chunks where it was kept
+};
+
+/// Measured statistics for one (pipeline, input) pair.
+struct PipelineStats {
+  std::uint64_t pipeline_id = 0;    ///< Pipeline::id()
+  double input_bytes = 0.0;         ///< nominal uncompressed input size
+  double chunk_count = 0.0;         ///< nominal chunk count for that size
+  std::vector<StageStats> stages;   ///< in pipeline order
+};
+
+/// One modeled execution.
+struct TimingResult {
+  double seconds = 0.0;
+  double throughput_gbps = 0.0;  ///< uncompressed bytes / second / 1e9
+};
+
+/// Per-stage cost decomposition (exposed for tests and ablations).
+struct StageCost {
+  double lane_ops = 0.0;            ///< total lane-op cycles, pre-division
+  double serial_cycles_per_wave = 0.0;  ///< span ladder + barrier cycles
+};
+
+/// Cost of one stage in one direction (already weighted by the decode
+/// fallback-skip rate when dir == kDecode).
+[[nodiscard]] StageCost stage_cost(const StageStats& stage,
+                                   const GpuSpec& gpu,
+                                   const CompilerFactors& f, Direction dir,
+                                   double chunk_count);
+
+/// Effective post-fallback output bytes per chunk of a stage.
+[[nodiscard]] double effective_stage_output(const StageStats& stage);
+
+/// Full decomposition of one modeled execution — the model's "explain
+/// plan", used by tests, the ablation benches and the ext_time_breakdown
+/// tool. simulate() is a thin wrapper over this.
+struct TimeBreakdown {
+  double compute_seconds = 0.0;    ///< lane-op cycles / machine width
+  double serial_seconds = 0.0;     ///< per-wave span ladders + barriers
+  double memory_seconds = 0.0;     ///< global traffic / bandwidth
+  double launch_seconds = 0.0;     ///< one fused kernel launch
+  double framework_seconds = 0.0;  ///< offset propagation (scan path)
+  double dispersion = 1.0;         ///< deterministic jitter factor
+  bool memory_bound = false;       ///< memory floor dominated the kernel
+  double waves = 1.0;
+  double total_seconds = 0.0;
+  /// Per-stage lane-op share, in pipeline order (encode order even for
+  /// decode, for easy correlation with the pipeline spec).
+  std::vector<double> stage_compute_seconds;
+};
+
+/// Decompose the modeled time of one direction of one pipeline.
+[[nodiscard]] TimeBreakdown explain(const PipelineStats& stats,
+                                    const GpuSpec& gpu, Toolchain tc,
+                                    OptLevel opt, Direction dir);
+
+/// Model the end-to-end time of one direction of one pipeline.
+[[nodiscard]] TimingResult simulate(const PipelineStats& stats,
+                                    const GpuSpec& gpu, Toolchain tc,
+                                    OptLevel opt, Direction dir);
+
+}  // namespace lc::gpusim
+
+#endif  // LC_GPUSIM_COST_MODEL_H

@@ -1,0 +1,52 @@
+#include "gpusim/gpu_model.h"
+
+#include "common/error.h"
+#include "lc/codec.h"
+
+namespace lc::gpusim {
+
+const char* to_string(Vendor v) noexcept {
+  return v == Vendor::kNvidia ? "NVIDIA" : "AMD";
+}
+
+const std::vector<GpuSpec>& all_gpus() {
+  // Clock/SM/thread/warp/memory columns are Tables 4 and 5 verbatim.
+  // Bandwidth and lane counts are the public specifications:
+  //   TITAN V 652.8 GB/s (HBM2), 64 FP32 lanes/SM (Volta)
+  //   3080 Ti 912.4 GB/s, 128 lanes/SM (Ampere)
+  //   4090    1008 GB/s, 128 lanes/SM (Ada)
+  //   MI100   1228.8 GB/s (HBM2), 64 lanes/CU (CDNA1)
+  //   7900XTX 960 GB/s, 128 lanes/CU (RDNA3 dual-issue)
+  static const std::vector<GpuSpec> gpus = {
+      // TITAN V: Table 4 says 24 SMs; GV100 silicon has 80 (see
+      // GpuSpec::model_sms).
+      {"TITAN V", Vendor::kNvidia, 1075.0, 24, 2048, 32, 12.0, "sm_70",
+       652.8, 64, 80},
+      {"RTX 3080 Ti", Vendor::kNvidia, 1755.0, 80, 1536, 32, 12.0, "sm_86",
+       912.4, 128, 80},
+      {"RTX 4090", Vendor::kNvidia, 2625.0, 128, 1536, 32, 24.0, "sm_89",
+       1008.0, 128, 128},
+      {"MI100", Vendor::kAmd, 1502.0, 120, 2560, 64, 32.0, "gfx908",
+       1228.8, 64, 120},
+      {"RX 7900 XTX", Vendor::kAmd, 2482.0, 96, 1024, 32, 24.0, "gfx1100",
+       960.0, 128, 96},
+  };
+  return gpus;
+}
+
+const GpuSpec& gpu_by_name(std::string_view name) {
+  for (const GpuSpec& g : all_gpus()) {
+    if (g.name == name) return g;
+  }
+  throw Error("unknown GPU '" + std::string(name) + "'");
+}
+
+int resident_blocks(const GpuSpec& gpu) noexcept {
+  return gpu.sms * (gpu.max_threads_per_sm / kThreadsPerBlock);
+}
+
+std::size_t bytes_to_fully_occupy(const GpuSpec& gpu) noexcept {
+  return static_cast<std::size_t>(resident_blocks(gpu)) * kChunkSize;
+}
+
+}  // namespace lc::gpusim

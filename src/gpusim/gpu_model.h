@@ -1,0 +1,62 @@
+#ifndef LC_GPUSIM_GPU_MODEL_H
+#define LC_GPUSIM_GPU_MODEL_H
+
+/// \file gpu_model.h
+/// GPU specifications and the occupancy model. The five GPUs are the
+/// paper's (Tables 4 and 5). LC launches one 512-thread block per 16 kB
+/// chunk, so the number of concurrently resident blocks — and therefore
+/// the input size that fully occupies a GPU — follows directly from the
+/// specs; the paper's worked examples (6 MB fills an RTX 4090, 9.375 MB
+/// fills an MI100) are asserted in tests.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lc::gpusim {
+
+enum class Vendor { kNvidia, kAmd };
+
+[[nodiscard]] const char* to_string(Vendor v) noexcept;
+
+/// One GPU's specification (Tables 4 & 5, plus the public memory
+/// bandwidth and per-SM lane count the timing model needs).
+struct GpuSpec {
+  std::string name;           ///< e.g. "RTX 4090"
+  Vendor vendor;
+  double clock_mhz;           ///< boost clock (paper's Tables 4/5)
+  int sms;                    ///< SMs (NVIDIA) or CUs (AMD)
+  int max_threads_per_sm;     ///< resident thread limit per SM/CU
+  int warp_size;              ///< 32, or 64 on the MI100
+  double memory_gb;
+  std::string arch;           ///< compute capability or gfx target
+  double mem_bandwidth_gbps;  ///< peak global-memory bandwidth
+  int lanes_per_sm;           ///< FP32/INT lanes per SM/CU
+  /// SM count used by the timing model. Equals `sms` except for the
+  /// TITAN V: Table 4 lists 24 SMs, but GV100 has 80 SMs / 5120 FP32
+  /// lanes (NVIDIA's published spec); we print the paper's table verbatim
+  /// and model the real silicon.
+  int model_sms;
+};
+
+/// LC's block size: 512 threads per chunk (§5).
+inline constexpr int kThreadsPerBlock = 512;
+
+/// All five tested GPUs, NVIDIA first (TITAN V, RTX 3080 Ti, RTX 4090,
+/// MI100, RX 7900 XTX).
+[[nodiscard]] const std::vector<GpuSpec>& all_gpus();
+
+/// Lookup by name; throws lc::Error when unknown.
+[[nodiscard]] const GpuSpec& gpu_by_name(std::string_view name);
+
+/// Blocks resident across the whole GPU at LC's 512-thread block size.
+[[nodiscard]] int resident_blocks(const GpuSpec& gpu) noexcept;
+
+/// Input bytes needed to fully occupy the GPU (one 16 kB chunk per
+/// resident block) — the paper's §5 occupancy argument.
+[[nodiscard]] std::size_t bytes_to_fully_occupy(const GpuSpec& gpu) noexcept;
+
+}  // namespace lc::gpusim
+
+#endif  // LC_GPUSIM_GPU_MODEL_H

@@ -1,0 +1,116 @@
+#ifndef LC_GPUSIM_SIMT_BLOCK_H
+#define LC_GPUSIM_SIMT_BLOCK_H
+
+/// \file block.h
+/// Block-level SIMT constructs on top of the warp engine: a thread block
+/// is a set of warps sharing a scratch memory and a barrier. The LC
+/// decoder's block-local prefix sum (§6.1) is implemented here the way
+/// the GPU kernel does it: warp-level scans, warp leaders publish their
+/// totals to shared memory, one warp scans the totals, and every warp
+/// adds its offset — with the barrier count recorded in ExecutionStats.
+
+#include <vector>
+
+#include "gpusim/simt/listing1.h"
+#include "gpusim/simt/warp.h"
+
+namespace lc::gpusim::simt {
+
+/// A thread block: `num_warps` warps of `warp_size` lanes plus shared
+/// memory. Values are held per-warp; block algorithms step the warps in
+/// lockstep phases separated by barriers, mirroring warp-synchronous GPU
+/// programming.
+class Block {
+ public:
+  Block(int num_warps, int warp_size, ExecutionStats* stats = nullptr)
+      : warp_(warp_size, stats), num_warps_(num_warps), stats_(stats) {
+    LC_REQUIRE(num_warps >= 1, "block needs at least one warp");
+  }
+
+  [[nodiscard]] int num_warps() const noexcept { return num_warps_; }
+  [[nodiscard]] int warp_size() const noexcept { return warp_.size(); }
+  [[nodiscard]] int num_threads() const noexcept {
+    return num_warps_ * warp_.size();
+  }
+  [[nodiscard]] const Warp& warp() const noexcept { return warp_; }
+
+  /// __syncthreads().
+  void barrier() const {
+    if (stats_) ++stats_->barriers;
+  }
+
+  /// Block-wide inclusive prefix sum of one value per thread.
+  /// `values.size()` must equal num_threads().
+  template <typename T>
+  [[nodiscard]] std::vector<T> inclusive_prefix_sum(
+      const std::vector<T>& values) const {
+    LC_REQUIRE(values.size() == static_cast<std::size_t>(num_threads()),
+               "one value per thread required");
+
+    // Phase 1: every warp scans its own lanes (Listing 1).
+    std::vector<WarpValue<T>> scanned;
+    scanned.reserve(num_warps_);
+    for (int w = 0; w < num_warps_; ++w) {
+      const std::vector<T> lanes(
+          values.begin() + static_cast<std::ptrdiff_t>(w * warp_.size()),
+          values.begin() + static_cast<std::ptrdiff_t>((w + 1) * warp_.size()));
+      scanned.push_back(warp_prefix_sum(WarpValue<T>(warp_, lanes)));
+    }
+
+    // Phase 2: warp leaders write their warp totals to shared memory.
+    std::vector<T> shared_totals(num_warps_);
+    for (int w = 0; w < num_warps_; ++w) {
+      shared_totals[w] = scanned[w][warp_.size() - 1];
+    }
+    barrier();
+
+    // Phase 3: the first warp scans the warp totals (they fit in one
+    // warp: LC blocks have 512 threads = 16 or 8 warps).
+    LC_REQUIRE(num_warps_ <= warp_.size(),
+               "warp-total scan requires num_warps <= warp size");
+    WarpValue<T> totals(warp_);
+    for (int w = 0; w < num_warps_; ++w) totals[w] = shared_totals[w];
+    const WarpValue<T> total_scan = warp_prefix_sum(totals);
+    barrier();
+
+    // Phase 4: every warp adds the exclusive sum of preceding warps.
+    std::vector<T> out(values.size());
+    for (int w = 0; w < num_warps_; ++w) {
+      const T offset = (w == 0) ? T{} : total_scan[w - 1];
+      const WarpValue<T> shifted = scanned[w].map(
+          [offset](T v, int) { return static_cast<T>(v + offset); });
+      for (int l = 0; l < warp_.size(); ++l) {
+        out[w * warp_.size() + l] = shifted[l];
+      }
+    }
+    return out;
+  }
+
+  /// Block-wide minimum (CLOG's per-subchunk reduction shape): warp mins,
+  /// leaders publish, first warp reduces.
+  template <typename T>
+  [[nodiscard]] T reduce_min(const std::vector<T>& values) const {
+    LC_REQUIRE(values.size() == static_cast<std::size_t>(num_threads()),
+               "one value per thread required");
+    WarpValue<T> partial(warp_);
+    for (int w = 0; w < num_warps_; ++w) {
+      const std::vector<T> lanes(
+          values.begin() + static_cast<std::ptrdiff_t>(w * warp_.size()),
+          values.begin() + static_cast<std::ptrdiff_t>((w + 1) * warp_.size()));
+      partial[w] = warp_min(WarpValue<T>(warp_, lanes))[0];
+    }
+    barrier();
+    // Unused upper lanes must not affect the result.
+    for (int l = num_warps_; l < warp_.size(); ++l) partial[l] = partial[0];
+    return warp_min(partial)[0];
+  }
+
+ private:
+  Warp warp_;
+  int num_warps_;
+  ExecutionStats* stats_;
+};
+
+}  // namespace lc::gpusim::simt
+
+#endif  // LC_GPUSIM_SIMT_BLOCK_H

@@ -1,0 +1,97 @@
+#ifndef LC_GPUSIM_SIMT_KERNELS_H
+#define LC_GPUSIM_SIMT_KERNELS_H
+
+/// \file kernels.h
+/// Warp-level renditions of LC component inner loops, written against the
+/// SIMT engine and cross-validated against the scalar component
+/// implementations in tests. These are the kernels whose architectural
+/// interactions the paper discusses:
+///
+///  * BIT_4/8's `__shfl_xor` butterfly bit transpose (§6.4, Fig. 10) —
+///    the implicit warp synchronization that separates the wide BIT
+///    variants' distribution shape from BIT_1/2's plain bitwise code;
+///  * RRE/RZE's ballot-driven stream compaction — each lane votes
+///    "keep/drop" for its word, a warp ballot packs the bitmap, and a
+///    popcount prefix gives each surviving lane its output slot.
+
+#include <bit>
+#include <cstdint>
+
+#include "gpusim/simt/warp.h"
+
+namespace lc::gpusim::simt {
+
+/// Warp bit-transpose step: every lane holds one 32-bit word; after the
+/// butterfly, lane l holds bit l of every input word, i.e. output lane l
+/// is bit-plane (31 - l) packed LSB-of-lane-0-first... Concretely this
+/// computes, for a 32-lane warp, out[l] = sum_k ((in[k] >> l) & 1) << k —
+/// the 32x32 bit-matrix transpose that BIT_4 runs per warp tile.
+///
+/// Implementation: the classic log2(32) = 5 round `__shfl_xor` + mask
+/// exchange (Hacker's Delight 7-3 adapted to warp shuffles). Each round
+/// exchanges a half-size bit block with the lane `mask` away.
+[[nodiscard]] inline WarpValue<std::uint32_t> warp_bit_transpose32(
+    const WarpValue<std::uint32_t>& input) {
+  LC_REQUIRE(input.size() >= 32, "needs at least 32 lanes");
+  WarpValue<std::uint32_t> v = input;
+  // Masks for block sizes 16, 8, 4, 2, 1.
+  constexpr std::uint32_t kBlockMask[5] = {0xFFFF0000u, 0xFF00FF00u,
+                                           0xF0F0F0F0u, 0xCCCCCCCCu,
+                                           0xAAAAAAAAu};
+  for (int round = 0; round < 5; ++round) {
+    const int lane_mask = 16 >> round;
+    const std::uint32_t bit_mask = kBlockMask[round];
+    const WarpValue<std::uint32_t> peer = shfl_xor(v, lane_mask);
+    v = v.zip(peer, [lane_mask, bit_mask](std::uint32_t mine,
+                                          std::uint32_t theirs, int lane) {
+      const bool upper = (lane & lane_mask) != 0;
+      // The upper lane keeps its high block and takes the peer's high
+      // block shifted down; the lower lane keeps its low block and takes
+      // the peer's low block shifted up.
+      if (upper) {
+        return static_cast<std::uint32_t>(
+            (mine & bit_mask) | ((theirs & bit_mask) >> lane_mask));
+      }
+      return static_cast<std::uint32_t>(
+          (mine & ~bit_mask) | ((theirs & ~bit_mask) << lane_mask));
+    });
+  }
+  return v;
+}
+
+/// Result of a warp stream compaction.
+struct WarpCompaction {
+  std::uint64_t drop_bitmap = 0;          ///< bit l set <=> lane l dropped
+  std::vector<std::uint32_t> survivors;   ///< kept words, in lane order
+};
+
+/// RRE/RZE's inner step on one warp tile: lanes whose `drop` predicate is
+/// set vote into a ballot (the compressed bitmap); surviving lanes
+/// compute their output slot as the popcount of keep-votes below them and
+/// write their word there — a warp-synchronous stream compaction.
+[[nodiscard]] inline WarpCompaction warp_compact(
+    const WarpValue<std::uint32_t>& words,
+    const WarpValue<std::uint32_t>& drop) {
+  WarpCompaction out;
+  out.drop_bitmap = ballot(drop);
+  const std::uint64_t keep_bits =
+      ~out.drop_bitmap &
+      (words.size() == 64 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << words.size()) - 1));
+  out.survivors.resize(static_cast<std::size_t>(std::popcount(keep_bits)));
+  // Each surviving lane scatters to popcount(keep_bits below it) — one
+  // lockstep op.
+  words.warp().charge_lane_ops();
+  for (int l = 0; l < words.size(); ++l) {
+    if ((keep_bits >> l) & 1) {
+      const std::uint64_t below = keep_bits & ((std::uint64_t{1} << l) - 1);
+      out.survivors[static_cast<std::size_t>(std::popcount(below))] =
+          words[l];
+    }
+  }
+  return out;
+}
+
+}  // namespace lc::gpusim::simt
+
+#endif  // LC_GPUSIM_SIMT_KERNELS_H

@@ -1,0 +1,73 @@
+#ifndef LC_GPUSIM_SIMT_LISTING1_H
+#define LC_GPUSIM_SIMT_LISTING1_H
+
+/// \file listing1.h
+/// The paper's Listing 1: the warp-level inclusive prefix sum from the LC
+/// framework, updated in §4 to support both 32- and 64-thread warps. The
+/// original CUDA code reads
+///
+///     int tmp = __shfl_up(val, 1);  if (lane >= 1)  val += tmp;
+///     tmp     = __shfl_up(val, 2);  if (lane >= 2)  val += tmp;
+///     tmp     = __shfl_up(val, 4);  if (lane >= 4)  val += tmp;
+///     tmp     = __shfl_up(val, 8);  if (lane >= 8)  val += tmp;
+///     tmp     = __shfl_up(val, 16); if (lane >= 16) val += tmp;
+///     #if WS == 64
+///     tmp     = __shfl_up(val, 32); if (lane >= 32) val += tmp;
+///     #endif
+///
+/// and is implemented here verbatim against the SIMT engine. Running it
+/// with warp_size 32 and 64 is exactly the portability experiment the
+/// paper describes: on a 64-wide warp the missing final step produces
+/// wrong sums for lanes 32..63, which tests assert.
+
+#include "gpusim/simt/warp.h"
+
+namespace lc::gpusim::simt {
+
+/// Listing 1 with the §4 warp-size fix: log2(WS) shuffle/add rounds.
+template <typename T>
+[[nodiscard]] WarpValue<T> warp_prefix_sum(const WarpValue<T>& input) {
+  WarpValue<T> val = input;
+  for (int delta = 1; delta < val.size(); delta *= 2) {
+    const WarpValue<T> tmp = shfl_up(val, delta);
+    // "if (lane >= delta) val += tmp" — predicated add, one lockstep op.
+    val = val.zip(tmp, [delta](T v, T t, int lane) {
+      return lane >= delta ? static_cast<T>(v + t) : v;
+    });
+  }
+  return val;
+}
+
+/// Listing 1 *without* the fix (the pre-§4 code that assumes WS == 32):
+/// stops after the delta == 16 round regardless of the warp width. Kept
+/// so tests can demonstrate the bug the paper's update repairs.
+template <typename T>
+[[nodiscard]] WarpValue<T> warp_prefix_sum_ws32_only(
+    const WarpValue<T>& input) {
+  WarpValue<T> val = input;
+  for (int delta = 1; delta <= 16; delta *= 2) {
+    const WarpValue<T> tmp = shfl_up(val, delta);
+    val = val.zip(tmp, [delta](T v, T t, int lane) {
+      return lane >= delta ? static_cast<T>(v + t) : v;
+    });
+  }
+  return val;
+}
+
+/// Warp-wide minimum via shfl_xor butterfly (the reduction CLOG/HCLOG use
+/// to find the per-subchunk minimum leading-zero count). Every lane ends
+/// with the warp minimum.
+template <typename T>
+[[nodiscard]] WarpValue<T> warp_min(const WarpValue<T>& input) {
+  WarpValue<T> val = input;
+  for (int mask = val.size() / 2; mask >= 1; mask /= 2) {
+    const WarpValue<T> peer = shfl_xor(val, mask);
+    val = val.zip(peer,
+                  [](T v, T p, int) { return p < v ? p : v; });
+  }
+  return val;
+}
+
+}  // namespace lc::gpusim::simt
+
+#endif  // LC_GPUSIM_SIMT_LISTING1_H

@@ -1,0 +1,114 @@
+#ifndef LC_GPUSIM_SIMT_LOOKBACK_H
+#define LC_GPUSIM_SIMT_LOOKBACK_H
+
+/// \file lookback.h
+/// Device-level decoupled look-back (Merrill & Garland) as the LC
+/// *encoder* runs it on the GPU (§6.1): each thread block obtains a tile
+/// ticket with a device-scope atomicAdd, computes its tile aggregate,
+/// publishes a flagged status word, and resolves its exclusive prefix by
+/// polling predecessor statuses. This SIMT rendition executes blocks in
+/// an adversarial interleaving chosen by a deterministic scheduler while
+/// preserving the protocol's ticket-order guarantee, and accounts atomics
+/// and poll iterations in ExecutionStats.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "gpusim/simt/warp.h"
+
+namespace lc::gpusim::simt {
+
+/// Result of a device-level scan: per-tile exclusive prefixes + totals.
+struct LookbackResult {
+  std::vector<std::uint64_t> exclusive;  ///< per input tile
+  std::uint64_t total = 0;
+  std::uint64_t polls = 0;  ///< status-word polls across all blocks
+};
+
+/// Run the decoupled look-back over `tile_values` (one aggregate per
+/// tile, e.g. per-chunk compressed sizes). `schedule_seed` picks a
+/// deterministic interleaving of block progress; the protocol must
+/// produce the same exclusive prefixes for every seed, which tests
+/// assert.
+inline LookbackResult decoupled_lookback(
+    const std::vector<std::uint64_t>& tile_values,
+    ExecutionStats* stats = nullptr, std::uint64_t schedule_seed = 0) {
+  enum : std::uint8_t { kInvalid = 0, kAggregate = 1, kPrefix = 2 };
+  const std::size_t tiles = tile_values.size();
+
+  struct BlockState {
+    std::size_t tile = 0;   ///< ticket
+    int phase = 0;          ///< 0 acquire, 1 publish, 2 lookback, 3 done
+    std::size_t probe = 0;  ///< predecessor being polled
+    std::uint64_t running = 0;
+  };
+
+  // "Global memory": ticket counter and flagged status words.
+  std::size_t ticket = 0;
+  std::vector<std::uint8_t> flag(tiles, kInvalid);
+  std::vector<std::uint64_t> value(tiles, 0);
+
+  LookbackResult result;
+  result.exclusive.assign(tiles, 0);
+
+  std::vector<BlockState> blocks(tiles);
+  std::size_t live = tiles;
+  SplitMix rng(hash_combine(schedule_seed, 0xB10CULL));
+
+  // Scheduler loop: pick a random live block, let it take one step.
+  while (live > 0) {
+    const std::size_t b = rng.next_below(blocks.size());
+    BlockState& blk = blocks[b];
+    if (blk.phase == 3) continue;
+
+    switch (blk.phase) {
+      case 0: {  // acquire the tile ticket (device-scope atomicAdd)
+        blk.tile = ticket++;
+        if (stats) ++stats->atomics;
+        blk.phase = 1;
+        break;
+      }
+      case 1: {  // publish the tile aggregate (or prefix for tile 0)
+        const std::size_t t = blk.tile;
+        value[t] = tile_values[t];
+        flag[t] = (t == 0) ? kPrefix : kAggregate;
+        if (t == 0) {
+          result.exclusive[0] = 0;
+          blk.phase = 3;
+          --live;
+        } else {
+          blk.probe = t - 1;
+          blk.running = 0;
+          blk.phase = 2;
+        }
+        break;
+      }
+      case 2: {  // look back one predecessor per step
+        ++result.polls;
+        const std::uint8_t f = flag[blk.probe];
+        if (f == kInvalid) break;  // spin: predecessor not published yet
+        blk.running += value[blk.probe];
+        if (f == kPrefix || blk.probe == 0) {
+          const std::size_t t = blk.tile;
+          result.exclusive[t] = blk.running;
+          value[t] = blk.running + tile_values[t];  // inclusive prefix
+          flag[t] = kPrefix;
+          blk.phase = 3;
+          --live;
+        } else {
+          --blk.probe;
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+
+  result.total = tiles == 0 ? 0 : result.exclusive.back() + tile_values.back();
+  return result;
+}
+
+}  // namespace lc::gpusim::simt
+
+#endif  // LC_GPUSIM_SIMT_LOOKBACK_H

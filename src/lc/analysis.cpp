@@ -1,0 +1,42 @@
+#include "lc/analysis.h"
+
+#include <algorithm>
+
+#include "lc/codec.h"
+
+namespace lc {
+
+ChunkedStats measure_component(const Component& component, ByteSpan input) {
+  ChunkedStats stats;
+  stats.input_bytes = input.size();
+  Bytes encoded;
+  for (std::size_t lo = 0; lo < input.size(); lo += kChunkSize) {
+    const std::size_t len = std::min(kChunkSize, input.size() - lo);
+    component.encode(input.subspan(lo, len), encoded);
+    ++stats.chunks;
+    if (encoded.size() <= len) {
+      ++stats.chunks_applied;
+      stats.output_bytes += encoded.size();
+    } else {
+      stats.output_bytes += len;  // copy-fallback keeps the original
+    }
+  }
+  return stats;
+}
+
+ChunkedStats measure_pipeline(const Pipeline& pipeline, ByteSpan input) {
+  ChunkedStats stats;
+  stats.input_bytes = input.size();
+  const std::size_t last = pipeline.size() - 1;
+  for (std::size_t lo = 0; lo < input.size(); lo += kChunkSize) {
+    const std::size_t len = std::min(kChunkSize, input.size() - lo);
+    std::uint8_t mask = 0;
+    const Bytes record = encode_chunk(pipeline, input.subspan(lo, len), mask);
+    ++stats.chunks;
+    if (!pipeline.empty() && (mask & (1u << last))) ++stats.chunks_applied;
+    stats.output_bytes += record.size();
+  }
+  return stats;
+}
+
+}  // namespace lc

@@ -1,0 +1,53 @@
+#ifndef LC_LC_ANALYSIS_H
+#define LC_LC_ANALYSIS_H
+
+/// \file analysis.h
+/// Measurement utilities over the chunked codec: per-component and
+/// per-pipeline compression statistics with LC's copy-fallback semantics,
+/// shared by the examples, the extension benches and the sweep engine's
+/// consumers.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "lc/pipeline.h"
+
+namespace lc {
+
+/// Chunk-level outcome summary of running one component or pipeline over
+/// an input with the 16 kB chunking + copy-fallback discipline.
+struct ChunkedStats {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;   ///< post-fallback compressed payload
+  std::size_t chunks = 0;
+  std::size_t chunks_applied = 0;   ///< chunks where the last stage stuck
+
+  /// input/output; 1.0 when nothing compressed.
+  [[nodiscard]] double ratio() const {
+    return output_bytes == 0
+               ? 1.0
+               : static_cast<double>(input_bytes) /
+                     static_cast<double>(output_bytes);
+  }
+  /// Fraction of chunks the (final) component was applied to.
+  [[nodiscard]] double applied_fraction() const {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(chunks_applied) /
+                             static_cast<double>(chunks);
+  }
+};
+
+/// Run one component over `input` chunk by chunk with the copy-fallback
+/// (the payload-only view: no container framing).
+[[nodiscard]] ChunkedStats measure_component(const Component& component,
+                                             ByteSpan input);
+
+/// Run a whole pipeline over `input` chunk by chunk with per-stage
+/// fallback; `chunks_applied` counts chunks where the *last* stage stuck.
+[[nodiscard]] ChunkedStats measure_pipeline(const Pipeline& pipeline,
+                                            ByteSpan input);
+
+}  // namespace lc
+
+#endif  // LC_LC_ANALYSIS_H

@@ -1,0 +1,185 @@
+#include "lc/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/scan.h"
+#include "common/varint.h"
+
+namespace lc {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'C', 'R', '1'};
+constexpr std::uint8_t kVersion = 2;  // v2 added the content checksum
+
+}  // namespace
+
+Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
+                   std::uint8_t& applied_mask,
+                   std::vector<StageTrace>* trace) {
+  LC_REQUIRE(pipeline.size() <= 8, "stage mask supports at most 8 stages");
+  applied_mask = 0;
+  if (trace) {
+    trace->clear();
+    trace->resize(pipeline.size());
+  }
+
+  Bytes cur(chunk.begin(), chunk.end());
+  Bytes tmp;
+  for (std::size_t s = 0; s < pipeline.size(); ++s) {
+    const Component& comp = pipeline.stage(s);
+    comp.encode(ByteSpan(cur.data(), cur.size()), tmp);
+    const bool applied = tmp.size() <= cur.size();  // LC copy-fallback
+    if (trace) {
+      (*trace)[s].bytes_in = cur.size();
+      (*trace)[s].bytes_out = tmp.size();
+      (*trace)[s].applied = applied;
+    }
+    if (applied) {
+      applied_mask = static_cast<std::uint8_t>(applied_mask | (1u << s));
+      cur.swap(tmp);
+    }
+  }
+  return cur;
+}
+
+void decode_chunk(const Pipeline& pipeline, ByteSpan record,
+                  std::uint8_t applied_mask, std::size_t original_size,
+                  Bytes& out) {
+  Bytes cur(record.begin(), record.end());
+  Bytes tmp;
+  for (std::size_t s = pipeline.size(); s-- > 0;) {
+    if ((applied_mask & (1u << s)) == 0) continue;
+    pipeline.stage(s).decode(ByteSpan(cur.data(), cur.size()), tmp);
+    cur.swap(tmp);
+  }
+  LC_DECODE_REQUIRE(cur.size() == original_size,
+                    "chunk decoded to the wrong size");
+  out.swap(cur);
+}
+
+Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool) {
+  const std::size_t chunks =
+      input.empty() ? 0 : (input.size() + kChunkSize - 1) / kChunkSize;
+
+  // Phase 1 (parallel over chunks, like one thread block per chunk):
+  // encode each chunk into its own record.
+  std::vector<Bytes> records(chunks);
+  std::vector<std::uint8_t> masks(chunks, 0);
+  parallel_for(pool, 0, chunks, [&](std::size_t c) {
+    const std::size_t lo = c * kChunkSize;
+    const std::size_t hi = std::min(input.size(), lo + kChunkSize);
+    records[c] = encode_chunk(pipeline, input.subspan(lo, hi - lo), masks[c]);
+  });
+
+  // Header.
+  const std::string spec = pipeline.spec();
+  Bytes out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.push_back(kVersion);
+  put_varint(out, spec.size());
+  out.insert(out.end(), spec.begin(), spec.end());
+  put_varint(out, input.size());
+  put_varint(out, kChunkSize);
+  // Content checksum: decompress() verifies the reconstructed bytes
+  // against it, turning any silent payload corruption into a hard error.
+  append_le<std::uint64_t>(out, hash_bytes(input.data(), input.size()));
+
+  // Phase 2: per-chunk record headers, then offsets of the record payloads
+  // via the decoupled look-back scan (the encoder-side framework path).
+  std::vector<Bytes> headers(chunks);
+  std::vector<std::uint64_t> sizes(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    headers[c].push_back(masks[c]);
+    put_varint(headers[c], records[c].size());
+    sizes[c] = headers[c].size() + records[c].size();
+  }
+  std::vector<std::uint64_t> offsets;
+  const std::uint64_t body_size = exclusive_scan_lookback(pool, sizes, offsets);
+
+  // Phase 3 (parallel): place every record at its scanned offset.
+  const std::size_t base = out.size();
+  out.resize(base + body_size);
+  parallel_for(pool, 0, chunks, [&](std::size_t c) {
+    Byte* dst = out.data() + base + offsets[c];
+    std::memcpy(dst, headers[c].data(), headers[c].size());
+    std::memcpy(dst + headers[c].size(), records[c].data(),
+                records[c].size());
+  });
+  return out;
+}
+
+Bytes decompress(ByteSpan container, ThreadPool& pool) {
+  std::size_t pos = 0;
+  LC_DECODE_REQUIRE(container.size() >= 5, "container too short");
+  LC_DECODE_REQUIRE(std::memcmp(container.data(), kMagic, 4) == 0,
+                    "bad container magic");
+  LC_DECODE_REQUIRE(container[4] == kVersion, "unsupported container version");
+  pos = 5;
+
+  const std::uint64_t spec_len = get_varint(container, pos);
+  LC_DECODE_REQUIRE(pos + spec_len <= container.size(), "spec truncated");
+  const std::string spec(
+      reinterpret_cast<const char*>(container.data() + pos),
+      static_cast<std::size_t>(spec_len));
+  pos += static_cast<std::size_t>(spec_len);
+  const Pipeline pipeline = Pipeline::parse(spec);
+
+  const std::uint64_t total = get_varint(container, pos);
+  const std::uint64_t chunk_size = get_varint(container, pos);
+  std::uint64_t checksum = 0;
+  LC_DECODE_REQUIRE(read_le<std::uint64_t>(container, pos, checksum),
+                    "checksum truncated");
+  LC_DECODE_REQUIRE(chunk_size > 0 && chunk_size <= (1u << 30),
+                    "bad chunk size");
+  const std::size_t chunks = static_cast<std::size_t>(
+      total == 0 ? 0 : (total + chunk_size - 1) / chunk_size);
+
+  // Sequential header walk: masks and record sizes. The payload offsets
+  // are then produced by the block-local scan (the decoder-side framework
+  // path); the walk itself only skips over payload bytes.
+  std::vector<std::uint8_t> masks(chunks);
+  std::vector<std::uint64_t> sizes(chunks);
+  std::vector<std::size_t> header_end(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    LC_DECODE_REQUIRE(pos < container.size(), "chunk header truncated");
+    masks[c] = container[pos++];
+    sizes[c] = get_varint(container, pos);
+    header_end[c] = pos;
+    LC_DECODE_REQUIRE(pos + sizes[c] <= container.size(),
+                      "chunk record truncated");
+    pos += static_cast<std::size_t>(sizes[c]);
+  }
+  LC_DECODE_REQUIRE(pos == container.size(), "trailing bytes in container");
+
+  std::vector<std::uint64_t> offsets;  // exercised for fidelity with the GPU
+  (void)exclusive_scan_blocked(pool, sizes, offsets);
+
+  Bytes out(static_cast<std::size_t>(total));
+  parallel_for(pool, 0, chunks, [&](std::size_t c) {
+    const std::size_t lo = c * static_cast<std::size_t>(chunk_size);
+    const std::size_t hi = std::min<std::size_t>(
+        static_cast<std::size_t>(total), lo + static_cast<std::size_t>(chunk_size));
+    Bytes chunk;
+    decode_chunk(pipeline,
+                 container.subspan(header_end[c],
+                                   static_cast<std::size_t>(sizes[c])),
+                 masks[c], hi - lo, chunk);
+    std::memcpy(out.data() + lo, chunk.data(), chunk.size());
+  });
+  LC_DECODE_REQUIRE(hash_bytes(out.data(), out.size()) == checksum,
+                    "content checksum mismatch");
+  return out;
+}
+
+bool verify_roundtrip(const Pipeline& pipeline, ByteSpan input,
+                      ThreadPool& pool) {
+  const Bytes packed = compress(pipeline, input, pool);
+  const Bytes unpacked = decompress(ByteSpan(packed.data(), packed.size()), pool);
+  return unpacked.size() == input.size() &&
+         std::equal(unpacked.begin(), unpacked.end(), input.begin());
+}
+
+}  // namespace lc

@@ -1,0 +1,74 @@
+#ifndef LC_LC_CODEC_H
+#define LC_LC_CODEC_H
+
+/// \file codec.h
+/// The LC chunked codec (§3.2): the input is split into 16 kB chunks that
+/// are compressed independently and in parallel — on the GPU one thread
+/// block per chunk, here one pool task per chunk slice. Per chunk and per
+/// stage, LC's copy-fallback applies: if a component expands the chunk,
+/// its output is discarded and the stage is skipped, recorded in a
+/// per-chunk stage mask so decoding can skip the stage too (§6.4 explains
+/// how this drives the RLE decoding behaviour).
+///
+/// Container layout (little-endian):
+///   "LCR1"  magic
+///   u8      version (1)
+///   varint  pipeline spec length, then the spec bytes
+///   varint  original total size
+///   varint  chunk size
+///   per chunk: u8 applied-stage mask, varint record size, record bytes
+///
+/// Compressed-chunk offsets are produced with the decoupled look-back scan
+/// during compression and a block-local scan during decompression,
+/// mirroring the framework paths the paper identifies as the source of
+/// the compiler-dependent overhead (§6.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/thread_pool.h"
+#include "lc/pipeline.h"
+
+namespace lc {
+
+/// Chunk size used by LC (16 kB).
+inline constexpr std::size_t kChunkSize = 16 * 1024;
+
+/// Per-stage record of one chunk's encoding, consumed by the
+/// characterization sweep (charlab) and the gpusim cost model.
+struct StageTrace {
+  std::uint64_t bytes_in = 0;    ///< stage input size
+  std::uint64_t bytes_out = 0;   ///< component output size (pre-fallback)
+  bool applied = false;          ///< false => copy-fallback skipped it
+};
+
+/// Encode a single chunk through a pipeline. Returns the encoded record.
+/// When `trace` is non-null it receives one StageTrace per stage.
+/// `applied_mask` (bit s = stage s applied) is always written.
+[[nodiscard]] Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
+                                 std::uint8_t& applied_mask,
+                                 std::vector<StageTrace>* trace = nullptr);
+
+/// Invert encode_chunk. `original_size` is the chunk's uncompressed size
+/// (known from the container). Throws CorruptDataError on malformed data.
+void decode_chunk(const Pipeline& pipeline, ByteSpan record,
+                  std::uint8_t applied_mask, std::size_t original_size,
+                  Bytes& out);
+
+/// Compress `input` with `pipeline` into a self-describing container.
+[[nodiscard]] Bytes compress(const Pipeline& pipeline, ByteSpan input,
+                             ThreadPool& pool = ThreadPool::global());
+
+/// Decompress a container produced by compress(). The pipeline is
+/// recovered from the container itself.
+[[nodiscard]] Bytes decompress(ByteSpan container,
+                               ThreadPool& pool = ThreadPool::global());
+
+/// Convenience: true iff decompress(compress(input)) == input.
+[[nodiscard]] bool verify_roundtrip(const Pipeline& pipeline, ByteSpan input,
+                                    ThreadPool& pool = ThreadPool::global());
+
+}  // namespace lc
+
+#endif  // LC_LC_CODEC_H

@@ -1,0 +1,132 @@
+#ifndef LC_LC_COMPONENT_H
+#define LC_LC_COMPONENT_H
+
+/// \file component.h
+/// The LC component abstraction. A component is one lossless data
+/// transformation with an encoder and a matching decoder; pipelines are
+/// formed by chaining components (Fig. 1 of the paper). Every component
+/// accepts an arbitrary byte string: whole words are transformed and any
+/// trailing bytes that do not fill a word are carried verbatim, so
+/// decode(encode(x)) == x for every input x.
+///
+/// Size discipline:
+///  * Mutators, shufflers and predictors are size-preserving:
+///    encode/decode output is exactly as long as the input.
+///  * Reducers emit a self-describing stream (the original size is part of
+///    the encoding) and may shrink or expand the data; the pipeline layer
+///    applies LC's copy-fallback when a reducer expands a chunk.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace lc {
+
+/// Component categories from Table 1 of the paper.
+enum class Category { kMutator, kShuffler, kPredictor, kReducer };
+
+/// Human-readable category name ("mutator", "shuffler", ...).
+[[nodiscard]] const char* to_string(Category c) noexcept;
+
+/// Asymptotic span classes from Table 2 of the paper, consumed by the GPU
+/// cost model.
+enum class SpanClass { kConst, kLogW, kLogN };
+
+/// Static cost-model description of one kernel (one direction of one
+/// component). `work_per_word` is a relative operation count per input
+/// word used by gpusim; the boolean/real fields capture the architectural
+/// interactions the paper discusses (warp shuffles for BIT_4/8 and the
+/// warp-level reducers, block-scope atomics that HIP must demote to
+/// device scope, the RARE/RAZE adaptive-k search).
+struct KernelTraits {
+  double work_per_word = 1.0;        ///< relative ALU ops per word
+  SpanClass span = SpanClass::kConst;
+  double warp_ops_per_word = 0.0;    ///< warp-shuffle ops per word
+  double syncs_per_chunk = 0.0;      ///< __syncthreads()-like events
+  bool block_atomics = false;        ///< uses atomic*_block (CUDA only)
+  bool irregular_memory = false;     ///< scatter/gather access pattern
+  double k_search_trials = 0.0;      ///< adaptive parameter candidates
+};
+
+/// Abstract component. Implementations are stateless and thread-safe:
+/// encode/decode may be called concurrently from many chunks.
+class Component {
+ public:
+  Component(std::string name, Category category, int word_size,
+            int tuple_size, KernelTraits encode_traits,
+            KernelTraits decode_traits)
+      : name_(std::move(name)),
+        category_(category),
+        word_size_(word_size),
+        tuple_size_(tuple_size),
+        encode_traits_(encode_traits),
+        decode_traits_(decode_traits) {}
+
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Component name as used in pipeline specs, e.g. "BIT_4" or "TUPL2_8".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Category category() const noexcept { return category_; }
+  /// Word granularity in bytes (the i/j parameter from Table 1).
+  [[nodiscard]] int word_size() const noexcept { return word_size_; }
+  /// Tuple size (the k parameter); 1 for everything but TUPLk.
+  [[nodiscard]] int tuple_size() const noexcept { return tuple_size_; }
+  [[nodiscard]] bool is_reducer() const noexcept {
+    return category_ == Category::kReducer;
+  }
+  /// True when encode always produces output of the input's size.
+  [[nodiscard]] bool size_preserving() const noexcept { return !is_reducer(); }
+
+  [[nodiscard]] const KernelTraits& encode_traits() const noexcept {
+    return encode_traits_;
+  }
+  [[nodiscard]] const KernelTraits& decode_traits() const noexcept {
+    return decode_traits_;
+  }
+
+  /// Transform `in` into `out`. `out` is cleared first. Never throws on
+  /// valid inputs of any size (including empty).
+  virtual void encode(ByteSpan in, Bytes& out) const = 0;
+
+  /// Invert encode. `out` is cleared first. Throws CorruptDataError when
+  /// `in` is not a valid encoding.
+  virtual void decode(ByteSpan in, Bytes& out) const = 0;
+
+ private:
+  std::string name_;
+  Category category_;
+  int word_size_;
+  int tuple_size_;
+  KernelTraits encode_traits_;
+  KernelTraits decode_traits_;
+};
+
+using ComponentPtr = std::unique_ptr<const Component>;
+
+/// Factory functions for each component family; `word_size` in bytes.
+/// Exposed individually for tests; most callers use the Registry.
+ComponentPtr make_dbefs(int word_size);  // mutators
+ComponentPtr make_dbesf(int word_size);
+ComponentPtr make_tcms(int word_size);
+ComponentPtr make_tcnb(int word_size);
+ComponentPtr make_bit(int word_size);    // shufflers
+ComponentPtr make_tupl(int tuple_size, int word_size);
+ComponentPtr make_diff(int word_size);   // predictors
+ComponentPtr make_diffms(int word_size);
+ComponentPtr make_diffnb(int word_size);
+ComponentPtr make_clog(int word_size);   // reducers
+ComponentPtr make_hclog(int word_size);
+ComponentPtr make_rle(int word_size);
+ComponentPtr make_rre(int word_size);
+ComponentPtr make_rze(int word_size);
+ComponentPtr make_rare(int word_size);
+ComponentPtr make_raze(int word_size);
+
+}  // namespace lc
+
+#endif  // LC_LC_COMPONENT_H

@@ -1,0 +1,82 @@
+/// \file mutators.cpp
+/// Mutator components (§3.2.1): value-wise bijective transformations that
+/// expose structure without changing the data size.
+///  * DBEFS_j / DBESF_j — IEEE-754 exponent de-bias + field reorder
+///  * TCMS_i — two's complement -> magnitude-sign
+///  * TCNB_i — two's complement -> negabinary
+/// All are embarrassingly parallel with O(n) work and O(1) span (Table 2),
+/// which is why the paper finds their decoders to be among the fastest
+/// kernels (§6.3).
+
+#include <memory>
+
+#include "common/bits.h"
+#include "lc/component.h"
+#include "lc/components/word_codec.h"
+
+namespace lc {
+namespace {
+
+/// Mutators: one ALU-light pass over the words, no synchronization.
+KernelTraits mutator_traits(double work) {
+  KernelTraits t;
+  t.work_per_word = work;
+  t.span = SpanClass::kConst;
+  return t;
+}
+
+}  // namespace
+
+ComponentPtr make_dbefs(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    if constexpr (sizeof(T) >= 4) {
+      return detail::make_map_component<T>(
+          "DBEFS_" + std::to_string(word_size), Category::kMutator,
+          mutator_traits(3.0), mutator_traits(3.0),
+          [](T v) { return debias_efs<T>(v); },
+          [](T v) { return rebias_efs<T>(v); });
+    } else {
+      throw Error("DBEFS supports word sizes 4 and 8 only");
+    }
+  });
+}
+
+ComponentPtr make_dbesf(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    if constexpr (sizeof(T) >= 4) {
+      return detail::make_map_component<T>(
+          "DBESF_" + std::to_string(word_size), Category::kMutator,
+          mutator_traits(3.0), mutator_traits(3.0),
+          [](T v) { return debias_esf<T>(v); },
+          [](T v) { return rebias_esf<T>(v); });
+    } else {
+      throw Error("DBESF supports word sizes 4 and 8 only");
+    }
+  });
+}
+
+ComponentPtr make_tcms(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    return detail::make_map_component<T>(
+        "TCMS_" + std::to_string(word_size), Category::kMutator,
+        mutator_traits(2.0), mutator_traits(2.0),
+        [](T v) { return to_magnitude_sign<T>(v); },
+        [](T v) { return from_magnitude_sign<T>(v); });
+  });
+}
+
+ComponentPtr make_tcnb(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    return detail::make_map_component<T>(
+        "TCNB_" + std::to_string(word_size), Category::kMutator,
+        mutator_traits(2.0), mutator_traits(2.0),
+        [](T v) { return to_negabinary<T>(v); },
+        [](T v) { return from_negabinary<T>(v); });
+  });
+}
+
+}  // namespace lc

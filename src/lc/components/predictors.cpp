@@ -1,0 +1,118 @@
+/// \file predictors.cpp
+/// Predictor components (§3.2.3): delta modulation and variants.
+///  * DIFF_i — residual r[t] = x[t] - x[t-1] (wrapping); decoding computes
+///    the prefix sum of the residuals, which on the GPU is a block-wide
+///    scan — O(log n) span and the reason predictor pipelines have the
+///    lowest decoding throughputs in the paper (§6.3, Fig. 7).
+///  * DIFFMS_i / DIFFNB_i — DIFF with residuals stored in magnitude-sign /
+///    negabinary representation.
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/bits.h"
+#include "lc/component.h"
+#include "lc/components/word_codec.h"
+
+namespace lc {
+namespace {
+
+enum class ResidualRep { kPlain, kMagnitudeSign, kNegabinary };
+
+template <Word T>
+constexpr T residual_map(T v, ResidualRep rep) {
+  switch (rep) {
+    case ResidualRep::kPlain: return v;
+    case ResidualRep::kMagnitudeSign: return to_magnitude_sign<T>(v);
+    case ResidualRep::kNegabinary: return to_negabinary<T>(v);
+  }
+  return v;
+}
+
+template <Word T>
+constexpr T residual_unmap(T v, ResidualRep rep) {
+  switch (rep) {
+    case ResidualRep::kPlain: return v;
+    case ResidualRep::kMagnitudeSign: return from_magnitude_sign<T>(v);
+    case ResidualRep::kNegabinary: return from_negabinary<T>(v);
+  }
+  return v;
+}
+
+template <Word T>
+class DiffComponent final : public Component {
+ public:
+  DiffComponent(std::string name, ResidualRep rep, KernelTraits enc,
+                KernelTraits dec)
+      : Component(std::move(name), Category::kPredictor, sizeof(T), 1, enc,
+                  dec),
+        rep_(rep) {}
+
+  void encode(ByteSpan in, Bytes& out) const override {
+    out.resize(in.size());
+    const detail::WordView<T> v(in);
+    T prev = 0;
+    for (std::size_t i = 0; i < v.count; ++i) {
+      const T cur = v.word(i);
+      store_word<T>(out.data() + i * sizeof(T),
+                    residual_map<T>(static_cast<T>(cur - prev), rep_));
+      prev = cur;
+    }
+    std::copy(v.tail.begin(), v.tail.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(v.count * sizeof(T)));
+  }
+
+  void decode(ByteSpan in, Bytes& out) const override {
+    out.resize(in.size());
+    const detail::WordView<T> v(in);
+    // Prefix sum of the un-mapped residuals (a scan kernel on the GPU).
+    T acc = 0;
+    for (std::size_t i = 0; i < v.count; ++i) {
+      acc = static_cast<T>(acc + residual_unmap<T>(v.word(i), rep_));
+      store_word<T>(out.data() + i * sizeof(T), acc);
+    }
+    std::copy(v.tail.begin(), v.tail.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(v.count * sizeof(T)));
+  }
+
+ private:
+  ResidualRep rep_;
+};
+
+ComponentPtr make_predictor(const char* base, ResidualRep rep, int word_size,
+                            double extra_work) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    KernelTraits enc;
+    enc.work_per_word = 1.0 + extra_work;  // Table 2: n work, O(1) span
+    enc.span = SpanClass::kConst;
+    KernelTraits dec;
+    // Decoding is a block-wide prefix sum: multiple passes through shared
+    // memory plus a warp-scan ladder — by far the costliest decode among
+    // the non-reducers, which is why predictor pipelines have the lowest
+    // decoding throughputs in the paper (§6.3, Fig. 7).
+    dec.work_per_word = 4.5 + extra_work;
+    dec.span = SpanClass::kLogN;
+    dec.warp_ops_per_word = 2.0;  // warp-scan steps
+    dec.syncs_per_chunk = 10.0;   // block-scan barrier ladder
+    return std::make_unique<DiffComponent<T>>(
+        std::string(base) + "_" + std::to_string(word_size), rep, enc, dec);
+  });
+}
+
+}  // namespace
+
+ComponentPtr make_diff(int word_size) {
+  return make_predictor("DIFF", ResidualRep::kPlain, word_size, 0.0);
+}
+
+ComponentPtr make_diffms(int word_size) {
+  return make_predictor("DIFFMS", ResidualRep::kMagnitudeSign, word_size, 1.0);
+}
+
+ComponentPtr make_diffnb(int word_size) {
+  return make_predictor("DIFFNB", ResidualRep::kNegabinary, word_size, 1.0);
+}
+
+}  // namespace lc

@@ -1,0 +1,77 @@
+#ifndef LC_LC_COMPONENTS_REDUCER_BASE_H
+#define LC_LC_COMPONENTS_REDUCER_BASE_H
+
+/// \file reducer_base.h
+/// Shared framing for reducer components. Reducers change the data size,
+/// so their streams are self-describing: a varint with the original byte
+/// size, then any trailing bytes that do not fill a word (carried
+/// verbatim), then the word-level payload defined by the subclass.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/varint.h"
+#include "lc/component.h"
+#include "lc/components/word_codec.h"
+
+namespace lc::detail {
+
+template <Word T>
+class ReducerBase : public Component {
+ public:
+  ReducerBase(std::string name, KernelTraits enc, KernelTraits dec)
+      : Component(std::move(name), Category::kReducer, sizeof(T), 1, enc,
+                  dec) {}
+
+  void encode(ByteSpan in, Bytes& out) const final {
+    out.clear();
+    put_varint(out, in.size());
+    const WordView<T> v(in);
+    append(out, v.tail);
+    encode_words(v, out);
+  }
+
+  void decode(ByteSpan in, Bytes& out) const final {
+    std::size_t pos = 0;
+    const std::uint64_t orig = get_varint(in, pos);
+    // Sanity bound: legitimate streams come from <= 16 kB chunks (or test
+    // buffers far below this); a corrupt size must not drive allocation.
+    LC_DECODE_REQUIRE(orig <= (std::uint64_t{1} << 28),
+                      "reducer original size implausibly large");
+    const std::size_t tail_len = static_cast<std::size_t>(orig % sizeof(T));
+    LC_DECODE_REQUIRE(pos + tail_len <= in.size(), "reducer tail truncated");
+    const ByteSpan tail = in.subspan(pos, tail_len);
+    pos += tail_len;
+    const std::size_t count = static_cast<std::size_t>(orig / sizeof(T));
+
+    out.clear();
+    out.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(orig, std::uint64_t{1} << 20)));
+    decode_words(in.subspan(pos), count, out);
+    LC_DECODE_REQUIRE(out.size() == count * sizeof(T),
+                      "reducer payload produced wrong word count");
+    append(out, tail);
+  }
+
+ protected:
+  /// Emit the word-level payload for `v.count` words.
+  virtual void encode_words(const WordView<T>& v, Bytes& out) const = 0;
+  /// Append exactly `count` reconstructed words to `out`.
+  virtual void decode_words(ByteSpan payload, std::size_t count,
+                            Bytes& out) const = 0;
+
+  /// Append one word to an output buffer.
+  static void push_word(Bytes& out, T v) {
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(T));
+    store_word<T>(out.data() + at, v);
+  }
+};
+
+}  // namespace lc::detail
+
+#endif  // LC_LC_COMPONENTS_REDUCER_BASE_H

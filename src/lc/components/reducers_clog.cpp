@@ -1,0 +1,140 @@
+/// \file reducers_clog.cpp
+/// CLOG and HCLOG reducers (§3.2.4).
+///
+/// CLOG_i splits each input block into 32 subchunks, finds the minimum
+/// number of leading zero bits over each subchunk, records the resulting
+/// per-subchunk bit width, and stores only the remaining low bits of every
+/// value. HCLOG_i additionally rescues subchunks whose minimum
+/// leading-zero count is zero by applying the TCMS (magnitude-sign)
+/// transformation first — effective when a subchunk holds small negative
+/// values, whose two's complement representation has no leading zeros.
+///
+/// Stream layout (after the ReducerBase framing):
+///   [S width bytes]  S = min(32, word count); low 7 bits = kept bit width,
+///                    high bit (HCLOG only) = TCMS applied to the subchunk
+///   [bit-packed values, width bits each, subchunk by subchunk]
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "lc/components/reducer_base.h"
+
+namespace lc {
+namespace {
+
+constexpr std::size_t kSubchunks = 32;
+
+/// Subchunk boundary: word index where subchunk s begins among n words.
+constexpr std::size_t sub_begin(std::size_t s, std::size_t n,
+                                std::size_t subchunks) {
+  return s * n / subchunks;
+}
+
+template <Word T, bool kHybrid>
+class ClogComponent final : public detail::ReducerBase<T> {
+ public:
+  ClogComponent(KernelTraits enc, KernelTraits dec)
+      : detail::ReducerBase<T>(std::string(kHybrid ? "HCLOG_" : "CLOG_") +
+                                   std::to_string(sizeof(T)),
+                               enc, dec) {}
+
+ protected:
+  void encode_words(const detail::WordView<T>& v, Bytes& out) const override {
+    const std::size_t n = v.count;
+    if (n == 0) return;
+    const std::size_t subchunks = std::min(kSubchunks, n);
+
+    // Pass 1: per-subchunk minimum leading-zero count (a warp reduction on
+    // the GPU), optionally retried under TCMS for HCLOG.
+    std::vector<Byte> widths(subchunks);
+    std::vector<bool> use_tcms(subchunks, false);
+    for (std::size_t s = 0; s < subchunks; ++s) {
+      const std::size_t lo = sub_begin(s, n, subchunks);
+      const std::size_t hi = sub_begin(s + 1, n, subchunks);
+      int min_clz = kBits<T>;
+      for (std::size_t i = lo; i < hi; ++i) {
+        min_clz = std::min(min_clz, leading_zeros<T>(v.word(i)));
+      }
+      int width = kBits<T> - min_clz;
+      if constexpr (kHybrid) {
+        if (min_clz == 0) {
+          int min_clz_tcms = kBits<T>;
+          for (std::size_t i = lo; i < hi; ++i) {
+            min_clz_tcms = std::min(
+                min_clz_tcms, leading_zeros<T>(to_magnitude_sign<T>(v.word(i))));
+          }
+          if (min_clz_tcms > 0) {
+            use_tcms[s] = true;
+            width = kBits<T> - min_clz_tcms;
+          }
+        }
+      }
+      widths[s] = static_cast<Byte>(width | (use_tcms[s] ? 0x80 : 0));
+    }
+    append(out, ByteSpan(widths.data(), widths.size()));
+
+    // Pass 2: pack the kept low bits.
+    BitWriter bw(out);
+    for (std::size_t s = 0; s < subchunks; ++s) {
+      const std::size_t lo = sub_begin(s, n, subchunks);
+      const std::size_t hi = sub_begin(s + 1, n, subchunks);
+      const int width = widths[s] & 0x7F;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const T w = use_tcms[s] ? to_magnitude_sign<T>(v.word(i)) : v.word(i);
+        bw.put(static_cast<std::uint64_t>(w), width);
+      }
+    }
+    bw.finish();
+  }
+
+  void decode_words(ByteSpan payload, std::size_t count,
+                    Bytes& out) const override {
+    if (count == 0) return;
+    const std::size_t subchunks = std::min(kSubchunks, count);
+    LC_DECODE_REQUIRE(payload.size() >= subchunks, "CLOG widths truncated");
+    const ByteSpan widths = payload.first(subchunks);
+    BitReader br(payload.subspan(subchunks));
+    for (std::size_t s = 0; s < subchunks; ++s) {
+      const std::size_t lo = sub_begin(s, count, subchunks);
+      const std::size_t hi = sub_begin(s + 1, count, subchunks);
+      const int width = widths[s] & 0x7F;
+      const bool tcms = (widths[s] & 0x80) != 0;
+      LC_DECODE_REQUIRE(width <= kBits<T>, "CLOG width out of range");
+      LC_DECODE_REQUIRE(kHybrid || !tcms, "CLOG stream with HCLOG flag");
+      for (std::size_t i = lo; i < hi; ++i) {
+        T w = static_cast<T>(br.get(width));
+        if (tcms) w = from_magnitude_sign<T>(w);
+        this->push_word(out, w);
+      }
+    }
+  }
+};
+
+template <bool kHybrid>
+ComponentPtr make_clog_impl(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    KernelTraits enc;
+    enc.work_per_word = kHybrid ? 3.2 : 2.5;  // clz reduce + pack (+ rescue)
+    enc.span = SpanClass::kConst;             // Table 2
+    enc.warp_ops_per_word = 0.2;              // per-subchunk min reductions
+    enc.syncs_per_chunk = kHybrid ? 4.0 : 2.0;
+    enc.block_atomics = true;  // subchunk width publication
+    KernelTraits dec;
+    dec.work_per_word = kHybrid ? 1.3 : 1.0;  // bit-unpack gather: cheapest reducer decode
+    dec.span = SpanClass::kConst;  // Table 2
+    dec.syncs_per_chunk = 1.0;
+    return std::make_unique<ClogComponent<T, kHybrid>>(enc, dec);
+  });
+}
+
+}  // namespace
+
+ComponentPtr make_clog(int word_size) { return make_clog_impl<false>(word_size); }
+ComponentPtr make_hclog(int word_size) { return make_clog_impl<true>(word_size); }
+
+}  // namespace lc

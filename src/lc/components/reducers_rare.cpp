@@ -1,0 +1,216 @@
+/// \file reducers_rare.cpp
+/// RARE and RAZE reducers (§3.2.4): the adaptive bit-split reducers.
+///
+/// RARE_i splits every word into its upper k bits and lower (B-k) bits,
+/// applies the RRE repeat-bitmap scheme to the stream of upper-k values
+/// only, and stores the lower bits verbatim (bit-packed). RAZE_i applies
+/// the RZE zero-bitmap scheme to the upper bits instead. Both pick the
+/// optimal k per chunk automatically by evaluating the projected encoded
+/// size for every k in [0, B] — the exhaustive candidate scan is why the
+/// paper finds RARE/RAZE to be by far the slowest encoders (Fig. 8/12);
+/// the KernelTraits record the B+1 candidate trials for the gpusim model.
+///
+/// Stream layout (after ReducerBase framing):
+///   byte    k  (0..B)
+///   k == 0: bit-packed words at B bits each (the degenerate "store" case)
+///   k >  0: varint literal count,
+///           recursively compressed bitmap of `count` bits
+///             (RARE: bit t <=> upper-k of word t equals upper-k of t-1;
+///              RAZE: bit t <=> upper-k of word t is zero),
+///           bit stream: literal upper values (k bits each) followed by
+///           all lower values (B-k bits each)
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "common/varint.h"
+#include "lc/components/bitmap_codec.h"
+#include "lc/components/reducer_base.h"
+
+namespace lc {
+namespace {
+
+enum class SplitKind { kRepeat, kZero };
+
+template <Word T, SplitKind kKind>
+class RareComponent final : public detail::ReducerBase<T> {
+ public:
+  RareComponent(KernelTraits enc, KernelTraits dec)
+      : detail::ReducerBase<T>(
+            std::string(kKind == SplitKind::kRepeat ? "RARE_" : "RAZE_") +
+                std::to_string(sizeof(T)),
+            enc, dec) {}
+
+ protected:
+  void encode_words(const detail::WordView<T>& v, Bytes& out) const override {
+    constexpr int B = kBits<T>;
+    const std::size_t n = v.count;
+    if (n == 0) {
+      out.push_back(Byte{0});  // k = 0, empty payload
+      return;
+    }
+
+    // Candidate scan: hist[c] counts words whose "agreement depth" is c,
+    // where agreement depth >= k  <=>  the word is droppable at split k.
+    //   RARE: c = leading identical bits vs the previous word
+    //   RAZE: c = leading zero bits
+    std::vector<std::size_t> hist(static_cast<std::size_t>(B) + 1, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      int c;
+      if constexpr (kKind == SplitKind::kRepeat) {
+        if (t == 0) continue;  // word 0 never repeats
+        const T x = static_cast<T>(v.word(t) ^ v.word(t - 1));
+        c = (x == 0) ? B : leading_zeros<T>(x);
+      } else {
+        c = leading_zeros<T>(v.word(t));
+      }
+      ++hist[static_cast<std::size_t>(c)];
+    }
+    // droppable(k) = #words with agreement depth >= k  (suffix sums).
+    std::vector<std::size_t> droppable(static_cast<std::size_t>(B) + 2, 0);
+    for (int k = B; k >= 0; --k) {
+      droppable[k] = droppable[k + 1] + hist[k];
+    }
+
+    int best_k = 0;
+    std::uint64_t best_cost = 8 + static_cast<std::uint64_t>(n) * B;
+    for (int k = 1; k <= B; ++k) {
+      const std::uint64_t literal_uppers = n - droppable[k];
+      const std::uint64_t cost = 8 + n /* bitmap bits, raw estimate */ +
+                                 literal_uppers * static_cast<std::uint64_t>(k) +
+                                 static_cast<std::uint64_t>(n) * (B - k);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_k = k;
+      }
+    }
+
+    out.push_back(static_cast<Byte>(best_k));
+    if (best_k == 0) {
+      BitWriter bw(out);
+      for (std::size_t t = 0; t < n; ++t) {
+        bw.put(static_cast<std::uint64_t>(v.word(t)), B);
+      }
+      bw.finish();
+      return;
+    }
+
+    const int k = best_k;
+    const int low_bits = B - k;
+    std::vector<bool> drop(n, false);
+    std::vector<std::uint64_t> literal_uppers;
+    literal_uppers.reserve(n);
+    T prev_upper = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const T upper = static_cast<T>(v.word(t) >> low_bits);
+      if constexpr (kKind == SplitKind::kRepeat) {
+        drop[t] = (t > 0 && upper == prev_upper);
+      } else {
+        drop[t] = (upper == T{0});
+      }
+      if (!drop[t]) literal_uppers.push_back(static_cast<std::uint64_t>(upper));
+      prev_upper = upper;
+    }
+
+    put_varint(out, literal_uppers.size());
+    detail::encode_bitmap_bytes(detail::pack_bits(drop), out);
+    BitWriter bw(out);
+    for (const std::uint64_t u : literal_uppers) bw.put(u, k);
+    if (low_bits > 0) {
+      const T low_mask = static_cast<T>((T(~T{0})) >> k);
+      for (std::size_t t = 0; t < n; ++t) {
+        bw.put(static_cast<std::uint64_t>(v.word(t) & low_mask), low_bits);
+      }
+    }
+    bw.finish();
+  }
+
+  void decode_words(ByteSpan payload, std::size_t count,
+                    Bytes& out) const override {
+    constexpr int B = kBits<T>;
+    std::size_t pos = 0;
+    LC_DECODE_REQUIRE(pos < payload.size(), "RARE k byte missing");
+    const int k = payload[pos++];
+    LC_DECODE_REQUIRE(k <= B, "RARE k out of range");
+    if (count == 0) return;
+
+    if (k == 0) {
+      BitReader br(payload.subspan(pos));
+      for (std::size_t t = 0; t < count; ++t) {
+        this->push_word(out, static_cast<T>(br.get(B)));
+      }
+      return;
+    }
+
+    const int low_bits = B - k;
+    const std::uint64_t lit_count = get_varint(payload, pos);
+    LC_DECODE_REQUIRE(lit_count <= count, "RARE literal count too large");
+    const std::vector<Byte> bitmap =
+        detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8);
+
+    BitReader br(payload.subspan(pos));
+    std::vector<T> uppers(count);
+    std::uint64_t used = 0;
+    T prev_upper = 0;
+    for (std::size_t t = 0; t < count; ++t) {
+      if (detail::bit_at(bitmap, t)) {
+        if constexpr (kKind == SplitKind::kRepeat) {
+          LC_DECODE_REQUIRE(t > 0, "RARE word 0 marked repeating");
+          uppers[t] = prev_upper;
+        } else {
+          uppers[t] = T{0};
+        }
+      } else {
+        LC_DECODE_REQUIRE(used < lit_count, "RARE literal uppers exhausted");
+        uppers[t] = static_cast<T>(br.get(k));
+        ++used;
+      }
+      prev_upper = uppers[t];
+    }
+    LC_DECODE_REQUIRE(used == lit_count, "RARE literal uppers left over");
+
+    for (std::size_t t = 0; t < count; ++t) {
+      T w = static_cast<T>(uppers[t] << low_bits);
+      if (low_bits > 0) {
+        w = static_cast<T>(w | static_cast<T>(br.get(low_bits)));
+      }
+      this->push_word(out, w);
+    }
+  }
+};
+
+template <SplitKind kKind>
+ComponentPtr make_rare_impl(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    KernelTraits enc;
+    enc.work_per_word = 3.0;      // split + bitmap + compaction
+    enc.span = SpanClass::kLogN;  // Table 2
+    enc.warp_ops_per_word = 0.6;
+    enc.syncs_per_chunk = 8.0;
+    enc.block_atomics = true;
+    enc.k_search_trials = static_cast<double>(kBits<T> + 1);  // adaptive k
+    KernelTraits dec;
+    dec.work_per_word = 8.0;  // reassemble two packed bit streams + bitmap recursion
+    dec.span = SpanClass::kLogN;  // Table 2
+    dec.warp_ops_per_word = 0.4;
+    dec.syncs_per_chunk = 5.0;
+    return std::make_unique<RareComponent<T, kKind>>(enc, dec);
+  });
+}
+
+}  // namespace
+
+ComponentPtr make_rare(int word_size) {
+  return make_rare_impl<SplitKind::kRepeat>(word_size);
+}
+
+ComponentPtr make_raze(int word_size) {
+  return make_rare_impl<SplitKind::kZero>(word_size);
+}
+
+}  // namespace lc

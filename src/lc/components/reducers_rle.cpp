@@ -1,0 +1,161 @@
+/// \file reducers_rle.cpp
+/// RLE reducer (§3.2.4): classic run-length encoding. The encoder counts
+/// how many times a value repeats, then how many non-repeating values
+/// follow; both counts are emitted (as varints), followed by one instance
+/// of the repeating value and the non-repeating values.
+///
+/// Like the GPU original, the encoder is block-parallel: each chunk is
+/// split into 32 subchunks that are encoded independently, each with its
+/// own size prefix, so the decoder can process subchunks in parallel.
+/// This framing has a real cost (~130-260 bytes per 16 kB chunk), which
+/// is what makes RLE *expand* chunks whose runs are too sparse — and LC's
+/// copy-fallback then skips the component. The paper's Fig. 11 behaviour
+/// (RLE_4 compresses 4-byte float data and must decode; RLE_1/2/8 mostly
+/// hit the fallback and decode for free) emerges from exactly this
+/// threshold.
+///
+/// Stream layout (after ReducerBase framing):
+///   per subchunk: varint section length, then tokens:
+///     varint repeat_count (>= 1), varint literal_count,
+///     word run value, literal words
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "common/varint.h"
+#include "lc/components/reducer_base.h"
+
+namespace lc {
+namespace {
+
+constexpr std::size_t kRleSubchunks = 32;
+
+constexpr std::size_t sub_begin(std::size_t s, std::size_t n,
+                                std::size_t subchunks) {
+  return s * n / subchunks;
+}
+
+template <Word T>
+class RleComponent final : public detail::ReducerBase<T> {
+ public:
+  RleComponent(KernelTraits enc, KernelTraits dec)
+      : detail::ReducerBase<T>("RLE_" + std::to_string(sizeof(T)), enc, dec) {}
+
+ protected:
+  void encode_words(const detail::WordView<T>& v, Bytes& out) const override {
+    const std::size_t n = v.count;
+    if (n == 0) return;
+    const std::size_t subchunks = std::min(kRleSubchunks, n);
+    Bytes section;
+    for (std::size_t s = 0; s < subchunks; ++s) {
+      const std::size_t lo = sub_begin(s, n, subchunks);
+      const std::size_t hi = sub_begin(s + 1, n, subchunks);
+      section.clear();
+      encode_section(v, lo, hi, section);
+      // Fixed-width section length: the GPU decoder builds its subchunk
+      // offset table with a single coalesced load, so the prefix is a
+      // u32, not a varint.
+      append_le<std::uint32_t>(out, static_cast<std::uint32_t>(section.size()));
+      append(out, ByteSpan(section.data(), section.size()));
+    }
+  }
+
+  void decode_words(ByteSpan payload, std::size_t count,
+                    Bytes& out) const override {
+    if (count == 0) return;
+    const std::size_t subchunks = std::min(kRleSubchunks, count);
+    std::size_t pos = 0;
+    for (std::size_t s = 0; s < subchunks; ++s) {
+      const std::size_t lo = sub_begin(s, count, subchunks);
+      const std::size_t hi = sub_begin(s + 1, count, subchunks);
+      std::uint32_t section_len = 0;
+      LC_DECODE_REQUIRE(read_le<std::uint32_t>(payload, pos, section_len),
+                        "RLE section prefix truncated");
+      LC_DECODE_REQUIRE(pos + section_len <= payload.size(),
+                        "RLE section truncated");
+      decode_section(payload.subspan(pos, static_cast<std::size_t>(section_len)),
+                     hi - lo, out);
+      pos += static_cast<std::size_t>(section_len);
+    }
+  }
+
+ private:
+  void encode_section(const detail::WordView<T>& v, std::size_t lo,
+                      std::size_t hi, Bytes& out) const {
+    std::size_t pos = lo;
+    while (pos < hi) {
+      // Maximal run at pos (within the subchunk).
+      const T value = v.word(pos);
+      std::size_t run = 1;
+      while (pos + run < hi && v.word(pos + run) == value) ++run;
+
+      // Literal stretch: values after the run until the next run of >= 2.
+      const std::size_t lit_begin = pos + run;
+      std::size_t lit_end = lit_begin;
+      while (lit_end < hi &&
+             !(lit_end + 1 < hi && v.word(lit_end + 1) == v.word(lit_end))) {
+        ++lit_end;
+      }
+
+      put_varint(out, run);
+      put_varint(out, lit_end - lit_begin);
+      this->push_word(out, value);
+      for (std::size_t i = lit_begin; i < lit_end; ++i) {
+        this->push_word(out, v.word(i));
+      }
+      pos = lit_end;
+    }
+  }
+
+  void decode_section(ByteSpan payload, std::size_t count, Bytes& out) const {
+    std::size_t pos = 0;
+    std::size_t produced = 0;
+    while (produced < count) {
+      const std::uint64_t run = get_varint(payload, pos);
+      const std::uint64_t lits = get_varint(payload, pos);
+      LC_DECODE_REQUIRE(run >= 1, "RLE run of zero");
+      LC_DECODE_REQUIRE(produced + run + lits <= count,
+                        "RLE token overruns output");
+      LC_DECODE_REQUIRE(pos + (1 + lits) * sizeof(T) <= payload.size(),
+                        "RLE payload truncated");
+      const T value = load_word<T>(payload.data() + pos);
+      pos += sizeof(T);
+      for (std::uint64_t i = 0; i < run; ++i) this->push_word(out, value);
+      for (std::uint64_t i = 0; i < lits; ++i) {
+        this->push_word(out, load_word<T>(payload.data() + pos));
+        pos += sizeof(T);
+      }
+      produced += static_cast<std::size_t>(run + lits);
+    }
+    LC_DECODE_REQUIRE(pos == payload.size(), "RLE section has trailing bytes");
+  }
+};
+
+}  // namespace
+
+ComponentPtr make_rle(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    KernelTraits enc;
+    enc.work_per_word = 3.0;       // neighbor compare + segmented scans
+    enc.span = SpanClass::kLogN;   // Table 2: encode span log n
+    enc.warp_ops_per_word = 0.5;
+    enc.syncs_per_chunk = 8.0;
+    enc.block_atomics = true;      // output cursor publication
+    KernelTraits dec;
+    // RLE decoding is span-1 (Table 2) but constant-heavy: the GPU
+    // decoder prefix-sums run lengths, then expands runs with scattered,
+    // divergent stores that neither coalesce nor overlap with streaming
+    // loads. That is why §6.4 finds RLE_4 (the variant that actually
+    // compresses float data and therefore must run its decoder) markedly
+    // slower, while the other word sizes ride the copy-fallback.
+    dec.work_per_word = 16.0;
+    dec.span = SpanClass::kConst;  // Table 2: decode span 1
+    dec.syncs_per_chunk = 2.0;
+    dec.irregular_memory = true;   // scattered run expansion
+    return std::make_unique<RleComponent<T>>(enc, dec);
+  });
+}
+
+}  // namespace lc

@@ -1,0 +1,123 @@
+/// \file reducers_rre.cpp
+/// RRE and RZE reducers (§3.2.4).
+///
+/// RRE_i builds a bitmap in which bit t says whether word t repeats word
+/// t-1; only the non-repeating words are emitted, plus the bitmap, which
+/// is itself repeatedly compressed with the same repeat-bitmap scheme
+/// (see bitmap_codec.h). RZE_i is identical except the bitmap marks zero
+/// words, and zero words are dropped.
+///
+/// Stream layout (after ReducerBase framing):
+///   varint  literal word count
+///   words   literal (non-repeating / non-zero) words
+///   bytes   recursively compressed bitmap of `count` bits
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/varint.h"
+#include "lc/components/bitmap_codec.h"
+#include "lc/components/reducer_base.h"
+
+namespace lc {
+namespace {
+
+enum class BitmapKind { kRepeat, kZero };
+
+template <Word T, BitmapKind kKind>
+class RreComponent final : public detail::ReducerBase<T> {
+ public:
+  RreComponent(KernelTraits enc, KernelTraits dec)
+      : detail::ReducerBase<T>(
+            std::string(kKind == BitmapKind::kRepeat ? "RRE_" : "RZE_") +
+                std::to_string(sizeof(T)),
+            enc, dec) {}
+
+ protected:
+  void encode_words(const detail::WordView<T>& v, Bytes& out) const override {
+    const std::size_t n = v.count;
+    std::vector<bool> dropped(n, false);
+    std::vector<T> literals;
+    literals.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const T w = v.word(t);
+      const bool drop = (kKind == BitmapKind::kRepeat)
+                            ? (t > 0 && w == v.word(t - 1))
+                            : (w == T{0});
+      dropped[t] = drop;
+      if (!drop) literals.push_back(w);
+    }
+
+    put_varint(out, literals.size());
+    for (const T w : literals) this->push_word(out, w);
+    detail::encode_bitmap_bytes(detail::pack_bits(dropped), out);
+  }
+
+  void decode_words(ByteSpan payload, std::size_t count,
+                    Bytes& out) const override {
+    std::size_t pos = 0;
+    const std::uint64_t lit_count = get_varint(payload, pos);
+    LC_DECODE_REQUIRE(lit_count <= count, "literal count exceeds words");
+    LC_DECODE_REQUIRE(pos + lit_count * sizeof(T) <= payload.size(),
+                      "literal words truncated");
+    const std::size_t lit_base = pos;
+    pos += static_cast<std::size_t>(lit_count) * sizeof(T);
+
+    const std::vector<Byte> bitmap =
+        detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8);
+
+    std::size_t next_literal = 0;
+    T prev{};
+    for (std::size_t t = 0; t < count; ++t) {
+      T w;
+      if (detail::bit_at(bitmap, t)) {
+        if constexpr (kKind == BitmapKind::kRepeat) {
+          LC_DECODE_REQUIRE(t > 0, "word 0 marked repeating");
+          w = prev;
+        } else {
+          w = T{0};
+        }
+      } else {
+        LC_DECODE_REQUIRE(next_literal < lit_count, "literals exhausted");
+        w = load_word<T>(payload.data() + lit_base +
+                         next_literal * sizeof(T));
+        ++next_literal;
+      }
+      this->push_word(out, w);
+      prev = w;
+    }
+    LC_DECODE_REQUIRE(next_literal == lit_count, "unused literal words");
+  }
+};
+
+template <BitmapKind kKind>
+ComponentPtr make_rre_impl(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    KernelTraits enc;
+    enc.work_per_word = 2.5;      // compare + compaction scan + bitmap levels
+    enc.span = SpanClass::kLogN;  // Table 2
+    enc.warp_ops_per_word = 0.5;  // ballot/compaction
+    enc.syncs_per_chunk = 6.0;
+    enc.block_atomics = true;
+    KernelTraits dec;
+    dec.work_per_word = 1.0;  // bitmap-driven gather, no expansion scan
+    dec.span = SpanClass::kLogN;  // Table 2 (bitmap expansion scan)
+    dec.warp_ops_per_word = 0.3;
+    dec.syncs_per_chunk = 4.0;
+    return std::make_unique<RreComponent<T, kKind>>(enc, dec);
+  });
+}
+
+}  // namespace
+
+ComponentPtr make_rre(int word_size) {
+  return make_rre_impl<BitmapKind::kRepeat>(word_size);
+}
+
+ComponentPtr make_rze(int word_size) {
+  return make_rre_impl<BitmapKind::kZero>(word_size);
+}
+
+}  // namespace lc

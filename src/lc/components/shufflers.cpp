@@ -1,0 +1,156 @@
+/// \file shufflers.cpp
+/// Shuffler components (§3.2.2): pure data rearrangements.
+///  * BIT_i — bit-plane transpose: the most significant bits of all words
+///    are emitted together, then the next bit-plane, and so on. The GPU
+///    original implements the 4- and 8-byte variants with __shfl_xor
+///    butterflies (implicit warp synchronization), while the 1- and
+///    2-byte variants use plain bitwise code — which is why the paper sees
+///    different distribution shapes for BIT_1/2 vs BIT_4/8 (Fig. 10). The
+///    KernelTraits record that difference for the gpusim model.
+///  * TUPLk_i — de-interleaves k-tuples of words: x1,y1,x2,y2,... becomes
+///    x1,x2,...,y1,y2,...  Incomplete trailing tuples are carried verbatim.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "lc/component.h"
+#include "lc/components/word_codec.h"
+
+namespace lc {
+namespace {
+
+template <Word T>
+class BitComponent final : public Component {
+ public:
+  BitComponent(KernelTraits enc, KernelTraits dec)
+      : Component("BIT_" + std::to_string(sizeof(T)), Category::kShuffler,
+                  sizeof(T), 1, enc, dec) {}
+
+  void encode(ByteSpan in, Bytes& out) const override {
+    out.clear();
+    out.reserve(in.size());
+    const detail::WordView<T> v(in);
+    BitWriter bw(out);
+    // MSB plane first, per the paper's description. Bits are gathered a
+    // byte at a time (8 words per put) — same stream layout as the
+    // per-bit formulation, ~6x faster.
+    for (int b = kBits<T> - 1; b >= 0; --b) {
+      std::size_t i = 0;
+      for (; i + 8 <= v.count; i += 8) {
+        std::uint64_t byte = 0;
+        for (int j = 0; j < 8; ++j) {
+          byte |= static_cast<std::uint64_t>((v.word(i + j) >> b) & 1) << j;
+        }
+        bw.put(byte, 8);
+      }
+      for (; i < v.count; ++i) {
+        bw.put_bit(((v.word(i) >> b) & 1) != 0);
+      }
+    }
+    bw.finish();  // count*kBits bits == count*sizeof(T) bytes: no padding
+    append(out, v.tail);
+  }
+
+  void decode(ByteSpan in, Bytes& out) const override {
+    out.assign(in.size(), Byte{0});
+    const std::size_t count = in.size() / sizeof(T);
+    BitReader br(in.first(count * sizeof(T)));
+    std::vector<T> words(count, T{0});
+    for (int b = kBits<T> - 1; b >= 0; --b) {
+      std::size_t i = 0;
+      for (; i + 8 <= count; i += 8) {
+        const std::uint64_t byte = br.get(8);
+        for (int j = 0; j < 8; ++j) {
+          words[i + j] = static_cast<T>(
+              words[i + j] | (static_cast<T>((byte >> j) & 1) << b));
+        }
+      }
+      for (; i < count; ++i) {
+        words[i] =
+            static_cast<T>(words[i] | (static_cast<T>(br.get_bit()) << b));
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      store_word<T>(out.data() + i * sizeof(T), words[i]);
+    }
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(count * sizeof(T)),
+              in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(count * sizeof(T)));
+  }
+};
+
+template <Word T>
+class TuplComponent final : public Component {
+ public:
+  TuplComponent(int tuple_size, KernelTraits enc, KernelTraits dec)
+      : Component("TUPL" + std::to_string(tuple_size) + "_" +
+                      std::to_string(sizeof(T)),
+                  Category::kShuffler, sizeof(T), tuple_size, enc, dec) {}
+
+  void encode(ByteSpan in, Bytes& out) const override { run(in, out, true); }
+  void decode(ByteSpan in, Bytes& out) const override { run(in, out, false); }
+
+ private:
+  void run(ByteSpan in, Bytes& out, bool forward) const {
+    out.resize(in.size());
+    const detail::WordView<T> v(in);
+    const std::size_t k = static_cast<std::size_t>(tuple_size());
+    const std::size_t tuples = v.count / k;
+    const std::size_t body = tuples * k;
+    for (std::size_t t = 0; t < tuples; ++t) {
+      for (std::size_t f = 0; f < k; ++f) {
+        const std::size_t src = forward ? (t * k + f) : (f * tuples + t);
+        const std::size_t dst = forward ? (f * tuples + t) : (t * k + f);
+        store_word<T>(out.data() + dst * sizeof(T), v.word(src));
+      }
+    }
+    // Trailing partial tuple and byte tail are carried verbatim.
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(body * sizeof(T)),
+              in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(body * sizeof(T)));
+  }
+};
+
+}  // namespace
+
+ComponentPtr make_bit(int word_size) {
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    const double logw = std::log2(static_cast<double>(kBits<T>));
+    KernelTraits enc;
+    // Table 2: n log w work. The 1/2-byte variants use plain bitwise code
+    // that moves a full 32-bit register of bit-plane data per operation
+    // (~32 values per op), so their per-word cost is a small fraction of
+    // the wide variants' __shfl_xor butterfly (§6.4, Fig. 10), which also
+    // adds warp ops and implicit synchronization.
+    enc.work_per_word = (sizeof(T) >= 4) ? logw : 0.15 * logw;
+    enc.span = SpanClass::kLogW;
+    KernelTraits dec = enc;
+    if constexpr (sizeof(T) >= 4) {
+      enc.warp_ops_per_word = logw;
+      dec.warp_ops_per_word = logw;
+      enc.syncs_per_chunk = 2.0;
+      dec.syncs_per_chunk = 2.0;
+    }
+    return std::make_unique<BitComponent<T>>(enc, dec);
+  });
+}
+
+ComponentPtr make_tupl(int tuple_size, int word_size) {
+  LC_REQUIRE(tuple_size == 2 || tuple_size == 4 || tuple_size == 8,
+             "TUPL tuple size must be 2, 4, or 8");
+  return detail::dispatch_word_size(word_size, [&](auto tag) -> ComponentPtr {
+    using T = decltype(tag);
+    KernelTraits t;
+    t.work_per_word = 1.0;  // Table 2: n work, O(1) span
+    t.span = SpanClass::kConst;
+    t.irregular_memory = true;  // strided scatter/gather
+    return std::make_unique<TuplComponent<T>>(tuple_size, t, t);
+  });
+}
+
+}  // namespace lc

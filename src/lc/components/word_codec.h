@@ -1,0 +1,94 @@
+#ifndef LC_LC_COMPONENTS_WORD_CODEC_H
+#define LC_LC_COMPONENTS_WORD_CODEC_H
+
+/// \file word_codec.h
+/// Internal helpers shared by the component implementations: splitting a
+/// byte string into whole words plus a verbatim tail, and a generic
+/// per-word map component used by all mutators.
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "lc/component.h"
+
+namespace lc::detail {
+
+/// View of a buffer as `count` whole words followed by a verbatim tail.
+template <Word T>
+struct WordView {
+  const Byte* data;
+  std::size_t count;       ///< whole words
+  ByteSpan tail;           ///< trailing bytes (size < sizeof(T))
+
+  explicit WordView(ByteSpan in)
+      : data(in.data()),
+        count(in.size() / sizeof(T)),
+        tail(in.subspan(in.size() - in.size() % sizeof(T))) {}
+
+  [[nodiscard]] T word(std::size_t i) const noexcept {
+    return load_word<T>(data + i * sizeof(T));
+  }
+};
+
+/// Generic per-word bijective map component (all mutators, and the
+/// composition used by DIFFMS/DIFFNB). `Fwd`/`Inv` are stateless callables
+/// T -> T with Inv(Fwd(x)) == x.
+template <Word T, typename Fwd, typename Inv>
+class MapComponent final : public Component {
+ public:
+  MapComponent(std::string name, Category cat, KernelTraits enc,
+               KernelTraits dec, Fwd fwd, Inv inv)
+      : Component(std::move(name), cat, sizeof(T), 1, enc, dec),
+        fwd_(fwd),
+        inv_(inv) {}
+
+  void encode(ByteSpan in, Bytes& out) const override { run(in, out, fwd_); }
+  void decode(ByteSpan in, Bytes& out) const override { run(in, out, inv_); }
+
+ private:
+  template <typename F>
+  void run(ByteSpan in, Bytes& out, F f) const {
+    out.resize(in.size());
+    const WordView<T> v(in);
+    for (std::size_t i = 0; i < v.count; ++i) {
+      store_word<T>(out.data() + i * sizeof(T), f(v.word(i)));
+    }
+    std::copy(v.tail.begin(), v.tail.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(v.count * sizeof(T)));
+  }
+
+  Fwd fwd_;
+  Inv inv_;
+};
+
+template <Word T, typename Fwd, typename Inv>
+ComponentPtr make_map_component(std::string name, Category cat,
+                                KernelTraits enc, KernelTraits dec, Fwd fwd,
+                                Inv inv) {
+  return std::make_unique<MapComponent<T, Fwd, Inv>>(
+      std::move(name), cat, enc, dec, fwd, inv);
+}
+
+/// Dispatch a callable templated on word type by runtime word size (bytes).
+/// `f` is invoked as f.template operator()<T>() — use a generic lambda
+/// taking a type tag instead for readability.
+template <typename F>
+auto dispatch_word_size(int word_size, F&& f) {
+  switch (word_size) {
+    case 1: return f(std::uint8_t{});
+    case 2: return f(std::uint16_t{});
+    case 4: return f(std::uint32_t{});
+    case 8: return f(std::uint64_t{});
+    default: throw Error("unsupported word size " + std::to_string(word_size));
+  }
+}
+
+}  // namespace lc::detail
+
+#endif  // LC_LC_COMPONENTS_WORD_CODEC_H

@@ -1,0 +1,56 @@
+#include "lc/pipeline.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace lc {
+
+std::string Pipeline::spec() const {
+  std::string s;
+  for (const Component* c : stages_) {
+    if (!s.empty()) s += ' ';
+    s += c->name();
+  }
+  return s;
+}
+
+Pipeline Pipeline::parse(std::string_view spec) {
+  const Registry& registry = Registry::instance();
+  std::vector<const Component*> stages;
+  std::istringstream in{std::string(spec)};
+  std::string token;
+  while (in >> token) {
+    const Component* c = registry.find(token);
+    LC_REQUIRE(c != nullptr, "unknown component '" + token + "'");
+    stages.push_back(c);
+  }
+  return Pipeline(std::move(stages));
+}
+
+std::uint64_t Pipeline::id() const { return hash_string(spec()); }
+
+std::vector<Pipeline> enumerate_three_stage_pipelines() {
+  const Registry& registry = Registry::instance();
+  const auto& all = registry.all();
+  const auto& reducers = registry.reducers();
+  std::vector<Pipeline> pipelines;
+  pipelines.reserve(all.size() * all.size() * reducers.size());
+  for (const Component* s1 : all) {
+    for (const Component* s2 : all) {
+      for (const Component* s3 : reducers) {
+        pipelines.emplace_back(std::vector<const Component*>{s1, s2, s3});
+      }
+    }
+  }
+  return pipelines;
+}
+
+std::size_t three_stage_pipeline_count() {
+  const Registry& registry = Registry::instance();
+  return registry.all().size() * registry.all().size() *
+         registry.reducers().size();
+}
+
+}  // namespace lc

@@ -1,0 +1,61 @@
+#ifndef LC_LC_PIPELINE_H
+#define LC_LC_PIPELINE_H
+
+/// \file pipeline.h
+/// Pipelines: ordered chains of components (Fig. 1). The study's
+/// population is every 3-stage pipeline whose last stage is a reducer:
+/// 62 x 62 x 28 = 107,632 pipelines. This header also provides the
+/// enumeration used by the characterization benches.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lc/component.h"
+#include "lc/registry.h"
+
+namespace lc {
+
+/// An ordered chain of components. Compression applies stages in order;
+/// decompression applies the inverse transformations in reverse order.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(std::vector<const Component*> stages)
+      : stages_(std::move(stages)) {}
+
+  [[nodiscard]] const std::vector<const Component*>& stages() const noexcept {
+    return stages_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return stages_.empty(); }
+  [[nodiscard]] const Component& stage(std::size_t i) const {
+    return *stages_.at(i);
+  }
+
+  /// Space-separated spec, e.g. "BIT_4 DIFF_4 RZE_4".
+  [[nodiscard]] std::string spec() const;
+
+  /// Parse a space-separated spec against the registry.
+  /// Throws lc::Error on unknown component names.
+  [[nodiscard]] static Pipeline parse(std::string_view spec);
+
+  /// Stable 64-bit identity (hash of the spec), used by gpusim's
+  /// deterministic dispersion model and the result cache.
+  [[nodiscard]] std::uint64_t id() const;
+
+ private:
+  std::vector<const Component*> stages_;
+};
+
+/// Enumerate all 62*62*28 three-stage pipelines in a fixed order
+/// (stage-1 major, stage-3 minor). The returned vector's size is asserted
+/// in tests to match the paper's 107,632.
+[[nodiscard]] std::vector<Pipeline> enumerate_three_stage_pipelines();
+
+/// Number of three-stage pipelines without materializing them.
+[[nodiscard]] std::size_t three_stage_pipeline_count();
+
+}  // namespace lc
+
+#endif  // LC_LC_PIPELINE_H

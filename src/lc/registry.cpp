@@ -1,0 +1,66 @@
+#include "lc/registry.h"
+
+#include <utility>
+
+namespace lc {
+
+Registry::Registry() {
+  const auto add = [this](ComponentPtr c) {
+    all_.push_back(c.get());
+    by_category_[static_cast<std::size_t>(c->category())].push_back(c.get());
+    owned_.push_back(std::move(c));
+  };
+
+  // Mutators (12).
+  for (const int w : {4, 8}) add(make_dbefs(w));
+  for (const int w : {4, 8}) add(make_dbesf(w));
+  for (const int w : {1, 2, 4, 8}) add(make_tcms(w));
+  for (const int w : {1, 2, 4, 8}) add(make_tcnb(w));
+
+  // Shufflers (10): BIT x4, TUPL x6.
+  for (const int w : {1, 2, 4, 8}) add(make_bit(w));
+  add(make_tupl(2, 1));
+  add(make_tupl(2, 2));
+  add(make_tupl(2, 4));
+  add(make_tupl(4, 1));
+  add(make_tupl(4, 2));
+  add(make_tupl(8, 1));
+
+  // Predictors (12).
+  for (const int w : {1, 2, 4, 8}) add(make_diff(w));
+  for (const int w : {1, 2, 4, 8}) add(make_diffms(w));
+  for (const int w : {1, 2, 4, 8}) add(make_diffnb(w));
+
+  // Reducers (28).
+  for (const int w : {1, 2, 4, 8}) add(make_clog(w));
+  for (const int w : {1, 2, 4, 8}) add(make_hclog(w));
+  for (const int w : {1, 2, 4, 8}) add(make_rare(w));
+  for (const int w : {1, 2, 4, 8}) add(make_raze(w));
+  for (const int w : {1, 2, 4, 8}) add(make_rle(w));
+  for (const int w : {1, 2, 4, 8}) add(make_rre(w));
+  for (const int w : {1, 2, 4, 8}) add(make_rze(w));
+}
+
+const Registry& Registry::instance() {
+  static const Registry registry;
+  return registry;
+}
+
+const Component* Registry::find(std::string_view name) const noexcept {
+  for (const Component* c : all_) {
+    if (c->name() == name) return c;
+  }
+  return nullptr;
+}
+
+const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kMutator: return "mutator";
+    case Category::kShuffler: return "shuffler";
+    case Category::kPredictor: return "predictor";
+    case Category::kReducer: return "reducer";
+  }
+  return "?";
+}
+
+}  // namespace lc

@@ -1,0 +1,61 @@
+#ifndef LC_LC_REGISTRY_H
+#define LC_LC_REGISTRY_H
+
+/// \file registry.h
+/// The component library (Table 1): all 62 components, constructed once
+/// and shared. Word sizes are 1/2/4/8 bytes (4/8 for DBEFS/DBESF); the six
+/// TUPL variants are TUPL2_{1,2,4}, TUPL4_{1,2} and TUPL8_1 — each tuple
+/// size with its own set of word granularities (tuple span k*i <= 8
+/// bytes). This assignment is forced by the paper's §6.2 population
+/// counts: uniform-word-size pipelines number 1792/1575/1792/1575 for
+/// 1/2/4/8-byte words, which requires 16/15/16/15 components per word
+/// size and hence 3/2/1/0 TUPL variants at word sizes 1/2/4/8.
+
+#include <string_view>
+#include <vector>
+
+#include "lc/component.h"
+
+namespace lc {
+
+/// Immutable singleton owning the 62 components.
+class Registry {
+ public:
+  /// The shared instance (thread-safe lazy construction).
+  [[nodiscard]] static const Registry& instance();
+
+  /// All components in a stable, documented order: mutators, shufflers,
+  /// predictors, reducers; within a family, ascending word size.
+  [[nodiscard]] const std::vector<const Component*>& all() const noexcept {
+    return all_;
+  }
+
+  /// Components of one category.
+  [[nodiscard]] const std::vector<const Component*>& by_category(
+      Category c) const noexcept {
+    return by_category_[static_cast<std::size_t>(c)];
+  }
+
+  /// The 28 reducers (legal in any stage; the only legal stage-3 choice).
+  [[nodiscard]] const std::vector<const Component*>& reducers() const noexcept {
+    return by_category(Category::kReducer);
+  }
+
+  /// Look up by pipeline-spec name (e.g. "BIT_4"). Returns nullptr when
+  /// unknown.
+  [[nodiscard]] const Component* find(std::string_view name) const noexcept;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+
+  std::vector<ComponentPtr> owned_;
+  std::vector<const Component*> all_;
+  std::vector<const Component*> by_category_[4];
+};
+
+}  // namespace lc
+
+#endif  // LC_LC_REGISTRY_H

@@ -1,0 +1,70 @@
+// Integration test for the sweep engine's double-precision mode: the
+// stage-1 fallback statistics must mirror the SP behaviour with the word
+// sizes swapped (the ext_dp_rle_mirror bench's load-bearing property).
+
+#include <gtest/gtest.h>
+
+#include "charlab/sweep.h"
+
+namespace lc::charlab {
+namespace {
+
+std::size_t index_of(const Sweep& sweep, const char* name) {
+  for (std::size_t i = 0; i < sweep.num_components(); ++i) {
+    if (sweep.component(i).name() == name) return i;
+  }
+  ADD_FAILURE() << "component not found: " << name;
+  return 0;
+}
+
+TEST(DpSweep, Rle8AppliesWhereRle4DoesNotOnDpData) {
+  SweepConfig config;
+  config.scale = 1.0 / 256.0;
+  config.chunks_per_input = 2;
+  config.inputs = {"msg_bt", "msg_sp"};
+  config.double_precision = true;
+  config.use_cache = false;
+  const Sweep dp = Sweep::compute(config, ThreadPool::global());
+
+  config.double_precision = false;
+  const Sweep sp = Sweep::compute(config, ThreadPool::global());
+
+  const std::size_t rle4 = index_of(dp, "RLE_4");
+  const std::size_t rle8 = index_of(dp, "RLE_8");
+  for (std::size_t in = 0; in < dp.num_inputs(); ++in) {
+    // DP data: 8-byte runs exist, 4-byte granularity sees ABAB.
+    EXPECT_GT(dp.stage1_record(in, rle8).applied, 0.9f)
+        << dp.input_names()[in];
+    EXPECT_LT(dp.stage1_record(in, rle4).applied, 0.3f)
+        << dp.input_names()[in];
+    // SP data: the mirror image.
+    EXPECT_GT(sp.stage1_record(in, rle4).applied, 0.9f)
+        << sp.input_names()[in];
+    EXPECT_LT(sp.stage1_record(in, rle8).applied, 0.1f)
+        << sp.input_names()[in];
+  }
+}
+
+TEST(DpSweep, FingerprintSeparatesPrecisions) {
+  // A DP sweep must never satisfy an SP cache lookup: force both through
+  // the same cache path and verify the second recomputes (differing
+  // stage records prove it did not load the SP data).
+  SweepConfig config;
+  config.scale = 1.0 / 512.0;
+  config.chunks_per_input = 1;
+  config.inputs = {"msg_bt"};
+  config.use_cache = true;
+  config.cache_path = ::testing::TempDir() + "/lc_dp_cache_test.bin";
+  std::remove(config.cache_path.c_str());
+
+  const Sweep sp = Sweep::load_or_compute(config, ThreadPool::global());
+  config.double_precision = true;
+  const Sweep dp = Sweep::load_or_compute(config, ThreadPool::global());
+  const std::size_t rle8 = index_of(sp, "RLE_8");
+  EXPECT_NE(sp.stage1_record(0, rle8).applied,
+            dp.stage1_record(0, rle8).applied);
+  std::remove(config.cache_path.c_str());
+}
+
+}  // namespace
+}  // namespace lc::charlab

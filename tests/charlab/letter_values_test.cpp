@@ -1,0 +1,121 @@
+// Tests for the letter-value (boxen) summaries and the geometric mean.
+
+#include "charlab/letter_values.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace lc::charlab {
+namespace {
+
+TEST(LetterValues, EmptyInput) {
+  const LetterValueSummary s = letter_values({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(LetterValues, SingleValue) {
+  const LetterValueSummary s = letter_values({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(LetterValues, MedianAndFourthsKnownValues) {
+  // 1..8: median 4.5; fourths at depth rank (1+4)/2 = 2.5 -> 2.5 and 6.5.
+  const LetterValueSummary s =
+      letter_values({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  ASSERT_GE(s.boxes.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.boxes[0].lower, 2.5);
+  EXPECT_DOUBLE_EQ(s.boxes[0].upper, 6.5);
+}
+
+TEST(LetterValues, OrderInvariant) {
+  const LetterValueSummary a = letter_values({3, 1, 4, 1, 5, 9, 2, 6});
+  const LetterValueSummary b = letter_values({9, 6, 5, 4, 3, 2, 1, 1});
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.boxes[0].lower, b.boxes[0].lower);
+}
+
+TEST(LetterValues, DepthGrowsWithPopulation) {
+  SplitMix rng(3);
+  std::vector<double> small_pop, large_pop;
+  for (int i = 0; i < 100; ++i) small_pop.push_back(rng.next_unit());
+  for (int i = 0; i < 100000; ++i) large_pop.push_back(rng.next_unit());
+  const auto s = letter_values(small_pop);
+  const auto l = letter_values(large_pop);
+  EXPECT_GT(l.boxes.size(), s.boxes.size());
+}
+
+TEST(LetterValues, OutlierRateApproximatelyRespected) {
+  // The paper fixes outliers at 0.7%; for a large uniform sample the
+  // flagged fraction must be near (at most ~2x) that rate.
+  SplitMix rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 107632; ++i) values.push_back(rng.next_unit());
+  const auto s = letter_values(values, 0.007);
+  const double rate =
+      static_cast<double>(s.outliers_low + s.outliers_high) / values.size();
+  EXPECT_LE(rate, 0.014);
+  EXPECT_GT(rate, 0.0005);
+}
+
+TEST(LetterValues, BoxesAreNested) {
+  SplitMix rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.next_gaussian());
+  const auto s = letter_values(values);
+  for (std::size_t i = 1; i < s.boxes.size(); ++i) {
+    EXPECT_LE(s.boxes[i].lower, s.boxes[i - 1].lower);
+    EXPECT_GE(s.boxes[i].upper, s.boxes[i - 1].upper);
+  }
+  EXPECT_LE(s.boxes[0].lower, s.median);
+  EXPECT_GE(s.boxes[0].upper, s.median);
+}
+
+TEST(UpperTailShare, SymmetricDistribution) {
+  std::vector<double> values;
+  for (int i = 0; i < 10001; ++i) values.push_back(static_cast<double>(i));
+  const auto s = letter_values(values);
+  EXPECT_NEAR(upper_tail_share(s), 0.5, 0.01);
+}
+
+TEST(UpperTailShare, TopHuggingDistributionReadsLow) {
+  // Mimic the paper's decode distributions: most mass near the top,
+  // a long lower tail.
+  SplitMix rng(41);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.next_unit();
+    values.push_back(500.0 - 400.0 * u * u * u);  // cubed: mass near 500
+  }
+  const auto s = letter_values(values);
+  EXPECT_LT(upper_tail_share(s), 0.40)
+      << "F box must hug the top for upward-skewed data";
+}
+
+TEST(UpperTailShare, DegenerateSummaries) {
+  EXPECT_DOUBLE_EQ(upper_tail_share(letter_values({})), 0.5);
+  EXPECT_DOUBLE_EQ(upper_tail_share(letter_values({7.0, 7.0, 7.0, 7.0})),
+                   0.5);
+}
+
+TEST(GeometricMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0}), 4.0);
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  EXPECT_THROW((void)geometric_mean({1.0, 0.0}), Error);
+  EXPECT_THROW((void)geometric_mean({-1.0}), Error);
+}
+
+}  // namespace
+}  // namespace lc::charlab

@@ -1,0 +1,80 @@
+// Tests for the boxen-table renderer and CSV writer.
+
+#include "charlab/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lc::charlab {
+namespace {
+
+std::vector<Series> sample_series() {
+  Series a{"RTX 4090", "NVCC", {}};
+  Series b{"RTX 4090", "Clang", {}};
+  for (int i = 1; i <= 1000; ++i) {
+    a.values.push_back(100.0 + i * 0.1);
+    b.values.push_back(90.0 + i * 0.1);
+  }
+  return {a, b};
+}
+
+TEST(Report, TableContainsTitleGroupsAndVariants) {
+  std::ostringstream os;
+  print_boxen_table(os, "fig02: encode by GPU", "GB/s", sample_series());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fig02: encode by GPU"), std::string::npos);
+  EXPECT_NE(out.find("RTX 4090"), std::string::npos);
+  EXPECT_NE(out.find("NVCC"), std::string::npos);
+  EXPECT_NE(out.find("Clang"), std::string::npos);
+  EXPECT_NE(out.find("median"), std::string::npos);
+  EXPECT_NE(out.find("150.05"), std::string::npos);  // NVCC median
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerSeries) {
+  std::ostringstream os;
+  write_boxen_csv(os, sample_series());
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 series
+  EXPECT_EQ(out.find("group,variant,n,median"), 0u);
+  EXPECT_NE(out.find("RTX 4090,NVCC,1000,"), std::string::npos);
+}
+
+TEST(Report, AsciiBoxenSharedAxisAndGlyphs) {
+  std::ostringstream os;
+  print_ascii_boxen(os, sample_series(), 60);
+  const std::string out = os.str();
+  // Both series rendered, with box glyphs and a median tick.
+  EXPECT_NE(out.find("NVCC"), std::string::npos);
+  EXPECT_NE(out.find("Clang"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  // The Clang series (90..190) starts left of the NVCC series (100..200)
+  // on the shared axis: its first '.' column is smaller.
+  const auto row_start = [&out](const char* tag) {
+    const std::size_t line = out.find(tag);
+    return out.find('.', line) - line;
+  };
+  EXPECT_LT(row_start("Clang"), row_start("NVCC"));
+}
+
+TEST(Report, AsciiBoxenEmptyAndDegenerate) {
+  std::ostringstream os;
+  print_ascii_boxen(os, {});
+  print_ascii_boxen(os, {{"g", "x", {5.0, 5.0}}});  // zero range
+  SUCCEED() << "no crash on degenerate inputs";
+}
+
+TEST(Report, HandlesTinySeries) {
+  std::ostringstream os;
+  print_boxen_table(os, "t", "v", {{"g", "x", {1.0}}});
+  EXPECT_NE(os.str().find("1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lc::charlab

@@ -1,0 +1,167 @@
+// Integration tests for the characterization sweep engine on a tiny
+// configuration (2 inputs, 1 chunk each, heavily scaled down) — fast
+// enough for CI while exercising the full memoized pipeline space.
+
+#include "charlab/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "charlab/grouping.h"
+#include "lc/pipeline.h"
+
+namespace lc::charlab {
+namespace {
+
+SweepConfig tiny_config() {
+  SweepConfig config;
+  config.scale = 1.0 / 512.0;
+  config.chunks_per_input = 1;
+  config.inputs = {"msg_bt", "num_plasma"};
+  config.use_cache = false;
+  return config;
+}
+
+const Sweep& tiny_sweep() {
+  static const Sweep sweep = Sweep::compute(tiny_config(), ThreadPool::global());
+  return sweep;
+}
+
+TEST(Sweep, Dimensions) {
+  const Sweep& s = tiny_sweep();
+  EXPECT_EQ(s.num_components(), 62u);
+  EXPECT_EQ(s.num_reducers(), 28u);
+  EXPECT_EQ(s.num_pipelines(), 107632u);
+  EXPECT_EQ(s.num_inputs(), 2u);
+}
+
+TEST(Sweep, StageRecordsAreSane) {
+  const Sweep& s = tiny_sweep();
+  for (std::size_t in = 0; in < s.num_inputs(); ++in) {
+    for (std::size_t i1 = 0; i1 < s.num_components(); ++i1) {
+      const StageRecord& r = s.stage1_record(in, i1);
+      EXPECT_GT(r.avg_in, 0.0f);
+      EXPECT_LE(r.avg_in, 16384.0f);
+      EXPECT_GT(r.avg_out, 0.0f);
+      EXPECT_GE(r.applied, 0.0f);
+      EXPECT_LE(r.applied, 1.0f);
+      // Non-reducers are size-preserving and always applied.
+      if (!s.component(i1).is_reducer()) {
+        EXPECT_FLOAT_EQ(r.avg_out, r.avg_in) << s.component(i1).name();
+        EXPECT_FLOAT_EQ(r.applied, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Sweep, Stage1FeedsStage2Sizes) {
+  // The stage-2 input must equal stage 1's post-fallback output.
+  const Sweep& s = tiny_sweep();
+  for (std::size_t i1 = 0; i1 < s.num_components(); i1 += 7) {
+    const StageRecord& r1 = s.stage1_record(0, i1);
+    const float expected =
+        r1.applied * r1.avg_out + (1.0f - r1.applied) * r1.avg_in;
+    for (std::size_t i2 = 0; i2 < s.num_components(); i2 += 11) {
+      const StageRecord& r2 = s.stage2_record(0, i1, i2);
+      EXPECT_NEAR(r2.avg_in, expected, 1.0f)
+          << s.component(i1).name() << " -> " << s.component(i2).name();
+    }
+  }
+}
+
+TEST(Sweep, PipelineIdsMatchPipelineSpecHash) {
+  const Sweep& s = tiny_sweep();
+  const Pipeline p = Pipeline::parse(s.component(3).name() + " " +
+                                     s.component(17).name() + " " +
+                                     s.reducer(5).name());
+  EXPECT_EQ(s.pipeline_id(3, 17, 5), p.id());
+}
+
+TEST(Sweep, ThroughputsPositiveAndGeomeanBetweenExtremes) {
+  const Sweep& s = tiny_sweep();
+  const gpusim::GpuSpec& gpu = gpusim::gpu_by_name("RTX 4090");
+  const double t0 = s.throughput(1, 2, 3, 0, gpu, gpusim::Toolchain::kNvcc,
+                                 gpusim::OptLevel::kO3,
+                                 gpusim::Direction::kEncode);
+  const double t1 = s.throughput(1, 2, 3, 1, gpu, gpusim::Toolchain::kNvcc,
+                                 gpusim::OptLevel::kO3,
+                                 gpusim::Direction::kEncode);
+  const double g = s.geomean_throughput(1, 2, 3, gpu,
+                                        gpusim::Toolchain::kNvcc,
+                                        gpusim::OptLevel::kO3,
+                                        gpusim::Direction::kEncode);
+  EXPECT_GT(t0, 0.0);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GE(g, std::min(t0, t1));
+  EXPECT_LE(g, std::max(t0, t1));
+}
+
+TEST(Sweep, NominalSizesAreTable3Sizes) {
+  // The timing model simulates the paper's file sizes regardless of the
+  // synthesis scale.
+  const Sweep& s = tiny_sweep();
+  const auto stats = s.pipeline_stats(0, 0, 0, 0);  // msg_bt
+  EXPECT_NEAR(stats.input_bytes, 133.2 * 1024 * 1024, 1.0);
+  EXPECT_NEAR(stats.chunk_count, std::ceil(stats.input_bytes / 16384.0), 1.0);
+}
+
+TEST(Sweep, CacheRoundTrip) {
+  SweepConfig config = tiny_config();
+  config.use_cache = true;
+  config.cache_path = ::testing::TempDir() + "/lc_sweep_test_cache.bin";
+  std::remove(config.cache_path.c_str());
+
+  const Sweep first = Sweep::load_or_compute(config, ThreadPool::global());
+  const Sweep second = Sweep::load_or_compute(config, ThreadPool::global());
+  for (std::size_t i1 = 0; i1 < first.num_components(); i1 += 5) {
+    for (std::size_t i3 = 0; i3 < first.num_reducers(); i3 += 3) {
+      const StageRecord& a = first.stage3_record(1, i1, i1, i3);
+      const StageRecord& b = second.stage3_record(1, i1, i1, i3);
+      EXPECT_FLOAT_EQ(a.avg_in, b.avg_in);
+      EXPECT_FLOAT_EQ(a.avg_out, b.avg_out);
+      EXPECT_FLOAT_EQ(a.applied, b.applied);
+    }
+  }
+  std::remove(config.cache_path.c_str());
+}
+
+TEST(Sweep, CacheInvalidatedByConfigChange) {
+  SweepConfig config = tiny_config();
+  config.use_cache = true;
+  config.cache_path = ::testing::TempDir() + "/lc_sweep_test_cache2.bin";
+  std::remove(config.cache_path.c_str());
+  (void)Sweep::load_or_compute(config, ThreadPool::global());
+
+  // Different seed salt -> fingerprint mismatch -> recompute, not load.
+  SweepConfig other = config;
+  other.seed_salt = 99;
+  const Sweep recomputed = Sweep::load_or_compute(other, ThreadPool::global());
+  EXPECT_EQ(recomputed.num_inputs(), 2u);  // computed successfully
+  std::remove(config.cache_path.c_str());
+}
+
+TEST(Grouping, FamilyNames) {
+  EXPECT_EQ(family("BIT_4"), "BIT");
+  EXPECT_EQ(family("TUPL2_1"), "TUPL");
+  EXPECT_EQ(family("TUPL8_1"), "TUPL");
+  EXPECT_EQ(family("DBEFS_8"), "DBEFS");
+  EXPECT_EQ(family("HCLOG_2"), "HCLOG");
+  EXPECT_EQ(family("DIFFMS_4"), "DIFFMS");
+}
+
+TEST(Grouping, Predicates) {
+  const Registry& reg = Registry::instance();
+  const Component& bit4 = *reg.find("BIT_4");
+  const Component& diff4 = *reg.find("DIFF_4");
+  const Component& rze4 = *reg.find("RZE_4");
+  const Component& rze8 = *reg.find("RZE_8");
+  EXPECT_TRUE(uniform_word_size(bit4, diff4, rze4));
+  EXPECT_FALSE(uniform_word_size(bit4, diff4, rze8));
+  EXPECT_FALSE(type_pure_prefix(bit4, diff4));
+  EXPECT_TRUE(type_pure_prefix(rze4, rze8));
+}
+
+}  // namespace
+}  // namespace lc::charlab

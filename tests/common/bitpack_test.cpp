@@ -1,0 +1,103 @@
+// Unit tests for the bit-packing reader/writer used by the reducers.
+
+#include "common/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace lc {
+namespace {
+
+TEST(BitPack, SingleBits) {
+  Bytes buf;
+  BitWriter bw(buf);
+  const bool bits[] = {true, false, true, true, false, false, true, false,
+                       true, true};
+  for (const bool b : bits) bw.put_bit(b);
+  bw.finish();
+  ASSERT_EQ(buf.size(), 2u);  // 10 bits -> 2 bytes
+
+  BitReader br(ByteSpan(buf.data(), buf.size()));
+  for (const bool b : bits) EXPECT_EQ(br.get_bit(), b);
+}
+
+TEST(BitPack, ZeroWidthFieldsAreFree) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.put(123, 0);
+  bw.finish();
+  EXPECT_TRUE(buf.empty());
+  BitReader br(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(br.get(0), 0u);
+}
+
+TEST(BitPack, FullWidth64) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.put(0x0123456789ABCDEFull, 64);
+  bw.put(0xFFFFFFFFFFFFFFFFull, 64);
+  bw.finish();
+  ASSERT_EQ(buf.size(), 16u);
+  BitReader br(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(br.get(64), 0x0123456789ABCDEFull);
+  EXPECT_EQ(br.get(64), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(BitPack, RandomMixedWidthsRoundTrip) {
+  SplitMix rng(1234);
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  for (int i = 0; i < 5000; ++i) {
+    const int width = static_cast<int>(rng.next_below(65));
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    fields.emplace_back(rng.next() & mask, width);
+  }
+  Bytes buf;
+  BitWriter bw(buf);
+  for (const auto& [v, w] : fields) bw.put(v, w);
+  bw.finish();
+
+  BitReader br(ByteSpan(buf.data(), buf.size()));
+  for (const auto& [v, w] : fields) {
+    EXPECT_EQ(br.get(w), v);
+  }
+}
+
+TEST(BitPack, PartialByteIsZeroPadded) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.put(0b101, 3);
+  bw.finish();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0b101);
+}
+
+TEST(BitPack, ReadPastEndThrows) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.put(0xFF, 8);
+  bw.finish();
+  BitReader br(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(br.get(8), 0xFFu);
+  EXPECT_THROW((void)br.get(1), CorruptDataError);
+}
+
+TEST(BitPack, BytesConsumedTracksProgress) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.put(0xABCD, 16);
+  bw.finish();
+  BitReader br(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(br.bytes_consumed(), 0u);
+  (void)br.get(4);
+  EXPECT_EQ(br.bytes_consumed(), 1u);
+  (void)br.get(12);
+  EXPECT_EQ(br.bytes_consumed(), 2u);
+}
+
+}  // namespace
+}  // namespace lc

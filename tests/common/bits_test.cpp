@@ -1,0 +1,135 @@
+// Unit tests for the word-level bit primitives every component builds on.
+
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace lc {
+namespace {
+
+TEST(Bits, HostIsLittleEndian) {
+  // load_word/store_word document a little-endian host contract.
+  ASSERT_EQ(std::endian::native, std::endian::little);
+}
+
+TEST(Bits, LeadingZeros) {
+  EXPECT_EQ(leading_zeros<std::uint8_t>(0), 8);
+  EXPECT_EQ(leading_zeros<std::uint8_t>(1), 7);
+  EXPECT_EQ(leading_zeros<std::uint8_t>(0x80), 0);
+  EXPECT_EQ(leading_zeros<std::uint32_t>(0), 32);
+  EXPECT_EQ(leading_zeros<std::uint32_t>(0xFFFFFFFFu), 0);
+  EXPECT_EQ(leading_zeros<std::uint64_t>(1ULL << 40), 23);
+}
+
+TEST(Bits, MagnitudeSignSmallValues) {
+  // 0,-1,1,-2,2,... maps to 0,1,2,3,4,... (sign in the LSB).
+  EXPECT_EQ(to_magnitude_sign<std::uint32_t>(0u), 0u);
+  EXPECT_EQ(to_magnitude_sign<std::uint32_t>(static_cast<std::uint32_t>(-1)), 1u);
+  EXPECT_EQ(to_magnitude_sign<std::uint32_t>(1u), 2u);
+  EXPECT_EQ(to_magnitude_sign<std::uint32_t>(static_cast<std::uint32_t>(-2)), 3u);
+  EXPECT_EQ(to_magnitude_sign<std::uint32_t>(2u), 4u);
+}
+
+template <typename T>
+void roundtrip_all_maps(T v) {
+  EXPECT_EQ(from_magnitude_sign<T>(to_magnitude_sign<T>(v)), v);
+  EXPECT_EQ(from_negabinary<T>(to_negabinary<T>(v)), v);
+}
+
+TEST(Bits, MapsRoundTripExhaustive8Bit) {
+  for (int i = 0; i < 256; ++i) {
+    roundtrip_all_maps<std::uint8_t>(static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Bits, MapsRoundTripExhaustive16Bit) {
+  for (int i = 0; i < 65536; ++i) {
+    roundtrip_all_maps<std::uint16_t>(static_cast<std::uint16_t>(i));
+  }
+}
+
+TEST(Bits, MapsRoundTripRandomWide) {
+  SplitMix rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    roundtrip_all_maps<std::uint32_t>(static_cast<std::uint32_t>(rng.next()));
+    roundtrip_all_maps<std::uint64_t>(rng.next());
+  }
+}
+
+TEST(Bits, MagnitudeSignIsBijective8Bit) {
+  bool seen[256] = {};
+  for (int i = 0; i < 256; ++i) {
+    const auto m = to_magnitude_sign<std::uint8_t>(static_cast<std::uint8_t>(i));
+    EXPECT_FALSE(seen[m]);
+    seen[m] = true;
+  }
+}
+
+TEST(Bits, NegabinaryKnownValues) {
+  // Negabinary of small integers: 1 -> 1, -1 -> 11b(=3), 2 -> 110b(=6).
+  EXPECT_EQ(to_negabinary<std::uint8_t>(1), 1);
+  EXPECT_EQ(to_negabinary<std::uint8_t>(static_cast<std::uint8_t>(-1)), 3);
+  EXPECT_EQ(to_negabinary<std::uint8_t>(2), 6);
+  EXPECT_EQ(to_negabinary<std::uint8_t>(static_cast<std::uint8_t>(-2)), 2);
+}
+
+template <typename T>
+void roundtrip_float_fields(T v) {
+  EXPECT_EQ(rebias_efs<T>(debias_efs<T>(v)), v);
+  EXPECT_EQ(rebias_esf<T>(debias_esf<T>(v)), v);
+}
+
+TEST(Bits, FloatFieldRoundTripRandom) {
+  SplitMix rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    roundtrip_float_fields<std::uint32_t>(static_cast<std::uint32_t>(rng.next()));
+    roundtrip_float_fields<std::uint64_t>(rng.next());
+  }
+  // Denormals, zero, infinity, NaN bit patterns must survive too.
+  for (const std::uint32_t v :
+       {0u, 0x80000000u, 0x7F800000u, 0xFF800000u, 0x7FC00001u, 1u,
+        0x007FFFFFu, std::numeric_limits<std::uint32_t>::max()}) {
+    roundtrip_float_fields<std::uint32_t>(v);
+  }
+}
+
+TEST(Bits, DbefsMovesSignToLsb) {
+  // 1.0f = 0x3F800000: sign 0, exponent 127 (de-biases to 0), fraction 0.
+  EXPECT_EQ(debias_efs<std::uint32_t>(0x3F800000u), 0u);
+  // -1.0f: same but sign bit 1 lands in the LSB.
+  EXPECT_EQ(debias_efs<std::uint32_t>(0xBF800000u), 1u);
+  // DBESF puts the sign between exponent and fraction instead.
+  EXPECT_EQ(debias_esf<std::uint32_t>(0xBF800000u), 1u << 23);
+}
+
+TEST(Bits, LoadStoreRoundTrip) {
+  unsigned char buf[8];
+  store_word<std::uint32_t>(buf, 0xDEADBEEFu);
+  EXPECT_EQ(load_word<std::uint32_t>(buf), 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xEF);  // little-endian layout
+  store_word<std::uint64_t>(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(load_word<std::uint64_t>(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(Hash, SplitMixIsDeterministic) {
+  SplitMix a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Hash, UnitRangeIsHalfOpen) {
+  SplitMix rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lc

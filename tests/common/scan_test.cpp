@@ -1,0 +1,76 @@
+// Unit tests for the two framework scan strategies (encoder-side decoupled
+// look-back, decoder-side block scan) against the sequential reference.
+
+#include "common/scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace lc {
+namespace {
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(100000);
+  return v;
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, LookbackMatchesSequential) {
+  ThreadPool pool(4);
+  const auto values = random_values(GetParam(), GetParam() + 1);
+  std::vector<std::uint64_t> expected, got;
+  const std::uint64_t expected_total =
+      exclusive_scan_sequential(values, expected);
+  for (const std::size_t tile : {1u, 3u, 16u, 256u}) {
+    const std::uint64_t total =
+        exclusive_scan_lookback(pool, values, got, tile);
+    EXPECT_EQ(total, expected_total) << "tile=" << tile;
+    EXPECT_EQ(got, expected) << "tile=" << tile;
+  }
+}
+
+TEST_P(ScanSizes, BlockedMatchesSequential) {
+  ThreadPool pool(4);
+  const auto values = random_values(GetParam(), GetParam() + 7);
+  std::vector<std::uint64_t> expected, got;
+  const std::uint64_t expected_total =
+      exclusive_scan_sequential(values, expected);
+  for (const std::size_t block : {1u, 5u, 64u, 1024u}) {
+    const std::uint64_t total =
+        exclusive_scan_blocked(pool, values, got, block);
+    EXPECT_EQ(total, expected_total) << "block=" << block;
+    EXPECT_EQ(got, expected) << "block=" << block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 2, 7, 255, 256, 257, 1000,
+                                           4096, 10001));
+
+TEST(Scan, SequentialKnownValues) {
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(exclusive_scan_sequential({3, 1, 4, 1, 5}, out), 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Scan, LookbackManyThreadsStress) {
+  // Many tiles + many workers: exercises the look-back spin path.
+  ThreadPool pool(8);
+  const auto values = random_values(50000, 11);
+  std::vector<std::uint64_t> expected, got;
+  exclusive_scan_sequential(values, expected);
+  for (int rep = 0; rep < 5; ++rep) {
+    exclusive_scan_lookback(pool, values, got, 64);
+    ASSERT_EQ(got, expected);
+  }
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,80 @@
+// Unit tests for the worker pool and parallel_for.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lc {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+  parallel_for(pool, 7, 3, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, NonZeroBase) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 1000,
+                   [](std::size_t i) {
+                     if (i == 500) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  parallel_for(pool, 0, 50, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, GlobalPoolConvenience) {
+  std::atomic<int> count{0};
+  parallel_for(0, 128, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 128);
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,76 @@
+// Unit tests for the LEB128 varint codec.
+
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace lc {
+namespace {
+
+TEST(Varint, KnownEncodings) {
+  Bytes buf;
+  put_varint(buf, 0);
+  put_varint(buf, 127);
+  put_varint(buf, 128);
+  put_varint(buf, 300);
+  ASSERT_EQ(buf.size(), 1u + 1u + 2u + 2u);
+  EXPECT_EQ(buf[0], 0x00);
+  EXPECT_EQ(buf[1], 0x7F);
+  EXPECT_EQ(buf[2], 0x80);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Varint, RoundTripBoundaryValues) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    Bytes buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(ByteSpan(buf.data(), buf.size()), pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, RoundTripRandomSequence) {
+  SplitMix rng(99);
+  Bytes buf;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    // Exercise all byte-length classes.
+    const int bits = static_cast<int>(rng.next_below(64)) + 1;
+    const std::uint64_t v = rng.next() >> (64 - bits);
+    values.push_back(v);
+    put_varint(buf, v);
+  }
+  std::size_t pos = 0;
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(get_varint(ByteSpan(buf.data(), buf.size()), pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedThrows) {
+  Bytes buf;
+  put_varint(buf, 1ULL << 40);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(ByteSpan(buf.data(), buf.size()), pos),
+               CorruptDataError);
+}
+
+TEST(Varint, OverlongThrows) {
+  const Bytes buf(11, Byte{0x80});
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(ByteSpan(buf.data(), buf.size()), pos),
+               CorruptDataError);
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,91 @@
+// Tests for the double-precision companion dataset used by the word-size
+// extension study.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/sp_dataset.h"
+#include "lc/codec.h"
+#include "lc/registry.h"
+
+namespace lc::data {
+namespace {
+
+double double_at(const Bytes& b, std::size_t i) {
+  double v;
+  std::memcpy(&v, b.data() + i * 8, 8);
+  return v;
+}
+
+TEST(DpDataset, Deterministic) {
+  EXPECT_EQ(generate_dp_file("msg_bt", 1.0 / 512),
+            generate_dp_file("msg_bt", 1.0 / 512));
+}
+
+TEST(DpDataset, TwiceTheSpBytesSameValueCount) {
+  const Bytes sp = generate_sp_file("num_plasma", 1.0 / 128);
+  const Bytes dp = generate_dp_file("num_plasma", 1.0 / 128);
+  EXPECT_EQ(dp.size(), sp.size() * 2);
+  EXPECT_EQ(dp.size() % 8, 0u);
+}
+
+TEST(DpDataset, SameSignalShapeAsSp) {
+  // The DP stream carries the same generator state: values correlate
+  // closely with the SP stream (identical modulo rounding).
+  const Bytes sp = generate_sp_file("obs_temp", 1.0 / 256);
+  const Bytes dp = generate_dp_file("obs_temp", 1.0 / 256);
+  const std::size_t n = sp.size() / 4;
+  ASSERT_EQ(dp.size() / 8, n);
+  for (std::size_t i = 0; i < n; i += 97) {
+    float f;
+    std::memcpy(&f, sp.data() + i * 4, 4);
+    EXPECT_NEAR(double_at(dp, i), static_cast<double>(f),
+                1e-3 + std::abs(f) * 1e-5)
+        << i;
+  }
+}
+
+TEST(DpDataset, SentinelsSurvivePrecisionChange) {
+  const Bytes dp = generate_dp_file("obs_error", 1.0 / 128);
+  std::size_t sentinels = 0;
+  for (std::size_t i = 0; i < dp.size() / 8; ++i) {
+    if (double_at(dp, i) == -9999.0) ++sentinels;
+  }
+  EXPECT_GT(sentinels, 0u);
+}
+
+TEST(DpDataset, WordSizePreferenceFollowsValueWidth) {
+  // The load-bearing property of the extension study: on DP data, runs
+  // align at 8 bytes, so RLE_8 applies where RLE_4 does not — the mirror
+  // image of the SP behaviour pinned in sp_dataset_test.cpp.
+  const Registry& reg = Registry::instance();
+  const Bytes data = generate_dp_file("msg_bt", 1.0 / 128);
+  const std::size_t chunks = data.size() / kChunkSize;
+  double applied[9] = {};
+  for (const int w : {4, 8}) {
+    const Component* rle = reg.find("RLE_" + std::to_string(w));
+    std::size_t count = 0;
+    Bytes enc;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      rle->encode(ByteSpan(data.data() + c * kChunkSize, kChunkSize), enc);
+      if (enc.size() <= kChunkSize) ++count;
+    }
+    applied[w] = static_cast<double>(count) / chunks;
+  }
+  EXPECT_GT(applied[8], 0.9);
+  EXPECT_LT(applied[4], 0.3);
+}
+
+TEST(DpDataset, PipelinesRoundTripOnDpData) {
+  const Bytes data = generate_dp_file("num_brain", 1.0 / 256);
+  for (const char* spec :
+       {"DIFF_8 TCMS_8 CLOG_8", "DBEFS_8 BIT_8 RZE_8", "TUPL2_4 DIFF_4 RLE_8"}) {
+    EXPECT_TRUE(verify_roundtrip(Pipeline::parse(spec),
+                                 ByteSpan(data.data(), data.size())))
+        << spec;
+  }
+}
+
+}  // namespace
+}  // namespace lc::data

@@ -1,0 +1,177 @@
+// Tests for the synthetic SP dataset: Table 3 fidelity, determinism, and
+// the float-level statistics the paper's data-dependent findings rely on.
+
+#include "data/sp_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "common/error.h"
+#include "lc/codec.h"
+#include "lc/registry.h"
+
+namespace lc::data {
+namespace {
+
+float float_at(const Bytes& b, std::size_t i) {
+  float v;
+  std::memcpy(&v, b.data() + i * 4, 4);
+  return v;
+}
+
+TEST(SpDataset, ThirteenFilesWithTable3Sizes) {
+  const auto& files = sp_files();
+  ASSERT_EQ(files.size(), 13u);
+  const std::map<std::string, double> expected = {
+      {"msg_bt", 133.2},   {"msg_lu", 97.1},      {"msg_sp", 145.1},
+      {"msg_sppm", 139.5}, {"msg_sweep3d", 62.9}, {"num_brain", 70.9},
+      {"num_comet", 53.7}, {"num_control", 79.8}, {"num_plasma", 17.5},
+      {"obs_error", 31.1}, {"obs_info", 9.5},     {"obs_spitzer", 99.1},
+      {"obs_temp", 20.0}};
+  double total = 0.0;
+  for (const auto& f : files) {
+    const auto it = expected.find(f.name);
+    ASSERT_NE(it, expected.end()) << f.name;
+    EXPECT_DOUBLE_EQ(f.paper_size_mb, it->second);
+    total += f.paper_size_mb;
+  }
+  EXPECT_NEAR(total, 959.4, 0.01);
+}
+
+TEST(SpDataset, SmallestFileIsObsInfo) {
+  // §5: "the smallest being obs_info at 9.5 MB".
+  for (const auto& f : sp_files()) {
+    if (f.name != "obs_info") EXPECT_GT(f.paper_size_mb, 9.5);
+  }
+  EXPECT_DOUBLE_EQ(sp_file_by_name("obs_info").paper_size_mb, 9.5);
+}
+
+TEST(SpDataset, UnknownNameThrows) {
+  EXPECT_THROW((void)sp_file_by_name("msg_nope"), Error);
+  EXPECT_THROW((void)generate_sp_file("msg_nope"), Error);
+}
+
+TEST(SpDataset, BadScaleThrows) {
+  EXPECT_THROW((void)generate_sp_file("msg_bt", 0.0), Error);
+  EXPECT_THROW((void)generate_sp_file("msg_bt", 1.5), Error);
+}
+
+TEST(SpDataset, GenerationIsDeterministic) {
+  const Bytes a = generate_sp_file("num_brain", 1.0 / 512);
+  const Bytes b = generate_sp_file("num_brain", 1.0 / 512);
+  EXPECT_EQ(a, b);
+  const Bytes c = generate_sp_file("num_brain", 1.0 / 512, /*seed_salt=*/1);
+  EXPECT_NE(a, c) << "seed salt must perturb the stream";
+}
+
+TEST(SpDataset, SizeMatchesScaledPaperSize) {
+  for (const char* name : {"msg_bt", "obs_info", "num_plasma"}) {
+    const double mb = sp_file_by_name(name).paper_size_mb;
+    const Bytes b = generate_sp_file(name, 1.0 / 128);
+    const auto expected =
+        static_cast<std::size_t>(mb * 1024 * 1024 / 128 / 4) * 4;
+    EXPECT_EQ(b.size(), expected) << name;
+    EXPECT_EQ(b.size() % 4, 0u) << "whole floats only";
+  }
+}
+
+TEST(SpDataset, FilesAreDistinct) {
+  const Bytes a = generate_sp_file("msg_bt", 1.0 / 512);
+  const Bytes b = generate_sp_file("msg_lu", 1.0 / 512);
+  EXPECT_NE(a, b);
+}
+
+/// Count float-level statistics over a generated file.
+struct FloatStats {
+  double repeat_rate = 0;      // adjacent exact-equal floats
+  double zero_rate = 0;
+  double run4_rate = 0;        // floats inside runs of >= 4
+};
+
+FloatStats stats_of(const Bytes& b) {
+  const std::size_t n = b.size() / 4;
+  FloatStats s;
+  std::size_t repeats = 0, zeros = 0, in_long_runs = 0, run = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = float_at(b, i);
+    if (v == 0.0f) ++zeros;
+    if (i > 0 && v == float_at(b, i - 1)) {
+      ++repeats;
+      ++run;
+    } else {
+      if (run >= 4) in_long_runs += run;
+      run = 1;
+    }
+  }
+  if (run >= 4) in_long_runs += run;
+  s.repeat_rate = static_cast<double>(repeats) / n;
+  s.zero_rate = static_cast<double>(zeros) / n;
+  s.run4_rate = static_cast<double>(in_long_runs) / n;
+  return s;
+}
+
+TEST(SpDataset, MpiFilesHaveFloatRunsButFewLongRuns) {
+  // §6.4's mechanism needs runs of exactly-equal 4-byte values that are
+  // mostly too short to form 8-byte-word runs.
+  for (const char* name : {"msg_bt", "msg_sp", "msg_sppm"}) {
+    const FloatStats s = stats_of(generate_sp_file(name, 1.0 / 128));
+    EXPECT_GT(s.repeat_rate, 0.10) << name;
+    EXPECT_LT(s.run4_rate, 0.05) << name;
+  }
+}
+
+TEST(SpDataset, SimulationFilesAreSmoothWithRareRepeats) {
+  for (const char* name : {"num_brain", "num_control"}) {
+    const Bytes b = generate_sp_file(name, 1.0 / 128);
+    const FloatStats s = stats_of(b);
+    EXPECT_LT(s.repeat_rate, 0.05) << name;
+    // Smoothness: most adjacent deltas are small relative to the signal.
+    const std::size_t n = b.size() / 4;
+    std::size_t small_steps = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (std::fabs(float_at(b, i) - float_at(b, i - 1)) < 1.0f) {
+        ++small_steps;
+      }
+    }
+    EXPECT_GT(static_cast<double>(small_steps) / n, 0.8) << name;
+  }
+}
+
+TEST(SpDataset, ObservationFilesHaveSentinels) {
+  const Bytes b = generate_sp_file("obs_error", 1.0 / 128);
+  const std::size_t n = b.size() / 4;
+  std::size_t sentinels = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (float_at(b, i) == -9999.0f) ++sentinels;
+  }
+  EXPECT_GT(sentinels, 0u);
+}
+
+TEST(SpDataset, Rle4AppliesWhereRle128MostlyDoNot) {
+  // The load-bearing data property behind Fig. 11, checked end-to-end
+  // against the real components.
+  const Registry& reg = Registry::instance();
+  const Bytes data = generate_sp_file("msg_bt", 1.0 / 128);
+  const std::size_t chunks = data.size() / kChunkSize;
+  std::map<int, double> applied;  // word size -> applied fraction
+  for (const int w : {1, 2, 4, 8}) {
+    const Component* rle = reg.find("RLE_" + std::to_string(w));
+    std::size_t count = 0;
+    Bytes enc;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      rle->encode(ByteSpan(data.data() + c * kChunkSize, kChunkSize), enc);
+      if (enc.size() <= kChunkSize) ++count;
+    }
+    applied[w] = static_cast<double>(count) / chunks;
+  }
+  EXPECT_GT(applied[4], 0.9);
+  EXPECT_LT(applied[1], 0.1);
+  EXPECT_LT(applied[2], 0.1);
+  EXPECT_LT(applied[8], 0.1);
+}
+
+}  // namespace
+}  // namespace lc::data

@@ -1,0 +1,128 @@
+// Tests for the compiler model: the factor tables must encode the
+// paper's qualitative findings (§6.1, §6.5, §3.1, §4).
+
+#include "gpusim/compiler_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lc::gpusim {
+namespace {
+
+TEST(CompilerModel, ToolchainsPerVendor) {
+  // §3.1: NVIDIA GPUs accept NVCC, Clang and HIPCC; AMD only HIPCC.
+  const auto nv = toolchains_for(Vendor::kNvidia);
+  ASSERT_EQ(nv.size(), 3u);
+  const auto amd = toolchains_for(Vendor::kAmd);
+  ASSERT_EQ(amd.size(), 1u);
+  EXPECT_EQ(amd[0], Toolchain::kHipcc);
+}
+
+TEST(CompilerModel, UnsupportedPairingThrows) {
+  EXPECT_THROW((void)compiler_factors(Toolchain::kNvcc, Vendor::kAmd,
+                                      OptLevel::kO3, Direction::kEncode),
+               Error);
+  EXPECT_THROW((void)compiler_factors(Toolchain::kClang, Vendor::kAmd,
+                                      OptLevel::kO3, Direction::kDecode),
+               Error);
+}
+
+TEST(CompilerModel, NvccAndHipccNearlyIdenticalOnNvidia) {
+  // §6.1: HIPCC targeting NVIDIA invokes NVCC; distributions are always
+  // close. The model keeps them within 2%.
+  for (const Direction dir : {Direction::kEncode, Direction::kDecode}) {
+    const auto nvcc =
+        compiler_factors(Toolchain::kNvcc, Vendor::kNvidia, OptLevel::kO3, dir);
+    const auto hipcc = compiler_factors(Toolchain::kHipcc, Vendor::kNvidia,
+                                        OptLevel::kO3, dir);
+    EXPECT_NEAR(nvcc.kernel_cycle_factor, hipcc.kernel_cycle_factor, 0.02);
+    EXPECT_NEAR(nvcc.framework_overhead_us, hipcc.framework_overhead_us, 0.5);
+  }
+}
+
+TEST(CompilerModel, ClangSlowerEncodeFasterDecode) {
+  // §6.1/§7: Clang is consistently slower for encoding and faster for
+  // decoding, localized in the framework scan paths.
+  const auto nvcc_enc = compiler_factors(Toolchain::kNvcc, Vendor::kNvidia,
+                                         OptLevel::kO3, Direction::kEncode);
+  const auto clang_enc = compiler_factors(Toolchain::kClang, Vendor::kNvidia,
+                                          OptLevel::kO3, Direction::kEncode);
+  EXPECT_GT(clang_enc.kernel_cycle_factor, nvcc_enc.kernel_cycle_factor);
+  EXPECT_GT(clang_enc.framework_overhead_us, nvcc_enc.framework_overhead_us);
+
+  const auto nvcc_dec = compiler_factors(Toolchain::kNvcc, Vendor::kNvidia,
+                                         OptLevel::kO3, Direction::kDecode);
+  const auto clang_dec = compiler_factors(Toolchain::kClang, Vendor::kNvidia,
+                                          OptLevel::kO3, Direction::kDecode);
+  EXPECT_LT(clang_dec.kernel_cycle_factor, nvcc_dec.kernel_cycle_factor);
+  EXPECT_LT(clang_dec.framework_overhead_us, nvcc_dec.framework_overhead_us);
+}
+
+TEST(CompilerModel, ClangO3HurtsEncodersHelpsDecoders) {
+  // §6.5: Clang encode slows down from -O1 to -O3; decode improves by
+  // less than 10%.
+  const auto o3_enc = compiler_factors(Toolchain::kClang, Vendor::kNvidia,
+                                       OptLevel::kO3, Direction::kEncode);
+  const auto o1_enc = compiler_factors(Toolchain::kClang, Vendor::kNvidia,
+                                       OptLevel::kO1, Direction::kEncode);
+  EXPECT_LT(o1_enc.kernel_cycle_factor, o3_enc.kernel_cycle_factor)
+      << "-O1 Clang encoders must be faster than -O3";
+
+  const auto o3_dec = compiler_factors(Toolchain::kClang, Vendor::kNvidia,
+                                       OptLevel::kO3, Direction::kDecode);
+  const auto o1_dec = compiler_factors(Toolchain::kClang, Vendor::kNvidia,
+                                       OptLevel::kO1, Direction::kDecode);
+  EXPECT_GT(o1_dec.kernel_cycle_factor, o3_dec.kernel_cycle_factor);
+  EXPECT_LT(o1_dec.kernel_cycle_factor / o3_dec.kernel_cycle_factor, 1.10)
+      << "Clang decode -O3 gain stays below 10%";
+}
+
+TEST(CompilerModel, NvccAndHipccOptLevelsNegligible) {
+  for (const auto& [tc, vendor] :
+       {std::pair{Toolchain::kNvcc, Vendor::kNvidia},
+        std::pair{Toolchain::kHipcc, Vendor::kNvidia},
+        std::pair{Toolchain::kHipcc, Vendor::kAmd}}) {
+    for (const Direction dir : {Direction::kEncode, Direction::kDecode}) {
+      const auto o3 = compiler_factors(tc, vendor, OptLevel::kO3, dir);
+      const auto o1 = compiler_factors(tc, vendor, OptLevel::kO1, dir);
+      EXPECT_NEAR(o1.kernel_cycle_factor / o3.kernel_cycle_factor, 1.0, 0.02)
+          << to_string(tc) << " on " << to_string(vendor);
+    }
+  }
+}
+
+TEST(CompilerModel, HipBlockAtomicFallbackPenalty) {
+  // §4: HIP lacks atomic*_block(); the device-scope fallback costs a bit.
+  const auto hip = compiler_factors(Toolchain::kHipcc, Vendor::kNvidia,
+                                    OptLevel::kO3, Direction::kEncode);
+  const auto nvcc = compiler_factors(Toolchain::kNvcc, Vendor::kNvidia,
+                                     OptLevel::kO3, Direction::kEncode);
+  EXPECT_GT(hip.block_atomic_factor, 1.0);
+  EXPECT_DOUBLE_EQ(nvcc.block_atomic_factor, 1.0);
+}
+
+TEST(CompilerModel, Rdna3HclogQuirk) {
+  // §6.4: HCLOG is markedly slower on the RX 7900 XTX; MI100 behaves
+  // like the NVIDIA GPUs.
+  const GpuSpec& xtx = gpu_by_name("RX 7900 XTX");
+  const GpuSpec& mi = gpu_by_name("MI100");
+  const GpuSpec& ada = gpu_by_name("RTX 4090");
+  EXPECT_GT(arch_component_quirk("HCLOG_4", xtx), 1.5);
+  EXPECT_DOUBLE_EQ(arch_component_quirk("HCLOG_4", mi), 1.0);
+  EXPECT_DOUBLE_EQ(arch_component_quirk("HCLOG_4", ada), 1.0);
+  EXPECT_DOUBLE_EQ(arch_component_quirk("CLOG_4", xtx), 1.0);
+}
+
+TEST(CompilerModel, EnumNames) {
+  EXPECT_STREQ(to_string(Toolchain::kNvcc), "NVCC");
+  EXPECT_STREQ(to_string(Toolchain::kClang), "Clang");
+  EXPECT_STREQ(to_string(Toolchain::kHipcc), "HIPCC");
+  EXPECT_STREQ(to_string(OptLevel::kO1), "-O1");
+  EXPECT_STREQ(to_string(OptLevel::kO3), "-O3");
+  EXPECT_STREQ(to_string(Direction::kEncode), "encode");
+  EXPECT_STREQ(to_string(Direction::kDecode), "decode");
+}
+
+}  // namespace
+}  // namespace lc::gpusim

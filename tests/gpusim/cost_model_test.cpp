@@ -1,0 +1,203 @@
+// Property tests for the timing model: the orderings the paper reports
+// must hold for the modeled populations.
+
+#include "gpusim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lc/registry.h"
+
+namespace lc::gpusim {
+namespace {
+
+/// A plausible (pipeline, input) statistics record over `spec`, with a
+/// controllable pipeline id (jitter seed).
+PipelineStats make_stats(const char* s1, const char* s2, const char* s3,
+                         std::uint64_t id, double ratio3 = 0.8,
+                         double applied3 = 1.0) {
+  const Registry& reg = Registry::instance();
+  PipelineStats p;
+  p.pipeline_id = id;
+  p.input_bytes = 100.0 * 1024 * 1024;
+  p.chunk_count = p.input_bytes / 16384.0;
+  const auto add = [&p, &reg](const char* name, double in, double out,
+                              double applied) {
+    StageStats st;
+    st.component = reg.find(name);
+    ASSERT_NE(st.component, nullptr) << name;
+    st.avg_bytes_in = in;
+    st.avg_bytes_out = out;
+    st.applied_fraction = applied;
+    p.stages.push_back(st);
+  };
+  add(s1, 16384, 16384, 1.0);
+  add(s2, 16384, 16384, 1.0);
+  add(s3, 16384, 16384 * ratio3, applied3);
+  return p;
+}
+
+/// Mean throughput over many pipeline ids (averages the jitter away).
+double mean_throughput(const char* s1, const char* s2, const char* s3,
+                       const GpuSpec& gpu, Toolchain tc, OptLevel opt,
+                       Direction dir, double ratio3 = 0.8,
+                       double applied3 = 1.0) {
+  double sum = 0.0;
+  constexpr int kIds = 64;
+  for (int i = 0; i < kIds; ++i) {
+    PipelineStats p = make_stats(s1, s2, s3, 1000 + i * 7919, ratio3, applied3);
+    sum += simulate(p, gpu, tc, opt, dir).throughput_gbps;
+  }
+  return sum / kIds;
+}
+
+TEST(CostModel, Deterministic) {
+  const PipelineStats p = make_stats("BIT_4", "DIFF_4", "RZE_4", 42);
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const auto a = simulate(p, gpu, Toolchain::kNvcc, OptLevel::kO3,
+                          Direction::kEncode);
+  const auto b = simulate(p, gpu, Toolchain::kNvcc, OptLevel::kO3,
+                          Direction::kEncode);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_GT(a.seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(a.throughput_gbps));
+}
+
+TEST(CostModel, GpuStaircaseWithinVendor) {
+  // Fig. 2/3: newer, bigger GPUs are faster on the same code.
+  for (const Direction dir : {Direction::kEncode, Direction::kDecode}) {
+    const double titan = mean_throughput("BIT_4", "DIFF_4", "RZE_4",
+                                         gpu_by_name("TITAN V"),
+                                         Toolchain::kNvcc, OptLevel::kO3, dir);
+    const double ti = mean_throughput("BIT_4", "DIFF_4", "RZE_4",
+                                      gpu_by_name("RTX 3080 Ti"),
+                                      Toolchain::kNvcc, OptLevel::kO3, dir);
+    const double ada = mean_throughput("BIT_4", "DIFF_4", "RZE_4",
+                                       gpu_by_name("RTX 4090"),
+                                       Toolchain::kNvcc, OptLevel::kO3, dir);
+    EXPECT_LT(titan, ti);
+    EXPECT_LT(ti, ada);
+
+    const double mi = mean_throughput("BIT_4", "DIFF_4", "RZE_4",
+                                      gpu_by_name("MI100"), Toolchain::kHipcc,
+                                      OptLevel::kO3, dir);
+    const double xtx = mean_throughput(
+        "BIT_4", "DIFF_4", "RZE_4", gpu_by_name("RX 7900 XTX"),
+        Toolchain::kHipcc, OptLevel::kO3, dir);
+    EXPECT_LT(mi, xtx);
+  }
+}
+
+TEST(CostModel, ClangEncodeSlowerDecodeFasterThanNvcc) {
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const double nvcc_enc =
+      mean_throughput("RLE_4", "DIFF_4", "RARE_4", gpu, Toolchain::kNvcc,
+                      OptLevel::kO3, Direction::kEncode);
+  const double clang_enc =
+      mean_throughput("RLE_4", "DIFF_4", "RARE_4", gpu, Toolchain::kClang,
+                      OptLevel::kO3, Direction::kEncode);
+  EXPECT_LT(clang_enc, nvcc_enc);
+
+  const double nvcc_dec =
+      mean_throughput("RLE_4", "DIFF_4", "RARE_4", gpu, Toolchain::kNvcc,
+                      OptLevel::kO3, Direction::kDecode);
+  const double clang_dec =
+      mean_throughput("RLE_4", "DIFF_4", "RARE_4", gpu, Toolchain::kClang,
+                      OptLevel::kO3, Direction::kDecode);
+  EXPECT_GT(clang_dec, nvcc_dec);
+}
+
+TEST(CostModel, NvccHipccWithinTwoPercentOnNvidia) {
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  for (const Direction dir : {Direction::kEncode, Direction::kDecode}) {
+    const double nvcc = mean_throughput("BIT_4", "DIFF_4", "RZE_4", gpu,
+                                        Toolchain::kNvcc, OptLevel::kO3, dir);
+    const double hipcc = mean_throughput("BIT_4", "DIFF_4", "RZE_4", gpu,
+                                         Toolchain::kHipcc, OptLevel::kO3, dir);
+    EXPECT_NEAR(hipcc / nvcc, 1.0, 0.02);
+  }
+}
+
+TEST(CostModel, DecodeSkipsFallbackStages) {
+  // Fig. 11 mechanism: a stage-3 reducer that was skipped on every chunk
+  // costs (almost) nothing to decode.
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const double applied =
+      mean_throughput("TCMS_4", "DIFF_4", "RLE_4", gpu, Toolchain::kNvcc,
+                      OptLevel::kO3, Direction::kDecode, 0.9, 1.0);
+  const double skipped =
+      mean_throughput("TCMS_4", "DIFF_4", "RLE_4", gpu, Toolchain::kNvcc,
+                      OptLevel::kO3, Direction::kDecode, 1.1, 0.0);
+  EXPECT_GT(skipped, applied);
+}
+
+TEST(CostModel, RareEncodeSlowerThanMutatorPipeline) {
+  // Fig. 8/12: the adaptive-k reducers dominate encode cost.
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const double rare =
+      mean_throughput("TCMS_4", "TCMS_4", "RARE_4", gpu, Toolchain::kNvcc,
+                      OptLevel::kO3, Direction::kEncode);
+  const double rze =
+      mean_throughput("TCMS_4", "TCMS_4", "RZE_4", gpu, Toolchain::kNvcc,
+                      OptLevel::kO3, Direction::kEncode);
+  EXPECT_LT(rare, rze * 0.6) << "RARE encode must be far slower";
+}
+
+TEST(CostModel, HclogQuirkOnlyOnRdna3) {
+  const double xtx_h =
+      mean_throughput("TCMS_4", "TCMS_4", "HCLOG_4", gpu_by_name("RX 7900 XTX"),
+                      Toolchain::kHipcc, OptLevel::kO3, Direction::kEncode);
+  const double xtx_c =
+      mean_throughput("TCMS_4", "TCMS_4", "CLOG_4", gpu_by_name("RX 7900 XTX"),
+                      Toolchain::kHipcc, OptLevel::kO3, Direction::kEncode);
+  const double mi_h =
+      mean_throughput("TCMS_4", "TCMS_4", "HCLOG_4", gpu_by_name("MI100"),
+                      Toolchain::kHipcc, OptLevel::kO3, Direction::kEncode);
+  const double mi_c =
+      mean_throughput("TCMS_4", "TCMS_4", "CLOG_4", gpu_by_name("MI100"),
+                      Toolchain::kHipcc, OptLevel::kO3, Direction::kEncode);
+  EXPECT_LT(xtx_h / xtx_c, (mi_h / mi_c) * 0.9)
+      << "HCLOG must lose more ground on the RX 7900 XTX than on MI100";
+}
+
+TEST(CostModel, MemoryBandwidthFloor) {
+  // A zero-work pipeline cannot exceed the bandwidth-implied bound.
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  PipelineStats p = make_stats("TCMS_4", "TCMS_4", "RZE_4", 7, 1.0, 0.0);
+  const auto r =
+      simulate(p, gpu, Toolchain::kNvcc, OptLevel::kO3, Direction::kDecode);
+  // Traffic >= 2x input => throughput <= bandwidth / 2 (plus jitter).
+  EXPECT_LT(r.throughput_gbps, gpu.mem_bandwidth_gbps / 2 * 1.06);
+}
+
+TEST(CostModel, EffectiveStageOutput) {
+  StageStats s;
+  s.component = Registry::instance().find("RZE_4");
+  s.avg_bytes_in = 100.0;
+  s.avg_bytes_out = 60.0;
+  s.applied_fraction = 1.0;
+  EXPECT_DOUBLE_EQ(effective_stage_output(s), 60.0);
+  s.applied_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(effective_stage_output(s), 100.0);
+  s.applied_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(effective_stage_output(s), 80.0);
+}
+
+TEST(CostModel, OptLevelSpeedupDirections) {
+  // §6.5 in model form, averaged over ids.
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const auto speedup = [&](Toolchain tc, Direction dir) {
+    return mean_throughput("RLE_4", "DIFF_4", "RARE_4", gpu, tc,
+                           OptLevel::kO3, dir) /
+           mean_throughput("RLE_4", "DIFF_4", "RARE_4", gpu, tc,
+                           OptLevel::kO1, dir);
+  };
+  EXPECT_LT(speedup(Toolchain::kClang, Direction::kEncode), 1.0);
+  EXPECT_GT(speedup(Toolchain::kClang, Direction::kDecode), 1.0);
+  EXPECT_NEAR(speedup(Toolchain::kNvcc, Direction::kEncode), 1.0, 0.03);
+  EXPECT_NEAR(speedup(Toolchain::kNvcc, Direction::kDecode), 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace lc::gpusim

@@ -1,0 +1,122 @@
+// Tests for the timing model's explain() decomposition.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/cost_model.h"
+#include "lc/registry.h"
+
+namespace lc::gpusim {
+namespace {
+
+PipelineStats typical_stats() {
+  const Registry& reg = Registry::instance();
+  PipelineStats p;
+  p.pipeline_id = 99;
+  p.input_bytes = 64.0 * 1024 * 1024;
+  p.chunk_count = p.input_bytes / 16384.0;
+  for (const char* name : {"BIT_4", "DIFF_4", "RZE_4"}) {
+    StageStats s;
+    s.component = reg.find(name);
+    s.avg_bytes_in = 16384;
+    s.avg_bytes_out = name[0] == 'R' ? 12000 : 16384;
+    s.applied_fraction = 1.0;
+    p.stages.push_back(s);
+  }
+  return p;
+}
+
+TEST(Explain, TotalsMatchSimulate) {
+  const PipelineStats p = typical_stats();
+  for (const GpuSpec& gpu : all_gpus()) {
+    for (const Toolchain tc : toolchains_for(gpu.vendor)) {
+      for (const Direction dir : {Direction::kEncode, Direction::kDecode}) {
+        const TimeBreakdown b = explain(p, gpu, tc, OptLevel::kO3, dir);
+        const TimingResult r = simulate(p, gpu, tc, OptLevel::kO3, dir);
+        EXPECT_DOUBLE_EQ(b.total_seconds, r.seconds);
+      }
+    }
+  }
+}
+
+TEST(Explain, DecompositionIsConsistent) {
+  const PipelineStats p = typical_stats();
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const TimeBreakdown b =
+      explain(p, gpu, Toolchain::kNvcc, OptLevel::kO3, Direction::kEncode);
+
+  // Every term is positive and the stage shares sum to the compute total.
+  EXPECT_GT(b.compute_seconds, 0.0);
+  EXPECT_GT(b.memory_seconds, 0.0);
+  EXPECT_GT(b.launch_seconds, 0.0);
+  EXPECT_GT(b.framework_seconds, 0.0);
+  ASSERT_EQ(b.stage_compute_seconds.size(), 3u);
+  const double stage_sum =
+      std::accumulate(b.stage_compute_seconds.begin(),
+                      b.stage_compute_seconds.end(), 0.0);
+  EXPECT_NEAR(stage_sum, b.compute_seconds, 1e-12);
+
+  // Reconstructed total matches the formula.
+  const double reconstructed =
+      (std::max(b.compute_seconds + b.serial_seconds, b.memory_seconds) +
+       b.launch_seconds + b.framework_seconds) *
+      b.dispersion;
+  EXPECT_DOUBLE_EQ(reconstructed, b.total_seconds);
+
+  // The memory_bound flag agrees with the comparison.
+  EXPECT_EQ(b.memory_bound,
+            b.memory_seconds > b.compute_seconds + b.serial_seconds);
+}
+
+TEST(Explain, WaveCountFollowsOccupancy) {
+  PipelineStats p = typical_stats();
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");  // 384 resident blocks
+  p.chunk_count = 384;
+  EXPECT_DOUBLE_EQ(
+      explain(p, gpu, Toolchain::kNvcc, OptLevel::kO3, Direction::kEncode)
+          .waves,
+      1.0);
+  p.chunk_count = 385;
+  EXPECT_DOUBLE_EQ(
+      explain(p, gpu, Toolchain::kNvcc, OptLevel::kO3, Direction::kEncode)
+          .waves,
+      2.0);
+}
+
+TEST(Explain, RareStageDominatesItsEncode) {
+  const Registry& reg = Registry::instance();
+  PipelineStats p;
+  p.pipeline_id = 7;
+  p.input_bytes = 64.0 * 1024 * 1024;
+  p.chunk_count = p.input_bytes / 16384.0;
+  for (const char* name : {"TCMS_4", "TCMS_4", "RARE_4"}) {
+    StageStats s;
+    s.component = reg.find(name);
+    s.avg_bytes_in = 16384;
+    s.avg_bytes_out = 16384;
+    s.applied_fraction = 1.0;
+    p.stages.push_back(s);
+  }
+  const TimeBreakdown b = explain(p, gpu_by_name("RTX 4090"),
+                                  Toolchain::kNvcc, OptLevel::kO3,
+                                  Direction::kEncode);
+  EXPECT_GT(b.stage_compute_seconds[2],
+            5 * (b.stage_compute_seconds[0] + b.stage_compute_seconds[1]))
+      << "the adaptive-k search must dominate";
+}
+
+TEST(Explain, DispersionWithinBounds) {
+  PipelineStats p = typical_stats();
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    p.pipeline_id = id;
+    const TimeBreakdown b = explain(p, gpu_by_name("MI100"),
+                                    Toolchain::kHipcc, OptLevel::kO3,
+                                    Direction::kDecode);
+    EXPECT_GE(b.dispersion, 0.95);
+    EXPECT_LE(b.dispersion, 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace lc::gpusim

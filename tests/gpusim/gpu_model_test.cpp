@@ -1,0 +1,89 @@
+// Tests for the GPU spec registry and the occupancy model, including the
+// paper's §5 worked examples.
+
+#include "gpusim/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lc::gpusim {
+namespace {
+
+TEST(GpuModel, FiveGpusRegistered) {
+  EXPECT_EQ(all_gpus().size(), 5u);
+}
+
+TEST(GpuModel, Table4SpecsVerbatim) {
+  const GpuSpec& titan = gpu_by_name("TITAN V");
+  EXPECT_EQ(titan.vendor, Vendor::kNvidia);
+  EXPECT_DOUBLE_EQ(titan.clock_mhz, 1075.0);
+  EXPECT_EQ(titan.sms, 24);
+  EXPECT_EQ(titan.max_threads_per_sm, 2048);
+  EXPECT_EQ(titan.warp_size, 32);
+  EXPECT_EQ(titan.arch, "sm_70");
+
+  const GpuSpec& ti = gpu_by_name("RTX 3080 Ti");
+  EXPECT_DOUBLE_EQ(ti.clock_mhz, 1755.0);
+  EXPECT_EQ(ti.sms, 80);
+  EXPECT_EQ(ti.max_threads_per_sm, 1536);
+
+  const GpuSpec& ada = gpu_by_name("RTX 4090");
+  EXPECT_DOUBLE_EQ(ada.clock_mhz, 2625.0);
+  EXPECT_EQ(ada.sms, 128);
+  EXPECT_EQ(ada.max_threads_per_sm, 1536);
+  EXPECT_EQ(ada.arch, "sm_89");
+}
+
+TEST(GpuModel, Table5SpecsVerbatim) {
+  const GpuSpec& mi = gpu_by_name("MI100");
+  EXPECT_EQ(mi.vendor, Vendor::kAmd);
+  EXPECT_DOUBLE_EQ(mi.clock_mhz, 1502.0);
+  EXPECT_EQ(mi.sms, 120);
+  EXPECT_EQ(mi.max_threads_per_sm, 2560);
+  EXPECT_EQ(mi.warp_size, 64);  // the only 64-wide warp GPU in the study
+  EXPECT_EQ(mi.arch, "gfx908");
+
+  const GpuSpec& xtx = gpu_by_name("RX 7900 XTX");
+  EXPECT_DOUBLE_EQ(xtx.clock_mhz, 2482.0);
+  EXPECT_EQ(xtx.sms, 96);
+  EXPECT_EQ(xtx.max_threads_per_sm, 1024);
+  EXPECT_EQ(xtx.warp_size, 32);
+  EXPECT_EQ(xtx.arch, "gfx1100");
+}
+
+TEST(GpuModel, UnknownGpuThrows) {
+  EXPECT_THROW((void)gpu_by_name("RTX 9090"), Error);
+}
+
+TEST(GpuModel, OccupancyWorkedExamplesFromSection5) {
+  // "the RTX 4090 has 128 SMs with 1536 threads per SM (i.e., 3 blocks
+  // per SM). Therefore, it takes 6 MB of input data to fully occupy this
+  // GPU. Similarly, it takes 9.375 MB to fully occupy the AMD MI100."
+  const GpuSpec& ada = gpu_by_name("RTX 4090");
+  EXPECT_EQ(resident_blocks(ada), 128 * 3);
+  EXPECT_EQ(bytes_to_fully_occupy(ada), 6u * 1024 * 1024);
+
+  const GpuSpec& mi = gpu_by_name("MI100");
+  EXPECT_EQ(resident_blocks(mi), 120 * 5);
+  EXPECT_EQ(bytes_to_fully_occupy(mi),
+            static_cast<std::size_t>(9.375 * 1024 * 1024));
+}
+
+TEST(GpuModel, EverySpFileFullyOccupiesEveryGpu) {
+  // §5: the smallest input (obs_info at 9.5 MB) fully occupies even the
+  // GPU with the most active threads.
+  for (const GpuSpec& gpu : all_gpus()) {
+    EXPECT_LE(bytes_to_fully_occupy(gpu),
+              static_cast<std::size_t>(9.5 * 1024 * 1024))
+        << gpu.name;
+  }
+}
+
+TEST(GpuModel, VendorNames) {
+  EXPECT_STREQ(to_string(Vendor::kNvidia), "NVIDIA");
+  EXPECT_STREQ(to_string(Vendor::kAmd), "AMD");
+}
+
+}  // namespace
+}  // namespace lc::gpusim

@@ -1,0 +1,84 @@
+// Cross-module validation: the CLOG component's per-subchunk bit widths
+// must match what the GPU kernel would compute with a block-level
+// min-reduction over per-value leading-zero counts — tying the scalar
+// component implementation to the SIMT engine at both warp widths.
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/hash.h"
+#include "common/varint.h"
+#include "gpusim/simt/block.h"
+#include "lc/registry.h"
+
+namespace lc {
+namespace {
+
+/// The SIMT rendition of CLOG's width pass for one 512-value subchunk:
+/// every thread takes one value's leading-zero count, the block reduces
+/// the minimum, and the width is 32 - min_clz.
+int simt_clog_width(const std::vector<std::uint32_t>& values, int warp_size) {
+  gpusim::simt::ExecutionStats stats;
+  const gpusim::simt::Block block(512 / warp_size, warp_size, &stats);
+  std::vector<std::uint32_t> clz(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    clz[i] = static_cast<std::uint32_t>(leading_zeros<std::uint32_t>(values[i]));
+  }
+  return 32 - static_cast<int>(block.reduce_min(clz));
+}
+
+TEST(SimtClog, WidthsMatchComponentAtBothWarpSizes) {
+  // A 16 kB chunk of 4-byte words = 4096 words = 8 subchunks of 512 when
+  // CLOG uses 32 subchunks of 128... CLOG splits into 32 subchunks of
+  // 128 words; use 512-value groups here and compare against a direct
+  // reference min — then separately compare the component's stream
+  // widths against the same reference at CLOG granularity.
+  SplitMix rng(31);
+  std::vector<std::uint32_t> values(512);
+  for (auto& v : values) {
+    v = static_cast<std::uint32_t>(rng.next()) >>
+        rng.next_below(20);  // varied magnitudes
+  }
+  int reference_clz = 32;
+  for (const std::uint32_t v : values) {
+    reference_clz = std::min(reference_clz, leading_zeros<std::uint32_t>(v));
+  }
+  const int expected_width = 32 - reference_clz;
+  EXPECT_EQ(simt_clog_width(values, 32), expected_width);
+  EXPECT_EQ(simt_clog_width(values, 64), expected_width);
+}
+
+TEST(SimtClog, ComponentStreamWidthsMatchReferenceMins) {
+  // Decode the width bytes straight out of a CLOG_4 stream and check
+  // them against reference per-subchunk minima.
+  SplitMix rng(33);
+  Bytes data(16384);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(rng.next()) >> rng.next_below(24);
+    std::memcpy(data.data() + i, &v, 4);
+  }
+  const Component* clog = Registry::instance().find("CLOG_4");
+  Bytes encoded;
+  clog->encode(ByteSpan(data.data(), data.size()), encoded);
+
+  // Stream: varint(16384), no tail, then 32 width bytes.
+  std::size_t header = 0;
+  ASSERT_EQ(get_varint(ByteSpan(encoded.data(), encoded.size()), header),
+            16384u);
+  ASSERT_GE(encoded.size(), header + 32);
+  const std::size_t n = 4096;
+  for (std::size_t s = 0; s < 32; ++s) {
+    const std::size_t lo = s * n / 32, hi = (s + 1) * n / 32;
+    int min_clz = 32;
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::uint32_t v;
+      std::memcpy(&v, data.data() + i * 4, 4);
+      min_clz = std::min(min_clz, leading_zeros<std::uint32_t>(v));
+    }
+    EXPECT_EQ(encoded[header + s] & 0x7F, 32 - min_clz) << "subchunk " << s;
+  }
+}
+
+}  // namespace
+}  // namespace lc

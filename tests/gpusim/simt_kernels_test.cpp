@@ -1,0 +1,123 @@
+// Tests for the SIMT component-kernel renditions, cross-validated
+// against scalar references and the real components.
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/hash.h"
+#include "gpusim/simt/kernels.h"
+#include "lc/registry.h"
+
+namespace lc::gpusim::simt {
+namespace {
+
+std::vector<std::uint32_t> random_words(int n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next());
+  return v;
+}
+
+/// Scalar reference 32x32 bit transpose: out[l] bit k = in[k] bit l.
+std::vector<std::uint32_t> reference_transpose(
+    const std::vector<std::uint32_t>& in) {
+  std::vector<std::uint32_t> out(32, 0);
+  for (int l = 0; l < 32; ++l) {
+    for (int k = 0; k < 32; ++k) {
+      out[l] |= ((in[k] >> l) & 1u) << k;
+    }
+  }
+  return out;
+}
+
+TEST(WarpBitTranspose, MatchesScalarReference) {
+  const Warp warp(32);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto lanes = random_words(32, seed);
+    const auto t = warp_bit_transpose32(WarpValue<std::uint32_t>(warp, lanes));
+    const auto expected = reference_transpose(lanes);
+    for (int l = 0; l < 32; ++l) EXPECT_EQ(t[l], expected[l]) << l;
+  }
+}
+
+TEST(WarpBitTranspose, IsAnInvolution) {
+  const Warp warp(32);
+  const auto lanes = random_words(32, 77);
+  const WarpValue<std::uint32_t> v(warp, lanes);
+  const auto twice = warp_bit_transpose32(warp_bit_transpose32(v));
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(twice[l], lanes[l]) << l;
+}
+
+TEST(WarpBitTranspose, UsesFiveShuffleRounds) {
+  // The Fig. 10 story: BIT_4's wide-word implementation costs log2(32)
+  // implicit-sync shuffle rounds per 32-word tile.
+  ExecutionStats stats;
+  const Warp warp(32, &stats);
+  (void)warp_bit_transpose32(
+      WarpValue<std::uint32_t>(warp, random_words(32, 5)));
+  EXPECT_EQ(stats.shuffle_ops, 5u * 32u);
+}
+
+TEST(WarpBitTranspose, MatchesBitComponentPlaneBytes) {
+  // Cross-validation against the real BIT_4 component: transposed lane l
+  // holds bit-plane l of the 32 input words; the component's stream
+  // stores plane 31 first. Compare plane 31 (the MSB plane) bit-exactly.
+  const auto words = random_words(32, 9);
+  Bytes data(32 * 4);
+  for (int i = 0; i < 32; ++i) {
+    store_word<std::uint32_t>(data.data() + i * 4, words[i]);
+  }
+  const Component* bit4 = Registry::instance().find("BIT_4");
+  Bytes encoded;
+  bit4->encode(ByteSpan(data.data(), data.size()), encoded);
+
+  const Warp warp(32);
+  const auto t = warp_bit_transpose32(WarpValue<std::uint32_t>(warp, words));
+  // Component stream: plane 31 occupies the first 4 bytes (32 bits,
+  // lane-0 bit first = LSB-first), which equals transposed lane 31.
+  const std::uint32_t plane31 = load_word<std::uint32_t>(encoded.data());
+  EXPECT_EQ(t[31], plane31);
+}
+
+class CompactWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactWidths, BallotCompactionMatchesReference) {
+  const Warp warp(GetParam());
+  SplitMix rng(13);
+  const auto words = random_words(warp.size(), 21);
+  WarpValue<std::uint32_t> values(warp, words);
+  WarpValue<std::uint32_t> drop(warp, 0u);
+  std::vector<std::uint32_t> expected;
+  for (int l = 0; l < warp.size(); ++l) {
+    const bool d = rng.next_unit() < 0.4;
+    drop[l] = d ? 1u : 0u;
+    if (!d) expected.push_back(words[l]);
+  }
+  const WarpCompaction c = warp_compact(values, drop);
+  EXPECT_EQ(c.survivors, expected);
+  // Bitmap agrees lane by lane.
+  for (int l = 0; l < warp.size(); ++l) {
+    EXPECT_EQ(((c.drop_bitmap >> l) & 1) != 0, drop[l] != 0) << l;
+  }
+}
+
+TEST_P(CompactWidths, AllKeptAndAllDropped) {
+  const Warp warp(GetParam());
+  const auto words = random_words(warp.size(), 23);
+  const WarpValue<std::uint32_t> values(warp, words);
+  const WarpCompaction none =
+      warp_compact(values, WarpValue<std::uint32_t>(warp, 1u));
+  EXPECT_TRUE(none.survivors.empty());
+  const WarpCompaction all =
+      warp_compact(values, WarpValue<std::uint32_t>(warp, 0u));
+  EXPECT_EQ(all.survivors, words);
+  EXPECT_EQ(all.drop_bitmap, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CompactWidths, ::testing::Values(32, 64),
+                         [](const auto& info) {
+                           return "WS" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lc::gpusim::simt

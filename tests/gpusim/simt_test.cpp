@@ -1,0 +1,196 @@
+// Tests for the SIMT engine: the paper's Listing 1 at both warp widths
+// (§4), the warp-size portability bug it fixes, block-level scans and
+// reductions, and the decoupled look-back protocol under adversarial
+// schedules.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/hash.h"
+#include "gpusim/simt/block.h"
+#include "gpusim/simt/listing1.h"
+#include "gpusim/simt/lookback.h"
+#include "gpusim/simt/warp.h"
+
+namespace lc::gpusim::simt {
+namespace {
+
+std::vector<std::uint32_t> random_lanes(int n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(1000));
+  return v;
+}
+
+class WarpWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarpWidths, ShflUpSemantics) {
+  const Warp warp(GetParam());
+  std::vector<std::uint32_t> lanes(warp.size());
+  std::iota(lanes.begin(), lanes.end(), 100u);
+  const WarpValue<std::uint32_t> v(warp, lanes);
+  const auto up2 = shfl_up(v, 2);
+  EXPECT_EQ(up2[0], 100u);  // lanes below delta keep their value
+  EXPECT_EQ(up2[1], 101u);
+  EXPECT_EQ(up2[2], 100u);
+  EXPECT_EQ(up2[warp.size() - 1],
+            static_cast<std::uint32_t>(100 + warp.size() - 3));
+}
+
+TEST_P(WarpWidths, ShflXorIsInvolution) {
+  const Warp warp(GetParam());
+  const WarpValue<std::uint32_t> v(warp, random_lanes(warp.size(), 3));
+  for (const int mask : {1, 2, 4, 8, 16}) {
+    const auto twice = shfl_xor(shfl_xor(v, mask), mask);
+    for (int l = 0; l < warp.size(); ++l) EXPECT_EQ(twice[l], v[l]);
+  }
+}
+
+TEST_P(WarpWidths, Listing1MatchesReferencePrefixSum) {
+  // §4 / Listing 1: the warp prefix sum must be exact at WS 32 *and* 64.
+  const Warp warp(GetParam());
+  const auto lanes = random_lanes(warp.size(), 7);
+  const auto scanned = warp_prefix_sum(WarpValue<std::uint32_t>(warp, lanes));
+  std::uint32_t expected = 0;
+  for (int l = 0; l < warp.size(); ++l) {
+    expected += lanes[l];
+    EXPECT_EQ(scanned[l], expected) << "lane " << l;
+  }
+}
+
+TEST_P(WarpWidths, WarpMinMatchesReference) {
+  const Warp warp(GetParam());
+  const auto lanes = random_lanes(warp.size(), 11);
+  const auto m = warp_min(WarpValue<std::uint32_t>(warp, lanes));
+  const std::uint32_t expected =
+      *std::min_element(lanes.begin(), lanes.end());
+  for (int l = 0; l < warp.size(); ++l) EXPECT_EQ(m[l], expected);
+}
+
+TEST_P(WarpWidths, BallotPacksPredicates) {
+  const Warp warp(GetParam());
+  WarpValue<std::uint32_t> v(warp, 0u);
+  v[0] = 1;
+  v[5] = 1;
+  v[warp.size() - 1] = 1;
+  const std::uint64_t bits = ballot(v);
+  EXPECT_EQ(bits, (1ULL << 0) | (1ULL << 5) | (1ULL << (warp.size() - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WarpWidths, ::testing::Values(32, 64),
+                         [](const auto& info) {
+                           return "WS" + std::to_string(info.param);
+                         });
+
+TEST(Listing1, UnfixedCodeBreaksOn64WideWarps) {
+  // The paper's §4 motivation, demonstrated: the pre-fix code (which
+  // stops at delta == 16) is correct at WS 32 but wrong at WS 64 for
+  // every lane >= 32.
+  const Warp w32(32);
+  const auto l32 = random_lanes(32, 13);
+  const auto fixed32 = warp_prefix_sum(WarpValue<std::uint32_t>(w32, l32));
+  const auto old32 =
+      warp_prefix_sum_ws32_only(WarpValue<std::uint32_t>(w32, l32));
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(old32[l], fixed32[l]);
+
+  const Warp w64(64);
+  const auto l64 = random_lanes(64, 13);
+  const auto fixed64 = warp_prefix_sum(WarpValue<std::uint32_t>(w64, l64));
+  const auto old64 =
+      warp_prefix_sum_ws32_only(WarpValue<std::uint32_t>(w64, l64));
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(old64[l], fixed64[l]);
+  int wrong = 0;
+  for (int l = 32; l < 64; ++l) wrong += (old64[l] != fixed64[l]);
+  EXPECT_GT(wrong, 30) << "lanes 32..63 must be missing the 32-stride add";
+}
+
+TEST(Listing1, ShuffleCountIsLog2OfWarpSize) {
+  // The cost-model justification: one shuffle round per log2(WS) step,
+  // i.e. 5 rounds at WS 32 and 6 at WS 64 (the §3.1 warp-parallelism
+  // discussion: a 64-wide warp scans twice the data in one extra round).
+  for (const int ws : {32, 64}) {
+    ExecutionStats stats;
+    const Warp warp(ws, &stats);
+    (void)warp_prefix_sum(
+        WarpValue<std::uint32_t>(warp, random_lanes(ws, 17)));
+    const std::uint64_t rounds = ws == 32 ? 5 : 6;
+    EXPECT_EQ(stats.shuffle_ops, rounds * static_cast<std::uint64_t>(ws));
+  }
+}
+
+class BlockWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockWidths, BlockPrefixSumMatchesReference) {
+  // LC's 512-thread block: 16 warps at WS 32, 8 warps at WS 64.
+  const int ws = GetParam();
+  ExecutionStats stats;
+  const Block block(512 / ws, ws, &stats);
+  const auto values = random_lanes(block.num_threads(), 19);
+  const auto scanned = block.inclusive_prefix_sum(values);
+  std::uint32_t expected = 0;
+  for (int i = 0; i < block.num_threads(); ++i) {
+    expected += values[i];
+    ASSERT_EQ(scanned[i], expected) << i;
+  }
+  EXPECT_GE(stats.barriers, 2u) << "block scan needs barriers";
+}
+
+TEST_P(BlockWidths, BlockReduceMinMatchesReference) {
+  const int ws = GetParam();
+  const Block block(512 / ws, ws);
+  auto values = random_lanes(block.num_threads(), 23);
+  values[301] = 1;  // plant the minimum mid-block
+  EXPECT_EQ(block.reduce_min(values), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BlockWidths, ::testing::Values(32, 64),
+                         [](const auto& info) {
+                           return "WS" + std::to_string(info.param);
+                         });
+
+TEST(Lookback, MatchesSequentialScanUnderManySchedules) {
+  SplitMix rng(29);
+  std::vector<std::uint64_t> tiles(200);
+  for (auto& t : tiles) t = rng.next_below(10000);
+
+  std::vector<std::uint64_t> expected(tiles.size());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    expected[i] = sum;
+    sum += tiles[i];
+  }
+
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const LookbackResult r = decoupled_lookback(tiles, nullptr, seed);
+    EXPECT_EQ(r.exclusive, expected) << "schedule seed " << seed;
+    EXPECT_EQ(r.total, sum);
+  }
+}
+
+TEST(Lookback, EmptyAndSingleTile) {
+  EXPECT_EQ(decoupled_lookback({}).total, 0u);
+  const LookbackResult r = decoupled_lookback({42});
+  ASSERT_EQ(r.exclusive.size(), 1u);
+  EXPECT_EQ(r.exclusive[0], 0u);
+  EXPECT_EQ(r.total, 42u);
+}
+
+TEST(Lookback, ChargesOneTicketAtomicPerTile) {
+  ExecutionStats stats;
+  (void)decoupled_lookback({1, 2, 3, 4, 5}, &stats, 1);
+  EXPECT_EQ(stats.atomics, 5u);
+}
+
+TEST(Lookback, PollCountGrowsWithAdversarialSchedules) {
+  // Schedules that let late tiles run before their predecessors publish
+  // force more status polls — the cost the compiler model charges the
+  // encoder path for. Sanity: polls >= tiles - 1 (every tile > 0 polls
+  // at least once).
+  std::vector<std::uint64_t> tiles(64, 7);
+  const LookbackResult r = decoupled_lookback(tiles, nullptr, 5);
+  EXPECT_GE(r.polls, tiles.size() - 1);
+}
+
+}  // namespace
+}  // namespace lc::gpusim::simt

@@ -1,0 +1,79 @@
+// Tests for the chunked measurement utilities.
+
+#include "lc/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "lc/codec.h"
+#include "lc/registry.h"
+#include "tests/lc/test_buffers.h"
+
+namespace lc {
+namespace {
+
+TEST(Analysis, ComponentStatsOnCompressibleData) {
+  const Component* rle = Registry::instance().find("RLE_1");
+  const Bytes data = testing::run_heavy_bytes(kChunkSize * 4, 1);
+  const ChunkedStats s =
+      measure_component(*rle, ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(s.input_bytes, data.size());
+  EXPECT_EQ(s.chunks, 4u);
+  EXPECT_EQ(s.applied_fraction(), 1.0);
+  EXPECT_GT(s.ratio(), 1.5);
+}
+
+TEST(Analysis, ComponentStatsOnIncompressibleData) {
+  const Component* rle = Registry::instance().find("RLE_4");
+  const Bytes data = testing::random_bytes(kChunkSize * 3, 2);
+  const ChunkedStats s =
+      measure_component(*rle, ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(s.applied_fraction(), 0.0) << "random data must hit the fallback";
+  EXPECT_DOUBLE_EQ(s.ratio(), 1.0);
+  EXPECT_EQ(s.output_bytes, data.size());
+}
+
+TEST(Analysis, EmptyInput) {
+  const Component* rze = Registry::instance().find("RZE_4");
+  const ChunkedStats s = measure_component(*rze, {});
+  EXPECT_EQ(s.chunks, 0u);
+  EXPECT_DOUBLE_EQ(s.ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(s.applied_fraction(), 0.0);
+}
+
+TEST(Analysis, PipelineStatsTrackLastStage) {
+  // Random data: the final reducer never applies even though the
+  // size-preserving stages do.
+  const Pipeline p = Pipeline::parse("TCMS_4 BIT_4 RLE_4");
+  const Bytes data = testing::random_bytes(kChunkSize * 2, 3);
+  const ChunkedStats s =
+      measure_pipeline(p, ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(s.chunks, 2u);
+  EXPECT_DOUBLE_EQ(s.applied_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ratio(), 1.0);
+}
+
+TEST(Analysis, PipelineRatioConsistentWithContainer) {
+  // The payload-only pipeline ratio must track the container's (which
+  // adds only a small fixed header).
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes data = testing::smooth_floats(16384, 4);
+  const ChunkedStats s =
+      measure_pipeline(p, ByteSpan(data.data(), data.size()));
+  const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  EXPECT_GT(s.ratio(), 1.1);
+  EXPECT_NEAR(static_cast<double>(packed.size()),
+              static_cast<double>(s.output_bytes), 200.0);
+}
+
+TEST(Analysis, PartialTrailingChunkCounted) {
+  const Component* rze = Registry::instance().find("RZE_1");
+  const Bytes data(kChunkSize + 100, Byte{0});
+  const ChunkedStats s =
+      measure_component(*rze, ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(s.chunks, 2u);
+  EXPECT_EQ(s.applied_fraction(), 1.0);  // all zeros compress everywhere
+  EXPECT_GT(s.ratio(), 10.0);
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,107 @@
+// Direct unit tests of the recursive bitmap codec shared by RRE, RZE,
+// RARE and RAZE.
+
+#include "lc/components/bitmap_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace lc::detail {
+namespace {
+
+std::vector<Byte> roundtrip(const std::vector<Byte>& bytes) {
+  Bytes encoded;
+  encode_bitmap_bytes(bytes, encoded);
+  std::size_t pos = 0;
+  const std::vector<Byte> decoded = decode_bitmap_bytes(
+      ByteSpan(encoded.data(), encoded.size()), pos, bytes.size());
+  EXPECT_EQ(pos, encoded.size()) << "codec must consume exactly its bytes";
+  return decoded;
+}
+
+TEST(BitmapCodec, EmptyBitmap) {
+  EXPECT_TRUE(roundtrip({}).empty());
+}
+
+TEST(BitmapCodec, TinyBitmapsStoredRaw) {
+  const std::vector<Byte> bytes = {1, 2, 3};
+  Bytes encoded;
+  encode_bitmap_bytes(bytes, encoded);
+  ASSERT_EQ(encoded.size(), 4u);  // flag + 3 raw bytes
+  EXPECT_EQ(encoded[0], 0);       // raw flag
+  EXPECT_EQ(roundtrip(bytes), bytes);
+}
+
+TEST(BitmapCodec, AllZeroBitmapCompressesRecursively) {
+  const std::vector<Byte> bytes(2048, Byte{0});
+  Bytes encoded;
+  encode_bitmap_bytes(bytes, encoded);
+  EXPECT_LT(encoded.size(), 64u) << "uniform bitmap must shrink drastically";
+  EXPECT_EQ(roundtrip(bytes), bytes);
+}
+
+TEST(BitmapCodec, AllOneBitmapCompresses) {
+  const std::vector<Byte> bytes(2048, Byte{0xFF});
+  Bytes encoded;
+  encode_bitmap_bytes(bytes, encoded);
+  EXPECT_LT(encoded.size(), 64u);
+  EXPECT_EQ(roundtrip(bytes), bytes);
+}
+
+TEST(BitmapCodec, IncompressibleBitmapBarelyExpands) {
+  SplitMix rng(3);
+  std::vector<Byte> bytes(2048);
+  for (auto& b : bytes) b = static_cast<Byte>(rng.next());
+  Bytes encoded;
+  encode_bitmap_bytes(bytes, encoded);
+  EXPECT_LE(encoded.size(), bytes.size() + 8);
+  EXPECT_EQ(roundtrip(bytes), bytes);
+}
+
+TEST(BitmapCodec, SparseBitmapRoundTrips) {
+  SplitMix rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Byte> bytes(1 + rng.next_below(4000), Byte{0});
+    for (std::size_t i = 0; i < bytes.size() / 50 + 1; ++i) {
+      bytes[rng.next_below(bytes.size())] = static_cast<Byte>(rng.next());
+    }
+    EXPECT_EQ(roundtrip(bytes), bytes);
+  }
+}
+
+TEST(BitmapCodec, TruncationThrows) {
+  const std::vector<Byte> bytes(512, Byte{0xAB});
+  Bytes encoded;
+  encode_bitmap_bytes(bytes, encoded);
+  for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+    std::size_t pos = 0;
+    EXPECT_THROW((void)decode_bitmap_bytes(ByteSpan(encoded.data(), keep),
+                                           pos, bytes.size()),
+                 CorruptDataError)
+        << keep;
+  }
+}
+
+TEST(BitmapCodec, BadFlagThrows) {
+  Bytes encoded = {Byte{7}, Byte{0}, Byte{0}};  // flag must be 0 or 1
+  std::size_t pos = 0;
+  EXPECT_THROW((void)decode_bitmap_bytes(
+                   ByteSpan(encoded.data(), encoded.size()), pos, 64),
+               CorruptDataError);
+}
+
+TEST(BitmapCodec, PackBitsAndBitAt) {
+  std::vector<bool> bits(19, false);
+  bits[0] = bits[7] = bits[8] = bits[18] = true;
+  const std::vector<Byte> packed = pack_bits(bits);
+  ASSERT_EQ(packed.size(), 3u);
+  EXPECT_EQ(packed[0], 0x81);  // bits 0 and 7
+  EXPECT_EQ(packed[1], 0x01);  // bit 8
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(bit_at(packed, i), bits[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lc::detail

@@ -1,0 +1,200 @@
+// Integration tests for the chunked codec: container round trips,
+// copy-fallback semantics, corrupt-container rejection, and parallelism.
+
+#include "lc/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "tests/lc/test_buffers.h"
+
+namespace lc {
+namespace {
+
+Pipeline typical_pipeline() { return Pipeline::parse("BIT_4 DIFF_4 RZE_4"); }
+
+TEST(Codec, RoundTripsAllStressBuffers) {
+  const Pipeline p = typical_pipeline();
+  for (const auto& [name, data] : testing::component_stress_buffers()) {
+    EXPECT_TRUE(verify_roundtrip(p, ByteSpan(data.data(), data.size())))
+        << name;
+  }
+}
+
+TEST(Codec, RoundTripsMultiChunkInput) {
+  const Pipeline p = typical_pipeline();
+  // 5.5 chunks of smooth float data.
+  const Bytes data = testing::smooth_floats(16384 * 5 / 4 + 123, 42);
+  EXPECT_TRUE(verify_roundtrip(p, ByteSpan(data.data(), data.size())));
+}
+
+TEST(Codec, EmptyInput) {
+  const Pipeline p = typical_pipeline();
+  const Bytes packed = compress(p, {});
+  const Bytes unpacked = decompress(ByteSpan(packed.data(), packed.size()));
+  EXPECT_TRUE(unpacked.empty());
+}
+
+TEST(Codec, CompressesCompressibleData) {
+  // Delta first, then magnitude-sign so small +/- residuals all gain
+  // leading zeros, then CLOG to strip them.
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes data = testing::smooth_floats(16384, 7);  // 64 kB, 4 chunks
+  const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  EXPECT_LT(packed.size(), data.size()) << "smooth floats must compress";
+}
+
+TEST(Codec, IncompressibleDataBarelyExpands) {
+  // Random data: every reducer hits copy-fallback, so the container can
+  // only grow by headers (a few bytes per 16 kB chunk).
+  const Pipeline p = Pipeline::parse("RLE_4 RRE_4 RZE_4");
+  const Bytes data = testing::random_bytes(16384 * 8, 13);
+  const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  EXPECT_LT(packed.size(), data.size() + 200);
+}
+
+TEST(Codec, EncodeChunkReportsFallbackMask) {
+  const Pipeline p = Pipeline::parse("RLE_4 TCMS_4 RZE_4");
+  // Random data: RLE_4 and RZE_4 expand (skipped), TCMS_4 is
+  // size-preserving (always applied).
+  const Bytes data = testing::random_bytes(16384, 17);
+  std::uint8_t mask = 0;
+  std::vector<StageTrace> trace;
+  const Bytes record =
+      encode_chunk(p, ByteSpan(data.data(), data.size()), mask, &trace);
+  EXPECT_EQ(mask, 0b010u);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_FALSE(trace[0].applied);
+  EXPECT_TRUE(trace[1].applied);
+  EXPECT_FALSE(trace[2].applied);
+  EXPECT_GT(trace[0].bytes_out, trace[0].bytes_in);  // RLE expanded
+  EXPECT_EQ(record.size(), data.size());  // only TCMS applied
+
+  // And the chunk decodes against the mask.
+  Bytes out;
+  decode_chunk(p, ByteSpan(record.data(), record.size()), mask, data.size(),
+               out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Codec, FallbackAppliesPerChunkIndependently) {
+  // First chunk: highly repetitive (RLE applies). Second: random (skipped).
+  Bytes data = testing::run_heavy_bytes(16384, 3);
+  std::fill_n(data.begin(), 16384, Byte{0x42});
+  const Bytes random = testing::random_bytes(16384, 4);
+  data.insert(data.end(), random.begin(), random.end());
+
+  const Pipeline p = Pipeline::parse("RLE_1 RLE_1 RLE_1");
+  const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  const Bytes unpacked = decompress(ByteSpan(packed.data(), packed.size()));
+  EXPECT_EQ(unpacked, data);
+  EXPECT_LT(packed.size(), data.size());  // chunk 1 compressed to ~nothing
+}
+
+TEST(Codec, ContainerIsSelfDescribing) {
+  const Pipeline p = Pipeline::parse("DIFF_4 BIT_2 RARE_4");
+  const Bytes data = testing::smooth_floats(5000, 5);
+  const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  // decompress() recovers the pipeline from the container alone.
+  const Bytes unpacked = decompress(ByteSpan(packed.data(), packed.size()));
+  EXPECT_EQ(unpacked, data);
+}
+
+TEST(Codec, RejectsBadMagic) {
+  const Pipeline p = typical_pipeline();
+  Bytes packed = compress(p, testing::random_bytes(100, 6));
+  packed[0] = Byte{'X'};
+  EXPECT_THROW((void)decompress(ByteSpan(packed.data(), packed.size())),
+               CorruptDataError);
+}
+
+TEST(Codec, RejectsBadVersion) {
+  const Pipeline p = typical_pipeline();
+  Bytes packed = compress(p, testing::random_bytes(100, 6));
+  packed[4] = Byte{99};
+  EXPECT_THROW((void)decompress(ByteSpan(packed.data(), packed.size())),
+               CorruptDataError);
+}
+
+TEST(Codec, RejectsTruncation) {
+  const Pipeline p = typical_pipeline();
+  const Bytes data = testing::smooth_floats(8192, 8);
+  Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{10}, packed.size() / 2,
+        packed.size() - 1}) {
+    EXPECT_THROW((void)decompress(ByteSpan(packed.data(), keep)),
+                 CorruptDataError)
+        << "kept " << keep;
+  }
+}
+
+TEST(Codec, ContentChecksumCatchesPayloadTampering) {
+  // Flip one bit inside a chunk payload (past the header): the chunk may
+  // still decode structurally, but the container checksum must reject it.
+  const Pipeline p = Pipeline::parse("TCMS_4");  // size-preserving payload
+  const Bytes data = testing::random_bytes(20000, 40);
+  Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  packed[packed.size() - 10] ^= Byte{0x04};  // deep inside the last chunk
+  EXPECT_THROW((void)decompress(ByteSpan(packed.data(), packed.size())),
+               CorruptDataError);
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  const Pipeline p = typical_pipeline();
+  Bytes packed = compress(p, testing::random_bytes(1000, 9));
+  packed.push_back(Byte{0});
+  EXPECT_THROW((void)decompress(ByteSpan(packed.data(), packed.size())),
+               CorruptDataError);
+}
+
+TEST(Codec, SingleStageAndLongPipelines) {
+  const Bytes data = testing::smooth_floats(3000, 10);
+  for (const char* spec :
+       {"RZE_4", "TCMS_4", "DBEFS_4 BIT_4 DIFF_2 TCNB_1 CLOG_2 RRE_1",
+        "TUPL2_4 TUPL4_2 TUPL8_1 RLE_1"}) {
+    EXPECT_TRUE(verify_roundtrip(Pipeline::parse(spec),
+                                 ByteSpan(data.data(), data.size())))
+        << spec;
+  }
+}
+
+TEST(Codec, NineStagePipelineRejected) {
+  std::vector<const Component*> stages(9, Registry::instance().find("TCMS_4"));
+  const Pipeline p{std::move(stages)};
+  std::uint8_t mask = 0;
+  EXPECT_THROW((void)encode_chunk(p, {}, mask), Error);
+}
+
+TEST(Codec, ParallelMatchesSerial) {
+  const Pipeline p = typical_pipeline();
+  const Bytes data = testing::smooth_floats(16384 * 2, 11);  // 8 chunks
+  ThreadPool serial(1), parallel(8);
+  const Bytes a = compress(p, ByteSpan(data.data(), data.size()), serial);
+  const Bytes b = compress(p, ByteSpan(data.data(), data.size()), parallel);
+  EXPECT_EQ(a, b) << "container must be byte-identical across pool sizes";
+  EXPECT_EQ(decompress(ByteSpan(a.data(), a.size()), parallel), data);
+}
+
+class CodecPipelineSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodecPipelineSweep, RoundTripsRepresentativeData) {
+  const Pipeline p = Pipeline::parse(GetParam());
+  for (const auto& data :
+       {testing::smooth_floats(5000, 30), testing::random_bytes(20000, 31),
+        testing::run_heavy_bytes(20000, 32), Bytes(20000, Byte{0})}) {
+    ASSERT_TRUE(verify_roundtrip(p, ByteSpan(data.data(), data.size())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, CodecPipelineSweep,
+    ::testing::Values("BIT_4 DIFF_4 RZE_4", "DBEFS_4 BIT_1 RARE_2",
+                      "TUPL2_4 DIFFMS_4 CLOG_4", "RLE_4 RLE_4 RLE_4",
+                      "HCLOG_8 TCNB_2 RAZE_8", "DIFFNB_8 TUPL8_1 RRE_2",
+                      "RARE_8 RAZE_1 HCLOG_1", "TCMS_2 DBESF_8 RLE_2"));
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,165 @@
+// Property tests: every one of the 62 components must encode and decode
+// losslessly on every stress buffer, preserve size when it is a
+// non-reducer, and produce self-describing streams when it is a reducer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "lc/component.h"
+#include "lc/registry.h"
+#include "tests/lc/test_buffers.h"
+
+namespace lc {
+namespace {
+
+class ComponentRoundTrip : public ::testing::TestWithParam<const Component*> {};
+
+TEST_P(ComponentRoundTrip, LosslessOnAllStressBuffers) {
+  const Component& comp = *GetParam();
+  for (const auto& [name, data] : testing::component_stress_buffers()) {
+    Bytes encoded, decoded;
+    comp.encode(ByteSpan(data.data(), data.size()), encoded);
+    comp.decode(ByteSpan(encoded.data(), encoded.size()), decoded);
+    ASSERT_EQ(decoded.size(), data.size())
+        << comp.name() << " on " << name;
+    ASSERT_TRUE(std::equal(decoded.begin(), decoded.end(), data.begin()))
+        << comp.name() << " on " << name;
+  }
+}
+
+TEST_P(ComponentRoundTrip, NonReducersPreserveSize) {
+  const Component& comp = *GetParam();
+  if (comp.is_reducer()) GTEST_SKIP() << "reducers may change size";
+  for (const auto& [name, data] : testing::component_stress_buffers()) {
+    Bytes encoded;
+    comp.encode(ByteSpan(data.data(), data.size()), encoded);
+    EXPECT_EQ(encoded.size(), data.size()) << comp.name() << " on " << name;
+  }
+}
+
+TEST_P(ComponentRoundTrip, EncodeIsDeterministic) {
+  const Component& comp = *GetParam();
+  const Bytes data = testing::random_bytes(16384, 77);
+  Bytes a, b;
+  comp.encode(ByteSpan(data.data(), data.size()), a);
+  comp.encode(ByteSpan(data.data(), data.size()), b);
+  EXPECT_EQ(a, b) << comp.name();
+}
+
+TEST_P(ComponentRoundTrip, RandomSizesSweep) {
+  const Component& comp = *GetParam();
+  SplitMix rng(hash_string(comp.name()));
+  for (int i = 0; i < 24; ++i) {
+    const std::size_t n = rng.next_below(3000);
+    const Bytes data = testing::random_bytes(n, rng.next());
+    Bytes encoded, decoded;
+    comp.encode(ByteSpan(data.data(), data.size()), encoded);
+    comp.decode(ByteSpan(encoded.data(), encoded.size()), decoded);
+    ASSERT_EQ(decoded, data) << comp.name() << " n=" << n;
+  }
+}
+
+std::string component_test_name(
+    const ::testing::TestParamInfo<const Component*>& info) {
+  std::string n = info.param->name();
+  std::replace(n.begin(), n.end(), '-', '_');
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, ComponentRoundTrip,
+                         ::testing::ValuesIn(Registry::instance().all()),
+                         component_test_name);
+
+// Reducers must actually compress the data they are designed for.
+TEST(ReducerEffectiveness, RleCompressesRuns) {
+  const Component* rle = Registry::instance().find("RLE_1");
+  ASSERT_NE(rle, nullptr);
+  const Bytes data = testing::run_heavy_bytes(16384, 21);
+  Bytes encoded;
+  rle->encode(ByteSpan(data.data(), data.size()), encoded);
+  EXPECT_LT(encoded.size(), data.size() / 2) << "RLE should halve run data";
+}
+
+TEST(ReducerEffectiveness, RzeCompressesSparseData) {
+  const Component* rze = Registry::instance().find("RZE_4");
+  ASSERT_NE(rze, nullptr);
+  const Bytes data = testing::sparse_bytes(16384, 22);
+  Bytes encoded;
+  rze->encode(ByteSpan(data.data(), data.size()), encoded);
+  EXPECT_LT(encoded.size(), data.size() / 2);
+}
+
+TEST(ReducerEffectiveness, ClogCompressesLeadingZeros) {
+  const Component* clog = Registry::instance().find("CLOG_4");
+  ASSERT_NE(clog, nullptr);
+  // Small 32-bit values: 20+ leading zero bits each.
+  Bytes data(16384);
+  SplitMix rng(23);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next_below(4096));
+    std::memcpy(data.data() + i, &v, 4);
+  }
+  Bytes encoded;
+  clog->encode(ByteSpan(data.data(), data.size()), encoded);
+  EXPECT_LT(encoded.size(), data.size() / 2);
+}
+
+TEST(ReducerEffectiveness, HclogRescuesNegativeValues) {
+  // Small *negative* values have no leading zeros in two's complement;
+  // CLOG cannot compress them but HCLOG's TCMS rescue can.
+  Bytes data(16384);
+  SplitMix rng(24);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    const std::int32_t v = -static_cast<std::int32_t>(rng.next_below(2048));
+    std::memcpy(data.data() + i, &v, 4);
+  }
+  const Component* clog = Registry::instance().find("CLOG_4");
+  const Component* hclog = Registry::instance().find("HCLOG_4");
+  Bytes enc_clog, enc_hclog;
+  clog->encode(ByteSpan(data.data(), data.size()), enc_clog);
+  hclog->encode(ByteSpan(data.data(), data.size()), enc_hclog);
+  EXPECT_GE(enc_clog.size(), data.size());  // no help
+  EXPECT_LT(enc_hclog.size(), data.size() / 2);
+}
+
+TEST(ReducerEffectiveness, RareBeatsRreOnNoisyLowBits) {
+  // Values sharing upper bits but with noisy low bits: RRE finds no exact
+  // repeats, RARE's adaptive split isolates the repeating upper field.
+  Bytes data(16384);
+  SplitMix rng(25);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    const std::uint32_t v = 0x3F800000u | static_cast<std::uint32_t>(rng.next_below(256));
+    std::memcpy(data.data() + i, &v, 4);
+  }
+  const Component* rre = Registry::instance().find("RRE_4");
+  const Component* rare = Registry::instance().find("RARE_4");
+  Bytes enc_rre, enc_rare;
+  rre->encode(ByteSpan(data.data(), data.size()), enc_rre);
+  rare->encode(ByteSpan(data.data(), data.size()), enc_rare);
+  EXPECT_LT(enc_rare.size(), data.size() / 2);
+  EXPECT_LT(enc_rare.size(), enc_rre.size());
+}
+
+TEST(ReducerRobustness, DecodingGarbageThrowsOrFails) {
+  // Reducers must reject corrupt streams instead of crashing. Any
+  // CorruptDataError is acceptable; silent success must still round-trip
+  // nothing (garbage rarely decodes, but if it does it must not crash).
+  const Bytes garbage = testing::random_bytes(512, 31);
+  for (const Component* comp : Registry::instance().reducers()) {
+    Bytes out;
+    try {
+      comp->decode(ByteSpan(garbage.data(), garbage.size()), out);
+    } catch (const CorruptDataError&) {
+      continue;  // expected path
+    } catch (const Error&) {
+      continue;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,78 @@
+// Concurrency tests: components are documented stateless/thread-safe and
+// the codec is used from many threads at once in the sweep engine; these
+// tests hammer those contracts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lc/codec.h"
+#include "lc/registry.h"
+#include "tests/lc/test_buffers.h"
+
+namespace lc {
+namespace {
+
+TEST(Concurrency, ComponentsAreThreadSafe) {
+  // All threads encode/decode through the same component objects.
+  const Bytes data = testing::smooth_floats(4096, 3);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix rng(t + 1);
+      for (int iter = 0; iter < 50; ++iter) {
+        const auto& all = Registry::instance().all();
+        const Component& comp = *all[rng.next_below(all.size())];
+        Bytes encoded, decoded;
+        comp.encode(ByteSpan(data.data(), data.size()), encoded);
+        comp.decode(ByteSpan(encoded.data(), encoded.size()), decoded);
+        if (decoded != data) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, ParallelCompressCallsShareTheGlobalPool) {
+  // Multiple top-level compress() calls race on ThreadPool::global().
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes data = testing::smooth_floats(16384 * 2, 4);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 5; ++iter) {
+        if (!verify_roundtrip(p, ByteSpan(data.data(), data.size()))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, CompressionIsDeterministicUnderRacing) {
+  const Pipeline p = Pipeline::parse("BIT_4 DIFF_4 RZE_4");
+  const Bytes data = testing::run_heavy_bytes(16384 * 3, 5);
+  const Bytes reference = compress(p, ByteSpan(data.data(), data.size()));
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 8; ++iter) {
+        if (compress(p, ByteSpan(data.data(), data.size())) != reference) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace lc

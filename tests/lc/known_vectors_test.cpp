@@ -1,0 +1,193 @@
+// Known-vector tests: pin the exact byte-level transform semantics of
+// each component family on small hand-computed inputs. These are format
+// stability tests — a change that silently alters any stream layout (and
+// would break cross-version decode) fails here with a readable diff.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "lc/registry.h"
+
+namespace lc {
+namespace {
+
+Bytes bytes_of(std::initializer_list<unsigned> list) {
+  Bytes b;
+  for (const unsigned v : list) b.push_back(static_cast<Byte>(v));
+  return b;
+}
+
+Bytes encode(const char* name, const Bytes& in) {
+  const Component* c = Registry::instance().find(name);
+  EXPECT_NE(c, nullptr) << name;
+  Bytes out;
+  c->encode(ByteSpan(in.data(), in.size()), out);
+  return out;
+}
+
+TEST(KnownVectors, Tcms1ZigzagsEachByte) {
+  // 0,-1,1,-2,2 (two's complement bytes) -> 0,1,2,3,4.
+  const Bytes in = bytes_of({0x00, 0xFF, 0x01, 0xFE, 0x02});
+  EXPECT_EQ(encode("TCMS_1", in), bytes_of({0x00, 0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(KnownVectors, Tcnb1Negabinary) {
+  // 1 -> 1, -1 -> 3 (11 in base -2), 2 -> 6 (110), -2 -> 2 (10).
+  const Bytes in = bytes_of({0x01, 0xFF, 0x02, 0xFE});
+  EXPECT_EQ(encode("TCNB_1", in), bytes_of({0x01, 0x03, 0x06, 0x02}));
+}
+
+TEST(KnownVectors, Tcms2HandlesWordsLittleEndian) {
+  // -1 as a 16-bit word (FF FF) zigzags to 1 (01 00).
+  const Bytes in = bytes_of({0xFF, 0xFF});
+  EXPECT_EQ(encode("TCMS_2", in), bytes_of({0x01, 0x00}));
+}
+
+TEST(KnownVectors, Dbefs4OnOne) {
+  // 1.0f = 0x3F800000: de-biased exponent 0, fraction 0, sign 0 -> 0.
+  // -1.0f -> sign lands in the LSB -> 1.
+  Bytes in(8);
+  const float pos = 1.0f, neg = -1.0f;
+  std::memcpy(in.data(), &pos, 4);
+  std::memcpy(in.data() + 4, &neg, 4);
+  EXPECT_EQ(encode("DBEFS_4", in),
+            bytes_of({0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00}));
+}
+
+TEST(KnownVectors, Dbesf4PutsSignAboveFraction) {
+  Bytes in(4);
+  const float neg = -1.0f;
+  std::memcpy(in.data(), &neg, 4);
+  // exponent' 0, sign 1 at bit 23, fraction 0 -> 0x00800000 LE.
+  EXPECT_EQ(encode("DBESF_4", in), bytes_of({0x00, 0x00, 0x80, 0x00}));
+}
+
+TEST(KnownVectors, Diff1EmitsDeltas) {
+  const Bytes in = bytes_of({10, 13, 11, 11, 20});
+  // deltas vs previous (first vs 0): 10, 3, -2(0xFE), 0, 9.
+  EXPECT_EQ(encode("DIFF_1", in), bytes_of({10, 3, 0xFE, 0, 9}));
+}
+
+TEST(KnownVectors, Diffms1ZigzagsResiduals) {
+  const Bytes in = bytes_of({10, 13, 11});
+  // residuals 10, 3, -2 -> zigzag 20, 6, 3.
+  EXPECT_EQ(encode("DIFFMS_1", in), bytes_of({20, 6, 3}));
+}
+
+TEST(KnownVectors, Bit1TransposesMsbPlaneFirst) {
+  // 8 bytes, so each plane is exactly one output byte. Input words:
+  // lane i has value (i odd ? 0x80 : 0x01).
+  const Bytes in = bytes_of({0x01, 0x80, 0x01, 0x80, 0x01, 0x80, 0x01, 0x80});
+  // Plane 7 (MSB): bits 0,1,0,1,... packed LSB-first -> 0xAA.
+  // Planes 6..1: zero. Plane 0: bits 1,0,1,0,... -> 0x55.
+  EXPECT_EQ(encode("BIT_1", in),
+            bytes_of({0xAA, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x55}));
+}
+
+TEST(KnownVectors, Tupl2DeinterleavesPairs) {
+  // x1 y1 x2 y2 x3 y3 -> x1 x2 x3 y1 y2 y3 (1-byte words, k=2).
+  const Bytes in = bytes_of({1, 101, 2, 102, 3, 103});
+  EXPECT_EQ(encode("TUPL2_1", in), bytes_of({1, 2, 3, 101, 102, 103}));
+}
+
+TEST(KnownVectors, Tupl2KeepsPartialTupleVerbatim) {
+  const Bytes in = bytes_of({1, 101, 2, 102, 3});  // trailing lone x3
+  EXPECT_EQ(encode("TUPL2_1", in), bytes_of({1, 2, 101, 102, 3}));
+}
+
+TEST(KnownVectors, Rle1StreamLayout) {
+  // One subchunk (n < 32 words uses n subchunks of 1 word... n=6 -> 6
+  // subchunks). Use a 1-word-per-subchunk layout: each section is
+  // varint len + one token (run=1, lits=0, value).
+  const Bytes in = bytes_of({7, 7, 7, 7, 7, 7});
+  const Bytes out = encode("RLE_1", in);
+  // ReducerBase framing: varint(6). Then 6 sections, each:
+  // u32 len=3, token run=1 lits=0 value=7.
+  Bytes expected = bytes_of({6});
+  for (int s = 0; s < 6; ++s) {
+    expected.push_back(3);  // u32 section length, little-endian
+    expected.push_back(0);
+    expected.push_back(0);
+    expected.push_back(0);
+    expected.push_back(1);  // run
+    expected.push_back(0);  // literals
+    expected.push_back(7);  // value
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST(KnownVectors, Rze1StreamLayout) {
+  // 4 words: 0, 9, 0, 9 -> literals {9, 9}, bitmap bits 1010b stored in
+  // one raw byte (0x05: bits 0 and 2 set).
+  const Bytes in = bytes_of({0, 9, 0, 9});
+  const Bytes out = encode("RZE_1", in);
+  const Bytes expected = bytes_of({
+      4,           // ReducerBase: original size varint
+      2,           // literal count varint
+      9, 9,        // literal words
+      0,           // bitmap level flag: raw
+      0x05,        // bitmap byte: words 0 and 2 are zero
+  });
+  EXPECT_EQ(out, expected);
+}
+
+TEST(KnownVectors, Rre1StreamLayout) {
+  // 5 words: 8 8 8 5 5 -> literals {8, 5}; repeat bitmap 11010b = 0x1A.
+  const Bytes in = bytes_of({8, 8, 8, 5, 5});
+  const Bytes expected = bytes_of({
+      5,           // original size
+      2,           // literal count
+      8, 5,        // literals
+      0,           // raw bitmap flag
+      0x16,        // bits 1,2,4 set (words repeating their predecessor)
+  });
+  EXPECT_EQ(encode("RRE_1", in), expected);
+}
+
+TEST(KnownVectors, Clog1StreamLayout) {
+  // 2 words -> 2 subchunks of 1 word. Values 0x03 (width 2) and 0x01
+  // (width 1): widths bytes {2, 1}, then bits 11b then 1b packed
+  // LSB-first -> 0b0111 = 0x07.
+  const Bytes in = bytes_of({0x03, 0x01});
+  const Bytes expected = bytes_of({
+      2,        // original size
+      2, 1,     // per-subchunk widths
+      0x07,     // packed bits
+  });
+  EXPECT_EQ(encode("CLOG_1", in), expected);
+}
+
+TEST(KnownVectors, Hclog1RescuesHighBytesWithTcms) {
+  // One word 0xFF (-1): CLOG width would be 8; TCMS maps it to 0x01
+  // (width 1), so HCLOG sets the rescue flag (0x80) on the width byte.
+  const Bytes in = bytes_of({0xFF});
+  const Bytes expected = bytes_of({
+      1,           // original size
+      0x81,        // width 1 | TCMS flag
+      0x01,        // packed bit
+  });
+  EXPECT_EQ(encode("HCLOG_1", in), expected);
+}
+
+TEST(KnownVectors, ReducerFramingCarriesWordTail) {
+  // 5 bytes into a 4-byte-word reducer: 1 whole word + 1 tail byte, tail
+  // stored verbatim right after the size varint.
+  const Bytes in = bytes_of({0, 0, 0, 0, 0xEE});
+  const Bytes out = encode("RZE_4", in);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0], 5);     // original size
+  EXPECT_EQ(out[1], 0xEE);  // tail byte
+}
+
+TEST(KnownVectors, EmptyInputEncodings) {
+  for (const char* name : {"TCMS_4", "BIT_8", "DIFF_2", "TUPL2_1"}) {
+    EXPECT_TRUE(encode(name, {}).empty()) << name;
+  }
+  // Reducers still carry their size header.
+  EXPECT_EQ(encode("CLOG_4", {}), bytes_of({0}));
+  EXPECT_EQ(encode("RLE_4", {}), bytes_of({0}));
+}
+
+}  // namespace
+}  // namespace lc

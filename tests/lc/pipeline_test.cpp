@@ -1,0 +1,135 @@
+// Pipeline parsing, formatting, and the paper's enumeration invariants.
+
+#include "lc/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace lc {
+namespace {
+
+TEST(Pipeline, ParseAndSpecRoundTrip) {
+  const Pipeline p = Pipeline::parse("BIT_4 DIFF_4 RZE_4");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.stage(0).name(), "BIT_4");
+  EXPECT_EQ(p.stage(1).name(), "DIFF_4");
+  EXPECT_EQ(p.stage(2).name(), "RZE_4");
+  EXPECT_EQ(p.spec(), "BIT_4 DIFF_4 RZE_4");
+}
+
+TEST(Pipeline, ParseToleratesWhitespace) {
+  const Pipeline p = Pipeline::parse("  TCMS_4   RLE_4 ");
+  EXPECT_EQ(p.spec(), "TCMS_4 RLE_4");
+}
+
+TEST(Pipeline, ParseEmpty) {
+  const Pipeline p = Pipeline::parse("");
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.spec(), "");
+}
+
+TEST(Pipeline, ParseUnknownComponentThrows) {
+  EXPECT_THROW((void)Pipeline::parse("BIT_4 BOGUS_9 RLE_4"), Error);
+}
+
+TEST(Pipeline, IdIsStableAndDiscriminating) {
+  const Pipeline a = Pipeline::parse("BIT_4 DIFF_4 RZE_4");
+  const Pipeline b = Pipeline::parse("BIT_4 DIFF_4 RZE_4");
+  const Pipeline c = Pipeline::parse("DIFF_4 BIT_4 RZE_4");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_NE(a.id(), c.id());
+}
+
+TEST(PipelineEnumeration, CountMatchesPaper107632) {
+  EXPECT_EQ(three_stage_pipeline_count(), 107632u);  // 62 * 62 * 28
+}
+
+TEST(PipelineEnumeration, MaterializedEnumerationIsExactAndUnique) {
+  const auto pipelines = enumerate_three_stage_pipelines();
+  ASSERT_EQ(pipelines.size(), 107632u);
+  std::set<std::uint64_t> ids;
+  for (const auto& p : pipelines) {
+    ASSERT_EQ(p.size(), 3u);
+    ASSERT_TRUE(p.stage(2).is_reducer()) << p.spec();
+    ids.insert(p.id());
+  }
+  EXPECT_EQ(ids.size(), pipelines.size()) << "pipeline ids must be unique";
+}
+
+TEST(PipelineEnumeration, PopulationCountsFromPaperSection62) {
+  // §6.2: uniform-word-size pipelines: 1792 each for 1 and 4 bytes,
+  // 1575 each for 2 and 8 bytes (DBEFS/DBESF exist only at 4 and 8 —
+  // wait: they exist at 4 and 8, so 1-byte has fewer stage choices).
+  // Derivation: per word size, stage-1/2 candidates = components of that
+  // word size; stage-3 candidates = reducers of that word size (7).
+  const auto pipelines = enumerate_three_stage_pipelines();
+  std::size_t uniform[9] = {};
+  for (const auto& p : pipelines) {
+    const int w = p.stage(0).word_size();
+    if (p.stage(1).word_size() == w && p.stage(2).word_size() == w) {
+      ++uniform[w];
+    }
+  }
+  // 1-byte: 16 components (TCMS,TCNB,BIT,TUPL8_1,DIFF*3,reducers*7) ->
+  // 16*16*7 = 1792. 2-byte: TUPL4_2 and TUPL8_2 -> 15? The paper reports
+  // 1792/1575/1792/1575 for 1/2/4/8 bytes.
+  EXPECT_EQ(uniform[1], 1792u);
+  EXPECT_EQ(uniform[2], 1575u);
+  EXPECT_EQ(uniform[4], 1792u);
+  EXPECT_EQ(uniform[8], 1575u);
+}
+
+TEST(PipelineEnumeration, TypePurePrefixCountsFromPaperSection63) {
+  // §6.3: first two stages of the same category: 4032 mutator, 2800
+  // shuffler, 4032 predictor, 21952 reducer pipelines.
+  const auto pipelines = enumerate_three_stage_pipelines();
+  std::size_t counts[4] = {};
+  for (const auto& p : pipelines) {
+    if (p.stage(0).category() == p.stage(1).category()) {
+      ++counts[static_cast<std::size_t>(p.stage(0).category())];
+    }
+  }
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::kMutator)], 4032u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::kShuffler)], 2800u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::kPredictor)], 4032u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::kReducer)], 21952u);
+}
+
+TEST(PipelineEnumeration, Stage1PinCountsFromPaperSection64) {
+  // §6.4: pinning a component family to stage 1 yields 6944 pipelines per
+  // family (4 word sizes x 62 x 28), 3472 for DBEFS/DBESF (2 word sizes),
+  // and 10416 for TUPL (6 variants).
+  const auto pipelines = enumerate_three_stage_pipelines();
+  std::size_t bit = 0, dbefs = 0, tupl = 0, rle = 0;
+  for (const auto& p : pipelines) {
+    const std::string& n = p.stage(0).name();
+    if (n.rfind("BIT_", 0) == 0) ++bit;
+    if (n.rfind("DBEFS_", 0) == 0) ++dbefs;
+    if (n.rfind("TUPL", 0) == 0) ++tupl;
+    if (n.rfind("RLE_", 0) == 0) ++rle;
+  }
+  EXPECT_EQ(bit, 6944u);
+  EXPECT_EQ(dbefs, 3472u);
+  EXPECT_EQ(tupl, 10416u);
+  EXPECT_EQ(rle, 6944u);
+}
+
+TEST(PipelineEnumeration, Stage3PinCountsFromPaperSection64) {
+  // §6.4: each reducer family pinned to stage 3 covers 15376 pipelines
+  // (62 x 62 x 4 word sizes).
+  const auto pipelines = enumerate_three_stage_pipelines();
+  std::size_t rle = 0, rare = 0;
+  for (const auto& p : pipelines) {
+    const std::string& n = p.stage(2).name();
+    if (n.rfind("RLE_", 0) == 0) ++rle;
+    if (n.rfind("RARE_", 0) == 0) ++rare;
+  }
+  EXPECT_EQ(rle, 15376u);
+  EXPECT_EQ(rare, 15376u);
+}
+
+}  // namespace
+}  // namespace lc

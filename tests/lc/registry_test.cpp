@@ -1,0 +1,112 @@
+// Tests for the component registry: the population counts here are the
+// paper's (Table 1 and §5): 62 components — 12 mutators, 10 shufflers,
+// 12 predictors, 28 reducers.
+
+#include "lc/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace lc {
+namespace {
+
+TEST(Registry, TotalComponentCountMatchesPaper) {
+  EXPECT_EQ(Registry::instance().all().size(), 62u);
+}
+
+TEST(Registry, CategoryCountsMatchPaper) {
+  const Registry& r = Registry::instance();
+  EXPECT_EQ(r.by_category(Category::kMutator).size(), 12u);
+  EXPECT_EQ(r.by_category(Category::kShuffler).size(), 10u);
+  EXPECT_EQ(r.by_category(Category::kPredictor).size(), 12u);
+  EXPECT_EQ(r.by_category(Category::kReducer).size(), 28u);
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const Component* c : Registry::instance().all()) {
+    EXPECT_TRUE(names.insert(c->name()).second) << c->name();
+  }
+  EXPECT_EQ(names.size(), 62u);
+}
+
+TEST(Registry, FindLooksUpEveryComponent) {
+  const Registry& r = Registry::instance();
+  for (const Component* c : r.all()) {
+    EXPECT_EQ(r.find(c->name()), c);
+  }
+  EXPECT_EQ(r.find("NOPE_4"), nullptr);
+  EXPECT_EQ(r.find(""), nullptr);
+  EXPECT_EQ(r.find("BIT"), nullptr);  // word size suffix required
+}
+
+TEST(Registry, ExpectedComponentsExist) {
+  const Registry& r = Registry::instance();
+  for (const char* name :
+       {"DBEFS_4", "DBEFS_8", "DBESF_4", "DBESF_8",
+        "TCMS_1", "TCMS_2", "TCMS_4", "TCMS_8",
+        "TCNB_1", "TCNB_2", "TCNB_4", "TCNB_8",
+        "BIT_1", "BIT_2", "BIT_4", "BIT_8",
+        "TUPL2_1", "TUPL2_2", "TUPL2_4", "TUPL4_1", "TUPL4_2", "TUPL8_1",
+        "DIFF_1", "DIFF_2", "DIFF_4", "DIFF_8",
+        "DIFFMS_1", "DIFFMS_4", "DIFFNB_2", "DIFFNB_8",
+        "CLOG_1", "CLOG_8", "HCLOG_2", "HCLOG_4",
+        "RARE_1", "RARE_8", "RAZE_2", "RAZE_4",
+        "RLE_1", "RLE_2", "RLE_4", "RLE_8",
+        "RRE_1", "RRE_4", "RZE_2", "RZE_8"}) {
+    EXPECT_NE(r.find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, WordSizesAndMetadata) {
+  const Registry& r = Registry::instance();
+  EXPECT_EQ(r.find("BIT_4")->word_size(), 4);
+  EXPECT_EQ(r.find("TCMS_8")->word_size(), 8);
+  EXPECT_EQ(r.find("TUPL2_4")->tuple_size(), 2);
+  EXPECT_EQ(r.find("TUPL8_1")->tuple_size(), 8);
+  EXPECT_EQ(r.find("DIFF_4")->tuple_size(), 1);
+  EXPECT_TRUE(r.find("RLE_4")->is_reducer());
+  EXPECT_FALSE(r.find("DIFF_4")->is_reducer());
+  EXPECT_TRUE(r.find("DIFF_4")->size_preserving());
+  EXPECT_FALSE(r.find("RARE_4")->size_preserving());
+}
+
+TEST(Registry, DbefsOnlyFloatWordSizes) {
+  const Registry& r = Registry::instance();
+  EXPECT_EQ(r.find("DBEFS_1"), nullptr);
+  EXPECT_EQ(r.find("DBEFS_2"), nullptr);
+  EXPECT_EQ(r.find("DBESF_1"), nullptr);
+  EXPECT_EQ(r.find("DBESF_2"), nullptr);
+}
+
+TEST(Registry, CategoryToString) {
+  EXPECT_STREQ(to_string(Category::kMutator), "mutator");
+  EXPECT_STREQ(to_string(Category::kShuffler), "shuffler");
+  EXPECT_STREQ(to_string(Category::kPredictor), "predictor");
+  EXPECT_STREQ(to_string(Category::kReducer), "reducer");
+}
+
+TEST(Registry, TraitsReflectPaperTable2) {
+  const Registry& r = Registry::instance();
+  // Predictor decode requires a prefix sum: log n span.
+  EXPECT_EQ(r.find("DIFF_4")->decode_traits().span, SpanClass::kLogN);
+  EXPECT_EQ(r.find("DIFF_4")->encode_traits().span, SpanClass::kConst);
+  // CLOG/HCLOG have constant span both ways.
+  EXPECT_EQ(r.find("CLOG_4")->encode_traits().span, SpanClass::kConst);
+  EXPECT_EQ(r.find("CLOG_4")->decode_traits().span, SpanClass::kConst);
+  // RLE encodes with log n span but decodes with constant span.
+  EXPECT_EQ(r.find("RLE_4")->encode_traits().span, SpanClass::kLogN);
+  EXPECT_EQ(r.find("RLE_4")->decode_traits().span, SpanClass::kConst);
+  // BIT has log w span; only the wide variants use warp shuffles.
+  EXPECT_EQ(r.find("BIT_4")->encode_traits().span, SpanClass::kLogW);
+  EXPECT_GT(r.find("BIT_4")->encode_traits().warp_ops_per_word, 0.0);
+  EXPECT_EQ(r.find("BIT_1")->encode_traits().warp_ops_per_word, 0.0);
+  // RARE/RAZE carry the adaptive-k candidate count.
+  EXPECT_EQ(r.find("RARE_4")->encode_traits().k_search_trials, 33.0);
+  EXPECT_EQ(r.find("RAZE_8")->encode_traits().k_search_trials, 65.0);
+}
+
+}  // namespace
+}  // namespace lc

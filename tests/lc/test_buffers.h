@@ -1,0 +1,99 @@
+#ifndef LC_TESTS_TEST_BUFFERS_H
+#define LC_TESTS_TEST_BUFFERS_H
+
+// Shared input generators for component and codec tests. Each generator
+// produces a named family of byte strings chosen to stress a different
+// component behaviour (runs for RLE/RRE, zeros for RZE/RAZE, smooth floats
+// for predictors and CLOG, adversarial sizes for the word/tail handling).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace lc::testing {
+
+struct NamedBuffer {
+  std::string name;
+  Bytes data;
+};
+
+inline Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<Byte>(rng.next());
+  return b;
+}
+
+inline Bytes run_heavy_bytes(std::size_t n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  Bytes b;
+  b.reserve(n);
+  while (b.size() < n) {
+    const Byte v = static_cast<Byte>(rng.next());
+    const std::size_t run = 1 + rng.next_below(64);
+    for (std::size_t i = 0; i < run && b.size() < n; ++i) b.push_back(v);
+  }
+  return b;
+}
+
+inline Bytes sparse_bytes(std::size_t n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  Bytes b(n, Byte{0});
+  for (std::size_t i = 0; i < n / 17; ++i) {
+    b[rng.next_below(n)] = static_cast<Byte>(rng.next());
+  }
+  return b;
+}
+
+inline Bytes smooth_floats(std::size_t count, std::uint64_t seed) {
+  SplitMix rng(seed);
+  Bytes b(count * 4);
+  float v = 100.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    v += static_cast<float>(rng.next_gaussian()) * 0.01f;
+    std::memcpy(b.data() + i * 4, &v, 4);
+  }
+  return b;
+}
+
+inline Bytes ramp_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<Byte>(i * 7 + 3);
+  return b;
+}
+
+/// The full stress suite used by the per-component round-trip tests.
+inline std::vector<NamedBuffer> component_stress_buffers() {
+  std::vector<NamedBuffer> buffers;
+  buffers.push_back({"empty", {}});
+  buffers.push_back({"one_byte", {Byte{0x5A}}});
+  buffers.push_back({"seven_bytes", ramp_bytes(7)});     // < one 8-byte word
+  buffers.push_back({"eight_bytes", ramp_bytes(8)});     // exactly one word
+  buffers.push_back({"all_zero_chunk", Bytes(16384, Byte{0})});
+  buffers.push_back({"all_ones_chunk", Bytes(16384, Byte{0xFF})});
+  buffers.push_back({"constant_word", [] {
+                       Bytes b(16384);
+                       for (std::size_t i = 0; i < b.size(); ++i) {
+                         b[i] = static_cast<Byte>((i % 4 == 0) ? 0xAB : 0x12);
+                       }
+                       return b;
+                     }()});
+  buffers.push_back({"ramp_chunk", ramp_bytes(16384)});
+  buffers.push_back({"random_chunk", random_bytes(16384, 1)});
+  buffers.push_back({"random_odd_size", random_bytes(16383, 2)});
+  buffers.push_back({"random_prime_size", random_bytes(4099, 3)});
+  buffers.push_back({"random_tiny", random_bytes(37, 4)});
+  buffers.push_back({"run_heavy", run_heavy_bytes(16384, 5)});
+  buffers.push_back({"run_heavy_odd", run_heavy_bytes(10007, 6)});
+  buffers.push_back({"sparse_zeros", sparse_bytes(16384, 7)});
+  buffers.push_back({"smooth_floats", smooth_floats(4096, 8)});
+  buffers.push_back({"smooth_floats_tail", smooth_floats(1000, 9)});
+  return buffers;
+}
+
+}  // namespace lc::testing
+
+#endif  // LC_TESTS_TEST_BUFFERS_H
