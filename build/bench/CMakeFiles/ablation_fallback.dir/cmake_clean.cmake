@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fallback.dir/ablation/ablation_fallback.cpp.o"
+  "CMakeFiles/ablation_fallback.dir/ablation/ablation_fallback.cpp.o.d"
+  "ablation_fallback"
+  "ablation_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext/ext_component_importance.cpp" "bench/CMakeFiles/ext_component_importance.dir/ext/ext_component_importance.cpp.o" "gcc" "bench/CMakeFiles/ext_component_importance.dir/ext/ext_component_importance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charlab/CMakeFiles/lc_charlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/lc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lc/CMakeFiles/lc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

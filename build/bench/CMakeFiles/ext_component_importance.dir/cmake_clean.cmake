@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_component_importance.dir/ext/ext_component_importance.cpp.o"
+  "CMakeFiles/ext_component_importance.dir/ext/ext_component_importance.cpp.o.d"
+  "ext_component_importance"
+  "ext_component_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_component_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

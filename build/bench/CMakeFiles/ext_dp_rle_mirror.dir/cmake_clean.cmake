@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dp_rle_mirror.dir/ext/ext_dp_rle_mirror.cpp.o"
+  "CMakeFiles/ext_dp_rle_mirror.dir/ext/ext_dp_rle_mirror.cpp.o.d"
+  "ext_dp_rle_mirror"
+  "ext_dp_rle_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dp_rle_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

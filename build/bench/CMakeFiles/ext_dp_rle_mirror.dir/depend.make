@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dp_rle_mirror.
+# This may be replaced when dependencies are built.

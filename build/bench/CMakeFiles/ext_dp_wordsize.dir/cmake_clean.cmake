@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dp_wordsize.dir/ext/ext_dp_wordsize.cpp.o"
+  "CMakeFiles/ext_dp_wordsize.dir/ext/ext_dp_wordsize.cpp.o.d"
+  "ext_dp_wordsize"
+  "ext_dp_wordsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dp_wordsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dp_wordsize.
+# This may be replaced when dependencies are built.

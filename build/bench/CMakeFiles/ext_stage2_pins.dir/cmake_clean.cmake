@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stage2_pins.dir/ext/ext_stage2_pins.cpp.o"
+  "CMakeFiles/ext_stage2_pins.dir/ext/ext_stage2_pins.cpp.o.d"
+  "ext_stage2_pins"
+  "ext_stage2_pins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stage2_pins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

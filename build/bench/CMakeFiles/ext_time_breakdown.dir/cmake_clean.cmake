@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_time_breakdown.dir/ext/ext_time_breakdown.cpp.o"
+  "CMakeFiles/ext_time_breakdown.dir/ext/ext_time_breakdown.cpp.o.d"
+  "ext_time_breakdown"
+  "ext_time_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_warp_width.dir/ext/ext_warp_width.cpp.o"
+  "CMakeFiles/ext_warp_width.dir/ext/ext_warp_width.cpp.o.d"
+  "ext_warp_width"
+  "ext_warp_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_warp_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

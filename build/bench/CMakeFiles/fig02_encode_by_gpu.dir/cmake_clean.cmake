@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_encode_by_gpu.dir/figures/fig02_encode_by_gpu.cpp.o"
+  "CMakeFiles/fig02_encode_by_gpu.dir/figures/fig02_encode_by_gpu.cpp.o.d"
+  "fig02_encode_by_gpu"
+  "fig02_encode_by_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_encode_by_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

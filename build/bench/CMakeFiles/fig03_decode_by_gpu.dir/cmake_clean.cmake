@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_decode_by_gpu.dir/figures/fig03_decode_by_gpu.cpp.o"
+  "CMakeFiles/fig03_decode_by_gpu.dir/figures/fig03_decode_by_gpu.cpp.o.d"
+  "fig03_decode_by_gpu"
+  "fig03_decode_by_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_decode_by_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

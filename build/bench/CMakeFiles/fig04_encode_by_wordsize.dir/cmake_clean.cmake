@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_encode_by_wordsize.dir/figures/fig04_encode_by_wordsize.cpp.o"
+  "CMakeFiles/fig04_encode_by_wordsize.dir/figures/fig04_encode_by_wordsize.cpp.o.d"
+  "fig04_encode_by_wordsize"
+  "fig04_encode_by_wordsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_encode_by_wordsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_decode_by_wordsize.dir/figures/fig05_decode_by_wordsize.cpp.o"
+  "CMakeFiles/fig05_decode_by_wordsize.dir/figures/fig05_decode_by_wordsize.cpp.o.d"
+  "fig05_decode_by_wordsize"
+  "fig05_decode_by_wordsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_decode_by_wordsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_encode_by_type.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_decode_by_type.dir/figures/fig07_decode_by_type.cpp.o"
+  "CMakeFiles/fig07_decode_by_type.dir/figures/fig07_decode_by_type.cpp.o.d"
+  "fig07_decode_by_type"
+  "fig07_decode_by_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_decode_by_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_encode_stage1.dir/figures/fig08_encode_stage1.cpp.o"
+  "CMakeFiles/fig08_encode_stage1.dir/figures/fig08_encode_stage1.cpp.o.d"
+  "fig08_encode_stage1"
+  "fig08_encode_stage1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_encode_stage1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_decode_bit_stage1.dir/figures/fig10_decode_bit_stage1.cpp.o"
+  "CMakeFiles/fig10_decode_bit_stage1.dir/figures/fig10_decode_bit_stage1.cpp.o.d"
+  "fig10_decode_bit_stage1"
+  "fig10_decode_bit_stage1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_decode_bit_stage1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_decode_rle_stage1.dir/figures/fig11_decode_rle_stage1.cpp.o"
+  "CMakeFiles/fig11_decode_rle_stage1.dir/figures/fig11_decode_rle_stage1.cpp.o.d"
+  "fig11_decode_rle_stage1"
+  "fig11_decode_rle_stage1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_decode_rle_stage1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_encode_stage3.dir/figures/fig12_encode_stage3.cpp.o"
+  "CMakeFiles/fig12_encode_stage3.dir/figures/fig12_encode_stage3.cpp.o.d"
+  "fig12_encode_stage3"
+  "fig12_encode_stage3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_encode_stage3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

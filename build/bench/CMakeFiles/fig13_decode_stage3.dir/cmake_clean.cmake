@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_decode_stage3.dir/figures/fig13_decode_stage3.cpp.o"
+  "CMakeFiles/fig13_decode_stage3.dir/figures/fig13_decode_stage3.cpp.o.d"
+  "fig13_decode_stage3"
+  "fig13_decode_stage3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_decode_stage3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

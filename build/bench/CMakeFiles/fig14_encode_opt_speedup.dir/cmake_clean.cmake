@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_encode_opt_speedup.dir/figures/fig14_encode_opt_speedup.cpp.o"
+  "CMakeFiles/fig14_encode_opt_speedup.dir/figures/fig14_encode_opt_speedup.cpp.o.d"
+  "fig14_encode_opt_speedup"
+  "fig14_encode_opt_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_encode_opt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

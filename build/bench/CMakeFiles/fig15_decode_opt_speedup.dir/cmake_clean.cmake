@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_decode_opt_speedup.dir/figures/fig15_decode_opt_speedup.cpp.o"
+  "CMakeFiles/fig15_decode_opt_speedup.dir/figures/fig15_decode_opt_speedup.cpp.o.d"
+  "fig15_decode_opt_speedup"
+  "fig15_decode_opt_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_decode_opt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

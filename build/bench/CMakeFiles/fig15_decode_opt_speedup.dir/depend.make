@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_decode_opt_speedup.
+# This may be replaced when dependencies are built.

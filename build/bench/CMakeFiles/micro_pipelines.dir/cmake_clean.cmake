@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pipelines.dir/micro/micro_pipelines.cpp.o"
+  "CMakeFiles/micro_pipelines.dir/micro/micro_pipelines.cpp.o.d"
+  "micro_pipelines"
+  "micro_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_complexity.dir/tables/table2_complexity.cpp.o"
+  "CMakeFiles/table2_complexity.dir/tables/table2_complexity.cpp.o.d"
+  "table2_complexity"
+  "table2_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nvidia_gpus.dir/tables/table4_nvidia_gpus.cpp.o"
+  "CMakeFiles/table4_nvidia_gpus.dir/tables/table4_nvidia_gpus.cpp.o.d"
+  "table4_nvidia_gpus"
+  "table4_nvidia_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nvidia_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_amd_gpus.dir/tables/table5_amd_gpus.cpp.o"
+  "CMakeFiles/table5_amd_gpus.dir/tables/table5_amd_gpus.cpp.o.d"
+  "table5_amd_gpus"
+  "table5_amd_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_amd_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

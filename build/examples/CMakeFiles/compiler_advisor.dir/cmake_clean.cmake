@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_advisor.dir/compiler_advisor.cpp.o"
+  "CMakeFiles/compiler_advisor.dir/compiler_advisor.cpp.o.d"
+  "compiler_advisor"
+  "compiler_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

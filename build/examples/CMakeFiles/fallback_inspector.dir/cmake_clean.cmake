@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallback_inspector.dir/fallback_inspector.cpp.o"
+  "CMakeFiles/fallback_inspector.dir/fallback_inspector.cpp.o.d"
+  "fallback_inspector"
+  "fallback_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallback_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_cli.dir/lc_cli.cpp.o"
+  "CMakeFiles/lc_cli.dir/lc_cli.cpp.o.d"
+  "lc_cli"
+  "lc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

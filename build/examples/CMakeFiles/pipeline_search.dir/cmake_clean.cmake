@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_search.dir/pipeline_search.cpp.o"
+  "CMakeFiles/pipeline_search.dir/pipeline_search.cpp.o.d"
+  "pipeline_search"
+  "pipeline_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/warp_scan_demo.cpp" "examples/CMakeFiles/warp_scan_demo.dir/warp_scan_demo.cpp.o" "gcc" "examples/CMakeFiles/warp_scan_demo.dir/warp_scan_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/lc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lc/CMakeFiles/lc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_scan_demo.dir/warp_scan_demo.cpp.o"
+  "CMakeFiles/warp_scan_demo.dir/warp_scan_demo.cpp.o.d"
+  "warp_scan_demo"
+  "warp_scan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_scan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charlab/grouping.cpp" "src/charlab/CMakeFiles/lc_charlab.dir/grouping.cpp.o" "gcc" "src/charlab/CMakeFiles/lc_charlab.dir/grouping.cpp.o.d"
+  "/root/repo/src/charlab/letter_values.cpp" "src/charlab/CMakeFiles/lc_charlab.dir/letter_values.cpp.o" "gcc" "src/charlab/CMakeFiles/lc_charlab.dir/letter_values.cpp.o.d"
+  "/root/repo/src/charlab/report.cpp" "src/charlab/CMakeFiles/lc_charlab.dir/report.cpp.o" "gcc" "src/charlab/CMakeFiles/lc_charlab.dir/report.cpp.o.d"
+  "/root/repo/src/charlab/sweep.cpp" "src/charlab/CMakeFiles/lc_charlab.dir/sweep.cpp.o" "gcc" "src/charlab/CMakeFiles/lc_charlab.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lc/CMakeFiles/lc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/lc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_charlab.dir/grouping.cpp.o"
+  "CMakeFiles/lc_charlab.dir/grouping.cpp.o.d"
+  "CMakeFiles/lc_charlab.dir/letter_values.cpp.o"
+  "CMakeFiles/lc_charlab.dir/letter_values.cpp.o.d"
+  "CMakeFiles/lc_charlab.dir/report.cpp.o"
+  "CMakeFiles/lc_charlab.dir/report.cpp.o.d"
+  "CMakeFiles/lc_charlab.dir/sweep.cpp.o"
+  "CMakeFiles/lc_charlab.dir/sweep.cpp.o.d"
+  "liblc_charlab.a"
+  "liblc_charlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_charlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblc_charlab.a"
+)

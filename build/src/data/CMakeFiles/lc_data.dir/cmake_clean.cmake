@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_data.dir/sp_dataset.cpp.o"
+  "CMakeFiles/lc_data.dir/sp_dataset.cpp.o.d"
+  "liblc_data.a"
+  "liblc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_gpusim.dir/compiler_model.cpp.o"
+  "CMakeFiles/lc_gpusim.dir/compiler_model.cpp.o.d"
+  "CMakeFiles/lc_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/lc_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lc_gpusim.dir/gpu_model.cpp.o"
+  "CMakeFiles/lc_gpusim.dir/gpu_model.cpp.o.d"
+  "liblc_gpusim.a"
+  "liblc_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

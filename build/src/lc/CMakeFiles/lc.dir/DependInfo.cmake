@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lc/analysis.cpp" "src/lc/CMakeFiles/lc.dir/analysis.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/analysis.cpp.o.d"
+  "/root/repo/src/lc/codec.cpp" "src/lc/CMakeFiles/lc.dir/codec.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/codec.cpp.o.d"
+  "/root/repo/src/lc/components/mutators.cpp" "src/lc/CMakeFiles/lc.dir/components/mutators.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/mutators.cpp.o.d"
+  "/root/repo/src/lc/components/predictors.cpp" "src/lc/CMakeFiles/lc.dir/components/predictors.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/predictors.cpp.o.d"
+  "/root/repo/src/lc/components/reducers_clog.cpp" "src/lc/CMakeFiles/lc.dir/components/reducers_clog.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/reducers_clog.cpp.o.d"
+  "/root/repo/src/lc/components/reducers_rare.cpp" "src/lc/CMakeFiles/lc.dir/components/reducers_rare.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/reducers_rare.cpp.o.d"
+  "/root/repo/src/lc/components/reducers_rle.cpp" "src/lc/CMakeFiles/lc.dir/components/reducers_rle.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/reducers_rle.cpp.o.d"
+  "/root/repo/src/lc/components/reducers_rre.cpp" "src/lc/CMakeFiles/lc.dir/components/reducers_rre.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/reducers_rre.cpp.o.d"
+  "/root/repo/src/lc/components/shufflers.cpp" "src/lc/CMakeFiles/lc.dir/components/shufflers.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/components/shufflers.cpp.o.d"
+  "/root/repo/src/lc/pipeline.cpp" "src/lc/CMakeFiles/lc.dir/pipeline.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/pipeline.cpp.o.d"
+  "/root/repo/src/lc/registry.cpp" "src/lc/CMakeFiles/lc.dir/registry.cpp.o" "gcc" "src/lc/CMakeFiles/lc.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc.dir/analysis.cpp.o"
+  "CMakeFiles/lc.dir/analysis.cpp.o.d"
+  "CMakeFiles/lc.dir/codec.cpp.o"
+  "CMakeFiles/lc.dir/codec.cpp.o.d"
+  "CMakeFiles/lc.dir/components/mutators.cpp.o"
+  "CMakeFiles/lc.dir/components/mutators.cpp.o.d"
+  "CMakeFiles/lc.dir/components/predictors.cpp.o"
+  "CMakeFiles/lc.dir/components/predictors.cpp.o.d"
+  "CMakeFiles/lc.dir/components/reducers_clog.cpp.o"
+  "CMakeFiles/lc.dir/components/reducers_clog.cpp.o.d"
+  "CMakeFiles/lc.dir/components/reducers_rare.cpp.o"
+  "CMakeFiles/lc.dir/components/reducers_rare.cpp.o.d"
+  "CMakeFiles/lc.dir/components/reducers_rle.cpp.o"
+  "CMakeFiles/lc.dir/components/reducers_rle.cpp.o.d"
+  "CMakeFiles/lc.dir/components/reducers_rre.cpp.o"
+  "CMakeFiles/lc.dir/components/reducers_rre.cpp.o.d"
+  "CMakeFiles/lc.dir/components/shufflers.cpp.o"
+  "CMakeFiles/lc.dir/components/shufflers.cpp.o.d"
+  "CMakeFiles/lc.dir/pipeline.cpp.o"
+  "CMakeFiles/lc.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lc.dir/registry.cpp.o"
+  "CMakeFiles/lc.dir/registry.cpp.o.d"
+  "liblc.a"
+  "liblc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

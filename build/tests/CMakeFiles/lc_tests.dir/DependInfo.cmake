@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/charlab/dp_sweep_test.cpp" "tests/CMakeFiles/lc_tests.dir/charlab/dp_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/charlab/dp_sweep_test.cpp.o.d"
+  "/root/repo/tests/charlab/letter_values_test.cpp" "tests/CMakeFiles/lc_tests.dir/charlab/letter_values_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/charlab/letter_values_test.cpp.o.d"
+  "/root/repo/tests/charlab/report_test.cpp" "tests/CMakeFiles/lc_tests.dir/charlab/report_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/charlab/report_test.cpp.o.d"
+  "/root/repo/tests/charlab/sweep_test.cpp" "tests/CMakeFiles/lc_tests.dir/charlab/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/charlab/sweep_test.cpp.o.d"
+  "/root/repo/tests/common/bitpack_test.cpp" "tests/CMakeFiles/lc_tests.dir/common/bitpack_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/common/bitpack_test.cpp.o.d"
+  "/root/repo/tests/common/bits_test.cpp" "tests/CMakeFiles/lc_tests.dir/common/bits_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/common/bits_test.cpp.o.d"
+  "/root/repo/tests/common/scan_test.cpp" "tests/CMakeFiles/lc_tests.dir/common/scan_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/common/scan_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/lc_tests.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/varint_test.cpp" "tests/CMakeFiles/lc_tests.dir/common/varint_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/common/varint_test.cpp.o.d"
+  "/root/repo/tests/data/dp_dataset_test.cpp" "tests/CMakeFiles/lc_tests.dir/data/dp_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/data/dp_dataset_test.cpp.o.d"
+  "/root/repo/tests/data/sp_dataset_test.cpp" "tests/CMakeFiles/lc_tests.dir/data/sp_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/data/sp_dataset_test.cpp.o.d"
+  "/root/repo/tests/gpusim/compiler_model_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/compiler_model_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/compiler_model_test.cpp.o.d"
+  "/root/repo/tests/gpusim/cost_model_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/cost_model_test.cpp.o.d"
+  "/root/repo/tests/gpusim/explain_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/explain_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/explain_test.cpp.o.d"
+  "/root/repo/tests/gpusim/gpu_model_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/gpu_model_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/gpu_model_test.cpp.o.d"
+  "/root/repo/tests/gpusim/simt_clog_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/simt_clog_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/simt_clog_test.cpp.o.d"
+  "/root/repo/tests/gpusim/simt_kernels_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/simt_kernels_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/simt_kernels_test.cpp.o.d"
+  "/root/repo/tests/gpusim/simt_test.cpp" "tests/CMakeFiles/lc_tests.dir/gpusim/simt_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/gpusim/simt_test.cpp.o.d"
+  "/root/repo/tests/lc/analysis_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/analysis_test.cpp.o.d"
+  "/root/repo/tests/lc/bitmap_codec_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/bitmap_codec_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/bitmap_codec_test.cpp.o.d"
+  "/root/repo/tests/lc/codec_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/codec_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/codec_test.cpp.o.d"
+  "/root/repo/tests/lc/component_roundtrip_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/component_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/component_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/lc/concurrency_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/concurrency_test.cpp.o.d"
+  "/root/repo/tests/lc/corruption_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/corruption_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/corruption_test.cpp.o.d"
+  "/root/repo/tests/lc/known_vectors_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/known_vectors_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/known_vectors_test.cpp.o.d"
+  "/root/repo/tests/lc/pipeline_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/pipeline_test.cpp.o.d"
+  "/root/repo/tests/lc/registry_test.cpp" "tests/CMakeFiles/lc_tests.dir/lc/registry_test.cpp.o" "gcc" "tests/CMakeFiles/lc_tests.dir/lc/registry_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lc/CMakeFiles/lc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/lc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlab/CMakeFiles/lc_charlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

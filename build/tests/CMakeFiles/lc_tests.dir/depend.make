@@ -1,0 +1,2 @@
+# Empty dependencies file for lc_tests.
+# This may be replaced when dependencies are built.
