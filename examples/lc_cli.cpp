@@ -3,11 +3,15 @@
 //
 //   lc_cli c "<pipeline spec>" <input> <output>   compress
 //   lc_cli d <input> <output>                     decompress
+//   lc_cli verify <input>                         per-chunk integrity check
+//   lc_cli salvage <input> <output>               recover intact chunks
 //   lc_cli list                                   list the 62 components
 //
 // Example:
 //   lc_cli c "DIFF_4 TCMS_4 CLOG_4" data.bin data.lc
 //   lc_cli d data.lc data.out
+//   lc_cli verify data.lc          # exit 0 iff every chunk verifies
+//   lc_cli salvage damaged.lc data.out   # zero-fills damaged chunks
 
 #include <cstdio>
 #include <fstream>
@@ -41,8 +45,21 @@ int usage() {
                "usage:\n"
                "  lc_cli c \"<pipeline spec>\" <input> <output>\n"
                "  lc_cli d <input> <output>\n"
+               "  lc_cli verify <input>\n"
+               "  lc_cli salvage <input> <output>\n"
                "  lc_cli list\n");
   return 2;
+}
+
+/// Print the per-chunk damage map of a salvage result; returns the number
+/// of damaged chunks.
+std::size_t report_chunks(const lc::SalvageResult& result) {
+  for (const lc::ChunkReport& r : result.chunks) {
+    if (r.status == lc::ChunkStatus::kOk) continue;
+    std::printf("chunk %zu @%zu: %s (%s) — %s\n", r.index, r.offset,
+                to_string(r.status), to_string(r.code), r.detail.c_str());
+  }
+  return result.damaged_count();
 }
 
 }  // namespace
@@ -81,6 +98,30 @@ int main(int argc, char** argv) {
       write_file(argv[3], output);
       std::printf("%zu -> %zu bytes\n", packed.size(), output.size());
       return 0;
+    }
+    if (mode == "verify" && argc == 3) {
+      const Bytes packed = read_file(argv[2]);
+      const SalvageResult result =
+          decompress_salvage(ByteSpan(packed.data(), packed.size()));
+      (void)report_chunks(result);
+      std::printf("container v%u, pipeline \"%s\": %zu/%zu chunks ok, "
+                  "content checksum %s\n",
+                  static_cast<unsigned>(result.version), result.spec.c_str(),
+                  result.ok_count(), result.chunks.size(),
+                  result.content_checksum_ok ? "ok" : "MISMATCH");
+      return result.complete() ? 0 : 1;
+    }
+    if (mode == "salvage" && argc == 4) {
+      const Bytes packed = read_file(argv[2]);
+      const SalvageResult result =
+          decompress_salvage(ByteSpan(packed.data(), packed.size()));
+      const std::size_t damaged = report_chunks(result);
+      write_file(argv[3], result.data);
+      std::printf("recovered %zu/%zu chunks (%zu damaged, zero-filled) -> "
+                  "%zu bytes\n",
+                  result.ok_count(), result.chunks.size(), damaged,
+                  result.data.size());
+      return result.complete() ? 0 : 1;
     }
     return usage();
   } catch (const Error& e) {

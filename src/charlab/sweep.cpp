@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 
 #include "common/error.h"
 #include "common/hash.h"
@@ -13,7 +14,9 @@
 namespace lc::charlab {
 namespace {
 
-constexpr char kCacheMagic[8] = {'L', 'C', 'S', 'W', '0', '0', '0', '2'};
+// 0003: checkpointed format — records the total and completed input
+// counts so an interrupted sweep resumes where it left off.
+constexpr char kCacheMagic[8] = {'L', 'C', 'S', 'W', '0', '0', '0', '3'};
 
 /// Evenly spaced sample chunk offsets over a file of `total` bytes.
 std::vector<std::size_t> sample_chunk_offsets(std::size_t total,
@@ -36,12 +39,47 @@ struct ChunkOutcome {
   bool applied = false;
 };
 
-/// Run one component on one chunk with LC's copy-fallback.
-ChunkOutcome run_stage(const Component& comp, ByteSpan in) {
+/// Shared quarantine state for one input's computation. Component encode
+/// failures are recorded here (under the mutex — the sweep runs stages
+/// from pool workers) instead of aborting the sweep.
+struct QuarantineCtx {
+  const std::string* inject = nullptr;  ///< forced-failure component name
+  const std::string* input_name = nullptr;
+  std::mutex mutex;
+  std::vector<QuarantineEntry> entries;
+
+  void record(const Component& comp, const char* what) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (QuarantineEntry& e : entries) {
+      if (e.component == comp.name()) {
+        ++e.failures;
+        return;
+      }
+    }
+    entries.push_back({comp.name(), *input_name, 1, what});
+  }
+};
+
+/// Run one component on one chunk with LC's copy-fallback. A component
+/// whose encode throws is quarantined: the failure is recorded and the
+/// stage behaves like a skipped (copy-fallback) stage, so one broken
+/// component costs its own measurements, not the whole sweep.
+ChunkOutcome run_stage(const Component& comp, ByteSpan in, QuarantineCtx& q) {
   ChunkOutcome o;
-  Bytes raw;
-  comp.encode(in, raw);
   o.in = in.size();
+  Bytes raw;
+  try {
+    if (q.inject && !q.inject->empty() && comp.name() == *q.inject) {
+      throw Error("injected fault: " + comp.name() + "::encode");
+    }
+    comp.encode(in, raw);
+  } catch (const std::exception& e) {
+    q.record(comp, e.what());
+    o.out_raw = in.size();
+    o.applied = false;
+    o.output.assign(in.begin(), in.end());
+    return o;
+  }
   o.out_raw = raw.size();
   o.applied = raw.size() <= in.size();
   if (o.applied) {
@@ -70,13 +108,12 @@ StageRecord to_record(const std::vector<ChunkOutcome>& outcomes) {
 
 }  // namespace
 
-Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
+Sweep Sweep::make_skeleton(const SweepConfig& config) {
   Sweep sweep;
   sweep.config_ = config;
   const Registry& reg = Registry::instance();
   sweep.n_ = reg.all().size();
   sweep.r_ = reg.reducers().size();
-
   std::vector<std::string> names = config.inputs;
   if (names.empty()) {
     for (const auto& f : data::sp_files()) names.push_back(f.name);
@@ -91,25 +128,15 @@ Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
   sweep.s1_.resize(names.size());
   sweep.s2_.resize(names.size());
   sweep.s3_.resize(names.size());
+  return sweep;
+}
 
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    sweep.compute_input(i, names[i], pool);
+Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
+  Sweep sweep = make_skeleton(config);
+  for (std::size_t i = 0; i < sweep.input_names_.size(); ++i) {
+    sweep.compute_input(i, sweep.input_names_[i], pool);
   }
-
-  // Precompute pipeline ids (hash of "S1 S2 S3" specs) for the
-  // deterministic dispersion model.
-  sweep.pipeline_ids_.resize(sweep.n_ * sweep.n_ * sweep.r_);
-  for (std::size_t i1 = 0; i1 < sweep.n_; ++i1) {
-    for (std::size_t i2 = 0; i2 < sweep.n_; ++i2) {
-      for (std::size_t i3 = 0; i3 < sweep.r_; ++i3) {
-        const std::string spec = reg.all()[i1]->name() + " " +
-                                 reg.all()[i2]->name() + " " +
-                                 reg.reducers()[i3]->name();
-        sweep.pipeline_ids_[(i1 * sweep.n_ + i2) * sweep.r_ + i3] =
-            hash_string(spec);
-      }
-    }
-  }
+  sweep.finalize_pipeline_ids();
   return sweep;
 }
 
@@ -130,6 +157,10 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
   }
   const std::size_t k = chunks.size();
 
+  QuarantineCtx quarantine;
+  quarantine.inject = &config_.inject_failure_component;
+  quarantine.input_name = &name;
+
   const Registry& reg = Registry::instance();
   auto& s1 = s1_[input_index];
   auto& s2 = s2_[input_index];
@@ -143,7 +174,7 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
   parallel_for(pool, 0, n_, [&](std::size_t i1) {
     out1[i1].reserve(k);
     for (const ByteSpan chunk : chunks) {
-      out1[i1].push_back(run_stage(*reg.all()[i1], chunk));
+      out1[i1].push_back(run_stage(*reg.all()[i1], chunk, quarantine));
     }
     s1[i1] = to_record(out1[i1]);
   });
@@ -156,8 +187,10 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
     for (std::size_t i2 = 0; i2 < n_; ++i2) {
       out2.clear();
       for (const ChunkOutcome& prev : out1[i1]) {
-        out2.push_back(run_stage(
-            *reg.all()[i2], ByteSpan(prev.output.data(), prev.output.size())));
+        out2.push_back(run_stage(*reg.all()[i2],
+                                 ByteSpan(prev.output.data(),
+                                          prev.output.size()),
+                                 quarantine));
       }
       s2[i1 * n_ + i2] = to_record(out2);
 
@@ -167,12 +200,34 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
         for (const ChunkOutcome& prev : out2) {
           out3.push_back(
               run_stage(*reg.reducers()[i3],
-                        ByteSpan(prev.output.data(), prev.output.size())));
+                        ByteSpan(prev.output.data(), prev.output.size()),
+                        quarantine));
         }
         s3[(i1 * n_ + i2) * r_ + i3] = to_record(out3);
       }
     }
   });
+
+  // compute_input runs serially per input; fold this input's quarantine
+  // records into the sweep-level log.
+  for (QuarantineEntry& e : quarantine.entries) {
+    quarantine_.push_back(std::move(e));
+  }
+}
+
+void Sweep::finalize_pipeline_ids() {
+  const Registry& reg = Registry::instance();
+  pipeline_ids_.resize(n_ * n_ * r_);
+  for (std::size_t i1 = 0; i1 < n_; ++i1) {
+    for (std::size_t i2 = 0; i2 < n_; ++i2) {
+      for (std::size_t i3 = 0; i3 < r_; ++i3) {
+        const std::string spec = reg.all()[i1]->name() + " " +
+                                 reg.all()[i2]->name() + " " +
+                                 reg.reducers()[i3]->name();
+        pipeline_ids_[(i1 * n_ + i2) * r_ + i3] = hash_string(spec);
+      }
+    }
+  }
 }
 
 void Sweep::fill_pipeline_stats(std::size_t i1, std::size_t i2,
@@ -262,10 +317,15 @@ std::uint64_t Sweep::fingerprint() const {
   }
   h = hash_combine(h, n_);
   h = hash_combine(h, r_);
+  // Injected faults change the measurements; never serve them from (or
+  // into) a clean cache.
+  if (!config_.inject_failure_component.empty()) {
+    h = hash_combine(h, hash_string(config_.inject_failure_component));
+  }
   return h;
 }
 
-bool Sweep::save_cache(const std::string& path) const {
+bool Sweep::save_cache(const std::string& path, std::size_t completed) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   out.write(kCacheMagic, sizeof(kCacheMagic));
@@ -273,7 +333,9 @@ bool Sweep::save_cache(const std::string& path) const {
   out.write(reinterpret_cast<const char*>(&fp), sizeof(fp));
   const std::uint64_t inputs = input_names_.size();
   out.write(reinterpret_cast<const char*>(&inputs), sizeof(inputs));
-  for (std::size_t i = 0; i < input_names_.size(); ++i) {
+  const std::uint64_t done = std::min<std::uint64_t>(completed, inputs);
+  out.write(reinterpret_cast<const char*>(&done), sizeof(done));
+  for (std::size_t i = 0; i < done; ++i) {
     out.write(reinterpret_cast<const char*>(&file_bytes_[i]),
               sizeof(double));
     const auto write_vec = [&out](const std::vector<StageRecord>& v) {
@@ -289,20 +351,21 @@ bool Sweep::save_cache(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-bool Sweep::load_cache(const std::string& path, std::uint64_t fingerprint,
-                       Sweep& out) {
+std::size_t Sweep::load_cache(const std::string& path,
+                              std::uint64_t fingerprint, Sweep& out) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) return 0;
   char magic[sizeof(kCacheMagic)];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return false;
+  if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return 0;
   std::uint64_t fp = 0;
   in.read(reinterpret_cast<char*>(&fp), sizeof(fp));
-  if (!in || fp != fingerprint) return false;
-  std::uint64_t inputs = 0;
+  if (!in || fp != fingerprint) return 0;
+  std::uint64_t inputs = 0, done = 0;
   in.read(reinterpret_cast<char*>(&inputs), sizeof(inputs));
-  if (!in || inputs != out.input_names_.size()) return false;
-  for (std::size_t i = 0; i < inputs; ++i) {
+  in.read(reinterpret_cast<char*>(&done), sizeof(done));
+  if (!in || inputs != out.input_names_.size() || done > inputs) return 0;
+  for (std::size_t i = 0; i < done; ++i) {
     in.read(reinterpret_cast<char*>(&out.file_bytes_[i]), sizeof(double));
     const auto read_vec = [&in](std::vector<StageRecord>& v,
                                 std::size_t expect) {
@@ -314,62 +377,42 @@ bool Sweep::load_cache(const std::string& path, std::uint64_t fingerprint,
               static_cast<std::streamsize>(sz * sizeof(StageRecord)));
       return static_cast<bool>(in);
     };
-    if (!read_vec(out.s1_[i], out.n_)) return false;
-    if (!read_vec(out.s2_[i], out.n_ * out.n_)) return false;
-    if (!read_vec(out.s3_[i], out.n_ * out.n_ * out.r_)) return false;
+    if (!read_vec(out.s1_[i], out.n_)) return 0;
+    if (!read_vec(out.s2_[i], out.n_ * out.n_)) return 0;
+    if (!read_vec(out.s3_[i], out.n_ * out.n_ * out.r_)) return 0;
   }
-  return true;
+  return static_cast<std::size_t>(done);
 }
 
 Sweep Sweep::load_or_compute(const SweepConfig& config, ThreadPool& pool) {
   const std::string path =
       config.cache_path.empty() ? "lc_sweep_cache.bin" : config.cache_path;
 
-  // Build the skeleton so the fingerprint (which covers the resolved
-  // input list) can be computed before deciding to load.
-  Sweep skeleton;
-  skeleton.config_ = config;
-  const Registry& reg = Registry::instance();
-  skeleton.n_ = reg.all().size();
-  skeleton.r_ = reg.reducers().size();
-  std::vector<std::string> names = config.inputs;
-  if (names.empty()) {
-    for (const auto& f : data::sp_files()) names.push_back(f.name);
-  }
-  skeleton.input_names_ = names;
-  skeleton.file_bytes_.resize(names.size());
-  skeleton.nominal_bytes_.resize(names.size());
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    skeleton.nominal_bytes_[i] =
-        data::sp_file_by_name(names[i]).paper_size_mb * 1024.0 * 1024.0;
-  }
-  skeleton.s1_.resize(names.size());
-  skeleton.s2_.resize(names.size());
-  skeleton.s3_.resize(names.size());
+  Sweep sweep = make_skeleton(config);
 
-  if (config.use_cache &&
-      load_cache(path, skeleton.fingerprint(), skeleton)) {
-    // Pipeline ids are cheap; recompute rather than cache.
-    skeleton.pipeline_ids_.resize(skeleton.n_ * skeleton.n_ * skeleton.r_);
-    for (std::size_t i1 = 0; i1 < skeleton.n_; ++i1) {
-      for (std::size_t i2 = 0; i2 < skeleton.n_; ++i2) {
-        for (std::size_t i3 = 0; i3 < skeleton.r_; ++i3) {
-          const std::string spec = reg.all()[i1]->name() + " " +
-                                   reg.all()[i2]->name() + " " +
-                                   reg.reducers()[i3]->name();
-          skeleton.pipeline_ids_[(i1 * skeleton.n_ + i2) * skeleton.r_ + i3] =
-              hash_string(spec);
-        }
-      }
+  // Resume: restore every input the checkpoint already covers, then
+  // compute (and checkpoint) only the rest.
+  std::size_t completed = 0;
+  if (config.use_cache) {
+    completed = load_cache(path, sweep.fingerprint(), sweep);
+  }
+  sweep.resumed_inputs_ = completed;
+
+  std::size_t fresh = 0;
+  for (std::size_t i = completed; i < sweep.input_names_.size(); ++i) {
+    sweep.compute_input(i, sweep.input_names_[i], pool);
+    if (config.use_cache && !sweep.save_cache(path, i + 1)) {
+      std::fprintf(stderr, "charlab: warning: could not write cache %s\n",
+                   path.c_str());
     }
-    return skeleton;
+    ++fresh;
+    if (config.interrupt_after_inputs > 0 &&
+        fresh >= config.interrupt_after_inputs &&
+        i + 1 < sweep.input_names_.size()) {
+      throw Error("charlab: sweep interrupted after checkpoint (test hook)");
+    }
   }
-
-  Sweep sweep = compute(config, pool);
-  if (config.use_cache && !sweep.save_cache(path)) {
-    std::fprintf(stderr, "charlab: warning: could not write cache %s\n",
-                 path.c_str());
-  }
+  sweep.finalize_pipeline_ids();
   return sweep;
 }
 

@@ -45,6 +45,26 @@ struct SweepConfig {
   std::string cache_path;
   /// Set false to force recomputation.
   bool use_cache = true;
+  /// Fault-injection hook: component name whose encode is forced to fail
+  /// during the sweep, driving the quarantine path deterministically from
+  /// tests. Empty = none.
+  std::string inject_failure_component;
+  /// Test hook: abort (throw lc::Error) after newly computing and
+  /// checkpointing this many inputs — a deterministic stand-in for an
+  /// interrupted 107k-pipeline sweep. 0 = never abort.
+  std::size_t interrupt_after_inputs = 0;
+};
+
+/// One quarantined component: during the sweep its encode threw, so its
+/// measurements for that input fall back to copy semantics (avg_out =
+/// avg_in, applied = 0) instead of aborting the whole 107,632-pipeline
+/// sweep. Quarantine records are per computed input and are not persisted
+/// in the sweep cache.
+struct QuarantineEntry {
+  std::string component;    ///< component name (e.g. "RLE_4")
+  std::string input;        ///< input file the failure occurred on
+  std::uint64_t failures = 0;  ///< chunk-level encode failures recorded
+  std::string what;         ///< first error message seen
 };
 
 /// Per-(prefix, input) stage measurement (compact form of
@@ -60,6 +80,9 @@ struct StageRecord {
 class Sweep {
  public:
   /// Load from cache if compatible, else compute (and write the cache).
+  /// The cache is checkpointed after every completed input, so a sweep
+  /// interrupted mid-way resumes from the last checkpoint instead of
+  /// recomputing completed pipelines.
   [[nodiscard]] static Sweep load_or_compute(
       const SweepConfig& config, ThreadPool& pool = ThreadPool::global());
 
@@ -133,15 +156,39 @@ class Sweep {
   [[nodiscard]] std::uint64_t pipeline_id(std::size_t i1, std::size_t i2,
                                           std::size_t i3) const;
 
+  /// Components whose encode threw during this run's computation, with
+  /// failure counts (empty when everything ran clean or when the data was
+  /// loaded from cache).
+  [[nodiscard]] const std::vector<QuarantineEntry>& quarantine()
+      const noexcept {
+    return quarantine_;
+  }
+
+  /// Number of inputs restored from an on-disk checkpoint rather than
+  /// computed in this run (0 = cold compute, num_inputs() = full cache
+  /// hit).
+  [[nodiscard]] std::size_t resumed_inputs() const noexcept {
+    return resumed_inputs_;
+  }
+
  private:
   Sweep() = default;
 
+  /// Empty sweep with config, dimensions and input names resolved —
+  /// everything fingerprint() needs, nothing computed yet.
+  [[nodiscard]] static Sweep make_skeleton(const SweepConfig& config);
+
   void compute_input(std::size_t input_index, const std::string& name,
                      ThreadPool& pool);
+  void finalize_pipeline_ids();
   [[nodiscard]] std::uint64_t fingerprint() const;
-  [[nodiscard]] bool save_cache(const std::string& path) const;
-  [[nodiscard]] static bool load_cache(const std::string& path,
-                                       std::uint64_t fingerprint, Sweep& out);
+  [[nodiscard]] bool save_cache(const std::string& path,
+                                std::size_t completed) const;
+  /// Returns the number of completed inputs restored (0 on any
+  /// incompatibility).
+  [[nodiscard]] static std::size_t load_cache(const std::string& path,
+                                              std::uint64_t fingerprint,
+                                              Sweep& out);
 
   SweepConfig config_;
   std::size_t n_ = 0;  ///< 62
@@ -152,6 +199,8 @@ class Sweep {
   // Flattened per input: stage1 [n], stage2 [n*n], stage3 [n*n*r].
   std::vector<std::vector<StageRecord>> s1_, s2_, s3_;
   std::vector<std::uint64_t> pipeline_ids_;  ///< [n*n*r]
+  std::vector<QuarantineEntry> quarantine_;
+  std::size_t resumed_inputs_ = 0;
 };
 
 }  // namespace lc::charlab

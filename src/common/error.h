@@ -5,11 +5,51 @@
 /// Error handling for the LC reproduction: a single exception type plus
 /// check macros used at API boundaries and when parsing untrusted input
 /// (e.g. compressed containers).
+///
+/// Decode failures additionally carry a structured ErrorCode so callers
+/// (the salvage decoder, the CLI, the sweep quarantine) can react to the
+/// failure class without parsing message strings.
 
 #include <stdexcept>
 #include <string>
 
 namespace lc {
+
+/// Structured failure classes for corrupt or truncated compressed data.
+/// The salvage decoder reports these per chunk; strict decoding attaches
+/// them to the thrown CorruptDataError.
+enum class ErrorCode : unsigned char {
+  kUnspecified = 0,          ///< legacy / uncategorized decode failure
+  kBadMagic,                 ///< container magic bytes wrong
+  kBadVersion,               ///< container version unknown
+  kHeaderTruncated,          ///< fixed header fields ran past the end
+  kSpecCorrupt,              ///< pipeline spec unreadable or unparsable
+  kChunkHeaderCorrupt,       ///< chunk frame header malformed (sync/index)
+  kChunkTruncated,           ///< chunk frame extends past the container
+  kChunkChecksumMismatch,    ///< per-chunk checksum mismatch (v3)
+  kChunkDecodeFailed,        ///< component-level decode of a record failed
+  kContentChecksumMismatch,  ///< whole-output checksum mismatch (v2+)
+  kTrailingBytes,            ///< bytes after the last chunk frame
+};
+
+/// Stable, human-readable name of an ErrorCode.
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnspecified: return "unspecified";
+    case ErrorCode::kBadMagic: return "bad-magic";
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kHeaderTruncated: return "header-truncated";
+    case ErrorCode::kSpecCorrupt: return "spec-corrupt";
+    case ErrorCode::kChunkHeaderCorrupt: return "chunk-header-corrupt";
+    case ErrorCode::kChunkTruncated: return "chunk-truncated";
+    case ErrorCode::kChunkChecksumMismatch: return "chunk-checksum-mismatch";
+    case ErrorCode::kChunkDecodeFailed: return "chunk-decode-failed";
+    case ErrorCode::kContentChecksumMismatch:
+      return "content-checksum-mismatch";
+    case ErrorCode::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
 
 /// Exception thrown on malformed input, corrupt compressed data, or API
 /// misuse. All public entry points document when they throw.
@@ -22,6 +62,14 @@ class Error : public std::runtime_error {
 class CorruptDataError : public Error {
  public:
   explicit CorruptDataError(const std::string& what) : Error(what) {}
+  CorruptDataError(ErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+
+  /// The structured failure class (kUnspecified for legacy throw sites).
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kUnspecified;
 };
 
 }  // namespace lc
@@ -37,6 +85,14 @@ class CorruptDataError : public Error {
   do {                                                                        \
     if (!(cond))                                                              \
       throw ::lc::CorruptDataError(std::string("LC decode: ") + (msg));       \
+  } while (0)
+
+/// Like LC_DECODE_REQUIRE but tags the exception with a structured code.
+#define LC_DECODE_REQUIRE_CODE(cond, code, msg)                          \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      throw ::lc::CorruptDataError((code),                               \
+                                   std::string("LC decode: ") + (msg));  \
   } while (0)
 
 #endif  // LC_COMMON_ERROR_H

@@ -1,0 +1,116 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lc::fault {
+
+std::string describe(const Record& r) {
+  char buf[96];
+  switch (r.kind) {
+    case Kind::kBitFlip:
+      std::snprintf(buf, sizeof(buf), "bit-flip @%zu bit %zu", r.offset,
+                    r.length);
+      break;
+    case Kind::kTruncate:
+      std::snprintf(buf, sizeof(buf), "truncate keep %zu", r.offset);
+      break;
+    case Kind::kSplice:
+      std::snprintf(buf, sizeof(buf), "splice @%zu len %zu", r.offset,
+                    r.length);
+      break;
+    case Kind::kReorder:
+      std::snprintf(buf, sizeof(buf), "reorder @%zu <-> @%zu len %zu",
+                    r.offset, r.other, r.length);
+      break;
+  }
+  return buf;
+}
+
+void Injector::target(std::size_t lo, std::size_t hi) {
+  lo_ = lo;
+  hi_ = std::max(hi, lo + 1);
+}
+
+void Injector::untarget() {
+  lo_ = 0;
+  hi_ = 0;
+}
+
+std::size_t Injector::pick_offset(std::size_t size) {
+  const std::size_t lo = std::min(lo_, size > 0 ? size - 1 : 0);
+  const std::size_t hi = hi_ == 0 ? size : std::min(hi_, size);
+  return lo + static_cast<std::size_t>(rng_.next_below(hi > lo ? hi - lo : 1));
+}
+
+Bytes Injector::bit_flip(ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  if (out.empty()) return out;
+  const std::size_t byte = pick_offset(out.size());
+  const unsigned bit = static_cast<unsigned>(rng_.next_below(8));
+  out[byte] ^= static_cast<Byte>(1u << bit);
+  log_.push_back({Kind::kBitFlip, byte, bit, 0});
+  return out;
+}
+
+Bytes Injector::bit_flip_at(ByteSpan data, std::size_t byte, unsigned bit) {
+  Bytes out(data.begin(), data.end());
+  if (byte < out.size()) out[byte] ^= static_cast<Byte>(1u << (bit & 7u));
+  return out;
+}
+
+Bytes Injector::truncate(ByteSpan data) {
+  const std::size_t keep = data.empty() ? 0 : pick_offset(data.size());
+  log_.push_back({Kind::kTruncate, keep, 0, 0});
+  return Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+Bytes Injector::truncate_at(ByteSpan data, std::size_t keep) {
+  keep = std::min(keep, data.size());
+  return Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+Bytes Injector::splice(ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  if (out.empty()) return out;
+  const std::size_t off = pick_offset(out.size());
+  const std::size_t len =
+      std::min(out.size() - off, 1 + static_cast<std::size_t>(rng_.next_below(32)));
+  for (std::size_t i = 0; i < len; ++i) {
+    out[off + i] = static_cast<Byte>(rng_.next());
+  }
+  log_.push_back({Kind::kSplice, off, len, 0});
+  return out;
+}
+
+Bytes Injector::reorder(ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  if (out.size() < 2) return out;
+  const std::size_t len = std::min<std::size_t>(
+      1 + rng_.next_below(32), out.size() / 2);
+  // Two window starts at least `len` apart so the swap is a real move.
+  const std::size_t a = pick_offset(out.size() - len);
+  std::size_t b = static_cast<std::size_t>(rng_.next_below(out.size() - len));
+  if ((a > b ? a - b : b - a) < len) {
+    b = (a + len <= out.size() - len) ? a + len : (a >= len ? a - len : a);
+  }
+  if (a != b) {
+    std::swap_ranges(out.begin() + static_cast<std::ptrdiff_t>(a),
+                     out.begin() + static_cast<std::ptrdiff_t>(a + len),
+                     out.begin() + static_cast<std::ptrdiff_t>(b));
+  }
+  log_.push_back({Kind::kReorder, std::min(a, b), len, std::max(a, b)});
+  return out;
+}
+
+Bytes Injector::apply(Kind kind, ByteSpan data) {
+  switch (kind) {
+    case Kind::kBitFlip: return bit_flip(data);
+    case Kind::kTruncate: return truncate(data);
+    case Kind::kSplice: return splice(data);
+    case Kind::kReorder: return reorder(data);
+  }
+  return Bytes(data.begin(), data.end());
+}
+
+}  // namespace lc::fault

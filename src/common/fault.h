@@ -1,0 +1,101 @@
+#ifndef LC_COMMON_FAULT_H
+#define LC_COMMON_FAULT_H
+
+/// \file fault.h
+/// Deterministic fault injection for robustness testing. The container
+/// decoder, the salvage path and the sweep quarantine all claim to survive
+/// damaged input; this harness produces that damage reproducibly so a
+/// failing trial is a seed, not a flake.
+///
+/// Four mutator families model the faults a stored container actually
+/// meets: single bit flips (media decay), truncation (interrupted write),
+/// splices (a window overwritten by foreign bytes — torn write), and
+/// reorders (two windows swapped — out-of-order sector flush). Every
+/// mutation is a pure function of the injector's seed and call order, and
+/// is appended to a log so a failure report can name exactly what was
+/// done to the buffer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace lc::fault {
+
+/// The mutator families.
+enum class Kind : unsigned char { kBitFlip, kTruncate, kSplice, kReorder };
+
+/// All kinds, for matrix-style test drivers.
+inline constexpr Kind kAllKinds[] = {Kind::kBitFlip, Kind::kTruncate,
+                                     Kind::kSplice, Kind::kReorder};
+
+[[nodiscard]] constexpr const char* to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kBitFlip: return "bit-flip";
+    case Kind::kTruncate: return "truncate";
+    case Kind::kSplice: return "splice";
+    case Kind::kReorder: return "reorder";
+  }
+  return "unknown";
+}
+
+/// One applied mutation, for reproducible failure reports.
+struct Record {
+  Kind kind = Kind::kBitFlip;
+  std::size_t offset = 0;  ///< first byte touched (truncate: bytes kept)
+  std::size_t length = 0;  ///< bit flip: bit index; others: window length
+  std::size_t other = 0;   ///< reorder: offset of the second window
+};
+
+/// "bit-flip @1234 bit 5", "splice @96 len 16", ... for assertions/logs.
+[[nodiscard]] std::string describe(const Record& r);
+
+/// Seeded mutator. Each call derives its randomness from the seed and the
+/// number of prior calls only, so a trial replays from (seed, call index).
+class Injector {
+ public:
+  explicit Injector(std::uint64_t seed) : rng_(splitmix64(seed)) {}
+
+  /// Constrain subsequent random offsets to [lo, hi) of the input —
+  /// targets one container region. Cleared by untarget().
+  void target(std::size_t lo, std::size_t hi);
+  void untarget();
+
+  /// Flip one random bit (within the target region, if set).
+  [[nodiscard]] Bytes bit_flip(ByteSpan data);
+  /// Flip a specific bit.
+  [[nodiscard]] static Bytes bit_flip_at(ByteSpan data, std::size_t byte,
+                                         unsigned bit);
+
+  /// Keep a random prefix; the cut lands in the target region, if set.
+  [[nodiscard]] Bytes truncate(ByteSpan data);
+  [[nodiscard]] static Bytes truncate_at(ByteSpan data, std::size_t keep);
+
+  /// Overwrite a random window (1..32 bytes) with seeded random bytes.
+  [[nodiscard]] Bytes splice(ByteSpan data);
+
+  /// Swap two non-overlapping random windows of equal length.
+  [[nodiscard]] Bytes reorder(ByteSpan data);
+
+  /// Dispatch on Kind, for matrix drivers.
+  [[nodiscard]] Bytes apply(Kind kind, ByteSpan data);
+
+  /// Every mutation performed so far, in order.
+  [[nodiscard]] const std::vector<Record>& log() const noexcept {
+    return log_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t pick_offset(std::size_t size);
+
+  SplitMix rng_;
+  std::vector<Record> log_;
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 0;  ///< 0 = no target region
+};
+
+}  // namespace lc::fault
+
+#endif  // LC_COMMON_FAULT_H

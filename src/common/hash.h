@@ -49,6 +49,23 @@ namespace lc {
   return h;
 }
 
+/// FNV-1a 32-bit basis, exposed so callers can hash incrementally by
+/// passing a previous result back in as `seed`.
+inline constexpr std::uint32_t kFnv32Basis = 0x811C9DC5u;
+
+/// FNV-1a over raw bytes, 32-bit — the per-chunk frame checksum of the
+/// v3 container, where an 8-byte digest per 16 kB chunk would be waste.
+[[nodiscard]] inline std::uint32_t hash_bytes32(
+    const unsigned char* data, std::size_t size,
+    std::uint32_t seed = kFnv32Basis) noexcept {
+  std::uint32_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
 /// Map a hash to a double uniformly in [0, 1).
 [[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) noexcept {
   return static_cast<double>(h >> 11) * 0x1.0p-53;

@@ -12,7 +12,164 @@ namespace lc {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'C', 'R', '1'};
-constexpr std::uint8_t kVersion = 2;  // v2 added the content checksum
+// v1: bare frames. v2: + whole-output checksum. v3: + per-chunk framing
+// (sync marker, frame checksum, chunk index) enabling salvage decode.
+constexpr Byte kSync0 = 0xE7;
+constexpr Byte kSync1 = 0x4C;
+
+/// Parsed shared header (everything before the chunk frames).
+struct Header {
+  ContainerVersion version = ContainerVersion::kV3;
+  std::string spec;
+  std::uint64_t total = 0;
+  std::uint64_t chunk_size = 0;
+  std::uint64_t checksum = 0;      ///< valid for v2+
+  std::size_t body_start = 0;      ///< offset of the first chunk frame
+  std::size_t chunks = 0;
+};
+
+Header parse_header(ByteSpan container) {
+  Header h;
+  LC_DECODE_REQUIRE_CODE(container.size() >= 5, ErrorCode::kHeaderTruncated,
+                         "container too short");
+  LC_DECODE_REQUIRE_CODE(std::memcmp(container.data(), kMagic, 4) == 0,
+                         ErrorCode::kBadMagic, "bad container magic");
+  const std::uint8_t v = container[4];
+  LC_DECODE_REQUIRE_CODE(v >= 1 && v <= 3, ErrorCode::kBadVersion,
+                         "unsupported container version");
+  h.version = static_cast<ContainerVersion>(v);
+  std::size_t pos = 5;
+
+  const std::uint64_t spec_len = get_varint(container, pos);
+  LC_DECODE_REQUIRE_CODE(pos + spec_len <= container.size(),
+                         ErrorCode::kSpecCorrupt, "spec truncated");
+  h.spec.assign(reinterpret_cast<const char*>(container.data() + pos),
+                static_cast<std::size_t>(spec_len));
+  pos += static_cast<std::size_t>(spec_len);
+
+  h.total = get_varint(container, pos);
+  h.chunk_size = get_varint(container, pos);
+  if (h.version != ContainerVersion::kV1) {
+    LC_DECODE_REQUIRE_CODE(read_le<std::uint64_t>(container, pos, h.checksum),
+                           ErrorCode::kHeaderTruncated, "checksum truncated");
+  }
+  LC_DECODE_REQUIRE_CODE(h.chunk_size > 0 && h.chunk_size <= (1u << 30),
+                         ErrorCode::kHeaderTruncated, "bad chunk size");
+  h.body_start = pos;
+  h.chunks = static_cast<std::size_t>(
+      h.total == 0 ? 0 : (h.total + h.chunk_size - 1) / h.chunk_size);
+  // Plausibility bounds before anything is allocated from these fields: a
+  // record is at least ~8 bytes for a 16 kB chunk (extreme all-zero RZE),
+  // so a genuine container can never claim more than ~2048x its own size,
+  // nor more chunks than it has bytes. A corrupted size field fails here
+  // instead of provoking a giant allocation.
+  LC_DECODE_REQUIRE_CODE(
+      h.total <= (static_cast<std::uint64_t>(container.size()) + 1) * 2048,
+      ErrorCode::kHeaderTruncated, "claimed size implausible for container");
+  LC_DECODE_REQUIRE_CODE(h.chunks <= container.size(),
+                         ErrorCode::kHeaderTruncated,
+                         "claimed chunk count implausible for container");
+  return h;
+}
+
+Pipeline parse_spec(const std::string& spec) {
+  try {
+    return Pipeline::parse(spec);
+  } catch (const Error& e) {
+    throw CorruptDataError(ErrorCode::kSpecCorrupt, e.what());
+  }
+}
+
+/// One located v3 chunk frame.
+struct Frame {
+  std::size_t frame_off = 0;   ///< offset of the sync marker
+  std::uint8_t mask = 0;
+  std::uint64_t index = 0;
+  std::size_t record_off = 0;
+  std::size_t record_size = 0;
+};
+
+/// Attempt to parse a v3 frame at `pos`. On success fills `frame`,
+/// advances `pos` past it and returns true. On failure returns false with
+/// `code`/`detail` describing the first violation; `pos` is unchanged.
+bool try_parse_frame_v3(ByteSpan c, std::size_t& pos, Frame& frame,
+                        ErrorCode& code, std::string& detail) {
+  std::size_t p = pos;
+  if (p + 2 > c.size()) {
+    code = ErrorCode::kChunkTruncated;
+    detail = "container ends before the next frame";
+    return false;
+  }
+  if (c[p] != kSync0 || c[p + 1] != kSync1) {
+    code = ErrorCode::kChunkHeaderCorrupt;
+    detail = "sync marker missing";
+    return false;
+  }
+  p += 2;
+  std::uint32_t want_crc = 0;
+  if (!read_le<std::uint32_t>(c, p, want_crc)) {
+    code = ErrorCode::kChunkTruncated;
+    detail = "frame checksum truncated";
+    return false;
+  }
+  const std::size_t covered_start = p;
+  Frame f;
+  f.frame_off = pos;
+  try {
+    LC_DECODE_REQUIRE(p < c.size(), "frame mask truncated");
+    f.mask = c[p++];
+    f.index = get_varint(c, p);
+    f.record_size = static_cast<std::size_t>(get_varint(c, p));
+  } catch (const CorruptDataError&) {
+    code = ErrorCode::kChunkTruncated;
+    detail = "frame header truncated";
+    return false;
+  }
+  f.record_off = p;
+  if (f.record_size > c.size() - p) {
+    code = ErrorCode::kChunkTruncated;
+    detail = "chunk record truncated";
+    return false;
+  }
+  p += f.record_size;
+  const std::uint32_t got_crc =
+      hash_bytes32(c.data() + covered_start, p - covered_start);
+  if (got_crc != want_crc) {
+    code = ErrorCode::kChunkChecksumMismatch;
+    detail = "frame checksum mismatch";
+    return false;
+  }
+  frame = f;
+  pos = p;
+  return true;
+}
+
+/// Decode located frames in parallel into `out` (sized `total` upfront);
+/// a per-chunk decode failure runs `on_fail(c, what)` instead of throwing.
+template <typename OnFail>
+void decode_frames(const Pipeline& pipeline, ByteSpan container,
+                   const Header& h, const std::vector<Frame>& frames,
+                   const std::vector<unsigned char>& present, Bytes& out,
+                   ThreadPool& pool, const OnFail& on_fail) {
+  out.assign(static_cast<std::size_t>(h.total), Byte{0});
+  parallel_for(pool, 0, h.chunks, [&](std::size_t c) {
+    if (!present[c]) return;
+    const std::size_t lo = c * static_cast<std::size_t>(h.chunk_size);
+    const std::size_t hi =
+        std::min<std::size_t>(static_cast<std::size_t>(h.total),
+                              lo + static_cast<std::size_t>(h.chunk_size));
+    try {
+      Bytes chunk;
+      decode_chunk(pipeline,
+                   container.subspan(frames[c].record_off,
+                                     frames[c].record_size),
+                   frames[c].mask, hi - lo, chunk);
+      std::memcpy(out.data() + lo, chunk.data(), chunk.size());
+    } catch (const Error& e) {
+      on_fail(c, e.what());
+    }
+  });
+}
 
 }  // namespace
 
@@ -60,7 +217,8 @@ void decode_chunk(const Pipeline& pipeline, ByteSpan record,
   out.swap(cur);
 }
 
-Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool) {
+Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
+               ContainerVersion version) {
   const std::size_t chunks =
       input.empty() ? 0 : (input.size() + kChunkSize - 1) / kChunkSize;
 
@@ -78,22 +236,40 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool) {
   const std::string spec = pipeline.spec();
   Bytes out;
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  out.push_back(kVersion);
+  out.push_back(static_cast<Byte>(version));
   put_varint(out, spec.size());
   out.insert(out.end(), spec.begin(), spec.end());
   put_varint(out, input.size());
   put_varint(out, kChunkSize);
-  // Content checksum: decompress() verifies the reconstructed bytes
-  // against it, turning any silent payload corruption into a hard error.
-  append_le<std::uint64_t>(out, hash_bytes(input.data(), input.size()));
+  if (version != ContainerVersion::kV1) {
+    // Content checksum: decompress() verifies the reconstructed bytes
+    // against it, turning any silent payload corruption into a hard error.
+    append_le<std::uint64_t>(out, hash_bytes(input.data(), input.size()));
+  }
 
-  // Phase 2: per-chunk record headers, then offsets of the record payloads
+  // Phase 2: per-chunk frame headers, then offsets of the frame payloads
   // via the decoupled look-back scan (the encoder-side framework path).
+  // v3 frames carry a sync marker, a frame checksum and the chunk index
+  // so each chunk is independently verifiable and re-locatable.
   std::vector<Bytes> headers(chunks);
   std::vector<std::uint64_t> sizes(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    headers[c].push_back(masks[c]);
-    put_varint(headers[c], records[c].size());
+    if (version == ContainerVersion::kV3) {
+      Bytes tail;
+      tail.push_back(masks[c]);
+      put_varint(tail, c);
+      put_varint(tail, records[c].size());
+      const std::uint32_t crc = hash_bytes32(
+          records[c].data(), records[c].size(),
+          hash_bytes32(tail.data(), tail.size()));
+      headers[c].push_back(kSync0);
+      headers[c].push_back(kSync1);
+      append_le<std::uint32_t>(headers[c], crc);
+      append(headers[c], ByteSpan(tail.data(), tail.size()));
+    } else {
+      headers[c].push_back(masks[c]);
+      put_varint(headers[c], records[c].size());
+    }
     sizes[c] = headers[c].size() + records[c].size();
   }
   std::vector<std::uint64_t> offsets;
@@ -112,66 +288,213 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool) {
 }
 
 Bytes decompress(ByteSpan container, ThreadPool& pool) {
-  std::size_t pos = 0;
-  LC_DECODE_REQUIRE(container.size() >= 5, "container too short");
-  LC_DECODE_REQUIRE(std::memcmp(container.data(), kMagic, 4) == 0,
-                    "bad container magic");
-  LC_DECODE_REQUIRE(container[4] == kVersion, "unsupported container version");
-  pos = 5;
+  const Header h = parse_header(container);
+  const Pipeline pipeline = parse_spec(h.spec);
 
-  const std::uint64_t spec_len = get_varint(container, pos);
-  LC_DECODE_REQUIRE(pos + spec_len <= container.size(), "spec truncated");
-  const std::string spec(
-      reinterpret_cast<const char*>(container.data() + pos),
-      static_cast<std::size_t>(spec_len));
-  pos += static_cast<std::size_t>(spec_len);
-  const Pipeline pipeline = Pipeline::parse(spec);
-
-  const std::uint64_t total = get_varint(container, pos);
-  const std::uint64_t chunk_size = get_varint(container, pos);
-  std::uint64_t checksum = 0;
-  LC_DECODE_REQUIRE(read_le<std::uint64_t>(container, pos, checksum),
-                    "checksum truncated");
-  LC_DECODE_REQUIRE(chunk_size > 0 && chunk_size <= (1u << 30),
-                    "bad chunk size");
-  const std::size_t chunks = static_cast<std::size_t>(
-      total == 0 ? 0 : (total + chunk_size - 1) / chunk_size);
-
-  // Sequential header walk: masks and record sizes. The payload offsets
-  // are then produced by the block-local scan (the decoder-side framework
-  // path); the walk itself only skips over payload bytes.
-  std::vector<std::uint8_t> masks(chunks);
-  std::vector<std::uint64_t> sizes(chunks);
-  std::vector<std::size_t> header_end(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    LC_DECODE_REQUIRE(pos < container.size(), "chunk header truncated");
-    masks[c] = container[pos++];
-    sizes[c] = get_varint(container, pos);
-    header_end[c] = pos;
-    LC_DECODE_REQUIRE(pos + sizes[c] <= container.size(),
-                      "chunk record truncated");
-    pos += static_cast<std::size_t>(sizes[c]);
+  // Walk the chunk frames. For v1/v2 this is the plain mask/size walk;
+  // for v3 every frame's sync marker, index and checksum are verified,
+  // so corruption is caught at the chunk that carries it.
+  std::vector<Frame> frames(h.chunks);
+  std::size_t pos = h.body_start;
+  for (std::size_t c = 0; c < h.chunks; ++c) {
+    if (h.version == ContainerVersion::kV3) {
+      ErrorCode code = ErrorCode::kUnspecified;
+      std::string detail;
+      LC_DECODE_REQUIRE_CODE(try_parse_frame_v3(container, pos, frames[c],
+                                                code, detail),
+                             code, detail + " (chunk " + std::to_string(c) +
+                                       ")");
+      LC_DECODE_REQUIRE_CODE(frames[c].index == c,
+                             ErrorCode::kChunkHeaderCorrupt,
+                             "chunk index out of sequence");
+    } else {
+      LC_DECODE_REQUIRE_CODE(pos < container.size(),
+                             ErrorCode::kChunkTruncated,
+                             "chunk header truncated");
+      frames[c].frame_off = pos;
+      frames[c].mask = container[pos++];
+      frames[c].index = c;
+      frames[c].record_size =
+          static_cast<std::size_t>(get_varint(container, pos));
+      frames[c].record_off = pos;
+      LC_DECODE_REQUIRE_CODE(frames[c].record_size <= container.size() - pos,
+                             ErrorCode::kChunkTruncated,
+                             "chunk record truncated");
+      pos += frames[c].record_size;
+    }
   }
-  LC_DECODE_REQUIRE(pos == container.size(), "trailing bytes in container");
+  LC_DECODE_REQUIRE_CODE(pos == container.size(), ErrorCode::kTrailingBytes,
+                         "trailing bytes in container");
 
-  std::vector<std::uint64_t> offsets;  // exercised for fidelity with the GPU
+  // Payload offsets via the block-local scan (the decoder-side framework
+  // path; exercised for fidelity with the GPU).
+  std::vector<std::uint64_t> sizes(h.chunks);
+  for (std::size_t c = 0; c < h.chunks; ++c) sizes[c] = frames[c].record_size;
+  std::vector<std::uint64_t> offsets;
   (void)exclusive_scan_blocked(pool, sizes, offsets);
 
-  Bytes out(static_cast<std::size_t>(total));
-  parallel_for(pool, 0, chunks, [&](std::size_t c) {
-    const std::size_t lo = c * static_cast<std::size_t>(chunk_size);
-    const std::size_t hi = std::min<std::size_t>(
-        static_cast<std::size_t>(total), lo + static_cast<std::size_t>(chunk_size));
-    Bytes chunk;
-    decode_chunk(pipeline,
-                 container.subspan(header_end[c],
-                                   static_cast<std::size_t>(sizes[c])),
-                 masks[c], hi - lo, chunk);
-    std::memcpy(out.data() + lo, chunk.data(), chunk.size());
-  });
-  LC_DECODE_REQUIRE(hash_bytes(out.data(), out.size()) == checksum,
-                    "content checksum mismatch");
+  Bytes out;
+  const std::vector<unsigned char> present(h.chunks, 1);
+  decode_frames(pipeline, container, h, frames, present, out, pool,
+                [](std::size_t c, const std::string& what) {
+                  throw CorruptDataError(
+                      ErrorCode::kChunkDecodeFailed,
+                      what + " (chunk " + std::to_string(c) + ")");
+                });
+  if (h.version != ContainerVersion::kV1) {
+    LC_DECODE_REQUIRE_CODE(hash_bytes(out.data(), out.size()) == h.checksum,
+                           ErrorCode::kContentChecksumMismatch,
+                           "content checksum mismatch");
+  }
   return out;
+}
+
+std::size_t SalvageResult::ok_count() const noexcept {
+  std::size_t n = 0;
+  for (const ChunkReport& r : chunks) n += r.status == ChunkStatus::kOk;
+  return n;
+}
+
+std::size_t SalvageResult::damaged_count() const noexcept {
+  return chunks.size() - ok_count();
+}
+
+SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
+  const Header h = parse_header(container);
+  const Pipeline pipeline = parse_spec(h.spec);
+
+  SalvageResult result;
+  result.total_size = h.total;
+  result.spec = h.spec;
+  result.version = h.version;
+  result.chunks.resize(h.chunks);
+  for (std::size_t c = 0; c < h.chunks; ++c) result.chunks[c].index = c;
+
+  std::vector<Frame> frames(h.chunks);
+  // Plain bytes, not vector<bool>: decode failures clear entries from
+  // parallel tasks and packed bits would race.
+  std::vector<unsigned char> present(h.chunks, 0);
+
+  const auto mark = [&result](std::size_t c, ChunkStatus status,
+                              ErrorCode code, std::size_t offset,
+                              const std::string& detail) {
+    ChunkReport& r = result.chunks[c];
+    r.status = status;
+    r.code = code;
+    r.offset = offset;
+    r.detail = detail;
+  };
+
+  std::size_t pos = h.body_start;
+  if (h.version == ContainerVersion::kV3) {
+    // Sequential frame walk with resynchronization: when a frame fails to
+    // verify, scan forward for the next sync marker that heads a valid
+    // frame with a plausible index, and resume there. Only the chunks
+    // between the failure and the resync point are lost.
+    std::size_t next = 0;
+    while (next < h.chunks) {
+      Frame f;
+      ErrorCode code = ErrorCode::kUnspecified;
+      std::string detail;
+      std::size_t p = pos;
+      if (try_parse_frame_v3(container, p, f, code, detail) &&
+          f.index >= next && f.index < h.chunks) {
+        for (std::size_t c = next; c < f.index; ++c) {
+          mark(c, ChunkStatus::kCorrupt, ErrorCode::kChunkHeaderCorrupt, pos,
+               "frame missing (skipped during resync)");
+        }
+        frames[f.index] = f;
+        present[f.index] = 1;
+        result.chunks[f.index].offset = f.frame_off;
+        pos = p;
+        next = f.index + 1;
+        continue;
+      }
+      // Chunk `next` is damaged at `pos`; remember why, then resync.
+      const bool ran_out = code == ErrorCode::kChunkTruncated;
+      mark(next, ran_out ? ChunkStatus::kTruncated : ChunkStatus::kCorrupt,
+           code == ErrorCode::kUnspecified ? ErrorCode::kChunkHeaderCorrupt
+                                           : code,
+           pos, detail.empty() ? "frame invalid" : detail);
+      bool resynced = false;
+      for (std::size_t q = pos + 1; q + 2 <= container.size(); ++q) {
+        if (container[q] != kSync0 || container[q + 1] != kSync1) continue;
+        std::size_t pq = q;
+        Frame g;
+        ErrorCode gc = ErrorCode::kUnspecified;
+        std::string gd;
+        if (!try_parse_frame_v3(container, pq, g, gc, gd)) continue;
+        if (g.index <= next || g.index >= h.chunks) continue;
+        for (std::size_t c = next + 1; c < g.index; ++c) {
+          mark(c, ChunkStatus::kCorrupt, ErrorCode::kChunkHeaderCorrupt, q,
+               "frame missing (skipped during resync)");
+        }
+        frames[g.index] = g;
+        present[g.index] = 1;
+        result.chunks[g.index].offset = g.frame_off;
+        pos = pq;
+        next = g.index + 1;
+        resynced = true;
+        break;
+      }
+      if (!resynced) {
+        for (std::size_t c = next + 1; c < h.chunks; ++c) {
+          mark(c, ChunkStatus::kTruncated, ErrorCode::kChunkTruncated,
+               container.size(), "no further sync marker in the container");
+        }
+        break;
+      }
+    }
+  } else {
+    // v1/v2: no sync markers, so the walk is exact until the first break
+    // and everything after it is unreachable.
+    for (std::size_t c = 0; c < h.chunks; ++c) {
+      Frame f;
+      f.frame_off = pos;
+      try {
+        LC_DECODE_REQUIRE_CODE(pos < container.size(),
+                               ErrorCode::kChunkTruncated,
+                               "chunk header truncated");
+        f.mask = container[pos++];
+        f.index = c;
+        f.record_size = static_cast<std::size_t>(get_varint(container, pos));
+        f.record_off = pos;
+        LC_DECODE_REQUIRE_CODE(f.record_size <= container.size() - pos,
+                               ErrorCode::kChunkTruncated,
+                               "chunk record truncated");
+        pos += f.record_size;
+      } catch (const CorruptDataError& e) {
+        mark(c,
+             e.code() == ErrorCode::kChunkTruncated ? ChunkStatus::kTruncated
+                                                    : ChunkStatus::kCorrupt,
+             e.code(), f.frame_off, e.what());
+        for (std::size_t rest = c + 1; rest < h.chunks; ++rest) {
+          mark(rest, ChunkStatus::kTruncated, ErrorCode::kChunkTruncated,
+               container.size(),
+               "unreachable past damaged frame (v1/v2 has no sync markers)");
+        }
+        break;
+      }
+      frames[c] = f;
+      present[c] = 1;
+      result.chunks[c].offset = f.frame_off;
+    }
+  }
+
+  decode_frames(pipeline, container, h, frames, present, result.data, pool,
+                [&](std::size_t c, const std::string& what) {
+                  mark(c, ChunkStatus::kCorrupt, ErrorCode::kChunkDecodeFailed,
+                       frames[c].record_off, what);
+                });
+
+  if (h.version == ContainerVersion::kV1) {
+    result.content_checksum_ok = result.damaged_count() == 0;
+  } else {
+    result.content_checksum_ok =
+        result.damaged_count() == 0 &&
+        hash_bytes(result.data.data(), result.data.size()) == h.checksum;
+  }
+  return result;
 }
 
 bool verify_roundtrip(const Pipeline& pipeline, ByteSpan input,

@@ -10,13 +10,23 @@
 /// per-chunk stage mask so decoding can skip the stage too (§6.4 explains
 /// how this drives the RLE decoding behaviour).
 ///
-/// Container layout (little-endian):
+/// Container layout (little-endian; full spec in docs/FORMAT.md):
 ///   "LCR1"  magic
-///   u8      version (1)
+///   u8      version (1, 2 or 3)
 ///   varint  pipeline spec length, then the spec bytes
 ///   varint  original total size
 ///   varint  chunk size
-///   per chunk: u8 applied-stage mask, varint record size, record bytes
+///   u64     content checksum (v2+; FNV-1a of the original input)
+///   per chunk, v1/v2:  u8 applied-stage mask, varint record size, record
+///   per chunk, v3:     sync marker (0xE7 0x4C), u32 frame checksum
+///                      (FNV-1a-32 over the rest of the frame), u8 mask,
+///                      varint chunk index, varint record size, record
+///
+/// The v3 frame makes every chunk independently verifiable and locatable:
+/// a flipped bit is confined to one chunk (its frame checksum fails) and
+/// the sync marker lets the salvage decoder resynchronize past a damaged
+/// frame, so one bad sector no longer poisons the archive. v1 and v2
+/// containers still decode; compress() writes v3 unless told otherwise.
 ///
 /// Compressed-chunk offsets are produced with the decoupled look-back scan
 /// during compression and a block-local scan during decompression,
@@ -24,9 +34,11 @@
 /// the compiler-dependent overhead (§6.1).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "lc/pipeline.h"
 
@@ -34,6 +46,12 @@ namespace lc {
 
 /// Chunk size used by LC (16 kB).
 inline constexpr std::size_t kChunkSize = 16 * 1024;
+
+/// Container format generations. kV1: no integrity data. kV2: whole-output
+/// checksum (corruption detected, not localized). kV3: per-chunk framing
+/// with sync markers and frame checksums (corruption localized, salvage
+/// possible).
+enum class ContainerVersion : std::uint8_t { kV1 = 1, kV2 = 2, kV3 = 3 };
 
 /// Per-stage record of one chunk's encoding, consumed by the
 /// characterization sweep (charlab) and the gpusim cost model.
@@ -57,13 +75,74 @@ void decode_chunk(const Pipeline& pipeline, ByteSpan record,
                   Bytes& out);
 
 /// Compress `input` with `pipeline` into a self-describing container.
+/// Writes the current (v3) format by default; pass an older version to
+/// produce archives for compatibility testing or legacy consumers.
 [[nodiscard]] Bytes compress(const Pipeline& pipeline, ByteSpan input,
-                             ThreadPool& pool = ThreadPool::global());
+                             ThreadPool& pool = ThreadPool::global(),
+                             ContainerVersion version = ContainerVersion::kV3);
 
 /// Decompress a container produced by compress(). The pipeline is
-/// recovered from the container itself.
+/// recovered from the container itself; all three container versions are
+/// accepted. Strict: throws CorruptDataError (with an ErrorCode) on the
+/// first integrity violation.
 [[nodiscard]] Bytes decompress(ByteSpan container,
                                ThreadPool& pool = ThreadPool::global());
+
+/// Outcome of one chunk in a salvage decode.
+enum class ChunkStatus : std::uint8_t {
+  kOk,         ///< frame verified and decoded; bytes are exact
+  kCorrupt,    ///< frame or record damaged; bytes zero-filled
+  kTruncated,  ///< frame (partly) past the end of the container
+};
+
+[[nodiscard]] constexpr const char* to_string(ChunkStatus s) noexcept {
+  switch (s) {
+    case ChunkStatus::kOk: return "ok";
+    case ChunkStatus::kCorrupt: return "corrupt";
+    case ChunkStatus::kTruncated: return "truncated";
+  }
+  return "unknown";
+}
+
+/// Per-chunk salvage report.
+struct ChunkReport {
+  std::size_t index = 0;   ///< chunk number
+  std::size_t offset = 0;  ///< container offset of the frame (or of the
+                           ///< position where the failure was detected)
+  ChunkStatus status = ChunkStatus::kOk;
+  ErrorCode code = ErrorCode::kUnspecified;  ///< set when not kOk
+  std::string detail;                        ///< human-readable diagnosis
+};
+
+/// Result of decompress_salvage(): everything recoverable from a damaged
+/// container, plus a per-chunk damage map.
+struct SalvageResult {
+  Bytes data;  ///< total-size output; damaged chunk ranges are zero-filled
+  std::uint64_t total_size = 0;          ///< original size from the header
+  std::string spec;                      ///< pipeline spec from the header
+  ContainerVersion version = ContainerVersion::kV3;
+  bool content_checksum_ok = true;       ///< v2+: whole-output check passed
+  std::vector<ChunkReport> chunks;       ///< one entry per chunk
+
+  [[nodiscard]] std::size_t ok_count() const noexcept;
+  [[nodiscard]] std::size_t damaged_count() const noexcept;
+  /// True iff every chunk decoded and the content checksum (if any) holds
+  /// — i.e. `data` is byte-exact.
+  [[nodiscard]] bool complete() const noexcept {
+    return damaged_count() == 0 && content_checksum_ok;
+  }
+};
+
+/// Best-effort decode of a damaged or truncated container: recovers every
+/// chunk that still verifies, zero-fills the rest, and reports each
+/// chunk's status with offsets and error codes. For v3 containers the
+/// sync markers allow resynchronization past damaged frames; for v1/v2
+/// recovery stops being exact at the first structural break (no markers
+/// to resync on) and per-chunk corruption is only detectable via the
+/// whole-output checksum. Throws CorruptDataError only when the container
+/// header itself (magic/version/spec/sizes) is unusable.
+[[nodiscard]] SalvageResult decompress_salvage(
+    ByteSpan container, ThreadPool& pool = ThreadPool::global());
 
 /// Convenience: true iff decompress(compress(input)) == input.
 [[nodiscard]] bool verify_roundtrip(const Pipeline& pipeline, ByteSpan input,

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "charlab/grouping.h"
+#include "common/error.h"
 #include "lc/pipeline.h"
 
 namespace lc::charlab {
@@ -140,6 +141,66 @@ TEST(Sweep, CacheInvalidatedByConfigChange) {
   const Sweep recomputed = Sweep::load_or_compute(other, ThreadPool::global());
   EXPECT_EQ(recomputed.num_inputs(), 2u);  // computed successfully
   std::remove(config.cache_path.c_str());
+}
+
+TEST(Sweep, CheckpointResumeAfterInterrupt) {
+  SweepConfig config = tiny_config();
+  config.use_cache = true;
+  config.cache_path = ::testing::TempDir() + "/lc_sweep_test_resume.bin";
+  std::remove(config.cache_path.c_str());
+
+  // First run aborts after checkpointing one of the two inputs.
+  SweepConfig interrupted = config;
+  interrupted.interrupt_after_inputs = 1;
+  EXPECT_THROW((void)Sweep::load_or_compute(interrupted, ThreadPool::global()),
+               Error);
+
+  // Second run must pick up the checkpoint instead of recomputing input 0.
+  const Sweep resumed = Sweep::load_or_compute(config, ThreadPool::global());
+  EXPECT_EQ(resumed.resumed_inputs(), 1u);
+
+  // The resumed sweep must match a clean, uninterrupted compute.
+  const Sweep& clean = tiny_sweep();
+  for (std::size_t in = 0; in < clean.num_inputs(); ++in) {
+    for (std::size_t i1 = 0; i1 < clean.num_components(); i1 += 9) {
+      const StageRecord& a = clean.stage1_record(in, i1);
+      const StageRecord& b = resumed.stage1_record(in, i1);
+      EXPECT_FLOAT_EQ(a.avg_in, b.avg_in);
+      EXPECT_FLOAT_EQ(a.avg_out, b.avg_out);
+      EXPECT_FLOAT_EQ(a.applied, b.applied);
+    }
+  }
+  // A third run loads everything from the completed cache.
+  const Sweep full = Sweep::load_or_compute(config, ThreadPool::global());
+  EXPECT_EQ(full.resumed_inputs(), 2u);
+  std::remove(config.cache_path.c_str());
+}
+
+TEST(Sweep, QuarantineIsolatesFailingComponent) {
+  SweepConfig config = tiny_config();
+  config.inputs = {"msg_bt"};
+  config.inject_failure_component = "DIFF_4";
+  const Sweep s = Sweep::compute(config, ThreadPool::global());
+
+  // The failure is recorded, attributed to the component, and not fatal.
+  ASSERT_FALSE(s.quarantine().empty());
+  for (const QuarantineEntry& q : s.quarantine()) {
+    EXPECT_EQ(q.component, "DIFF_4");
+    EXPECT_EQ(q.input, "msg_bt");
+    EXPECT_GT(q.failures, 0u);
+    EXPECT_FALSE(q.what.empty());
+  }
+
+  // Quarantined stages fall back to copy semantics: size-preserving,
+  // never applied — the rest of the sweep still has sane records.
+  std::size_t diff4 = s.num_components();
+  for (std::size_t i = 0; i < s.num_components(); ++i) {
+    if (s.component(i).name() == "DIFF_4") diff4 = i;
+  }
+  ASSERT_LT(diff4, s.num_components());
+  const StageRecord& r = s.stage1_record(0, diff4);
+  EXPECT_FLOAT_EQ(r.applied, 0.0f);
+  EXPECT_FLOAT_EQ(r.avg_out, r.avg_in);
 }
 
 TEST(Grouping, FamilyNames) {

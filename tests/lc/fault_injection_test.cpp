@@ -1,0 +1,345 @@
+// Fault-injection matrix for the fault-tolerant container (v3) and the
+// salvage decoder: deterministic seeded mutations (bit flips, truncation,
+// splices, window reorders) are driven over every container region and
+// every reducer family. The contract under fault:
+//   - strict decompress() throws CorruptDataError (never crashes),
+//   - decompress_salvage() recovers every chunk the damage did not touch,
+//     byte-exactly, and reports damaged chunks by index, offset and
+//     structured error code.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "charlab/grouping.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/varint.h"
+#include "lc/codec.h"
+#include "lc/registry.h"
+#include "tests/lc/test_buffers.h"
+
+namespace lc {
+namespace {
+
+/// Byte ranges [lo, hi) of every region of a v3 container, recovered by
+/// re-parsing the header the same way the decoder does.
+struct Regions {
+  struct Span {
+    std::string name;
+    std::size_t lo, hi;
+  };
+  std::vector<Span> spans;
+};
+
+Regions map_regions(ByteSpan c) {
+  Regions r;
+  std::size_t pos = 5;
+  const std::uint64_t spec_len = get_varint(c, pos);
+  r.spans.push_back({"magic", 0, 4});
+  r.spans.push_back({"version", 4, 5});
+  r.spans.push_back({"spec", 5, pos + static_cast<std::size_t>(spec_len)});
+  pos += static_cast<std::size_t>(spec_len);
+  std::size_t mark = pos;
+  (void)get_varint(c, pos);  // total size
+  (void)get_varint(c, pos);  // chunk size
+  r.spans.push_back({"sizes", mark, pos});
+  r.spans.push_back({"content-checksum", pos, pos + 8});
+  r.spans.push_back({"chunk-frames", pos + 8, c.size()});
+  return r;
+}
+
+Bytes multi_chunk_container(const Pipeline& p, std::size_t chunks,
+                            std::uint64_t seed) {
+  const Bytes data = testing::smooth_floats(chunks * 4096, seed);
+  return compress(p, ByteSpan(data.data(), data.size()));
+}
+
+/// Neither strict nor salvage decode may crash or return unbounded data,
+/// whatever the mutation did. The decoder's own plausibility guard caps
+/// the claimed size at 2048x the container, so that is the hard bound.
+void expect_bounded(ByteSpan mutated, std::size_t original_size,
+                    const std::string& context) {
+  try {
+    const Bytes out = decompress(mutated);
+    EXPECT_LE(out.size(), original_size * 4 + (1u << 20)) << context;
+  } catch (const Error&) {
+    // Detected — the expected common case.
+  }
+  try {
+    const SalvageResult s = decompress_salvage(mutated);
+    EXPECT_LE(s.data.size(), (mutated.size() + 1) * 2048) << context;
+    EXPECT_LE(s.chunks.size(), mutated.size() + 1) << context;
+  } catch (const CorruptDataError&) {
+    // Header unusable — allowed.
+  }
+}
+
+TEST(FaultInjector, DeterministicGivenSeed) {
+  const Bytes data = testing::random_bytes(4096, 1);
+  fault::Injector a(42), b(42), c(43);
+  for (const fault::Kind kind : fault::kAllKinds) {
+    EXPECT_EQ(a.apply(kind, ByteSpan(data.data(), data.size())),
+              b.apply(kind, ByteSpan(data.data(), data.size())))
+        << to_string(kind);
+    (void)c.apply(kind, ByteSpan(data.data(), data.size()));
+  }
+  EXPECT_EQ(a.log().size(), 4u);
+  // Logged records replay to the same description stream.
+  for (std::size_t i = 0; i < a.log().size(); ++i) {
+    EXPECT_EQ(fault::describe(a.log()[i]), fault::describe(b.log()[i]));
+  }
+}
+
+TEST(FaultInjector, MutatorShapes) {
+  const Bytes data = testing::random_bytes(4096, 2);
+  fault::Injector inj(7);
+  const ByteSpan span(data.data(), data.size());
+
+  const Bytes flipped = inj.bit_flip(span);
+  ASSERT_EQ(flipped.size(), data.size());
+  std::size_t diff_bits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    diff_bits += static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(data[i] ^ flipped[i])));
+  }
+  EXPECT_EQ(diff_bits, 1u);
+
+  const Bytes cut = inj.truncate(span);
+  EXPECT_LT(cut.size(), data.size());
+  EXPECT_TRUE(std::equal(cut.begin(), cut.end(), data.begin()));
+
+  const Bytes spliced = inj.splice(span);
+  EXPECT_EQ(spliced.size(), data.size());
+
+  const Bytes reordered = inj.reorder(span);
+  ASSERT_EQ(reordered.size(), data.size());
+  // A swap permutes bytes but preserves the multiset.
+  Bytes sorted_a = data, sorted_b = reordered;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  EXPECT_EQ(sorted_a, sorted_b);
+}
+
+TEST(FaultInjector, TargetRegionConstrainsOffsets) {
+  const Bytes data = testing::random_bytes(4096, 3);
+  fault::Injector inj(11);
+  inj.target(100, 200);
+  for (int i = 0; i < 50; ++i) {
+    (void)inj.bit_flip(ByteSpan(data.data(), data.size()));
+  }
+  for (const fault::Record& r : inj.log()) {
+    EXPECT_GE(r.offset, 100u);
+    EXPECT_LT(r.offset, 200u);
+  }
+}
+
+// The tentpole acceptance matrix: every mutator kind aimed at every
+// container region, on a multi-chunk v3 container. Never a crash; always
+// either a CorruptDataError or a bounded decode.
+TEST(FaultMatrix, EveryRegionEveryMutatorBounded) {
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes packed = multi_chunk_container(p, 4, 21);
+  const Bytes original = decompress(ByteSpan(packed.data(), packed.size()));
+  const Regions regions = map_regions(ByteSpan(packed.data(), packed.size()));
+  ASSERT_EQ(regions.spans.size(), 6u);
+
+  for (const auto& region : regions.spans) {
+    for (const fault::Kind kind : fault::kAllKinds) {
+      fault::Injector inj(hash_string(region.name) ^
+                          static_cast<std::uint64_t>(kind));
+      inj.target(region.lo, region.hi);
+      for (int trial = 0; trial < 25; ++trial) {
+        const Bytes mutated =
+            inj.apply(kind, ByteSpan(packed.data(), packed.size()));
+        expect_bounded(ByteSpan(mutated.data(), mutated.size()),
+                       original.size(),
+                       region.name + "/" + to_string(kind) + "/trial " +
+                           std::to_string(trial));
+      }
+    }
+  }
+}
+
+// Acceptance criterion: a v3 container with any single 16 kB chunk
+// corrupted (bit flip) or cut off (truncation) salvages all remaining
+// chunks byte-exactly, reporting the damaged chunk by index, offset and
+// error code — for every reducer family.
+TEST(Salvage, SingleChunkBitFlipPerReducerFamily) {
+  std::set<std::string> families_done;
+  for (const Component* reducer : Registry::instance().reducers()) {
+    const std::string fam = charlab::family(reducer->name());
+    if (!families_done.insert(fam).second) continue;  // one per family
+
+    const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 " + reducer->name());
+    const Bytes data = testing::smooth_floats(6 * 4096, 33);  // 6 chunks
+    const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+    const ByteSpan span(packed.data(), packed.size());
+
+    // Frame offsets of the pristine container locate each chunk.
+    const SalvageResult clean = decompress_salvage(span);
+    ASSERT_TRUE(clean.complete()) << fam;
+    ASSERT_EQ(clean.chunks.size(), 6u) << fam;
+    EXPECT_EQ(clean.data, data) << fam;
+
+    for (std::size_t victim = 0; victim < clean.chunks.size(); ++victim) {
+      // Flip a bit well inside the victim's frame (past its 8-byte
+      // header, inside the record bytes).
+      const std::size_t frame_lo = clean.chunks[victim].offset;
+      const std::size_t frame_hi = victim + 1 < clean.chunks.size()
+                                       ? clean.chunks[victim + 1].offset
+                                       : packed.size();
+      ASSERT_GT(frame_hi, frame_lo + 12) << fam;
+      const Bytes mutated =
+          fault::Injector::bit_flip_at(span, frame_lo + 10, 3);
+
+      EXPECT_THROW((void)decompress(ByteSpan(mutated.data(), mutated.size())),
+                   CorruptDataError)
+          << fam << " victim " << victim;
+
+      const SalvageResult s =
+          decompress_salvage(ByteSpan(mutated.data(), mutated.size()));
+      EXPECT_FALSE(s.complete());
+      ASSERT_EQ(s.chunks.size(), 6u);
+      for (std::size_t c = 0; c < s.chunks.size(); ++c) {
+        if (c == victim) {
+          EXPECT_NE(s.chunks[c].status, ChunkStatus::kOk)
+              << fam << " victim " << victim;
+          EXPECT_NE(s.chunks[c].code, ErrorCode::kUnspecified);
+          EXPECT_GE(s.chunks[c].offset, frame_lo);
+          EXPECT_LT(s.chunks[c].offset, frame_hi);
+        } else {
+          EXPECT_EQ(s.chunks[c].status, ChunkStatus::kOk)
+              << fam << " victim " << victim << " chunk " << c;
+          // Recovered chunks are byte-exact.
+          const std::size_t lo = c * kChunkSize;
+          const std::size_t hi = std::min(data.size(), lo + kChunkSize);
+          EXPECT_TRUE(std::equal(data.begin() + lo, data.begin() + hi,
+                                 s.data.begin() + lo))
+              << fam << " victim " << victim << " chunk " << c;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(families_done.size(), 7u);  // CLOG HCLOG RARE RAZE RLE RRE RZE
+}
+
+TEST(Salvage, TruncationRecoversPrefixChunks) {
+  const Pipeline p = Pipeline::parse("BIT_4 DIFF_4 RZE_4");
+  const Bytes data = testing::smooth_floats(8 * 4096, 55);  // 8 chunks
+  const Bytes packed = compress(p, ByteSpan(data.data(), data.size()));
+  const SalvageResult clean =
+      decompress_salvage(ByteSpan(packed.data(), packed.size()));
+  ASSERT_EQ(clean.chunks.size(), 8u);
+
+  // Cut in the middle of chunk 5's frame: 0..4 recoverable, 5..7 gone.
+  const std::size_t cut = clean.chunks[5].offset + 7;
+  const Bytes mutated = fault::Injector::truncate_at(
+      ByteSpan(packed.data(), packed.size()), cut);
+  const SalvageResult s =
+      decompress_salvage(ByteSpan(mutated.data(), mutated.size()));
+  ASSERT_EQ(s.chunks.size(), 8u);
+  EXPECT_EQ(s.ok_count(), 5u);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(s.chunks[c].status, ChunkStatus::kOk) << c;
+    const std::size_t lo = c * kChunkSize;
+    const std::size_t hi = std::min(data.size(), lo + kChunkSize);
+    EXPECT_TRUE(
+        std::equal(data.begin() + lo, data.begin() + hi, s.data.begin() + lo))
+        << c;
+  }
+  for (std::size_t c = 5; c < 8; ++c) {
+    EXPECT_EQ(s.chunks[c].status, ChunkStatus::kTruncated) << c;
+    EXPECT_EQ(s.chunks[c].code, ErrorCode::kChunkTruncated) << c;
+  }
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Salvage, SpliceAndReorderStayBounded) {
+  const Pipeline p = Pipeline::parse("TUPL2_4 DIFFMS_4 CLOG_4");
+  const Bytes packed = multi_chunk_container(p, 5, 77);
+  const Bytes original = decompress(ByteSpan(packed.data(), packed.size()));
+  for (const fault::Kind kind : {fault::Kind::kSplice, fault::Kind::kReorder}) {
+    fault::Injector inj(static_cast<std::uint64_t>(kind) * 97 + 5);
+    for (int trial = 0; trial < 60; ++trial) {
+      const Bytes mutated =
+          inj.apply(kind, ByteSpan(packed.data(), packed.size()));
+      expect_bounded(ByteSpan(mutated.data(), mutated.size()), original.size(),
+                     std::string(to_string(kind)) + " trial " +
+                         std::to_string(trial));
+    }
+  }
+}
+
+TEST(ContainerVersions, V1AndV2StillRoundTrip) {
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes data = testing::smooth_floats(3 * 4096 + 123, 91);
+  for (const ContainerVersion v :
+       {ContainerVersion::kV1, ContainerVersion::kV2, ContainerVersion::kV3}) {
+    const Bytes packed =
+        compress(p, ByteSpan(data.data(), data.size()), ThreadPool::global(), v);
+    EXPECT_EQ(packed[4], static_cast<Byte>(v));
+    EXPECT_EQ(decompress(ByteSpan(packed.data(), packed.size())), data)
+        << "v" << static_cast<unsigned>(v);
+    // Salvage of a pristine legacy container is complete and exact.
+    const SalvageResult s =
+        decompress_salvage(ByteSpan(packed.data(), packed.size()));
+    EXPECT_TRUE(s.complete()) << "v" << static_cast<unsigned>(v);
+    EXPECT_EQ(s.data, data) << "v" << static_cast<unsigned>(v);
+    EXPECT_EQ(s.version, v);
+  }
+}
+
+TEST(ContainerVersions, V3IsTheDefaultAndSmallerThanTwoSyncsPerChunk) {
+  const Pipeline p = Pipeline::parse("RLE_4 RLE_4 RLE_4");
+  const Bytes data = testing::run_heavy_bytes(4 * kChunkSize, 13);
+  const Bytes v3 = compress(p, ByteSpan(data.data(), data.size()));
+  const Bytes v2 = compress(p, ByteSpan(data.data(), data.size()),
+                            ThreadPool::global(), ContainerVersion::kV2);
+  EXPECT_EQ(v3[4], Byte{3});
+  // v3 framing costs 8 extra bytes per chunk (sync + crc + index varint).
+  EXPECT_LE(v3.size(), v2.size() + 10 * 4);
+}
+
+TEST(ContainerVersions, V2PayloadFlipDetectedButNotLocalized) {
+  // v2 has no per-chunk checksums: a payload flip that stays structurally
+  // decodable is only caught by the whole-output checksum, so salvage
+  // reports every chunk "ok" but the result as incomplete.
+  const Pipeline p = Pipeline::parse("TCMS_4");  // size-preserving records
+  const Bytes data = testing::random_bytes(3 * kChunkSize, 17);
+  Bytes packed = compress(p, ByteSpan(data.data(), data.size()),
+                          ThreadPool::global(), ContainerVersion::kV2);
+  packed[packed.size() - 100] ^= Byte{0x10};
+  const SalvageResult s =
+      decompress_salvage(ByteSpan(packed.data(), packed.size()));
+  EXPECT_EQ(s.damaged_count(), 0u);
+  EXPECT_FALSE(s.content_checksum_ok);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Salvage, HeaderDestroyedThrowsCodedError) {
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  Bytes packed = multi_chunk_container(p, 2, 3);
+  packed[0] = Byte{'X'};
+  try {
+    (void)decompress_salvage(ByteSpan(packed.data(), packed.size()));
+    FAIL() << "bad magic must throw";
+  } catch (const CorruptDataError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadMagic);
+  }
+}
+
+TEST(Salvage, EmptyContainerIsComplete) {
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes packed = compress(p, {});
+  const SalvageResult s =
+      decompress_salvage(ByteSpan(packed.data(), packed.size()));
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.data.empty());
+  EXPECT_TRUE(s.chunks.empty());
+}
+
+}  // namespace
+}  // namespace lc
