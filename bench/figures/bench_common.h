@@ -18,6 +18,9 @@
 ///   LC_CACHE   sweep cache path (default ./lc_sweep_cache.bin)
 ///   LC_INPUTS  comma-separated SP file subset (default: all 13)
 ///   LC_CSV     if set, also write <figure>.csv to this directory
+///   LC_TELEMETRY  if 1, embed the telemetry metrics snapshot in every
+///              figure report (and write <figure>.metrics.json next to
+///              the CSV) — see docs/TELEMETRY.md
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +36,7 @@
 #include "charlab/sweep.h"
 #include "gpusim/compiler_model.h"
 #include "gpusim/gpu_model.h"
+#include "telemetry/telemetry.h"
 
 namespace lc::bench {
 
@@ -165,19 +169,32 @@ inline const gpusim::GpuSpec& fastest_amd() {
   return gpusim::gpu_by_name("RX 7900 XTX");
 }
 
-/// Emit the table and the optional CSV.
+/// Emit the table, the optional CSV, and — when telemetry is on
+/// (LC_TELEMETRY=1) — the metrics snapshot that makes the run auditable:
+/// the snapshot records how many sweep encodes, simulate calls and cache
+/// checkpoints produced the figure.
 inline void emit(const std::string& figure_id, const std::string& title,
                  const std::string& value_label,
                  const std::vector<charlab::Series>& series) {
   charlab::print_boxen_table(std::cout, figure_id + ": " + title, value_label,
                              series);
   charlab::print_ascii_boxen(std::cout, series);
+  charlab::print_metrics_snapshot(std::cout);
   if (const char* dir = std::getenv("LC_CSV")) {
     const std::string path = std::string(dir) + "/" + figure_id + ".csv";
     std::ofstream csv(path);
     if (csv) {
       charlab::write_boxen_csv(csv, series);
       std::fprintf(stderr, "[csv] wrote %s\n", path.c_str());
+    }
+    if (telemetry::enabled()) {
+      const std::string mpath =
+          std::string(dir) + "/" + figure_id + ".metrics.json";
+      std::ofstream mjson(mpath);
+      if (mjson) {
+        telemetry::write_metrics_json(mjson);
+        std::fprintf(stderr, "[metrics] wrote %s\n", mpath.c_str());
+      }
     }
   }
 }

@@ -1,27 +1,38 @@
 // lc_cli: a usable command-line file compressor built on the library —
 // the kind of tool a downstream user of the LC reproduction would want.
 //
-//   lc_cli c "<pipeline spec>" <input> <output>   compress
-//   lc_cli d <input> <output>                     decompress
-//   lc_cli verify <input>                         per-chunk integrity check
-//   lc_cli salvage <input> <output>               recover intact chunks
-//   lc_cli list                                   list the 62 components
+//   lc_cli [flags] c "<pipeline spec>" <input> <output>   compress
+//   lc_cli [flags] d <input> <output>                     decompress
+//   lc_cli [flags] verify <input>                  per-chunk integrity check
+//   lc_cli [flags] salvage <input> <output>        recover intact chunks
+//   lc_cli [flags] stats <input>                   salvage walk + telemetry
+//   lc_cli list                                    list the 62 components
+//
+// Global flags (usable with any subcommand):
+//   --trace=<file>     enable telemetry; write a Chrome trace-event JSON
+//                      (open at ui.perfetto.dev) of the run's spans
+//   --metrics=<file>   enable telemetry; write the metrics snapshot JSON
 //
 // Example:
 //   lc_cli c "DIFF_4 TCMS_4 CLOG_4" data.bin data.lc
+//   lc_cli --trace=t.json c "DIFF_4 TCMS_4 CLOG_4" data.bin data.lc
 //   lc_cli d data.lc data.out
 //   lc_cli verify data.lc          # exit 0 iff every chunk verifies
 //   lc_cli salvage damaged.lc data.out   # zero-fills damaged chunks
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "lc/codec.h"
 #include "lc/pipeline.h"
 #include "lc/registry.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -43,11 +54,17 @@ void write_file(const std::string& path, const lc::Bytes& data) {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  lc_cli c \"<pipeline spec>\" <input> <output>\n"
-               "  lc_cli d <input> <output>\n"
-               "  lc_cli verify <input>\n"
-               "  lc_cli salvage <input> <output>\n"
-               "  lc_cli list\n");
+               "  lc_cli [flags] c \"<pipeline spec>\" <input> <output>\n"
+               "  lc_cli [flags] d <input> <output>\n"
+               "  lc_cli [flags] verify <input>\n"
+               "  lc_cli [flags] salvage <input> <output>\n"
+               "  lc_cli [flags] stats <input>\n"
+               "  lc_cli list\n"
+               "flags:\n"
+               "  --trace=<file>    write a Perfetto-loadable trace "
+               "(Chrome trace-event JSON)\n"
+               "  --metrics=<file>  write the telemetry metrics snapshot "
+               "JSON\n");
   return 2;
 }
 
@@ -62,70 +79,171 @@ std::size_t report_chunks(const lc::SalvageResult& result) {
   return result.damaged_count();
 }
 
+/// "recovered N/M chunks ... in X ms (Y MB/s)" — the salvage walk is a
+/// recovery-time-objective number, so the CLI reports it as a throughput.
+void print_salvage_throughput(const lc::SalvageResult& result,
+                              std::size_t container_bytes) {
+  const double ms = static_cast<double>(result.elapsed_ns) / 1e6;
+  const double mbps =
+      result.elapsed_ns > 0
+          ? static_cast<double>(container_bytes) * 1e3 /
+                static_cast<double>(result.elapsed_ns)
+          : 0.0;
+  std::printf("salvage walk: %zu bytes in %.2f ms (%.1f MB/s)\n",
+              container_bytes, ms, mbps);
+}
+
+/// Outcome of parsing the global --trace/--metrics flags.
+struct GlobalFlags {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+/// Strip recognized --flag=value arguments from `args` (any position).
+GlobalFlags extract_flags(std::vector<std::string>& args) {
+  GlobalFlags flags;
+  std::vector<std::string> rest;
+  for (const std::string& a : args) {
+    if (a.rfind("--trace=", 0) == 0) {
+      flags.trace_path = a.substr(std::strlen("--trace="));
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      flags.metrics_path = a.substr(std::strlen("--metrics="));
+    } else {
+      rest.push_back(a);
+    }
+  }
+  args.swap(rest);
+  if (!flags.trace_path.empty() || !flags.metrics_path.empty()) {
+    lc::telemetry::set_enabled(true);
+  }
+  return flags;
+}
+
+/// Write the trace / metrics files requested by the flags. Called on both
+/// the success and the error path so a failing run still leaves evidence.
+void write_telemetry_outputs(const GlobalFlags& flags) {
+  if (!flags.trace_path.empty()) {
+    std::ofstream out(flags.trace_path, std::ios::trunc);
+    if (out) {
+      lc::telemetry::write_chrome_trace(out);
+      std::fprintf(stderr, "trace: wrote %s (%llu spans, %llu dropped)\n",
+                   flags.trace_path.c_str(),
+                   static_cast<unsigned long long>(
+                       lc::telemetry::recorded_span_count()),
+                   static_cast<unsigned long long>(
+                       lc::telemetry::dropped_event_count()));
+    } else {
+      std::fprintf(stderr, "trace: cannot open %s\n",
+                   flags.trace_path.c_str());
+    }
+  }
+  if (!flags.metrics_path.empty()) {
+    std::ofstream out(flags.metrics_path, std::ios::trunc);
+    if (out) {
+      lc::telemetry::write_metrics_json(out);
+      std::fprintf(stderr, "metrics: wrote %s\n",
+                   flags.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: cannot open %s\n",
+                   flags.metrics_path.c_str());
+    }
+  }
+}
+
+int run(const std::vector<std::string>& args) {
+  using namespace lc;
+  if (args.empty()) return usage();
+  const std::string& mode = args[0];
+
+  if (mode == "list") {
+    for (const Component* c : Registry::instance().all()) {
+      std::printf("%-10s %s, %d-byte words\n", c->name().c_str(),
+                  to_string(c->category()), c->word_size());
+    }
+    return 0;
+  }
+  if (mode == "c" && args.size() == 4) {
+    const Pipeline pipeline = Pipeline::parse(args[1]);
+    LC_REQUIRE(!pipeline.empty(), "pipeline must have at least one stage");
+    const Bytes input = read_file(args[2]);
+    const Bytes packed =
+        compress(pipeline, ByteSpan(input.data(), input.size()));
+    write_file(args[3], packed);
+    std::printf("%zu -> %zu bytes (ratio %.3f) via \"%s\"\n", input.size(),
+                packed.size(),
+                packed.empty() ? 0.0
+                               : static_cast<double>(input.size()) /
+                                     static_cast<double>(packed.size()),
+                pipeline.spec().c_str());
+    return 0;
+  }
+  if (mode == "d" && args.size() == 3) {
+    const Bytes packed = read_file(args[1]);
+    const Bytes output = decompress(ByteSpan(packed.data(), packed.size()));
+    write_file(args[2], output);
+    std::printf("%zu -> %zu bytes\n", packed.size(), output.size());
+    return 0;
+  }
+  if (mode == "verify" && args.size() == 2) {
+    const Bytes packed = read_file(args[1]);
+    const SalvageResult result =
+        decompress_salvage(ByteSpan(packed.data(), packed.size()));
+    (void)report_chunks(result);
+    std::printf("container v%u, pipeline \"%s\": %zu/%zu chunks ok, "
+                "content checksum %s\n",
+                static_cast<unsigned>(result.version), result.spec.c_str(),
+                result.ok_count(), result.chunks.size(),
+                result.content_checksum_ok ? "ok" : "MISMATCH");
+    return result.complete() ? 0 : 1;
+  }
+  if (mode == "salvage" && args.size() == 3) {
+    const Bytes packed = read_file(args[1]);
+    const SalvageResult result =
+        decompress_salvage(ByteSpan(packed.data(), packed.size()));
+    const std::size_t damaged = report_chunks(result);
+    write_file(args[2], result.data);
+    std::printf("recovered %zu/%zu chunks (%zu damaged, zero-filled) -> "
+                "%zu bytes\n",
+                result.ok_count(), result.chunks.size(), damaged,
+                result.data.size());
+    print_salvage_throughput(result, packed.size());
+    return result.complete() ? 0 : 1;
+  }
+  if (mode == "stats" && args.size() == 2) {
+    // Run a full salvage walk with telemetry on, then pretty-print the
+    // snapshot: one command that answers "what is in this container and
+    // what did it cost to read it".
+    telemetry::set_enabled(true);
+    const Bytes packed = read_file(args[1]);
+    const SalvageResult result =
+        decompress_salvage(ByteSpan(packed.data(), packed.size()));
+    std::printf("container v%u, pipeline \"%s\": %zu/%zu chunks ok, "
+                "content checksum %s\n",
+                static_cast<unsigned>(result.version), result.spec.c_str(),
+                result.ok_count(), result.chunks.size(),
+                result.content_checksum_ok ? "ok" : "MISMATCH");
+    print_salvage_throughput(result, packed.size());
+    std::printf("telemetry snapshot (%llu spans recorded):\n",
+                static_cast<unsigned long long>(
+                    telemetry::recorded_span_count()));
+    telemetry::print_metrics(std::cout);
+    return result.complete() ? 0 : 1;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace lc;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const GlobalFlags flags = extract_flags(args);
+  int rc = 0;
   try {
-    if (argc < 2) return usage();
-    const std::string mode = argv[1];
-
-    if (mode == "list") {
-      for (const Component* c : Registry::instance().all()) {
-        std::printf("%-10s %s, %d-byte words\n", c->name().c_str(),
-                    to_string(c->category()), c->word_size());
-      }
-      return 0;
-    }
-    if (mode == "c" && argc == 5) {
-      const Pipeline pipeline = Pipeline::parse(argv[2]);
-      LC_REQUIRE(!pipeline.empty(), "pipeline must have at least one stage");
-      const Bytes input = read_file(argv[3]);
-      const Bytes packed =
-          compress(pipeline, ByteSpan(input.data(), input.size()));
-      write_file(argv[4], packed);
-      std::printf("%zu -> %zu bytes (ratio %.3f) via \"%s\"\n", input.size(),
-                  packed.size(),
-                  packed.empty() ? 0.0
-                                 : static_cast<double>(input.size()) /
-                                       static_cast<double>(packed.size()),
-                  pipeline.spec().c_str());
-      return 0;
-    }
-    if (mode == "d" && argc == 4) {
-      const Bytes packed = read_file(argv[2]);
-      const Bytes output = decompress(ByteSpan(packed.data(), packed.size()));
-      write_file(argv[3], output);
-      std::printf("%zu -> %zu bytes\n", packed.size(), output.size());
-      return 0;
-    }
-    if (mode == "verify" && argc == 3) {
-      const Bytes packed = read_file(argv[2]);
-      const SalvageResult result =
-          decompress_salvage(ByteSpan(packed.data(), packed.size()));
-      (void)report_chunks(result);
-      std::printf("container v%u, pipeline \"%s\": %zu/%zu chunks ok, "
-                  "content checksum %s\n",
-                  static_cast<unsigned>(result.version), result.spec.c_str(),
-                  result.ok_count(), result.chunks.size(),
-                  result.content_checksum_ok ? "ok" : "MISMATCH");
-      return result.complete() ? 0 : 1;
-    }
-    if (mode == "salvage" && argc == 4) {
-      const Bytes packed = read_file(argv[2]);
-      const SalvageResult result =
-          decompress_salvage(ByteSpan(packed.data(), packed.size()));
-      const std::size_t damaged = report_chunks(result);
-      write_file(argv[3], result.data);
-      std::printf("recovered %zu/%zu chunks (%zu damaged, zero-filled) -> "
-                  "%zu bytes\n",
-                  result.ok_count(), result.chunks.size(), damaged,
-                  result.data.size());
-      return result.complete() ? 0 : 1;
-    }
-    return usage();
-  } catch (const Error& e) {
+    rc = run(args);
+  } catch (const lc::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  write_telemetry_outputs(flags);
+  return rc;
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarize an lc telemetry trace (Chrome trace-event JSON).
+
+Usage:
+    python3 scripts/trace_summary.py trace.json [--top N]
+
+Validates the trace against the subset of the Chrome trace-event schema
+that lc::telemetry emits (exits nonzero on a violation, so CI can use it
+as a schema check), then prints the top-N span names by total time with
+call counts and mean durations.
+
+The input is what `lc_cli --trace=out.json ...` (or any binary run with
+LC_TELEMETRY=1 plus telemetry::write_chrome_trace) writes; the same file
+loads in the Perfetto UI (https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg: str) -> None:
+    print(f"trace_summary: schema violation: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(trace: object) -> list[dict]:
+    """Check the trace-event schema; return the 'X' (complete) events."""
+    if not isinstance(trace, dict):
+        fail("top level must be a JSON object")
+    if "traceEvents" not in trace:
+        fail("missing 'traceEvents' key")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    spans = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"event {i}: unexpected phase {ph!r} (lc emits only X/M)")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i}: missing required key {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    fail(f"event {i}: {key!r} must be a number")
+            if ev["dur"] < 0:
+                fail(f"event {i}: negative duration")
+            if "args" in ev and not isinstance(ev["args"], dict):
+                fail(f"event {i}: 'args' must be an object")
+            spans.append(ev)
+        elif ev["name"] == "thread_name":
+            if "name" not in ev.get("args", {}):
+                fail(f"event {i}: thread_name metadata without args.name")
+    return spans
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of span names to show (default 10)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    spans = validate(trace)
+    if not spans:
+        print(f"{args.trace}: valid trace, 0 spans")
+        return
+
+    total_us = defaultdict(float)
+    counts = defaultdict(int)
+    threads = set()
+    for ev in spans:
+        total_us[ev["name"]] += ev["dur"]
+        counts[ev["name"]] += 1
+        threads.add((ev["pid"], ev["tid"]))
+
+    wall_us = (max(ev["ts"] + ev["dur"] for ev in spans) -
+               min(ev["ts"] for ev in spans))
+    print(f"{args.trace}: valid trace — {len(spans)} spans, "
+          f"{len(total_us)} names, {len(threads)} threads, "
+          f"{wall_us / 1e3:.2f} ms span extent")
+    print(f"top {args.top} span names by total time:")
+    print(f"  {'name':<32} {'count':>8} {'total ms':>10} {'mean us':>10}")
+    ranked = sorted(total_us.items(), key=lambda kv: kv[1], reverse=True)
+    for name, us in ranked[:args.top]:
+        n = counts[name]
+        print(f"  {name:<32} {n:>8} {us / 1e3:>10.3f} {us / n:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

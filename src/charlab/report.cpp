@@ -5,6 +5,8 @@
 #include <ostream>
 #include <string>
 
+#include "telemetry/telemetry.h"
+
 namespace lc::charlab {
 namespace {
 
@@ -123,6 +125,15 @@ void print_ascii_boxen(std::ostream& os, const std::vector<Series>& series,
     os << line;
   }
   os << "\n";
+}
+
+void print_metrics_snapshot(std::ostream& os) {
+  if (!telemetry::enabled()) return;
+  os << "== telemetry ==\n";
+  telemetry::print_metrics(os);
+  os << "metrics-json: ";
+  telemetry::write_metrics_json(os);
+  os << "\n\n";
 }
 
 }  // namespace lc::charlab

@@ -41,6 +41,12 @@ void write_boxen_csv(std::ostream& os, const std::vector<Series>& series);
 void print_ascii_boxen(std::ostream& os, const std::vector<Series>& series,
                        int width = 72);
 
+/// Append the process's telemetry snapshot to a report: a human-readable
+/// "== telemetry ==" section followed by the metrics JSON on one line
+/// (machine-greppable), so every figure/table run records the sweep and
+/// model activity it was built from. No-op unless telemetry is enabled.
+void print_metrics_snapshot(std::ostream& os);
+
 }  // namespace lc::charlab
 
 #endif  // LC_CHARLAB_REPORT_H

@@ -10,9 +10,33 @@
 #include "common/error.h"
 #include "common/hash.h"
 #include "lc/codec.h"
+#include "telemetry/telemetry.h"
 
 namespace lc::charlab {
 namespace {
+
+// Sweep telemetry (docs/TELEMETRY.md): the heartbeat gauges let an
+// operator watching a snapshot (or a trace) see how far a multi-hour
+// 107k-pipeline sweep has progressed; the counters make quarantine
+// activity visible without scraping stderr.
+struct SweepMetrics {
+  telemetry::Counter& stage_encodes =
+      telemetry::counter("charlab.sweep.stage_encodes");
+  telemetry::Counter& quarantine_failures =
+      telemetry::counter("charlab.sweep.quarantine_failures");
+  telemetry::Counter& checkpoints =
+      telemetry::counter("charlab.sweep.checkpoints");
+  telemetry::Gauge& inputs_total =
+      telemetry::gauge("charlab.sweep.inputs_total");
+  telemetry::Gauge& inputs_done = telemetry::gauge("charlab.sweep.inputs_done");
+  telemetry::Gauge& groups_done =
+      telemetry::gauge("charlab.sweep.stage2_groups_done");
+};
+
+SweepMetrics& metrics() {
+  static SweepMetrics m;
+  return m;
+}
 
 // 0003: checkpointed format — records the total and completed input
 // counts so an interrupted sweep resumes where it left off.
@@ -49,6 +73,7 @@ struct QuarantineCtx {
   std::vector<QuarantineEntry> entries;
 
   void record(const Component& comp, const char* what) {
+    metrics().quarantine_failures.add();
     const std::lock_guard<std::mutex> lock(mutex);
     for (QuarantineEntry& e : entries) {
       if (e.component == comp.name()) {
@@ -65,6 +90,7 @@ struct QuarantineCtx {
 /// stage behaves like a skipped (copy-fallback) stage, so one broken
 /// component costs its own measurements, not the whole sweep.
 ChunkOutcome run_stage(const Component& comp, ByteSpan in, QuarantineCtx& q) {
+  metrics().stage_encodes.add();
   ChunkOutcome o;
   o.in = in.size();
   Bytes raw;
@@ -142,6 +168,8 @@ Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
 
 void Sweep::compute_input(std::size_t input_index, const std::string& name,
                           ThreadPool& pool) {
+  telemetry::Span top("charlab.sweep.input", "input", name);
+  top.arg("index", input_index);
   const Bytes file =
       config_.double_precision
           ? data::generate_dp_file(name, config_.scale, config_.seed_salt)
@@ -171,17 +199,28 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
 
   // Stage 1: 62 components on the raw chunks. Keep outputs for stage 2.
   std::vector<std::vector<ChunkOutcome>> out1(n_);
-  parallel_for(pool, 0, n_, [&](std::size_t i1) {
-    out1[i1].reserve(k);
-    for (const ByteSpan chunk : chunks) {
-      out1[i1].push_back(run_stage(*reg.all()[i1], chunk, quarantine));
-    }
-    s1[i1] = to_record(out1[i1]);
-  });
+  {
+    const telemetry::Span stage1("charlab.sweep.stage1", "input", name);
+    parallel_for(pool, 0, n_, [&](std::size_t i1) {
+      telemetry::Span span("charlab.sweep.stage1_component", "component",
+                           reg.all()[i1]->name());
+      out1[i1].reserve(k);
+      for (const ByteSpan chunk : chunks) {
+        out1[i1].push_back(run_stage(*reg.all()[i1], chunk, quarantine));
+      }
+      s1[i1] = to_record(out1[i1]);
+    });
+  }
 
   // Stages 2 and 3, memoized over the (i1, i2) prefix. Parallel over i1
-  // so each task owns its stage-2 buffers.
+  // so each task owns its stage-2 buffers. Each i1 is one traced
+  // "pipeline group" (all n*r suffixes sharing that stage-1 prefix); the
+  // heartbeat gauge ticks once per completed group.
+  metrics().groups_done.set(0);
   parallel_for(pool, 0, n_, [&](std::size_t i1) {
+    telemetry::Span group("charlab.sweep.pipeline_group", "stage1",
+                          reg.all()[i1]->name());
+    group.arg("input", name);
     std::vector<ChunkOutcome> out2;
     out2.reserve(k);
     for (std::size_t i2 = 0; i2 < n_; ++i2) {
@@ -206,6 +245,7 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
         s3[(i1 * n_ + i2) * r_ + i3] = to_record(out3);
       }
     }
+    metrics().groups_done.add(1);
   });
 
   // compute_input runs serially per input; fold this input's quarantine
@@ -326,7 +366,14 @@ std::uint64_t Sweep::fingerprint() const {
 }
 
 bool Sweep::save_cache(const std::string& path, std::size_t completed) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const telemetry::Span span("charlab.sweep.checkpoint", "completed",
+                             completed);
+  // Write-then-rename so a crash mid-checkpoint can never leave a
+  // half-written cache where resume state used to be: the old checkpoint
+  // stays intact until the new one is fully on disk, and rename() within
+  // a directory replaces it atomically.
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   out.write(kCacheMagic, sizeof(kCacheMagic));
   const std::uint64_t fp = fingerprint();
@@ -348,7 +395,18 @@ bool Sweep::save_cache(const std::string& path, std::size_t completed) const {
     write_vec(s2_[i]);
     write_vec(s3_[i]);
   }
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  metrics().checkpoints.add();
+  return true;
 }
 
 std::size_t Sweep::load_cache(const std::string& path,
@@ -397,10 +455,14 @@ Sweep Sweep::load_or_compute(const SweepConfig& config, ThreadPool& pool) {
     completed = load_cache(path, sweep.fingerprint(), sweep);
   }
   sweep.resumed_inputs_ = completed;
+  metrics().inputs_total.set(
+      static_cast<std::int64_t>(sweep.input_names_.size()));
+  metrics().inputs_done.set(static_cast<std::int64_t>(completed));
 
   std::size_t fresh = 0;
   for (std::size_t i = completed; i < sweep.input_names_.size(); ++i) {
     sweep.compute_input(i, sweep.input_names_[i], pool);
+    metrics().inputs_done.set(static_cast<std::int64_t>(i + 1));
     if (config.use_cache && !sweep.save_cache(path, i + 1)) {
       std::fprintf(stderr, "charlab: warning: could not write cache %s\n",
                    path.c_str());

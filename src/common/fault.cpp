@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/metrics.h"
+
 namespace lc::fault {
+namespace {
+
+/// Count applied mutations by kind ("fault.mutations.bit-flip", ...), so
+/// a fault-injection campaign's telemetry snapshot records how much
+/// damage was dealt alongside how much the decoder survived.
+void count_mutation(Kind kind) {
+  static telemetry::Counter* const counters[] = {
+      &telemetry::counter("fault.mutations.bit-flip"),
+      &telemetry::counter("fault.mutations.truncate"),
+      &telemetry::counter("fault.mutations.splice"),
+      &telemetry::counter("fault.mutations.reorder"),
+  };
+  counters[static_cast<unsigned char>(kind)]->add();
+}
+
+}  // namespace
 
 std::string describe(const Record& r) {
   char buf[96];
@@ -50,6 +68,7 @@ Bytes Injector::bit_flip(ByteSpan data) {
   const unsigned bit = static_cast<unsigned>(rng_.next_below(8));
   out[byte] ^= static_cast<Byte>(1u << bit);
   log_.push_back({Kind::kBitFlip, byte, bit, 0});
+  count_mutation(Kind::kBitFlip);
   return out;
 }
 
@@ -62,6 +81,7 @@ Bytes Injector::bit_flip_at(ByteSpan data, std::size_t byte, unsigned bit) {
 Bytes Injector::truncate(ByteSpan data) {
   const std::size_t keep = data.empty() ? 0 : pick_offset(data.size());
   log_.push_back({Kind::kTruncate, keep, 0, 0});
+  count_mutation(Kind::kTruncate);
   return Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(keep));
 }
 
@@ -80,6 +100,7 @@ Bytes Injector::splice(ByteSpan data) {
     out[off + i] = static_cast<Byte>(rng_.next());
   }
   log_.push_back({Kind::kSplice, off, len, 0});
+  count_mutation(Kind::kSplice);
   return out;
 }
 
@@ -100,6 +121,7 @@ Bytes Injector::reorder(ByteSpan data) {
                      out.begin() + static_cast<std::ptrdiff_t>(b));
   }
   log_.push_back({Kind::kReorder, std::min(a, b), len, std::max(a, b)});
+  count_mutation(Kind::kReorder);
   return out;
 }
 

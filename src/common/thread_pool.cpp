@@ -1,8 +1,34 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "telemetry/telemetry.h"
 
 namespace lc {
+namespace {
+
+// Pool metrics (docs/TELEMETRY.md): queue depth is sampled on every
+// submit/dequeue under the pool mutex, so the gauge and its high-water
+// twin are exact, not racy estimates.
+telemetry::Counter& tasks_submitted() {
+  static telemetry::Counter& c = telemetry::counter("lc.pool.tasks_submitted");
+  return c;
+}
+telemetry::Counter& tasks_completed() {
+  static telemetry::Counter& c = telemetry::counter("lc.pool.tasks_completed");
+  return c;
+}
+telemetry::Gauge& queue_depth() {
+  static telemetry::Gauge& g = telemetry::gauge("lc.pool.queue_depth");
+  return g;
+}
+telemetry::Gauge& queue_depth_max() {
+  static telemetry::Gauge& g = telemetry::gauge("lc.pool.queue_depth_max");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -10,7 +36,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      char name[32];
+      std::snprintf(name, sizeof(name), "pool-worker-%zu", i);
+      telemetry::set_thread_name(name);
+      worker_loop();
+    });
   }
 }
 
@@ -28,7 +59,11 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    queue_depth().set(depth);
+    queue_depth_max().max_of(depth);
   }
+  tasks_submitted().add();
   cv_task_.notify_one();
 }
 
@@ -46,8 +81,13 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.back());
       queue_.pop_back();
+      queue_depth().set(static_cast<std::int64_t>(queue_.size()));
     }
-    task();
+    {
+      const telemetry::Span span("lc.pool.task");
+      task();
+    }
+    tasks_completed().add();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "telemetry/telemetry.h"
 
 namespace lc::gpusim {
 namespace {
@@ -136,12 +137,28 @@ TimeBreakdown explain(const PipelineStats& stats, const GpuSpec& gpu,
 
 TimingResult simulate(const PipelineStats& stats, const GpuSpec& gpu,
                       Toolchain tc, OptLevel opt, Direction dir) {
+  // Predicted-vs-measured accounting: `predicted_gpu_ns` sums the model's
+  // claimed GPU time while `model_eval_ns` sums the host time spent
+  // computing it, so a sweep's snapshot shows both sides of the ledger.
+  struct Metrics {
+    telemetry::Counter& calls = telemetry::counter("gpusim.simulate_calls");
+    telemetry::Counter& predicted_gpu_ns =
+        telemetry::counter("gpusim.predicted_gpu_ns");
+    telemetry::Counter& model_eval_ns =
+        telemetry::counter("gpusim.model_eval_ns");
+  };
+  static Metrics m;
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
+
   const TimeBreakdown b = explain(stats, gpu, tc, opt, dir);
   TimingResult result;
   result.seconds = b.total_seconds;
   result.throughput_gbps =
       (b.total_seconds > 0.0) ? stats.input_bytes / b.total_seconds / 1e9
                               : 0.0;
+  m.calls.add();
+  m.predicted_gpu_ns.add(static_cast<std::uint64_t>(b.total_seconds * 1e9));
+  if (t0 != 0) m.model_eval_ns.add(telemetry::now_ns() - t0);
   return result;
 }
 

@@ -7,9 +7,39 @@
 #include "common/hash.h"
 #include "common/scan.h"
 #include "common/varint.h"
+#include "telemetry/telemetry.h"
 
 namespace lc {
 namespace {
+
+// Codec metrics (docs/TELEMETRY.md). Counters are always live (one
+// relaxed add each); spans and histograms only record when telemetry is
+// enabled, keeping the disabled hot path at a load-and-branch.
+struct CodecMetrics {
+  telemetry::Counter& bytes_in = telemetry::counter("lc.codec.bytes_in");
+  telemetry::Counter& bytes_out = telemetry::counter("lc.codec.bytes_out");
+  telemetry::Counter& chunks_encoded =
+      telemetry::counter("lc.codec.chunks_encoded");
+  telemetry::Counter& chunks_decoded =
+      telemetry::counter("lc.codec.chunks_decoded");
+  telemetry::Counter& stage_fallbacks =
+      telemetry::counter("lc.codec.stage_fallbacks");
+  telemetry::Counter& salvage_chunks_ok =
+      telemetry::counter("lc.salvage.chunks_ok");
+  telemetry::Counter& salvage_chunks_damaged =
+      telemetry::counter("lc.salvage.chunks_damaged");
+  telemetry::Counter& salvage_resyncs =
+      telemetry::counter("lc.salvage.resyncs");
+  telemetry::Histogram& encode_chunk_ns = telemetry::histogram(
+      "lc.codec.encode_chunk_ns", telemetry::kDurationBoundsNs);
+  telemetry::Histogram& decode_chunk_ns = telemetry::histogram(
+      "lc.codec.decode_chunk_ns", telemetry::kDurationBoundsNs);
+};
+
+CodecMetrics& metrics() {
+  static CodecMetrics m;
+  return m;
+}
 
 constexpr char kMagic[4] = {'L', 'C', 'R', '1'};
 // v1: bare frames. v2: + whole-output checksum. v3: + per-chunk framing
@@ -159,12 +189,18 @@ void decode_frames(const Pipeline& pipeline, ByteSpan container,
         std::min<std::size_t>(static_cast<std::size_t>(h.total),
                               lo + static_cast<std::size_t>(h.chunk_size));
     try {
+      telemetry::Span span("lc.decode_chunk", "chunk", c);
+      span.arg("bytes", frames[c].record_size);
+      const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
       Bytes chunk;
       decode_chunk(pipeline,
                    container.subspan(frames[c].record_off,
                                      frames[c].record_size),
                    frames[c].mask, hi - lo, chunk);
       std::memcpy(out.data() + lo, chunk.data(), chunk.size());
+      if (t0 != 0) {
+        metrics().decode_chunk_ns.record(telemetry::now_ns() - t0);
+      }
     } catch (const Error& e) {
       on_fail(c, e.what());
     }
@@ -183,22 +219,32 @@ Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
     trace->resize(pipeline.size());
   }
 
+  const bool timed = trace != nullptr || telemetry::enabled();
   Bytes cur(chunk.begin(), chunk.end());
   Bytes tmp;
   for (std::size_t s = 0; s < pipeline.size(); ++s) {
     const Component& comp = pipeline.stage(s);
+    telemetry::Span span("lc.encode_stage", "stage", s);
+    span.arg("component", comp.name());
+    const std::uint64_t t0 = timed ? telemetry::now_ns() : 0;
     comp.encode(ByteSpan(cur.data(), cur.size()), tmp);
+    const std::uint64_t elapsed = timed ? telemetry::now_ns() - t0 : 0;
     const bool applied = tmp.size() <= cur.size();  // LC copy-fallback
     if (trace) {
       (*trace)[s].bytes_in = cur.size();
       (*trace)[s].bytes_out = tmp.size();
+      (*trace)[s].elapsed_ns = elapsed;
       (*trace)[s].applied = applied;
     }
+    span.arg("bytes_out", tmp.size());
     if (applied) {
       applied_mask = static_cast<std::uint8_t>(applied_mask | (1u << s));
       cur.swap(tmp);
+    } else {
+      metrics().stage_fallbacks.add();
     }
   }
+  metrics().chunks_encoded.add();
   return cur;
 }
 
@@ -209,9 +255,12 @@ void decode_chunk(const Pipeline& pipeline, ByteSpan record,
   Bytes tmp;
   for (std::size_t s = pipeline.size(); s-- > 0;) {
     if ((applied_mask & (1u << s)) == 0) continue;
+    telemetry::Span span("lc.decode_stage", "stage", s);
+    span.arg("component", pipeline.stage(s).name());
     pipeline.stage(s).decode(ByteSpan(cur.data(), cur.size()), tmp);
     cur.swap(tmp);
   }
+  metrics().chunks_decoded.add();
   LC_DECODE_REQUIRE(cur.size() == original_size,
                     "chunk decoded to the wrong size");
   out.swap(cur);
@@ -221,6 +270,10 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
                ContainerVersion version) {
   const std::size_t chunks =
       input.empty() ? 0 : (input.size() + kChunkSize - 1) / kChunkSize;
+  telemetry::Span top("lc.compress", "bytes", input.size());
+  top.arg("chunks", chunks);
+  top.arg("spec", pipeline.spec());
+  metrics().bytes_in.add(input.size());
 
   // Phase 1 (parallel over chunks, like one thread block per chunk):
   // encode each chunk into its own record.
@@ -229,13 +282,19 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
   parallel_for(pool, 0, chunks, [&](std::size_t c) {
     const std::size_t lo = c * kChunkSize;
     const std::size_t hi = std::min(input.size(), lo + kChunkSize);
+    telemetry::Span span("lc.encode_chunk", "chunk", c);
+    const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
     records[c] = encode_chunk(pipeline, input.subspan(lo, hi - lo), masks[c]);
+    if (t0 != 0) {
+      metrics().encode_chunk_ns.record(telemetry::now_ns() - t0);
+    }
   });
 
   // Header.
   const std::string spec = pipeline.spec();
   Bytes out;
-  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.reserve(64 + spec.size());
+  for (const char m : kMagic) out.push_back(static_cast<Byte>(m));
   out.push_back(static_cast<Byte>(version));
   put_varint(out, spec.size());
   out.insert(out.end(), spec.begin(), spec.end());
@@ -284,12 +343,16 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
     std::memcpy(dst + headers[c].size(), records[c].data(),
                 records[c].size());
   });
+  metrics().bytes_out.add(out.size());
   return out;
 }
 
 Bytes decompress(ByteSpan container, ThreadPool& pool) {
+  telemetry::Span top("lc.decompress", "bytes", container.size());
   const Header h = parse_header(container);
   const Pipeline pipeline = parse_spec(h.spec);
+  top.arg("chunks", h.chunks);
+  top.arg("spec", h.spec);
 
   // Walk the chunk frames. For v1/v2 this is the plain mask/size walk;
   // for v3 every frame's sync marker, index and checksum are verified,
@@ -360,8 +423,13 @@ std::size_t SalvageResult::damaged_count() const noexcept {
 }
 
 SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
+  // Timed unconditionally (two clock reads per call): the CLI prints a
+  // salvage throughput line from elapsed_ns even with telemetry off.
+  const std::uint64_t t_start = telemetry::now_ns();
+  telemetry::Span top("lc.salvage", "bytes", container.size());
   const Header h = parse_header(container);
   const Pipeline pipeline = parse_spec(h.spec);
+  top.arg("chunks", h.chunks);
 
   SalvageResult result;
   result.total_size = h.total;
@@ -435,6 +503,7 @@ SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
         pos = pq;
         next = g.index + 1;
         resynced = true;
+        metrics().salvage_resyncs.add();
         break;
       }
       if (!resynced) {
@@ -494,6 +563,10 @@ SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
         result.damaged_count() == 0 &&
         hash_bytes(result.data.data(), result.data.size()) == h.checksum;
   }
+  metrics().salvage_chunks_ok.add(result.ok_count());
+  metrics().salvage_chunks_damaged.add(result.damaged_count());
+  result.elapsed_ns = telemetry::now_ns() - t_start;
+  top.arg("damaged", result.damaged_count());
   return result;
 }
 

@@ -54,10 +54,12 @@ inline constexpr std::size_t kChunkSize = 16 * 1024;
 enum class ContainerVersion : std::uint8_t { kV1 = 1, kV2 = 2, kV3 = 3 };
 
 /// Per-stage record of one chunk's encoding, consumed by the
-/// characterization sweep (charlab) and the gpusim cost model.
+/// characterization sweep (charlab), the gpusim cost model and the
+/// telemetry layer (docs/TELEMETRY.md).
 struct StageTrace {
   std::uint64_t bytes_in = 0;    ///< stage input size
   std::uint64_t bytes_out = 0;   ///< component output size (pre-fallback)
+  std::uint64_t elapsed_ns = 0;  ///< wall time of the component's encode
   bool applied = false;          ///< false => copy-fallback skipped it
 };
 
@@ -122,6 +124,8 @@ struct SalvageResult {
   std::string spec;                      ///< pipeline spec from the header
   ContainerVersion version = ContainerVersion::kV3;
   bool content_checksum_ok = true;       ///< v2+: whole-output check passed
+  std::uint64_t elapsed_ns = 0;          ///< wall time of the salvage walk
+                                         ///< plus the parallel decode
   std::vector<ChunkReport> chunks;       ///< one entry per chunk
 
   [[nodiscard]] std::size_t ok_count() const noexcept;

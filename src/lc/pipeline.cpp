@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/hash.h"
+#include "telemetry/telemetry.h"
 
 namespace lc {
 
@@ -17,6 +18,9 @@ std::string Pipeline::spec() const {
 }
 
 Pipeline Pipeline::parse(std::string_view spec) {
+  static telemetry::Counter& parses = telemetry::counter("lc.pipeline.parses");
+  parses.add();
+  const telemetry::Span span("lc.pipeline.parse", "spec", spec);
   const Registry& registry = Registry::instance();
   std::vector<const Component*> stages;
   std::istringstream in{std::string(spec)};

@@ -1,0 +1,42 @@
+#ifndef LC_TELEMETRY_JSON_UTIL_H
+#define LC_TELEMETRY_JSON_UTIL_H
+
+/// \file json_util.h
+/// Minimal JSON string escaping shared by the metrics snapshot and the
+/// Chrome trace-event writers. Only what serialization needs — parsing
+/// lives in the consumers (Perfetto, python, the test's mini-parser).
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace lc::telemetry::detail {
+
+/// Write `s` as a double-quoted JSON string, escaping the characters the
+/// grammar requires (quote, backslash, control bytes).
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace lc::telemetry::detail
+
+#endif  // LC_TELEMETRY_JSON_UTIL_H

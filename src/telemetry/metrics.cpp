@@ -1,0 +1,169 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "telemetry/json_util.h"
+
+namespace lc::telemetry {
+namespace {
+
+/// The process-wide registry. std::map keeps snapshot output sorted by
+/// name (stable diffs); unique_ptr keeps metric addresses stable across
+/// rehash-free growth so cached references never dangle.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // never destroyed: metrics may be
+  return *r;                          // touched from atexit paths
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    it = r.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name,
+                     std::initializer_list<std::uint64_t> bounds) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::vector<std::uint64_t>(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+void write_metrics_json(std::ostream& os) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    if (!first) os << ',';
+    first = false;
+    detail::write_json_string(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    if (!first) os << ',';
+    first = false;
+    detail::write_json_string(os, name);
+    os << ':' << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    if (!first) os << ',';
+    first = false;
+    detail::write_json_string(os, name);
+    os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":";
+      if (i < h->bounds().size()) {
+        os << h->bounds()[i];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << h->bucket_count(i) << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+void print_metrics(std::ostream& os, bool include_zero) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, c] : r.counters) {
+    if (c->value() == 0 && !include_zero) continue;
+    os << "  counter    " << name << " = " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : r.gauges) {
+    if (g->value() == 0 && !include_zero) continue;
+    os << "  gauge      " << name << " = " << g->value() << '\n';
+  }
+  for (const auto& [name, h] : r.histograms) {
+    if (h->count() == 0 && !include_zero) continue;
+    os << "  histogram  " << name << ": n=" << h->count()
+       << " sum=" << h->sum()
+       << " mean=" << (h->count() ? h->sum() / h->count() : 0) << "\n    ";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      os << "le:";
+      if (i < h->bounds().size()) {
+        os << h->bounds()[i];
+      } else {
+        os << "inf";
+      }
+      os << '=' << n << ' ';
+    }
+    os << '\n';
+  }
+}
+
+void reset_all_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, g] : r.gauges) g->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace lc::telemetry

@@ -1,0 +1,227 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "telemetry/json_util.h"
+
+namespace lc::telemetry {
+namespace {
+
+/// One completed span, as stored in a thread's ring buffer.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint8_t n_args = 0;
+  SpanArg args[kMaxSpanArgs];
+};
+
+std::size_t ring_capacity_from_env() {
+  if (const char* s = std::getenv("LC_TRACE_BUFFER")) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 16384;
+}
+
+struct ThreadBuffer {
+  ThreadBuffer(std::uint32_t tid_, std::size_t cap, const char* name_)
+      : ring(cap), tid(tid_) {
+    const std::size_t n = std::min(std::strlen(name_), sizeof(name) - 1);
+    std::memcpy(name, name_, n);
+  }
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;  ///< total events pushed; slot = next % capacity
+  std::uint32_t tid;
+  char name[32] = {};
+};
+
+/// Global trace state. Buffers are owned here so spans recorded by
+/// threads that have since exited still serialize; thread_local pointers
+/// are just caches into this list.
+struct TraceState {
+  TraceState() : epoch(std::chrono::steady_clock::now()) {}
+  const std::chrono::steady_clock::time_point epoch;
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::size_t ring_capacity = ring_capacity_from_env();
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // never destroyed: worker threads
+  return *s;                              // may record during shutdown
+}
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+thread_local char tl_name[32] = {};
+
+ThreadBuffer& buffer() {
+  if (tl_buffer == nullptr) {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.buffers.push_back(std::make_unique<ThreadBuffer>(
+        s.next_tid++, s.ring_capacity,
+        tl_name[0] != '\0' ? tl_name : ""));
+    tl_buffer = s.buffers.back().get();
+  }
+  return *tl_buffer;
+}
+
+int enabled_from_env() {
+  const char* s = std::getenv("LC_TELEMETRY");
+  return (s != nullptr && s[0] != '\0' && s[0] != '0') ? 1 : 0;
+}
+
+void write_args_json(std::ostream& os, const SpanArg* args,
+                     std::uint8_t n_args) {
+  os << "\"args\":{";
+  for (std::uint8_t a = 0; a < n_args; ++a) {
+    if (a > 0) os << ',';
+    detail::write_json_string(os, args[a].key);
+    os << ':';
+    if (args[a].is_string) {
+      detail::write_json_string(os, args[a].str);
+    } else {
+      os << args[a].num;
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<int> g_enabled{enabled_from_env()};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().epoch)
+          .count());
+}
+
+void Span::open(const char* name) noexcept {
+  armed_ = true;
+  name_ = name;
+  start_ns_ = now_ns();
+}
+
+void Span::close() noexcept {
+  const std::uint64_t end_ns = now_ns();
+  ThreadBuffer& buf = buffer();
+  TraceEvent& e = buf.ring[buf.next % buf.ring.size()];
+  ++buf.next;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.dur_ns = end_ns - start_ns_;
+  e.n_args = n_args_;
+  for (std::uint8_t a = 0; a < n_args_; ++a) e.args[a] = args_[a];
+}
+
+void Span::arg(const char* key, std::uint64_t v) noexcept {
+  if (!armed_ || n_args_ >= kMaxSpanArgs) return;
+  SpanArg& a = args_[n_args_++];
+  a.key = key;
+  a.num = v;
+  a.is_string = false;
+}
+
+void Span::arg(const char* key, std::string_view v) noexcept {
+  if (!armed_ || n_args_ >= kMaxSpanArgs) return;
+  SpanArg& a = args_[n_args_++];
+  a.key = key;
+  a.is_string = true;
+  const std::size_t n = v.size() < kArgStrCap - 1 ? v.size() : kArgStrCap - 1;
+  std::memcpy(a.str, v.data(), n);
+  a.str[n] = '\0';
+}
+
+void set_thread_name(const char* name) noexcept {
+  std::strncpy(tl_name, name, sizeof(tl_name) - 1);
+  tl_name[sizeof(tl_name) - 1] = '\0';
+  if (tl_buffer != nullptr) {
+    static_assert(sizeof(tl_buffer->name) == sizeof(tl_name));
+    std::memcpy(tl_buffer->name, tl_name, sizeof(tl_name));
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : s.buffers) {
+    if (buf->name[0] != '\0') {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
+         << buf->tid << ",\"args\":{\"name\":";
+      detail::write_json_string(os, buf->name);
+      os << "}}";
+    }
+    const std::size_t cap = buf->ring.size();
+    const std::size_t n = buf->next < cap ? buf->next : cap;
+    const std::size_t begin = buf->next - n;  // oldest surviving event
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buf->ring[(begin + i) % cap];
+      if (!first) os << ',';
+      first = false;
+      char num[64];
+      os << "{\"ph\":\"X\",\"name\":";
+      detail::write_json_string(os, e.name);
+      // Microsecond floats with ns precision, per the trace-event format.
+      std::snprintf(num, sizeof(num),
+                    ",\"cat\":\"lc\",\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      os << num << ",\"pid\":1,\"tid\":" << buf->tid << ',';
+      write_args_json(os, e.args, e.n_args);
+      os << '}';
+    }
+  }
+  os << "]}";
+}
+
+std::size_t trace_buffer_count() noexcept {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.buffers.size();
+}
+
+std::uint64_t recorded_span_count() noexcept {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : s.buffers) n += buf->next;
+  return n;
+}
+
+std::uint64_t dropped_event_count() noexcept {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : s.buffers) {
+    if (buf->next > buf->ring.size()) n += buf->next - buf->ring.size();
+  }
+  return n;
+}
+
+void reset_trace() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& buf : s.buffers) buf->next = 0;
+}
+
+}  // namespace lc::telemetry

@@ -1,0 +1,136 @@
+#ifndef LC_TELEMETRY_TELEMETRY_H
+#define LC_TELEMETRY_TELEMETRY_H
+
+/// \file telemetry.h
+/// The tracing half of lc::telemetry (the umbrella header — includes the
+/// metrics registry too): RAII trace spans recorded into per-thread ring
+/// buffers and serialized as Chrome trace-event JSON, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// Cost model:
+///  - disabled (the default): a Span construction is one relaxed atomic
+///    load and a branch — low single-digit nanoseconds, no allocation,
+///    no clock read. The disabled path is the guarantee that lets spans
+///    live inside per-chunk and per-stage hot loops.
+///  - enabled: two steady_clock reads plus one ring-buffer slot write per
+///    span (~100 ns). Ring buffers are fixed-capacity and overwrite the
+///    oldest events when full (`dropped_events()` reports how many), so
+///    tracing never grows memory without bound.
+///
+/// Spans nest by scope on the calling thread; each completed span is one
+/// Chrome "X" (complete) event carrying ts/dur in microseconds plus up to
+/// three typed arguments (small strings are stored inline, truncated to
+/// kArgStrCap-1 bytes). Perfetto reconstructs the nesting from ts/dur
+/// containment per thread.
+///
+/// Enabling: set_enabled(true), the LC_TELEMETRY=1 environment variable,
+/// or the lc_cli --trace/--metrics flags. LC_TRACE_BUFFER overrides the
+/// per-thread ring capacity (events; default 16384).
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace lc::telemetry {
+
+namespace detail {
+/// 0 = disabled, 1 = enabled. Dynamically initialized from LC_TELEMETRY;
+/// zero-initialized (disabled) until then, so spans constructed during
+/// other TUs' static init are safely no-ops.
+extern std::atomic<int> g_enabled;
+}  // namespace detail
+
+/// True when tracing is on. Relaxed load; safe and cheap from any thread.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+void set_enabled(bool on) noexcept;
+
+/// Nanoseconds since the process's trace epoch (steady clock).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+inline constexpr std::size_t kMaxSpanArgs = 3;
+inline constexpr std::size_t kArgStrCap = 24;
+
+/// One span argument: a key plus either an integer or a small inline
+/// string (component names, pipeline specs — truncated if longer).
+struct SpanArg {
+  const char* key = nullptr;  ///< static string literal
+  std::uint64_t num = 0;
+  char str[kArgStrCap] = {};
+  bool is_string = false;
+};
+
+/// RAII scoped trace span. `name` (and arg keys) must be string literals
+/// or otherwise outlive serialization — they are stored by pointer.
+///
+///   telemetry::Span span("lc.encode_chunk", "chunk", c);
+///   span.arg("component", comp.name());
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (enabled()) open(name);
+  }
+  Span(const char* name, const char* key, std::uint64_t v) noexcept {
+    if (enabled()) {
+      open(name);
+      arg(key, v);
+    }
+  }
+  Span(const char* name, const char* key, std::string_view v) noexcept {
+    if (enabled()) {
+      open(name);
+      arg(key, v);
+    }
+  }
+  ~Span() {
+    if (armed_) close();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach an argument (no-op when the span is disarmed or full).
+  void arg(const char* key, std::uint64_t v) noexcept;
+  void arg(const char* key, std::string_view v) noexcept;
+
+ private:
+  void open(const char* name) noexcept;
+  void close() noexcept;
+
+  bool armed_ = false;
+  std::uint8_t n_args_ = 0;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  SpanArg args_[kMaxSpanArgs];
+};
+
+/// Name the calling thread in trace output (stored per thread; applied
+/// to its buffer's thread_name metadata event). Never allocates.
+void set_thread_name(const char* name) noexcept;
+
+/// Serialize every recorded span as Chrome trace-event JSON:
+///   {"displayTimeUnit":"ns","traceEvents":[
+///     {"ph":"M","name":"thread_name",...},
+///     {"ph":"X","name":...,"cat":"lc","ts":us,"dur":us,"pid":1,"tid":t,
+///      "args":{...}}, ...]}
+/// Call at a quiescent point (after pool.wait_idle() / before exit);
+/// events still being written by live threads may be skipped or stale but
+/// the output is always well-formed JSON.
+void write_chrome_trace(std::ostream& os);
+
+/// Introspection (tests and the `lc_cli stats` report).
+[[nodiscard]] std::size_t trace_buffer_count() noexcept;
+[[nodiscard]] std::uint64_t recorded_span_count() noexcept;
+[[nodiscard]] std::uint64_t dropped_event_count() noexcept;
+
+/// Discard all recorded spans (buffers stay allocated for their threads).
+void reset_trace();
+
+}  // namespace lc::telemetry
+
+#endif  // LC_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,548 @@
+// Tests for lc::telemetry: metric semantics, span recording and nesting
+// (including across thread-pool workers), the disabled-mode
+// zero-allocation guarantee, and a round-trip of the serialized Chrome
+// trace-event JSON through a small in-test JSON parser (the repo has no
+// external JSON dependency, so the schema check parses by hand).
+
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "lc/codec.h"
+#include "lc/pipeline.h"
+
+namespace lc::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON parser: enough of RFC 8259 to round-trip the telemetry output.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.count(key) > 0;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    return object.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();  // stop consuming
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    JsonValue v;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      case 't':
+      case 'f':
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = text_.compare(pos_, 4, "true") == 0;
+        pos_ += v.boolean ? 4 : 5;
+        return v;
+      case 'n':
+        pos_ += 4;
+        return v;
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) fail("expected '{'");
+    if (consume('}')) return v;
+    do {
+      if (peek() != '"') {
+        fail("expected object key");
+        return v;
+      }
+      std::string key = string();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return v;
+      }
+      v.object.emplace(std::move(key), value());
+    } while (consume(','));
+    if (!consume('}')) fail("expected '}'");
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) fail("expected '['");
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ']'");
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // The serializer only emits \u00XX for control bytes.
+            if (pos_ + 4 > text_.size()) {
+              fail("bad \\u escape");
+              return out;
+            }
+            c = static_cast<char>(
+                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return out;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return v;
+    }
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonValue parse_json_or_die(const std::string& text) {
+  JsonParser parser(text);
+  JsonValue v = parser.parse();
+  EXPECT_TRUE(parser.ok()) << parser.error() << "\nJSON was:\n" << text;
+  return v;
+}
+
+/// RAII: enable telemetry for one test, restore + wipe state after.
+struct TelemetryScope {
+  TelemetryScope() {
+    reset_trace();
+    reset_all_metrics();
+    set_enabled(true);
+  }
+  ~TelemetryScope() {
+    set_enabled(false);
+    reset_trace();
+    reset_all_metrics();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(Metrics, CounterGaugeBasics) {
+  const TelemetryScope scope;
+  Counter& c = counter("test.metrics.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&c, &counter("test.metrics.counter")) << "find-or-create";
+
+  Gauge& g = gauge("test.metrics.gauge");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+  g.max_of(3);
+  EXPECT_EQ(g.value(), 5) << "max_of must not lower the gauge";
+  g.max_of(11);
+  EXPECT_EQ(g.value(), 11);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusive) {
+  const TelemetryScope scope;
+  Histogram& h = histogram("test.metrics.hist", {10, 100, 1000});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  ASSERT_EQ(h.num_buckets(), 4u) << "three bounds plus the overflow bucket";
+
+  h.record(0);     // <= 10
+  h.record(10);    // <= 10 (boundary is inclusive)
+  h.record(11);    // <= 100
+  h.record(100);   // <= 100
+  h.record(101);   // <= 1000
+  h.record(1000);  // <= 1000
+  h.record(1001);  // overflow
+  h.record(std::uint64_t{1} << 40);  // overflow
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101 + 1000 + 1001 +
+                         (std::uint64_t{1} << 40));
+}
+
+TEST(Metrics, JsonSnapshotRoundTrips) {
+  const TelemetryScope scope;
+  counter("test.json.counter").add(3);
+  gauge("test.json.gauge").set(-4);
+  Histogram& h = histogram("test.json.hist", {5, 50});
+  h.record(4);
+  h.record(40);
+  h.record(400);
+
+  std::ostringstream os;
+  write_metrics_json(os);
+  const JsonValue root = parse_json_or_die(os.str());
+
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(root.at("counters").at("test.json.counter").number, 3.0);
+  EXPECT_EQ(root.at("gauges").at("test.json.gauge").number, -4.0);
+
+  const JsonValue& hist = root.at("histograms").at("test.json.hist");
+  EXPECT_EQ(hist.at("count").number, 3.0);
+  EXPECT_EQ(hist.at("sum").number, 444.0);
+  const std::vector<JsonValue>& buckets = hist.at("buckets").array;
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].at("le").number, 5.0);
+  EXPECT_EQ(buckets[0].at("count").number, 1.0);
+  EXPECT_EQ(buckets[1].at("le").number, 50.0);
+  EXPECT_EQ(buckets[1].at("count").number, 1.0);
+  EXPECT_EQ(buckets[2].at("le").str, "inf") << "overflow bucket";
+  EXPECT_EQ(buckets[2].at("count").number, 1.0);
+}
+
+TEST(Metrics, JsonEscapesAwkwardNames) {
+  const TelemetryScope scope;
+  counter("test.json.\"quoted\\name\"\n").add(1);
+  std::ostringstream os;
+  write_metrics_json(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  EXPECT_TRUE(root.at("counters").has("test.json.\"quoted\\name\"\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+TEST(Trace, DisabledSpansRecordNothingAndAllocateNothing) {
+  reset_trace();
+  set_enabled(false);
+  const std::size_t buffers_before = trace_buffer_count();
+  const std::uint64_t spans_before = recorded_span_count();
+
+  // A brand-new thread is the strongest probe: it has no thread-local
+  // ring buffer yet, so any allocation on the disabled path would show
+  // up as a new buffer registration.
+  std::thread probe([] {
+    for (int i = 0; i < 1000; ++i) {
+      Span span("test.disabled", "i", static_cast<std::uint64_t>(i));
+      span.arg("extra", std::string_view("ignored"));
+    }
+  });
+  probe.join();
+
+  EXPECT_EQ(trace_buffer_count(), buffers_before)
+      << "disabled spans must not allocate a ring buffer";
+  EXPECT_EQ(recorded_span_count(), spans_before);
+}
+
+TEST(Trace, SpansRecordWithArgs) {
+  const TelemetryScope scope;
+  {
+    Span span("test.span", "bytes", std::uint64_t{123});
+    span.arg("component", std::string_view("DIFF_4"));
+  }
+  EXPECT_GE(recorded_span_count(), 1u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+
+  const JsonValue* found = nullptr;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").str == "X" && e.at("name").str == "test.span") found = &e;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->at("cat").str, "lc");
+  EXPECT_EQ(found->at("pid").number, 1.0);
+  EXPECT_GE(found->at("dur").number, 0.0);
+  EXPECT_EQ(found->at("args").at("bytes").number, 123.0);
+  EXPECT_EQ(found->at("args").at("component").str, "DIFF_4");
+}
+
+TEST(Trace, LongStringArgsAreTruncatedNotCorrupted) {
+  const TelemetryScope scope;
+  const std::string long_arg(200, 'x');
+  { Span span("test.truncate", "spec", std::string_view(long_arg)); }
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str != "X" || e.at("name").str != "test.truncate") continue;
+    const std::string& got = e.at("args").at("spec").str;
+    EXPECT_EQ(got.size(), kArgStrCap - 1);
+    EXPECT_EQ(got, long_arg.substr(0, kArgStrCap - 1));
+    return;
+  }
+  FAIL() << "span not serialized";
+}
+
+TEST(Trace, NestedSpansAreContainedInParent) {
+  const TelemetryScope scope;
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+      // A tiny spin so inner has nonzero extent on coarse clocks.
+      const std::uint64_t t0 = now_ns();
+      while (now_ns() == t0) {
+      }
+    }
+  }
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str != "X") continue;
+    if (e.at("name").str == "test.outer") outer = &e;
+    if (e.at("name").str == "test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->at("tid").number, inner->at("tid").number)
+      << "same-thread nesting";
+  // Perfetto reconstructs nesting from ts/dur containment: the inner
+  // span must start no earlier and end no later than the outer one.
+  EXPECT_GE(inner->at("ts").number, outer->at("ts").number);
+  EXPECT_LE(inner->at("ts").number + inner->at("dur").number,
+            outer->at("ts").number + outer->at("dur").number);
+}
+
+TEST(Trace, SpansNestAcrossThreadPoolWorkers) {
+  const TelemetryScope scope;
+  ThreadPool pool(4);
+  parallel_for(pool, 0, 32, [](std::size_t i) {
+    Span outer("test.pool_outer", "i", static_cast<std::uint64_t>(i));
+    Span inner("test.pool_inner", "i", static_cast<std::uint64_t>(i));
+  });
+  pool.wait_idle();
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+
+  // Index the spans by (name, i) and check per-iteration containment:
+  // each pool_inner must sit inside its pool_outer on the same tid, even
+  // though iterations landed on different workers.
+  std::map<double, const JsonValue*> outers;
+  std::map<double, const JsonValue*> inners;
+  std::map<std::string, bool> worker_named;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "M" && e.at("name").str == "thread_name") {
+      worker_named[e.at("args").at("name").str] = true;
+      continue;
+    }
+    if (e.at("ph").str != "X") continue;
+    if (e.at("name").str == "test.pool_outer") {
+      outers[e.at("args").at("i").number] = &e;
+    } else if (e.at("name").str == "test.pool_inner") {
+      inners[e.at("args").at("i").number] = &e;
+    }
+  }
+  ASSERT_EQ(outers.size(), 32u);
+  ASSERT_EQ(inners.size(), 32u);
+  for (const auto& [i, outer] : outers) {
+    const JsonValue* inner = inners.at(i);
+    EXPECT_EQ(inner->at("tid").number, outer->at("tid").number)
+        << "iteration " << i << " must nest on one worker";
+    EXPECT_GE(inner->at("ts").number, outer->at("ts").number);
+    EXPECT_LE(inner->at("ts").number + inner->at("dur").number,
+              outer->at("ts").number + outer->at("dur").number);
+  }
+  // The pool names its workers; at least one should have run a slice and
+  // carry a thread_name metadata event.
+  bool any_worker = false;
+  for (const auto& [name, present] : worker_named) {
+    if (name.rfind("pool-worker-", 0) == 0) any_worker = present;
+  }
+  EXPECT_TRUE(any_worker) << "pool workers must be named in the trace";
+}
+
+TEST(Trace, RingBufferOverwritesOldestAndCountsDrops) {
+  const TelemetryScope scope;
+  // The ring capacity is fixed per process (LC_TRACE_BUFFER at startup,
+  // default 16384); overrunning it must not grow memory, and the drop
+  // counter must own up to the loss.
+  const std::uint64_t dropped_before = dropped_event_count();
+  std::thread writer([] {
+    for (int i = 0; i < 20000; ++i) {
+      Span span("test.flood", "i", static_cast<std::uint64_t>(i));
+    }
+  });
+  writer.join();
+
+  EXPECT_GT(dropped_event_count(), dropped_before)
+      << "20000 spans cannot fit a 16384-slot ring";
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  // The survivors must be the newest events, not the oldest.
+  double max_i = 0;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "X" && e.at("name").str == "test.flood") {
+      max_i = std::max(max_i, e.at("args").at("i").number);
+    }
+  }
+  EXPECT_EQ(max_i, 19999.0);
+}
+
+TEST(Trace, ChromeTraceTopLevelSchema) {
+  const TelemetryScope scope;
+  { Span span("test.schema"); }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(root.at("displayTimeUnit").str, "ns");
+  ASSERT_TRUE(root.has("traceEvents"));
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+    ASSERT_TRUE(e.has("ph"));
+    const std::string& ph = e.at("ph").str;
+    ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected phase " << ph;
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    if (ph == "X") {
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_TRUE(e.has("dur"));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented layers: compressing through the codec with telemetry on
+// must leave the expected spans and counters behind.
+
+TEST(Trace, CodecLeavesSpansAndCounters) {
+  const TelemetryScope scope;
+  std::vector<Byte> input(50'000);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<Byte>((i * 7) & 0xff);
+  }
+  const Pipeline pipeline = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  const Bytes packed = compress(pipeline, ByteSpan(input.data(), input.size()));
+  const Bytes output = decompress(ByteSpan(packed.data(), packed.size()));
+  ASSERT_EQ(output, input);
+
+  EXPECT_EQ(counter("lc.codec.bytes_in").value(), input.size());
+  EXPECT_EQ(counter("lc.codec.bytes_out").value(), packed.size());
+  EXPECT_EQ(counter("lc.codec.chunks_encoded").value(),
+            counter("lc.codec.chunks_decoded").value());
+  EXPECT_GT(counter("lc.codec.chunks_encoded").value(), 0u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  std::map<std::string, int> by_name;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "X") ++by_name[e.at("name").str];
+  }
+  EXPECT_EQ(by_name["lc.compress"], 1);
+  EXPECT_EQ(by_name["lc.decompress"], 1);
+  EXPECT_GT(by_name["lc.encode_chunk"], 0);
+  EXPECT_GT(by_name["lc.encode_stage"], 0);
+  EXPECT_GT(by_name["lc.decode_chunk"], 0);
+}
+
+}  // namespace
+}  // namespace lc::telemetry
