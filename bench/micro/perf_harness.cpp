@@ -1,0 +1,192 @@
+// Machine-readable perf regression harness (ISSUE 3).
+//
+// Two modes, combinable:
+//   --micro[=PATH]   per-component-family encode/decode throughput over a
+//                    fixed 64 kB synthetic float buffer -> BENCH_micro.json
+//   --sweep[=PATH]   cold-cache characterization sweep wall clock
+//                    (use_cache=false semantics: Sweep::compute, no disk
+//                    I/O) -> BENCH_sweep.json
+//
+// The JSON files are the machine-tracked perf trajectory: CI's perf-smoke
+// job compares a fresh BENCH_micro.json against the committed baseline in
+// bench/baselines/ via scripts/bench_diff.py, and PRs that change hot
+// paths commit before/after BENCH_sweep.json. See docs/PERFORMANCE.md.
+//
+// Flags:
+//   --iters=N    timed iterations per component direction (default 12)
+//   --chunks=N   sweep chunks per input (default 2 = SweepConfig default)
+//   --inputs=a,b sweep input subset (default: all 13 SP files)
+//   --threads=N  sweep thread pool size (default: hardware concurrency)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "charlab/sweep.h"
+#include "common/thread_pool.h"
+#include "data/sp_dataset.h"
+#include "lc/registry.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Family key of a component name: the part before the word-size suffix
+/// ("RLE_4" -> "RLE", "TUPL2_1" -> "TUPL2").
+std::string family_of(const std::string& name) {
+  const std::size_t us = name.rfind('_');
+  return us == std::string::npos ? name : name.substr(0, us);
+}
+
+struct DirStats {
+  double bytes = 0.0;
+  double secs = 0.0;
+};
+
+struct FamilyStats {
+  DirStats encode, decode;
+};
+
+void run_micro(const std::string& path, int iters) {
+  // A realistic float stream: the head of the synthetic msg_bt file
+  // (the same buffer micro_components uses).
+  lc::Bytes input = lc::data::generate_sp_file("msg_bt", 1.0 / 2048);
+  input.resize(64 * 1024);
+  const lc::ByteSpan in(input.data(), input.size());
+
+  std::map<std::string, FamilyStats> families;
+  for (const lc::Component* comp : lc::Registry::instance().all()) {
+    FamilyStats& fam = families[family_of(comp->name())];
+    lc::Bytes encoded, out;
+    comp->encode(in, encoded);  // warm-up + decode input
+    comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      comp->encode(in, out);
+    }
+    fam.encode.secs += seconds_since(t0);
+    fam.encode.bytes += static_cast<double>(input.size()) * iters;
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+    }
+    fam.decode.secs += seconds_since(t0);
+    fam.decode.bytes += static_cast<double>(input.size()) * iters;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_harness: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"lc-bench-micro-v1\",\n");
+  std::fprintf(f, "  \"input_bytes\": %zu,\n  \"iters\": %d,\n", input.size(),
+               iters);
+  std::fprintf(f, "  \"families\": {\n");
+  std::size_t i = 0;
+  for (const auto& [name, fam] : families) {
+    const double enc = fam.encode.bytes / fam.encode.secs / 1e6;
+    const double dec = fam.decode.bytes / fam.decode.secs / 1e6;
+    std::fprintf(f, "    \"%s\": {\"encode_mb_s\": %.1f, \"decode_mb_s\": %.1f}%s\n",
+                 name.c_str(), enc, dec,
+                 ++i < families.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[perf] wrote %s (%zu families)\n", path.c_str(),
+               families.size());
+}
+
+void run_sweep(const std::string& path, std::size_t chunks,
+               const std::vector<std::string>& inputs, std::size_t threads) {
+  lc::charlab::SweepConfig config;
+  config.chunks_per_input = chunks;
+  config.inputs = inputs;
+  config.use_cache = false;  // cold-cache: measure the real computation
+
+  lc::ThreadPool pool(threads);
+  const std::uint64_t evals0 =
+      lc::telemetry::counter("charlab.sweep.stage_encodes").value();
+  const Clock::time_point t0 = Clock::now();
+  const lc::charlab::Sweep sweep = lc::charlab::Sweep::compute(config, pool);
+  const double wall = seconds_since(t0);
+  const std::uint64_t evals =
+      lc::telemetry::counter("charlab.sweep.stage_encodes").value() - evals0;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_harness: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"lc-bench-sweep-v1\",\n");
+  std::fprintf(f, "  \"inputs\": %zu,\n  \"chunks_per_input\": %zu,\n",
+               sweep.num_inputs(), config.chunks_per_input);
+  std::fprintf(f, "  \"scale\": %.8f,\n  \"threads\": %zu,\n", config.scale,
+               pool.size());
+  std::fprintf(f, "  \"pipelines\": %zu,\n  \"stage_evals\": %llu,\n",
+               sweep.num_pipelines(),
+               static_cast<unsigned long long>(evals));
+  std::fprintf(f, "  \"wall_s\": %.3f,\n  \"evals_per_s\": %.0f\n}\n", wall,
+               evals / wall);
+  std::fclose(f);
+  std::fprintf(stderr, "[perf] wrote %s (%.3f s, %llu stage evals)\n",
+               path.c_str(), wall, static_cast<unsigned long long>(evals));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool micro = false, sweep = false;
+  std::string micro_path = "BENCH_micro.json";
+  std::string sweep_path = "BENCH_sweep.json";
+  int iters = 12;
+  std::size_t chunks = 2, threads = 0;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg == "--micro" || arg.rfind("--micro=", 0) == 0) {
+      micro = true;
+      if (arg.find('=') != std::string::npos) micro_path = value();
+    } else if (arg == "--sweep" || arg.rfind("--sweep=", 0) == 0) {
+      sweep = true;
+      if (arg.find('=') != std::string::npos) sweep_path = value();
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      iters = std::atoi(value().c_str());
+    } else if (arg.rfind("--chunks=", 0) == 0) {
+      chunks = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg.rfind("--inputs=", 0) == 0) {
+      std::stringstream ss(value());
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) inputs.push_back(name);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_harness [--micro[=PATH]] [--sweep[=PATH]] "
+                   "[--iters=N] [--chunks=N] [--inputs=a,b] [--threads=N]\n");
+      return 2;
+    }
+  }
+  if (!micro && !sweep) {
+    micro = sweep = true;
+  }
+  if (micro) run_micro(micro_path, iters);
+  if (sweep) run_sweep(sweep_path, chunks, inputs, threads);
+  return 0;
+}

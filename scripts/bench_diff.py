@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Pretty-print the delta between two BENCH_*.json files (and gate CI).
+
+Usage:
+  scripts/bench_diff.py BASELINE.json CURRENT.json
+      Print a per-family (micro) or wall-clock (sweep) comparison table,
+      ready to paste into a PR description.
+
+  scripts/bench_diff.py --check --threshold=3.0 BASELINE.json CURRENT.json
+      Exit non-zero if CURRENT regresses past BASELINE by more than the
+      threshold factor anywhere (throughput below baseline/threshold, or
+      sweep wall clock above baseline*threshold). The generous default
+      absorbs CI machine noise; real regressions are usually 10x.
+
+Both files must share a schema ("lc-bench-micro-v1" or "lc-bench-sweep-v1"),
+produced by bench/perf_harness. See docs/PERFORMANCE.md.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "schema" not in data:
+        sys.exit(f"bench_diff: {path}: missing schema field")
+    return data
+
+
+def fmt_speedup(new, old):
+    if old <= 0:
+        return "n/a"
+    ratio = new / old
+    return f"{ratio:5.2f}x"
+
+
+def diff_micro(base, cur, threshold):
+    regressions = []
+    rows = []
+    families = sorted(set(base["families"]) | set(cur["families"]))
+    for fam in families:
+        b = base["families"].get(fam)
+        c = cur["families"].get(fam)
+        if b is None or c is None:
+            rows.append((fam, "(only in one file)", "", ""))
+            continue
+        enc = fmt_speedup(c["encode_mb_s"], b["encode_mb_s"])
+        dec = fmt_speedup(c["decode_mb_s"], b["decode_mb_s"])
+        rows.append((fam, f"{b['encode_mb_s']:.0f} -> {c['encode_mb_s']:.0f} MB/s ({enc})",
+                     f"{b['decode_mb_s']:.0f} -> {c['decode_mb_s']:.0f} MB/s ({dec})", ""))
+        if threshold:
+            for direction in ("encode_mb_s", "decode_mb_s"):
+                if c[direction] * threshold < b[direction]:
+                    regressions.append(
+                        f"{fam} {direction}: {b[direction]:.0f} -> "
+                        f"{c[direction]:.0f} MB/s (>{threshold}x regression)")
+    width = max(len(r[0]) for r in rows)
+    print(f"{'family':<{width}}  {'encode':<36}  decode")
+    for fam, enc, dec, _ in rows:
+        print(f"{fam:<{width}}  {enc:<36}  {dec}")
+    return regressions
+
+
+def diff_sweep(base, cur, threshold):
+    b, c = base["wall_s"], cur["wall_s"]
+    speedup = b / c if c > 0 else float("inf")
+    print(f"cold sweep wall clock: {b:.3f} s -> {c:.3f} s "
+          f"({speedup:.2f}x {'faster' if speedup >= 1 else 'slower'})")
+    print(f"stage evals: {base.get('stage_evals', '?')} -> "
+          f"{cur.get('stage_evals', '?')}; "
+          f"evals/s: {base.get('evals_per_s', 0):.0f} -> "
+          f"{cur.get('evals_per_s', 0):.0f}")
+    for key in ("inputs", "chunks_per_input", "scale", "threads"):
+        if base.get(key) != cur.get(key):
+            print(f"  warning: {key} differs "
+                  f"({base.get(key)} vs {cur.get(key)}) — not comparable")
+    if threshold and c > b * threshold:
+        return [f"sweep wall clock: {b:.3f} s -> {c:.3f} s "
+                f"(>{threshold}x regression)"]
+    return []
+
+
+def main(argv):
+    threshold = None
+    check = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--check":
+            check = True
+        elif arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    if check and threshold is None:
+        threshold = 3.0
+    if not check:
+        threshold = threshold  # informational only unless --check
+
+    base, cur = load(paths[0]), load(paths[1])
+    if base["schema"] != cur["schema"]:
+        sys.exit(f"bench_diff: schema mismatch: "
+                 f"{base['schema']} vs {cur['schema']}")
+
+    if base["schema"] == "lc-bench-micro-v1":
+        regressions = diff_micro(base, cur, threshold if check else None)
+    elif base["schema"] == "lc-bench-sweep-v1":
+        regressions = diff_sweep(base, cur, threshold if check else None)
+    else:
+        sys.exit(f"bench_diff: unknown schema {base['schema']}")
+
+    if check and regressions:
+        print("\nREGRESSIONS (threshold {}x):".format(threshold))
+        for r in regressions:
+            print("  " + r)
+        return 1
+    if check:
+        print(f"\nOK: no regression beyond {threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,23 @@
+#include "charlab/stage_eval.h"
+
+#include "telemetry/telemetry.h"
+
+namespace lc::charlab {
+
+StageOutcome eval_stage(const Component& comp, ByteSpan in, Bytes& out) {
+  // Registry lookup once; add() is a relaxed atomic increment.
+  static telemetry::Counter& stage_encodes =
+      telemetry::counter("charlab.sweep.stage_encodes");
+  stage_encodes.add();
+
+  StageOutcome o;
+  o.in = in.size();
+  out.clear();
+  comp.encode(in, out);
+  o.out_raw = out.size();
+  o.applied = out.size() <= in.size();
+  if (!o.applied) out.assign(in.begin(), in.end());
+  return o;
+}
+
+}  // namespace lc::charlab

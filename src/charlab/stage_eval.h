@@ -1,0 +1,36 @@
+#ifndef LC_CHARLAB_STAGE_EVAL_H
+#define LC_CHARLAB_STAGE_EVAL_H
+
+/// \file stage_eval.h
+/// One sweep stage evaluation: run a component's encoder on a chunk with
+/// LC's copy-fallback, reusing the caller's output buffer. Factored out of
+/// the sweep engine so its allocation contract — zero steady-state
+/// allocations per evaluation — is directly testable
+/// (tests/lc/zero_alloc_test.cpp).
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "lc/component.h"
+
+namespace lc::charlab {
+
+/// Measurements of a single (component, chunk) encode.
+struct StageOutcome {
+  std::uint64_t in = 0;       ///< stage input bytes
+  std::uint64_t out_raw = 0;  ///< raw encoder output bytes (pre-fallback)
+  bool applied = false;       ///< encoder output kept (did not expand)
+};
+
+/// Runs `comp.encode(in, out)` with the copy-fallback: when the encoder
+/// expands the chunk, `out` is replaced by a verbatim copy of the input —
+/// exactly what the next pipeline stage sees. `out` is a reused grow-only
+/// buffer; once it has grown to the workload's high-water mark an
+/// evaluation allocates nothing. Propagates whatever the encoder throws
+/// (the sweep's quarantine wrapper handles that); `out` is unspecified
+/// after a throw.
+StageOutcome eval_stage(const Component& comp, ByteSpan in, Bytes& out);
+
+}  // namespace lc::charlab
+
+#endif  // LC_CHARLAB_STAGE_EVAL_H

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <mutex>
 
+#include "charlab/stage_eval.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "lc/codec.h"
@@ -29,8 +31,10 @@ struct SweepMetrics {
   telemetry::Gauge& inputs_total =
       telemetry::gauge("charlab.sweep.inputs_total");
   telemetry::Gauge& inputs_done = telemetry::gauge("charlab.sweep.inputs_done");
-  telemetry::Gauge& groups_done =
-      telemetry::gauge("charlab.sweep.stage2_groups_done");
+  telemetry::Gauge& tasks_total =
+      telemetry::gauge("charlab.sweep.stage2_tasks_total");
+  telemetry::Gauge& tasks_done =
+      telemetry::gauge("charlab.sweep.stage2_tasks_done");
 };
 
 SweepMetrics& metrics() {
@@ -57,12 +61,6 @@ std::vector<std::size_t> sample_chunk_offsets(std::size_t total,
   return offsets;
 }
 
-struct ChunkOutcome {
-  Bytes output;       ///< post-fallback stage output
-  std::uint64_t in = 0, out_raw = 0;
-  bool applied = false;
-};
-
 /// Shared quarantine state for one input's computation. Component encode
 /// failures are recorded here (under the mutex — the sweep runs stages
 /// from pool workers) instead of aborting the sweep.
@@ -85,54 +83,50 @@ struct QuarantineCtx {
   }
 };
 
-/// Run one component on one chunk with LC's copy-fallback. A component
-/// whose encode throws is quarantined: the failure is recorded and the
-/// stage behaves like a skipped (copy-fallback) stage, so one broken
-/// component costs its own measurements, not the whole sweep.
-ChunkOutcome run_stage(const Component& comp, ByteSpan in, QuarantineCtx& q) {
-  metrics().stage_encodes.add();
-  ChunkOutcome o;
-  o.in = in.size();
-  Bytes raw;
+/// Run one stage evaluation into the reused buffer `out`, quarantining a
+/// component whose encode throws: the failure is recorded and the stage
+/// behaves like a skipped (copy-fallback) stage, so one broken component
+/// costs its own measurements, not the whole sweep.
+StageOutcome run_stage(const Component& comp, ByteSpan in, Bytes& out,
+                       QuarantineCtx& q) {
   try {
     if (q.inject && !q.inject->empty() && comp.name() == *q.inject) {
       throw Error("injected fault: " + comp.name() + "::encode");
     }
-    comp.encode(in, raw);
+    return eval_stage(comp, in, out);
   } catch (const std::exception& e) {
     q.record(comp, e.what());
+    StageOutcome o;
+    o.in = in.size();
     o.out_raw = in.size();
     o.applied = false;
-    o.output.assign(in.begin(), in.end());
+    out.assign(in.begin(), in.end());
     return o;
   }
-  o.out_raw = raw.size();
-  o.applied = raw.size() <= in.size();
-  if (o.applied) {
-    o.output = std::move(raw);
-  } else {
-    o.output.assign(in.begin(), in.end());
-  }
-  return o;
 }
 
-StageRecord to_record(const std::vector<ChunkOutcome>& outcomes) {
+/// Accumulated {in, out_raw, applied} sums over k chunks -> StageRecord.
+StageRecord make_record(double in, double out, double applied,
+                        std::size_t k) {
   StageRecord r;
-  if (outcomes.empty()) return r;
-  double in = 0, out = 0, applied = 0;
-  for (const ChunkOutcome& o : outcomes) {
-    in += static_cast<double>(o.in);
-    out += static_cast<double>(o.out_raw);
-    applied += o.applied ? 1.0 : 0.0;
-  }
-  const double k = static_cast<double>(outcomes.size());
-  r.avg_in = static_cast<float>(in / k);
-  r.avg_out = static_cast<float>(out / k);
-  r.applied = static_cast<float>(applied / k);
+  if (k == 0) return r;
+  const double kk = static_cast<double>(k);
+  r.avg_in = static_cast<float>(in / kk);
+  r.avg_out = static_cast<float>(out / kk);
+  r.applied = static_cast<float>(applied / kk);
   return r;
 }
 
 }  // namespace
+
+/// Working memory reused across an entire sweep run: the stage-1 outputs
+/// (post-fallback, read by every stage-2/3 evaluation) and their
+/// measurements. Buffers are grow-only — the second and later inputs run
+/// with zero steady-state allocations here.
+struct Sweep::ComputeScratch {
+  std::vector<Bytes> out1;          ///< [i1 * k + c] stage-1 outputs
+  std::vector<StageOutcome> meta1;  ///< parallel to out1
+};
 
 Sweep Sweep::make_skeleton(const SweepConfig& config) {
   Sweep sweep;
@@ -159,15 +153,16 @@ Sweep Sweep::make_skeleton(const SweepConfig& config) {
 
 Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
   Sweep sweep = make_skeleton(config);
+  ComputeScratch scratch;
   for (std::size_t i = 0; i < sweep.input_names_.size(); ++i) {
-    sweep.compute_input(i, sweep.input_names_[i], pool);
+    sweep.compute_input(i, sweep.input_names_[i], pool, scratch);
   }
   sweep.finalize_pipeline_ids();
   return sweep;
 }
 
 void Sweep::compute_input(std::size_t input_index, const std::string& name,
-                          ThreadPool& pool) {
+                          ThreadPool& pool, ComputeScratch& scratch) {
   telemetry::Span top("charlab.sweep.input", "input", name);
   top.arg("index", input_index);
   const Bytes file =
@@ -197,56 +192,78 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
   s2.assign(n_ * n_, {});
   s3.assign(n_ * n_ * r_, {});
 
-  // Stage 1: 62 components on the raw chunks. Keep outputs for stage 2.
-  std::vector<std::vector<ChunkOutcome>> out1(n_);
+  // Stage 1: 62 components on the raw chunks. Outputs are kept (in the
+  // reusable scratch) because every stage-2 evaluation reads them.
+  if (scratch.out1.size() < n_ * k) scratch.out1.resize(n_ * k);
+  if (scratch.meta1.size() < n_ * k) scratch.meta1.resize(n_ * k);
   {
     const telemetry::Span stage1("charlab.sweep.stage1", "input", name);
     parallel_for(pool, 0, n_, [&](std::size_t i1) {
       telemetry::Span span("charlab.sweep.stage1_component", "component",
                            reg.all()[i1]->name());
-      out1[i1].reserve(k);
-      for (const ByteSpan chunk : chunks) {
-        out1[i1].push_back(run_stage(*reg.all()[i1], chunk, quarantine));
+      double in = 0, out = 0, applied = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const StageOutcome o = run_stage(*reg.all()[i1], chunks[c],
+                                         scratch.out1[i1 * k + c],
+                                         quarantine);
+        scratch.meta1[i1 * k + c] = o;
+        in += static_cast<double>(o.in);
+        out += static_cast<double>(o.out_raw);
+        applied += o.applied ? 1.0 : 0.0;
       }
-      s1[i1] = to_record(out1[i1]);
+      s1[i1] = make_record(in, out, applied, k);
     });
   }
 
-  // Stages 2 and 3, memoized over the (i1, i2) prefix. Parallel over i1
-  // so each task owns its stage-2 buffers. Each i1 is one traced
-  // "pipeline group" (all n*r suffixes sharing that stage-1 prefix); the
-  // heartbeat gauge ticks once per completed group.
-  metrics().groups_done.set(0);
-  parallel_for(pool, 0, n_, [&](std::size_t i1) {
-    telemetry::Span group("charlab.sweep.pipeline_group", "stage1",
-                          reg.all()[i1]->name());
-    group.arg("input", name);
-    std::vector<ChunkOutcome> out2;
-    out2.reserve(k);
-    for (std::size_t i2 = 0; i2 < n_; ++i2) {
-      out2.clear();
-      for (const ChunkOutcome& prev : out1[i1]) {
-        out2.push_back(run_stage(*reg.all()[i2],
-                                 ByteSpan(prev.output.data(),
-                                          prev.output.size()),
-                                 quarantine));
-      }
-      s2[i1 * n_ + i2] = to_record(out2);
-
-      for (std::size_t i3 = 0; i3 < r_; ++i3) {
-        std::vector<ChunkOutcome> out3;
-        out3.reserve(k);
-        for (const ChunkOutcome& prev : out2) {
-          out3.push_back(
+  // Stages 2 and 3, memoized over the (i1, i2) prefix. The work is
+  // scheduled as n*n independent (i1, i2) chunk-x-prefix items — fine
+  // enough that the pool stays saturated to the end (the old per-i1 tasks
+  // left workers idle for the whole tail of the longest group). Each item
+  // re-encodes stage 2 once per chunk into an arena buffer, then runs all
+  // r reducers on it; the heartbeat gauges tick per completed item so an
+  // operator can watch utilization (docs/TELEMETRY.md).
+  metrics().tasks_total.set(static_cast<std::int64_t>(n_ * n_));
+  metrics().tasks_done.set(0);
+  {
+    const telemetry::Span stage23("charlab.sweep.stage23", "input", name);
+    parallel_for(pool, 0, n_ * n_, [&](std::size_t item) {
+      const std::size_t i1 = item / n_;
+      const std::size_t i2 = item % n_;
+      // Leases come from the worker thread's arena; they must not cross
+      // threads, so they live inside the work item.
+      ScratchArena::Lease out2_lease, out3_lease;
+      Bytes& out2 = *out2_lease;
+      Bytes& out3 = *out3_lease;
+      // Per-reducer {in, out_raw, applied} sums; thread-local so the
+      // assign() is a memset once the vector reached r_*3 capacity.
+      thread_local std::vector<double> acc;
+      acc.assign(3 * r_, 0.0);
+      double in2 = 0, raw2 = 0, app2 = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const Bytes& prev = scratch.out1[i1 * k + c];
+        const StageOutcome o2 =
+            run_stage(*reg.all()[i2], ByteSpan(prev.data(), prev.size()),
+                      out2, quarantine);
+        in2 += static_cast<double>(o2.in);
+        raw2 += static_cast<double>(o2.out_raw);
+        app2 += o2.applied ? 1.0 : 0.0;
+        for (std::size_t i3 = 0; i3 < r_; ++i3) {
+          const StageOutcome o3 =
               run_stage(*reg.reducers()[i3],
-                        ByteSpan(prev.output.data(), prev.output.size()),
-                        quarantine));
+                        ByteSpan(out2.data(), out2.size()), out3, quarantine);
+          acc[3 * i3] += static_cast<double>(o3.in);
+          acc[3 * i3 + 1] += static_cast<double>(o3.out_raw);
+          acc[3 * i3 + 2] += o3.applied ? 1.0 : 0.0;
         }
-        s3[(i1 * n_ + i2) * r_ + i3] = to_record(out3);
       }
-    }
-    metrics().groups_done.add(1);
-  });
+      s2[i1 * n_ + i2] = make_record(in2, raw2, app2, k);
+      for (std::size_t i3 = 0; i3 < r_; ++i3) {
+        s3[(i1 * n_ + i2) * r_ + i3] = make_record(
+            acc[3 * i3], acc[3 * i3 + 1], acc[3 * i3 + 2], k);
+      }
+      metrics().tasks_done.add(1);
+    });
+  }
 
   // compute_input runs serially per input; fold this input's quarantine
   // records into the sweep-level log.
@@ -459,9 +476,10 @@ Sweep Sweep::load_or_compute(const SweepConfig& config, ThreadPool& pool) {
       static_cast<std::int64_t>(sweep.input_names_.size()));
   metrics().inputs_done.set(static_cast<std::int64_t>(completed));
 
+  ComputeScratch scratch;
   std::size_t fresh = 0;
   for (std::size_t i = completed; i < sweep.input_names_.size(); ++i) {
-    sweep.compute_input(i, sweep.input_names_[i], pool);
+    sweep.compute_input(i, sweep.input_names_[i], pool, scratch);
     metrics().inputs_done.set(static_cast<std::int64_t>(i + 1));
     if (config.use_cache && !sweep.save_cache(path, i + 1)) {
       std::fprintf(stderr, "charlab: warning: could not write cache %s\n",

@@ -178,8 +178,14 @@ class Sweep {
   /// everything fingerprint() needs, nothing computed yet.
   [[nodiscard]] static Sweep make_skeleton(const SweepConfig& config);
 
+  /// Reusable per-run working memory (stage-1 outputs and their
+  /// measurements); defined in sweep.cpp. One instance lives on the
+  /// compute()/load_or_compute() stack and is threaded through every
+  /// compute_input() call so inputs after the first reuse its buffers.
+  struct ComputeScratch;
+
   void compute_input(std::size_t input_index, const std::string& name,
-                     ThreadPool& pool);
+                     ThreadPool& pool, ComputeScratch& scratch);
   void finalize_pipeline_ids();
   [[nodiscard]] std::uint64_t fingerprint() const;
   [[nodiscard]] bool save_cache(const std::string& path,

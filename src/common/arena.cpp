@@ -1,0 +1,49 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace lc {
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+Bytes& ScratchArena::acquire() {
+  if (free_.empty()) {
+    slots_.push_back(std::make_unique<Bytes>());
+    // Keep free_ capacious enough that no release() ever allocates.
+    free_.reserve(slots_.size());
+    return *slots_.back();
+  }
+  Bytes* buf = free_.back();
+  free_.pop_back();
+  buf->clear();
+  return *buf;
+}
+
+void ScratchArena::release(Bytes& buf) noexcept {
+  buf.clear();
+  free_.push_back(&buf);  // never reallocates: reserved in acquire()
+}
+
+std::size_t ScratchArena::bytes_reserved() const noexcept {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) total += slot->capacity();
+  return total;
+}
+
+void ScratchArena::poison(Byte pattern) {
+  for (Bytes* buf : free_) {
+    buf->assign(buf->capacity(), pattern);
+    buf->clear();
+  }
+}
+
+void ScratchArena::trim() noexcept {
+  for (Bytes* buf : free_) {
+    Bytes().swap(*buf);
+  }
+}
+
+}  // namespace lc

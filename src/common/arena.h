@@ -1,0 +1,105 @@
+#ifndef LC_COMMON_ARENA_H
+#define LC_COMMON_ARENA_H
+
+/// \file arena.h
+/// Per-worker scratch memory for the encode/decode hot paths.
+///
+/// Every stage evaluation used to allocate a fresh output buffer plus a
+/// handful of temporaries inside the component kernels; over a cold
+/// 107,632-pipeline characterization sweep that is tens of millions of
+/// allocator round trips. A ScratchArena instead owns a small set of
+/// grow-only byte buffers that callers check out for the duration of one
+/// operation and return cleared-but-capacious, so the steady state per
+/// chunk (and per sweep stage evaluation) is zero allocations — verified
+/// by the counting-allocator test in tests/lc/zero_alloc_test.cpp.
+///
+/// Contract (see docs/PERFORMANCE.md):
+///  * Arenas are NOT thread-safe. Use `ScratchArena::local()` — one arena
+///    per thread — from worker code; never share a Lease across threads.
+///  * A checked-out buffer is cleared (size 0) but keeps its capacity.
+///    Bytes beyond size() are stale garbage from earlier leases; code must
+///    never read them. The `poison()` hook fills free capacity with a
+///    pattern so tests can prove stale bytes cannot leak into outputs.
+///  * Leases may nest arbitrarily (recursive codecs hold several at once);
+///    buffers return to the free list in any order.
+///  * Swapping a leased buffer with an external Bytes is allowed — the
+///    arena keeps whichever allocation it is handed back.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace lc {
+
+/// A pool of grow-only byte buffers. Cheap to check out of (pointer pop +
+/// clear) once warm; allocates only while growing to a workload's
+/// high-water mark of concurrently-leased buffers.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's arena (thread-local, lazily constructed).
+  [[nodiscard]] static ScratchArena& local();
+
+  /// Check out a cleared grow-only buffer. Prefer the RAII Lease.
+  [[nodiscard]] Bytes& acquire();
+
+  /// Return a buffer obtained from acquire(). The buffer is cleared;
+  /// capacity is retained for the next lease.
+  void release(Bytes& buf) noexcept;
+
+  /// Buffers owned by the arena (leased + free).
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_.size(); }
+  /// Buffers currently checked out.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return slots_.size() - free_.size();
+  }
+  /// Total capacity held across all buffers.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept;
+
+  /// Fill the full capacity of every *free* buffer with `pattern` (test
+  /// hook): any stale-byte read after this is deterministic garbage, so a
+  /// round-trip that still verifies proves outputs never depend on prior
+  /// lease contents.
+  void poison(Byte pattern);
+
+  /// Release all memory held by free buffers (leased buffers are kept).
+  void trim() noexcept;
+
+  /// RAII checkout of one buffer from an arena (the calling thread's by
+  /// default). Movable so leases can live in containers; not copyable.
+  class Lease {
+   public:
+    explicit Lease(ScratchArena& arena = ScratchArena::local())
+        : arena_(&arena), buf_(&arena.acquire()) {}
+    ~Lease() {
+      if (buf_ != nullptr) arena_->release(*buf_);
+    }
+    Lease(Lease&& other) noexcept : arena_(other.arena_), buf_(other.buf_) {
+      other.buf_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] Bytes& operator*() noexcept { return *buf_; }
+    [[nodiscard]] Bytes* operator->() noexcept { return buf_; }
+    [[nodiscard]] Bytes& get() noexcept { return *buf_; }
+
+   private:
+    ScratchArena* arena_;
+    Bytes* buf_;
+  };
+
+ private:
+  std::vector<std::unique_ptr<Bytes>> slots_;
+  std::vector<Bytes*> free_;
+};
+
+}  // namespace lc
+
+#endif  // LC_COMMON_ARENA_H

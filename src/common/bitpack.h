@@ -4,12 +4,18 @@
 /// \file bitpack.h
 /// Dense bit packing used by the reducers (CLOG/HCLOG pack value
 /// remainders at arbitrary bit widths; RRE/RZE/RARE/RAZE pack bitmaps and
-/// k-bit slices). The writer accumulates into a 64-bit register and spills
-/// whole bytes; the reader mirrors it. Both are deliberately simple and
-/// fully bounds-checked on the read side, since readers run on untrusted
-/// compressed data.
+/// k-bit slices). The stream is LSB-first within each byte.
+///
+/// Both ends run word-at-a-time: the writer buffers up to 63 bits in a
+/// 64-bit register and spills 8 bytes with a single store once it fills;
+/// the reader refills its register 8 bytes at a time and falls back to a
+/// bounds-checked byte loop only near the end of the stream (readers run
+/// on untrusted compressed data, so the tail path throws on truncation).
+/// The emitted byte stream is identical to the original byte-at-a-time
+/// formulation; only the access width changed.
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/bytes.h"
 #include "common/error.h"
@@ -26,18 +32,17 @@ class BitWriter {
 
   /// Append the low `bits` bits of `v` (0 <= bits <= 64).
   void put(std::uint64_t v, int bits) {
-    while (bits > 0) {
-      const int take = bits < 56 ? bits : 56;  // keep acc + take <= 64
-      const std::uint64_t chunk = (take == 64) ? v : (v & ((1ULL << take) - 1));
-      acc_ |= chunk << fill_;
-      fill_ += take;
-      while (fill_ >= 8) {
-        out_.push_back(static_cast<Byte>(acc_));
-        acc_ >>= 8;
-        fill_ -= 8;
-      }
-      v >>= take;
-      bits -= take;
+    if (bits <= 0) return;
+    if (bits < 64) v &= (std::uint64_t{1} << bits) - 1;
+    acc_ |= v << fill_;  // fill_ < 64 by invariant
+    const int total = fill_ + bits;
+    if (total >= 64) {
+      spill64();
+      const int consumed = 64 - fill_;
+      acc_ = consumed < 64 ? v >> consumed : 0;
+      fill_ = total - 64;
+    } else {
+      fill_ = total;
     }
   }
 
@@ -47,17 +52,26 @@ class BitWriter {
   /// Flush any partial byte (zero-padded). Must be called exactly once,
   /// after the last put().
   void finish() {
-    if (fill_ > 0) {
+    int left = fill_;
+    while (left > 0) {
       out_.push_back(static_cast<Byte>(acc_));
-      acc_ = 0;
-      fill_ = 0;
+      acc_ >>= 8;
+      left -= 8;
     }
+    acc_ = 0;
+    fill_ = 0;
   }
 
  private:
+  void spill64() {
+    const std::size_t at = out_.size();
+    out_.resize(at + 8);
+    std::memcpy(out_.data() + at, &acc_, 8);  // little-endian host
+  }
+
   Bytes& out_;
   std::uint64_t acc_ = 0;
-  int fill_ = 0;
+  int fill_ = 0;  ///< buffered bits, always in [0, 63]
 };
 
 /// Bounds-checked bit stream reader matching BitWriter's layout.
@@ -67,8 +81,42 @@ class BitReader {
 
   /// Read `bits` bits (0 <= bits <= 64). Throws CorruptDataError past end.
   [[nodiscard]] std::uint64_t get(int bits) {
-    std::uint64_t v = 0;
-    int got = 0;
+    if (bits <= 0) return 0;
+    if (bits <= fill_) {  // fill_ <= 63, so bits < 64 here
+      const std::uint64_t v = acc_ & ((std::uint64_t{1} << bits) - 1);
+      acc_ >>= bits;
+      fill_ -= bits;
+      return v;
+    }
+    return get_slow(bits);
+  }
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  /// Bytes consumed so far, counting a partially-consumed byte as whole.
+  [[nodiscard]] std::size_t bytes_consumed() const noexcept {
+    return (8 * pos_ - static_cast<std::size_t>(fill_) + 7) / 8;
+  }
+
+ private:
+  std::uint64_t get_slow(int bits) {
+    std::uint64_t v = acc_;
+    int got = fill_;
+    acc_ = 0;
+    fill_ = 0;
+    if (pos_ + 8 <= in_.size()) {
+      // Bulk refill: one 8-byte load covers the rest of this read.
+      std::uint64_t w;
+      std::memcpy(&w, in_.data() + pos_, 8);
+      pos_ += 8;
+      v |= w << got;  // got <= 63
+      const int used = bits - got;  // in [1, 64]
+      acc_ = used < 64 ? w >> used : 0;
+      fill_ = 64 - used;
+      if (bits < 64) v &= (std::uint64_t{1} << bits) - 1;
+      return v;
+    }
+    // Stream tail: byte-at-a-time with explicit bounds checks.
     while (got < bits) {
       if (fill_ == 0) {
         LC_DECODE_REQUIRE(pos_ < in_.size(), "bit stream truncated");
@@ -76,8 +124,7 @@ class BitReader {
         fill_ = 8;
       }
       const int take = (bits - got) < fill_ ? (bits - got) : fill_;
-      const std::uint64_t chunk = acc_ & ((take == 64) ? ~0ULL : ((1ULL << take) - 1));
-      v |= chunk << got;
+      v |= (acc_ & ((std::uint64_t{1} << take) - 1)) << got;  // take <= 8
       acc_ >>= take;
       fill_ -= take;
       got += take;
@@ -85,16 +132,10 @@ class BitReader {
     return v;
   }
 
-  [[nodiscard]] bool get_bit() { return get(1) != 0; }
-
-  /// Bytes consumed so far, counting a partially-consumed byte as whole.
-  [[nodiscard]] std::size_t bytes_consumed() const noexcept { return pos_; }
-
- private:
   ByteSpan in_;
-  std::size_t pos_ = 0;
+  std::size_t pos_ = 0;      ///< bytes loaded into acc_ so far
   std::uint64_t acc_ = 0;
-  int fill_ = 0;
+  int fill_ = 0;             ///< unread buffered bits, in [0, 63]
 };
 
 }  // namespace lc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "common/scan.h"
@@ -192,7 +193,8 @@ void decode_frames(const Pipeline& pipeline, ByteSpan container,
       telemetry::Span span("lc.decode_chunk", "chunk", c);
       span.arg("bytes", frames[c].record_size);
       const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
-      Bytes chunk;
+      ScratchArena::Lease chunk_lease;
+      Bytes& chunk = *chunk_lease;
       decode_chunk(pipeline,
                    container.subspan(frames[c].record_off,
                                      frames[c].record_size),
@@ -209,9 +211,9 @@ void decode_frames(const Pipeline& pipeline, ByteSpan container,
 
 }  // namespace
 
-Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
-                   std::uint8_t& applied_mask,
-                   std::vector<StageTrace>* trace) {
+void encode_chunk_into(const Pipeline& pipeline, ByteSpan chunk,
+                       std::uint8_t& applied_mask, Bytes& out,
+                       std::vector<StageTrace>* trace) {
   LC_REQUIRE(pipeline.size() <= 8, "stage mask supports at most 8 stages");
   applied_mask = 0;
   if (trace) {
@@ -220,18 +222,21 @@ Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
   }
 
   const bool timed = trace != nullptr || telemetry::enabled();
-  Bytes cur(chunk.begin(), chunk.end());
-  Bytes tmp;
+  // Ping-pong between `out` and one arena buffer; swapping a leased
+  // buffer is allowed (the arena keeps whichever allocation it gets back).
+  out.assign(chunk.begin(), chunk.end());
+  ScratchArena::Lease tmp_lease;
+  Bytes& tmp = *tmp_lease;
   for (std::size_t s = 0; s < pipeline.size(); ++s) {
     const Component& comp = pipeline.stage(s);
     telemetry::Span span("lc.encode_stage", "stage", s);
     span.arg("component", comp.name());
     const std::uint64_t t0 = timed ? telemetry::now_ns() : 0;
-    comp.encode(ByteSpan(cur.data(), cur.size()), tmp);
+    comp.encode(ByteSpan(out.data(), out.size()), tmp);
     const std::uint64_t elapsed = timed ? telemetry::now_ns() - t0 : 0;
-    const bool applied = tmp.size() <= cur.size();  // LC copy-fallback
+    const bool applied = tmp.size() <= out.size();  // LC copy-fallback
     if (trace) {
-      (*trace)[s].bytes_in = cur.size();
+      (*trace)[s].bytes_in = out.size();
       (*trace)[s].bytes_out = tmp.size();
       (*trace)[s].elapsed_ns = elapsed;
       (*trace)[s].applied = applied;
@@ -239,31 +244,38 @@ Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
     span.arg("bytes_out", tmp.size());
     if (applied) {
       applied_mask = static_cast<std::uint8_t>(applied_mask | (1u << s));
-      cur.swap(tmp);
+      out.swap(tmp);
     } else {
       metrics().stage_fallbacks.add();
     }
   }
   metrics().chunks_encoded.add();
-  return cur;
+}
+
+Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
+                   std::uint8_t& applied_mask,
+                   std::vector<StageTrace>* trace) {
+  Bytes out;
+  encode_chunk_into(pipeline, chunk, applied_mask, out, trace);
+  return out;
 }
 
 void decode_chunk(const Pipeline& pipeline, ByteSpan record,
                   std::uint8_t applied_mask, std::size_t original_size,
                   Bytes& out) {
-  Bytes cur(record.begin(), record.end());
-  Bytes tmp;
+  out.assign(record.begin(), record.end());
+  ScratchArena::Lease tmp_lease;
+  Bytes& tmp = *tmp_lease;
   for (std::size_t s = pipeline.size(); s-- > 0;) {
     if ((applied_mask & (1u << s)) == 0) continue;
     telemetry::Span span("lc.decode_stage", "stage", s);
     span.arg("component", pipeline.stage(s).name());
-    pipeline.stage(s).decode(ByteSpan(cur.data(), cur.size()), tmp);
-    cur.swap(tmp);
+    pipeline.stage(s).decode(ByteSpan(out.data(), out.size()), tmp);
+    out.swap(tmp);
   }
   metrics().chunks_decoded.add();
-  LC_DECODE_REQUIRE(cur.size() == original_size,
+  LC_DECODE_REQUIRE(out.size() == original_size,
                     "chunk decoded to the wrong size");
-  out.swap(cur);
 }
 
 Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
@@ -284,16 +296,18 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
     const std::size_t hi = std::min(input.size(), lo + kChunkSize);
     telemetry::Span span("lc.encode_chunk", "chunk", c);
     const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
-    records[c] = encode_chunk(pipeline, input.subspan(lo, hi - lo), masks[c]);
+    encode_chunk_into(pipeline, input.subspan(lo, hi - lo), masks[c],
+                      records[c]);
     if (t0 != 0) {
       metrics().encode_chunk_ns.record(telemetry::now_ns() - t0);
     }
   });
 
-  // Header.
+  // Header. Reserve its worst case exactly: magic + version + three
+  // varints (<= 10 bytes each) + the spec + the checksum.
   const std::string spec = pipeline.spec();
   Bytes out;
-  out.reserve(64 + spec.size());
+  out.reserve(4 + 1 + 3 * 10 + spec.size() + 8);
   for (const char m : kMagic) out.push_back(static_cast<Byte>(m));
   out.push_back(static_cast<Byte>(version));
   put_varint(out, spec.size());
@@ -314,18 +328,24 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
   std::vector<std::uint64_t> sizes(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     if (version == ContainerVersion::kV3) {
-      Bytes tail;
-      tail.push_back(masks[c]);
-      put_varint(tail, c);
-      put_varint(tail, records[c].size());
+      // Build the checksum-covered part (mask + two varints) in place and
+      // patch the CRC at its fixed offset — one buffer, one reserve.
+      Bytes& h = headers[c];
+      h.reserve(2 + 4 + 1 + 2 * 10);
+      h.push_back(kSync0);
+      h.push_back(kSync1);
+      const std::size_t crc_at = h.size();
+      append_le<std::uint32_t>(h, 0);
+      const std::size_t covered_at = h.size();
+      h.push_back(masks[c]);
+      put_varint(h, c);
+      put_varint(h, records[c].size());
       const std::uint32_t crc = hash_bytes32(
           records[c].data(), records[c].size(),
-          hash_bytes32(tail.data(), tail.size()));
-      headers[c].push_back(kSync0);
-      headers[c].push_back(kSync1);
-      append_le<std::uint32_t>(headers[c], crc);
-      append(headers[c], ByteSpan(tail.data(), tail.size()));
+          hash_bytes32(h.data() + covered_at, h.size() - covered_at));
+      std::memcpy(h.data() + crc_at, &crc, sizeof(crc));  // little-endian
     } else {
+      headers[c].reserve(1 + 10);
       headers[c].push_back(masks[c]);
       put_varint(headers[c], records[c].size());
     }

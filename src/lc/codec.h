@@ -70,6 +70,14 @@ struct StageTrace {
                                  std::uint8_t& applied_mask,
                                  std::vector<StageTrace>* trace = nullptr);
 
+/// Allocation-free variant for hot loops: encodes into the reused
+/// grow-only buffer `out` (stage temporaries come from the calling
+/// thread's ScratchArena), so a warm caller pays zero allocations per
+/// chunk. Semantics otherwise identical to encode_chunk().
+void encode_chunk_into(const Pipeline& pipeline, ByteSpan chunk,
+                       std::uint8_t& applied_mask, Bytes& out,
+                       std::vector<StageTrace>* trace = nullptr);
+
 /// Invert encode_chunk. `original_size` is the chunk's uncompressed size
 /// (known from the container). Throws CorruptDataError on malformed data.
 void decode_chunk(const Pipeline& pipeline, ByteSpan record,

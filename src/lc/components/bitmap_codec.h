@@ -15,11 +15,15 @@
 ///               bytes (bit j set <=> byte j equals byte j-1; bit 0 clear).
 /// The byte count n at every level is known to the decoder from the parent
 /// level, so no sizes are stored beyond the literal count.
+///
+/// All per-level temporaries come from the calling thread's ScratchArena
+/// (levels shrink 8x per recursion, so at most kBitmapMaxDepth+1 leases
+/// are live at once); a warm codec performs no allocations here.
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/varint.h"
@@ -30,22 +34,26 @@ inline constexpr std::size_t kBitmapRawThreshold = 16;  // bytes
 inline constexpr int kBitmapMaxDepth = 12;
 
 /// Recursively encode `bytes` (appended to `out`).
-inline void encode_bitmap_bytes(const std::vector<Byte>& bytes, Bytes& out,
-                                int depth = 0) {
+inline void encode_bitmap_bytes(ByteSpan bytes, Bytes& out, int depth = 0) {
   const std::size_t n = bytes.size();
   if (n <= kBitmapRawThreshold || depth >= kBitmapMaxDepth) {
     out.push_back(Byte{0});
-    append(out, ByteSpan(bytes.data(), n));
+    append(out, bytes);
     return;
   }
 
   // Build the repeat bitmap and collect literals.
-  std::vector<Byte> repeat_bits((n + 7) / 8, Byte{0});
-  std::vector<Byte> literals;
-  literals.reserve(n / 4);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j > 0 && bytes[j] == bytes[j - 1]) {
-      repeat_bits[j / 8] = static_cast<Byte>(repeat_bits[j / 8] | (1u << (j % 8)));
+  ScratchArena::Lease repeat_lease;
+  Bytes& repeat_bits = *repeat_lease;
+  repeat_bits.assign((n + 7) / 8, Byte{0});
+  ScratchArena::Lease literal_lease;
+  Bytes& literals = *literal_lease;
+  literals.reserve(n);
+  literals.push_back(bytes[0]);  // byte 0 never repeats
+  for (std::size_t j = 1; j < n; ++j) {
+    if (bytes[j] == bytes[j - 1]) {
+      repeat_bits[j / 8] =
+          static_cast<Byte>(repeat_bits[j / 8] | (1u << (j % 8)));
     } else {
       literals.push_back(bytes[j]);
     }
@@ -54,34 +62,37 @@ inline void encode_bitmap_bytes(const std::vector<Byte>& bytes, Bytes& out,
   // No gain -> store raw. (varint + literals + sub-bitmap must beat n.)
   if (literals.size() + repeat_bits.size() + 4 >= n) {
     out.push_back(Byte{0});
-    append(out, ByteSpan(bytes.data(), n));
+    append(out, bytes);
     return;
   }
 
   out.push_back(Byte{1});
   put_varint(out, literals.size());
   append(out, ByteSpan(literals.data(), literals.size()));
-  encode_bitmap_bytes(repeat_bits, out, depth + 1);
+  encode_bitmap_bytes(ByteSpan(repeat_bits.data(), repeat_bits.size()), out,
+                      depth + 1);
 }
 
-/// Recursively decode `n` bytes from `in` at `pos` (advancing `pos`).
-inline std::vector<Byte> decode_bitmap_bytes(ByteSpan in, std::size_t& pos,
-                                             std::size_t n, int depth = 0) {
+/// Recursively decode `n` bytes from `in` at `pos` (advancing `pos`) into
+/// `bytes` (replaced; typically a ScratchArena lease held by the caller).
+inline void decode_bitmap_bytes(ByteSpan in, std::size_t& pos, std::size_t n,
+                                Bytes& bytes, int depth = 0) {
   LC_DECODE_REQUIRE(depth <= kBitmapMaxDepth, "bitmap recursion too deep");
-  LC_DECODE_REQUIRE(pos < in.size() || n == 0, "bitmap flag truncated");
+  bytes.clear();
   if (n == 0) {
     // Even empty levels carry their flag byte for framing consistency.
     LC_DECODE_REQUIRE(pos < in.size(), "bitmap flag truncated");
     ++pos;
-    return {};
+    return;
   }
+  LC_DECODE_REQUIRE(pos < in.size(), "bitmap flag truncated");
   const Byte flag = in[pos++];
   if (flag == 0) {
     LC_DECODE_REQUIRE(pos + n <= in.size(), "raw bitmap truncated");
-    std::vector<Byte> bytes(in.begin() + static_cast<std::ptrdiff_t>(pos),
-                            in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    bytes.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                 in.begin() + static_cast<std::ptrdiff_t>(pos + n));
     pos += n;
-    return bytes;
+    return;
   }
   LC_DECODE_REQUIRE(flag == 1, "bad bitmap flag");
 
@@ -91,10 +102,11 @@ inline std::vector<Byte> decode_bitmap_bytes(ByteSpan in, std::size_t& pos,
   const ByteSpan literals = in.subspan(pos, static_cast<std::size_t>(lit_count));
   pos += static_cast<std::size_t>(lit_count);
 
-  const std::vector<Byte> repeat_bits =
-      decode_bitmap_bytes(in, pos, (n + 7) / 8, depth + 1);
+  ScratchArena::Lease repeat_lease;
+  Bytes& repeat_bits = *repeat_lease;
+  decode_bitmap_bytes(in, pos, (n + 7) / 8, repeat_bits, depth + 1);
 
-  std::vector<Byte> bytes(n);
+  bytes.resize(n);
   std::size_t next_literal = 0;
   for (std::size_t j = 0; j < n; ++j) {
     const bool repeats = (repeat_bits[j / 8] >> (j % 8)) & 1;
@@ -107,24 +119,10 @@ inline std::vector<Byte> decode_bitmap_bytes(ByteSpan in, std::size_t& pos,
     }
   }
   LC_DECODE_REQUIRE(next_literal == lit_count, "bitmap literals left over");
-  return bytes;
 }
 
-/// Pack a vector<bool>-style bit list (bit t of the reducer's word bitmap)
-/// into bytes, LSB-first within each byte.
-inline std::vector<Byte> pack_bits(const std::vector<bool>& bits) {
-  std::vector<Byte> bytes((bits.size() + 7) / 8, Byte{0});
-  for (std::size_t t = 0; t < bits.size(); ++t) {
-    if (bits[t]) {
-      bytes[t / 8] = static_cast<Byte>(bytes[t / 8] | (1u << (t % 8)));
-    }
-  }
-  return bytes;
-}
-
-/// Read bit t from packed bytes.
-[[nodiscard]] inline bool bit_at(const std::vector<Byte>& bytes,
-                                 std::size_t t) {
+/// Read bit t from packed bytes (LSB-first within each byte).
+[[nodiscard]] inline bool bit_at(const Bytes& bytes, std::size_t t) {
   return (bytes[t / 8] >> (t % 8)) & 1;
 }
 

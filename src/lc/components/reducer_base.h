@@ -70,6 +70,15 @@ class ReducerBase : public Component {
     out.resize(at + sizeof(T));
     store_word<T>(out.data() + at, v);
   }
+
+  /// Grow `out` by `count` words in one resize and return the base of the
+  /// new region, so decoders can store by index instead of growing the
+  /// vector once per word.
+  static Byte* grow_words(Bytes& out, std::size_t count) {
+    const std::size_t at = out.size();
+    out.resize(at + count * sizeof(T));
+    return out.data() + at;
+  }
 };
 
 }  // namespace lc::detail

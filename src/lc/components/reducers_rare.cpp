@@ -12,7 +12,9 @@
 ///
 /// Stream layout (after ReducerBase framing):
 ///   byte    k  (0..B)
-///   k == 0: bit-packed words at B bits each (the degenerate "store" case)
+///   k == 0: bit-packed words at B bits each (the degenerate "store" case;
+///           B-bit packing of B-bit words is byte-identical to the raw
+///           little-endian word bytes, so both ends use plain memcpy)
 ///   k >  0: varint literal count,
 ///           recursively compressed bitmap of `count` bits
 ///             (RARE: bit t <=> upper-k of word t equals upper-k of t-1;
@@ -21,10 +23,11 @@
 ///           all lower values (B-k bits each)
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/bitpack.h"
 #include "common/bits.h"
 #include "common/varint.h"
@@ -58,20 +61,20 @@ class RareComponent final : public detail::ReducerBase<T> {
     // where agreement depth >= k  <=>  the word is droppable at split k.
     //   RARE: c = leading identical bits vs the previous word
     //   RAZE: c = leading zero bits
-    std::vector<std::size_t> hist(static_cast<std::size_t>(B) + 1, 0);
-    for (std::size_t t = 0; t < n; ++t) {
-      int c;
-      if constexpr (kKind == SplitKind::kRepeat) {
-        if (t == 0) continue;  // word 0 never repeats
+    std::size_t hist[B + 1] = {};
+    if constexpr (kKind == SplitKind::kRepeat) {
+      for (std::size_t t = 1; t < n; ++t) {
         const T x = static_cast<T>(v.word(t) ^ v.word(t - 1));
-        c = (x == 0) ? B : leading_zeros<T>(x);
-      } else {
-        c = leading_zeros<T>(v.word(t));
+        const int c = (x == 0) ? B : leading_zeros<T>(x);
+        ++hist[static_cast<std::size_t>(c)];
       }
-      ++hist[static_cast<std::size_t>(c)];
+    } else {
+      for (std::size_t t = 0; t < n; ++t) {
+        ++hist[static_cast<std::size_t>(leading_zeros<T>(v.word(t)))];
+      }
     }
     // droppable(k) = #words with agreement depth >= k  (suffix sums).
-    std::vector<std::size_t> droppable(static_cast<std::size_t>(B) + 2, 0);
+    std::size_t droppable[B + 2] = {};
     for (int k = B; k >= 0; --k) {
       droppable[k] = droppable[k + 1] + hist[k];
     }
@@ -91,35 +94,50 @@ class RareComponent final : public detail::ReducerBase<T> {
 
     out.push_back(static_cast<Byte>(best_k));
     if (best_k == 0) {
-      BitWriter bw(out);
-      for (std::size_t t = 0; t < n; ++t) {
-        bw.put(static_cast<std::uint64_t>(v.word(t)), B);
-      }
-      bw.finish();
+      // B-bit packing == the raw little-endian word bytes.
+      append(out, ByteSpan(v.data, n * sizeof(T)));
       return;
     }
 
     const int k = best_k;
     const int low_bits = B - k;
-    std::vector<bool> drop(n, false);
-    std::vector<std::uint64_t> literal_uppers;
-    literal_uppers.reserve(n);
-    T prev_upper = 0;
-    for (std::size_t t = 0; t < n; ++t) {
-      const T upper = static_cast<T>(v.word(t) >> low_bits);
-      if constexpr (kKind == SplitKind::kRepeat) {
-        drop[t] = (t > 0 && upper == prev_upper);
-      } else {
-        drop[t] = (upper == T{0});
+
+    // Byte-wide drop mask on the upper-k values (vectorizable compare).
+    ScratchArena::Lease mask_lease;
+    Bytes& drop = *mask_lease;
+    drop.resize(n);
+    if constexpr (kKind == SplitKind::kRepeat) {
+      drop[0] = Byte{0};
+      for (std::size_t t = 1; t < n; ++t) {
+        const T x = static_cast<T>(v.word(t) ^ v.word(t - 1));
+        drop[t] = static_cast<Byte>(static_cast<T>(x >> low_bits) == T{0});
       }
-      if (!drop[t]) literal_uppers.push_back(static_cast<std::uint64_t>(upper));
-      prev_upper = upper;
+    } else {
+      for (std::size_t t = 0; t < n; ++t) {
+        drop[t] =
+            static_cast<Byte>(static_cast<T>(v.word(t) >> low_bits) == T{0});
+      }
+    }
+    std::size_t lit_count = 0;
+    for (std::size_t t = 0; t < n; ++t) lit_count += drop[t] == Byte{0};
+
+    ScratchArena::Lease bits_lease;
+    Bytes& drop_bits = *bits_lease;
+    drop_bits.assign((n + 7) / 8, Byte{0});
+    for (std::size_t t = 0; t < n; ++t) {
+      drop_bits[t / 8] =
+          static_cast<Byte>(drop_bits[t / 8] | ((drop[t] & 1u) << (t % 8)));
     }
 
-    put_varint(out, literal_uppers.size());
-    detail::encode_bitmap_bytes(detail::pack_bits(drop), out);
+    put_varint(out, lit_count);
+    detail::encode_bitmap_bytes(ByteSpan(drop_bits.data(), drop_bits.size()),
+                                out);
     BitWriter bw(out);
-    for (const std::uint64_t u : literal_uppers) bw.put(u, k);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (drop[t] == Byte{0}) {
+        bw.put(static_cast<std::uint64_t>(v.word(t) >> low_bits), k);
+      }
+    }
     if (low_bits > 0) {
       const T low_mask = static_cast<T>((T(~T{0})) >> k);
       for (std::size_t t = 0; t < n; ++t) {
@@ -139,46 +157,55 @@ class RareComponent final : public detail::ReducerBase<T> {
     if (count == 0) return;
 
     if (k == 0) {
-      BitReader br(payload.subspan(pos));
-      for (std::size_t t = 0; t < count; ++t) {
-        this->push_word(out, static_cast<T>(br.get(B)));
-      }
+      LC_DECODE_REQUIRE(pos + count * sizeof(T) <= payload.size(),
+                        "bit stream truncated");
+      append(out, payload.subspan(pos, count * sizeof(T)));
       return;
     }
 
     const int low_bits = B - k;
     const std::uint64_t lit_count = get_varint(payload, pos);
     LC_DECODE_REQUIRE(lit_count <= count, "RARE literal count too large");
-    const std::vector<Byte> bitmap =
-        detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8);
+    ScratchArena::Lease bitmap_lease;
+    Bytes& bitmap = *bitmap_lease;
+    detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8, bitmap);
 
     BitReader br(payload.subspan(pos));
-    std::vector<T> uppers(count);
+    ScratchArena::Lease uppers_lease;
+    Bytes& uppers_bytes = *uppers_lease;
+    uppers_bytes.resize(count * sizeof(T));
+    Byte* uppers = uppers_bytes.data();
     std::uint64_t used = 0;
     T prev_upper = 0;
     for (std::size_t t = 0; t < count; ++t) {
+      T u;
       if (detail::bit_at(bitmap, t)) {
         if constexpr (kKind == SplitKind::kRepeat) {
           LC_DECODE_REQUIRE(t > 0, "RARE word 0 marked repeating");
-          uppers[t] = prev_upper;
+          u = prev_upper;
         } else {
-          uppers[t] = T{0};
+          u = T{0};
         }
       } else {
         LC_DECODE_REQUIRE(used < lit_count, "RARE literal uppers exhausted");
-        uppers[t] = static_cast<T>(br.get(k));
+        u = static_cast<T>(br.get(k));
         ++used;
       }
-      prev_upper = uppers[t];
+      store_word<T>(uppers + t * sizeof(T), u);
+      prev_upper = u;
     }
     LC_DECODE_REQUIRE(used == lit_count, "RARE literal uppers left over");
 
-    for (std::size_t t = 0; t < count; ++t) {
-      T w = static_cast<T>(uppers[t] << low_bits);
-      if (low_bits > 0) {
-        w = static_cast<T>(w | static_cast<T>(br.get(low_bits)));
+    Byte* dst = this->grow_words(out, count);
+    if (low_bits > 0) {
+      for (std::size_t t = 0; t < count; ++t) {
+        const T u = load_word<T>(uppers + t * sizeof(T));
+        const T w = static_cast<T>(
+            static_cast<T>(u << low_bits) | static_cast<T>(br.get(low_bits)));
+        store_word<T>(dst + t * sizeof(T), w);
       }
-      this->push_word(out, w);
+    } else {
+      std::memcpy(dst, uppers, count * sizeof(T));
     }
   }
 };

@@ -14,15 +14,24 @@
 /// hit the fallback and decode for free) emerges from exactly this
 /// threshold.
 ///
+/// The encoder mirrors the GPU formulation's two phases: a branch-free
+/// neighbour-compare pass first materializes a byte mask (neq[i] = word i
+/// differs from word i-1 — the ballot the GPU takes per warp), which the
+/// compiler vectorizes; the token scan then walks the mask instead of
+/// re-comparing full words, and literal stretches are flushed with one
+/// memcpy since they are contiguous in the input.
+///
 /// Stream layout (after ReducerBase framing):
-///   per subchunk: varint section length, then tokens:
+///   per subchunk: u32 section length, then tokens:
 ///     varint repeat_count (>= 1), varint literal_count,
 ///     word run value, literal words
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <string>
 
+#include "common/arena.h"
 #include "common/varint.h"
 #include "lc/components/reducer_base.h"
 
@@ -47,17 +56,30 @@ class RleComponent final : public detail::ReducerBase<T> {
     const std::size_t n = v.count;
     if (n == 0) return;
     const std::size_t subchunks = std::min(kRleSubchunks, n);
-    Bytes section;
+
+    // Neighbour-compare pass over the whole chunk (vectorizable).
+    ScratchArena::Lease mask_lease;
+    Bytes& neq = *mask_lease;
+    neq.resize(n);
+    neq[0] = Byte{1};
+    for (std::size_t i = 1; i < n; ++i) {
+      neq[i] = static_cast<Byte>(v.word(i) != v.word(i - 1));
+    }
+
     for (std::size_t s = 0; s < subchunks; ++s) {
       const std::size_t lo = sub_begin(s, n, subchunks);
       const std::size_t hi = sub_begin(s + 1, n, subchunks);
-      section.clear();
-      encode_section(v, lo, hi, section);
       // Fixed-width section length: the GPU decoder builds its subchunk
       // offset table with a single coalesced load, so the prefix is a
-      // u32, not a varint.
-      append_le<std::uint32_t>(out, static_cast<std::uint32_t>(section.size()));
-      append(out, ByteSpan(section.data(), section.size()));
+      // u32, not a varint. Emitted as a placeholder and patched once the
+      // section body is in place — sections are built directly in `out`.
+      const std::size_t len_at = out.size();
+      append_le<std::uint32_t>(out, 0);
+      const std::size_t body_at = out.size();
+      encode_section(v, lo, hi, neq, out);
+      const std::uint32_t len =
+          static_cast<std::uint32_t>(out.size() - body_at);
+      std::memcpy(out.data() + len_at, &len, sizeof(len));  // little-endian
     }
   }
 
@@ -65,6 +87,7 @@ class RleComponent final : public detail::ReducerBase<T> {
                     Bytes& out) const override {
     if (count == 0) return;
     const std::size_t subchunks = std::min(kRleSubchunks, count);
+    Byte* dst = this->grow_words(out, count);
     std::size_t pos = 0;
     for (std::size_t s = 0; s < subchunks; ++s) {
       const std::size_t lo = sub_begin(s, count, subchunks);
@@ -75,40 +98,48 @@ class RleComponent final : public detail::ReducerBase<T> {
       LC_DECODE_REQUIRE(pos + section_len <= payload.size(),
                         "RLE section truncated");
       decode_section(payload.subspan(pos, static_cast<std::size_t>(section_len)),
-                     hi - lo, out);
+                     hi - lo, dst + lo * sizeof(T));
       pos += static_cast<std::size_t>(section_len);
     }
   }
 
  private:
   void encode_section(const detail::WordView<T>& v, std::size_t lo,
-                      std::size_t hi, Bytes& out) const {
+                      std::size_t hi, const Bytes& neq, Bytes& out) const {
+    // Token boundaries are located with memchr on the 0/1 mask: a run ends
+    // at the next 1 (next value change), a literal stretch ends just
+    // before the next 0 (next repeat pair). memchr scans wide, so the
+    // token walk costs far less than re-comparing words.
+    const Byte* mask = neq.data();
     std::size_t pos = lo;
     while (pos < hi) {
-      // Maximal run at pos (within the subchunk).
-      const T value = v.word(pos);
-      std::size_t run = 1;
-      while (pos + run < hi && v.word(pos + run) == value) ++run;
+      // Maximal run at pos: the value repeats while the mask stays 0.
+      std::size_t run_end = hi;
+      if (const void* p = std::memchr(mask + pos + 1, 1, hi - pos - 1)) {
+        run_end = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
+      }
 
       // Literal stretch: values after the run until the next run of >= 2.
-      const std::size_t lit_begin = pos + run;
-      std::size_t lit_end = lit_begin;
-      while (lit_end < hi &&
-             !(lit_end + 1 < hi && v.word(lit_end + 1) == v.word(lit_end))) {
-        ++lit_end;
+      std::size_t lit_end = hi;
+      if (run_end < hi) {
+        if (const void* p =
+                std::memchr(mask + run_end + 1, 0, hi - run_end - 1)) {
+          lit_end =
+              static_cast<std::size_t>(static_cast<const Byte*>(p) - mask) - 1;
+        }
       }
 
-      put_varint(out, run);
-      put_varint(out, lit_end - lit_begin);
-      this->push_word(out, value);
-      for (std::size_t i = lit_begin; i < lit_end; ++i) {
-        this->push_word(out, v.word(i));
-      }
+      put_varint(out, run_end - pos);
+      put_varint(out, lit_end - run_end);
+      this->push_word(out, v.word(pos));
+      // Literal words are contiguous in the input: flush them in one copy.
+      append(out, ByteSpan(v.data + run_end * sizeof(T),
+                           (lit_end - run_end) * sizeof(T)));
       pos = lit_end;
     }
   }
 
-  void decode_section(ByteSpan payload, std::size_t count, Bytes& out) const {
+  void decode_section(ByteSpan payload, std::size_t count, Byte* dst) const {
     std::size_t pos = 0;
     std::size_t produced = 0;
     while (produced < count) {
@@ -121,11 +152,14 @@ class RleComponent final : public detail::ReducerBase<T> {
                         "RLE payload truncated");
       const T value = load_word<T>(payload.data() + pos);
       pos += sizeof(T);
-      for (std::uint64_t i = 0; i < run; ++i) this->push_word(out, value);
-      for (std::uint64_t i = 0; i < lits; ++i) {
-        this->push_word(out, load_word<T>(payload.data() + pos));
-        pos += sizeof(T);
+      Byte* p = dst + produced * sizeof(T);
+      for (std::uint64_t i = 0; i < run; ++i) {
+        store_word<T>(p + i * sizeof(T), value);
       }
+      p += static_cast<std::size_t>(run) * sizeof(T);
+      std::memcpy(p, payload.data() + pos,
+                  static_cast<std::size_t>(lits) * sizeof(T));
+      pos += static_cast<std::size_t>(lits) * sizeof(T);
       produced += static_cast<std::size_t>(run + lits);
     }
     LC_DECODE_REQUIRE(pos == payload.size(), "RLE section has trailing bytes");

@@ -7,15 +7,22 @@
 /// (see bitmap_codec.h). RZE_i is identical except the bitmap marks zero
 /// words, and zero words are dropped.
 ///
+/// The encoder runs the GPU's two phases explicitly: a branch-free
+/// compare pass materializes a per-word drop mask (the warp ballot) that
+/// the compiler vectorizes, then a compaction pass copies the kept words —
+/// in contiguous stretches, since dropped words only interrupt, never
+/// reorder, the survivors.
+///
 /// Stream layout (after ReducerBase framing):
 ///   varint  literal word count
 ///   words   literal (non-repeating / non-zero) words
 ///   bytes   recursively compressed bitmap of `count` bits
 
+#include <cstring>
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/varint.h"
 #include "lc/components/bitmap_codec.h"
 #include "lc/components/reducer_base.h"
@@ -37,21 +44,54 @@ class RreComponent final : public detail::ReducerBase<T> {
  protected:
   void encode_words(const detail::WordView<T>& v, Bytes& out) const override {
     const std::size_t n = v.count;
-    std::vector<bool> dropped(n, false);
-    std::vector<T> literals;
-    literals.reserve(n);
-    for (std::size_t t = 0; t < n; ++t) {
-      const T w = v.word(t);
-      const bool drop = (kKind == BitmapKind::kRepeat)
-                            ? (t > 0 && w == v.word(t - 1))
-                            : (w == T{0});
-      dropped[t] = drop;
-      if (!drop) literals.push_back(w);
+
+    // Phase 1: byte-wide drop mask (vectorizable), then pack it to bits.
+    ScratchArena::Lease mask_lease;
+    Bytes& drop = *mask_lease;
+    drop.resize(n);
+    std::size_t kept = 0;
+    if (n > 0) {
+      if constexpr (kKind == BitmapKind::kRepeat) {
+        drop[0] = Byte{0};
+        for (std::size_t t = 1; t < n; ++t) {
+          drop[t] = static_cast<Byte>(v.word(t) == v.word(t - 1));
+        }
+      } else {
+        for (std::size_t t = 0; t < n; ++t) {
+          drop[t] = static_cast<Byte>(v.word(t) == T{0});
+        }
+      }
+      for (std::size_t t = 0; t < n; ++t) kept += drop[t] == Byte{0};
     }
 
-    put_varint(out, literals.size());
-    for (const T w : literals) this->push_word(out, w);
-    detail::encode_bitmap_bytes(detail::pack_bits(dropped), out);
+    ScratchArena::Lease bits_lease;
+    Bytes& drop_bits = *bits_lease;
+    drop_bits.assign((n + 7) / 8, Byte{0});
+    for (std::size_t t = 0; t < n; ++t) {
+      drop_bits[t / 8] =
+          static_cast<Byte>(drop_bits[t / 8] | ((drop[t] & 1u) << (t % 8)));
+    }
+
+    // Phase 2: compact the kept words, flushing contiguous stretches
+    // (memchr on the 0/1 mask finds both stretch boundaries).
+    put_varint(out, kept);
+    const Byte* mask = drop.data();
+    std::size_t t = 0;
+    while (t < n) {
+      if (mask[t] != Byte{0}) {
+        const void* p = std::memchr(mask + t, 0, n - t);
+        if (p == nullptr) break;
+        t = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
+      }
+      std::size_t end = n;
+      if (const void* p = std::memchr(mask + t, 1, n - t)) {
+        end = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
+      }
+      append(out, ByteSpan(v.data + t * sizeof(T), (end - t) * sizeof(T)));
+      t = end;
+    }
+    detail::encode_bitmap_bytes(ByteSpan(drop_bits.data(), drop_bits.size()),
+                                out);
   }
 
   void decode_words(ByteSpan payload, std::size_t count,
@@ -64,9 +104,11 @@ class RreComponent final : public detail::ReducerBase<T> {
     const std::size_t lit_base = pos;
     pos += static_cast<std::size_t>(lit_count) * sizeof(T);
 
-    const std::vector<Byte> bitmap =
-        detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8);
+    ScratchArena::Lease bitmap_lease;
+    Bytes& bitmap = *bitmap_lease;
+    detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8, bitmap);
 
+    Byte* dst = this->grow_words(out, count);
     std::size_t next_literal = 0;
     T prev{};
     for (std::size_t t = 0; t < count; ++t) {
@@ -84,7 +126,7 @@ class RreComponent final : public detail::ReducerBase<T> {
                          next_literal * sizeof(T));
         ++next_literal;
       }
-      this->push_word(out, w);
+      store_word<T>(dst + t * sizeof(T), w);
       prev = w;
     }
     LC_DECODE_REQUIRE(next_literal == lit_count, "unused literal words");

@@ -1,0 +1,148 @@
+// ScratchArena contract tests (docs/PERFORMANCE.md): buffer reuse, lease
+// RAII and nesting, and — via poison() — proof that codec outputs never
+// depend on stale bytes left in arena buffers by earlier leases.
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "common/hash.h"
+#include "lc/codec.h"
+#include "lc/pipeline.h"
+
+namespace lc {
+namespace {
+
+TEST(ScratchArena, LeaseReusesTheSameBuffer) {
+  ScratchArena arena;
+  Bytes* first = nullptr;
+  {
+    ScratchArena::Lease lease(arena);
+    first = &lease.get();
+    lease->assign(4096, Byte{0xAA});
+  }
+  EXPECT_EQ(arena.slots(), 1u);
+  EXPECT_EQ(arena.outstanding(), 0u);
+  {
+    // The returned buffer comes back cleared but with capacity retained.
+    ScratchArena::Lease lease(arena);
+    EXPECT_EQ(&lease.get(), first);
+    EXPECT_TRUE(lease->empty());
+    EXPECT_GE(lease->capacity(), 4096u);
+  }
+  EXPECT_EQ(arena.slots(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), 4096u);
+}
+
+TEST(ScratchArena, NestedLeasesGetDistinctBuffers) {
+  ScratchArena arena;
+  ScratchArena::Lease a(arena);
+  ScratchArena::Lease b(arena);
+  ScratchArena::Lease c(arena);
+  EXPECT_NE(&a.get(), &b.get());
+  EXPECT_NE(&b.get(), &c.get());
+  EXPECT_NE(&a.get(), &c.get());
+  EXPECT_EQ(arena.slots(), 3u);
+  EXPECT_EQ(arena.outstanding(), 3u);
+}
+
+TEST(ScratchArena, OutOfOrderReleaseIsFine) {
+  ScratchArena arena;
+  Bytes& a = arena.acquire();
+  Bytes& b = arena.acquire();
+  arena.release(a);  // release in acquisition order, not reverse
+  arena.release(b);
+  EXPECT_EQ(arena.outstanding(), 0u);
+  EXPECT_EQ(arena.slots(), 2u);
+}
+
+TEST(ScratchArena, MovedFromLeaseDoesNotDoubleRelease) {
+  ScratchArena arena;
+  {
+    ScratchArena::Lease a(arena);
+    ScratchArena::Lease b(std::move(a));
+    b->push_back(Byte{1});
+    EXPECT_EQ(arena.outstanding(), 1u);
+  }
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(ScratchArena, SwappingALeasedBufferIsAllowed) {
+  ScratchArena arena;
+  Bytes external(100, Byte{7});
+  {
+    ScratchArena::Lease lease(arena);
+    lease->assign(50, Byte{1});
+    lease->swap(external);
+    EXPECT_EQ(external.size(), 50u);  // caller keeps what it swapped out
+  }
+  // The arena kept the swapped-in allocation and cleared it on release.
+  ScratchArena::Lease again(arena);
+  EXPECT_TRUE(again->empty());
+  EXPECT_GE(again->capacity(), 100u);
+}
+
+TEST(ScratchArena, TrimReleasesFreeMemory) {
+  ScratchArena arena;
+  {
+    ScratchArena::Lease lease(arena);
+    lease->assign(1 << 16, Byte{0});
+  }
+  ASSERT_GE(arena.bytes_reserved(), std::size_t{1} << 16);
+  arena.trim();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+/// Encode -> decode -> re-encode of the same input through the same
+/// (thread-local) arena must be byte-identical: the second encode runs
+/// entirely on warm, previously-used buffers.
+TEST(ScratchArena, WarmReencodeIsBitExact) {
+  SplitMix rng(11);
+  Bytes data(40000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Mildly compressible: low-entropy high bytes.
+    data[i] = static_cast<Byte>(rng.next() % 7);
+  }
+  const Pipeline p = Pipeline::parse("DIFF_4 BIT_4 RLE_1");
+
+  const Bytes packed1 = compress(p, ByteSpan(data.data(), data.size()));
+  const Bytes unpacked =
+      decompress(ByteSpan(packed1.data(), packed1.size()));
+  EXPECT_EQ(unpacked, data);
+  const Bytes packed2 = compress(p, ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(packed1, packed2);
+}
+
+/// Dirty-arena test: poison every free buffer with 0xCD between uses and
+/// prove stale bytes never leak into encoder output or decoded data.
+TEST(ScratchArena, PoisonedBuffersNeverLeakIntoOutputs) {
+  SplitMix rng(13);
+  Bytes data(3 * kChunkSize + 123);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<Byte>(rng.next() % 11);
+  }
+  const char* specs[] = {"RLE_2", "RRE_4 RZE_4 RARE_2", "DIFFMS_4 BIT_1",
+                         "HCLOG_4 TCMS_2 RAZE_8", "TUPL4_2 CLOG_4"};
+  // A one-worker pool makes parallel_for run inline, so every encode and
+  // decode uses *this* thread's arena — the one being poisoned.
+  ThreadPool pool(1);
+  ScratchArena& arena = ScratchArena::local();
+  for (const char* spec : specs) {
+    const Pipeline p = Pipeline::parse(spec);
+    // Reference container on a clean first pass.
+    const Bytes want = compress(p, ByteSpan(data.data(), data.size()), pool);
+    for (int round = 0; round < 3; ++round) {
+      arena.poison(Byte{0xCD});
+      const Bytes got = compress(p, ByteSpan(data.data(), data.size()), pool);
+      EXPECT_EQ(got, want) << spec << " round " << round;
+      arena.poison(Byte{0xCD});
+      const Bytes back = decompress(ByteSpan(got.data(), got.size()), pool);
+      EXPECT_EQ(back, data) << spec << " round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lc

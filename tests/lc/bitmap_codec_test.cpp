@@ -10,12 +10,13 @@
 namespace lc::detail {
 namespace {
 
-std::vector<Byte> roundtrip(const std::vector<Byte>& bytes) {
+Bytes roundtrip(const Bytes& bytes) {
   Bytes encoded;
-  encode_bitmap_bytes(bytes, encoded);
+  encode_bitmap_bytes(ByteSpan(bytes.data(), bytes.size()), encoded);
   std::size_t pos = 0;
-  const std::vector<Byte> decoded = decode_bitmap_bytes(
-      ByteSpan(encoded.data(), encoded.size()), pos, bytes.size());
+  Bytes decoded;
+  decode_bitmap_bytes(ByteSpan(encoded.data(), encoded.size()), pos,
+                      bytes.size(), decoded);
   EXPECT_EQ(pos, encoded.size()) << "codec must consume exactly its bytes";
   return decoded;
 }
@@ -25,36 +26,36 @@ TEST(BitmapCodec, EmptyBitmap) {
 }
 
 TEST(BitmapCodec, TinyBitmapsStoredRaw) {
-  const std::vector<Byte> bytes = {1, 2, 3};
+  const Bytes bytes = {1, 2, 3};
   Bytes encoded;
-  encode_bitmap_bytes(bytes, encoded);
+  encode_bitmap_bytes(ByteSpan(bytes.data(), bytes.size()), encoded);
   ASSERT_EQ(encoded.size(), 4u);  // flag + 3 raw bytes
   EXPECT_EQ(encoded[0], 0);       // raw flag
   EXPECT_EQ(roundtrip(bytes), bytes);
 }
 
 TEST(BitmapCodec, AllZeroBitmapCompressesRecursively) {
-  const std::vector<Byte> bytes(2048, Byte{0});
+  const Bytes bytes(2048, Byte{0});
   Bytes encoded;
-  encode_bitmap_bytes(bytes, encoded);
+  encode_bitmap_bytes(ByteSpan(bytes.data(), bytes.size()), encoded);
   EXPECT_LT(encoded.size(), 64u) << "uniform bitmap must shrink drastically";
   EXPECT_EQ(roundtrip(bytes), bytes);
 }
 
 TEST(BitmapCodec, AllOneBitmapCompresses) {
-  const std::vector<Byte> bytes(2048, Byte{0xFF});
+  const Bytes bytes(2048, Byte{0xFF});
   Bytes encoded;
-  encode_bitmap_bytes(bytes, encoded);
+  encode_bitmap_bytes(ByteSpan(bytes.data(), bytes.size()), encoded);
   EXPECT_LT(encoded.size(), 64u);
   EXPECT_EQ(roundtrip(bytes), bytes);
 }
 
 TEST(BitmapCodec, IncompressibleBitmapBarelyExpands) {
   SplitMix rng(3);
-  std::vector<Byte> bytes(2048);
+  Bytes bytes(2048);
   for (auto& b : bytes) b = static_cast<Byte>(rng.next());
   Bytes encoded;
-  encode_bitmap_bytes(bytes, encoded);
+  encode_bitmap_bytes(ByteSpan(bytes.data(), bytes.size()), encoded);
   EXPECT_LE(encoded.size(), bytes.size() + 8);
   EXPECT_EQ(roundtrip(bytes), bytes);
 }
@@ -62,7 +63,7 @@ TEST(BitmapCodec, IncompressibleBitmapBarelyExpands) {
 TEST(BitmapCodec, SparseBitmapRoundTrips) {
   SplitMix rng(5);
   for (int trial = 0; trial < 20; ++trial) {
-    std::vector<Byte> bytes(1 + rng.next_below(4000), Byte{0});
+    Bytes bytes(1 + rng.next_below(4000), Byte{0});
     for (std::size_t i = 0; i < bytes.size() / 50 + 1; ++i) {
       bytes[rng.next_below(bytes.size())] = static_cast<Byte>(rng.next());
     }
@@ -71,13 +72,14 @@ TEST(BitmapCodec, SparseBitmapRoundTrips) {
 }
 
 TEST(BitmapCodec, TruncationThrows) {
-  const std::vector<Byte> bytes(512, Byte{0xAB});
+  const Bytes bytes(512, Byte{0xAB});
   Bytes encoded;
-  encode_bitmap_bytes(bytes, encoded);
+  encode_bitmap_bytes(ByteSpan(bytes.data(), bytes.size()), encoded);
   for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
     std::size_t pos = 0;
-    EXPECT_THROW((void)decode_bitmap_bytes(ByteSpan(encoded.data(), keep),
-                                           pos, bytes.size()),
+    Bytes decoded;
+    EXPECT_THROW(decode_bitmap_bytes(ByteSpan(encoded.data(), keep), pos,
+                                     bytes.size(), decoded),
                  CorruptDataError)
         << keep;
   }
@@ -86,20 +88,17 @@ TEST(BitmapCodec, TruncationThrows) {
 TEST(BitmapCodec, BadFlagThrows) {
   Bytes encoded = {Byte{7}, Byte{0}, Byte{0}};  // flag must be 0 or 1
   std::size_t pos = 0;
-  EXPECT_THROW((void)decode_bitmap_bytes(
-                   ByteSpan(encoded.data(), encoded.size()), pos, 64),
+  Bytes decoded;
+  EXPECT_THROW(decode_bitmap_bytes(ByteSpan(encoded.data(), encoded.size()),
+                                   pos, 64, decoded),
                CorruptDataError);
 }
 
-TEST(BitmapCodec, PackBitsAndBitAt) {
-  std::vector<bool> bits(19, false);
-  bits[0] = bits[7] = bits[8] = bits[18] = true;
-  const std::vector<Byte> packed = pack_bits(bits);
-  ASSERT_EQ(packed.size(), 3u);
-  EXPECT_EQ(packed[0], 0x81);  // bits 0 and 7
-  EXPECT_EQ(packed[1], 0x01);  // bit 8
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    EXPECT_EQ(bit_at(packed, i), bits[i]) << i;
+TEST(BitmapCodec, BitAt) {
+  // Packed LSB-first: bits 0, 7, 8 and 18 set.
+  const Bytes packed = {Byte{0x81}, Byte{0x01}, Byte{0x04}};
+  for (std::size_t i = 0; i < 19; ++i) {
+    EXPECT_EQ(bit_at(packed, i), i == 0 || i == 7 || i == 8 || i == 18) << i;
   }
 }
 

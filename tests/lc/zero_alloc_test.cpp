@@ -1,0 +1,138 @@
+// Counting-allocator proof of the zero-allocation hot-path contract
+// (docs/PERFORMANCE.md): once buffers and the thread's ScratchArena are
+// warm, a sweep stage evaluation, a component encode/decode, and the
+// chunk codec paths perform zero heap allocations.
+//
+// The global operator new is replaced with a counting malloc passthrough
+// gated on a thread_local flag, so only the windows between start()/stop()
+// on this thread are counted and the rest of the test binary is
+// unaffected.
+
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "charlab/stage_eval.h"
+#include "common/arena.h"
+#include "common/hash.h"
+#include "lc/codec.h"
+#include "lc/pipeline.h"
+#include "lc/registry.h"
+
+namespace {
+thread_local bool g_counting = false;
+thread_local std::size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (g_counting) ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lc {
+namespace {
+
+void count_start() {
+  g_alloc_count = 0;
+  g_counting = true;
+}
+
+std::size_t count_stop() {
+  g_counting = false;
+  return g_alloc_count;
+}
+
+/// A 16 kB chunk with LC-friendly structure (runs, small deltas) so most
+/// components genuinely transform it rather than hitting trivial paths.
+Bytes make_chunk() {
+  SplitMix rng(29);
+  Bytes chunk(kChunkSize);
+  std::uint8_t v = 0;
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    if (rng.next() % 5 == 0) v = static_cast<std::uint8_t>(rng.next());
+    chunk[i] = static_cast<Byte>(v);
+  }
+  return chunk;
+}
+
+TEST(ZeroAlloc, StageEvaluationSteadyState) {
+  const Bytes chunk = make_chunk();
+  const ByteSpan in(chunk.data(), chunk.size());
+  const Registry& reg = Registry::instance();
+  Bytes out;
+  // Warm: grow `out` and the thread's arena to every component's
+  // high-water mark.
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& comp : reg.all()) {
+      (void)charlab::eval_stage(*comp, in, out);
+    }
+  }
+  for (const auto& comp : reg.all()) {
+    count_start();
+    const charlab::StageOutcome o = charlab::eval_stage(*comp, in, out);
+    const std::size_t allocs = count_stop();
+    EXPECT_EQ(allocs, 0u) << comp->name();
+    EXPECT_EQ(o.in, chunk.size()) << comp->name();
+  }
+}
+
+TEST(ZeroAlloc, ComponentEncodeAndDecodeSteadyState) {
+  const Bytes chunk = make_chunk();
+  const ByteSpan in(chunk.data(), chunk.size());
+  const Registry& reg = Registry::instance();
+  Bytes enc, dec;
+  for (const auto& comp : reg.all()) {
+    for (int round = 0; round < 3; ++round) {
+      comp->encode(in, enc);
+      comp->decode(ByteSpan(enc.data(), enc.size()), dec);
+    }
+    count_start();
+    comp->encode(in, enc);
+    comp->decode(ByteSpan(enc.data(), enc.size()), dec);
+    const std::size_t allocs = count_stop();
+    EXPECT_EQ(allocs, 0u) << comp->name();
+    ASSERT_EQ(dec.size(), chunk.size()) << comp->name();
+    EXPECT_TRUE(std::equal(dec.begin(), dec.end(), chunk.begin()))
+        << comp->name();
+  }
+}
+
+TEST(ZeroAlloc, ChunkCodecSteadyState) {
+  const Bytes chunk = make_chunk();
+  const ByteSpan in(chunk.data(), chunk.size());
+  const Pipeline p = Pipeline::parse("DIFF_4 BIT_4 RLE_1");
+  std::uint8_t mask = 0;
+  Bytes record, decoded;
+  for (int round = 0; round < 3; ++round) {
+    encode_chunk_into(p, in, mask, record);
+    decode_chunk(p, ByteSpan(record.data(), record.size()), mask,
+                 chunk.size(), decoded);
+  }
+  count_start();
+  encode_chunk_into(p, in, mask, record);
+  const std::size_t enc_allocs = count_stop();
+  EXPECT_EQ(enc_allocs, 0u);
+  count_start();
+  decode_chunk(p, ByteSpan(record.data(), record.size()), mask, chunk.size(),
+               decoded);
+  const std::size_t dec_allocs = count_stop();
+  EXPECT_EQ(dec_allocs, 0u);
+  ASSERT_EQ(decoded.size(), chunk.size());
+  EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(), chunk.begin()));
+}
+
+}  // namespace
+}  // namespace lc
