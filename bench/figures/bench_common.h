@@ -7,21 +7,34 @@
 ///      run computes it by actually executing all 62 components over the
 ///      memoized 107,632-pipeline space on the synthetic SP dataset, and
 ///      writes `lc_sweep_cache.bin`; subsequent binaries reload it;
-///   2. evaluates the gpusim timing model over the requested GPU /
-///      compiler / opt-level grid;
+///   2. obtains the (cached) timing grid — the modeled geomean throughput
+///      of every pipeline for all 44 (GPU, compiler, opt, direction)
+///      cells, evaluated once via the batched SoA evaluator and written
+///      to `lc_grid_cache.bin`; every other binary in the suite reloads
+///      it instead of re-running the cost model;
 ///   3. prints the figure's letter-value (boxen) table, and optionally a
 ///      CSV next to it.
 ///
 /// Environment knobs (all optional):
 ///   LC_SCALE   dataset size scale (default 1/64 of Table 3 sizes)
 ///   LC_CHUNKS  sampled 16 kB chunks per input (default 2)
+///   LC_JOBS    worker-thread cap for sweep + grid evaluation
+///              (default: hardware concurrency)
 ///   LC_CACHE   sweep cache path (default ./lc_sweep_cache.bin)
+///   LC_GRID_CACHE  timing-grid cache path (default ./lc_grid_cache.bin)
 ///   LC_INPUTS  comma-separated SP file subset (default: all 13)
 ///   LC_CSV     if set, also write <figure>.csv to this directory
 ///   LC_TELEMETRY  if 1, embed the telemetry metrics snapshot in every
 ///              figure report (and write <figure>.metrics.json next to
 ///              the CSV) — see docs/TELEMETRY.md
+///
+/// Malformed knobs (LC_SCALE=fast, LC_CHUNKS=0, LC_JOBS=-2, ...) are
+/// fatal with a message naming the knob — never silently reinterpreted
+/// (std::atof's silent 0.0 once turned "LC_SCALE=1/256" into a sweep of
+/// empty inputs).
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,17 +47,47 @@
 #include "charlab/grouping.h"
 #include "charlab/report.h"
 #include "charlab/sweep.h"
+#include "charlab/timing_grid.h"
+#include "common/error.h"
 #include "gpusim/compiler_model.h"
 #include "gpusim/gpu_model.h"
 #include "telemetry/telemetry.h"
 
 namespace lc::bench {
 
+[[noreturn]] inline void die_bad_env(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Strict double parse for env knobs: the full string must be consumed
+/// and the value finite and positive.
+inline double parse_env_double(const char* text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || !std::isfinite(value) ||
+      value <= 0.0) {
+    die_bad_env(std::string(what) + ": expected a positive number, got \"" +
+                text + "\"");
+  }
+  return value;
+}
+
 inline charlab::SweepConfig config_from_env() {
   charlab::SweepConfig config;
-  if (const char* s = std::getenv("LC_SCALE")) config.scale = std::atof(s);
-  if (const char* s = std::getenv("LC_CHUNKS")) {
-    config.chunks_per_input = static_cast<std::size_t>(std::atoll(s));
+  try {
+    // Validate LC_JOBS up front so a typo fails here, with a clear
+    // message, instead of deep inside the first ThreadPool::global() use.
+    (void)jobs_from_env();
+    if (const char* s = std::getenv("LC_SCALE")) {
+      config.scale = parse_env_double(s, "LC_SCALE");
+    }
+    if (const char* s = std::getenv("LC_CHUNKS")) {
+      config.chunks_per_input = parse_job_count(s, "LC_CHUNKS");
+    }
+  } catch (const Error& e) {
+    die_bad_env(e.what());
   }
   if (const char* s = std::getenv("LC_CACHE")) config.cache_path = s;
   if (const char* s = std::getenv("LC_INPUTS")) {
@@ -54,6 +97,12 @@ inline charlab::SweepConfig config_from_env() {
       if (!name.empty()) config.inputs.push_back(name);
     }
   }
+  return config;
+}
+
+inline charlab::TimingGrid::Config grid_config_from_env() {
+  charlab::TimingGrid::Config config;
+  if (const char* s = std::getenv("LC_GRID_CACHE")) config.cache_path = s;
   return config;
 }
 
@@ -75,35 +124,69 @@ inline const charlab::Sweep& shared_sweep() {
   return sweep;
 }
 
+/// The timing grid, evaluated once per process (and cached on disk across
+/// processes — the whole figure suite evaluates the cost model exactly
+/// once).
+inline const charlab::TimingGrid& shared_grid() {
+  static const charlab::TimingGrid grid = [] {
+    const charlab::TimingGrid::Config config = grid_config_from_env();
+    // Sequence the sweep (whose config_from_env validates the env knobs
+    // and dies cleanly on a bad one) before load_or_compute's default
+    // ThreadPool::global() argument — argument evaluation order is
+    // unspecified, and global() throws on a malformed LC_JOBS.
+    const charlab::Sweep& sweep = shared_sweep();
+    charlab::TimingGrid g = charlab::TimingGrid::load_or_compute(sweep, config);
+    std::fprintf(stderr, "[grid] 44 cells x %zu pipelines (%s %s)\n",
+                 g.num_pipelines(),
+                 g.loaded_from_cache() ? "reloaded from" : "evaluated into",
+                 config.cache_path.empty() ? "lc_grid_cache.bin"
+                                           : config.cache_path.c_str());
+    return g;
+  }();
+  return grid;
+}
+
 /// Geomean throughput of every pipeline for one execution context, in
-/// enumeration order (i1-major). ~107,632 values.
-inline std::vector<double> all_throughputs(const charlab::Sweep& sweep,
-                                           const gpusim::GpuSpec& gpu,
-                                           gpusim::Toolchain tc,
-                                           gpusim::OptLevel opt,
-                                           gpusim::Direction dir) {
-  std::vector<double> out;
-  out.reserve(sweep.num_pipelines());
-  for (std::size_t i1 = 0; i1 < sweep.num_components(); ++i1) {
-    for (std::size_t i2 = 0; i2 < sweep.num_components(); ++i2) {
-      for (std::size_t i3 = 0; i3 < sweep.num_reducers(); ++i3) {
-        out.push_back(sweep.geomean_throughput(i1, i2, i3, gpu, tc, opt, dir));
-      }
-    }
-  }
-  return out;
+/// enumeration order (i1-major). ~107,632 values, served from the shared
+/// grid without re-evaluating the cost model.
+inline const std::vector<double>& all_throughputs(const gpusim::GpuSpec& gpu,
+                                                  gpusim::Toolchain tc,
+                                                  gpusim::OptLevel opt,
+                                                  gpusim::Direction dir) {
+  return shared_grid().cell_values(gpu, tc, opt, dir);
 }
 
 inline void emit(const std::string& figure_id, const std::string& title,
                  const std::string& value_label,
                  const std::vector<charlab::Series>& series);
 
-/// A predicate over a pipeline's three components.
-using PipelinePredicate =
-    bool (*)(const Component& s1, const Component& s2, const Component& s3);
-
 /// Geomean throughputs of the pipelines matching `pred`, in enumeration
-/// order.
+/// order, filtered out of the shared grid.
+inline std::vector<double> throughputs_where(
+    const gpusim::GpuSpec& gpu, gpusim::Toolchain tc, gpusim::OptLevel opt,
+    gpusim::Direction dir,
+    const std::function<bool(const Component&, const Component&,
+                             const Component&)>& pred) {
+  const charlab::Sweep& sweep = shared_sweep();
+  const std::vector<double>& values = all_throughputs(gpu, tc, opt, dir);
+  std::vector<double> out;
+  std::size_t p = 0;
+  for (std::size_t i1 = 0; i1 < sweep.num_components(); ++i1) {
+    for (std::size_t i2 = 0; i2 < sweep.num_components(); ++i2) {
+      for (std::size_t i3 = 0; i3 < sweep.num_reducers(); ++i3, ++p) {
+        if (pred(sweep.component(i1), sweep.component(i2),
+                 sweep.reducer(i3))) {
+          out.push_back(values[p]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Overload for an explicit sweep that is NOT the shared one (e.g. the
+/// double-precision companion sweep) — evaluates per record, since the
+/// shared grid only covers the shared sweep.
 inline std::vector<double> throughputs_where(
     const charlab::Sweep& sweep, const gpusim::GpuSpec& gpu,
     gpusim::Toolchain tc, gpusim::OptLevel opt, gpusim::Direction dir,
@@ -124,6 +207,26 @@ inline std::vector<double> throughputs_where(
   return out;
 }
 
+/// One series per (GPU, toolchain legal on it) pair, grouped by GPU along
+/// the x-axis — the shape shared by Figs. 2/3 (throughputs) and 14/15
+/// (opt-level speedups). `values` maps a (gpu, toolchain) cell to the
+/// series population.
+inline std::vector<charlab::Series> gpu_compiler_series(
+    const std::function<std::vector<double>(const gpusim::GpuSpec&,
+                                            gpusim::Toolchain)>& values) {
+  std::vector<charlab::Series> series;
+  for (const gpusim::GpuSpec& gpu : gpusim::all_gpus()) {
+    for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
+      charlab::Series s;
+      s.group = gpu.name;
+      s.variant = gpusim::to_string(tc);
+      s.values = values(gpu, tc);
+      series.push_back(std::move(s));
+    }
+  }
+  return series;
+}
+
 /// Grouped-figure driver for the paper's Figs. 4-13: one subfigure per
 /// vendor (fastest tested GPU), one series per (group, compiler).
 struct FigureGroup {
@@ -132,11 +235,25 @@ struct FigureGroup {
       pred;
 };
 
+/// The "all three stages share word size w" groups of Figs. 4/5 and the
+/// DP companion figures.
+inline std::vector<FigureGroup> word_size_groups() {
+  std::vector<FigureGroup> groups;
+  for (const int w : {1, 2, 4, 8}) {
+    groups.push_back(
+        {std::to_string(w) + " B",
+         [w](const Component& s1, const Component& s2, const Component& s3) {
+           return s1.word_size() == w && s2.word_size() == w &&
+                  s3.word_size() == w;
+         }});
+  }
+  return groups;
+}
+
 inline void run_grouped_figure(const std::string& figure_id,
                                const std::string& title,
                                gpusim::Direction dir,
                                const std::vector<FigureGroup>& groups) {
-  const charlab::Sweep& sweep = shared_sweep();
   const gpusim::GpuSpec* gpus[] = {&gpusim::gpu_by_name("RTX 4090"),
                                    &gpusim::gpu_by_name("RX 7900 XTX")};
   const char* subfig[] = {"a", "b"};
@@ -148,8 +265,8 @@ inline void run_grouped_figure(const std::string& figure_id,
         charlab::Series s;
         s.group = group.label;
         s.variant = gpusim::to_string(tc);
-        s.values = throughputs_where(sweep, gpu, tc, gpusim::OptLevel::kO3,
-                                     dir, group.pred);
+        s.values = throughputs_where(gpu, tc, gpusim::OptLevel::kO3, dir,
+                                     group.pred);
         series.push_back(std::move(s));
       }
     }
@@ -171,8 +288,8 @@ inline const gpusim::GpuSpec& fastest_amd() {
 
 /// Emit the table, the optional CSV, and — when telemetry is on
 /// (LC_TELEMETRY=1) — the metrics snapshot that makes the run auditable:
-/// the snapshot records how many sweep encodes, simulate calls and cache
-/// checkpoints produced the figure.
+/// the snapshot records how many sweep encodes, grid cells and cache
+/// hits produced the figure.
 inline void emit(const std::string& figure_id, const std::string& title,
                  const std::string& value_label,
                  const std::vector<charlab::Series>& series) {

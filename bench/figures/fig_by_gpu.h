@@ -11,17 +11,10 @@ namespace lc::bench {
 
 inline void run_fig_by_gpu(const std::string& figure_id,
                            gpusim::Direction dir) {
-  const charlab::Sweep& sweep = shared_sweep();
-  std::vector<charlab::Series> series;
-  for (const gpusim::GpuSpec& gpu : gpusim::all_gpus()) {
-    for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
-      charlab::Series s;
-      s.group = gpu.name;
-      s.variant = gpusim::to_string(tc);
-      s.values = all_throughputs(sweep, gpu, tc, gpusim::OptLevel::kO3, dir);
-      series.push_back(std::move(s));
-    }
-  }
+  const std::vector<charlab::Series> series = gpu_compiler_series(
+      [dir](const gpusim::GpuSpec& gpu, gpusim::Toolchain tc) {
+        return all_throughputs(gpu, tc, gpusim::OptLevel::kO3, dir);
+      });
   emit(figure_id,
        std::string(gpusim::to_string(dir)) + " throughputs by GPU",
        "GB/s, geometric mean across the 13 SP inputs, -O3", series);

@@ -11,19 +11,10 @@ namespace lc::bench {
 
 inline void run_fig_by_wordsize(const std::string& figure_id,
                                 gpusim::Direction dir) {
-  std::vector<FigureGroup> groups;
-  for (const int w : {1, 2, 4, 8}) {
-    groups.push_back(
-        {std::to_string(w) + " B",
-         [w](const Component& s1, const Component& s2, const Component& s3) {
-           return s1.word_size() == w && s2.word_size() == w &&
-                  s3.word_size() == w;
-         }});
-  }
   run_grouped_figure(figure_id,
                      std::string(gpusim::to_string(dir)) +
                          " throughputs by word size",
-                     dir, groups);
+                     dir, word_size_groups());
 }
 
 }  // namespace lc::bench

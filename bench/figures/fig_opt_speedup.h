@@ -11,24 +11,19 @@ namespace lc::bench {
 
 inline void run_fig_opt_speedup(const std::string& figure_id,
                                 gpusim::Direction dir) {
-  const charlab::Sweep& sweep = shared_sweep();
-  std::vector<charlab::Series> series;
-  for (const gpusim::GpuSpec& gpu : gpusim::all_gpus()) {
-    for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
-      charlab::Series s;
-      s.group = gpu.name;
-      s.variant = gpusim::to_string(tc);
-      const std::vector<double> o3 =
-          all_throughputs(sweep, gpu, tc, gpusim::OptLevel::kO3, dir);
-      const std::vector<double> o1 =
-          all_throughputs(sweep, gpu, tc, gpusim::OptLevel::kO1, dir);
-      s.values.reserve(o3.size());
-      for (std::size_t i = 0; i < o3.size(); ++i) {
-        s.values.push_back(o3[i] / o1[i]);
-      }
-      series.push_back(std::move(s));
-    }
-  }
+  const std::vector<charlab::Series> series = gpu_compiler_series(
+      [dir](const gpusim::GpuSpec& gpu, gpusim::Toolchain tc) {
+        const std::vector<double>& o3 =
+            all_throughputs(gpu, tc, gpusim::OptLevel::kO3, dir);
+        const std::vector<double>& o1 =
+            all_throughputs(gpu, tc, gpusim::OptLevel::kO1, dir);
+        std::vector<double> speedup;
+        speedup.reserve(o3.size());
+        for (std::size_t i = 0; i < o3.size(); ++i) {
+          speedup.push_back(o3[i] / o1[i]);
+        }
+        return speedup;
+      });
   emit(figure_id,
        std::string(gpusim::to_string(dir)) +
            " speedups from -O1 to -O3 by GPU",

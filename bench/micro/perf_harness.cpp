@@ -1,25 +1,40 @@
-// Machine-readable perf regression harness (ISSUE 3).
+// Machine-readable perf regression harness (ISSUE 3; grid mode ISSUE 5).
 //
-// Two modes, combinable:
+// Three modes, combinable:
 //   --micro[=PATH]   per-component-family encode/decode throughput over a
 //                    fixed 64 kB synthetic float buffer -> BENCH_micro.json
 //   --sweep[=PATH]   cold-cache characterization sweep wall clock
 //                    (use_cache=false semantics: Sweep::compute, no disk
 //                    I/O) -> BENCH_sweep.json
+//   --grid[=PATH]    timing-grid evaluation wall clock (all 44 cells x
+//                    107,632 pipelines) -> BENCH_grid.json. --grid-mode
+//                    selects the implementation: "batched" (the SoA
+//                    BatchCostEvaluator path the figure suite uses) or
+//                    "legacy" (per-record Sweep::geomean_throughput,
+//                    parallelized the same way — the pre-grid baseline).
 //
 // The JSON files are the machine-tracked perf trajectory: CI's perf-smoke
-// job compares a fresh BENCH_micro.json against the committed baseline in
-// bench/baselines/ via scripts/bench_diff.py, and PRs that change hot
-// paths commit before/after BENCH_sweep.json. See docs/PERFORMANCE.md.
+// job compares fresh BENCH_micro.json / BENCH_grid.json against the
+// committed baselines in bench/baselines/ via scripts/bench_diff.py, and
+// PRs that change hot paths commit before/after results. See
+// docs/PERFORMANCE.md.
 //
 // Flags:
 //   --iters=N    timed iterations per component direction (default 12)
 //   --chunks=N   sweep chunks per input (default 2 = SweepConfig default)
 //   --inputs=a,b sweep input subset (default: all 13 SP files)
-//   --threads=N  sweep thread pool size (default: hardware concurrency)
+//   --threads=N  thread pool size (default: LC_JOBS, else hardware
+//                concurrency)
+//   --scale=X    sweep dataset scale for --grid (default 1/512: the grid
+//                cost is sweep-size-independent, so keep the setup cheap)
+//   --grid-mode=batched|legacy   (default batched)
+//   --grid-cache=PATH  also save the evaluated grid cache here (artifact)
+//   --metrics=PATH     write a telemetry metrics JSON snapshot on exit
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -28,10 +43,12 @@
 #include <vector>
 
 #include "charlab/sweep.h"
+#include "charlab/timing_grid.h"
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "data/sp_dataset.h"
 #include "lc/registry.h"
-#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -145,14 +162,114 @@ void run_sweep(const std::string& path, std::size_t chunks,
                path.c_str(), wall, static_cast<unsigned long long>(evals));
 }
 
+/// Time one full grid evaluation (44 cells x all pipelines x all inputs).
+/// The sweep itself is computed first, untimed: the grid bench measures
+/// the cost-model evaluation, not component execution.
+void run_grid(const std::string& path, std::size_t chunks,
+              const std::vector<std::string>& inputs, std::size_t threads,
+              double scale, const std::string& mode,
+              const std::string& grid_cache) {
+  lc::charlab::SweepConfig config;
+  config.scale = scale;
+  config.chunks_per_input = chunks;
+  config.inputs = inputs;
+  config.use_cache = false;
+
+  lc::ThreadPool pool(threads);
+  std::fprintf(stderr, "[perf] grid setup: computing sweep (scale=%.6f)\n",
+               scale);
+  const lc::charlab::Sweep sweep = lc::charlab::Sweep::compute(config, pool);
+
+  const auto& cells = lc::charlab::TimingGrid::cells();
+  const std::size_t pipelines = sweep.num_pipelines();
+  const std::size_t n = sweep.num_components();
+  const std::size_t r = sweep.num_reducers();
+
+  double wall = 0.0;
+  if (mode == "batched") {
+    const Clock::time_point t0 = Clock::now();
+    const lc::charlab::TimingGrid grid =
+        lc::charlab::TimingGrid::evaluate(sweep, pool);
+    wall = seconds_since(t0);
+    if (!grid_cache.empty()) {
+      lc::charlab::TimingGrid::Config cache_config;
+      cache_config.cache_path = grid_cache;
+      (void)lc::charlab::TimingGrid::load_or_compute(sweep, cache_config,
+                                                     pool);
+    }
+  } else if (mode == "legacy") {
+    // The pre-grid path: one Sweep::geomean_throughput (PipelineStats
+    // assembly + per-record simulate) per (cell, pipeline), parallelized
+    // identically to the batched path so the diff isolates the evaluator.
+    std::vector<std::vector<double>> values(
+        cells.size(), std::vector<double>(pipelines));
+    constexpr std::size_t kSliceRows = 8192;
+    const std::size_t slices = (pipelines + kSliceRows - 1) / kSliceRows;
+    const Clock::time_point t0 = Clock::now();
+    lc::parallel_for(pool, 0, cells.size() * slices, [&](std::size_t item) {
+      const std::size_t cell = item / slices;
+      const std::size_t begin = (item % slices) * kSliceRows;
+      const std::size_t end = std::min(begin + kSliceRows, pipelines);
+      const lc::charlab::GridCell& c = cells[cell];
+      for (std::size_t p = begin; p < end; ++p) {
+        const std::size_t i3 = p % r;
+        const std::size_t i2 = (p / r) % n;
+        const std::size_t i1 = p / (r * n);
+        values[cell][p] = sweep.geomean_throughput(i1, i2, i3, *c.gpu, c.tc,
+                                                   c.opt, c.dir);
+      }
+    });
+    wall = seconds_since(t0);
+  } else {
+    std::fprintf(stderr, "perf_harness: unknown --grid-mode=%s\n",
+                 mode.c_str());
+    std::exit(2);
+  }
+
+  const double cell_evals =
+      static_cast<double>(cells.size()) * static_cast<double>(pipelines);
+  const double model_evals = cell_evals * static_cast<double>(sweep.num_inputs());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_harness: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"lc-bench-grid-v1\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
+  std::fprintf(f, "  \"cells\": %zu,\n  \"pipelines\": %zu,\n", cells.size(),
+               pipelines);
+  std::fprintf(f, "  \"inputs\": %zu,\n  \"threads\": %zu,\n",
+               sweep.num_inputs(), pool.size());
+  std::fprintf(f, "  \"scale\": %.8f,\n", scale);
+  std::fprintf(f, "  \"cell_evals\": %.0f,\n  \"model_evals\": %.0f,\n",
+               cell_evals, model_evals);
+  std::fprintf(f, "  \"wall_s\": %.4f,\n  \"evals_per_s\": %.0f\n}\n", wall,
+               model_evals / wall);
+  std::fclose(f);
+  std::fprintf(stderr, "[perf] wrote %s (%s: %.4f s, %.0f model evals)\n",
+               path.c_str(), mode.c_str(), wall, model_evals);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool micro = false, sweep = false;
+  bool micro = false, sweep = false, grid = false;
   std::string micro_path = "BENCH_micro.json";
   std::string sweep_path = "BENCH_sweep.json";
+  std::string grid_path = "BENCH_grid.json";
+  std::string grid_mode = "batched";
+  std::string grid_cache;
+  std::string metrics_path;
   int iters = 12;
-  std::size_t chunks = 2, threads = 0;
+  std::size_t chunks = 2;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  try {
+    threads = lc::jobs_from_env();
+  } catch (const lc::Error& e) {
+    std::fprintf(stderr, "perf_harness: %s\n", e.what());
+    return 2;
+  }
+  double scale = 1.0 / 512.0;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -164,10 +281,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--sweep" || arg.rfind("--sweep=", 0) == 0) {
       sweep = true;
       if (arg.find('=') != std::string::npos) sweep_path = value();
+    } else if (arg == "--grid" || arg.rfind("--grid=", 0) == 0) {
+      grid = true;
+      if (arg.find('=') != std::string::npos) grid_path = value();
+    } else if (arg.rfind("--grid-mode=", 0) == 0) {
+      grid_mode = value();
+    } else if (arg.rfind("--grid-cache=", 0) == 0) {
+      grid_cache = value();
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = value();
     } else if (arg.rfind("--iters=", 0) == 0) {
       iters = std::atoi(value().c_str());
     } else if (arg.rfind("--chunks=", 0) == 0) {
       chunks = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(value().c_str());
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "perf_harness: bad --scale=%s\n",
+                     value().c_str());
+        return 2;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(std::atoll(value().c_str()));
     } else if (arg.rfind("--inputs=", 0) == 0) {
@@ -179,14 +312,29 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_harness [--micro[=PATH]] [--sweep[=PATH]] "
-                   "[--iters=N] [--chunks=N] [--inputs=a,b] [--threads=N]\n");
+                   "[--grid[=PATH]] [--grid-mode=batched|legacy] "
+                   "[--grid-cache=PATH] [--metrics=PATH] [--iters=N] "
+                   "[--chunks=N] [--scale=X] [--inputs=a,b] [--threads=N]\n");
       return 2;
     }
   }
-  if (!micro && !sweep) {
+  if (!micro && !sweep && !grid) {
     micro = sweep = true;
   }
   if (micro) run_micro(micro_path, iters);
   if (sweep) run_sweep(sweep_path, chunks, inputs, threads);
+  if (grid) run_grid(grid_path, chunks, inputs, threads, scale, grid_mode,
+                     grid_cache);
+  if (!metrics_path.empty()) {
+    std::ofstream mjson(metrics_path);
+    if (mjson) {
+      lc::telemetry::write_metrics_json(mjson);
+      std::fprintf(stderr, "[perf] wrote %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "perf_harness: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -6,6 +6,8 @@
 //   lc_cli [flags] verify <input>                  per-chunk integrity check
 //   lc_cli [flags] salvage <input> <output>        recover intact chunks
 //   lc_cli [flags] stats <input>                   salvage walk + telemetry
+//   lc_cli [flags] sweep [sweep flags]             run the characterization
+//                                                  sweep (and timing grid)
 //   lc_cli list                                    list the 62 components
 //
 // Global flags (usable with any subcommand):
@@ -20,15 +22,21 @@
 //   lc_cli verify data.lc          # exit 0 iff every chunk verifies
 //   lc_cli salvage damaged.lc data.out   # zero-fills damaged chunks
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "charlab/sweep.h"
+#include "charlab/timing_grid.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "lc/codec.h"
 #include "lc/pipeline.h"
 #include "lc/registry.h"
@@ -59,13 +67,111 @@ int usage() {
                "  lc_cli [flags] verify <input>\n"
                "  lc_cli [flags] salvage <input> <output>\n"
                "  lc_cli [flags] stats <input>\n"
+               "  lc_cli [flags] sweep [sweep flags]\n"
                "  lc_cli list\n"
                "flags:\n"
                "  --trace=<file>    write a Perfetto-loadable trace "
                "(Chrome trace-event JSON)\n"
                "  --metrics=<file>  write the telemetry metrics snapshot "
-               "JSON\n");
+               "JSON\n"
+               "sweep flags:\n"
+               "  --jobs=<n>        thread-pool width (default: LC_JOBS or "
+               "hardware)\n"
+               "  --scale=<x>       size scale on the Table 3 inputs\n"
+               "  --chunks=<n>      16 kB chunks sampled per input\n"
+               "  --inputs=<a,b>    input subset (default: all 13 SP files)\n"
+               "  --cache=<file>    sweep cache path\n"
+               "  --no-cache        force recomputation, no cache I/O\n"
+               "  --grid[=<file>]   also evaluate the 44-cell timing grid "
+               "(cache at <file>)\n");
   return 2;
+}
+
+/// Strict base-10 double for --scale: full consumption, finite, > 0.
+double parse_cli_double(const std::string& text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  LC_REQUIRE(!text.empty() && text[0] != ' ' && errno == 0 &&
+                 end == text.c_str() + text.size() && parsed > 0.0,
+             std::string(what) + " must be a positive number, got \"" + text +
+                 "\"");
+  return parsed;
+}
+
+/// `lc_cli sweep`: run (or reload) the characterization sweep, and with
+/// --grid the shared timing grid, from the command line — the same
+/// artifacts the figure suite consumes, so a user can warm the caches
+/// once under controlled flags before running the benches.
+int run_sweep(const std::vector<std::string>& args) {
+  using namespace lc;
+  charlab::SweepConfig config;
+  charlab::TimingGrid::Config grid_config;
+  bool want_grid = false;
+  std::size_t jobs = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&a](const char* flag) {
+      return a.substr(std::strlen(flag));
+    };
+    if (a.rfind("--jobs=", 0) == 0) {
+      jobs = parse_job_count(value("--jobs=").c_str(), "--jobs");
+    } else if (a.rfind("--scale=", 0) == 0) {
+      config.scale = parse_cli_double(value("--scale="), "--scale");
+    } else if (a.rfind("--chunks=", 0) == 0) {
+      config.chunks_per_input =
+          parse_job_count(value("--chunks=").c_str(), "--chunks");
+    } else if (a.rfind("--inputs=", 0) == 0) {
+      std::string list = value("--inputs=");
+      for (std::size_t pos = 0; pos <= list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > pos) config.inputs.push_back(list.substr(pos, end - pos));
+        pos = end + 1;
+      }
+    } else if (a.rfind("--cache=", 0) == 0) {
+      config.cache_path = value("--cache=");
+    } else if (a == "--no-cache") {
+      config.use_cache = false;
+      grid_config.use_cache = false;
+    } else if (a == "--grid") {
+      want_grid = true;
+    } else if (a.rfind("--grid=", 0) == 0) {
+      want_grid = true;
+      grid_config.cache_path = value("--grid=");
+    } else {
+      std::fprintf(stderr, "sweep: unknown flag %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  std::optional<ThreadPool> local_pool;
+  if (jobs > 0) local_pool.emplace(jobs);
+  ThreadPool& pool = local_pool ? *local_pool : ThreadPool::global();
+  std::printf("sweep: %zu threads, scale %g, %zu chunks/input\n", pool.size(),
+              config.scale, config.chunks_per_input);
+
+  const charlab::Sweep sweep = charlab::Sweep::load_or_compute(config, pool);
+  std::printf("sweep: %zu inputs, %zu pipelines (%zu inputs resumed from "
+              "cache)\n",
+              sweep.num_inputs(), sweep.num_pipelines(),
+              sweep.resumed_inputs());
+  for (const charlab::QuarantineEntry& q : sweep.quarantine()) {
+    std::printf("sweep: quarantined %s on %s (%llu failures): %s\n",
+                q.component.c_str(), q.input.c_str(),
+                static_cast<unsigned long long>(q.failures), q.what.c_str());
+  }
+
+  if (want_grid) {
+    const charlab::TimingGrid grid =
+        charlab::TimingGrid::load_or_compute(sweep, grid_config, pool);
+    std::printf("grid: %zu cells x %zu pipelines (%s), fingerprint %016llx\n",
+                grid.num_cells(), grid.num_pipelines(),
+                grid.loaded_from_cache() ? "cache hit" : "evaluated",
+                static_cast<unsigned long long>(grid.fingerprint()));
+  }
+  return 0;
 }
 
 /// Print the per-chunk damage map of a salvage result; returns the number
@@ -155,6 +261,9 @@ int run(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const std::string& mode = args[0];
 
+  if (mode == "sweep") {
+    return run_sweep(args);
+  }
   if (mode == "list") {
     for (const Component* c : Registry::instance().all()) {
       std::printf("%-10s %s, %d-byte words\n", c->name().c_str(),

@@ -12,8 +12,10 @@ Usage:
       sweep wall clock above baseline*threshold). The generous default
       absorbs CI machine noise; real regressions are usually 10x.
 
-Both files must share a schema ("lc-bench-micro-v1" or "lc-bench-sweep-v1"),
-produced by bench/perf_harness. See docs/PERFORMANCE.md.
+Both files must share a schema ("lc-bench-micro-v1", "lc-bench-sweep-v1"
+or "lc-bench-grid-v1"), produced by bench/perf_harness. See
+docs/PERFORMANCE.md. Keys added after a baseline was recorded are treated
+as absent rather than errors, so old baselines keep working.
 """
 
 import json
@@ -81,6 +83,32 @@ def diff_sweep(base, cur, threshold):
     return []
 
 
+def diff_grid(base, cur, threshold):
+    """lc-bench-grid-v1: one timing-grid evaluation (44 cells x 107,632
+    pipelines). Wall clock is the gate; everything else is context.
+    Tolerates keys absent from baselines recorded by older harnesses."""
+    b, c = base.get("wall_s"), cur.get("wall_s")
+    if b is None or c is None:
+        print("grid: wall_s missing from one file — nothing to compare")
+        return []
+    speedup = b / c if c > 0 else float("inf")
+    print(f"grid evaluation wall clock: {b:.4f} s -> {c:.4f} s "
+          f"({speedup:.2f}x {'faster' if speedup >= 1 else 'slower'})")
+    print(f"mode: {base.get('mode', '?')} -> {cur.get('mode', '?')}; "
+          f"model evals: {base.get('model_evals', '?')} -> "
+          f"{cur.get('model_evals', '?')}; "
+          f"evals/s: {base.get('evals_per_s', 0):.0f} -> "
+          f"{cur.get('evals_per_s', 0):.0f}")
+    for key in ("cells", "pipelines", "inputs", "threads", "scale"):
+        if base.get(key) != cur.get(key):
+            print(f"  warning: {key} differs "
+                  f"({base.get(key)} vs {cur.get(key)}) — not comparable")
+    if threshold and c > b * threshold:
+        return [f"grid evaluation wall clock: {b:.4f} s -> {c:.4f} s "
+                f"(>{threshold}x regression)"]
+    return []
+
+
 def main(argv):
     threshold = None
     check = False
@@ -111,6 +139,8 @@ def main(argv):
         regressions = diff_micro(base, cur, threshold if check else None)
     elif base["schema"] == "lc-bench-sweep-v1":
         regressions = diff_sweep(base, cur, threshold if check else None)
+    elif base["schema"] == "lc-bench-grid-v1":
+        regressions = diff_grid(base, cur, threshold if check else None)
     else:
         sys.exit(f"bench_diff: unknown schema {base['schema']}")
 

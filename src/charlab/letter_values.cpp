@@ -8,14 +8,98 @@
 namespace lc::charlab {
 namespace {
 
-/// Interpolated order statistic at (1-based, possibly fractional) rank.
-double at_rank(const std::vector<double>& sorted, double rank) {
+/// The depth-rank sequence of a summary: element 0 is the median's rank
+/// (1 + n)/2, each following element the rank of one letter-value pair,
+/// produced by the halving recurrence d_{i+1} = (1 + floor(d_i))/2
+/// (Hofmann et al., eq. 2) under the stopping rules. The sequence
+/// depends only on (n, outlier_rate) — never on the data — which is what
+/// lets the selection path know every order statistic it needs up front.
+std::vector<double> depth_ranks(double n, double outlier_rate) {
+  std::vector<double> ranks;
+  double depth_rank = (1.0 + n) / 2.0;
+  ranks.push_back(depth_rank);
+  while (true) {
+    depth_rank = (1.0 + std::floor(depth_rank)) / 2.0;
+    if (depth_rank < 1.0) break;
+    ranks.push_back(depth_rank);
+    const std::size_t boxes = ranks.size() - 1;
+    const double tail_fraction = 2.0 * depth_rank / n;  // beyond both LVs
+    if (boxes >= 2 && tail_fraction <= outlier_rate) break;
+    if (depth_rank < 8.0) break;  // next halving would be untrustworthy
+    if (boxes > 16) break;        // numerical backstop
+  }
+  return ranks;
+}
+
+/// The two 0-based element indices an interpolated (1-based, possibly
+/// fractional) rank reads.
+void rank_indices(double rank, std::size_t n, std::size_t& lo,
+                  std::size_t& hi) {
   const double idx = rank - 1.0;  // 0-based
-  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
-  const std::size_t hi = std::min(sorted.size() - 1,
-                                  static_cast<std::size_t>(std::ceil(idx)));
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  lo = static_cast<std::size_t>(std::floor(idx));
+  hi = std::min(n - 1, static_cast<std::size_t>(std::ceil(idx)));
+}
+
+/// Interpolated order statistic; `ordered` must hold the correct values
+/// at the two indices of `rank` (fully sorted data qualifies, and so does
+/// multi-selected data whose selected positions cover them).
+double at_rank(const std::vector<double>& ordered, double rank) {
+  std::size_t lo = 0, hi = 0;
+  rank_indices(rank, ordered.size(), lo, hi);
+  const double frac = (rank - 1.0) - static_cast<double>(lo);
+  return ordered[lo] * (1.0 - frac) + ordered[hi] * frac;
+}
+
+void reject_nan(const std::vector<double>& values) {
+  for (const double v : values) {
+    // NaN breaks strict weak ordering: sort/nth_element on it is UB, and
+    // a throughput population containing NaN is a bug upstream anyway.
+    LC_REQUIRE(!std::isnan(v), "letter_values: NaN in input");
+  }
+}
+
+/// Place the order statistics at every index in needed[begin, end) (an
+/// ascending list) into their sorted positions, by recursive
+/// nth_element: select the middle needed index, which partitions the
+/// range, then recurse into each half with the matching slice of needed
+/// indices. The ranges telescope, so total work is O(n log k) for k
+/// needed indices — ~3n comparisons in practice versus n log n for a
+/// full sort.
+void multi_select(std::vector<double>& values, std::size_t lo,
+                  std::size_t hi, const std::vector<std::size_t>& needed,
+                  std::size_t begin, std::size_t end) {
+  if (begin >= end || lo >= hi) return;
+  const std::size_t mid = begin + (end - begin) / 2;
+  const std::size_t target = needed[mid];
+  const auto first = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto nth = values.begin() + static_cast<std::ptrdiff_t>(target);
+  const auto last = values.begin() + static_cast<std::ptrdiff_t>(hi);
+  std::nth_element(first, nth, last);
+  multi_select(values, lo, target, needed, begin, mid);
+  multi_select(values, target + 1, hi, needed, mid + 1, end);
+}
+
+/// Fill median/boxes from values whose rank positions are in place, then
+/// count outliers with a linear pass (the selection path has no sorted
+/// array to binary-search). Strictly-below / strictly-above matches the
+/// sorted path's lower_bound / upper_bound counts.
+void summarize(const std::vector<double>& values,
+               const std::vector<double>& ranks, LetterValueSummary& s) {
+  s.median = at_rank(values, ranks[0]);
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    LetterValuePair pair;
+    pair.lower = at_rank(values, ranks[i]);
+    pair.upper = at_rank(values, n + 1.0 - ranks[i]);
+    s.boxes.push_back(pair);
+  }
+  const LetterValuePair outer = s.boxes.back();
+  s.outliers_low = static_cast<std::size_t>(
+      std::count_if(values.begin(), values.end(),
+                    [&outer](double v) { return v < outer.lower; }));
+  s.outliers_high = static_cast<std::size_t>(
+      std::count_if(values.begin(), values.end(),
+                    [&outer](double v) { return v > outer.upper; }));
 }
 
 }  // namespace
@@ -25,41 +109,47 @@ LetterValueSummary letter_values(std::vector<double> values,
   LetterValueSummary s;
   s.count = values.size();
   if (values.empty()) return s;
+  reject_nan(values);
+
+  const double n = static_cast<double>(values.size());
+  const std::vector<double> ranks = depth_ranks(n, outlier_rate);
+
+  // Every element index any rank interpolates between, ascending and
+  // deduplicated — the only positions selection must place exactly.
+  std::vector<std::size_t> needed;
+  const auto add_rank = [&needed, &values](double rank) {
+    std::size_t lo = 0, hi = 0;
+    rank_indices(rank, values.size(), lo, hi);
+    needed.push_back(lo);
+    needed.push_back(hi);
+  };
+  needed.push_back(0);                 // min
+  needed.push_back(values.size() - 1); // max
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    add_rank(ranks[i]);
+    if (i > 0) add_rank(n + 1.0 - ranks[i]);
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+
+  multi_select(values, 0, values.size(), needed, 0, needed.size());
+  s.min = values.front();
+  s.max = values.back();
+  summarize(values, ranks, s);
+  return s;
+}
+
+LetterValueSummary letter_values_sorted(std::vector<double> values,
+                                        double outlier_rate) {
+  LetterValueSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  reject_nan(values);
   std::sort(values.begin(), values.end());
   s.min = values.front();
   s.max = values.back();
-
-  const double n = static_cast<double>(values.size());
-  // Depth-1 rank (the median), then each further depth halves it:
-  // d_{i+1} = (1 + floor(d_i)) / 2 (Hofmann et al., eq. 2).
-  double depth_rank = (1.0 + n) / 2.0;
-  s.median = at_rank(values, depth_rank);
-
-  // Keep adding letter-value pairs while the tail beyond them still holds
-  // more than the allowed outlier fraction — but stop once a letter value
-  // would rest on fewer than ~4 observations, the Hofmann et al.
-  // trustworthiness cut-off that keeps small populations from being
-  // halved all the way down to single points.
-  while (true) {
-    depth_rank = (1.0 + std::floor(depth_rank)) / 2.0;
-    if (depth_rank < 1.0) break;
-    LetterValuePair pair;
-    pair.lower = at_rank(values, depth_rank);
-    pair.upper = at_rank(values, n + 1.0 - depth_rank);
-    s.boxes.push_back(pair);
-    const double tail_fraction = 2.0 * depth_rank / n;  // beyond both LVs
-    if (s.boxes.size() >= 2 && tail_fraction <= outlier_rate) break;
-    if (depth_rank < 8.0) break;  // next halving would be untrustworthy
-    if (s.boxes.size() > 16) break;  // numerical backstop
-  }
-
-  const LetterValuePair outer = s.boxes.back();
-  s.outliers_low = static_cast<std::size_t>(
-      std::lower_bound(values.begin(), values.end(), outer.lower) -
-      values.begin());
-  s.outliers_high = static_cast<std::size_t>(
-      values.end() -
-      std::upper_bound(values.begin(), values.end(), outer.upper));
+  summarize(values, depth_ranks(static_cast<double>(values.size()),
+                                outlier_rate), s);
   return s;
 }
 

@@ -1,0 +1,97 @@
+#include "charlab/stats_table.h"
+
+#include "charlab/sweep.h"
+#include "common/error.h"
+#include "lc/registry.h"
+#include "telemetry/telemetry.h"
+
+namespace lc::charlab {
+
+StatsTable StatsTable::build(const Sweep& sweep) {
+  const telemetry::Span span("charlab.stats_table.build");
+  const Registry& reg = Registry::instance();
+  const std::size_t n = sweep.num_components();
+  const std::size_t r = sweep.num_reducers();
+  const std::size_t pipelines = sweep.num_pipelines();
+
+  StatsTable table;
+  table.components_ = reg.all();
+
+  // Registry::reducers() aliases objects in all(); map reducer index i3
+  // to its column (all()) index so one memo table covers all stages.
+  std::vector<std::uint16_t> reducer_col(r);
+  for (std::size_t i3 = 0; i3 < r; ++i3) {
+    const Component* reducer = reg.reducers()[i3];
+    std::size_t col = table.components_.size();
+    for (std::size_t i = 0; i < table.components_.size(); ++i) {
+      if (table.components_[i] == reducer) {
+        col = i;
+        break;
+      }
+    }
+    LC_REQUIRE(col < table.components_.size(),
+               "reducer missing from component table");
+    reducer_col[i3] = static_cast<std::uint16_t>(col);
+  }
+
+  for (auto& c : table.comp_) c.resize(pipelines);
+  table.pipeline_ids_.resize(pipelines);
+  for (std::size_t i1 = 0, p = 0; i1 < n; ++i1) {
+    for (std::size_t i2 = 0; i2 < n; ++i2) {
+      for (std::size_t i3 = 0; i3 < r; ++i3, ++p) {
+        table.comp_[0][p] = static_cast<std::uint16_t>(i1);
+        table.comp_[1][p] = static_cast<std::uint16_t>(i2);
+        table.comp_[2][p] = reducer_col[i3];
+        table.pipeline_ids_[p] = sweep.pipeline_id(i1, i2, i3);
+      }
+    }
+  }
+
+  table.inputs_.resize(sweep.num_inputs());
+  for (std::size_t in = 0; in < sweep.num_inputs(); ++in) {
+    InputColumns& cols = table.inputs_[in];
+    // Same nominal sizes fill_pipeline_stats() feeds the model.
+    const gpusim::PipelineStats nominal = sweep.pipeline_stats(0, 0, 0, in);
+    cols.input_bytes = nominal.input_bytes;
+    cols.chunk_count = nominal.chunk_count;
+    for (auto& v : cols.avg_in) v.resize(pipelines);
+    for (auto& v : cols.applied) v.resize(pipelines);
+    cols.avg_out3.resize(pipelines);
+    for (std::size_t i1 = 0, p = 0; i1 < n; ++i1) {
+      const StageRecord& r1 = sweep.stage1_record(in, i1);
+      for (std::size_t i2 = 0; i2 < n; ++i2) {
+        const StageRecord& r2 = sweep.stage2_record(in, i1, i2);
+        for (std::size_t i3 = 0; i3 < r; ++i3, ++p) {
+          const StageRecord& r3 = sweep.stage3_record(in, i1, i2, i3);
+          cols.avg_in[0][p] = r1.avg_in;
+          cols.applied[0][p] = r1.applied;
+          cols.avg_in[1][p] = r2.avg_in;
+          cols.applied[1][p] = r2.applied;
+          cols.avg_in[2][p] = r3.avg_in;
+          cols.applied[2][p] = r3.applied;
+          cols.avg_out3[p] = r3.avg_out;
+        }
+      }
+    }
+  }
+  return table;
+}
+
+gpusim::StatsColumnsView StatsTable::input_view(std::size_t input) const {
+  LC_REQUIRE(input < inputs_.size(), "StatsTable: input index out of range");
+  const InputColumns& cols = inputs_[input];
+  gpusim::StatsColumnsView view;
+  view.count = num_pipelines();
+  view.input_bytes = cols.input_bytes;
+  view.chunk_count = cols.chunk_count;
+  for (int s = 0; s < 3; ++s) {
+    view.comp[s] = comp_[s].data();
+    view.avg_in[s] = cols.avg_in[s].data();
+    view.applied[s] = cols.applied[s].data();
+  }
+  view.avg_out3 = cols.avg_out3.data();
+  view.pipeline_id = pipeline_ids_.data();
+  return view;
+}
+
+}  // namespace lc::charlab

@@ -1,0 +1,81 @@
+#ifndef LC_CHARLAB_STATS_TABLE_H
+#define LC_CHARLAB_STATS_TABLE_H
+
+/// \file stats_table.h
+/// Columnar (SoA) flattening of a completed sweep, in the shape the
+/// batched timing evaluator consumes (gpusim/batch_eval.h).
+///
+/// The sweep stores compact per-(prefix, input) StageRecords; the AoS
+/// grid-evaluation path reassembles a gpusim::PipelineStats — three
+/// StageStats behind a std::vector — for every one of the
+/// ~42 M (pipeline, input, grid-cell) model evaluations. The StatsTable
+/// expands the prefix-shared records once into contiguous per-pipeline
+/// columns (component index, avg_bytes_in, applied_fraction per stage;
+/// stage-3 raw output for the memory term), so a grid cell's evaluation
+/// is a linear walk over flat arrays.
+///
+/// Layout: pipeline enumeration order (i1-major, matching
+/// bench_common.h's all_throughputs and Sweep::pipeline_id). Component
+/// index columns and pipeline ids are input-independent and stored once;
+/// the float columns are per input. Memory: 28 bytes per (pipeline,
+/// input) — ~39 MB for the full 107,632 x 13 table, built once and
+/// shared by all 44 grid cells.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/batch_eval.h"
+#include "lc/component.h"
+
+namespace lc::charlab {
+
+class Sweep;
+
+class StatsTable {
+ public:
+  /// Flatten `sweep` (all inputs). The table copies everything it needs;
+  /// it does not keep a reference to the sweep.
+  [[nodiscard]] static StatsTable build(const Sweep& sweep);
+
+  [[nodiscard]] std::size_t num_pipelines() const noexcept {
+    return pipeline_ids_.size();
+  }
+  [[nodiscard]] std::size_t num_inputs() const noexcept {
+    return inputs_.size();
+  }
+
+  /// The component table the comp-index columns refer to
+  /// (Registry::all(), captured at build time).
+  [[nodiscard]] const std::vector<const Component*>& components()
+      const noexcept {
+    return components_;
+  }
+
+  /// Columnar view over one input's rows, ready for
+  /// BatchCostEvaluator::evaluate_*.
+  [[nodiscard]] gpusim::StatsColumnsView input_view(std::size_t input) const;
+
+  /// Input-independent pipeline ids in row order (length
+  /// num_pipelines()) — what BatchCostEvaluator::fill_dispersion hashes.
+  [[nodiscard]] const std::uint64_t* pipeline_ids() const noexcept {
+    return pipeline_ids_.data();
+  }
+
+ private:
+  struct InputColumns {
+    double input_bytes = 0.0;
+    double chunk_count = 0.0;
+    std::vector<float> avg_in[3];
+    std::vector<float> applied[3];
+    std::vector<float> avg_out3;
+  };
+
+  std::vector<const Component*> components_;
+  std::vector<std::uint16_t> comp_[3];      ///< shared across inputs
+  std::vector<std::uint64_t> pipeline_ids_; ///< shared across inputs
+  std::vector<InputColumns> inputs_;
+};
+
+}  // namespace lc::charlab
+
+#endif  // LC_CHARLAB_STATS_TABLE_H

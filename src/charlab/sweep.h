@@ -171,6 +171,11 @@ class Sweep {
     return resumed_inputs_;
   }
 
+  /// Config/measurement fingerprint keying the sweep cache. The timing
+  /// grid cache (timing_grid.h) folds this into its own key so a grid
+  /// derived from a different sweep can never be served.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   Sweep() = default;
 
@@ -187,7 +192,6 @@ class Sweep {
   void compute_input(std::size_t input_index, const std::string& name,
                      ThreadPool& pool, ComputeScratch& scratch);
   void finalize_pipeline_ids();
-  [[nodiscard]] std::uint64_t fingerprint() const;
   [[nodiscard]] bool save_cache(const std::string& path,
                                 std::size_t completed) const;
   /// Returns the number of completed inputs restored (0 on any

@@ -1,0 +1,238 @@
+#include "charlab/timing_grid.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "charlab/stats_table.h"
+#include "charlab/sweep.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "gpusim/batch_eval.h"
+#include "telemetry/telemetry.h"
+
+namespace lc::charlab {
+namespace {
+
+struct GridMetrics {
+  telemetry::Counter& cells_evaluated =
+      telemetry::counter("charlab.grid.cells_evaluated");
+  telemetry::Counter& rows_evaluated =
+      telemetry::counter("charlab.grid.rows_evaluated");
+  telemetry::Counter& cache_hits = telemetry::counter("charlab.grid.cache_hits");
+  telemetry::Counter& cache_writes =
+      telemetry::counter("charlab.grid.cache_writes");
+};
+
+GridMetrics& metrics() {
+  static GridMetrics m;
+  return m;
+}
+
+constexpr char kCacheMagic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '1'};
+
+/// Rows per parallel work item. 44 cells x ~13 slices keeps every pool
+/// worker busy to the end while each item still walks long contiguous
+/// column ranges.
+constexpr std::size_t kSliceRows = 8192;
+
+std::uint64_t cell_mode_bits(const GridCell& c) {
+  return (static_cast<std::uint64_t>(c.tc) << 4) |
+         (static_cast<std::uint64_t>(c.opt) << 2) |
+         static_cast<std::uint64_t>(c.dir);
+}
+
+}  // namespace
+
+const std::vector<GridCell>& TimingGrid::cells() {
+  static const std::vector<GridCell> cells = [] {
+    std::vector<GridCell> out;
+    for (const gpusim::GpuSpec& gpu : gpusim::all_gpus()) {
+      for (const gpusim::Toolchain tc : gpusim::toolchains_for(gpu.vendor)) {
+        for (const gpusim::OptLevel opt :
+             {gpusim::OptLevel::kO1, gpusim::OptLevel::kO3}) {
+          for (const gpusim::Direction dir :
+               {gpusim::Direction::kEncode, gpusim::Direction::kDecode}) {
+            out.push_back({&gpu, tc, opt, dir});
+          }
+        }
+      }
+    }
+    return out;
+  }();
+  return cells;
+}
+
+std::uint64_t TimingGrid::make_fingerprint(const Sweep& sweep) {
+  std::uint64_t h = hash_string("timing_grid");
+  h = hash_combine(h, sweep.fingerprint());
+  h = hash_combine(h, kModelVersion);
+  h = hash_combine(h, cells().size());
+  for (const GridCell& c : cells()) {
+    h = hash_combine(h, hash_string(c.gpu->name));
+    h = hash_combine(h, cell_mode_bits(c));
+  }
+  return h;
+}
+
+TimingGrid TimingGrid::evaluate(const Sweep& sweep, ThreadPool& pool) {
+  const telemetry::Span span("charlab.grid.evaluate", "pipelines",
+                             sweep.num_pipelines());
+
+  const StatsTable table = [&sweep] {
+    const telemetry::Span build("charlab.grid.build_stats_table");
+    return StatsTable::build(sweep);
+  }();
+
+  const std::vector<GridCell>& grid = cells();
+  std::vector<gpusim::BatchCostEvaluator> evals;
+  evals.reserve(grid.size());
+  for (const GridCell& c : grid) {
+    evals.emplace_back(table.components(), *c.gpu, c.tc, c.opt, c.dir);
+  }
+
+  TimingGrid result;
+  result.fingerprint_ = make_fingerprint(sweep);
+  const std::size_t pipelines = table.num_pipelines();
+  const std::size_t inputs = table.num_inputs();
+  result.values_.assign(grid.size(), std::vector<double>(pipelines));
+
+  // One work item = one (cell, pipeline-slice) pair; pipelines are
+  // independent, so the geomean accumulation never crosses items.
+  const std::size_t slices = (pipelines + kSliceRows - 1) / kSliceRows;
+  parallel_for(pool, 0, grid.size() * slices, [&](std::size_t item) {
+    const std::size_t cell = item / slices;
+    const std::size_t begin = (item % slices) * kSliceRows;
+    const std::size_t end = std::min(begin + kSliceRows, pipelines);
+    const std::size_t len = end - begin;
+    thread_local std::vector<double> tput, log_sum, disp;
+    if (tput.size() < len) tput.resize(len);
+    if (disp.size() < len) disp.resize(len);
+    log_sum.assign(len, 0.0);
+    // The dispersion jitter depends only on (pipeline, cell): hash each
+    // row once here instead of once per input.
+    evals[cell].fill_dispersion(table.pipeline_ids(), begin, end,
+                                disp.data());
+    // Inputs in index order: Sweep::geomean_throughput accumulates its
+    // log-sum the same way, and the golden test holds us to its bits.
+    for (std::size_t in = 0; in < inputs; ++in) {
+      evals[cell].evaluate_throughput(table.input_view(in), begin, end,
+                                      disp.data(), tput.data());
+      for (std::size_t i = 0; i < len; ++i) log_sum[i] += std::log(tput[i]);
+    }
+    double* out = result.values_[cell].data() + begin;
+    const double n = static_cast<double>(inputs);
+    for (std::size_t i = 0; i < len; ++i) out[i] = std::exp(log_sum[i] / n);
+    metrics().rows_evaluated.add(len);
+  });
+  metrics().cells_evaluated.add(grid.size());
+  return result;
+}
+
+TimingGrid TimingGrid::load_or_compute(const Sweep& sweep,
+                                       const Config& config,
+                                       ThreadPool& pool) {
+  const std::string path =
+      config.cache_path.empty() ? "lc_grid_cache.bin" : config.cache_path;
+  const std::uint64_t fp = make_fingerprint(sweep);
+
+  if (config.use_cache) {
+    TimingGrid cached;
+    if (load_cache(path, fp, sweep.num_pipelines(), cached)) {
+      metrics().cache_hits.add();
+      return cached;
+    }
+  }
+
+  TimingGrid grid = evaluate(sweep, pool);
+  if (config.use_cache) {
+    if (grid.save_cache(path)) {
+      metrics().cache_writes.add();
+    } else {
+      std::fprintf(stderr,
+                   "charlab: warning: could not write grid cache %s\n",
+                   path.c_str());
+    }
+  }
+  return grid;
+}
+
+const std::vector<double>& TimingGrid::cell_values(
+    const gpusim::GpuSpec& gpu, gpusim::Toolchain tc, gpusim::OptLevel opt,
+    gpusim::Direction dir) const {
+  const std::vector<GridCell>& grid = cells();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const GridCell& c = grid[i];
+    if (c.gpu->name == gpu.name && c.tc == tc && c.opt == opt &&
+        c.dir == dir) {
+      return values_[i];
+    }
+  }
+  throw Error("TimingGrid: no cell for " + gpu.name + " / " +
+              gpusim::to_string(tc) + " / " + gpusim::to_string(opt) + " / " +
+              gpusim::to_string(dir));
+}
+
+bool TimingGrid::save_cache(const std::string& path) const {
+  const telemetry::Span span("charlab.grid.save_cache");
+  // Write-then-rename, like the sweep cache: a crash mid-write leaves the
+  // previous cache (or no cache), never a torn one.
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kCacheMagic, sizeof(kCacheMagic));
+  out.write(reinterpret_cast<const char*>(&fingerprint_),
+            sizeof(fingerprint_));
+  const std::uint64_t cells = values_.size();
+  const std::uint64_t pipelines = num_pipelines();
+  out.write(reinterpret_cast<const char*>(&cells), sizeof(cells));
+  out.write(reinterpret_cast<const char*>(&pipelines), sizeof(pipelines));
+  for (const std::vector<double>& v : values_) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(double)));
+  }
+  out.flush();
+  if (!out) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool TimingGrid::load_cache(const std::string& path, std::uint64_t fingerprint,
+                            std::size_t pipelines, TimingGrid& out) {
+  const telemetry::Span span("charlab.grid.load_cache");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kCacheMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return false;
+  std::uint64_t fp = 0, cell_count = 0, row_count = 0;
+  in.read(reinterpret_cast<char*>(&fp), sizeof(fp));
+  in.read(reinterpret_cast<char*>(&cell_count), sizeof(cell_count));
+  in.read(reinterpret_cast<char*>(&row_count), sizeof(row_count));
+  if (!in || fp != fingerprint || cell_count != cells().size() ||
+      row_count != pipelines) {
+    return false;
+  }
+  out.values_.assign(cell_count, std::vector<double>(row_count));
+  for (std::vector<double>& v : out.values_) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+  }
+  if (!in) {
+    out.values_.clear();
+    return false;
+  }
+  out.fingerprint_ = fingerprint;
+  out.loaded_from_cache_ = true;
+  return true;
+}
+
+}  // namespace lc::charlab

@@ -1,8 +1,12 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "common/error.h"
 #include "telemetry/telemetry.h"
 
 namespace lc {
@@ -97,8 +101,29 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(jobs_from_env());
   return pool;
+}
+
+std::size_t parse_job_count(const char* text, const char* what) {
+  LC_REQUIRE(text != nullptr && *text != '\0',
+             std::string(what) + ": job count is empty");
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  // strtoll skips leading whitespace and accepts a sign; a job count is a
+  // bare digit string, so require the first character to be a digit too.
+  LC_REQUIRE(text[0] >= '0' && text[0] <= '9' && errno == 0 && end != text &&
+                 *end == '\0' && parsed >= 1,
+             std::string(what) + ": expected a positive integer, got \"" +
+                 text + "\"");
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t jobs_from_env() {
+  const char* env = std::getenv("LC_JOBS");
+  if (env == nullptr || *env == '\0') return 0;
+  return parse_job_count(env, "LC_JOBS");
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

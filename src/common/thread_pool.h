@@ -45,7 +45,7 @@ class ThreadPool {
   void wait_idle();
 
   /// Process-wide default pool (lazily constructed, never destroyed before
-  /// exit).
+  /// exit). Width honors LC_JOBS (see jobs_from_env()) at first use.
   static ThreadPool& global();
 
  private:
@@ -59,6 +59,19 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
+
+/// Worker count requested by the LC_JOBS environment variable, bounding
+/// the width of sweep and grid evaluation (benches on shared CI runners,
+/// reproducible single-threaded runs). Returns 0 (= hardware concurrency,
+/// the ThreadPool constructor's default) when LC_JOBS is unset or empty.
+/// Throws lc::Error when LC_JOBS is set but is not a positive integer —
+/// a malformed knob must fail loudly, not silently run at full width.
+[[nodiscard]] std::size_t jobs_from_env();
+
+/// Strict positive-integer parse shared by LC_JOBS and the --jobs flag.
+/// Throws lc::Error (mentioning `what`) unless `text` is a plain base-10
+/// integer >= 1 with no trailing characters.
+[[nodiscard]] std::size_t parse_job_count(const char* text, const char* what);
 
 /// Run `fn(i)` for every i in [begin, end) across the pool, splitting the
 /// range into `size()*4` contiguous slices for load balance (chunk costs

@@ -1,0 +1,173 @@
+#include "gpusim/batch_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace lc::gpusim {
+
+using model::kBarrierCycles;
+using model::kCyclesPerOp;
+using model::kKSearchOpsPerTrial;
+using model::kSpanStepCycles;
+using model::kWarpOpCycles;
+using model::log2d;
+using model::wide_word_penalty;
+
+BatchCostEvaluator::BatchCostEvaluator(
+    const std::vector<const Component*>& components, const GpuSpec& gpu,
+    Toolchain tc, OptLevel opt, Direction dir)
+    : dir_(dir) {
+  const CompilerFactors f = compiler_factors(tc, gpu.vendor, opt, dir);
+  kernel_cycle_factor_ = f.kernel_cycle_factor;
+  total_lanes_ = static_cast<double>(gpu.model_sms) * gpu.lanes_per_sm;
+  clock_hz_ = gpu.clock_mhz * 1e6;
+  resident_blocks_ = resident_blocks(gpu);
+  bandwidth_bps_ = gpu.mem_bandwidth_gbps * 1e9;
+  launch_seconds_ = f.launch_overhead_us * 1e-6;
+  framework_base_us_ = f.framework_overhead_us;
+  gpu_name_hash_ = hash_string(gpu.name);
+  mode_bits_ = (static_cast<std::uint64_t>(tc) << 4) |
+               (static_cast<std::uint64_t>(opt) << 2) |
+               static_cast<std::uint64_t>(dir);
+
+  const double warp_width_factor = (gpu.warp_size == 64) ? 0.85 : 1.0;
+  coeffs_.reserve(components.size());
+  for (const Component* comp : components) {
+    const KernelTraits& traits = (dir == Direction::kEncode)
+                                     ? comp->encode_traits()
+                                     : comp->decode_traits();
+    CompCoeff c;
+    c.word = std::max(1, comp->word_size());
+    c.quirk = arch_component_quirk(comp->name(), gpu);
+    double ops_per_word =
+        traits.work_per_word + traits.k_search_trials * kKSearchOpsPerTrial;
+    if (traits.irregular_memory) ops_per_word *= 1.3;
+    // Exactly the parenthesized factor of stage_cost()'s lane_ops
+    // expression, associated the same way.
+    c.lane_sum = ops_per_word * kCyclesPerOp *
+                     wide_word_penalty(comp->word_size()) +
+                 traits.warp_ops_per_word * kWarpOpCycles * f.warp_op_factor *
+                     warp_width_factor;
+    const double atomic_factor =
+        traits.block_atomics ? f.block_atomic_factor : 1.0;
+    c.sync_term = traits.syncs_per_chunk * kBarrierCycles * atomic_factor;
+    c.span = traits.span;
+    if (traits.span == SpanClass::kLogW) {
+      c.span_logw = log2d(comp->word_size() * 8.0);
+    }
+    coeffs_.push_back(c);
+  }
+}
+
+void BatchCostEvaluator::fill_dispersion(const std::uint64_t* pipeline_ids,
+                                         std::size_t begin, std::size_t end,
+                                         double* out) const {
+  for (std::size_t p = begin; p < end; ++p) {
+    const std::uint64_t seed = hash_combine(
+        hash_combine(pipeline_ids[p], gpu_name_hash_), mode_bits_);
+    out[p - begin] = 1.0 + 0.10 * (hash_to_unit(splitmix64(seed)) - 0.5);
+  }
+}
+
+/// Core row loop shared by both evaluate_seconds paths. `dispersion` is
+/// either null (hash per row, the standalone API) or the column
+/// fill_dispersion produced for the same range.
+void BatchCostEvaluator::evaluate_seconds_impl(const StatsColumnsView& in,
+                                               std::size_t begin,
+                                               std::size_t end,
+                                               const double* dispersion,
+                                               double* out_seconds) const {
+  const bool decode = (dir_ == Direction::kDecode);
+  const double chunk_count = in.chunk_count;
+  // Per-input hoists (explain() computes these per call from the same
+  // inputs; the values — and therefore every downstream operation — are
+  // identical).
+  const double waves =
+      std::max(1.0, std::ceil(chunk_count / resident_blocks_));
+  const double framework_seconds =
+      framework_base_us_ * 1e-6 * (1.0 + 0.15 * (waves - 1.0));
+
+  for (std::size_t p = begin; p < end; ++p) {
+    double lane_ops = 0.0;
+    double serial_cycles = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      const CompCoeff& c = coeffs_[in.comp[s][p]];
+      // Mirrors stage_cost(): encode always executes the component,
+      // decode skips chunks the copy-fallback bypassed.
+      const double applied =
+          decode ? static_cast<double>(in.applied[s][p]) : 1.0;
+      const double words_per_chunk =
+          static_cast<double>(in.avg_in[s][p]) / c.word;
+      const double total_words = words_per_chunk * chunk_count;
+      lane_ops +=
+          total_words * c.quirk * kernel_cycle_factor_ * applied * c.lane_sum;
+      double span_steps = 0.0;
+      switch (c.span) {
+        case SpanClass::kConst: span_steps = 0.0; break;
+        case SpanClass::kLogW: span_steps = c.span_logw; break;
+        case SpanClass::kLogN: span_steps = log2d(words_per_chunk); break;
+      }
+      serial_cycles += applied * kernel_cycle_factor_ *
+                       (span_steps * kSpanStepCycles + c.sync_term);
+    }
+    const double compute_seconds = lane_ops / total_lanes_ / clock_hz_;
+    const double serial_seconds = waves * serial_cycles / clock_hz_;
+
+    const double applied3 = in.applied[2][p];
+    const double compressed_per_chunk =
+        applied3 * static_cast<double>(in.avg_out3[p]) +
+        (1.0 - applied3) * static_cast<double>(in.avg_in[2][p]);
+    const double mem_bytes =
+        in.input_bytes + compressed_per_chunk * chunk_count;
+    const double memory_seconds = mem_bytes / bandwidth_bps_;
+
+    double disp;
+    if (dispersion != nullptr) {
+      disp = dispersion[p - begin];
+    } else {
+      const std::uint64_t seed = hash_combine(
+          hash_combine(in.pipeline_id[p], gpu_name_hash_), mode_bits_);
+      disp = 1.0 + 0.10 * (hash_to_unit(splitmix64(seed)) - 0.5);
+    }
+
+    out_seconds[p - begin] =
+        (std::max(compute_seconds + serial_seconds, memory_seconds) +
+         launch_seconds_ + framework_seconds) *
+        disp;
+  }
+}
+
+void BatchCostEvaluator::evaluate_seconds(const StatsColumnsView& in,
+                                          std::size_t begin, std::size_t end,
+                                          double* out_seconds) const {
+  evaluate_seconds_impl(in, begin, end, nullptr, out_seconds);
+}
+
+void BatchCostEvaluator::evaluate_throughput(const StatsColumnsView& in,
+                                             std::size_t begin,
+                                             std::size_t end,
+                                             double* out_gbps) const {
+  evaluate_seconds_impl(in, begin, end, nullptr, out_gbps);
+  for (std::size_t i = 0; i < end - begin; ++i) {
+    const double seconds = out_gbps[i];
+    out_gbps[i] =
+        (seconds > 0.0) ? in.input_bytes / seconds / 1e9 : 0.0;
+  }
+}
+
+void BatchCostEvaluator::evaluate_throughput(const StatsColumnsView& in,
+                                             std::size_t begin,
+                                             std::size_t end,
+                                             const double* dispersion,
+                                             double* out_gbps) const {
+  evaluate_seconds_impl(in, begin, end, dispersion, out_gbps);
+  for (std::size_t i = 0; i < end - begin; ++i) {
+    const double seconds = out_gbps[i];
+    out_gbps[i] =
+        (seconds > 0.0) ? in.input_bytes / seconds / 1e9 : 0.0;
+  }
+}
+
+}  // namespace lc::gpusim

@@ -1,0 +1,135 @@
+#ifndef LC_GPUSIM_BATCH_EVAL_H
+#define LC_GPUSIM_BATCH_EVAL_H
+
+/// \file batch_eval.h
+/// Batched, memoized evaluation of the kernel timing model over columnar
+/// (SoA) pipeline statistics.
+///
+/// The per-record path (cost_model.h) recomputes, for every one of the
+/// ~42 M (pipeline, input, grid-cell) evaluations behind the figure
+/// suite, quantities that only depend on the (component, GPU, toolchain,
+/// opt-level, direction) combination: the architecture quirk lookup (a
+/// string compare), the compiler factor resolution, the per-word
+/// operation mix and the warp/atomic factors. There are only
+/// 62 components x ~44 grid cells of those — a few thousand distinct
+/// values, not 42 M.
+///
+/// BatchCostEvaluator hoists exactly those subexpressions once per grid
+/// cell and then evaluates all pipelines of one input as a tight loop
+/// over contiguous columns (no PipelineStats construction, no per-call
+/// std::vector, no telemetry in the inner loop).
+///
+/// Bit-identity contract: every floating-point operation the inner loop
+/// performs has the same operands in the same order as stage_cost() +
+/// explain() + simulate(); the memoized values are exactly the
+/// subexpressions the per-record path computes (same constants from
+/// cost_model.h's model namespace, same association). The golden tests
+/// in tests/gpusim/batch_eval_test.cpp and
+/// tests/charlab/timing_grid_test.cpp assert EXACT double equality
+/// against simulate() across the full paper grid.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/compiler_model.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/gpu_model.h"
+#include "lc/component.h"
+
+namespace lc::gpusim {
+
+/// Columnar view over the per-pipeline stage statistics of ONE input:
+/// parallel arrays of length `count` in pipeline enumeration order
+/// (i1-major). The component/word-size columns are indices into the
+/// component table the evaluator was built with; the float columns hold
+/// the same values PipelineStats carries (floats widened to double on
+/// read, exactly like StageRecord -> StageStats).
+///
+/// Only the statistics the timing model actually reads are present:
+/// avg_bytes_in and applied_fraction per stage, plus stage 3's raw
+/// output (the memory term uses effective_stage_output of the last
+/// stage only).
+struct StatsColumnsView {
+  std::size_t count = 0;       ///< pipelines (rows)
+  double input_bytes = 0.0;    ///< nominal uncompressed size (all rows)
+  double chunk_count = 0.0;    ///< nominal chunk count (all rows)
+  const std::uint16_t* comp[3] = {nullptr, nullptr, nullptr};
+  const float* avg_in[3] = {nullptr, nullptr, nullptr};
+  const float* applied[3] = {nullptr, nullptr, nullptr};
+  const float* avg_out3 = nullptr;          ///< stage-3 pre-fallback output
+  const std::uint64_t* pipeline_id = nullptr;
+};
+
+/// One grid cell's memoized evaluator.
+class BatchCostEvaluator {
+ public:
+  /// `components[i]` backs column index i; `components` must outlive the
+  /// evaluator. Throws lc::Error for an unsupported (toolchain, vendor)
+  /// pairing, like compiler_factors().
+  BatchCostEvaluator(const std::vector<const Component*>& components,
+                     const GpuSpec& gpu, Toolchain tc, OptLevel opt,
+                     Direction dir);
+
+  /// Model all rows in [begin, end) of one input's columns; writes
+  /// modeled seconds to out_seconds[0 .. end-begin). Bit-identical to
+  /// simulate(...).seconds per row.
+  void evaluate_seconds(const StatsColumnsView& in, std::size_t begin,
+                        std::size_t end, double* out_seconds) const;
+
+  /// Same rows, but writes throughput (uncompressed GB/s) — bit-identical
+  /// to simulate(...).throughput_gbps.
+  void evaluate_throughput(const StatsColumnsView& in, std::size_t begin,
+                           std::size_t end, double* out_gbps) const;
+
+  /// The dispersion factor of rows [begin, end) — the hash-seeded
+  /// +/-5% jitter explain() applies. It depends only on (pipeline, grid
+  /// cell), never on the input, so a grid evaluation can fill it once
+  /// per row range and reuse it across all inputs.
+  void fill_dispersion(const std::uint64_t* pipeline_ids, std::size_t begin,
+                       std::size_t end, double* out) const;
+
+  /// evaluate_throughput with the dispersion column precomputed by
+  /// fill_dispersion (same [begin, end) range). The multiply uses the
+  /// identical value in the identical position, so results stay
+  /// bit-identical; the hash just leaves the per-input loop.
+  void evaluate_throughput(const StatsColumnsView& in, std::size_t begin,
+                           std::size_t end, const double* dispersion,
+                           double* out_gbps) const;
+
+  [[nodiscard]] Direction direction() const noexcept { return dir_; }
+
+ private:
+  /// Per-component memo: everything in stage_cost() that does not depend
+  /// on the measured statistics. Field comments give the exact
+  /// subexpression of stage_cost() each value replaces.
+  struct CompCoeff {
+    double word = 1.0;       ///< double(std::max(1, word_size()))
+    double quirk = 1.0;      ///< arch_component_quirk(name, gpu)
+    double lane_sum = 0.0;   ///< ops_per_word*kCyclesPerOp*wide_word_penalty
+                             ///  + warp_ops*kWarpOpCycles*warp_op_factor*wwf
+    double sync_term = 0.0;  ///< syncs_per_chunk*kBarrierCycles*atomic_factor
+    SpanClass span = SpanClass::kConst;
+    double span_logw = 0.0;  ///< log2d(word_size*8) when span == kLogW
+  };
+
+  void evaluate_seconds_impl(const StatsColumnsView& in, std::size_t begin,
+                             std::size_t end, const double* dispersion,
+                             double* out_seconds) const;
+
+  std::vector<CompCoeff> coeffs_;  ///< indexed by column component index
+  Direction dir_;
+  double kernel_cycle_factor_ = 1.0;
+  double total_lanes_ = 1.0;        ///< double(model_sms) * lanes_per_sm
+  double clock_hz_ = 1.0;
+  double resident_blocks_ = 1.0;
+  double bandwidth_bps_ = 1.0;      ///< mem_bandwidth_gbps * 1e9
+  double launch_seconds_ = 0.0;     ///< launch_overhead_us * 1e-6
+  double framework_base_us_ = 0.0;  ///< framework_overhead_us
+  std::uint64_t gpu_name_hash_ = 0;
+  std::uint64_t mode_bits_ = 0;     ///< (tc << 4) | (opt << 2) | dir
+};
+
+}  // namespace lc::gpusim
+
+#endif  // LC_GPUSIM_BATCH_EVAL_H

@@ -7,28 +7,14 @@
 #include "telemetry/telemetry.h"
 
 namespace lc::gpusim {
-namespace {
 
-// Latency/throughput constants. They set the absolute scale; the study's
-// conclusions depend on relative behaviour, which comes from the
-// KernelTraits and the measured data statistics.
-constexpr double kCyclesPerOp = 40.0;     // SASS instructions + stalls per
-                                          // abstract "work unit" per lane
-constexpr double kWarpOpCycles = 8.0;     // one shuffle lane-op
-constexpr double kSpanStepCycles = 48.0;  // one scan/reduction ladder step
-constexpr double kBarrierCycles = 36.0;   // __syncthreads()
-constexpr double kKSearchOpsPerTrial = 1.0;  // RARE/RAZE candidate scan
-
-/// The tested GPUs are 32-bit architectures: 8-byte word components pay
-/// extra per-word cost, which is why the paper's 4->8 byte gain is
-/// smaller than 2->4 (§6.2).
-double wide_word_penalty(int word_size) {
-  return word_size == 8 ? 1.3 : 1.0;
-}
-
-double log2d(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
-
-}  // namespace
+using model::kBarrierCycles;
+using model::kCyclesPerOp;
+using model::kKSearchOpsPerTrial;
+using model::kSpanStepCycles;
+using model::kWarpOpCycles;
+using model::log2d;
+using model::wide_word_penalty;
 
 double effective_stage_output(const StageStats& stage) {
   return stage.applied_fraction * stage.avg_bytes_out +

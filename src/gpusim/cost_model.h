@@ -28,6 +28,7 @@
 /// deterministic per-(pipeline, GPU, compiler) dispersion factor gives
 /// populations the spread of real measurements without nondeterminism.
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,34 @@
 #include "lc/component.h"
 
 namespace lc::gpusim {
+
+/// Latency/throughput constants of the kernel model. They set the
+/// absolute scale; the study's conclusions depend on relative behaviour,
+/// which comes from the KernelTraits and the measured data statistics.
+/// Shared between the per-record path (stage_cost/explain) and the
+/// batched grid evaluator (batch_eval.h) so the two provably compute the
+/// same expressions.
+namespace model {
+
+inline constexpr double kCyclesPerOp = 40.0;     // SASS instructions + stalls
+                                                 // per abstract "work unit"
+                                                 // per lane
+inline constexpr double kWarpOpCycles = 8.0;     // one shuffle lane-op
+inline constexpr double kSpanStepCycles = 48.0;  // one scan/reduction ladder
+                                                 // step
+inline constexpr double kBarrierCycles = 36.0;   // __syncthreads()
+inline constexpr double kKSearchOpsPerTrial = 1.0;  // RARE/RAZE candidate scan
+
+/// The tested GPUs are 32-bit architectures: 8-byte word components pay
+/// extra per-word cost, which is why the paper's 4->8 byte gain is
+/// smaller than 2->4 (§6.2).
+inline double wide_word_penalty(int word_size) {
+  return word_size == 8 ? 1.3 : 1.0;
+}
+
+inline double log2d(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
+
+}  // namespace model
 
 /// Measured statistics for one pipeline stage, averaged over the chunks
 /// of one input (produced by the charlab sweep from real encodes).

@@ -78,6 +78,65 @@ TEST(LetterValues, BoxesAreNested) {
   EXPECT_GE(s.boxes[0].upper, s.median);
 }
 
+// The production path selects order statistics with nth_element instead
+// of sorting; every summary field must match the sort-based reference
+// exactly. Exercise the shapes that stress selection: tiny populations
+// (n < 16, where the depth loop exits on trustworthiness), heavy ties,
+// adversarial orderings and large random data.
+TEST(LetterValues, SelectionMatchesSortReference) {
+  SplitMix rng(97);
+  std::vector<std::vector<double>> populations;
+  for (std::size_t n : {1u, 2u, 3u, 5u, 7u, 8u, 15u, 16u, 17u, 100u,
+                        4096u, 107632u}) {
+    std::vector<double> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(rng.next_in(0.1, 500.0));
+    populations.push_back(std::move(v));
+  }
+  // Sorted, reversed, and tie-heavy orderings.
+  populations.push_back({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  populations.push_back({12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1});
+  populations.push_back({5, 1, 5, 1, 5, 1, 5, 1, 5, 1});
+
+  for (const auto& pop : populations) {
+    const LetterValueSummary fast = letter_values(pop);
+    const LetterValueSummary ref = letter_values_sorted(pop);
+    ASSERT_EQ(fast.count, ref.count);
+    EXPECT_EQ(fast.median, ref.median) << "n=" << pop.size();
+    EXPECT_EQ(fast.min, ref.min);
+    EXPECT_EQ(fast.max, ref.max);
+    ASSERT_EQ(fast.boxes.size(), ref.boxes.size()) << "n=" << pop.size();
+    for (std::size_t b = 0; b < fast.boxes.size(); ++b) {
+      EXPECT_EQ(fast.boxes[b].lower, ref.boxes[b].lower);
+      EXPECT_EQ(fast.boxes[b].upper, ref.boxes[b].upper);
+    }
+    EXPECT_EQ(fast.outliers_low, ref.outliers_low);
+    EXPECT_EQ(fast.outliers_high, ref.outliers_high);
+  }
+}
+
+TEST(LetterValues, AllEqualValues) {
+  for (std::size_t n : {1u, 4u, 16u, 1000u}) {
+    const std::vector<double> values(n, 7.25);
+    const LetterValueSummary s = letter_values(values);
+    EXPECT_DOUBLE_EQ(s.median, 7.25);
+    EXPECT_DOUBLE_EQ(s.min, 7.25);
+    EXPECT_DOUBLE_EQ(s.max, 7.25);
+    for (const LetterValuePair& box : s.boxes) {
+      EXPECT_DOUBLE_EQ(box.lower, 7.25);
+      EXPECT_DOUBLE_EQ(box.upper, 7.25);
+    }
+    EXPECT_EQ(s.outliers_low, 0u);
+    EXPECT_EQ(s.outliers_high, 0u);
+  }
+}
+
+TEST(LetterValues, RejectsNaN) {
+  const double nan = std::nan("");
+  EXPECT_THROW((void)letter_values({nan}), Error);
+  EXPECT_THROW((void)letter_values({1.0, 2.0, nan, 4.0}), Error);
+  EXPECT_THROW((void)letter_values_sorted({1.0, nan}), Error);
+}
+
 TEST(UpperTailShare, SymmetricDistribution) {
   std::vector<double> values;
   for (int i = 0; i < 10001; ++i) values.push_back(static_cast<double>(i));

@@ -1,0 +1,172 @@
+// Golden + cache tests for the shared timing grid. The load-bearing
+// guarantee: grid values are bit-identical to Sweep::geomean_throughput
+// (the per-record path every figure used before the grid existed), so
+// letter values — and therefore every published figure — are unchanged.
+
+#include "charlab/timing_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "charlab/letter_values.h"
+#include "charlab/stats_table.h"
+#include "charlab/sweep.h"
+#include "common/error.h"
+
+namespace lc::charlab {
+namespace {
+
+SweepConfig tiny_config() {
+  SweepConfig config;
+  config.scale = 1.0 / 512.0;
+  config.chunks_per_input = 1;
+  config.inputs = {"msg_bt", "num_plasma"};
+  config.use_cache = false;
+  return config;
+}
+
+const Sweep& tiny_sweep() {
+  static const Sweep sweep =
+      Sweep::compute(tiny_config(), ThreadPool::global());
+  return sweep;
+}
+
+const TimingGrid& tiny_grid() {
+  static const TimingGrid grid = TimingGrid::evaluate(tiny_sweep());
+  return grid;
+}
+
+/// Decompose a pipeline-enumeration index (i1-major) back into stage
+/// indices.
+void split(const Sweep& s, std::size_t p, std::size_t& i1, std::size_t& i2,
+           std::size_t& i3) {
+  const std::size_t n = s.num_components();
+  const std::size_t r = s.num_reducers();
+  i3 = p % r;
+  i2 = (p / r) % n;
+  i1 = p / (r * n);
+}
+
+TEST(TimingGrid, Dimensions) {
+  const TimingGrid& g = tiny_grid();
+  EXPECT_EQ(g.num_cells(), 44u);
+  EXPECT_EQ(g.num_pipelines(), tiny_sweep().num_pipelines());
+  EXPECT_FALSE(g.loaded_from_cache());
+}
+
+TEST(TimingGrid, StatsTableShape) {
+  const StatsTable t = StatsTable::build(tiny_sweep());
+  EXPECT_EQ(t.num_pipelines(), tiny_sweep().num_pipelines());
+  EXPECT_EQ(t.num_inputs(), 2u);
+  const gpusim::StatsColumnsView v = t.input_view(0);
+  EXPECT_EQ(v.count, t.num_pipelines());
+  EXPECT_GT(v.input_bytes, 0.0);
+  EXPECT_GT(v.chunk_count, 0.0);
+}
+
+// The core golden test: strided sample of pipelines, every grid cell,
+// EXACT double equality against the per-record geomean.
+TEST(TimingGrid, BitIdenticalToPerRecordGeomean) {
+  const Sweep& s = tiny_sweep();
+  const TimingGrid& g = tiny_grid();
+  for (const GridCell& cell : TimingGrid::cells()) {
+    const std::vector<double>& values =
+        g.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir);
+    ASSERT_EQ(values.size(), s.num_pipelines());
+    // 613 is coprime to 107,632, so the stride visits a spread of (i1,
+    // i2, i3) combinations rather than one stage-3 slice.
+    for (std::size_t p = 0; p < values.size(); p += 613) {
+      std::size_t i1 = 0, i2 = 0, i3 = 0;
+      split(s, p, i1, i2, i3);
+      const double ref =
+          s.geomean_throughput(i1, i2, i3, *cell.gpu, cell.tc, cell.opt,
+                               cell.dir);
+      ASSERT_EQ(values[p], ref)
+          << cell.gpu->name << " pipeline " << p << " (" << i1 << "," << i2
+          << "," << i3 << ")";
+    }
+  }
+}
+
+// One full cell end to end: every pipeline exact, and the derived letter
+// values (what the figures actually plot) identical.
+TEST(TimingGrid, FullCellAndLetterValuesMatchReference) {
+  const Sweep& s = tiny_sweep();
+  const TimingGrid& g = tiny_grid();
+  const gpusim::GpuSpec& gpu = gpusim::gpu_by_name("RTX 4090");
+  const auto tc = gpusim::Toolchain::kClang;
+  const auto opt = gpusim::OptLevel::kO3;
+  const auto dir = gpusim::Direction::kDecode;
+
+  const std::vector<double>& values = g.cell_values(gpu, tc, opt, dir);
+  std::vector<double> reference(values.size());
+  for (std::size_t p = 0; p < values.size(); ++p) {
+    std::size_t i1 = 0, i2 = 0, i3 = 0;
+    split(s, p, i1, i2, i3);
+    reference[p] = s.geomean_throughput(i1, i2, i3, gpu, tc, opt, dir);
+  }
+  ASSERT_EQ(values, reference);
+
+  const LetterValueSummary from_grid = letter_values(values);
+  const LetterValueSummary from_ref = letter_values(reference);
+  ASSERT_EQ(from_grid.boxes.size(), from_ref.boxes.size());
+  for (std::size_t b = 0; b < from_grid.boxes.size(); ++b) {
+    EXPECT_EQ(from_grid.boxes[b].lower, from_ref.boxes[b].lower);
+    EXPECT_EQ(from_grid.boxes[b].upper, from_ref.boxes[b].upper);
+  }
+  EXPECT_EQ(from_grid.median, from_ref.median);
+  EXPECT_EQ(from_grid.outliers_low, from_ref.outliers_low);
+  EXPECT_EQ(from_grid.outliers_high, from_ref.outliers_high);
+}
+
+TEST(TimingGrid, UnknownCellThrows) {
+  const TimingGrid& g = tiny_grid();
+  const gpusim::GpuSpec& amd = gpusim::gpu_by_name("MI100");
+  // AMD GPUs only have HIPCC cells.
+  EXPECT_THROW((void)g.cell_values(amd, gpusim::Toolchain::kNvcc,
+                                   gpusim::OptLevel::kO3,
+                                   gpusim::Direction::kEncode),
+               Error);
+}
+
+TEST(TimingGrid, CacheRoundTripIsExact) {
+  const std::string path = "timing_grid_test_cache.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+
+  const TimingGrid first = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_FALSE(first.loaded_from_cache());
+
+  const TimingGrid second = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_TRUE(second.loaded_from_cache());
+  EXPECT_EQ(second.fingerprint(), first.fingerprint());
+  for (const GridCell& cell : TimingGrid::cells()) {
+    EXPECT_EQ(second.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir),
+              first.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimingGrid, MismatchedFingerprintIsNotServed) {
+  const std::string path = "timing_grid_test_stale.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+  (void)TimingGrid::load_or_compute(tiny_sweep(), config);
+
+  // A sweep with different measurements (different input set) must not be
+  // served the stale grid.
+  SweepConfig other_config = tiny_config();
+  other_config.inputs = {"msg_bt"};
+  const Sweep other = Sweep::compute(other_config, ThreadPool::global());
+  const TimingGrid regenerated = TimingGrid::load_or_compute(other, config);
+  EXPECT_FALSE(regenerated.loaded_from_cache());
+  EXPECT_NE(regenerated.fingerprint(), tiny_grid().fingerprint());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lc::charlab

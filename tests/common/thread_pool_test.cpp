@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "common/error.h"
 
 namespace lc {
 namespace {
@@ -74,6 +78,67 @@ TEST(ParallelFor, GlobalPoolConvenience) {
   std::atomic<int> count{0};
   parallel_for(0, 128, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 128);
+}
+
+// RAII guard: LC_JOBS is process-global state, restore it per test.
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    const char* old = std::getenv("LC_JOBS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("LC_JOBS", value, 1);
+    } else {
+      ::unsetenv("LC_JOBS");
+    }
+  }
+  ~ScopedJobsEnv() {
+    if (had_) {
+      ::setenv("LC_JOBS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("LC_JOBS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(JobsFromEnv, UnsetOrEmptyMeansDefault) {
+  {
+    const ScopedJobsEnv env(nullptr);
+    EXPECT_EQ(jobs_from_env(), 0u);
+  }
+  {
+    const ScopedJobsEnv env("");
+    EXPECT_EQ(jobs_from_env(), 0u);
+  }
+}
+
+TEST(JobsFromEnv, ParsesPositiveIntegers) {
+  const ScopedJobsEnv env("3");
+  EXPECT_EQ(jobs_from_env(), 3u);
+  const ThreadPool pool(jobs_from_env());
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(JobsFromEnv, RejectsMalformedValues) {
+  for (const char* bad : {"0", "-2", "two", "4x", "1.5", " 8", "8 "}) {
+    const ScopedJobsEnv env(bad);
+    EXPECT_THROW((void)jobs_from_env(), Error) << "LC_JOBS=" << bad;
+  }
+}
+
+TEST(ParseJobCount, StrictAndNamed) {
+  EXPECT_EQ(parse_job_count("16", "--jobs"), 16u);
+  try {
+    (void)parse_job_count("banana", "--jobs");
+    FAIL() << "expected lc::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+// Golden tests for the batched cost evaluator: BatchCostEvaluator must
+// produce EXACTLY the doubles simulate() produces — same bits, not just
+// close — for every (GPU, toolchain, opt, direction) cell of the paper's
+// grid. The figure suite's letter values are built from these doubles,
+// so any drift would silently change published numbers.
+
+#include "gpusim/batch_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "gpusim/cost_model.h"
+#include "lc/registry.h"
+
+namespace lc::gpusim {
+namespace {
+
+/// Synthetic SoA columns: every component appears, statistics span the
+/// ranges the sweep produces (avg_in up to a full 16 kB chunk, applied
+/// fractions across [0, 1], reducer outputs both above and below input).
+struct SyntheticTable {
+  std::vector<const Component*> components;
+  std::vector<std::uint16_t> comp[3];
+  std::vector<float> avg_in[3];
+  std::vector<float> applied[3];
+  std::vector<float> avg_out3;
+  std::vector<std::uint64_t> pipeline_id;
+  double input_bytes = 6.0 * 1024.0 * 1024.0;
+  double chunk_count = 0.0;
+
+  explicit SyntheticTable(std::size_t rows) {
+    components = Registry::instance().all();
+    chunk_count = std::ceil(input_bytes / 16384.0);
+    SplitMix rng(0xBA7C43Bull);
+    const std::size_t n = components.size();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (int s = 0; s < 3; ++s) {
+        // Cycle deterministically so every component index shows up in
+        // every stage slot across the row set.
+        comp[s].push_back(static_cast<std::uint16_t>((r * 3 + s + r / n) % n));
+        avg_in[s].push_back(static_cast<float>(rng.next_in(64.0, 16384.0)));
+        applied[s].push_back(static_cast<float>(rng.next_unit()));
+      }
+      avg_out3.push_back(static_cast<float>(rng.next_in(16.0, 20000.0)));
+      pipeline_id.push_back(rng.next());
+    }
+  }
+
+  [[nodiscard]] StatsColumnsView view() const {
+    StatsColumnsView v;
+    v.count = pipeline_id.size();
+    v.input_bytes = input_bytes;
+    v.chunk_count = chunk_count;
+    for (int s = 0; s < 3; ++s) {
+      v.comp[s] = comp[s].data();
+      v.avg_in[s] = avg_in[s].data();
+      v.applied[s] = applied[s].data();
+    }
+    v.avg_out3 = avg_out3.data();
+    v.pipeline_id = pipeline_id.data();
+    return v;
+  }
+
+  /// The same row as the AoS PipelineStats the per-record path consumes.
+  [[nodiscard]] PipelineStats row_stats(std::size_t r) const {
+    PipelineStats p;
+    p.pipeline_id = pipeline_id[r];
+    p.input_bytes = input_bytes;
+    p.chunk_count = chunk_count;
+    p.stages.resize(3);
+    for (int s = 0; s < 3; ++s) {
+      p.stages[s].component = components[comp[s][r]];
+      p.stages[s].avg_bytes_in = avg_in[s][r];
+      p.stages[s].avg_bytes_out = (s == 2) ? avg_out3[r] : avg_in[s][r];
+      p.stages[s].applied_fraction = applied[s][r];
+    }
+    return p;
+  }
+};
+
+const SyntheticTable& table() {
+  static const SyntheticTable t(512);
+  return t;
+}
+
+TEST(BatchEval, BitIdenticalToSimulateAcrossFullGrid) {
+  const SyntheticTable& t = table();
+  const StatsColumnsView view = t.view();
+  std::vector<double> seconds(view.count);
+  std::vector<double> gbps(view.count);
+
+  std::size_t cells = 0;
+  for (const GpuSpec& gpu : all_gpus()) {
+    for (const Toolchain tc : toolchains_for(gpu.vendor)) {
+      for (const OptLevel opt : {OptLevel::kO1, OptLevel::kO3}) {
+        for (const Direction dir : {Direction::kEncode, Direction::kDecode}) {
+          ++cells;
+          const BatchCostEvaluator eval(t.components, gpu, tc, opt, dir);
+          eval.evaluate_seconds(view, 0, view.count, seconds.data());
+          eval.evaluate_throughput(view, 0, view.count, gbps.data());
+          for (std::size_t r = 0; r < view.count; ++r) {
+            const TimingResult ref = simulate(t.row_stats(r), gpu, tc, opt, dir);
+            ASSERT_EQ(seconds[r], ref.seconds)
+                << gpu.name << " " << to_string(tc) << " " << to_string(opt)
+                << " " << to_string(dir) << " row " << r;
+            ASSERT_EQ(gbps[r], ref.throughput_gbps)
+                << gpu.name << " " << to_string(tc) << " " << to_string(opt)
+                << " " << to_string(dir) << " row " << r;
+          }
+        }
+      }
+    }
+  }
+  // 3 NVIDIA GPUs x 3 toolchains + 2 AMD GPUs x 1, x 2 opts x 2 dirs.
+  EXPECT_EQ(cells, 44u);
+}
+
+TEST(BatchEval, SubrangeMatchesFullEvaluation) {
+  const SyntheticTable& t = table();
+  const StatsColumnsView view = t.view();
+  const GpuSpec& gpu = gpu_by_name("RTX 4090");
+  const BatchCostEvaluator eval(t.components, gpu, Toolchain::kNvcc,
+                                OptLevel::kO3, Direction::kEncode);
+  std::vector<double> full(view.count);
+  eval.evaluate_throughput(view, 0, view.count, full.data());
+  // Slice boundaries must not affect values: [begin, end) writes are
+  // relative to begin, and rows are independent.
+  const std::size_t begin = 100, end = 300;
+  std::vector<double> part(end - begin);
+  eval.evaluate_throughput(view, begin, end, part.data());
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    EXPECT_EQ(part[i], full[begin + i]);
+  }
+}
+
+TEST(BatchEval, UnsupportedToolchainThrows) {
+  const SyntheticTable& t = table();
+  const GpuSpec& amd = gpu_by_name("MI100");
+  EXPECT_THROW(BatchCostEvaluator(t.components, amd, Toolchain::kNvcc,
+                                  OptLevel::kO3, Direction::kEncode),
+               Error);
+}
+
+}  // namespace
+}  // namespace lc::gpusim
