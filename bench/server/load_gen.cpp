@@ -1,0 +1,347 @@
+// lc_server load generator (ISSUE 6): drives the compression service
+// through a ramp of closed-loop concurrency steps and reports throughput
+// and tail latency (p50/p99/p999) per step as BENCH_server.json — the
+// machine-tracked saturation profile for the serving path (baseline in
+// bench/baselines/BENCH_server.baseline.json).
+//
+// By default the generator hosts the server in-process on a private unix
+// socket, so one binary produces the whole profile. Point it at an
+// externally started daemon (examples/lc_server) with --connect-unix= or
+// --connect-tcp= — that is what CI's server-smoke leg does.
+//
+// Flags:
+//   --steps=1,2,4,...     concurrency ramp (default 1,2,4,8,16,32)
+//   --duration-ms=N       wall time per step (default 400)
+//   --payload=N           request payload bytes (default 4096)
+//   --spec=S              pipeline spec ("" = server default)
+//   --out=PATH            output JSON (default BENCH_server.json)
+//   --connect-unix=PATH   drive an external server over a unix socket
+//   --connect-tcp=H:P     drive an external server over TCP
+//   --workers=N           in-process server workers (default 4)
+//   --queue=N             in-process admission queue capacity (default 64)
+//   --metrics=PATH        write the server metrics snapshot on exit
+//                         (in-process mode only)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using lc::Byte;
+using lc::Bytes;
+using lc::ByteSpan;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::vector<int> steps = {1, 2, 4, 8, 16, 32};
+  int duration_ms = 400;
+  std::size_t payload_bytes = 4096;
+  std::string spec;
+  std::string out_path = "BENCH_server.json";
+  std::string connect_unix;
+  std::string connect_tcp_host;
+  int connect_tcp_port = 0;
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  std::string metrics_path;
+};
+
+struct StepResult {
+  int connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double mb_s = 0.0;  ///< payload megabytes accepted per second
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// LC-friendly bytes (runs, small deltas) so compression does real work.
+Bytes make_payload(std::size_t n) {
+  lc::SplitMix rng(17);
+  Bytes b(n);
+  std::uint8_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next() % 5 == 0) v = static_cast<std::uint8_t>(rng.next());
+    b[i] = static_cast<Byte>(v);
+  }
+  return b;
+}
+
+double percentile(const std::vector<std::uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_ns.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_ns.size())));
+  return static_cast<double>(sorted_ns[idx]) / 1e3;  // us
+}
+
+lc::server::Client connect(const Options& opt) {
+  if (!opt.connect_tcp_host.empty()) {
+    return lc::server::Client::connect_tcp(opt.connect_tcp_host,
+                                           opt.connect_tcp_port);
+  }
+  return lc::server::Client::connect_unix(opt.connect_unix);
+}
+
+/// One closed-loop worker: send, await the matching response, repeat
+/// until the deadline. Latencies in ns; statuses tallied.
+struct WorkerTally {
+  std::vector<std::uint64_t> latencies_ns;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+};
+
+void run_worker(const Options& opt, const Bytes& payload,
+                Clock::time_point until, WorkerTally& tally) {
+  try {
+    lc::server::Client client = connect(opt);
+    while (Clock::now() < until) {
+      const auto t0 = Clock::now();
+      const lc::server::Response r = client.call(
+          lc::server::Op::kCompress, ByteSpan(payload.data(), payload.size()),
+          opt.spec);
+      const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - t0)
+                          .count();
+      tally.latencies_ns.push_back(static_cast<std::uint64_t>(dt));
+      if (r.status == lc::server::Status::kOk) {
+        ++tally.ok;
+      } else if (r.status == lc::server::Status::kOverloaded) {
+        ++tally.overloaded;
+      } else {
+        ++tally.errors;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load_gen: worker error: %s\n", e.what());
+    ++tally.errors;
+  }
+}
+
+StepResult run_step(const Options& opt, const Bytes& payload,
+                    int connections) {
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  const auto until = t0 + std::chrono::milliseconds(opt.duration_ms);
+  threads.reserve(tallies.size());
+  for (WorkerTally& tally : tallies) {
+    threads.emplace_back(
+        [&opt, &payload, until, &tally] { run_worker(opt, payload, until, tally); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  StepResult s;
+  s.connections = connections;
+  s.wall_s = wall;
+  std::vector<std::uint64_t> all;
+  for (const WorkerTally& tally : tallies) {
+    s.ok += tally.ok;
+    s.overloaded += tally.overloaded;
+    s.errors += tally.errors;
+    all.insert(all.end(), tally.latencies_ns.begin(),
+               tally.latencies_ns.end());
+  }
+  s.requests = static_cast<std::uint64_t>(all.size());
+  std::sort(all.begin(), all.end());
+  s.throughput_rps =
+      wall > 0 ? static_cast<double>(s.requests) / wall : 0.0;
+  s.mb_s = wall > 0 ? static_cast<double>(s.ok) *
+                          static_cast<double>(payload.size()) / 1e6 / wall
+                    : 0.0;
+  s.p50_us = percentile(all, 0.50);
+  s.p99_us = percentile(all, 0.99);
+  s.p999_us = percentile(all, 0.999);
+  s.max_us = all.empty() ? 0.0 : static_cast<double>(all.back()) / 1e3;
+  return s;
+}
+
+bool write_json(const Options& opt, const std::vector<StepResult>& steps) {
+  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "load_gen: cannot write %s\n", opt.out_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"lc-bench-server-v1\",\n");
+  std::fprintf(f, "  \"payload_bytes\": %zu,\n", opt.payload_bytes);
+  std::fprintf(f, "  \"spec\": \"%s\",\n",
+               opt.spec.empty() ? "(server default)" : opt.spec.c_str());
+  std::fprintf(f, "  \"duration_ms_per_step\": %d,\n", opt.duration_ms);
+  std::fprintf(f, "  \"steps\": [\n");
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const StepResult& s = steps[i];
+    std::fprintf(f,
+                 "    {\"connections\": %d, \"requests\": %llu, \"ok\": "
+                 "%llu, \"overloaded\": %llu, \"errors\": %llu, "
+                 "\"throughput_rps\": %.0f, \"mb_s\": %.1f, \"p50_us\": "
+                 "%.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, \"max_us\": "
+                 "%.1f}%s\n",
+                 s.connections, static_cast<unsigned long long>(s.requests),
+                 static_cast<unsigned long long>(s.ok),
+                 static_cast<unsigned long long>(s.overloaded),
+                 static_cast<unsigned long long>(s.errors), s.throughput_rps,
+                 s.mb_s, s.p50_us, s.p99_us, s.p999_us, s.max_us,
+                 i + 1 < steps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[load_gen] wrote %s (%zu steps)\n",
+               opt.out_path.c_str(), steps.size());
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: load_gen [--steps=1,2,4] [--duration-ms=N] [--payload=N]\n"
+      "                [--spec=S] [--out=PATH] [--connect-unix=PATH]\n"
+      "                [--connect-tcp=HOST:PORT] [--workers=N] [--queue=N]\n"
+      "                [--metrics=PATH]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&a](const char* flag) {
+      return a.substr(std::strlen(flag));
+    };
+    if (a.rfind("--steps=", 0) == 0) {
+      opt.steps.clear();
+      std::string list = value("--steps=");
+      for (std::size_t pos = 0; pos <= list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) {
+          opt.steps.push_back(std::atoi(list.substr(pos, end - pos).c_str()));
+        }
+        pos = end + 1;
+      }
+      for (const int s : opt.steps) {
+        if (s <= 0) return false;
+      }
+    } else if (a.rfind("--duration-ms=", 0) == 0) {
+      opt.duration_ms = std::atoi(value("--duration-ms=").c_str());
+      if (opt.duration_ms <= 0) return false;
+    } else if (a.rfind("--payload=", 0) == 0) {
+      opt.payload_bytes =
+          static_cast<std::size_t>(std::atoll(value("--payload=").c_str()));
+      if (opt.payload_bytes == 0) return false;
+    } else if (a.rfind("--spec=", 0) == 0) {
+      opt.spec = value("--spec=");
+    } else if (a.rfind("--out=", 0) == 0) {
+      opt.out_path = value("--out=");
+    } else if (a.rfind("--connect-unix=", 0) == 0) {
+      opt.connect_unix = value("--connect-unix=");
+    } else if (a.rfind("--connect-tcp=", 0) == 0) {
+      const std::string hp = value("--connect-tcp=");
+      const std::size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) return false;
+      opt.connect_tcp_host = hp.substr(0, colon);
+      opt.connect_tcp_port = std::atoi(hp.substr(colon + 1).c_str());
+      if (opt.connect_tcp_port <= 0) return false;
+    } else if (a.rfind("--workers=", 0) == 0) {
+      opt.workers =
+          static_cast<std::size_t>(std::atoll(value("--workers=").c_str()));
+      if (opt.workers == 0) return false;
+    } else if (a.rfind("--queue=", 0) == 0) {
+      opt.queue_capacity =
+          static_cast<std::size_t>(std::atoll(value("--queue=").c_str()));
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      opt.metrics_path = value("--metrics=");
+    } else {
+      std::fprintf(stderr, "load_gen: unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  std::unique_ptr<lc::server::Server> local;
+  if (opt.connect_unix.empty() && opt.connect_tcp_host.empty()) {
+    lc::server::ServerConfig cfg;
+    cfg.unix_path =
+        "/tmp/lc_loadgen_" + std::to_string(::getpid()) + ".sock";
+    cfg.workers = opt.workers;
+    cfg.queue_capacity = opt.queue_capacity;
+    cfg.max_connections = 256;
+    local = std::make_unique<lc::server::Server>(cfg);
+    try {
+      local->start();
+    } catch (const lc::Error& e) {
+      std::fprintf(stderr, "load_gen: cannot start server: %s\n", e.what());
+      return 1;
+    }
+    opt.connect_unix = cfg.unix_path;
+    std::fprintf(stderr, "[load_gen] in-process server on %s (%zu workers)\n",
+                 cfg.unix_path.c_str(), cfg.workers);
+  }
+
+  const Bytes payload = make_payload(opt.payload_bytes);
+  std::vector<StepResult> results;
+  for (const int connections : opt.steps) {
+    const StepResult s = run_step(opt, payload, connections);
+    results.push_back(s);
+    std::fprintf(stderr,
+                 "[load_gen] c=%-3d  %7.0f req/s  %8.1f MB/s  p50 %7.1f us"
+                 "  p99 %8.1f us  p999 %8.1f us  (%llu ok, %llu shed, %llu "
+                 "err)\n",
+                 s.connections, s.throughput_rps, s.mb_s, s.p50_us, s.p99_us,
+                 s.p999_us, static_cast<unsigned long long>(s.ok),
+                 static_cast<unsigned long long>(s.overloaded),
+                 static_cast<unsigned long long>(s.errors));
+  }
+
+  const bool wrote = write_json(opt, results);
+
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path, std::ios::trunc);
+    if (out) {
+      lc::telemetry::write_metrics_json(out);
+      std::fprintf(stderr, "[load_gen] wrote %s\n", opt.metrics_path.c_str());
+    }
+  }
+  if (local) local->stop();
+
+  // Zero completed requests means the run measured nothing — fail loudly
+  // so CI's smoke leg cannot pass vacuously.
+  std::uint64_t total_ok = 0;
+  for (const StepResult& s : results) total_ok += s.ok;
+  if (total_ok == 0) {
+    std::fprintf(stderr, "load_gen: no successful requests\n");
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

@@ -21,6 +21,14 @@
 //   lc_cli d data.lc data.out
 //   lc_cli verify data.lc          # exit 0 iff every chunk verifies
 //   lc_cli salvage damaged.lc data.out   # zero-fills damaged chunks
+//
+// Exit codes (stable; scripts may rely on them — tests/cli/ does):
+//   0  success (verify/salvage: container fully intact)
+//   1  handled damage: verify/salvage found damaged chunks but completed
+//   2  usage error: bad arguments, unknown flag, unparsable pipeline spec
+//   3  I/O error: input unreadable or output unwritable
+//   4  corrupt input: container failed integrity checks (strict decode)
+//   5  internal error: unexpected exception — a bug, please report it
 
 #include <cerrno>
 #include <cstdio>
@@ -44,19 +52,28 @@
 
 namespace {
 
+// The documented exit-code contract (see the file header). Each failure
+// class maps to exactly one code so scripts can branch on $?.
+constexpr int kExitOk = 0;
+constexpr int kExitDamage = 1;    ///< verify/salvage: handled damage
+constexpr int kExitUsage = 2;     ///< bad arguments / bad pipeline spec
+constexpr int kExitIo = 3;        ///< file unreadable/unwritable
+constexpr int kExitCorrupt = 4;   ///< strict decode integrity failure
+constexpr int kExitInternal = 5;  ///< unexpected exception
+
 lc::Bytes read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  LC_REQUIRE(static_cast<bool>(in), "cannot open " + path);
+  if (!in) throw lc::IoError("cannot open " + path);
   return lc::Bytes(std::istreambuf_iterator<char>(in),
                    std::istreambuf_iterator<char>());
 }
 
 void write_file(const std::string& path, const lc::Bytes& data) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  LC_REQUIRE(static_cast<bool>(out), "cannot open " + path);
+  if (!out) throw lc::IoError("cannot open " + path);
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
-  LC_REQUIRE(static_cast<bool>(out), "write failed for " + path);
+  if (!out) throw lc::IoError("write failed for " + path);
 }
 
 int usage() {
@@ -83,8 +100,11 @@ int usage() {
                "  --cache=<file>    sweep cache path\n"
                "  --no-cache        force recomputation, no cache I/O\n"
                "  --grid[=<file>]   also evaluate the 44-cell timing grid "
-               "(cache at <file>)\n");
-  return 2;
+               "(cache at <file>)\n"
+               "exit codes:\n"
+               "  0 success   1 handled damage (verify/salvage)   2 usage\n"
+               "  3 I/O error   4 corrupt input   5 internal error\n");
+  return kExitUsage;
 }
 
 /// Strict base-10 double for --scale: full consumption, finite, > 0.
@@ -303,7 +323,7 @@ int run(const std::vector<std::string>& args) {
                 static_cast<unsigned>(result.version), result.spec.c_str(),
                 result.ok_count(), result.chunks.size(),
                 result.content_checksum_ok ? "ok" : "MISMATCH");
-    return result.complete() ? 0 : 1;
+    return result.complete() ? kExitOk : kExitDamage;
   }
   if (mode == "salvage" && args.size() == 3) {
     const Bytes packed = read_file(args[1]);
@@ -316,7 +336,7 @@ int run(const std::vector<std::string>& args) {
                 result.ok_count(), result.chunks.size(), damaged,
                 result.data.size());
     print_salvage_throughput(result, packed.size());
-    return result.complete() ? 0 : 1;
+    return result.complete() ? kExitOk : kExitDamage;
   }
   if (mode == "stats" && args.size() == 2) {
     // Run a full salvage walk with telemetry on, then pretty-print the
@@ -336,7 +356,7 @@ int run(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(
                     telemetry::recorded_span_count()));
     telemetry::print_metrics(std::cout);
-    return result.complete() ? 0 : 1;
+    return result.complete() ? kExitOk : kExitDamage;
   }
   return usage();
 }
@@ -346,12 +366,23 @@ int run(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   const GlobalFlags flags = extract_flags(args);
-  int rc = 0;
+  int rc = kExitOk;
+  // Most-derived first: CorruptDataError and IoError both inherit from
+  // Error, and each failure class owns one documented exit code.
   try {
     rc = run(args);
+  } catch (const lc::CorruptDataError& e) {
+    std::fprintf(stderr, "error: corrupt input: %s\n", e.what());
+    rc = kExitCorrupt;
+  } catch (const lc::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = kExitIo;
   } catch (const lc::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    rc = 1;
+    rc = kExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    rc = kExitInternal;
   }
   write_telemetry_outputs(flags);
   return rc;

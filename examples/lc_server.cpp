@@ -1,0 +1,112 @@
+/// \file lc_server.cpp
+/// The lc_server daemon: a fault-tolerant compression service over the
+/// LC codec (docs/SERVER.md). Listens on a unix socket and/or TCP
+/// loopback, applies admission control and per-request deadlines, and
+/// degrades gracefully under load instead of falling over.
+///
+/// Typical runs:
+///   lc_server --unix /tmp/lc.sock
+///   lc_server --tcp 0 --print-port     # ephemeral port, printed on stdout
+///
+/// The daemon exits 0 on SIGINT/SIGTERM after a graceful drain.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--unix PATH] [--tcp PORT] [--host ADDR] [--workers N]\n"
+      "          [--queue N] [--max-frame-bytes N] [--degrade-at F]\n"
+      "          [--default-spec SPEC] [--fast-spec SPEC] [--print-port]\n"
+      "\n"
+      "At least one of --unix / --tcp is required. --tcp 0 binds an\n"
+      "ephemeral port; --print-port writes 'PORT=<n>' to stdout for\n"
+      "scripts. See docs/SERVER.md for the protocol and the degradation\n"
+      "policy.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lc::server::ServerConfig cfg;
+  bool print_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--unix" && (v = value())) {
+      cfg.unix_path = v;
+    } else if (arg == "--tcp" && (v = value())) {
+      cfg.tcp_port = std::atoi(v);
+    } else if (arg == "--host" && (v = value())) {
+      cfg.tcp_host = v;
+    } else if (arg == "--workers" && (v = value())) {
+      cfg.workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--queue" && (v = value())) {
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--max-frame-bytes" && (v = value())) {
+      cfg.max_frame_bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--degrade-at" && (v = value())) {
+      cfg.service.degrade_at = std::atof(v);
+    } else if (arg == "--default-spec" && (v = value())) {
+      cfg.service.default_spec = v;
+    } else if (arg == "--fast-spec" && (v = value())) {
+      cfg.service.fast_spec = v;
+    } else if (arg == "--idle-timeout-ms" && (v = value())) {
+      cfg.idle_timeout_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--print-port") {
+      print_port = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.unix_path.empty() && cfg.tcp_port < 0) return usage(argv[0]);
+
+  try {
+    lc::server::Server server(cfg);
+    server.start();
+
+    if (!cfg.unix_path.empty()) {
+      std::fprintf(stderr, "lc_server: listening on unix %s\n",
+                   cfg.unix_path.c_str());
+    }
+    if (cfg.tcp_port >= 0) {
+      std::fprintf(stderr, "lc_server: listening on %s:%u\n",
+                   cfg.tcp_host.c_str(), server.tcp_port());
+      if (print_port) {
+        std::printf("PORT=%u\n", server.tcp_port());
+        std::fflush(stdout);
+      }
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "lc_server: draining and shutting down\n");
+    server.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lc_server: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

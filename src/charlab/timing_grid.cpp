@@ -23,6 +23,8 @@ struct GridMetrics {
   telemetry::Counter& cache_hits = telemetry::counter("charlab.grid.cache_hits");
   telemetry::Counter& cache_writes =
       telemetry::counter("charlab.grid.cache_writes");
+  telemetry::Counter& cache_corrupt =
+      telemetry::counter("charlab.grid.cache_corrupt");
 };
 
 GridMetrics& metrics() {
@@ -30,7 +32,11 @@ GridMetrics& metrics() {
   return m;
 }
 
-constexpr char kCacheMagic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '1'};
+// Cache format 0002 appends a payload digest (FNV-1a over the raw double
+// matrix) after the header so a truncated or bit-flipped cache file is
+// detected and transparently re-evaluated instead of silently feeding
+// garbage throughputs to every figure (and to lc_server's warm start).
+constexpr char kCacheMagic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '2'};
 
 /// Rows per parallel work item. 44 cells x ~13 slices keeps every pool
 /// worker busy to the end while each item still walks long contiguous
@@ -41,6 +47,19 @@ std::uint64_t cell_mode_bits(const GridCell& c) {
   return (static_cast<std::uint64_t>(c.tc) << 4) |
          (static_cast<std::uint64_t>(c.opt) << 2) |
          static_cast<std::uint64_t>(c.dir);
+}
+
+/// Digest of the cached value matrix, hashed row by row (the rows are
+/// contiguous double arrays; cells/pipelines counts are covered by the
+/// header fields that precede the digest).
+std::uint64_t payload_digest(const std::vector<std::vector<double>>& values) {
+  std::uint64_t h = hash_string("grid-cache-payload");
+  for (const std::vector<double>& v : values) {
+    h = hash_combine(
+        h, hash_bytes(reinterpret_cast<const unsigned char*>(v.data()),
+                      v.size() * sizeof(double)));
+  }
+  return h;
 }
 
 }  // namespace
@@ -188,6 +207,8 @@ bool TimingGrid::save_cache(const std::string& path) const {
   const std::uint64_t pipelines = num_pipelines();
   out.write(reinterpret_cast<const char*>(&cells), sizeof(cells));
   out.write(reinterpret_cast<const char*>(&pipelines), sizeof(pipelines));
+  const std::uint64_t digest = payload_digest(values_);
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
   for (const std::vector<double>& v : values_) {
     out.write(reinterpret_cast<const char*>(v.data()),
               static_cast<std::streamsize>(v.size() * sizeof(double)));
@@ -210,16 +231,32 @@ bool TimingGrid::load_cache(const std::string& path, std::uint64_t fingerprint,
   const telemetry::Span span("charlab.grid.load_cache");
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
+
+  // A miss with a diagnosis: corruption is logged loudly (the caller
+  // transparently re-evaluates either way), while an absent, stale or
+  // foreign file stays a silent miss — that is the cache working as
+  // intended, not failing.
+  const auto corrupt = [&path](const char* why) {
+    metrics().cache_corrupt.add();
+    std::fprintf(stderr,
+                 "charlab: grid cache %s is corrupt (%s); discarding it and "
+                 "re-evaluating\n",
+                 path.c_str(), why);
+    return false;
+  };
+
   char magic[sizeof(kCacheMagic)];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return false;
-  std::uint64_t fp = 0, cell_count = 0, row_count = 0;
+  std::uint64_t fp = 0, cell_count = 0, row_count = 0, want_digest = 0;
   in.read(reinterpret_cast<char*>(&fp), sizeof(fp));
   in.read(reinterpret_cast<char*>(&cell_count), sizeof(cell_count));
   in.read(reinterpret_cast<char*>(&row_count), sizeof(row_count));
-  if (!in || fp != fingerprint || cell_count != cells().size() ||
-      row_count != pipelines) {
-    return false;
+  in.read(reinterpret_cast<char*>(&want_digest), sizeof(want_digest));
+  if (!in) return corrupt("header truncated");
+  if (fp != fingerprint) return false;  // stale sweep/model: silent miss
+  if (cell_count != cells().size() || row_count != pipelines) {
+    return corrupt("cell/pipeline counts disagree with the fingerprint");
   }
   out.values_.assign(cell_count, std::vector<double>(row_count));
   for (std::vector<double>& v : out.values_) {
@@ -228,7 +265,15 @@ bool TimingGrid::load_cache(const std::string& path, std::uint64_t fingerprint,
   }
   if (!in) {
     out.values_.clear();
-    return false;
+    return corrupt("payload truncated");
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    out.values_.clear();
+    return corrupt("trailing bytes after payload");
+  }
+  if (payload_digest(out.values_) != want_digest) {
+    out.values_.clear();
+    return corrupt("payload digest mismatch (bit rot or torn write)");
   }
   out.fingerprint_ = fingerprint;
   out.loaded_from_cache_ = true;

@@ -1,0 +1,82 @@
+#ifndef LC_COMMON_CANCEL_H
+#define LC_COMMON_CANCEL_H
+
+/// \file cancel.h
+/// Cooperative cancellation for long-running codec operations.
+///
+/// The serving path (src/server/) gives every request a deadline; a
+/// request that blows it, or whose client disconnects mid-flight, must
+/// stop consuming a worker promptly — but the component kernels are
+/// tight loops that cannot be interrupted mid-chunk without corrupting
+/// their output. The compromise, mirroring how the GPU original can only
+/// abandon work at thread-block granularity: the codec checks a
+/// CancelToken at chunk boundaries (and the salvage scanner every few
+/// kilobytes of resync scanning), so cancellation latency is bounded by
+/// one chunk's work, not one request's.
+///
+/// A token is shared between the issuer (connection reader, deadline
+/// bookkeeping) and the worker executing the operation; both sides only
+/// touch atomics, so signalling is race-free and allocation-free.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/error.h"
+#include "telemetry/telemetry.h"
+
+namespace lc {
+
+/// Thrown by cancellation checkpoints. Derives from Error so existing
+/// catch sites (parallel_for propagation, CLI) handle it; callers that
+/// care about the distinction catch the derived type first.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Shared cancellation state: an explicit flag (client disconnected,
+/// server shutting down) plus an optional absolute deadline on the
+/// telemetry steady clock. Deadlines are computed server-side from
+/// client-relative milliseconds, so a clock-skewed client cannot make a
+/// deadline land in the distant past or future (see docs/SERVER.md).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::uint64_t deadline_ns) : deadline_ns_(deadline_ns) {}
+
+  /// Signal cancellation (idempotent, thread-safe).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Absolute deadline in telemetry::now_ns() time; 0 = none.
+  void set_deadline(std::uint64_t ns) noexcept { deadline_ns_ = ns; }
+  [[nodiscard]] std::uint64_t deadline_ns() const noexcept {
+    return deadline_ns_;
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool expired() const noexcept {
+    return deadline_ns_ != 0 && telemetry::now_ns() > deadline_ns_;
+  }
+  /// True when work should stop: explicit cancel or deadline passed.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return cancelled() || expired();
+  }
+
+  /// Checkpoint: throws CancelledError when stop is requested. `what`
+  /// names the operation for the error message (a string literal).
+  void check(const char* what) const {
+    if (stop_requested()) {
+      throw CancelledError(std::string("LC: cancelled during ") + what);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::uint64_t deadline_ns_ = 0;
+};
+
+}  // namespace lc
+
+#endif  // LC_COMMON_CANCEL_H

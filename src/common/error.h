@@ -30,6 +30,7 @@ enum class ErrorCode : unsigned char {
   kChunkDecodeFailed,        ///< component-level decode of a record failed
   kContentChecksumMismatch,  ///< whole-output checksum mismatch (v2+)
   kTrailingBytes,            ///< bytes after the last chunk frame
+  kResyncLimit,              ///< salvage resync scan budget exhausted
 };
 
 /// Stable, human-readable name of an ErrorCode.
@@ -47,6 +48,7 @@ enum class ErrorCode : unsigned char {
     case ErrorCode::kContentChecksumMismatch:
       return "content-checksum-mismatch";
     case ErrorCode::kTrailingBytes: return "trailing-bytes";
+    case ErrorCode::kResyncLimit: return "resync-limit";
   }
   return "unknown";
 }
@@ -56,6 +58,14 @@ enum class ErrorCode : unsigned char {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on filesystem failures (open/read/write) so callers — the CLI's
+/// exit-code mapping, the server's typed responses — can distinguish "the
+/// environment failed" from "the data is bad" or "the request is wrong".
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
 };
 
 /// Thrown specifically when decoding encounters corrupt or truncated data.

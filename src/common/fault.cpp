@@ -104,6 +104,12 @@ Bytes Injector::splice(ByteSpan data) {
   return out;
 }
 
+Bytes Injector::garbage(std::size_t n) {
+  Bytes out(n);
+  for (Byte& b : out) b = static_cast<Byte>(rng_.next());
+  return out;
+}
+
 Bytes Injector::reorder(ByteSpan data) {
   Bytes out(data.begin(), data.end());
   if (out.size() < 2) return out;

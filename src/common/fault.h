@@ -76,6 +76,10 @@ class Injector {
   /// Overwrite a random window (1..32 bytes) with seeded random bytes.
   [[nodiscard]] Bytes splice(ByteSpan data);
 
+  /// `n` seeded random bytes — wire garbage for the service chaos
+  /// harness (malformed frames, post-frame garbage bursts).
+  [[nodiscard]] Bytes garbage(std::size_t n);
+
   /// Swap two non-overlapping random windows of equal length.
   [[nodiscard]] Bytes reorder(ByteSpan data);
 
@@ -95,6 +99,66 @@ class Injector {
   std::size_t lo_ = 0;
   std::size_t hi_ = 0;  ///< 0 = no target region
 };
+
+/// ---------------------------------------------------------------------
+/// Service-layer chaos vocabulary (src/server/). The container mutators
+/// above damage *data at rest*; a long-running service additionally meets
+/// misbehaving *clients*, *workers* and *resources*. These fault classes
+/// are driven as a seeded matrix by tests/server/chaos_test.cpp: every
+/// class must end in a typed error response or a clean connection close —
+/// never a crash, deadlock or leak (docs/SERVER.md, "Error taxonomy").
+
+/// What goes wrong.
+enum class ServiceFault : unsigned char {
+  kSlowLoris,          ///< client trickles a frame slower than the read timeout
+  kMidFrameDisconnect, ///< client vanishes with a frame half-sent
+  kMalformedFrame,     ///< wire bytes that never were a frame (bad magic)
+  kOversizedFrame,     ///< declared frame length beyond the server's cap
+  kGarbageBurst,       ///< seeded random bytes where a frame should start
+  kCorruptPayload,     ///< well-framed request carrying a damaged container
+  kWorkerThrow,        ///< exception escapes request processing
+  kWorkerBadAlloc,     ///< allocation failure (arena/heap exhaustion) mid-request
+  kClockSkewDeadline,  ///< absurd client deadlines: 0, 1 ms, ~UINT32_MAX ms
+};
+
+/// All service fault classes, for matrix-style test drivers.
+inline constexpr ServiceFault kAllServiceFaults[] = {
+    ServiceFault::kSlowLoris,      ServiceFault::kMidFrameDisconnect,
+    ServiceFault::kMalformedFrame, ServiceFault::kOversizedFrame,
+    ServiceFault::kGarbageBurst,   ServiceFault::kCorruptPayload,
+    ServiceFault::kWorkerThrow,    ServiceFault::kWorkerBadAlloc,
+    ServiceFault::kClockSkewDeadline};
+
+[[nodiscard]] constexpr const char* to_string(ServiceFault f) noexcept {
+  switch (f) {
+    case ServiceFault::kSlowLoris: return "slow-loris";
+    case ServiceFault::kMidFrameDisconnect: return "mid-frame-disconnect";
+    case ServiceFault::kMalformedFrame: return "malformed-frame";
+    case ServiceFault::kOversizedFrame: return "oversized-frame";
+    case ServiceFault::kGarbageBurst: return "garbage-burst";
+    case ServiceFault::kCorruptPayload: return "corrupt-payload";
+    case ServiceFault::kWorkerThrow: return "worker-throw";
+    case ServiceFault::kWorkerBadAlloc: return "worker-bad-alloc";
+    case ServiceFault::kClockSkewDeadline: return "clock-skew-deadline";
+  }
+  return "unknown";
+}
+
+/// Where it is injected.
+enum class InjectPoint : unsigned char {
+  kClient,    ///< at the socket, by a misbehaving client
+  kWorker,    ///< inside request processing, via the service fault hook
+  kResource,  ///< as a resource failure (allocation, queue capacity)
+};
+
+[[nodiscard]] constexpr const char* to_string(InjectPoint p) noexcept {
+  switch (p) {
+    case InjectPoint::kClient: return "client";
+    case InjectPoint::kWorker: return "worker";
+    case InjectPoint::kResource: return "resource";
+  }
+  return "unknown";
+}
 
 }  // namespace lc::fault
 

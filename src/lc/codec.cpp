@@ -31,6 +31,10 @@ struct CodecMetrics {
       telemetry::counter("lc.salvage.chunks_damaged");
   telemetry::Counter& salvage_resyncs =
       telemetry::counter("lc.salvage.resyncs");
+  telemetry::Counter& salvage_resync_bytes =
+      telemetry::counter("lc.salvage.resync_bytes_scanned");
+  telemetry::Counter& salvage_resync_limit_hits =
+      telemetry::counter("lc.salvage.resync_limit_hits");
   telemetry::Histogram& encode_chunk_ns = telemetry::histogram(
       "lc.codec.encode_chunk_ns", telemetry::kDurationBoundsNs);
   telemetry::Histogram& decode_chunk_ns = telemetry::histogram(
@@ -42,11 +46,11 @@ CodecMetrics& metrics() {
   return m;
 }
 
-constexpr char kMagic[4] = {'L', 'C', 'R', '1'};
 // v1: bare frames. v2: + whole-output checksum. v3: + per-chunk framing
 // (sync marker, frame checksum, chunk index) enabling salvage decode.
-constexpr Byte kSync0 = 0xE7;
-constexpr Byte kSync1 = 0x4C;
+constexpr const Byte* kMagic = kContainerMagic;
+constexpr Byte kSync0 = kSyncMarker0;
+constexpr Byte kSync1 = kSyncMarker1;
 
 /// Parsed shared header (everything before the chunk frames).
 struct Header {
@@ -181,9 +185,11 @@ template <typename OnFail>
 void decode_frames(const Pipeline& pipeline, ByteSpan container,
                    const Header& h, const std::vector<Frame>& frames,
                    const std::vector<unsigned char>& present, Bytes& out,
-                   ThreadPool& pool, const OnFail& on_fail) {
+                   ThreadPool& pool, const CancelToken* cancel,
+                   const OnFail& on_fail) {
   out.assign(static_cast<std::size_t>(h.total), Byte{0});
   parallel_for(pool, 0, h.chunks, [&](std::size_t c) {
+    if (cancel != nullptr) cancel->check("decompress");
     if (!present[c]) return;
     const std::size_t lo = c * static_cast<std::size_t>(h.chunk_size);
     const std::size_t hi =
@@ -279,7 +285,7 @@ void decode_chunk(const Pipeline& pipeline, ByteSpan record,
 }
 
 Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
-               ContainerVersion version) {
+               ContainerVersion version, const CancelToken* cancel) {
   const std::size_t chunks =
       input.empty() ? 0 : (input.size() + kChunkSize - 1) / kChunkSize;
   telemetry::Span top("lc.compress", "bytes", input.size());
@@ -292,6 +298,7 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
   std::vector<Bytes> records(chunks);
   std::vector<std::uint8_t> masks(chunks, 0);
   parallel_for(pool, 0, chunks, [&](std::size_t c) {
+    if (cancel != nullptr) cancel->check("compress");
     const std::size_t lo = c * kChunkSize;
     const std::size_t hi = std::min(input.size(), lo + kChunkSize);
     telemetry::Span span("lc.encode_chunk", "chunk", c);
@@ -308,7 +315,7 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
   const std::string spec = pipeline.spec();
   Bytes out;
   out.reserve(4 + 1 + 3 * 10 + spec.size() + 8);
-  for (const char m : kMagic) out.push_back(static_cast<Byte>(m));
+  out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(static_cast<Byte>(version));
   put_varint(out, spec.size());
   out.insert(out.end(), spec.begin(), spec.end());
@@ -367,7 +374,8 @@ Bytes compress(const Pipeline& pipeline, ByteSpan input, ThreadPool& pool,
   return out;
 }
 
-Bytes decompress(ByteSpan container, ThreadPool& pool) {
+Bytes decompress(ByteSpan container, ThreadPool& pool,
+                 const CancelToken* cancel) {
   telemetry::Span top("lc.decompress", "bytes", container.size());
   const Header h = parse_header(container);
   const Pipeline pipeline = parse_spec(h.spec);
@@ -418,7 +426,7 @@ Bytes decompress(ByteSpan container, ThreadPool& pool) {
 
   Bytes out;
   const std::vector<unsigned char> present(h.chunks, 1);
-  decode_frames(pipeline, container, h, frames, present, out, pool,
+  decode_frames(pipeline, container, h, frames, present, out, pool, cancel,
                 [](std::size_t c, const std::string& what) {
                   throw CorruptDataError(
                       ErrorCode::kChunkDecodeFailed,
@@ -442,7 +450,8 @@ std::size_t SalvageResult::damaged_count() const noexcept {
   return chunks.size() - ok_count();
 }
 
-SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
+SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool,
+                                 const SalvageOptions& options) {
   // Timed unconditionally (two clock reads per call): the CLI prints a
   // salvage throughput line from elapsed_ns even with telemetry off.
   const std::uint64_t t_start = telemetry::now_ns();
@@ -481,6 +490,7 @@ SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
     // between the failure and the resync point are lost.
     std::size_t next = 0;
     while (next < h.chunks) {
+      if (options.cancel != nullptr) options.cancel->check("salvage walk");
       Frame f;
       ErrorCode code = ErrorCode::kUnspecified;
       std::string detail;
@@ -505,7 +515,22 @@ SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
                                            : code,
            pos, detail.empty() ? "frame invalid" : detail);
       bool resynced = false;
-      for (std::size_t q = pos + 1; q + 2 <= container.size(); ++q) {
+      bool budget_hit = false;
+      const std::size_t scan_base = pos + 1;
+      std::size_t scanned = 0;
+      for (std::size_t q = scan_base; q + 2 <= container.size(); ++q) {
+        scanned = q - scan_base + 1;
+        if (options.max_resync_scan_bytes != 0 &&
+            scanned > options.max_resync_scan_bytes) {
+          budget_hit = true;
+          break;
+        }
+        // A pathological input keeps the scanner in this loop for the
+        // whole budget; honor cancellation every 4 KiB so a deadlined
+        // request cannot be pinned here either.
+        if (options.cancel != nullptr && (scanned & 0xFFF) == 0) {
+          options.cancel->check("salvage resync");
+        }
         if (container[q] != kSync0 || container[q + 1] != kSync1) continue;
         std::size_t pq = q;
         Frame g;
@@ -526,10 +551,22 @@ SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
         metrics().salvage_resyncs.add();
         break;
       }
+      metrics().salvage_resync_bytes.add(scanned);
       if (!resynced) {
-        for (std::size_t c = next + 1; c < h.chunks; ++c) {
-          mark(c, ChunkStatus::kTruncated, ErrorCode::kChunkTruncated,
-               container.size(), "no further sync marker in the container");
+        if (budget_hit) {
+          metrics().salvage_resync_limit_hits.add();
+          for (std::size_t c = next + 1; c < h.chunks; ++c) {
+            mark(c, ChunkStatus::kCorrupt, ErrorCode::kResyncLimit,
+                 scan_base + scanned,
+                 "resync scan budget exhausted (" +
+                     std::to_string(options.max_resync_scan_bytes) +
+                     " bytes) before a valid sync marker");
+          }
+        } else {
+          for (std::size_t c = next + 1; c < h.chunks; ++c) {
+            mark(c, ChunkStatus::kTruncated, ErrorCode::kChunkTruncated,
+                 container.size(), "no further sync marker in the container");
+          }
         }
         break;
       }
@@ -571,6 +608,7 @@ SalvageResult decompress_salvage(ByteSpan container, ThreadPool& pool) {
   }
 
   decode_frames(pipeline, container, h, frames, present, result.data, pool,
+                options.cancel,
                 [&](std::size_t c, const std::string& what) {
                   mark(c, ChunkStatus::kCorrupt, ErrorCode::kChunkDecodeFailed,
                        frames[c].record_off, what);

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "lc/pipeline.h"
@@ -46,6 +47,13 @@ namespace lc {
 
 /// Chunk size used by LC (16 kB).
 inline constexpr std::size_t kChunkSize = 16 * 1024;
+
+/// Container magic bytes ("LCR1") and the v3 frame sync marker, public so
+/// single-chunk fast paths (the lc_server small-payload path) can build
+/// and recognize containers without duplicating format constants.
+inline constexpr Byte kContainerMagic[4] = {'L', 'C', 'R', '1'};
+inline constexpr Byte kSyncMarker0 = 0xE7;
+inline constexpr Byte kSyncMarker1 = 0x4C;
 
 /// Container format generations. kV1: no integrity data. kV2: whole-output
 /// checksum (corruption detected, not localized). kV3: per-chunk framing
@@ -87,16 +95,22 @@ void decode_chunk(const Pipeline& pipeline, ByteSpan record,
 /// Compress `input` with `pipeline` into a self-describing container.
 /// Writes the current (v3) format by default; pass an older version to
 /// produce archives for compatibility testing or legacy consumers.
+/// When `cancel` is non-null it is checked at every chunk boundary; a
+/// cancelled or deadline-expired token aborts with CancelledError
+/// (cancellation latency is bounded by one chunk's work — see
+/// common/cancel.h).
 [[nodiscard]] Bytes compress(const Pipeline& pipeline, ByteSpan input,
                              ThreadPool& pool = ThreadPool::global(),
-                             ContainerVersion version = ContainerVersion::kV3);
+                             ContainerVersion version = ContainerVersion::kV3,
+                             const CancelToken* cancel = nullptr);
 
 /// Decompress a container produced by compress(). The pipeline is
 /// recovered from the container itself; all three container versions are
 /// accepted. Strict: throws CorruptDataError (with an ErrorCode) on the
-/// first integrity violation.
+/// first integrity violation. `cancel` as in compress().
 [[nodiscard]] Bytes decompress(ByteSpan container,
-                               ThreadPool& pool = ThreadPool::global());
+                               ThreadPool& pool = ThreadPool::global(),
+                               const CancelToken* cancel = nullptr);
 
 /// Outcome of one chunk in a salvage decode.
 enum class ChunkStatus : std::uint8_t {
@@ -145,16 +159,33 @@ struct SalvageResult {
   }
 };
 
+/// Tunables for decompress_salvage(). The scan bound exists because
+/// resynchronization is a linear search for the next sync marker: on a
+/// pathological input (a valid header followed by megabytes of garbage)
+/// an unbounded scan per damaged frame turns salvage into an O(chunks x
+/// container) walk — a denial-of-service vector when salvage serves
+/// untrusted data (the lc_server degradation path does).
+struct SalvageOptions {
+  /// Max bytes scanned past a damaged frame looking for the next valid
+  /// sync marker, per resync attempt. 0 = unbounded. When the budget runs
+  /// out the remaining chunks are reported with ErrorCode::kResyncLimit.
+  std::size_t max_resync_scan_bytes = std::size_t{16} << 20;
+  /// Checked at chunk boundaries and every few KiB of resync scanning.
+  const CancelToken* cancel = nullptr;
+};
+
 /// Best-effort decode of a damaged or truncated container: recovers every
 /// chunk that still verifies, zero-fills the rest, and reports each
 /// chunk's status with offsets and error codes. For v3 containers the
-/// sync markers allow resynchronization past damaged frames; for v1/v2
-/// recovery stops being exact at the first structural break (no markers
-/// to resync on) and per-chunk corruption is only detectable via the
-/// whole-output checksum. Throws CorruptDataError only when the container
-/// header itself (magic/version/spec/sizes) is unusable.
+/// sync markers allow resynchronization past damaged frames (bounded per
+/// SalvageOptions); for v1/v2 recovery stops being exact at the first
+/// structural break (no markers to resync on) and per-chunk corruption is
+/// only detectable via the whole-output checksum. Throws CorruptDataError
+/// only when the container header itself (magic/version/spec/sizes) is
+/// unusable.
 [[nodiscard]] SalvageResult decompress_salvage(
-    ByteSpan container, ThreadPool& pool = ThreadPool::global());
+    ByteSpan container, ThreadPool& pool = ThreadPool::global(),
+    const SalvageOptions& options = {});
 
 /// Convenience: true iff decompress(compress(input)) == input.
 [[nodiscard]] bool verify_roundtrip(const Pipeline& pipeline, ByteSpan input,

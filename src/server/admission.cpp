@@ -1,0 +1,92 @@
+#include "server/admission.h"
+
+#include "telemetry/metrics.h"
+
+namespace lc::server {
+namespace {
+
+telemetry::Gauge& depth_gauge() {
+  static telemetry::Gauge& g = telemetry::gauge("lc.server.queue_depth");
+  return g;
+}
+telemetry::Gauge& depth_max_gauge() {
+  static telemetry::Gauge& g = telemetry::gauge("lc.server.queue_depth_max");
+  return g;
+}
+telemetry::Counter& admitted_counter() {
+  static telemetry::Counter& c = telemetry::counter("lc.server.admitted");
+  return c;
+}
+telemetry::Counter& rejected_counter() {
+  static telemetry::Counter& c =
+      telemetry::counter("lc.server.rejected_overload");
+  return c;
+}
+
+}  // namespace
+
+Admit AdmissionQueue::try_push(WorkItem item) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Admit::kClosed;
+    if (items_.size() >= capacity_) {
+      rejected_counter().add();
+      return Admit::kOverloaded;
+    }
+    items_.push_back(std::move(item));
+    const auto depth = static_cast<std::int64_t>(items_.size());
+    depth_gauge().set(depth);
+    depth_max_gauge().max_of(depth);
+  }
+  admitted_counter().add();
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+bool AdmissionQueue::pop(WorkItem& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  depth_gauge().set(static_cast<std::int64_t>(items_.size()));
+  return true;
+}
+
+bool AdmissionQueue::try_pop_if(
+    const std::function<bool(const WorkItem&)>& pred, WorkItem& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty() || !pred(items_.front())) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  depth_gauge().set(static_cast<std::int64_t>(items_.size()));
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+double AdmissionQueue::pressure() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_ == 0
+             ? 1.0
+             : static_cast<double>(items_.size()) /
+                   static_cast<double>(capacity_);
+}
+
+}  // namespace lc::server

@@ -1,0 +1,74 @@
+#ifndef LC_SERVER_ADMISSION_H
+#define LC_SERVER_ADMISSION_H
+
+/// \file admission.h
+/// Bounded admission queue: the server's backpressure mechanism.
+///
+/// The central robustness decision of lc_server is that load is *shed at
+/// the door*, not buffered: a full queue rejects immediately with a
+/// typed OVERLOADED response, so the client learns within one round trip
+/// that it must back off — instead of its request aging in an unbounded
+/// buffer until the deadline is unmeetable and memory is gone. Queue
+/// depth is therefore also the pressure signal the degradation policies
+/// key off (service.h).
+///
+/// The queue carries opaque work items (templated would be overkill:
+/// the server has exactly one item type). Expired items are skipped at
+/// pop time by the caller, which sees the deadline on the item.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "server/service_types.h"
+
+namespace lc::server {
+
+/// Outcome of an admission attempt.
+enum class Admit : std::uint8_t {
+  kAdmitted,    ///< item enqueued
+  kOverloaded,  ///< queue at capacity — respond Status::kOverloaded
+  kClosed,      ///< queue closed (shutdown) — respond Status::kShuttingDown
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Try to admit; never blocks. Backpressure, not buffering.
+  [[nodiscard]] Admit try_push(WorkItem item);
+
+  /// Block until an item is available or the queue is closed and empty.
+  /// Returns false on closed-and-drained (worker should exit).
+  [[nodiscard]] bool pop(WorkItem& out);
+
+  /// Pop the head only if `pred(head)` holds; never blocks. Used by the
+  /// small-payload batcher to greedily coalesce compatible neighbors
+  /// without stealing unrelated work.
+  [[nodiscard]] bool try_pop_if(
+      const std::function<bool(const WorkItem&)>& pred, WorkItem& out);
+
+  /// Close the queue: pending items still drain; new pushes get kClosed.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+  /// Current fill fraction (0..1) — the degradation pressure signal.
+  [[nodiscard]] double pressure() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<WorkItem> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lc::server
+
+#endif  // LC_SERVER_ADMISSION_H

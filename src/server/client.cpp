@@ -1,0 +1,138 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace lc::server {
+namespace {
+
+void send_all_or_throw(int fd, const Byte* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("LC: send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw IoError("LC: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string why = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    throw IoError("LC: cannot connect to " + path + ": " + why);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("LC: bad TCP host: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string why = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    throw IoError("LC: cannot connect to " + host + ":" +
+                  std::to_string(port) + ": " + why);
+  }
+  return Client(fd);
+}
+
+Response Client::call(Op op, ByteSpan payload, std::string_view spec,
+                      std::uint32_t deadline_ms) {
+  LC_REQUIRE(connected(), "client not connected");
+  const std::uint64_t id = next_id_++;
+  tx_.clear();
+  append_request(tx_, op, id, deadline_ms, spec, payload);
+  send_all_or_throw(fd_, tx_.data(), tx_.size());
+  Response r;
+  for (;;) {
+    if (!recv_response(r, -1)) {
+      throw IoError("LC: connection closed before a response arrived");
+    }
+    // Responses to rejected requests can arrive with id 0 (the server
+    // could not parse ours); surface whatever came back.
+    if (r.request_id == id || r.request_id == 0) return r;
+  }
+}
+
+void Client::send_raw(ByteSpan bytes) {
+  LC_REQUIRE(connected(), "client not connected");
+  send_all_or_throw(fd_, bytes.data(), bytes.size());
+}
+
+bool Client::recv_response(Response& out, int timeout_ms) {
+  LC_REQUIRE(connected(), "client not connected");
+  Byte buf[16 * 1024];
+  // Serve an already-buffered frame before touching the socket.
+  FrameReader::State st = reader_.next();
+  for (;;) {
+    if (st == FrameReader::State::kFrame) {
+      out = parse_response_body(reader_.body());
+      return true;
+    }
+    if (st != FrameReader::State::kNeedMore) {
+      throw IoError("LC: protocol violation in server response stream");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return false;  // timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("LC: poll failed: ") + std::strerror(errno));
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return false;  // clean close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("LC: recv failed: ") + std::strerror(errno));
+    }
+    st = reader_.feed(ByteSpan(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace lc::server

@@ -1,0 +1,68 @@
+#ifndef LC_SERVER_CLIENT_H
+#define LC_SERVER_CLIENT_H
+
+/// \file client.h
+/// Blocking lc_server client: one socket, synchronous request/response.
+/// This is the client the tests, the chaos harness and the load
+/// generator build on — the chaos harness in particular needs the raw
+/// escape hatches (send_raw, shutdown_write, fd) to speak *incorrect*
+/// protocol on purpose: partial frames, garbage bytes, mid-frame
+/// disconnects.
+///
+/// One Client is one connection and is not thread-safe; concurrent load
+/// uses one Client per thread (bench/server does exactly that).
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace lc::server {
+
+class Client {
+ public:
+  /// Connect or throw IoError.
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(const std::string& host,
+                                          std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Send one request and block for its response. Throws IoError on a
+  /// closed/failed connection (a typed error *response* is not an
+  /// exception — inspect Response::status).
+  Response call(Op op, ByteSpan payload, std::string_view spec = {},
+                std::uint32_t deadline_ms = 0);
+
+  /// Append raw bytes to the stream, bypassing framing (chaos only).
+  void send_raw(ByteSpan bytes);
+
+  /// Wait up to timeout_ms for one response frame. Returns false on
+  /// timeout or connection close without a frame; throws IoError only on
+  /// protocol-breaking responses (bad magic from the server).
+  [[nodiscard]] bool recv_response(Response& out, int timeout_ms);
+
+  /// Half-close: no more request bytes (the mid-frame-disconnect chaos
+  /// probe sends a frame prefix, then calls this).
+  void shutdown_write();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+ private:
+  explicit Client(int fd);
+
+  int fd_ = -1;
+  FrameReader reader_{std::size_t{1} << 30};
+  std::uint64_t next_id_ = 1;
+  Bytes tx_;
+};
+
+}  // namespace lc::server
+
+#endif  // LC_SERVER_CLIENT_H

@@ -1,0 +1,210 @@
+#ifndef LC_SERVER_PROTOCOL_H
+#define LC_SERVER_PROTOCOL_H
+
+/// \file protocol.h
+/// The lc_server wire protocol: length-prefixed binary frames over a
+/// byte stream (unix socket or TCP). One frame shape in both directions:
+///
+///   u8[4]  magic  'L' 'C' 'S' '1'
+///   u32le  body length (bytes after this field; bounded by the server's
+///          max_frame_bytes — an oversized declaration is rejected
+///          *before* any buffering, which is what makes the cap a real
+///          memory bound and not a suggestion)
+///
+/// Request body:
+///   u8     opcode            (Op)
+///   u64le  request id        (echoed verbatim in the response)
+///   u32le  deadline in ms    (relative to arrival; 0 = none. Relative,
+///          not absolute: the server derives the absolute deadline from
+///          its own clock, so client clock skew cannot move it)
+///   u16le  spec length, then the pipeline spec bytes (compress only;
+///          empty = server default)
+///   rest   payload
+///
+/// Response body:
+///   u8     status            (Status — the error taxonomy)
+///   u8     flags             (kFlagDegraded | kFlagPartial)
+///   u64le  request id
+///   u16le  detail length, then a short human-readable detail string
+///   rest   payload
+///
+/// Parsing is split from I/O: FrameReader consumes arbitrary byte
+/// slices (as sockets deliver them) and yields complete frames, so the
+/// malformed/oversized/split-frame handling is unit-testable without a
+/// socket in sight — and the chaos harness can replay hostile byte
+/// sequences byte by byte.
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace lc::server {
+
+inline constexpr Byte kFrameMagic[4] = {'L', 'C', 'S', '1'};
+inline constexpr std::size_t kFrameHeaderSize = 8;  ///< magic + body length
+
+/// Request opcodes.
+enum class Op : std::uint8_t {
+  kPing = 1,        ///< echo the payload (liveness, latency probes)
+  kCompress = 2,    ///< payload = raw bytes; response payload = container
+  kDecompress = 3,  ///< payload = container; response payload = raw bytes
+  kVerify = 4,      ///< payload = container; response detail = damage map
+  kSalvage = 5,     ///< payload = container; response payload = best-effort
+                    ///< bytes, kFlagPartial when damaged
+  kStats = 6,       ///< response payload = telemetry metrics JSON
+};
+
+[[nodiscard]] constexpr bool valid_op(std::uint8_t v) noexcept {
+  return v >= 1 && v <= 6;
+}
+
+[[nodiscard]] constexpr const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kCompress: return "compress";
+    case Op::kDecompress: return "decompress";
+    case Op::kVerify: return "verify";
+    case Op::kSalvage: return "salvage";
+    case Op::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+/// Typed response statuses — every failure mode the chaos matrix injects
+/// maps to exactly one of these (or to a clean connection close when no
+/// response can be framed, e.g. the stream itself is garbage).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,        ///< admission queue full — back off and retry
+  kDeadlineExceeded = 2,  ///< missed the request deadline (queued or running)
+  kMalformed = 3,         ///< request body unparsable
+  kTooLarge = 4,          ///< declared frame length beyond max_frame_bytes
+  kBadRequest = 5,        ///< unknown opcode or unparsable pipeline spec
+  kCorruptInput = 6,      ///< decompress/verify input failed integrity checks
+  kInternal = 7,          ///< exception escaped processing (bug or OOM)
+  kShuttingDown = 8,      ///< server is draining; connection will close
+  kPartialData = 9,       ///< degraded decompress served salvage output
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kMalformed: return "malformed";
+    case Status::kTooLarge: return "too-large";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kCorruptInput: return "corrupt-input";
+    case Status::kInternal: return "internal";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kPartialData: return "partial-data";
+  }
+  return "unknown";
+}
+
+/// Response flag bits.
+inline constexpr std::uint8_t kFlagDegraded = 0x01;  ///< pipeline downgraded
+inline constexpr std::uint8_t kFlagPartial = 0x02;   ///< output not byte-exact
+
+/// A parsed request frame. Spans point into the frame buffer they were
+/// parsed from; copy before the buffer is reused.
+struct RequestView {
+  Op op = Op::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;
+  std::string_view spec;
+  ByteSpan payload;
+};
+
+/// An owned response, built by the service and serialized by the server.
+struct Response {
+  Status status = Status::kOk;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::string detail;
+  Bytes payload;
+
+  /// Reset for reuse without releasing buffer capacity (the worker's
+  /// steady state keeps one Response warm per request slot).
+  void reset(std::uint64_t id) {
+    status = Status::kOk;
+    flags = 0;
+    request_id = id;
+    detail.clear();
+    payload.clear();
+  }
+};
+
+/// Serialize a request frame (client side; also the chaos harness's
+/// honest-frame baseline). Appends to `out`.
+void append_request(Bytes& out, Op op, std::uint64_t request_id,
+                    std::uint32_t deadline_ms, std::string_view spec,
+                    ByteSpan payload);
+
+/// Serialize a response frame. Appends to `out` (cleared first by the
+/// caller when reusing a warm buffer).
+void append_response(Bytes& out, const Response& r);
+
+/// Parse one request body (the bytes after the 8-byte frame header).
+/// Throws CorruptDataError on malformed bodies; the server maps that to
+/// Status::kMalformed (or kBadRequest for a bad opcode byte).
+[[nodiscard]] RequestView parse_request_body(ByteSpan body);
+
+/// Parse one response body (client side).
+[[nodiscard]] Response parse_response_body(ByteSpan body);
+
+/// Incremental frame assembler. Feed it bytes as they arrive; it yields
+/// complete frame bodies. Malformed magic and oversized declarations are
+/// reported as typed states so the connection layer can respond before
+/// closing. The reader never buffers more than max_frame_bytes +
+/// kFrameHeaderSize.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  enum class State {
+    kNeedMore,   ///< no complete frame yet; feed more bytes
+    kFrame,      ///< a complete frame body is available via body()
+    kBadMagic,   ///< stream does not start with a frame — unrecoverable
+    kTooLarge,   ///< declared body length exceeds the cap — unrecoverable
+  };
+
+  /// Consume `data` (appended to the internal buffer) and try to produce
+  /// the next frame. After kFrame, call body() then next() to continue
+  /// with any already-buffered bytes.
+  State feed(ByteSpan data);
+
+  /// Re-examine buffered bytes without new input (after consuming a
+  /// frame: there may be another complete frame already buffered).
+  State next();
+
+  /// The completed frame body (valid after kFrame until next()/feed()).
+  [[nodiscard]] ByteSpan body() const noexcept {
+    return ByteSpan(buffer_.data() + kFrameHeaderSize, body_len_);
+  }
+
+  /// Declared body length of the oversized frame (after kTooLarge).
+  [[nodiscard]] std::uint64_t declared_len() const noexcept {
+    return declared_len_;
+  }
+
+  /// True when a frame header has been started but not completed —
+  /// distinguishes a slow-loris mid-frame stall from clean idleness.
+  [[nodiscard]] bool mid_frame() const noexcept { return !buffer_.empty(); }
+
+ private:
+  [[nodiscard]] State examine();
+
+  std::size_t max_frame_bytes_;
+  Bytes buffer_;
+  std::size_t body_len_ = 0;
+  std::uint64_t declared_len_ = 0;
+  bool frame_ready_ = false;
+};
+
+}  // namespace lc::server
+
+#endif  // LC_SERVER_PROTOCOL_H

@@ -1,0 +1,424 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace lc::server {
+namespace {
+
+struct ServerMetrics {
+  telemetry::Counter& accepted = telemetry::counter("lc.server.conn_accepted");
+  telemetry::Counter& refused_cap =
+      telemetry::counter("lc.server.conn_refused_cap");
+  telemetry::Counter& closed_idle =
+      telemetry::counter("lc.server.conn_closed_idle");
+  telemetry::Counter& closed_slowloris =
+      telemetry::counter("lc.server.conn_closed_slowloris");
+  telemetry::Counter& closed_error =
+      telemetry::counter("lc.server.conn_closed_error");
+  telemetry::Counter& malformed =
+      telemetry::counter("lc.server.frames_malformed");
+  telemetry::Counter& oversized =
+      telemetry::counter("lc.server.frames_oversized");
+  telemetry::Gauge& connections = telemetry::gauge("lc.server.connections");
+};
+
+ServerMetrics& metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+/// Read-slice granularity: how often a blocked reader wakes to check
+/// timeouts and shutdown. Coarse enough to be cheap, fine enough that
+/// stop() and the slow-loris guard react promptly.
+constexpr int kReadSliceMs = 100;
+
+void set_timeout(int fd, int which, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof tv);
+}
+
+/// Send the whole buffer, tolerating short writes and EINTR. Returns
+/// false on any hard error (including a send timeout: a client that
+/// cannot drain a response within SO_SNDTIMEO forfeits the connection —
+/// a worker must never be parked on a dead peer indefinitely).
+bool send_all(int fd, const Byte* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Per-connection state shared between its reader thread and the workers
+/// serving its requests (via shared_ptr captured in respond callbacks).
+struct Server::Conn {
+  int fd = -1;
+  std::atomic<bool> dead{false};
+
+  std::mutex write_mutex;
+  Bytes tx;  ///< reused response frame buffer (guarded by write_mutex)
+
+  std::mutex tokens_mutex;
+  std::vector<std::weak_ptr<CancelToken>> tokens;  ///< in-flight requests
+  std::atomic<int> in_flight{0};
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Mark dead and shut the socket down (wakes the reader). Idempotent;
+  /// close(fd) itself happens once, in the destructor.
+  void kill() {
+    if (!dead.exchange(true)) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+
+  void cancel_in_flight() {
+    const std::lock_guard<std::mutex> lock(tokens_mutex);
+    for (const auto& weak : tokens) {
+      if (auto token = weak.lock()) token->cancel();
+    }
+    tokens.clear();
+  }
+
+  void track(const std::shared_ptr<CancelToken>& token) {
+    const std::lock_guard<std::mutex> lock(tokens_mutex);
+    // Lazy compaction keeps the vector bounded by the in-flight count.
+    std::erase_if(tokens, [](const std::weak_ptr<CancelToken>& w) {
+      return w.expired();
+    });
+    tokens.push_back(token);
+  }
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      service_(config_.service, queue_) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  LC_REQUIRE(!running_.load(), "server already started");
+
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof addr.sun_path) {
+      throw IoError("LC: unix socket path too long: " + config_.unix_path);
+    }
+    std::memcpy(addr.sun_path, config_.unix_path.c_str(),
+                config_.unix_path.size() + 1);
+    (void)::unlink(config_.unix_path.c_str());
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0 ||
+        ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(unix_fd_, 64) < 0) {
+      const std::string why = std::strerror(errno);
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      unix_fd_ = -1;
+      throw IoError("LC: cannot listen on " + config_.unix_path + ": " + why);
+    }
+  }
+
+  if (config_.tcp_port >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::inet_pton(AF_INET, config_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      throw IoError("LC: bad TCP host: " + config_.tcp_host);
+    }
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    if (tcp_fd_ >= 0) {
+      (void)::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    }
+    if (tcp_fd_ < 0 ||
+        ::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(tcp_fd_, 64) < 0) {
+      const std::string why = std::strerror(errno);
+      if (tcp_fd_ >= 0) ::close(tcp_fd_);
+      tcp_fd_ = -1;
+      if (unix_fd_ >= 0) {
+        ::close(unix_fd_);
+        unix_fd_ = -1;
+      }
+      throw IoError("LC: cannot listen on " + config_.tcp_host + ":" +
+                    std::to_string(config_.tcp_port) + ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    (void)::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_tcp_port_ = ntohs(bound.sin_port);
+  }
+
+  LC_REQUIRE(unix_fd_ >= 0 || tcp_fd_ >= 0,
+             "server config enables no listener");
+
+  running_.store(true);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.workers);
+       ++i) {
+    worker_threads_.emplace_back([this] { service_.worker_loop(); });
+  }
+  if (unix_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { accept_loop(unix_fd_); });
+  }
+  if (tcp_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { accept_loop(tcp_fd_); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+
+  // 1. Stop accepting: closing the listener fds unblocks poll/accept.
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  unix_fd_ = -1;
+  tcp_fd_ = -1;
+
+  // 2. Tear down connections: cancel in-flight work and shut sockets so
+  // reader threads fall out of recv.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& weak : conns_) {
+      if (auto conn = weak.lock()) {
+        conn->cancel_in_flight();
+        conn->kill();
+      }
+    }
+    conns_.clear();
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return active_connections_.load() == 0; });
+  }
+
+  // 3. Drain the queue (pending responds go to dead sockets, harmlessly)
+  // and join the workers.
+  queue_.close();
+  for (std::thread& t : worker_threads_) t.join();
+  worker_threads_.clear();
+
+  if (!config_.unix_path.empty()) {
+    (void)::unlink(config_.unix_path.c_str());
+  }
+  metrics().connections.set(0);
+}
+
+void Server::accept_loop(int listen_fd) {
+  telemetry::set_thread_name("lc-server-accept");
+  while (running_.load()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kReadSliceMs);
+    if (!running_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    if (active_connections_.load() >= config_.max_connections) {
+      // Over the connection cap: tell the client why, then hang up.
+      metrics().refused_cap.add();
+      Response r;
+      r.status = Status::kOverloaded;
+      r.detail = "connection limit reached";
+      Bytes frame;
+      append_response(frame, r);
+      (void)send_all(fd, frame.data(), frame.size());
+      ::close(fd);
+      continue;
+    }
+
+    set_timeout(fd, SO_RCVTIMEO, kReadSliceMs);
+    set_timeout(fd, SO_SNDTIMEO, 5'000);
+
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      const std::lock_guard<std::mutex> lock(conns_mutex_);
+      std::erase_if(conns_, [](const std::weak_ptr<Conn>& w) {
+        return w.expired();
+      });
+      conns_.push_back(conn);
+    }
+    active_connections_.fetch_add(1);
+    metrics().accepted.add();
+    metrics().connections.set(
+        static_cast<std::int64_t>(active_connections_.load()));
+    std::thread([this, conn = std::move(conn)]() mutable {
+      connection_loop(std::move(conn));
+    }).detach();
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Conn> conn) {
+  telemetry::set_thread_name("lc-server-conn");
+  FrameReader reader(config_.max_frame_bytes);
+  Bytes rx(64 * 1024);
+  std::uint64_t last_activity = telemetry::now_ns();
+
+  while (running_.load() && !conn->dead.load()) {
+    const ssize_t n = ::recv(conn->fd, rx.data(), rx.size(), 0);
+    if (n == 0) break;  // clean close from the client
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Timeout slice: enforce the idle and slow-loris deadlines. A
+        // connection with work in flight is never idle — its client is
+        // legitimately waiting on us.
+        const std::uint64_t now = telemetry::now_ns();
+        const std::uint64_t quiet_ms = (now - last_activity) / 1'000'000;
+        if (conn->in_flight.load() == 0) {
+          if (reader.mid_frame() &&
+              quiet_ms > config_.mid_frame_timeout_ms) {
+            metrics().closed_slowloris.add();
+            break;
+          }
+          if (!reader.mid_frame() && config_.idle_timeout_ms != 0 &&
+              quiet_ms > config_.idle_timeout_ms) {
+            metrics().closed_idle.add();
+            break;
+          }
+        }
+        continue;
+      }
+      metrics().closed_error.add();
+      break;
+    }
+
+    last_activity = telemetry::now_ns();
+    bool fatal = false;
+    FrameReader::State st =
+        reader.feed(ByteSpan(rx.data(), static_cast<std::size_t>(n)));
+    while (!fatal) {
+      if (st == FrameReader::State::kFrame) {
+        handle_frame(conn, reader.body());
+        st = reader.next();
+      } else if (st == FrameReader::State::kNeedMore) {
+        break;
+      } else if (st == FrameReader::State::kBadMagic) {
+        metrics().malformed.add();
+        send_error(conn, 0, Status::kMalformed, "bad frame magic");
+        fatal = true;
+      } else {  // kTooLarge
+        metrics().oversized.add();
+        send_error(conn, 0, Status::kTooLarge,
+                   "declared frame length exceeds the server limit");
+        fatal = true;
+      }
+    }
+    if (fatal) break;
+  }
+
+  conn->cancel_in_flight();
+  conn->kill();
+  {
+    // Notify while still holding the mutex: stop() may destroy this
+    // Server (and drain_cv_) the moment it observes the count at zero,
+    // so an unlocked notify_all could touch a dead condition variable.
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    active_connections_.fetch_sub(1);
+    metrics().connections.set(
+        static_cast<std::int64_t>(active_connections_.load()));
+    drain_cv_.notify_all();
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Conn>& conn, ByteSpan body) {
+  RequestView req;
+  try {
+    req = parse_request_body(body);
+  } catch (const CorruptDataError& e) {
+    // The framing was sound, only this body is bad: answer and carry on.
+    metrics().malformed.add();
+    send_error(conn, 0, Status::kMalformed, e.what());
+    return;
+  }
+
+  WorkItem item;
+  item.op = req.op;
+  item.request_id = req.request_id;
+  item.spec.assign(req.spec);
+  item.payload.assign(req.payload.begin(), req.payload.end());
+  item.admitted_ns = telemetry::now_ns();
+  if (req.deadline_ms != 0) {
+    // Deadlines arrive relative and are resolved against the server's
+    // own steady clock, clamped: client clock skew cannot stretch them.
+    const std::uint64_t ms = std::min(req.deadline_ms, config_.max_deadline_ms);
+    item.deadline_ns = item.admitted_ns + ms * 1'000'000ULL;
+  }
+  auto token = std::make_shared<CancelToken>(item.deadline_ns);
+  item.cancel = token;
+  conn->track(token);
+  conn->in_flight.fetch_add(1);
+  item.respond = [conn, token](Response& r) {
+    send_response(conn, r);
+    token->cancel();  // consumed: drop out of the tracked set semantics
+    conn->in_flight.fetch_sub(1);
+  };
+
+  const std::uint64_t request_id = item.request_id;
+  switch (queue_.try_push(std::move(item))) {
+    case Admit::kAdmitted:
+      break;
+    case Admit::kOverloaded:
+      conn->in_flight.fetch_sub(1);
+      send_error(conn, request_id, Status::kOverloaded,
+                 "admission queue full; back off and retry");
+      break;
+    case Admit::kClosed:
+      conn->in_flight.fetch_sub(1);
+      send_error(conn, request_id, Status::kShuttingDown,
+                 "server is draining");
+      break;
+  }
+}
+
+void Server::send_response(const std::shared_ptr<Conn>& conn,
+                           const Response& r) {
+  if (conn->dead.load()) return;
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  conn->tx.clear();
+  append_response(conn->tx, r);
+  if (!send_all(conn->fd, conn->tx.data(), conn->tx.size())) {
+    conn->kill();
+  }
+}
+
+void Server::send_error(const std::shared_ptr<Conn>& conn,
+                        std::uint64_t request_id, Status status,
+                        const char* detail) {
+  Response r;
+  r.status = status;
+  r.request_id = request_id;
+  r.detail = detail;
+  send_response(conn, r);
+}
+
+}  // namespace lc::server

@@ -1,0 +1,145 @@
+#ifndef LC_SERVER_SERVER_H
+#define LC_SERVER_SERVER_H
+
+/// \file server.h
+/// The lc_server socket front end: listeners (unix domain and/or TCP
+/// loopback), one reader thread per connection, and the worker pool
+/// behind the bounded AdmissionQueue.
+///
+/// Threading model (chosen for auditability under TSan over raw
+/// connection scalability — this serves a compression sidecar, not ten
+/// thousand sockets):
+///   * one accept thread per listener,
+///   * one reader thread per connection (capped by max_connections;
+///     excess connections get one kOverloaded response and a close),
+///   * `workers` service threads draining the admission queue.
+/// Responses are written by the worker that served the request, under a
+/// per-connection write mutex, into a per-connection reused buffer — the
+/// reader never writes and the writer never reads, so the two directions
+/// cannot deadlock on each other.
+///
+/// Robustness decisions the chaos tests pin down:
+///   * Reads run in short timeout slices; a connection that is idle
+///     longer than idle_timeout_ms is closed, and one that stalls
+///     *mid-frame* longer than mid_frame_timeout_ms is closed as a
+///     slow-loris (FrameReader::mid_frame() distinguishes the two).
+///   * Bad magic and oversized frame declarations get a typed response
+///     *before* the close, so a confused client learns why.
+///   * A malformed request body inside a well-framed message is answered
+///     kMalformed and the connection continues — framing intact means
+///     the stream is still trustworthy.
+///   * Disconnect cancels every in-flight request of that connection via
+///     its CancelTokens; workers abandon the work at the next chunk
+///     boundary.
+///   * stop() is graceful: listeners close, queued work drains, reader
+///     threads are shut down via socket shutdown(2), workers join.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/service.h"
+
+namespace lc::server {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty = no unix listener.
+  std::string unix_path;
+  /// TCP listener: -1 = disabled, 0 = bind an ephemeral port (see
+  /// Server::tcp_port()), else the port to bind on 127.0.0.1.
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_connections = 64;
+  /// Frame body cap; larger declarations are rejected unread.
+  std::size_t max_frame_bytes = std::size_t{64} << 20;
+  /// Client deadlines are clamped to this (a huge requested deadline
+  /// must not pin server resources arbitrarily long).
+  std::uint32_t max_deadline_ms = 600'000;
+  /// Close connections with no traffic and no in-flight work (ms;
+  /// 0 = never).
+  std::uint64_t idle_timeout_ms = 30'000;
+  /// Close connections stalled in the middle of a frame (ms). This is
+  /// the slow-loris guard and is deliberately much shorter than the
+  /// idle timeout.
+  std::uint64_t mid_frame_timeout_ms = 5'000;
+
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners and spawn accept + worker threads. Throws IoError on
+  /// bind/listen failure.
+  void start();
+
+  /// Graceful shutdown: stop accepting, cancel and close connections,
+  /// drain the queue, join every thread. Idempotent.
+  void stop();
+
+  /// Actual TCP port (after an ephemeral bind). 0 when TCP is disabled.
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept {
+    return bound_tcp_port_;
+  }
+  [[nodiscard]] const std::string& unix_path() const noexcept {
+    return config_.unix_path;
+  }
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return active_connections_.load();
+  }
+  [[nodiscard]] AdmissionQueue& queue() noexcept { return queue_; }
+
+ private:
+  struct Conn;
+
+  void accept_loop(int listen_fd);
+  void connection_loop(std::shared_ptr<Conn> conn);
+  /// Parse one frame body, admit it (or answer the admission rejection).
+  void handle_frame(const std::shared_ptr<Conn>& conn, ByteSpan body);
+  /// Serialize and send a response on the connection (worker or reader
+  /// thread; serialized by the connection's write mutex).
+  static void send_response(const std::shared_ptr<Conn>& conn,
+                            const Response& r);
+  static void send_error(const std::shared_ptr<Conn>& conn,
+                         std::uint64_t request_id, Status status,
+                         const char* detail);
+
+  ServerConfig config_;
+  AdmissionQueue queue_;
+  Service service_;
+
+  std::atomic<bool> running_{false};
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  std::uint16_t bound_tcp_port_ = 0;
+
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> worker_threads_;
+
+  /// Registry of live connections so stop() can shut their sockets down;
+  /// reader threads are detached and tracked by a counter + cv instead
+  /// of join handles (a thread cannot join itself on normal exit).
+  std::mutex conns_mutex_;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::atomic<std::size_t> active_connections_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace lc::server
+
+#endif  // LC_SERVER_SERVER_H

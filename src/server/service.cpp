@@ -1,0 +1,396 @@
+#include "server/service.h"
+
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "common/varint.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace lc::server {
+namespace {
+
+struct ServiceMetrics {
+  telemetry::Counter& requests = telemetry::counter("lc.server.requests");
+  telemetry::Counter& requests_ok =
+      telemetry::counter("lc.server.requests_ok");
+  telemetry::Counter& requests_error =
+      telemetry::counter("lc.server.requests_error");
+  /// Deadline violations that cost the client its answer (rejected before
+  /// work, or aborted mid-request by the cancellation checkpoints).
+  telemetry::Counter& deadline_missed =
+      telemetry::counter("lc.server.deadline_missed");
+  /// Requests that completed successfully but after their deadline.
+  telemetry::Counter& slo_late = telemetry::counter("lc.server.slo_late");
+  /// Total SLO burn: every request whose deadline was violated, whether
+  /// it was aborted or served late.
+  telemetry::Counter& slo_burn = telemetry::counter("lc.server.slo_burn");
+  telemetry::Counter& degraded =
+      telemetry::counter("lc.server.degraded_compress");
+  telemetry::Counter& salvage_partial =
+      telemetry::counter("lc.server.salvage_partial");
+  telemetry::Counter& cancelled = telemetry::counter("lc.server.cancelled");
+  telemetry::Counter& batches = telemetry::counter("lc.server.batches");
+  telemetry::Counter& batched_requests =
+      telemetry::counter("lc.server.batched_requests");
+  telemetry::Counter& bytes_in = telemetry::counter("lc.server.bytes_in");
+  telemetry::Counter& bytes_out = telemetry::counter("lc.server.bytes_out");
+  telemetry::Histogram& request_ns = telemetry::histogram(
+      "lc.server.request_ns", telemetry::kDurationBoundsNs);
+  telemetry::Histogram& compress_ns = telemetry::histogram(
+      "lc.server.compress_ns", telemetry::kDurationBoundsNs);
+  telemetry::Histogram& decompress_ns = telemetry::histogram(
+      "lc.server.decompress_ns", telemetry::kDurationBoundsNs);
+};
+
+ServiceMetrics& metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
+/// assign() into a warm Bytes without allocating when capacity suffices.
+void assign_bytes(Bytes& out, const Byte* data, std::size_t size) {
+  out.clear();
+  out.insert(out.end(), data, data + size);
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config, AdmissionQueue& queue)
+    : config_(std::move(config)), queue_(queue) {
+  // Fail at construction, not on the first request, if the configured
+  // pipelines are unparsable.
+  (void)pipeline_for(config_.default_spec);
+  (void)pipeline_for(config_.fast_spec);
+}
+
+Service::PipelineEntry Service::pipeline_for(std::string_view spec) {
+  LC_REQUIRE(!spec.empty(), "empty pipeline spec");
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = pipeline_cache_.find(spec);
+  if (it == pipeline_cache_.end()) {
+    Pipeline parsed = Pipeline::parse(spec);  // throws lc::Error if invalid
+    if (pipeline_cache_.size() >= config_.pipeline_cache_cap) {
+      // Cache full (only a hostile spec stream gets here): serve from a
+      // thread-local slot instead of growing without bound. The entry is
+      // valid until this thread's next cache-overflow parse, which is
+      // longer than any single request.
+      thread_local std::string overflow_spec;
+      thread_local Pipeline overflow_pipeline;
+      overflow_spec.assign(spec);
+      overflow_pipeline = std::move(parsed);
+      return PipelineEntry{overflow_spec, &overflow_pipeline};
+    }
+    it = pipeline_cache_.emplace(std::string(spec), std::move(parsed)).first;
+  }
+  return PipelineEntry{it->first, &it->second};
+}
+
+bool Service::compress_small(const PipelineEntry& entry, ByteSpan payload,
+                             Bytes& out) {
+  if (payload.size() > kChunkSize) return false;
+  out.clear();
+  ScratchArena::Lease record_lease;
+  Bytes& record = record_lease.get();
+  std::uint8_t mask = 0;
+  if (!payload.empty()) {
+    encode_chunk_into(*entry.pipeline, payload, mask, record);
+  }
+  // Worst case: header (magic + version + 3 varints + spec + checksum)
+  // plus one v3 frame (sync + crc + mask + 2 varints + record).
+  out.reserve(4 + 1 + 3 * 10 + entry.spec.size() + 8 +
+              (payload.empty() ? 0 : 2 + 4 + 1 + 2 * 10 + record.size()));
+  out.insert(out.end(), kContainerMagic, kContainerMagic + 4);
+  out.push_back(static_cast<Byte>(ContainerVersion::kV3));
+  put_varint(out, entry.spec.size());
+  out.insert(out.end(), entry.spec.begin(), entry.spec.end());
+  put_varint(out, payload.size());
+  put_varint(out, kChunkSize);
+  append_le<std::uint64_t>(out, hash_bytes(payload.data(), payload.size()));
+  if (!payload.empty()) {
+    out.push_back(kSyncMarker0);
+    out.push_back(kSyncMarker1);
+    const std::size_t crc_at = out.size();
+    append_le<std::uint32_t>(out, 0);
+    const std::size_t covered_at = out.size();
+    out.push_back(mask);
+    put_varint(out, 0);  // chunk index
+    put_varint(out, record.size());
+    out.insert(out.end(), record.begin(), record.end());
+    const std::uint32_t crc =
+        hash_bytes32(out.data() + covered_at, out.size() - covered_at);
+    std::memcpy(out.data() + crc_at, &crc, sizeof(crc));  // little-endian
+  }
+  return true;
+}
+
+bool Service::decompress_small(ByteSpan c, Bytes& out) {
+  try {
+    if (c.size() < 5 || std::memcmp(c.data(), kContainerMagic, 4) != 0 ||
+        c[4] != static_cast<Byte>(ContainerVersion::kV3)) {
+      return false;
+    }
+    std::size_t pos = 5;
+    const std::uint64_t spec_len = get_varint(c, pos);
+    if (spec_len == 0 || pos + spec_len > c.size()) return false;
+    const std::string_view spec(
+        reinterpret_cast<const char*>(c.data() + pos),
+        static_cast<std::size_t>(spec_len));
+    pos += static_cast<std::size_t>(spec_len);
+    const std::uint64_t total = get_varint(c, pos);
+    const std::uint64_t chunk_size = get_varint(c, pos);
+    std::uint64_t checksum = 0;
+    if (!read_le<std::uint64_t>(c, pos, checksum)) return false;
+    if (chunk_size == 0 || total > chunk_size) return false;  // multi-chunk
+    if (total == 0) {
+      if (pos != c.size()) return false;
+      out.clear();
+      return true;
+    }
+    if (pos + 2 + 4 + 1 > c.size() || c[pos] != kSyncMarker0 ||
+        c[pos + 1] != kSyncMarker1) {
+      return false;
+    }
+    pos += 2;
+    std::uint32_t want_crc = 0;
+    (void)read_le<std::uint32_t>(c, pos, want_crc);
+    const std::size_t covered_at = pos;
+    const std::uint8_t mask = c[pos++];
+    if (get_varint(c, pos) != 0) return false;  // chunk index must be 0
+    const std::uint64_t record_size = get_varint(c, pos);
+    if (record_size > c.size() - pos) return false;
+    const std::size_t record_at = pos;
+    pos += static_cast<std::size_t>(record_size);
+    if (pos != c.size()) return false;  // trailing bytes: strict path rules
+    if (hash_bytes32(c.data() + covered_at, pos - covered_at) != want_crc) {
+      return false;
+    }
+    const PipelineEntry entry = pipeline_for(spec);
+    decode_chunk(*entry.pipeline,
+                 c.subspan(record_at, static_cast<std::size_t>(record_size)),
+                 mask, static_cast<std::size_t>(total), out);
+    return hash_bytes(out.data(), out.size()) == checksum;
+  } catch (const Error&) {
+    // Unparsable varint/spec or a failed decode: let the strict path
+    // produce the canonical typed error.
+    return false;
+  }
+}
+
+void Service::do_compress(WorkItem& item, Response& r, double pressure) {
+  std::string_view spec = item.spec.empty()
+                              ? std::string_view(config_.default_spec)
+                              : std::string_view(item.spec);
+  if (config_.degrade_compress && pressure >= config_.degrade_at &&
+      spec != config_.fast_spec) {
+    // Validate the requested spec even when degrading: a bad spec is the
+    // client's error and must not be masked by load.
+    (void)pipeline_for(spec);
+    spec = config_.fast_spec;
+    r.flags |= kFlagDegraded;
+    r.detail = "degraded: fast pipeline substituted under load";
+    metrics().degraded.add();
+  }
+  const PipelineEntry entry = pipeline_for(spec);
+  if (!compress_small(entry, item.payload, r.payload)) {
+    r.payload = lc::compress(*entry.pipeline, item.payload, inline_pool_,
+                             ContainerVersion::kV3, item.cancel.get());
+  }
+}
+
+void Service::do_decompress(WorkItem& item, Response& r, double pressure) {
+  try {
+    if (decompress_small(item.payload, r.payload)) return;
+    Bytes full = lc::decompress(item.payload, inline_pool_, item.cancel.get());
+    assign_bytes(r.payload, full.data(), full.size());
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const CorruptDataError&) {
+    if (!config_.salvage_under_pressure || pressure < config_.degrade_at) {
+      throw;
+    }
+    // Degraded mode: a busy server answers with whatever salvage can
+    // recover instead of burning a retry loop on a hopeless input. The
+    // status makes the substitution explicit.
+    SalvageOptions opt;
+    opt.max_resync_scan_bytes = config_.max_resync_scan_bytes;
+    opt.cancel = item.cancel.get();
+    SalvageResult s = decompress_salvage(item.payload, inline_pool_, opt);
+    r.status = Status::kPartialData;
+    r.flags |= kFlagPartial;
+    r.payload = std::move(s.data);
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "salvaged %zu/%zu chunks under load; damaged ranges "
+                  "zero-filled",
+                  s.ok_count(), s.chunks.size());
+    r.detail = buf;
+    metrics().salvage_partial.add();
+  }
+}
+
+void Service::do_verify(WorkItem& item, Response& r) {
+  SalvageOptions opt;
+  opt.max_resync_scan_bytes = config_.max_resync_scan_bytes;
+  opt.cancel = item.cancel.get();
+  const SalvageResult s = decompress_salvage(item.payload, inline_pool_, opt);
+  if (!s.complete()) r.flags |= kFlagPartial;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "chunks ok %zu/%zu, content checksum %s, version %u",
+                s.ok_count(), s.chunks.size(),
+                s.content_checksum_ok ? "ok" : "mismatch",
+                static_cast<unsigned>(s.version));
+  r.detail = buf;
+}
+
+void Service::do_salvage(WorkItem& item, Response& r) {
+  SalvageOptions opt;
+  opt.max_resync_scan_bytes = config_.max_resync_scan_bytes;
+  opt.cancel = item.cancel.get();
+  SalvageResult s = decompress_salvage(item.payload, inline_pool_, opt);
+  r.payload = std::move(s.data);
+  if (!s.complete()) {
+    r.flags |= kFlagPartial;
+    metrics().salvage_partial.add();
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "chunks ok %zu/%zu, content checksum %s",
+                s.ok_count(), s.chunks.size(),
+                s.content_checksum_ok ? "ok" : "mismatch");
+  r.detail = buf;
+}
+
+void Service::process(WorkItem& item, Response& r, double pressure) {
+  switch (item.op) {
+    case Op::kPing:
+      assign_bytes(r.payload, item.payload.data(), item.payload.size());
+      break;
+    case Op::kCompress:
+      do_compress(item, r, pressure);
+      break;
+    case Op::kDecompress:
+      do_decompress(item, r, pressure);
+      break;
+    case Op::kVerify:
+      do_verify(item, r);
+      break;
+    case Op::kSalvage:
+      do_salvage(item, r);
+      break;
+    case Op::kStats: {
+      std::ostringstream os;
+      telemetry::write_metrics_json(os);
+      const std::string json = os.str();
+      assign_bytes(r.payload,
+                   reinterpret_cast<const Byte*>(json.data()), json.size());
+      break;
+    }
+  }
+}
+
+void Service::serve(WorkItem& item) {
+  thread_local Response r;
+  r.reset(item.request_id);
+  const std::uint64_t start = telemetry::now_ns();
+  const double pressure = queue_.pressure();
+  metrics().requests.add();
+  metrics().bytes_in.add(item.payload.size());
+
+  if (item.deadline_ns != 0 && start > item.deadline_ns) {
+    r.status = Status::kDeadlineExceeded;
+    r.detail = "deadline expired while queued";
+    metrics().deadline_missed.add();
+    metrics().slo_burn.add();
+  } else if (item.cancel != nullptr && item.cancel->cancelled()) {
+    // Client is gone; nobody will read this response, but the contract
+    // (exactly one respond per item) still holds.
+    r.status = Status::kInternal;
+    r.detail = "request cancelled";
+    metrics().cancelled.add();
+  } else {
+    try {
+      if (config_.fault_hook) config_.fault_hook(item);
+      process(item, r, pressure);
+    } catch (const CancelledError&) {
+      r.reset(item.request_id);
+      if (item.cancel != nullptr && item.cancel->expired()) {
+        r.status = Status::kDeadlineExceeded;
+        r.detail = "deadline exceeded mid-request";
+        metrics().deadline_missed.add();
+        metrics().slo_burn.add();
+      } else {
+        r.status = Status::kInternal;
+        r.detail = "request cancelled";
+        metrics().cancelled.add();
+      }
+    } catch (const CorruptDataError& e) {
+      r.reset(item.request_id);
+      r.status = Status::kCorruptInput;
+      r.detail = e.what();
+    } catch (const std::bad_alloc&) {
+      r.reset(item.request_id);
+      r.status = Status::kInternal;
+      r.detail = "out of memory";
+    } catch (const Error& e) {
+      r.reset(item.request_id);
+      r.status = Status::kBadRequest;
+      r.detail = e.what();
+    } catch (const std::exception& e) {
+      r.reset(item.request_id);
+      r.status = Status::kInternal;
+      r.detail = e.what();
+    }
+  }
+
+  const std::uint64_t end = telemetry::now_ns();
+  metrics().request_ns.record(end - start);
+  if (item.op == Op::kCompress) metrics().compress_ns.record(end - start);
+  if (item.op == Op::kDecompress) metrics().decompress_ns.record(end - start);
+  if (r.status == Status::kOk || r.status == Status::kPartialData) {
+    metrics().requests_ok.add();
+    if (item.deadline_ns != 0 && end > item.deadline_ns) {
+      metrics().slo_late.add();
+      metrics().slo_burn.add();
+    }
+  } else {
+    metrics().requests_error.add();
+  }
+  metrics().bytes_out.add(r.payload.size());
+  if (item.respond) item.respond(r);
+}
+
+void Service::worker_loop() {
+  telemetry::set_thread_name("lc-server-worker");
+  WorkItem item;
+  std::vector<WorkItem> batch;
+  const auto batchable = [this](const WorkItem& w) {
+    return w.op == Op::kCompress && w.payload.size() <= config_.batch_threshold;
+  };
+  while (queue_.pop(item)) {
+    if (config_.batch_max > 1 && batchable(item)) {
+      batch.clear();
+      batch.push_back(std::move(item));
+      WorkItem extra;
+      while (batch.size() < config_.batch_max &&
+             queue_.try_pop_if(batchable, extra)) {
+        batch.push_back(std::move(extra));
+      }
+      if (batch.size() > 1) {
+        metrics().batches.add();
+        metrics().batched_requests.add(batch.size());
+      }
+      for (WorkItem& w : batch) serve(w);
+    } else {
+      serve(item);
+    }
+  }
+}
+
+}  // namespace lc::server

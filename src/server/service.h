@@ -1,0 +1,139 @@
+#ifndef LC_SERVER_SERVICE_H
+#define LC_SERVER_SERVICE_H
+
+/// \file service.h
+/// The lc_server request processor: everything between the admission
+/// queue and the typed response, independent of sockets (the chaos and
+/// zero-allocation tests drive it directly).
+///
+/// Worker model: N worker threads run worker_loop(), popping from the
+/// bounded AdmissionQueue. Each worker is an ordinary thread, so the
+/// thread-local ScratchArena gives every worker its own warm buffer pool
+/// — the same zero-allocation contract the sweep workers rely on
+/// (docs/PERFORMANCE.md), now holding for steady-state serving: after
+/// warm-up, a small compress or decompress request performs zero heap
+/// allocations end to end (proven by the counting-operator-new test in
+/// tests/server/zero_alloc_server_test.cpp).
+///
+/// Degradation ladder (docs/SERVER.md): queue pressure (fill fraction)
+/// crossing `degrade_at` switches compress requests to the configured
+/// fast pipeline (response flagged kFlagDegraded) and lets decompress
+/// requests that hit corrupt input fall back to bounded salvage,
+/// answering Status::kPartialData instead of an error — degraded service
+/// is explicit, never silent.
+///
+/// Small-payload batching: a worker that pops a small compress request
+/// greedily drains further small compress requests (up to batch_max)
+/// and serves them in one turn, so tiny requests share one dispatch and
+/// one warm arena pass instead of paying per-request wakeups.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "lc/codec.h"
+#include "lc/pipeline.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/service_types.h"
+
+namespace lc::server {
+
+struct ServiceConfig {
+  /// Pipeline used when a compress request carries an empty spec.
+  std::string default_spec = "DIFF_4 BIT_4 RLE_1";
+  /// Fast fallback pipeline for degraded mode. RLE_1 is the cheapest
+  /// throughput pipeline in the characterization grid's encode-speed
+  /// ordering — one branch-light byte-level pass.
+  std::string fast_spec = "RLE_1";
+  /// Queue fill fraction at which degradation engages (0..1; >1 = never).
+  double degrade_at = 0.75;
+  /// Degrade compress requests to fast_spec under pressure.
+  bool degrade_compress = true;
+  /// Serve salvage-partial output (Status::kPartialData) for corrupt
+  /// decompress input under pressure instead of failing it.
+  bool salvage_under_pressure = true;
+  /// Requests at or below this size are batchable (bytes).
+  std::size_t batch_threshold = 4096;
+  /// Max requests coalesced into one worker turn.
+  std::size_t batch_max = 16;
+  /// Salvage resync scan bound per damaged frame (see SalvageOptions).
+  std::size_t max_resync_scan_bytes = std::size_t{4} << 20;
+  /// Max distinct pipeline specs cached; beyond this, specs are parsed
+  /// per request (a hostile client must not grow the cache unboundedly).
+  std::size_t pipeline_cache_cap = 256;
+  /// Test-only chaos hook, called inside the worker's try scope before
+  /// processing: whatever it throws must surface as a typed response.
+  std::function<void(const WorkItem&)> fault_hook;
+};
+
+class Service {
+ public:
+  Service(ServiceConfig config, AdmissionQueue& queue);
+
+  /// Worker thread body: pop (with small-compress batching) and serve
+  /// until the queue closes and drains.
+  void worker_loop();
+
+  /// Serve one item: deadline pre-check, fault hook, process, typed
+  /// error mapping, latency metrics, exactly one respond() call. Never
+  /// throws.
+  void serve(WorkItem& item);
+
+  /// The happy-path processor (public for the zero-allocation test):
+  /// fills `r` for `item` at the given queue pressure. Throws on
+  /// failures; serve() owns the mapping to typed statuses.
+  void process(WorkItem& item, Response& r, double pressure);
+
+ private:
+  /// A cached pipeline plus the stable spec string it was parsed from
+  /// (the map key), so container writers get the spec bytes without
+  /// calling Pipeline::spec() (which allocates).
+  struct PipelineEntry {
+    std::string_view spec;
+    const Pipeline* pipeline = nullptr;
+  };
+
+  /// Parse-or-lookup a pipeline by spec (must be non-empty). Heterogeneous
+  /// lookup: a warm hit costs one hash of the string_view and no
+  /// allocation. Throws lc::Error on an unparsable spec.
+  PipelineEntry pipeline_for(std::string_view spec);
+
+  void do_compress(WorkItem& item, Response& r, double pressure);
+  void do_decompress(WorkItem& item, Response& r, double pressure);
+  void do_verify(WorkItem& item, Response& r);
+  void do_salvage(WorkItem& item, Response& r);
+
+  /// Single-chunk fast paths (allocation-free once warm). Return false
+  /// when the input needs the general multi-chunk path (or, for
+  /// decompress, when anything fails verification — the strict path then
+  /// produces the canonical typed error).
+  bool compress_small(const PipelineEntry& entry, ByteSpan payload,
+                      Bytes& out);
+  bool decompress_small(ByteSpan container, Bytes& out);
+
+  ServiceConfig config_;
+  AdmissionQueue& queue_;
+  /// One-thread pool handed to the codec: parallel_for runs inline on
+  /// the worker for pools of width one, so per-request chunk loops (and
+  /// their cancellation checks) execute on the worker thread itself and
+  /// requests never contend for a shared inner pool.
+  ThreadPool inline_pool_{1};
+
+  struct SpecHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::mutex cache_mutex_;
+  std::unordered_map<std::string, Pipeline, SpecHash, std::equal_to<>>
+      pipeline_cache_;
+};
+
+}  // namespace lc::server
+
+#endif  // LC_SERVER_SERVICE_H

@@ -1,0 +1,46 @@
+#ifndef LC_SERVER_SERVICE_TYPES_H
+#define LC_SERVER_SERVICE_TYPES_H
+
+/// \file service_types.h
+/// The work item flowing from connections through the admission queue to
+/// the workers. Split from service.h so admission.h does not pull in the
+/// whole service (and its codec dependencies).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/cancel.h"
+#include "server/protocol.h"
+
+namespace lc::server {
+
+/// One admitted request. Owns copies of the wire data (the connection's
+/// frame buffer is reused as soon as the item is queued).
+struct WorkItem {
+  Op op = Op::kPing;
+  std::uint64_t request_id = 0;
+  std::string spec;          ///< compress pipeline spec ("" = server default)
+  Bytes payload;
+
+  std::uint64_t admitted_ns = 0;  ///< telemetry::now_ns() at admission
+  std::uint64_t deadline_ns = 0;  ///< absolute server-clock deadline; 0 = none
+
+  /// Shared with the owning connection: a disconnect cancels in-flight
+  /// work; the deadline lives on the token so chunk-boundary checks see
+  /// both signals.
+  std::shared_ptr<CancelToken> cancel;
+
+  /// Delivery callback; called exactly once, from the worker thread (or
+  /// from the admission path for immediate rejections). Must not throw.
+  /// Takes a mutable reference (not a move) so the worker's reusable
+  /// response buffers stay warm: the callback serializes out of the
+  /// response; it does not keep it.
+  std::function<void(Response&)> respond;
+};
+
+}  // namespace lc::server
+
+#endif  // LC_SERVER_SERVICE_TYPES_H

@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "charlab/letter_values.h"
 #include "charlab/stats_table.h"
 #include "charlab/sweep.h"
 #include "common/error.h"
+#include "telemetry/metrics.h"
 
 namespace lc::charlab {
 namespace {
@@ -146,6 +149,66 @@ TEST(TimingGrid, CacheRoundTripIsExact) {
   for (const GridCell& cell : TimingGrid::cells()) {
     EXPECT_EQ(second.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir),
               first.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir));
+  }
+  std::remove(path.c_str());
+}
+
+// A damaged cache file — truncated payload or a flipped bit — must be
+// detected (size + payload digest), counted, and transparently replaced
+// by re-evaluation with the correct values.
+TEST(TimingGrid, CorruptCacheDetectedAndReevaluated) {
+  const std::string path = "timing_grid_test_corrupt.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+  const TimingGrid first = TimingGrid::load_or_compute(tiny_sweep(), config);
+
+  telemetry::Counter& corrupt_hits =
+      telemetry::counter("charlab.grid.cache_corrupt");
+
+  // Truncation: chop the file mid-payload (interrupted write).
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 256u);
+    const std::uint64_t before = corrupt_hits.value();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() - 128));
+    }
+    const TimingGrid healed = TimingGrid::load_or_compute(tiny_sweep(),
+                                                          config);
+    EXPECT_FALSE(healed.loaded_from_cache());
+    EXPECT_EQ(healed.fingerprint(), first.fingerprint());
+    EXPECT_GT(corrupt_hits.value(), before) << "truncation not diagnosed";
+
+    // Bit rot: flip one bit deep in the (re-written) payload.
+    std::ifstream in2(path, std::ios::binary);
+    std::string fresh((std::istreambuf_iterator<char>(in2)),
+                      std::istreambuf_iterator<char>());
+    in2.close();
+    fresh[fresh.size() / 2] = static_cast<char>(fresh[fresh.size() / 2] ^ 0x10);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(fresh.data(), static_cast<std::streamsize>(fresh.size()));
+    }
+    const std::uint64_t before_flip = corrupt_hits.value();
+    const TimingGrid healed2 = TimingGrid::load_or_compute(tiny_sweep(),
+                                                           config);
+    EXPECT_FALSE(healed2.loaded_from_cache());
+    EXPECT_GT(corrupt_hits.value(), before_flip) << "bit flip not diagnosed";
+    // And the transparently re-evaluated grid serves correct values.
+    const gpusim::GpuSpec& gpu = gpusim::gpu_by_name("RTX 4090");
+    EXPECT_EQ(healed2.cell_values(gpu, gpusim::Toolchain::kClang,
+                                  gpusim::OptLevel::kO3,
+                                  gpusim::Direction::kDecode),
+              first.cell_values(gpu, gpusim::Toolchain::kClang,
+                                gpusim::OptLevel::kO3,
+                                gpusim::Direction::kDecode));
   }
   std::remove(path.c_str());
 }

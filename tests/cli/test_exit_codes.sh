@@ -1,0 +1,66 @@
+#!/bin/sh
+# Exit-code contract test for lc_cli (see the exit-code table in
+# examples/lc_cli.cpp). Scripts branch on these codes, so each failure
+# class must keep its documented number.
+#
+# Usage: test_exit_codes.sh <path-to-lc_cli>
+
+set -u
+
+CLI="${1:?usage: test_exit_codes.sh <path-to-lc_cli>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/lc_cli_exit.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+fails=0
+
+# expect <code> <label> -- <cli args...>
+expect() {
+    want="$1"; label="$2"; shift 3
+    "$CLI" "$@" > "$WORK/stdout" 2> "$WORK/stderr"
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $label: expected exit $want, got $got" >&2
+        sed 's/^/  stderr: /' "$WORK/stderr" >&2
+        fails=$((fails + 1))
+    else
+        echo "ok: $label (exit $got)"
+    fi
+}
+
+# Fixtures: a small input, a good container, a corrupt container.
+head -c 50000 /dev/urandom > "$WORK/input.bin" 2>/dev/null || {
+    # /dev/urandom may be absent in minimal sandboxes; synthesize instead.
+    i=0; : > "$WORK/input.bin"
+    while [ "$i" -lt 2000 ]; do printf 'abcdefghijklmnopqrstuvwxy%d' "$i"; i=$((i + 1)); done >> "$WORK/input.bin"
+}
+
+expect 0 "compress succeeds"            -- c "DIFF_4 BIT_4 RLE_1" "$WORK/input.bin" "$WORK/packed.lc"
+expect 0 "decompress succeeds"          -- d "$WORK/packed.lc" "$WORK/out.bin"
+cmp -s "$WORK/input.bin" "$WORK/out.bin" || { echo "FAIL: round trip not byte-exact" >&2; fails=$((fails + 1)); }
+expect 0 "verify intact container"      -- verify "$WORK/packed.lc"
+
+# 1: handled damage — flip one payload byte, then verify/salvage.
+cp "$WORK/packed.lc" "$WORK/damaged.lc"
+size=$(wc -c < "$WORK/damaged.lc")
+printf '\377' | dd of="$WORK/damaged.lc" bs=1 seek=$((size - 100)) conv=notrunc 2>/dev/null
+expect 1 "verify damaged container"     -- verify "$WORK/damaged.lc"
+expect 1 "salvage damaged container"    -- salvage "$WORK/damaged.lc" "$WORK/salvaged.bin"
+
+# 2: usage errors — no args, unknown subcommand, bad pipeline spec.
+expect 2 "no arguments"                 --
+expect 2 "unknown subcommand"           -- frobnicate
+expect 2 "bad pipeline spec"            -- c "BOGUS_99" "$WORK/input.bin" "$WORK/x.lc"
+
+# 3: I/O errors — missing input, unwritable output directory.
+expect 3 "missing input file"           -- d "$WORK/does_not_exist.lc" "$WORK/x.bin"
+expect 3 "unwritable output"            -- c "RLE_1" "$WORK/input.bin" "$WORK/no_such_dir/x.lc"
+
+# 4: corrupt input — strict decompress of garbage.
+printf 'this is not an LC container at all........' > "$WORK/garbage.lc"
+expect 4 "strict decode of garbage"     -- d "$WORK/garbage.lc" "$WORK/x.bin"
+
+if [ "$fails" -ne 0 ]; then
+    echo "$fails exit-code check(s) failed" >&2
+    exit 1
+fi
+echo "all exit-code checks passed"

@@ -36,6 +36,34 @@ TEST(ScratchArena, LeaseReusesTheSameBuffer) {
   EXPECT_GE(arena.bytes_reserved(), 4096u);
 }
 
+TEST(ScratchArena, LeasesReleaseOnExceptionUnwind) {
+  // A worker that throws mid-request (the lc_server chaos matrix does
+  // this on purpose) must not leak its leases: stack unwinding returns
+  // every buffer, nested or not, so the next request on the thread finds
+  // a fully free arena.
+  ScratchArena arena;
+  struct Boom {};
+  try {
+    ScratchArena::Lease outer(arena);
+    outer->assign(1024, Byte{0x11});
+    ScratchArena::Lease inner(arena);
+    inner->assign(2048, Byte{0x22});
+    ASSERT_EQ(arena.outstanding(), 2u);
+    throw Boom{};
+  } catch (const Boom&) {
+  }
+  EXPECT_EQ(arena.outstanding(), 0u);
+  EXPECT_EQ(arena.slots(), 2u);  // buffers retained for reuse, not lost
+
+  // And the arena is still fully serviceable afterwards.
+  {
+    ScratchArena::Lease lease(arena);
+    lease->assign(4096, Byte{0x33});
+    EXPECT_EQ(arena.outstanding(), 1u);
+  }
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
 TEST(ScratchArena, NestedLeasesGetDistinctBuffers) {
   ScratchArena arena;
   ScratchArena::Lease a(arena);

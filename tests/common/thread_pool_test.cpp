@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -29,6 +31,25 @@ TEST(ThreadPool, RunsEverySubmittedTask) {
 TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  // Shutdown with a deep queue: the destructor signals stop, but workers
+  // drain every already-submitted task before exiting — submitted work
+  // is never dropped on the floor (the lc_server admission queue relies
+  // on the same drain-then-stop contract).
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        count.fetch_add(1);
+      });
+    }
+    // No wait_idle(): destruction races the queue on purpose.
+  }
+  EXPECT_EQ(count.load(), 200);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

@@ -257,6 +257,56 @@ TEST(Salvage, TruncationRecoversPrefixChunks) {
   EXPECT_FALSE(s.complete());
 }
 
+// The denial-of-service guard: a valid header followed by nothing but
+// garbage must not send the resync scanner on an unbounded walk. With a
+// small scan budget the walk stops, the unreachable chunks are reported
+// with ErrorCode::kResyncLimit, and the output is the zero-filled
+// total-size buffer — a typed partial result, not a hang.
+TEST(Salvage, AllGarbageBodyStopsAtResyncBudget) {
+  const Pipeline p = Pipeline::parse("DIFF_4 BIT_4 RLE_1");
+  const Bytes packed = multi_chunk_container(p, 8, 41);
+  const Bytes data = decompress(ByteSpan(packed.data(), packed.size()));
+  const SalvageResult clean =
+      decompress_salvage(ByteSpan(packed.data(), packed.size()));
+  const std::size_t n_chunks = clean.chunks.size();
+  ASSERT_GE(n_chunks, 4u);
+
+  // Keep the header, replace every frame byte with seeded garbage that
+  // contains no sync marker (strip the marker's first byte), and extend
+  // the garbage well past the scan budget.
+  fault::Injector inj(4242);
+  Bytes mutated(packed.begin(),
+                packed.begin() +
+                    static_cast<std::ptrdiff_t>(clean.chunks[0].offset));
+  Bytes garbage = inj.garbage((1u << 20) + 333);
+  for (Byte& b : garbage) {
+    if (b == kSyncMarker0) b = Byte{0};
+  }
+  mutated.insert(mutated.end(), garbage.begin(), garbage.end());
+
+  SalvageOptions options;
+  options.max_resync_scan_bytes = 4096;
+  const SalvageResult s = decompress_salvage(
+      ByteSpan(mutated.data(), mutated.size()), ThreadPool::global(),
+      options);
+  ASSERT_EQ(s.chunks.size(), n_chunks);
+  EXPECT_EQ(s.ok_count(), 0u);
+  EXPECT_FALSE(s.complete());
+  // The scan budget is the reported reason for at least the tail chunks.
+  std::size_t resync_limited = 0;
+  for (const ChunkReport& c : s.chunks) {
+    if (c.code == ErrorCode::kResyncLimit) {
+      ++resync_limited;
+      EXPECT_NE(c.detail.find("resync"), std::string::npos);
+    }
+  }
+  EXPECT_GE(resync_limited, 1u);
+  // Zero-filled total-size output, exactly as the contract promises.
+  ASSERT_EQ(s.data.size(), data.size());
+  EXPECT_TRUE(std::all_of(s.data.begin(), s.data.end(),
+                          [](Byte b) { return b == Byte{0}; }));
+}
+
 TEST(Salvage, SpliceAndReorderStayBounded) {
   const Pipeline p = Pipeline::parse("TUPL2_4 DIFFMS_4 CLOG_4");
   const Bytes packed = multi_chunk_container(p, 5, 77);

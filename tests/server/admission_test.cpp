@@ -1,0 +1,89 @@
+// Admission queue semantics: backpressure at the door, drain-on-close,
+// and the conditional pop the small-payload batcher relies on.
+
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lc::server {
+namespace {
+
+WorkItem item_of(Op op, std::uint64_t id, std::size_t payload_bytes = 0) {
+  WorkItem w;
+  w.op = op;
+  w.request_id = id;
+  w.payload.assign(payload_bytes, Byte{0});
+  return w;
+}
+
+TEST(AdmissionQueue, RejectsWhenFullInsteadOfBuffering) {
+  AdmissionQueue q(2);
+  EXPECT_EQ(q.try_push(item_of(Op::kPing, 1)), Admit::kAdmitted);
+  EXPECT_EQ(q.try_push(item_of(Op::kPing, 2)), Admit::kAdmitted);
+  EXPECT_EQ(q.try_push(item_of(Op::kPing, 3)), Admit::kOverloaded);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_DOUBLE_EQ(q.pressure(), 1.0);
+
+  WorkItem out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.request_id, 1u);
+  EXPECT_EQ(q.try_push(item_of(Op::kPing, 4)), Admit::kAdmitted);
+}
+
+TEST(AdmissionQueue, CloseDrainsPendingThenUnblocksPop) {
+  AdmissionQueue q(4);
+  ASSERT_EQ(q.try_push(item_of(Op::kPing, 1)), Admit::kAdmitted);
+  ASSERT_EQ(q.try_push(item_of(Op::kPing, 2)), Admit::kAdmitted);
+  q.close();
+  EXPECT_EQ(q.try_push(item_of(Op::kPing, 3)), Admit::kClosed);
+
+  // Pending items still come out; only then does pop report closed.
+  WorkItem out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.request_id, 1u);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.request_id, 2u);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(AdmissionQueue, CloseWakesBlockedConsumers) {
+  AdmissionQueue q(4);
+  std::thread consumer([&q] {
+    WorkItem out;
+    EXPECT_FALSE(q.pop(out));  // blocks until close, then false
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(AdmissionQueue, TryPopIfOnlyTakesMatchingHead) {
+  AdmissionQueue q(8);
+  ASSERT_EQ(q.try_push(item_of(Op::kCompress, 1, 100)), Admit::kAdmitted);
+  ASSERT_EQ(q.try_push(item_of(Op::kDecompress, 2, 100)), Admit::kAdmitted);
+
+  const auto small_compress = [](const WorkItem& w) {
+    return w.op == Op::kCompress && w.payload.size() <= 4096;
+  };
+  WorkItem out;
+  ASSERT_TRUE(q.try_pop_if(small_compress, out));
+  EXPECT_EQ(out.request_id, 1u);
+  // Head is now a decompress: the batcher must leave it alone.
+  EXPECT_FALSE(q.try_pop_if(small_compress, out));
+  EXPECT_EQ(q.depth(), 1u);
+  // And an empty queue never blocks.
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.try_pop_if(small_compress, out));
+}
+
+TEST(AdmissionQueue, ZeroCapacityRejectsEverything) {
+  AdmissionQueue q(0);
+  EXPECT_EQ(q.try_push(item_of(Op::kPing, 1)), Admit::kOverloaded);
+  EXPECT_DOUBLE_EQ(q.pressure(), 1.0);
+}
+
+}  // namespace
+}  // namespace lc::server

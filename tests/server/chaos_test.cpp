@@ -1,0 +1,339 @@
+// The seeded service-layer chaos matrix (ISSUE 6 / docs/SERVER.md):
+// every ServiceFault class, injected at the client, worker and resource
+// points, across several seeds. The invariant under test is always the
+// same — a fault ends in a typed error response or a clean connection
+// close, and the server stays alive (a fresh ping succeeds) and shuts
+// down gracefully afterwards. Never a crash, deadlock or leak (the
+// ASan/UBSan and TSan CI legs run this same matrix).
+//
+// Not every (fault, point) cell is physically meaningful — a slow-loris
+// is by definition a client behaviour — so the matrix enumerates the
+// meaningful cells explicitly. All nine fault classes and all three
+// injection points are covered.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/fault.h"
+#include "lc/codec.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace lc::server {
+namespace {
+
+using fault::InjectPoint;
+using fault::ServiceFault;
+
+struct Cell {
+  ServiceFault what;
+  InjectPoint where;
+};
+
+// The meaningful cells of the fault x injection-point matrix.
+constexpr Cell kMatrix[] = {
+    {ServiceFault::kSlowLoris, InjectPoint::kClient},
+    {ServiceFault::kMidFrameDisconnect, InjectPoint::kClient},
+    {ServiceFault::kMalformedFrame, InjectPoint::kClient},
+    {ServiceFault::kOversizedFrame, InjectPoint::kClient},
+    {ServiceFault::kGarbageBurst, InjectPoint::kClient},
+    {ServiceFault::kCorruptPayload, InjectPoint::kClient},
+    {ServiceFault::kClockSkewDeadline, InjectPoint::kClient},
+    {ServiceFault::kWorkerThrow, InjectPoint::kWorker},
+    {ServiceFault::kWorkerBadAlloc, InjectPoint::kWorker},
+    {ServiceFault::kCorruptPayload, InjectPoint::kWorker},
+    {ServiceFault::kClockSkewDeadline, InjectPoint::kWorker},
+    {ServiceFault::kWorkerBadAlloc, InjectPoint::kResource},
+    {ServiceFault::kOversizedFrame, InjectPoint::kResource},
+    {ServiceFault::kGarbageBurst, InjectPoint::kResource},
+};
+
+/// Worker-side fault arming, shared with the service fault hook.
+/// -1 = disarmed; otherwise the int value of the armed ServiceFault.
+using ArmedFault = std::atomic<int>;
+
+void maybe_inject(ArmedFault& armed, const WorkItem& item) {
+  const int f = armed.load();
+  if (f < 0 || item.op == Op::kPing) return;  // pings stay clean probes
+  switch (static_cast<ServiceFault>(f)) {
+    case ServiceFault::kWorkerThrow:
+      throw std::runtime_error("chaos: injected worker exception");
+    case ServiceFault::kWorkerBadAlloc:
+      throw std::bad_alloc();  // arena/heap exhaustion analogue
+    case ServiceFault::kClockSkewDeadline:
+      // Stall past the request's (tiny) deadline so the chunk-boundary
+      // cancellation checks fire mid-request.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      return;
+    default:
+      return;
+  }
+}
+
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(std::uint64_t seed)
+      : seed_(seed),
+        injector_(seed),
+        path_("/tmp/lc_chaos_" + std::to_string(::getpid()) + "_" +
+              std::to_string(seed) + ".sock") {
+    cfg_.unix_path = path_;
+    cfg_.workers = 2;
+    cfg_.queue_capacity = 8;
+    cfg_.max_frame_bytes = 1 << 20;
+    cfg_.mid_frame_timeout_ms = 150;
+    cfg_.idle_timeout_ms = 2000;
+    cfg_.service.fault_hook = [armed = armed_](const WorkItem& item) {
+      maybe_inject(*armed, item);
+    };
+    server_ = std::make_unique<Server>(cfg_);
+    server_->start();
+    // A known-good container for corrupt-payload probes.
+    payload_ = Bytes(3 * kChunkSize);
+    for (std::size_t i = 0; i < payload_.size(); ++i) {
+      payload_[i] = static_cast<Byte>(i * 31);
+    }
+    container_ = lc::compress(Pipeline::parse("DIFF_4 BIT_4 RLE_1"),
+                              ByteSpan(payload_.data(), payload_.size()));
+  }
+
+  ~ChaosHarness() { server_->stop(); }
+
+  void run(const Cell& cell) {
+    SCOPED_TRACE(std::string(to_string(cell.what)) + " @ " +
+                 to_string(cell.where) + ", seed " + std::to_string(seed_));
+    switch (cell.where) {
+      case InjectPoint::kClient:
+        run_client_fault(cell.what);
+        break;
+      case InjectPoint::kWorker:
+        run_worker_fault(cell.what);
+        break;
+      case InjectPoint::kResource:
+        run_resource_fault(cell.what);
+        break;
+    }
+    expect_alive();
+  }
+
+  /// The liveness invariant: after any fault, a fresh connection must
+  /// still get a clean ping response.
+  void expect_alive() {
+    Client probe = Client::connect_unix(path_);
+    const Bytes ping = injector_.garbage(16);
+    const Response r =
+        probe.call(Op::kPing, ByteSpan(ping.data(), ping.size()));
+    ASSERT_EQ(r.status, Status::kOk) << "server unhealthy after fault";
+    ASSERT_EQ(r.payload, ping);
+  }
+
+ private:
+  void run_client_fault(ServiceFault what) {
+    Client c = Client::connect_unix(path_);
+    Response r;
+    switch (what) {
+      case ServiceFault::kSlowLoris: {
+        // A few header bytes, then a stall longer than the mid-frame
+        // timeout: the server must hang up, not hold the slot forever.
+        const Bytes partial = {'L', 'C', 'S', '1', 40, 0};
+        c.send_raw(ByteSpan(partial.data(), partial.size()));
+        EXPECT_FALSE(c.recv_response(r, 3000)) << "slow-loris not evicted";
+        break;
+      }
+      case ServiceFault::kMidFrameDisconnect: {
+        // Half a legitimate frame, then the client vanishes.
+        Bytes frame;
+        append_request(frame, Op::kCompress, 1, 0, {},
+                       ByteSpan(payload_.data(), payload_.size()));
+        c.send_raw(ByteSpan(frame.data(), frame.size() / 2));
+        c.close();
+        break;
+      }
+      case ServiceFault::kMalformedFrame: {
+        const Bytes junk = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+        c.send_raw(ByteSpan(junk.data(), junk.size()));
+        ASSERT_TRUE(c.recv_response(r, 3000));
+        EXPECT_EQ(r.status, Status::kMalformed);
+        break;
+      }
+      case ServiceFault::kOversizedFrame: {
+        Bytes header;
+        header.insert(header.end(), kFrameMagic, kFrameMagic + 4);
+        append_le<std::uint32_t>(header, 0x7FFFFFFFu);
+        c.send_raw(ByteSpan(header.data(), header.size()));
+        ASSERT_TRUE(c.recv_response(r, 3000));
+        EXPECT_EQ(r.status, Status::kTooLarge);
+        break;
+      }
+      case ServiceFault::kGarbageBurst: {
+        const Bytes garbage = injector_.garbage(512);
+        c.send_raw(ByteSpan(garbage.data(), garbage.size()));
+        // Either a typed rejection or a straight close is acceptable;
+        // silence or a crash is not.
+        if (c.recv_response(r, 3000)) {
+          EXPECT_NE(r.status, Status::kOk);
+        }
+        break;
+      }
+      case ServiceFault::kCorruptPayload: {
+        // Every mutator family, against a decompress request. Strict
+        // decoding must answer with a typed status, never kInternal.
+        for (const fault::Kind kind : fault::kAllKinds) {
+          const Bytes damaged = injector_.apply(
+              kind, ByteSpan(container_.data(), container_.size()));
+          const Response resp = c.call(
+              Op::kDecompress, ByteSpan(damaged.data(), damaged.size()));
+          EXPECT_NE(resp.status, Status::kInternal)
+              << to_string(kind) << ": " << resp.detail;
+        }
+        break;
+      }
+      case ServiceFault::kClockSkewDeadline: {
+        // Deadlines a skewed clock would produce: zero, one tick, and
+        // ~infinite. The server clamps and serves; it must answer each.
+        for (const std::uint32_t ms : {0u, 1u, 0xFFFFFFFFu}) {
+          const Response resp =
+              c.call(Op::kCompress, ByteSpan(payload_.data(), 2048), {}, ms);
+          EXPECT_TRUE(resp.status == Status::kOk ||
+                      resp.status == Status::kDeadlineExceeded)
+              << to_string(resp.status);
+        }
+        break;
+      }
+      default:
+        FAIL() << "not a client-point fault";
+    }
+  }
+
+  void run_worker_fault(ServiceFault what) {
+    Client c = Client::connect_unix(path_);
+    armed_->store(static_cast<int>(what));
+    switch (what) {
+      case ServiceFault::kWorkerThrow:
+      case ServiceFault::kWorkerBadAlloc: {
+        const Response r =
+            c.call(Op::kCompress, ByteSpan(payload_.data(), 4096));
+        EXPECT_EQ(r.status, Status::kInternal);
+        EXPECT_FALSE(r.detail.empty());
+        break;
+      }
+      case ServiceFault::kCorruptPayload: {
+        // The *worker* trips over the damage while decoding.
+        Bytes damaged = container_;
+        damaged[damaged.size() / 2] ^= Byte{0x10};
+        armed_->store(-1);  // the damage itself is the fault
+        const Response r =
+            c.call(Op::kDecompress, ByteSpan(damaged.data(), damaged.size()));
+        EXPECT_EQ(r.status, Status::kCorruptInput) << r.detail;
+        break;
+      }
+      case ServiceFault::kClockSkewDeadline: {
+        // The hook stalls 30 ms; a 5 ms deadline must be caught by the
+        // chunk-boundary checks and answered as a deadline miss.
+        const Response r = c.call(
+            Op::kCompress, ByteSpan(payload_.data(), payload_.size()), {}, 5);
+        EXPECT_EQ(r.status, Status::kDeadlineExceeded) << r.detail;
+        break;
+      }
+      default:
+        FAIL() << "not a worker-point fault";
+    }
+    armed_->store(-1);
+  }
+
+  void run_resource_fault(ServiceFault what) {
+    switch (what) {
+      case ServiceFault::kWorkerBadAlloc: {
+        // Sustained allocation failure: several requests in a row all
+        // fail typed, none crash the worker pool.
+        Client c = Client::connect_unix(path_);
+        armed_->store(static_cast<int>(ServiceFault::kWorkerBadAlloc));
+        for (int i = 0; i < 3; ++i) {
+          const Response r =
+              c.call(Op::kCompress, ByteSpan(payload_.data(), 1024));
+          EXPECT_EQ(r.status, Status::kInternal);
+        }
+        armed_->store(-1);
+        break;
+      }
+      case ServiceFault::kOversizedFrame: {
+        // The frame cap as a memory bound: a payload larger than
+        // max_frame_bytes must be refused unread.
+        Client c = Client::connect_unix(path_);
+        Bytes header;
+        header.insert(header.end(), kFrameMagic, kFrameMagic + 4);
+        append_le<std::uint32_t>(header,
+                                 static_cast<std::uint32_t>((1 << 20) + 17));
+        c.send_raw(ByteSpan(header.data(), header.size()));
+        Response r;
+        ASSERT_TRUE(c.recv_response(r, 3000));
+        EXPECT_EQ(r.status, Status::kTooLarge);
+        break;
+      }
+      case ServiceFault::kGarbageBurst: {
+        // Admission flood: pipeline far more work than queue + workers
+        // can hold. Every request must be answered — served or shed
+        // with kOverloaded — and the server must not wedge.
+        Client c = Client::connect_unix(path_);
+        Bytes burst;
+        const int n = 32;
+        for (int i = 0; i < n; ++i) {
+          const std::size_t size = 256 + (injector_.garbage(1)[0] % 64) * 16;
+          append_request(burst, Op::kCompress,
+                         static_cast<std::uint64_t>(i + 1), 0, {},
+                         ByteSpan(payload_.data(), size));
+        }
+        c.send_raw(ByteSpan(burst.data(), burst.size()));
+        int answered = 0;
+        for (int i = 0; i < n; ++i) {
+          Response r;
+          ASSERT_TRUE(c.recv_response(r, 10000)) << "response " << i;
+          EXPECT_TRUE(r.status == Status::kOk ||
+                      r.status == Status::kOverloaded)
+              << to_string(r.status);
+          ++answered;
+        }
+        EXPECT_EQ(answered, n);
+        break;
+      }
+      default:
+        FAIL() << "not a resource-point fault";
+    }
+  }
+
+  std::uint64_t seed_;
+  fault::Injector injector_;
+  std::string path_;
+  ServerConfig cfg_;
+  std::shared_ptr<ArmedFault> armed_ = std::make_shared<ArmedFault>(-1);
+  std::unique_ptr<Server> server_;
+  Bytes payload_;
+  Bytes container_;
+};
+
+class ChaosMatrix : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosMatrix, EveryFaultEndsTypedOrClosedAndServerSurvives) {
+  ChaosHarness harness(GetParam());
+  for (const Cell& cell : kMatrix) {
+    harness.run(cell);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // ~ChaosHarness: graceful stop must complete (a hang here is a ctest
+  // timeout, which is the deadlock detector for this matrix).
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMatrix,
+                         ::testing::Values(0x1001u, 0x2002u, 0x3003u));
+
+}  // namespace
+}  // namespace lc::server

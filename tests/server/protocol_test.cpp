@@ -1,0 +1,150 @@
+// Wire-protocol unit tests: frame assembly from arbitrary byte slices
+// (as sockets deliver them), typed rejection of hostile framing, and
+// request/response body round trips — all without a socket in sight.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace lc::server {
+namespace {
+
+Bytes request_frame(Op op, std::uint64_t id, std::uint32_t deadline_ms,
+                    std::string_view spec, const Bytes& payload) {
+  Bytes out;
+  append_request(out, op, id, deadline_ms, spec,
+                 ByteSpan(payload.data(), payload.size()));
+  return out;
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const Bytes frame =
+      request_frame(Op::kCompress, 42, 1500, "RLE_1 BIT_4", payload);
+
+  FrameReader reader(1 << 20);
+  ASSERT_EQ(reader.feed(ByteSpan(frame.data(), frame.size())),
+            FrameReader::State::kFrame);
+  const RequestView v = parse_request_body(reader.body());
+  EXPECT_EQ(v.op, Op::kCompress);
+  EXPECT_EQ(v.request_id, 42u);
+  EXPECT_EQ(v.deadline_ms, 1500u);
+  EXPECT_EQ(v.spec, "RLE_1 BIT_4");
+  ASSERT_EQ(v.payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(v.payload.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response r;
+  r.status = Status::kPartialData;
+  r.flags = kFlagPartial | kFlagDegraded;
+  r.request_id = 7;
+  r.detail = "salvaged 3/4 chunks";
+  r.payload = {9, 8, 7};
+  Bytes frame;
+  append_response(frame, r);
+
+  FrameReader reader(1 << 20);
+  ASSERT_EQ(reader.feed(ByteSpan(frame.data(), frame.size())),
+            FrameReader::State::kFrame);
+  const Response back = parse_response_body(reader.body());
+  EXPECT_EQ(back.status, Status::kPartialData);
+  EXPECT_EQ(back.flags, r.flags);
+  EXPECT_EQ(back.request_id, 7u);
+  EXPECT_EQ(back.detail, r.detail);
+  EXPECT_EQ(back.payload, r.payload);
+}
+
+TEST(Protocol, ByteAtATimeReassembly) {
+  // The reader must survive maximal fragmentation: one byte per feed.
+  const Bytes payload(300, Byte{0xAB});
+  const Bytes frame = request_frame(Op::kPing, 1, 0, {}, payload);
+
+  FrameReader reader(1 << 20);
+  FrameReader::State st = FrameReader::State::kNeedMore;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    st = reader.feed(ByteSpan(frame.data() + i, 1));
+    if (i + 1 < frame.size()) {
+      ASSERT_EQ(st, FrameReader::State::kNeedMore) << "at byte " << i;
+      EXPECT_TRUE(reader.mid_frame());
+    }
+  }
+  ASSERT_EQ(st, FrameReader::State::kFrame);
+  const RequestView v = parse_request_body(reader.body());
+  EXPECT_EQ(v.payload.size(), payload.size());
+}
+
+TEST(Protocol, TwoFramesInOneFeed) {
+  Bytes stream = request_frame(Op::kPing, 1, 0, {}, {Byte{1}});
+  const Bytes second = request_frame(Op::kPing, 2, 0, {}, {Byte{2}});
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameReader reader(1 << 20);
+  ASSERT_EQ(reader.feed(ByteSpan(stream.data(), stream.size())),
+            FrameReader::State::kFrame);
+  EXPECT_EQ(parse_request_body(reader.body()).request_id, 1u);
+  ASSERT_EQ(reader.next(), FrameReader::State::kFrame);
+  EXPECT_EQ(parse_request_body(reader.body()).request_id, 2u);
+  EXPECT_EQ(reader.next(), FrameReader::State::kNeedMore);
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Protocol, BadMagicIsTyped) {
+  Bytes garbage = {'n', 'o', 'p', 'e', 0, 0, 0, 0};
+  FrameReader reader(1 << 20);
+  EXPECT_EQ(reader.feed(ByteSpan(garbage.data(), garbage.size())),
+            FrameReader::State::kBadMagic);
+}
+
+TEST(Protocol, OversizedDeclarationRejectedBeforeBuffering) {
+  // A hostile declared length is rejected from the 8 header bytes alone.
+  Bytes header;
+  header.insert(header.end(), kFrameMagic, kFrameMagic + 4);
+  append_le<std::uint32_t>(header, 0x40000000u);  // 1 GiB declared
+  FrameReader reader(1 << 16);                    // 64 KiB cap
+  ASSERT_EQ(reader.feed(ByteSpan(header.data(), header.size())),
+            FrameReader::State::kTooLarge);
+  EXPECT_EQ(reader.declared_len(), 0x40000000u);
+}
+
+TEST(Protocol, MalformedBodiesThrowCorruptDataError) {
+  // Too short for the fixed fields.
+  Bytes tiny = {Byte{1}, Byte{0}};
+  EXPECT_THROW((void)parse_request_body(ByteSpan(tiny.data(), tiny.size())),
+               CorruptDataError);
+
+  // Unknown opcode.
+  Bytes frame = request_frame(Op::kPing, 3, 0, {}, {});
+  frame[kFrameHeaderSize] = Byte{99};
+  EXPECT_THROW((void)parse_request_body(ByteSpan(
+                   frame.data() + kFrameHeaderSize,
+                   frame.size() - kFrameHeaderSize)),
+               CorruptDataError);
+
+  // Spec length running past the body.
+  Bytes spec_frame = request_frame(Op::kCompress, 4, 0, "RLE_1", {});
+  // The u16 spec length sits after op(1)+id(8)+deadline(4).
+  spec_frame[kFrameHeaderSize + 13] = Byte{0xFF};
+  spec_frame[kFrameHeaderSize + 14] = Byte{0xFF};
+  EXPECT_THROW((void)parse_request_body(ByteSpan(
+                   spec_frame.data() + kFrameHeaderSize,
+                   spec_frame.size() - kFrameHeaderSize)),
+               CorruptDataError);
+}
+
+TEST(Protocol, StatusAndOpNamesAreStable) {
+  EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");
+  EXPECT_STREQ(to_string(Status::kPartialData), "partial-data");
+  EXPECT_STREQ(to_string(Op::kSalvage), "salvage");
+  EXPECT_FALSE(valid_op(0));
+  EXPECT_FALSE(valid_op(7));
+  EXPECT_TRUE(valid_op(static_cast<std::uint8_t>(Op::kStats)));
+}
+
+}  // namespace
+}  // namespace lc::server

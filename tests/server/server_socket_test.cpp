@@ -1,0 +1,273 @@
+// End-to-end socket tests: the real server on real sockets (unix domain
+// and TCP loopback), exercising framing, admission backpressure,
+// deadline rejection, the slow-loris guard, and graceful shutdown.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "telemetry/metrics.h"
+
+namespace lc::server {
+namespace {
+
+Bytes ramp_payload(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<Byte>(i * 13);
+  return b;
+}
+
+std::string temp_socket_path(const char* tag) {
+  // Keep well under sockaddr_un's ~108-byte limit.
+  return std::string("/tmp/lc_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServerSocket, RoundTripOverUnixAndTcp) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("rt");
+  cfg.tcp_port = 0;  // ephemeral
+  Server server(cfg);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  const Bytes payload = ramp_payload(5000);
+  {
+    Client c = Client::connect_unix(cfg.unix_path);
+    const Response comp = c.call(Op::kCompress, ByteSpan(payload.data(), payload.size()));
+    ASSERT_EQ(comp.status, Status::kOk) << comp.detail;
+    const Response dec = c.call(
+        Op::kDecompress, ByteSpan(comp.payload.data(), comp.payload.size()));
+    ASSERT_EQ(dec.status, Status::kOk) << dec.detail;
+    EXPECT_EQ(dec.payload, payload);
+  }
+  {
+    Client c = Client::connect_tcp("127.0.0.1", server.tcp_port());
+    const Response pong =
+        c.call(Op::kPing, ByteSpan(payload.data(), payload.size()));
+    ASSERT_EQ(pong.status, Status::kOk);
+    EXPECT_EQ(pong.payload, payload);
+    const Response stats = c.call(Op::kStats, ByteSpan());
+    ASSERT_EQ(stats.status, Status::kOk);
+    const std::string json(
+        reinterpret_cast<const char*>(stats.payload.data()),
+        stats.payload.size());
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(ServerSocket, MalformedBodyAnsweredConnectionSurvives) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("mb");
+  Server server(cfg);
+  server.start();
+
+  Client c = Client::connect_unix(cfg.unix_path);
+  // A well-framed body whose opcode is garbage.
+  Bytes frame;
+  frame.insert(frame.end(), kFrameMagic, kFrameMagic + 4);
+  append_le<std::uint32_t>(frame, 15);  // op + id + deadline + spec_len
+  frame.push_back(Byte{250});           // invalid opcode
+  for (int i = 0; i < 14; ++i) frame.push_back(Byte{0});
+  c.send_raw(ByteSpan(frame.data(), frame.size()));
+
+  Response r;
+  ASSERT_TRUE(c.recv_response(r, 2000));
+  EXPECT_EQ(r.status, Status::kMalformed);
+
+  // Framing stayed intact, so the connection must still serve requests.
+  const Bytes payload = ramp_payload(32);
+  const Response pong =
+      c.call(Op::kPing, ByteSpan(payload.data(), payload.size()));
+  EXPECT_EQ(pong.status, Status::kOk);
+  server.stop();
+}
+
+TEST(ServerSocket, BadMagicAnsweredThenClosed) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("bm");
+  Server server(cfg);
+  server.start();
+
+  Client c = Client::connect_unix(cfg.unix_path);
+  const Bytes junk = {'G', 'E', 'T', ' ', '/', ' ', 'H', 'T'};
+  c.send_raw(ByteSpan(junk.data(), junk.size()));
+  Response r;
+  ASSERT_TRUE(c.recv_response(r, 2000));
+  EXPECT_EQ(r.status, Status::kMalformed);
+  // After the typed response the server hangs up.
+  EXPECT_FALSE(c.recv_response(r, 2000));
+  server.stop();
+}
+
+TEST(ServerSocket, OversizedFrameAnsweredThenClosed) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("of");
+  cfg.max_frame_bytes = 1 << 16;
+  Server server(cfg);
+  server.start();
+
+  Client c = Client::connect_unix(cfg.unix_path);
+  Bytes header;
+  header.insert(header.end(), kFrameMagic, kFrameMagic + 4);
+  append_le<std::uint32_t>(header, 1u << 28);  // 256 MiB declared
+  c.send_raw(ByteSpan(header.data(), header.size()));
+  Response r;
+  ASSERT_TRUE(c.recv_response(r, 2000));
+  EXPECT_EQ(r.status, Status::kTooLarge);
+  EXPECT_FALSE(c.recv_response(r, 2000));
+  server.stop();
+}
+
+TEST(ServerSocket, BackpressureRejectsWithOverloaded) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("bp");
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  // Make the single worker slow so the queue genuinely fills.
+  cfg.service.fault_hook = [](const WorkItem&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  Server server(cfg);
+  server.start();
+
+  Client c = Client::connect_unix(cfg.unix_path);
+  const Bytes payload = ramp_payload(64);
+  // Pipeline 8 requests without reading: worker capacity 1 + queue
+  // capacity 1 means most must be shed at the door.
+  Bytes burst;
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    append_request(burst, Op::kCompress, id, 0, {},
+                   ByteSpan(payload.data(), payload.size()));
+  }
+  c.send_raw(ByteSpan(burst.data(), burst.size()));
+
+  int ok = 0;
+  int overloaded = 0;
+  for (int i = 0; i < 8; ++i) {
+    Response r;
+    ASSERT_TRUE(c.recv_response(r, 5000)) << "response " << i;
+    if (r.status == Status::kOk) ++ok;
+    if (r.status == Status::kOverloaded) ++overloaded;
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 1) << "a full queue must shed load, not buffer it";
+  server.stop();
+}
+
+TEST(ServerSocket, QueuedDeadlineExpiresToTypedResponse) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("dl");
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  // Stall the first (ping) request long enough for the queued compress's
+  // deadline to expire before a worker reaches it.
+  cfg.service.fault_hook = [](const WorkItem& w) {
+    if (w.op == Op::kPing) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  };
+  Server server(cfg);
+  server.start();
+
+  Client c = Client::connect_unix(cfg.unix_path);
+  const Bytes payload = ramp_payload(64);
+  Bytes burst;
+  append_request(burst, Op::kPing, 1, 0, {},
+                 ByteSpan(payload.data(), payload.size()));
+  append_request(burst, Op::kCompress, 2, 20, {},  // 20 ms deadline
+                 ByteSpan(payload.data(), payload.size()));
+  c.send_raw(ByteSpan(burst.data(), burst.size()));
+
+  bool saw_deadline = false;
+  for (int i = 0; i < 2; ++i) {
+    Response r;
+    ASSERT_TRUE(c.recv_response(r, 5000));
+    if (r.request_id == 2) {
+      EXPECT_EQ(r.status, Status::kDeadlineExceeded) << r.detail;
+      saw_deadline = true;
+    }
+  }
+  EXPECT_TRUE(saw_deadline);
+  server.stop();
+}
+
+TEST(ServerSocket, SlowLorisConnectionClosed) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("sl");
+  cfg.mid_frame_timeout_ms = 200;
+  Server server(cfg);
+  server.start();
+
+  const std::uint64_t closed_before =
+      telemetry::counter("lc.server.conn_closed_slowloris").value();
+
+  Client c = Client::connect_unix(cfg.unix_path);
+  // Half a frame header, then silence.
+  const Bytes partial = {'L', 'C', 'S', '1', 10};
+  c.send_raw(ByteSpan(partial.data(), partial.size()));
+  Response r;
+  // The server must hang up (recv_response returns false on close) well
+  // before the 5s ceiling, and must account the close as slow-loris.
+  EXPECT_FALSE(c.recv_response(r, 5000));
+  EXPECT_GT(telemetry::counter("lc.server.conn_closed_slowloris").value(),
+            closed_before);
+  server.stop();
+}
+
+TEST(ServerSocket, GracefulShutdownWithIdleClientsAndStalePath) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("gs");
+  Server* server = new Server(cfg);
+  server->start();
+
+  Client idle = Client::connect_unix(cfg.unix_path);
+  const Bytes payload = ramp_payload(16);
+  const Response pong =
+      idle.call(Op::kPing, ByteSpan(payload.data(), payload.size()));
+  ASSERT_EQ(pong.status, Status::kOk);
+
+  server->stop();
+  delete server;  // double-stop via destructor must be a no-op
+
+  // A second server binds the same path (stale socket file handled).
+  Server again(cfg);
+  again.start();
+  Client c = Client::connect_unix(cfg.unix_path);
+  EXPECT_EQ(c.call(Op::kPing, ByteSpan(payload.data(), payload.size())).status,
+            Status::kOk);
+  again.stop();
+}
+
+TEST(ServerSocket, ConnectionCapRefusesPolitely) {
+  ServerConfig cfg;
+  cfg.unix_path = temp_socket_path("cc");
+  cfg.max_connections = 2;
+  Server server(cfg);
+  server.start();
+
+  Client a = Client::connect_unix(cfg.unix_path);
+  Client b = Client::connect_unix(cfg.unix_path);
+  const Bytes payload = ramp_payload(8);
+  ASSERT_EQ(a.call(Op::kPing, ByteSpan(payload.data(), payload.size())).status,
+            Status::kOk);
+  ASSERT_EQ(b.call(Op::kPing, ByteSpan(payload.data(), payload.size())).status,
+            Status::kOk);
+
+  Client refused = Client::connect_unix(cfg.unix_path);
+  Response r;
+  ASSERT_TRUE(refused.recv_response(r, 2000));
+  EXPECT_EQ(r.status, Status::kOverloaded);
+  EXPECT_FALSE(refused.recv_response(r, 2000));  // then closed
+  server.stop();
+}
+
+}  // namespace
+}  // namespace lc::server

@@ -1,0 +1,344 @@
+// Service-layer tests, socket-free: op semantics, the typed error
+// mapping, deadline enforcement, graceful degradation under queue
+// pressure, and small-payload batching.
+
+#include "server/service.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "lc/codec.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace lc::server {
+namespace {
+
+Bytes ramp_payload(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<Byte>((i * 7 + i / 256) & 0xFF);
+  }
+  return b;
+}
+
+WorkItem make_item(Op op, const Bytes& payload, std::string spec = {}) {
+  WorkItem w;
+  w.op = op;
+  w.request_id = 99;
+  w.spec = std::move(spec);
+  w.payload = payload;
+  w.admitted_ns = telemetry::now_ns();
+  w.cancel = std::make_shared<CancelToken>();
+  return w;
+}
+
+/// Serve one item through the full typed-error mapping and capture the
+/// response.
+Response serve_one(Service& service, WorkItem item) {
+  Response captured;
+  bool responded = false;
+  item.respond = [&](Response& r) {
+    captured = r;  // copy: the worker's buffer is reused
+    responded = true;
+  };
+  service.serve(item);
+  EXPECT_TRUE(responded) << "serve() must respond exactly once";
+  return captured;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  AdmissionQueue queue_{8};
+  Service service_{ServiceConfig{}, queue_};
+};
+
+TEST_F(ServiceTest, PingEchoesPayload) {
+  const Bytes payload = ramp_payload(64);
+  const Response r = serve_one(service_, make_item(Op::kPing, payload));
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.payload, payload);
+  EXPECT_EQ(r.request_id, 99u);
+}
+
+TEST_F(ServiceTest, CompressDecompressRoundTripSmall) {
+  // Small payload: exercises the single-chunk fast paths.
+  const Bytes payload = ramp_payload(1000);
+  const Response c =
+      serve_one(service_, make_item(Op::kCompress, payload, "RLE_1"));
+  ASSERT_EQ(c.status, Status::kOk) << c.detail;
+  ASSERT_FALSE(c.payload.empty());
+
+  const Response d = serve_one(service_, make_item(Op::kDecompress, c.payload));
+  ASSERT_EQ(d.status, Status::kOk) << d.detail;
+  EXPECT_EQ(d.payload, payload);
+
+  // The fast-path container must also satisfy the strict library decoder.
+  const Bytes via_lib =
+      lc::decompress(ByteSpan(c.payload.data(), c.payload.size()));
+  EXPECT_EQ(via_lib, payload);
+}
+
+TEST_F(ServiceTest, CompressDecompressRoundTripMultiChunk) {
+  const Bytes payload = ramp_payload(3 * kChunkSize + 123);
+  const Response c = serve_one(service_, make_item(Op::kCompress, payload));
+  ASSERT_EQ(c.status, Status::kOk) << c.detail;
+  const Response d = serve_one(service_, make_item(Op::kDecompress, c.payload));
+  ASSERT_EQ(d.status, Status::kOk) << d.detail;
+  EXPECT_EQ(d.payload, payload);
+}
+
+TEST_F(ServiceTest, EmptyPayloadRoundTrips) {
+  const Response c = serve_one(service_, make_item(Op::kCompress, Bytes{}));
+  ASSERT_EQ(c.status, Status::kOk) << c.detail;
+  const Response d = serve_one(service_, make_item(Op::kDecompress, c.payload));
+  ASSERT_EQ(d.status, Status::kOk) << d.detail;
+  EXPECT_TRUE(d.payload.empty());
+}
+
+TEST_F(ServiceTest, BadSpecIsBadRequest) {
+  const Response r = serve_one(
+      service_, make_item(Op::kCompress, ramp_payload(10), "NOT_A_STAGE"));
+  EXPECT_EQ(r.status, Status::kBadRequest);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST_F(ServiceTest, GarbageDecompressIsCorruptInput) {
+  const Response r =
+      serve_one(service_, make_item(Op::kDecompress, ramp_payload(256)));
+  EXPECT_EQ(r.status, Status::kCorruptInput);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineRejectedBeforeWork) {
+  WorkItem item = make_item(Op::kCompress, ramp_payload(100));
+  item.deadline_ns = telemetry::now_ns() - 1;  // already blown
+  const Response r = serve_one(service_, std::move(item));
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_TRUE(r.payload.empty());
+}
+
+TEST_F(ServiceTest, DeadlineCancelsMidRequest) {
+  // The cancel token carries the deadline; chunk-boundary checks abort a
+  // multi-chunk compress whose deadline expires while running. The fault
+  // hook stalls past the deadline to make the outcome deterministic.
+  ServiceConfig cfg;
+  cfg.fault_hook = [](const WorkItem&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  Service service(cfg, queue_);
+
+  WorkItem item = make_item(Op::kCompress, ramp_payload(4 * kChunkSize));
+  const std::uint64_t deadline = telemetry::now_ns() + 5'000'000;  // 5 ms
+  item.deadline_ns = deadline;
+  item.cancel = std::make_shared<CancelToken>(deadline);
+  const Response r = serve_one(service, std::move(item));
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+}
+
+TEST_F(ServiceTest, ExplicitCancelStopsWork) {
+  WorkItem item = make_item(Op::kCompress, ramp_payload(4 * kChunkSize));
+  item.cancel->cancel();  // client vanished before the worker got to it
+  const Response r = serve_one(service_, std::move(item));
+  EXPECT_EQ(r.status, Status::kInternal);
+  EXPECT_NE(r.detail.find("cancel"), std::string::npos);
+}
+
+TEST_F(ServiceTest, WorkerExceptionsMapToTypedStatuses) {
+  ServiceConfig cfg;
+  fault::ServiceFault armed = fault::ServiceFault::kWorkerThrow;
+  cfg.fault_hook = [&armed](const WorkItem&) {
+    if (armed == fault::ServiceFault::kWorkerThrow) {
+      throw std::runtime_error("injected worker fault");
+    }
+    throw std::bad_alloc();
+  };
+  Service service(cfg, queue_);
+
+  Response r = serve_one(service, make_item(Op::kPing, ramp_payload(8)));
+  EXPECT_EQ(r.status, Status::kInternal);
+  EXPECT_NE(r.detail.find("injected"), std::string::npos);
+
+  armed = fault::ServiceFault::kWorkerBadAlloc;
+  r = serve_one(service, make_item(Op::kPing, ramp_payload(8)));
+  EXPECT_EQ(r.status, Status::kInternal);
+  EXPECT_EQ(r.detail, "out of memory");
+}
+
+TEST_F(ServiceTest, VerifyReportsDamage) {
+  const Bytes payload = ramp_payload(3 * kChunkSize);
+  const Response c = serve_one(service_, make_item(Op::kCompress, payload));
+  ASSERT_EQ(c.status, Status::kOk);
+
+  Response v = serve_one(service_, make_item(Op::kVerify, c.payload));
+  EXPECT_EQ(v.status, Status::kOk);
+  EXPECT_EQ(v.flags & kFlagPartial, 0);
+  EXPECT_NE(v.detail.find("chunks ok 3/3"), std::string::npos) << v.detail;
+
+  // Flip a bit in a chunk record: verify must flag it, not fail.
+  Bytes damaged = c.payload;
+  damaged[damaged.size() / 2] ^= Byte{0x40};
+  v = serve_one(service_, make_item(Op::kVerify, damaged));
+  EXPECT_EQ(v.status, Status::kOk);
+  EXPECT_NE(v.flags & kFlagPartial, 0);
+}
+
+TEST_F(ServiceTest, SalvageReturnsPartialOutput) {
+  const Bytes payload = ramp_payload(4 * kChunkSize);
+  const Response c = serve_one(service_, make_item(Op::kCompress, payload));
+  ASSERT_EQ(c.status, Status::kOk);
+
+  Bytes damaged = c.payload;
+  damaged[damaged.size() / 2] ^= Byte{0x01};
+  const Response s = serve_one(service_, make_item(Op::kSalvage, damaged));
+  EXPECT_EQ(s.status, Status::kOk);
+  EXPECT_NE(s.flags & kFlagPartial, 0);
+  EXPECT_EQ(s.payload.size(), payload.size());
+}
+
+TEST_F(ServiceTest, StatsReturnsMetricsJson) {
+  const Response r = serve_one(service_, make_item(Op::kStats, Bytes{}));
+  ASSERT_EQ(r.status, Status::kOk);
+  const std::string json(reinterpret_cast<const char*>(r.payload.data()),
+                         r.payload.size());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("lc.server.requests"), std::string::npos);
+}
+
+TEST(ServiceDegradation, CompressDowngradesUnderPressure) {
+  AdmissionQueue queue(4);
+  ServiceConfig cfg;
+  cfg.degrade_at = 0.5;
+  Service service(cfg, queue);
+
+  // Fill the queue past the degradation threshold.
+  for (int i = 0; i < 3; ++i) {
+    WorkItem filler;
+    filler.op = Op::kPing;
+    ASSERT_EQ(queue.try_push(std::move(filler)), Admit::kAdmitted);
+  }
+
+  const Bytes payload = ramp_payload(2000);
+  WorkItem item;
+  item.op = Op::kCompress;
+  item.request_id = 5;
+  item.spec = "DIFF_4 BIT_4 RLE_1";
+  item.payload = payload;
+  Response captured;
+  item.respond = [&](Response& r) { captured = r; };
+  service.serve(item);
+
+  EXPECT_EQ(captured.status, Status::kOk) << captured.detail;
+  EXPECT_NE(captured.flags & kFlagDegraded, 0)
+      << "compress under pressure must be flagged degraded";
+  // The container decodes fine and records the substituted fast spec.
+  const SalvageResult meta = lc::decompress_salvage(
+      ByteSpan(captured.payload.data(), captured.payload.size()));
+  EXPECT_EQ(meta.spec, cfg.fast_spec);
+  const Bytes back =
+      lc::decompress(ByteSpan(captured.payload.data(), captured.payload.size()));
+  EXPECT_EQ(back, payload);
+}
+
+TEST(ServiceDegradation, BadSpecNotMaskedByDegradation) {
+  AdmissionQueue queue(2);
+  ServiceConfig cfg;
+  cfg.degrade_at = 0.0;  // always degraded
+  Service service(cfg, queue);
+
+  WorkItem item;
+  item.op = Op::kCompress;
+  item.spec = "BOGUS_9";
+  item.payload = ramp_payload(10);
+  Response captured;
+  item.respond = [&](Response& r) { captured = r; };
+  service.serve(item);
+  EXPECT_EQ(captured.status, Status::kBadRequest);
+}
+
+TEST(ServiceDegradation, CorruptDecompressSalvagedUnderPressure) {
+  AdmissionQueue queue(2);
+  ServiceConfig cfg;
+  cfg.degrade_at = 0.0;  // treat every request as under pressure
+  Service service(cfg, queue);
+
+  const Bytes payload = ramp_payload(4 * kChunkSize);
+  const Bytes container =
+      lc::compress(Pipeline::parse("DIFF_4 BIT_4 RLE_1"),
+                   ByteSpan(payload.data(), payload.size()));
+  Bytes damaged = container;
+  damaged[damaged.size() / 2] ^= Byte{0x01};
+
+  WorkItem item;
+  item.op = Op::kDecompress;
+  item.payload = damaged;
+  Response captured;
+  item.respond = [&](Response& r) { captured = r; };
+  service.serve(item);
+
+  EXPECT_EQ(captured.status, Status::kPartialData);
+  EXPECT_NE(captured.flags & kFlagPartial, 0);
+  EXPECT_EQ(captured.payload.size(), payload.size());
+  EXPECT_NE(captured.detail.find("salvaged"), std::string::npos);
+
+  // Without pressure the same input is a typed hard error.
+  AdmissionQueue calm_queue(2);
+  ServiceConfig strict;
+  Service calm(strict, calm_queue);
+  WorkItem again;
+  again.op = Op::kDecompress;
+  again.payload = damaged;
+  Response strict_r;
+  again.respond = [&](Response& r) { strict_r = r; };
+  calm.serve(again);
+  EXPECT_EQ(strict_r.status, Status::kCorruptInput);
+}
+
+TEST(ServiceBatching, SmallCompressesCoalesce) {
+  AdmissionQueue queue(32);
+  ServiceConfig cfg;
+  cfg.batch_threshold = 4096;
+  cfg.batch_max = 8;
+  Service service(cfg, queue);
+
+  const std::uint64_t batches_before =
+      telemetry::counter("lc.server.batches").value();
+  const std::uint64_t batched_before =
+      telemetry::counter("lc.server.batched_requests").value();
+
+  std::vector<Response> responses(6);
+  std::vector<int> responded(6, 0);
+  const Bytes payload = ramp_payload(512);
+  for (int i = 0; i < 6; ++i) {
+    WorkItem w;
+    w.op = Op::kCompress;
+    w.request_id = static_cast<std::uint64_t>(i);
+    w.payload = payload;
+    w.respond = [&responses, &responded, i](Response& r) {
+      responses[static_cast<std::size_t>(i)] = r;
+      responded[static_cast<std::size_t>(i)] = 1;
+    };
+    ASSERT_EQ(queue.try_push(std::move(w)), Admit::kAdmitted);
+  }
+  queue.close();          // drain and stop
+  service.worker_loop();  // runs inline: pops all six, then exits
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(responded[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].status, Status::kOk);
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].request_id,
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GT(telemetry::counter("lc.server.batches").value(), batches_before);
+  EXPECT_GE(telemetry::counter("lc.server.batched_requests").value(),
+            batched_before + 6);
+}
+
+}  // namespace
+}  // namespace lc::server
