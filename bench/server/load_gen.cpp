@@ -21,6 +21,10 @@
 //   --queue=N             in-process admission queue capacity (default 64)
 //   --metrics=PATH        write the server metrics snapshot on exit
 //                         (in-process mode only)
+//   --telemetry           enable the telemetry plane in-process and mint a
+//                         client-side trace ID per request — the overhead
+//                         gate (scripts/bench_diff.py) compares this run
+//                         against the telemetry-off baseline
 
 #include <algorithm>
 #include <atomic>
@@ -41,6 +45,7 @@
 #include "server/client.h"
 #include "server/server.h"
 #include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -61,6 +66,7 @@ struct Options {
   std::size_t workers = 4;
   std::size_t queue_capacity = 64;
   std::string metrics_path;
+  bool telemetry = false;
 };
 
 struct StepResult {
@@ -120,10 +126,15 @@ void run_worker(const Options& opt, const Bytes& payload,
   try {
     lc::server::Client client = connect(opt);
     while (Clock::now() < until) {
+      // With --telemetry each request carries a client-minted trace ID —
+      // the same path a traced production client exercises, including the
+      // server-side histogram exemplar updates.
+      const std::uint64_t trace_id =
+          opt.telemetry ? lc::telemetry::mint_trace_id() : 0;
       const auto t0 = Clock::now();
       const lc::server::Response r = client.call(
           lc::server::Op::kCompress, ByteSpan(payload.data(), payload.size()),
-          opt.spec);
+          opt.spec, /*deadline_ms=*/0, trace_id);
       const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
                           Clock::now() - t0)
                           .count();
@@ -222,7 +233,7 @@ int usage() {
       "usage: load_gen [--steps=1,2,4] [--duration-ms=N] [--payload=N]\n"
       "                [--spec=S] [--out=PATH] [--connect-unix=PATH]\n"
       "                [--connect-tcp=HOST:PORT] [--workers=N] [--queue=N]\n"
-      "                [--metrics=PATH]\n");
+      "                [--metrics=PATH] [--telemetry]\n");
   return 2;
 }
 
@@ -275,6 +286,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
           static_cast<std::size_t>(std::atoll(value("--queue=").c_str()));
     } else if (a.rfind("--metrics=", 0) == 0) {
       opt.metrics_path = value("--metrics=");
+    } else if (a == "--telemetry") {
+      opt.telemetry = true;
     } else {
       std::fprintf(stderr, "load_gen: unknown flag %s\n", a.c_str());
       return false;
@@ -288,6 +301,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage();
+  if (opt.telemetry) lc::telemetry::set_enabled(true);
 
   std::unique_ptr<lc::server::Server> local;
   if (opt.connect_unix.empty() && opt.connect_tcp_host.empty()) {

@@ -6,6 +6,9 @@
 //   lc_cli [flags] verify <input>                  per-chunk integrity check
 //   lc_cli [flags] salvage <input> <output>        recover intact chunks
 //   lc_cli [flags] stats <input>                   salvage walk + telemetry
+//   lc_cli stats --remote <addr> [--format=F]      live lc_server metrics
+//                                                  (addr: unix:PATH or
+//                                                  HOST:PORT; F: json|prom)
 //   lc_cli [flags] sweep [sweep flags]             run the characterization
 //                                                  sweep (and timing grid)
 //   lc_cli list                                    list the 62 components
@@ -48,6 +51,7 @@
 #include "lc/codec.h"
 #include "lc/pipeline.h"
 #include "lc/registry.h"
+#include "server/client.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -84,6 +88,7 @@ int usage() {
                "  lc_cli [flags] verify <input>\n"
                "  lc_cli [flags] salvage <input> <output>\n"
                "  lc_cli [flags] stats <input>\n"
+               "  lc_cli stats --remote <addr> [--format=json|prom]\n"
                "  lc_cli [flags] sweep [sweep flags]\n"
                "  lc_cli list\n"
                "flags:\n"
@@ -192,6 +197,55 @@ int run_sweep(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(grid.fingerprint()));
   }
   return 0;
+}
+
+/// `lc_cli stats --remote`: scrape a live lc_server's metrics snapshot
+/// (kStatsFull, docs/TELEMETRY.md) and write it to stdout. The address is
+/// either `unix:PATH` or `HOST:PORT`; the format string rides in the
+/// request payload and selects JSON (default) or Prometheus text.
+int run_remote_stats(const std::vector<std::string>& args) {
+  using namespace lc;
+  std::string addr;
+  std::string format = "json";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--remote" && i + 1 < args.size()) {
+      addr = args[++i];
+    } else if (a.rfind("--format=", 0) == 0) {
+      format = a.substr(std::strlen("--format="));
+    } else {
+      std::fprintf(stderr, "stats: unknown flag %s\n", a.c_str());
+      return usage();
+    }
+  }
+  LC_REQUIRE(!addr.empty(), "stats --remote requires an address");
+  LC_REQUIRE(format == "json" || format == "prom",
+             "stats --format must be json or prom, got \"" + format + "\"");
+
+  server::Client client = [&addr] {
+    if (addr.rfind("unix:", 0) == 0) {
+      return server::Client::connect_unix(addr.substr(5));
+    }
+    const std::size_t colon = addr.rfind(':');
+    LC_REQUIRE(colon != std::string::npos && colon > 0,
+               "stats --remote address must be unix:PATH or HOST:PORT");
+    const int port = std::atoi(addr.c_str() + colon + 1);
+    LC_REQUIRE(port > 0 && port <= 0xFFFF,
+               "stats --remote: bad port in \"" + addr + "\"");
+    return server::Client::connect_tcp(addr.substr(0, colon),
+                                       static_cast<std::uint16_t>(port));
+  }();
+
+  const auto* fmt_bytes = reinterpret_cast<const Byte*>(format.data());
+  const server::Response r = client.call(
+      server::Op::kStatsFull, ByteSpan(fmt_bytes, format.size()));
+  if (r.status != server::Status::kOk) {
+    std::fprintf(stderr, "stats: server returned %s: %s\n",
+                 to_string(r.status), r.detail.c_str());
+    return kExitInternal;
+  }
+  std::fwrite(r.payload.data(), 1, r.payload.size(), stdout);
+  return kExitOk;
 }
 
 /// Print the per-chunk damage map of a salvage result; returns the number
@@ -337,6 +391,9 @@ int run(const std::vector<std::string>& args) {
                 result.data.size());
     print_salvage_throughput(result, packed.size());
     return result.complete() ? kExitOk : kExitDamage;
+  }
+  if (mode == "stats" && args.size() >= 2 && args[1] == "--remote") {
+    return run_remote_stats(args);
   }
   if (mode == "stats" && args.size() == 2) {
     // Run a full salvage walk with telemetry on, then pretty-print the

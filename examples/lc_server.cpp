@@ -7,17 +7,28 @@
 /// Typical runs:
 ///   lc_server --unix /tmp/lc.sock
 ///   lc_server --tcp 0 --print-port     # ephemeral port, printed on stdout
+///   lc_server --tcp 0 --flight-dir /var/log/lc   # black-box dumps
 ///
-/// The daemon exits 0 on SIGINT/SIGTERM after a graceful drain.
+/// The daemon exits 0 on SIGINT/SIGTERM after a graceful drain. Fatal
+/// signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL) dump the flight
+/// recorder (docs/TELEMETRY.md) before re-raising, so a crash leaves
+/// the last N admissions/faults/degradations behind as evidence.
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
 #include "server/server.h"
+#include "telemetry/recorder.h"
 
 namespace {
 
@@ -25,17 +36,53 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void on_signal(int) { g_stop = 1; }
 
+/// Directory for crash dumps; written once at startup, read by the
+/// fatal-signal handler. Plain chars: the handler may not allocate.
+char g_flight_dir[512] = {};
+
+void on_fatal_signal(int sig) {
+  // Best effort only — the process state is already suspect. Open with
+  // O_CREAT|O_EXCL-free flags via a fixed name per pid (open(2) and
+  // write(2) are async-signal-safe; the dumper takes no locks).
+  char path[600];
+  if (g_flight_dir[0] != '\0') {
+    std::snprintf(path, sizeof(path), "%s/lc_flight_crash_%ld.jsonl",
+                  g_flight_dir, static_cast<long>(getpid()));
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      lc::telemetry::flight_dump_signal_safe(fd);
+      ::close(fd);
+    }
+  } else {
+    lc::telemetry::flight_dump_signal_safe(STDERR_FILENO);
+  }
+  // Restore the default action and re-raise so the exit status (and any
+  // core dump) still reflects the original signal.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_fatal_handlers() {
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    std::signal(sig, on_fatal_signal);
+  }
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--unix PATH] [--tcp PORT] [--host ADDR] [--workers N]\n"
       "          [--queue N] [--max-frame-bytes N] [--degrade-at F]\n"
       "          [--default-spec SPEC] [--fast-spec SPEC] [--print-port]\n"
+      "          [--flight-dir DIR] [--inject-fault-after N]\n"
       "\n"
       "At least one of --unix / --tcp is required. --tcp 0 binds an\n"
       "ephemeral port; --print-port writes 'PORT=<n>' to stdout for\n"
-      "scripts. See docs/SERVER.md for the protocol and the degradation\n"
-      "policy.\n",
+      "scripts. --flight-dir enables flight-recorder dump files (on\n"
+      "worker faults, kDumpDiagnostics, and fatal signals).\n"
+      "--inject-fault-after N throws from the Nth request's worker — a\n"
+      "chaos knob for exercising the fault path end to end (CI's\n"
+      "observability-smoke job). See docs/SERVER.md.\n",
       argv0);
   return 2;
 }
@@ -45,6 +92,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   lc::server::ServerConfig cfg;
   bool print_port = false;
+  long inject_fault_after = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +120,11 @@ int main(int argc, char** argv) {
       cfg.service.fast_spec = v;
     } else if (arg == "--idle-timeout-ms" && (v = value())) {
       cfg.idle_timeout_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--flight-dir" && (v = value())) {
+      cfg.service.flight_dump_dir = v;
+      std::strncpy(g_flight_dir, v, sizeof(g_flight_dir) - 1);
+    } else if (arg == "--inject-fault-after" && (v = value())) {
+      inject_fault_after = std::atol(v);
     } else if (arg == "--print-port") {
       print_port = true;
     } else {
@@ -80,9 +133,24 @@ int main(int argc, char** argv) {
   }
   if (cfg.unix_path.empty() && cfg.tcp_port < 0) return usage(argv[0]);
 
+  if (inject_fault_after > 0) {
+    // Chaos knob: the Nth served request throws from inside the worker's
+    // try scope — surfaces as a typed kInternal response AND a flight
+    // dump when --flight-dir is set. One-shot, then the server is
+    // healthy again (the smoke test pings afterwards to prove it).
+    auto served = std::make_shared<std::atomic<long>>(0);
+    cfg.service.fault_hook = [served, inject_fault_after](
+                                 const lc::server::WorkItem&) {
+      if (served->fetch_add(1) + 1 == inject_fault_after) {
+        throw std::runtime_error("injected fault (--inject-fault-after)");
+      }
+    };
+  }
+
   try {
     lc::server::Server server(cfg);
     server.start();
+    install_fatal_handlers();
 
     if (!cfg.unix_path.empty()) {
       std::fprintf(stderr, "lc_server: listening on unix %s\n",

@@ -12,10 +12,17 @@ Usage:
       sweep wall clock above baseline*threshold). The generous default
       absorbs CI machine noise; real regressions are usually 10x.
 
-Both files must share a schema ("lc-bench-micro-v1", "lc-bench-sweep-v1"
-or "lc-bench-grid-v1"), produced by bench/perf_harness. See
-docs/PERFORMANCE.md. Keys added after a baseline was recorded are treated
-as absent rather than errors, so old baselines keep working.
+Both files must share a schema ("lc-bench-micro-v1", "lc-bench-sweep-v1",
+"lc-bench-grid-v1" or "lc-bench-server-v1"), produced by
+bench/perf_harness or bench/server/load_gen. See docs/PERFORMANCE.md.
+Keys added after a baseline was recorded are treated as absent rather
+than errors, so old baselines keep working.
+
+For lc-bench-server-v1, --max-loss-pct=P replaces the factor threshold
+with a percentage gate on peak throughput: the current run's best
+req/s across steps must be within P percent of the baseline's. This is
+the telemetry-overhead gate (docs/TELEMETRY.md) — compare a --telemetry
+load_gen run against the telemetry-off baseline with --max-loss-pct=3.
 """
 
 import json
@@ -109,8 +116,50 @@ def diff_grid(base, cur, threshold):
     return []
 
 
+def diff_server(base, cur, threshold, max_loss_pct):
+    """lc-bench-server-v1: the load_gen concurrency ramp. Throughput and
+    p99 per matched step are context; the gate is peak req/s across the
+    ramp — either the factor threshold or, for the telemetry-overhead
+    gate, --max-loss-pct."""
+    bsteps = {s["connections"]: s for s in base.get("steps", [])}
+    csteps = {s["connections"]: s for s in cur.get("steps", [])}
+    for key in ("payload_bytes", "spec", "duration_ms_per_step"):
+        if base.get(key) != cur.get(key):
+            print(f"  warning: {key} differs "
+                  f"({base.get(key)} vs {cur.get(key)}) — not comparable")
+    print(f"{'conns':>5}  {'req/s':<28}  {'p99 us':<24}  shed")
+    for conns in sorted(set(bsteps) | set(csteps)):
+        b, c = bsteps.get(conns), csteps.get(conns)
+        if b is None or c is None:
+            print(f"{conns:>5}  (only in one file)")
+            continue
+        rps = f"{b['throughput_rps']:.0f} -> {c['throughput_rps']:.0f} " \
+              f"({fmt_speedup(c['throughput_rps'], b['throughput_rps'])})"
+        p99 = f"{b['p99_us']:.0f} -> {c['p99_us']:.0f}"
+        shed = f"{b.get('overloaded', 0)} -> {c.get('overloaded', 0)}"
+        print(f"{conns:>5}  {rps:<28}  {p99:<24}  {shed}")
+
+    bpeak = max((s["throughput_rps"] for s in bsteps.values()), default=0.0)
+    cpeak = max((s["throughput_rps"] for s in csteps.values()), default=0.0)
+    print(f"peak throughput: {bpeak:.0f} -> {cpeak:.0f} req/s "
+          f"({fmt_speedup(cpeak, bpeak)})")
+    if max_loss_pct is not None and bpeak > 0:
+        floor = bpeak * (1.0 - max_loss_pct / 100.0)
+        loss = (1.0 - cpeak / bpeak) * 100.0
+        if cpeak < floor:
+            return [f"peak throughput {bpeak:.0f} -> {cpeak:.0f} req/s: "
+                    f"{loss:.1f}% loss exceeds the {max_loss_pct}% budget"]
+        print(f"overhead: {loss:+.1f}% vs the {max_loss_pct}% budget")
+        return []
+    if threshold and cpeak * threshold < bpeak:
+        return [f"peak throughput: {bpeak:.0f} -> {cpeak:.0f} req/s "
+                f"(>{threshold}x regression)"]
+    return []
+
+
 def main(argv):
     threshold = None
+    max_loss_pct = None
     check = False
     paths = []
     for arg in argv[1:]:
@@ -118,6 +167,8 @@ def main(argv):
             check = True
         elif arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-loss-pct="):
+            max_loss_pct = float(arg.split("=", 1)[1])
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -141,16 +192,21 @@ def main(argv):
         regressions = diff_sweep(base, cur, threshold if check else None)
     elif base["schema"] == "lc-bench-grid-v1":
         regressions = diff_grid(base, cur, threshold if check else None)
+    elif base["schema"] == "lc-bench-server-v1":
+        regressions = diff_server(base, cur, threshold if check else None,
+                                  max_loss_pct if check else None)
     else:
         sys.exit(f"bench_diff: unknown schema {base['schema']}")
 
+    gate = (f"{max_loss_pct}% loss budget" if max_loss_pct is not None
+            else f"threshold {threshold}x")
     if check and regressions:
-        print("\nREGRESSIONS (threshold {}x):".format(threshold))
+        print(f"\nREGRESSIONS ({gate}):")
         for r in regressions:
             print("  " + r)
         return 1
     if check:
-        print(f"\nOK: no regression beyond {threshold}x")
+        print(f"\nOK: no regression beyond the {gate}")
     return 0
 
 

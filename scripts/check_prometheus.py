@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format exposition (lc_server kStatsFull).
+
+Usage:
+    python3 scripts/check_prometheus.py stats.prom [--require PREFIX]
+
+Checks the subset of the text format that telemetry::write_prometheus_text
+emits (docs/TELEMETRY.md):
+  - every sample line is `name{labels} value [# exemplar]` with a legal
+    metric name and a parsable value;
+  - every sample is preceded by a `# TYPE` line for its family, and the
+    sample name matches the family (counter: exact; histogram: _bucket /
+    _sum / _count suffix);
+  - histogram bucket series are cumulative, end at le="+Inf", and the
+    +Inf bucket equals `_count`;
+  - `le` bound labels are ascending;
+  - OpenMetrics exemplars parse and only appear on bucket lines.
+
+--require PREFIX additionally demands at least one family with that name
+prefix (CI passes lc_server_ to prove the server metrics made it out).
+
+Exit codes: 0 valid, 1 violation, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exemplar_labels>[^}]*)\}\s+(?P<exemplar_value>\S+))?"
+    r"\s*$")
+
+
+def fail(lineno: int, msg: str) -> None:
+    print(f"check_prometheus: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text: str, lineno: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        fail(lineno, f"unparsable value {text!r}")
+
+
+def family_of(name: str, types: dict[str, str]) -> str | None:
+    """Resolve a sample name to its declared family, honoring suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            base = name[: -len(suffix)]
+            if types[base] == "histogram":
+                return base
+    return None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="Prometheus text exposition file")
+    parser.add_argument("--require", metavar="PREFIX",
+                        help="fail unless a family with this prefix exists")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_prometheus: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    types: dict[str, str] = {}
+    samples = 0
+    # Per-histogram running state: last cumulative count, last le bound,
+    # whether +Inf was seen, and the +Inf value to check against _count.
+    hist: dict[str, dict] = {}
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(lineno, f"malformed TYPE line {line!r}")
+            _, _, name, kind = parts
+            if not NAME_RE.match(name):
+                fail(lineno, f"illegal metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                fail(lineno, f"unknown type {kind!r}")
+            if name in types:
+                fail(lineno, f"duplicate TYPE for {name!r}")
+            types[name] = kind
+            if kind == "histogram":
+                hist[name] = {"cum": -1, "le": -math.inf, "inf": None,
+                              "count": None}
+            continue
+        if line.startswith("#"):
+            continue  # other comments (HELP etc.) are legal
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(lineno, f"unparsable sample line {line!r}")
+        name = m.group("name")
+        value = parse_value(m.group("value"), lineno)
+        family = family_of(name, types)
+        if family is None:
+            fail(lineno, f"sample {name!r} has no preceding TYPE line")
+        samples += 1
+
+        if m.group("exemplar_labels") is not None:
+            if not name.endswith("_bucket"):
+                fail(lineno, "exemplar on a non-bucket line")
+            parse_value(m.group("exemplar_value"), lineno)
+
+        if types[family] == "histogram":
+            h = hist[family]
+            if name.endswith("_bucket"):
+                labels = m.group("labels") or ""
+                le = re.search(r'le="([^"]*)"', labels)
+                if le is None:
+                    fail(lineno, "bucket line without an le label")
+                bound = parse_value(le.group(1), lineno)
+                if bound <= h["le"]:
+                    fail(lineno, f"le bounds not ascending in {family}")
+                if value < h["cum"]:
+                    fail(lineno, f"bucket counts not cumulative in {family}")
+                h["le"], h["cum"] = bound, value
+                if bound == math.inf:
+                    h["inf"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+
+    for family, h in hist.items():
+        if h["inf"] is None:
+            fail(0, f"histogram {family} has no +Inf bucket")
+        if h["count"] is not None and h["inf"] != h["count"]:
+            fail(0, f"histogram {family}: +Inf bucket {h['inf']} != "
+                    f"_count {h['count']}")
+
+    if args.require and not any(n.startswith(args.require) for n in types):
+        print(f"check_prometheus: no metric family with prefix "
+              f"{args.require!r}", file=sys.stderr)
+        sys.exit(1)
+
+    print(f"{args.path}: valid — {len(types)} families, {samples} samples, "
+          f"{len(hist)} histograms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Summarize an lc_server flight-recorder dump (lc-flight-v1 JSONL).
+
+Usage:
+    python3 scripts/flight_summary.py dump.jsonl [--tail N]
+    python3 scripts/flight_summary.py dump.jsonl --by-request <trace_id>
+    python3 scripts/flight_summary.py dump.jsonl --kind fault --tail 5
+
+The input is what the flight recorder writes (docs/TELEMETRY.md): a
+header line {"schema":"lc-flight-v1", pid, capacity, total, dropped,
+dumped, reason} followed by one JSON object per surviving event, oldest
+first, each carrying a global monotonic "seq". The dump sources are the
+kDumpDiagnostics server op, worker faults with --flight-dir set, and the
+fatal-signal handler in examples/lc_server.cpp.
+
+Validates the schema (exit 1 on violation — CI uses this as a format
+check), prints the header and a per-kind histogram, then the last --tail
+events. --by-request filters to one request's trace ID; --kind filters
+by event kind (admit, reject, degrade, deadline_miss, cancel, fault,
+conn_open, conn_close, dump). Exit codes: 0 ok, 1 schema violation or
+empty --by-request match, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+KINDS = ("admit", "reject", "degrade", "deadline_miss", "cancel", "fault",
+         "conn_open", "conn_close", "dump", "unknown")
+
+EVENT_KEYS = ("seq", "ts_ns", "kind", "op", "status", "request_id",
+              "trace_id", "arg", "note")
+
+
+def fail(msg: str) -> None:
+    print(f"flight_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> tuple[dict, list[dict]]:
+    """Parse and validate a dump; return (header, events)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not lines:
+        fail("empty dump (missing header line)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(f"header is not JSON: {e}")
+    if header.get("schema") != "lc-flight-v1":
+        fail(f"bad schema {header.get('schema')!r} (want lc-flight-v1)")
+    for key in ("pid", "capacity", "total", "dropped", "dumped", "reason"):
+        if key not in header:
+            fail(f"header missing {key!r}")
+
+    events = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"line {i} is not JSON: {e}")
+        for key in EVENT_KEYS:
+            if key not in ev:
+                fail(f"line {i}: event missing {key!r}")
+        if ev["kind"] not in KINDS:
+            fail(f"line {i}: unknown kind {ev['kind']!r}")
+        try:
+            int(ev["trace_id"], 16)
+        except (TypeError, ValueError):
+            fail(f"line {i}: trace_id {ev['trace_id']!r} is not a hex string")
+        events.append(ev)
+
+    if len(events) != header["dumped"]:
+        fail(f"header says {header['dumped']} events, found {len(events)}")
+    seqs = [ev["seq"] for ev in events]
+    if seqs != sorted(seqs):
+        fail("event seq numbers are not monotonic")
+    if events and seqs[0] != header["dropped"]:
+        fail(f"first seq {seqs[0]} != dropped {header['dropped']} "
+             "(oldest-survivor contract)")
+    return header, events
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dump", help="lc-flight-v1 JSONL file")
+    parser.add_argument("--tail", type=int, default=10,
+                        help="events to print, newest last (default 10)")
+    parser.add_argument("--by-request", metavar="TRACE_ID",
+                        help="only events with this trace ID (hex)")
+    parser.add_argument("--kind", choices=KINDS[:-1],
+                        help="only events of this kind")
+    args = parser.parse_args()
+
+    header, events = load(args.dump)
+    print(f"{args.dump}: pid {header['pid']}, reason "
+          f"\"{header['reason']}\" — {header['total']} recorded, "
+          f"{header['dumped']} dumped, {header['dropped']} dropped "
+          f"(capacity {header['capacity']})")
+
+    if args.by_request is not None:
+        try:
+            want = int(args.by_request, 16)
+        except ValueError:
+            print(f"flight_summary: bad trace id {args.by_request!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        events = [ev for ev in events if int(ev["trace_id"], 16) == want]
+        if not events:
+            fail(f"no event carries trace id {want:016x}")
+    if args.kind is not None:
+        events = [ev for ev in events if ev["kind"] == args.kind]
+
+    by_kind = Counter(ev["kind"] for ev in events)
+    if by_kind:
+        parts = ", ".join(f"{k}: {n}" for k, n in sorted(by_kind.items()))
+        print(f"by kind: {parts}")
+
+    shown = events[-args.tail:] if args.tail > 0 else []
+    if shown:
+        t0 = shown[0]["ts_ns"]
+        print(f"last {len(shown)} event(s):")
+        print(f"  {'seq':>6} {'+ms':>10} {'kind':<14} {'op':>3} "
+              f"{'status':>6} {'request':>8} {'trace_id':<16} "
+              f"{'arg':>8}  note")
+        for ev in shown:
+            dt_ms = (ev["ts_ns"] - t0) / 1e6
+            print(f"  {ev['seq']:>6} {dt_ms:>10.3f} {ev['kind']:<14} "
+                  f"{ev['op']:>3} {ev['status']:>6} "
+                  f"{ev['request_id']:>8} {ev['trace_id']:<16} "
+                  f"{ev['arg']:>8}  {ev['note']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,11 +3,23 @@
 
 Usage:
     python3 scripts/trace_summary.py trace.json [--top N]
+    python3 scripts/trace_summary.py trace.json --by-request <trace_id>
 
 Validates the trace against the subset of the Chrome trace-event schema
 that lc::telemetry emits (exits nonzero on a violation, so CI can use it
 as a schema check), then prints the top-N span names by total time with
 call counts and mean durations.
+
+With --by-request, only spans tagged with the given request trace ID
+(args.trace_id, 16 hex digits as written by write_chrome_trace) are
+summarized — the per-stage breakdown of one server request. The ID is
+accepted with or without a 0x prefix and is case-insensitive; --by-request
+exits 1 if no span carries the ID, so scripts can assert propagation.
+
+Traces from multiple processes (e.g. a merged daemon + client capture)
+are handled by keying every thread-level aggregate by (pid, tid) — a tid
+alone is only unique within one process, and lc_server and lc_cli both
+start their thread IDs at 1.
 
 The input is what `lc_cli --trace=out.json ...` (or any binary run with
 LC_TELEMETRY=1 plus telemetry::write_chrome_trace) writes; the same file
@@ -55,6 +67,16 @@ def validate(trace: object) -> list[dict]:
                 fail(f"event {i}: negative duration")
             if "args" in ev and not isinstance(ev["args"], dict):
                 fail(f"event {i}: 'args' must be an object")
+            trace_id = ev.get("args", {}).get("trace_id")
+            if trace_id is not None:
+                # write_chrome_trace emits trace IDs as 16-hex-digit
+                # strings (a JSON number would round past 2^53).
+                if not isinstance(trace_id, str):
+                    fail(f"event {i}: args.trace_id must be a string")
+                try:
+                    int(trace_id, 16)
+                except ValueError:
+                    fail(f"event {i}: args.trace_id {trace_id!r} is not hex")
             spans.append(ev)
         elif ev["name"] == "thread_name":
             if "name" not in ev.get("args", {}):
@@ -62,11 +84,52 @@ def validate(trace: object) -> list[dict]:
     return spans
 
 
+def parse_trace_id(text: str) -> int:
+    """Parse a --by-request value: hex, optional 0x prefix, any case."""
+    try:
+        return int(text, 16)
+    except ValueError:
+        print(f"trace_summary: bad trace id {text!r} (expected hex)",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def span_trace_id(ev: dict) -> int | None:
+    raw = ev.get("args", {}).get("trace_id")
+    return int(raw, 16) if isinstance(raw, str) else None
+
+
+def print_request(spans: list[dict], want: int) -> None:
+    """Per-stage breakdown of one request, in start-time order."""
+    mine = [ev for ev in spans if span_trace_id(ev) == want]
+    if not mine:
+        print(f"trace_summary: no span carries trace id {want:016x}",
+              file=sys.stderr)
+        sys.exit(1)
+    mine.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+    t0 = mine[0]["ts"]
+    wall_us = max(ev["ts"] + ev["dur"] for ev in mine) - t0
+    procs = sorted({(ev["pid"], ev["tid"]) for ev in mine})
+    print(f"request {want:016x}: {len(mine)} spans on "
+          f"{len(procs)} thread(s), {wall_us / 1e3:.3f} ms extent")
+    print(f"  {'start us':>10} {'dur us':>10} {'pid:tid':>12}  name")
+    for ev in mine:
+        where = f"{ev['pid']}:{ev['tid']}"
+        args = {k: v for k, v in ev.get("args", {}).items()
+                if k != "trace_id"}
+        suffix = f"  {args}" if args else ""
+        print(f"  {ev['ts'] - t0:>10.1f} {ev['dur']:>10.1f} {where:>12}  "
+              f"{ev['name']}{suffix}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace-event JSON file")
     parser.add_argument("--top", type=int, default=10,
                         help="number of span names to show (default 10)")
+    parser.add_argument("--by-request", metavar="TRACE_ID",
+                        help="only spans with this request trace ID "
+                             "(16 hex digits)")
     args = parser.parse_args()
 
     try:
@@ -76,6 +139,9 @@ def main() -> None:
         fail(f"cannot parse {args.trace}: {e}")
 
     spans = validate(trace)
+    if args.by_request is not None:
+        print_request(spans, parse_trace_id(args.by_request))
+        return
     if not spans:
         print(f"{args.trace}: valid trace, 0 spans")
         return
@@ -83,15 +149,22 @@ def main() -> None:
     total_us = defaultdict(float)
     counts = defaultdict(int)
     threads = set()
+    requests = set()
     for ev in spans:
         total_us[ev["name"]] += ev["dur"]
         counts[ev["name"]] += 1
         threads.add((ev["pid"], ev["tid"]))
+        tid = span_trace_id(ev)
+        if tid is not None:
+            requests.add(tid)
 
+    processes = {pid for pid, _ in threads}
     wall_us = (max(ev["ts"] + ev["dur"] for ev in spans) -
                min(ev["ts"] for ev in spans))
+    traced = f", {len(requests)} traced requests" if requests else ""
     print(f"{args.trace}: valid trace — {len(spans)} spans, "
-          f"{len(total_us)} names, {len(threads)} threads, "
+          f"{len(total_us)} names, {len(threads)} threads in "
+          f"{len(processes)} process(es){traced}, "
           f"{wall_us / 1e3:.2f} ms span extent")
     print(f"top {args.top} span names by total time:")
     print(f"  {'name':<32} {'count':>8} {'total ms':>10} {'mean us':>10}")

@@ -59,6 +59,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Trace context crosses the pool explicitly: the task carries the
+  // submitter's request-scoped trace ID, so codec spans running on a
+  // pool worker still attribute to the request that spawned them.
+  if (const std::uint64_t trace_id = telemetry::current_trace_id();
+      trace_id != 0) {
+    task = [trace_id, inner = std::move(task)] {
+      const telemetry::TraceScope scope(trace_id);
+      inner();
+    };
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

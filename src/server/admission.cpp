@@ -1,6 +1,9 @@
 #include "server/admission.h"
 
+#include <cstring>
+
 #include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 
 namespace lc::server {
 namespace {
@@ -26,18 +29,36 @@ telemetry::Counter& rejected_counter() {
 }  // namespace
 
 Admit AdmissionQueue::try_push(WorkItem item) {
+  // Flight events carry the request's identity, so admission is the one
+  // place that records them: the queue sees every request exactly once.
+  telemetry::FlightEvent ev;
+  ev.op = static_cast<std::uint8_t>(item.op);
+  ev.request_id = item.request_id;
+  ev.trace_id = item.trace_id;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return Admit::kClosed;
+    if (closed_) {
+      telemetry::flight_record(telemetry::make_flight_event(
+          telemetry::FlightKind::kReject, "shutdown", item.request_id,
+          item.trace_id));
+      return Admit::kClosed;
+    }
     if (items_.size() >= capacity_) {
       rejected_counter().add();
+      ev.kind = telemetry::FlightKind::kReject;
+      ev.arg = items_.size();
+      std::memcpy(ev.note, "overload", 9);
+      telemetry::flight_record(ev);
       return Admit::kOverloaded;
     }
     items_.push_back(std::move(item));
     const auto depth = static_cast<std::int64_t>(items_.size());
     depth_gauge().set(depth);
     depth_max_gauge().max_of(depth);
+    ev.kind = telemetry::FlightKind::kAdmit;
+    ev.arg = static_cast<std::uint64_t>(depth);
   }
+  telemetry::flight_record(ev);
   admitted_counter().add();
   cv_.notify_one();
   return Admit::kAdmitted;

@@ -79,11 +79,11 @@ Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
 }
 
 Response Client::call(Op op, ByteSpan payload, std::string_view spec,
-                      std::uint32_t deadline_ms) {
+                      std::uint32_t deadline_ms, std::uint64_t trace_id) {
   LC_REQUIRE(connected(), "client not connected");
   const std::uint64_t id = next_id_++;
   tx_.clear();
-  append_request(tx_, op, id, deadline_ms, spec, payload);
+  append_request(tx_, op, id, deadline_ms, spec, payload, trace_id);
   send_all_or_throw(fd_, tx_.data(), tx_.size());
   Response r;
   for (;;) {

@@ -34,9 +34,10 @@ class Client {
 
   /// Send one request and block for its response. Throws IoError on a
   /// closed/failed connection (a typed error *response* is not an
-  /// exception — inspect Response::status).
+  /// exception — inspect Response::status). `trace_id` 0 lets the server
+  /// mint one; either way Response::trace_id carries the effective ID.
   Response call(Op op, ByteSpan payload, std::string_view spec = {},
-                std::uint32_t deadline_ms = 0);
+                std::uint32_t deadline_ms = 0, std::uint64_t trace_id = 0);
 
   /// Append raw bytes to the stream, bypassing framing (chaos only).
   void send_raw(ByteSpan bytes);

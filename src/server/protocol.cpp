@@ -14,14 +14,15 @@ void append_frame_header(Bytes& out, std::size_t body_len) {
 
 void append_request(Bytes& out, Op op, std::uint64_t request_id,
                     std::uint32_t deadline_ms, std::string_view spec,
-                    ByteSpan payload) {
+                    ByteSpan payload, std::uint64_t trace_id) {
   LC_REQUIRE(spec.size() <= 0xFFFF, "pipeline spec too long for the wire");
   const std::size_t body_len =
-      1 + 8 + 4 + 2 + spec.size() + payload.size();
+      1 + 8 + 8 + 4 + 2 + spec.size() + payload.size();
   out.reserve(out.size() + kFrameHeaderSize + body_len);
   append_frame_header(out, body_len);
   out.push_back(static_cast<Byte>(op));
   append_le<std::uint64_t>(out, request_id);
+  append_le<std::uint64_t>(out, trace_id);
   append_le<std::uint32_t>(out, deadline_ms);
   append_le<std::uint16_t>(out, static_cast<std::uint16_t>(spec.size()));
   out.insert(out.end(), spec.begin(), spec.end());
@@ -31,12 +32,13 @@ void append_request(Bytes& out, Op op, std::uint64_t request_id,
 void append_response(Bytes& out, const Response& r) {
   LC_REQUIRE(r.detail.size() <= 0xFFFF, "response detail too long");
   const std::size_t body_len =
-      1 + 1 + 8 + 2 + r.detail.size() + r.payload.size();
+      1 + 1 + 8 + 8 + 2 + r.detail.size() + r.payload.size();
   out.reserve(out.size() + kFrameHeaderSize + body_len);
   append_frame_header(out, body_len);
   out.push_back(static_cast<Byte>(r.status));
   out.push_back(r.flags);
   append_le<std::uint64_t>(out, r.request_id);
+  append_le<std::uint64_t>(out, r.trace_id);
   append_le<std::uint16_t>(out, static_cast<std::uint16_t>(r.detail.size()));
   out.insert(out.end(), r.detail.begin(), r.detail.end());
   append(out, ByteSpan(r.payload.data(), r.payload.size()));
@@ -45,20 +47,25 @@ void append_response(Bytes& out, const Response& r) {
 RequestView parse_request_body(ByteSpan body) {
   RequestView v;
   std::size_t pos = 0;
-  LC_DECODE_REQUIRE(body.size() >= 1 + 8 + 4 + 2, "request body too short");
+  LC_DECODE_REQUIRE(body.size() >= 1 + 8 + 8 + 4 + 2,
+                    "request body too short");
   const std::uint8_t op = body[pos++];
   LC_DECODE_REQUIRE(valid_op(op), "unknown opcode");
   v.op = static_cast<Op>(op);
   std::uint64_t id = 0;
+  std::uint64_t trace_id = 0;
   std::uint32_t deadline = 0;
   std::uint16_t spec_len = 0;
   LC_DECODE_REQUIRE(read_le<std::uint64_t>(body, pos, id), "id truncated");
+  LC_DECODE_REQUIRE(read_le<std::uint64_t>(body, pos, trace_id),
+                    "trace id truncated");
   LC_DECODE_REQUIRE(read_le<std::uint32_t>(body, pos, deadline),
                     "deadline truncated");
   LC_DECODE_REQUIRE(read_le<std::uint16_t>(body, pos, spec_len),
                     "spec length truncated");
   LC_DECODE_REQUIRE(pos + spec_len <= body.size(), "spec truncated");
   v.request_id = id;
+  v.trace_id = trace_id;
   v.deadline_ms = deadline;
   v.spec = std::string_view(reinterpret_cast<const char*>(body.data() + pos),
                             spec_len);
@@ -70,16 +77,21 @@ RequestView parse_request_body(ByteSpan body) {
 Response parse_response_body(ByteSpan body) {
   Response r;
   std::size_t pos = 0;
-  LC_DECODE_REQUIRE(body.size() >= 1 + 1 + 8 + 2, "response body too short");
+  LC_DECODE_REQUIRE(body.size() >= 1 + 1 + 8 + 8 + 2,
+                    "response body too short");
   r.status = static_cast<Status>(body[pos++]);
   r.flags = body[pos++];
   std::uint64_t id = 0;
+  std::uint64_t trace_id = 0;
   std::uint16_t detail_len = 0;
   LC_DECODE_REQUIRE(read_le<std::uint64_t>(body, pos, id), "id truncated");
+  LC_DECODE_REQUIRE(read_le<std::uint64_t>(body, pos, trace_id),
+                    "trace id truncated");
   LC_DECODE_REQUIRE(read_le<std::uint16_t>(body, pos, detail_len),
                     "detail length truncated");
   LC_DECODE_REQUIRE(pos + detail_len <= body.size(), "detail truncated");
   r.request_id = id;
+  r.trace_id = trace_id;
   r.detail.assign(reinterpret_cast<const char*>(body.data() + pos),
                   detail_len);
   pos += detail_len;

@@ -14,6 +14,9 @@
 /// Request body:
 ///   u8     opcode            (Op)
 ///   u64le  request id        (echoed verbatim in the response)
+///   u64le  trace id          (0 = server mints one; echoed in the
+///          response either way, so the client can find its request's
+///          spans in the server's trace by ID)
 ///   u32le  deadline in ms    (relative to arrival; 0 = none. Relative,
 ///          not absolute: the server derives the absolute deadline from
 ///          its own clock, so client clock skew cannot move it)
@@ -25,6 +28,7 @@
 ///   u8     status            (Status — the error taxonomy)
 ///   u8     flags             (kFlagDegraded | kFlagPartial)
 ///   u64le  request id
+///   u64le  trace id          (the effective ID the server used)
 ///   u16le  detail length, then a short human-readable detail string
 ///   rest   payload
 ///
@@ -54,10 +58,16 @@ enum class Op : std::uint8_t {
   kSalvage = 5,     ///< payload = container; response payload = best-effort
                     ///< bytes, kFlagPartial when damaged
   kStats = 6,       ///< response payload = telemetry metrics JSON
+  kStatsFull = 7,   ///< consistent snapshot; request payload selects the
+                    ///< format: empty or "json" = JSON, "prom" =
+                    ///< Prometheus text exposition
+  kDumpDiagnostics = 8,  ///< response payload = flight-recorder JSONL;
+                         ///< also writes a dump file when the server was
+                         ///< started with --flight-dir
 };
 
 [[nodiscard]] constexpr bool valid_op(std::uint8_t v) noexcept {
-  return v >= 1 && v <= 6;
+  return v >= 1 && v <= 8;
 }
 
 [[nodiscard]] constexpr const char* to_string(Op op) noexcept {
@@ -68,6 +78,8 @@ enum class Op : std::uint8_t {
     case Op::kVerify: return "verify";
     case Op::kSalvage: return "salvage";
     case Op::kStats: return "stats";
+    case Op::kStatsFull: return "stats-full";
+    case Op::kDumpDiagnostics: return "dump-diagnostics";
   }
   return "unknown";
 }
@@ -113,6 +125,7 @@ inline constexpr std::uint8_t kFlagPartial = 0x02;   ///< output not byte-exact
 struct RequestView {
   Op op = Op::kPing;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< 0 = client left minting to the server
   std::uint32_t deadline_ms = 0;
   std::string_view spec;
   ByteSpan payload;
@@ -123,6 +136,7 @@ struct Response {
   Status status = Status::kOk;
   std::uint8_t flags = 0;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
   std::string detail;
   Bytes payload;
 
@@ -132,6 +146,7 @@ struct Response {
     status = Status::kOk;
     flags = 0;
     request_id = id;
+    trace_id = 0;
     detail.clear();
     payload.clear();
   }
@@ -141,7 +156,7 @@ struct Response {
 /// honest-frame baseline). Appends to `out`.
 void append_request(Bytes& out, Op op, std::uint64_t request_id,
                     std::uint32_t deadline_ms, std::string_view spec,
-                    ByteSpan payload);
+                    ByteSpan payload, std::uint64_t trace_id = 0);
 
 /// Serialize a response frame. Appends to `out` (cleared first by the
 /// caller when reusing a warm buffer).

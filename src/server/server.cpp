@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace lc::server {
@@ -271,6 +272,9 @@ void Server::accept_loop(int listen_fd) {
     metrics().accepted.add();
     metrics().connections.set(
         static_cast<std::int64_t>(active_connections_.load()));
+    telemetry::flight_record(telemetry::make_flight_event(
+        telemetry::FlightKind::kConnOpen, "accept", 0, 0,
+        active_connections_.load()));
     std::thread([this, conn = std::move(conn)]() mutable {
       connection_loop(std::move(conn));
     }).detach();
@@ -282,6 +286,7 @@ void Server::connection_loop(std::shared_ptr<Conn> conn) {
   FrameReader reader(config_.max_frame_bytes);
   Bytes rx(64 * 1024);
   std::uint64_t last_activity = telemetry::now_ns();
+  const char* close_reason = "peer";
 
   while (running_.load() && !conn->dead.load()) {
     const ssize_t n = ::recv(conn->fd, rx.data(), rx.size(), 0);
@@ -298,17 +303,20 @@ void Server::connection_loop(std::shared_ptr<Conn> conn) {
           if (reader.mid_frame() &&
               quiet_ms > config_.mid_frame_timeout_ms) {
             metrics().closed_slowloris.add();
+            close_reason = "slowloris";
             break;
           }
           if (!reader.mid_frame() && config_.idle_timeout_ms != 0 &&
               quiet_ms > config_.idle_timeout_ms) {
             metrics().closed_idle.add();
+            close_reason = "idle";
             break;
           }
         }
         continue;
       }
       metrics().closed_error.add();
+      close_reason = "error";
       break;
     }
 
@@ -325,19 +333,24 @@ void Server::connection_loop(std::shared_ptr<Conn> conn) {
       } else if (st == FrameReader::State::kBadMagic) {
         metrics().malformed.add();
         send_error(conn, 0, Status::kMalformed, "bad frame magic");
+        close_reason = "bad_magic";
         fatal = true;
       } else {  // kTooLarge
         metrics().oversized.add();
         send_error(conn, 0, Status::kTooLarge,
                    "declared frame length exceeds the server limit");
+        close_reason = "oversized";
         fatal = true;
       }
     }
     if (fatal) break;
   }
+  if (!running_.load() || conn->dead.load()) close_reason = "shutdown";
 
   conn->cancel_in_flight();
   conn->kill();
+  telemetry::flight_record(telemetry::make_flight_event(
+      telemetry::FlightKind::kConnClose, close_reason));
   {
     // Notify while still holding the mutex: stop() may destroy this
     // Server (and drain_cv_) the moment it observes the count at zero,
@@ -364,6 +377,11 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, ByteSpan body) {
   WorkItem item;
   item.op = req.op;
   item.request_id = req.request_id;
+  // Mint-or-accept: a client that sends a trace ID can correlate its own
+  // trace with the server's; one that sends 0 still gets a server-minted
+  // ID echoed back, so every request is traceable either way.
+  item.trace_id =
+      req.trace_id != 0 ? req.trace_id : telemetry::mint_trace_id();
   item.spec.assign(req.spec);
   item.payload.assign(req.payload.begin(), req.payload.end());
   item.admitted_ns = telemetry::now_ns();
@@ -384,18 +402,19 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, ByteSpan body) {
   };
 
   const std::uint64_t request_id = item.request_id;
+  const std::uint64_t trace_id = item.trace_id;
   switch (queue_.try_push(std::move(item))) {
     case Admit::kAdmitted:
       break;
     case Admit::kOverloaded:
       conn->in_flight.fetch_sub(1);
       send_error(conn, request_id, Status::kOverloaded,
-                 "admission queue full; back off and retry");
+                 "admission queue full; back off and retry", trace_id);
       break;
     case Admit::kClosed:
       conn->in_flight.fetch_sub(1);
       send_error(conn, request_id, Status::kShuttingDown,
-                 "server is draining");
+                 "server is draining", trace_id);
       break;
   }
 }
@@ -413,10 +432,11 @@ void Server::send_response(const std::shared_ptr<Conn>& conn,
 
 void Server::send_error(const std::shared_ptr<Conn>& conn,
                         std::uint64_t request_id, Status status,
-                        const char* detail) {
+                        const char* detail, std::uint64_t trace_id) {
   Response r;
   r.status = status;
   r.request_id = request_id;
+  r.trace_id = trace_id;
   r.detail = detail;
   send_response(conn, r);
 }

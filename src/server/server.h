@@ -116,7 +116,7 @@ class Server {
                             const Response& r);
   static void send_error(const std::shared_ptr<Conn>& conn,
                          std::uint64_t request_id, Status status,
-                         const char* detail);
+                         const char* detail, std::uint64_t trace_id = 0);
 
   ServerConfig config_;
   AdmissionQueue queue_;

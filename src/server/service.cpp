@@ -10,7 +10,9 @@
 #include "common/arena.h"
 #include "common/hash.h"
 #include "common/varint.h"
+#include "telemetry/exposition.h"
 #include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace lc::server {
@@ -41,12 +43,44 @@ struct ServiceMetrics {
       telemetry::counter("lc.server.batched_requests");
   telemetry::Counter& bytes_in = telemetry::counter("lc.server.bytes_in");
   telemetry::Counter& bytes_out = telemetry::counter("lc.server.bytes_out");
-  telemetry::Histogram& request_ns = telemetry::histogram(
-      "lc.server.request_ns", telemetry::kDurationBoundsNs);
-  telemetry::Histogram& compress_ns = telemetry::histogram(
-      "lc.server.compress_ns", telemetry::kDurationBoundsNs);
-  telemetry::Histogram& decompress_ns = telemetry::histogram(
-      "lc.server.decompress_ns", telemetry::kDurationBoundsNs);
+  // Latency histograms use log2 buckets (2^10..2^34 ns ≈ 1 µs..17 s):
+  // a server request spans five orders of magnitude depending on payload
+  // size, which the old half-decade preset capped at 10 s and resolved
+  // coarsely at the fast end.
+  telemetry::Histogram& request_ns =
+      telemetry::histogram_pow2("lc.server.request_ns", 10, 34);
+  telemetry::Histogram& compress_ns =
+      telemetry::histogram_pow2("lc.server.compress_ns", 10, 34);
+  telemetry::Histogram& decompress_ns =
+      telemetry::histogram_pow2("lc.server.decompress_ns", 10, 34);
+  // Per-op latency, recorded with trace-ID exemplars so a scrape can
+  // point at a concrete slow request.
+  telemetry::Histogram& op_ping_ns =
+      telemetry::histogram_pow2("lc.server.op_ping_ns", 10, 34);
+  telemetry::Histogram& op_compress_ns =
+      telemetry::histogram_pow2("lc.server.op_compress_ns", 10, 34);
+  telemetry::Histogram& op_decompress_ns =
+      telemetry::histogram_pow2("lc.server.op_decompress_ns", 10, 34);
+  telemetry::Histogram& op_verify_ns =
+      telemetry::histogram_pow2("lc.server.op_verify_ns", 10, 34);
+  telemetry::Histogram& op_salvage_ns =
+      telemetry::histogram_pow2("lc.server.op_salvage_ns", 10, 34);
+  telemetry::Histogram& op_stats_ns =
+      telemetry::histogram_pow2("lc.server.op_stats_ns", 10, 34);
+
+  telemetry::Histogram* op_histogram(Op op) noexcept {
+    switch (op) {
+      case Op::kPing: return &op_ping_ns;
+      case Op::kCompress: return &op_compress_ns;
+      case Op::kDecompress: return &op_decompress_ns;
+      case Op::kVerify: return &op_verify_ns;
+      case Op::kSalvage: return &op_salvage_ns;
+      case Op::kStats:
+      case Op::kStatsFull:
+      case Op::kDumpDiagnostics: return &op_stats_ns;
+    }
+    return nullptr;
+  }
 };
 
 ServiceMetrics& metrics() {
@@ -196,6 +230,9 @@ void Service::do_compress(WorkItem& item, Response& r, double pressure) {
     r.flags |= kFlagDegraded;
     r.detail = "degraded: fast pipeline substituted under load";
     metrics().degraded.add();
+    telemetry::flight_record(telemetry::make_flight_event(
+        telemetry::FlightKind::kDegrade, "fast_spec", item.request_id,
+        item.trace_id, item.payload.size()));
   }
   const PipelineEntry entry = pipeline_for(spec);
   if (!compress_small(entry, item.payload, r.payload)) {
@@ -232,6 +269,9 @@ void Service::do_decompress(WorkItem& item, Response& r, double pressure) {
                   s.ok_count(), s.chunks.size());
     r.detail = buf;
     metrics().salvage_partial.add();
+    telemetry::flight_record(telemetry::make_flight_event(
+        telemetry::FlightKind::kDegrade, "salvage", item.request_id,
+        item.trace_id, s.ok_count()));
   }
 }
 
@@ -292,67 +332,134 @@ void Service::process(WorkItem& item, Response& r, double pressure) {
                    reinterpret_cast<const Byte*>(json.data()), json.size());
       break;
     }
+    case Op::kStatsFull: {
+      // One snapshot under the registry lock, then format — both formats
+      // of the same scrape describe the same instant.
+      const std::string_view fmt(
+          reinterpret_cast<const char*>(item.payload.data()),
+          item.payload.size());
+      LC_REQUIRE(fmt.empty() || fmt == "json" || fmt == "prom",
+                 "stats format must be empty, \"json\" or \"prom\"");
+      const telemetry::MetricsSnapshot snap = telemetry::snapshot_metrics();
+      std::ostringstream os;
+      if (fmt == "prom") {
+        telemetry::write_prometheus_text(snap, os);
+      } else {
+        telemetry::write_metrics_json(snap, os);
+      }
+      const std::string text = os.str();
+      assign_bytes(r.payload,
+                   reinterpret_cast<const Byte*>(text.data()), text.size());
+      break;
+    }
+    case Op::kDumpDiagnostics: {
+      const telemetry::FlightEvent ev = telemetry::make_flight_event(
+          telemetry::FlightKind::kDump, "op", item.request_id, item.trace_id);
+      std::ostringstream os;
+      telemetry::flight_record_and_dump(ev, os, "kDumpDiagnostics");
+      const std::string text = os.str();
+      assign_bytes(r.payload,
+                   reinterpret_cast<const Byte*>(text.data()), text.size());
+      if (!config_.flight_dump_dir.empty()) {
+        const std::string path = telemetry::flight_dump_to_file(
+            config_.flight_dump_dir, "kDumpDiagnostics");
+        r.detail = path.empty() ? "flight dump file write failed" : path;
+      }
+      break;
+    }
   }
 }
 
 void Service::serve(WorkItem& item) {
+  // Bind the request's trace ID for the whole serve: every span below —
+  // codec chunk loops, pipeline stages, salvage walks — records it, so
+  // the request's full stage breakdown is one `--by-request` query away.
+  const telemetry::TraceScope trace_scope(item.trace_id);
   thread_local Response r;
   r.reset(item.request_id);
+  r.trace_id = item.trace_id;
+  telemetry::Span span("lc.server.serve", "op", to_string(item.op));
+  span.arg("request_id", item.request_id);
   const std::uint64_t start = telemetry::now_ns();
   const double pressure = queue_.pressure();
   metrics().requests.add();
   metrics().bytes_in.add(item.payload.size());
+
+  const auto flight = [&item](telemetry::FlightKind kind, const char* note,
+                              std::uint64_t arg = 0) {
+    telemetry::FlightEvent ev = telemetry::make_flight_event(
+        kind, note, item.request_id, item.trace_id, arg);
+    ev.op = static_cast<std::uint8_t>(item.op);
+    telemetry::flight_record(ev);
+  };
 
   if (item.deadline_ns != 0 && start > item.deadline_ns) {
     r.status = Status::kDeadlineExceeded;
     r.detail = "deadline expired while queued";
     metrics().deadline_missed.add();
     metrics().slo_burn.add();
+    flight(telemetry::FlightKind::kDeadlineMiss, "queued",
+           start - item.deadline_ns);
   } else if (item.cancel != nullptr && item.cancel->cancelled()) {
     // Client is gone; nobody will read this response, but the contract
     // (exactly one respond per item) still holds.
     r.status = Status::kInternal;
     r.detail = "request cancelled";
     metrics().cancelled.add();
+    flight(telemetry::FlightKind::kCancel, "pre-run");
   } else {
     try {
       if (config_.fault_hook) config_.fault_hook(item);
       process(item, r, pressure);
     } catch (const CancelledError&) {
       r.reset(item.request_id);
+      r.trace_id = item.trace_id;
       if (item.cancel != nullptr && item.cancel->expired()) {
         r.status = Status::kDeadlineExceeded;
         r.detail = "deadline exceeded mid-request";
         metrics().deadline_missed.add();
         metrics().slo_burn.add();
+        flight(telemetry::FlightKind::kDeadlineMiss, "mid-request");
       } else {
         r.status = Status::kInternal;
         r.detail = "request cancelled";
         metrics().cancelled.add();
+        flight(telemetry::FlightKind::kCancel, "mid-request");
       }
     } catch (const CorruptDataError& e) {
       r.reset(item.request_id);
+      r.trace_id = item.trace_id;
       r.status = Status::kCorruptInput;
       r.detail = e.what();
+      flight(telemetry::FlightKind::kFault, "corrupt_input");
     } catch (const std::bad_alloc&) {
       r.reset(item.request_id);
+      r.trace_id = item.trace_id;
       r.status = Status::kInternal;
       r.detail = "out of memory";
+      record_fault_dump("bad_alloc", item);
     } catch (const Error& e) {
       r.reset(item.request_id);
+      r.trace_id = item.trace_id;
       r.status = Status::kBadRequest;
       r.detail = e.what();
+      flight(telemetry::FlightKind::kFault, "bad_request");
     } catch (const std::exception& e) {
       r.reset(item.request_id);
+      r.trace_id = item.trace_id;
       r.status = Status::kInternal;
       r.detail = e.what();
+      record_fault_dump("exception", item);
     }
   }
 
   const std::uint64_t end = telemetry::now_ns();
-  metrics().request_ns.record(end - start);
+  metrics().request_ns.record(end - start, item.trace_id);
   if (item.op == Op::kCompress) metrics().compress_ns.record(end - start);
   if (item.op == Op::kDecompress) metrics().decompress_ns.record(end - start);
+  if (telemetry::Histogram* h = metrics().op_histogram(item.op)) {
+    h->record(end - start, item.trace_id);
+  }
   if (r.status == Status::kOk || r.status == Status::kPartialData) {
     metrics().requests_ok.add();
     if (item.deadline_ns != 0 && end > item.deadline_ns) {
@@ -364,6 +471,23 @@ void Service::serve(WorkItem& item) {
   }
   metrics().bytes_out.add(r.payload.size());
   if (item.respond) item.respond(r);
+}
+
+void Service::record_fault_dump(const char* note, const WorkItem& item) {
+  // kInternal-class faults (a worker threw, or allocation failed) are the
+  // crashes-in-waiting the flight recorder exists for: record the fault
+  // and — when a dump directory is configured — persist the black box
+  // with the trigger event guaranteed inside it.
+  telemetry::FlightEvent ev = telemetry::make_flight_event(
+      telemetry::FlightKind::kFault, note, item.request_id, item.trace_id);
+  ev.op = static_cast<std::uint8_t>(item.op);
+  ev.status = static_cast<std::uint8_t>(Status::kInternal);
+  if (config_.flight_dump_dir.empty()) {
+    telemetry::flight_record(ev);
+  } else {
+    (void)telemetry::flight_dump_to_file(config_.flight_dump_dir,
+                                         "worker fault", &ev);
+  }
 }
 
 void Service::worker_loop() {

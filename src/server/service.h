@@ -65,6 +65,10 @@ struct ServiceConfig {
   /// Max distinct pipeline specs cached; beyond this, specs are parsed
   /// per request (a hostile client must not grow the cache unboundedly).
   std::size_t pipeline_cache_cap = 256;
+  /// When non-empty, worker faults (kInternal-class: escaped exceptions,
+  /// bad_alloc) and kDumpDiagnostics requests write a flight-recorder
+  /// dump file into this directory. Empty = in-response dumps only.
+  std::string flight_dump_dir;
   /// Test-only chaos hook, called inside the worker's try scope before
   /// processing: whatever it throws must surface as a typed response.
   std::function<void(const WorkItem&)> fault_hook;
@@ -101,6 +105,10 @@ class Service {
   /// lookup: a warm hit costs one hash of the string_view and no
   /// allocation. Throws lc::Error on an unparsable spec.
   PipelineEntry pipeline_for(std::string_view spec);
+
+  /// Record a kFault flight event for a kInternal-class failure; writes
+  /// a dump file too when flight_dump_dir is configured.
+  void record_fault_dump(const char* note, const WorkItem& item);
 
   void do_compress(WorkItem& item, Response& r, double pressure);
   void do_decompress(WorkItem& item, Response& r, double pressure);

@@ -22,6 +22,7 @@ namespace lc::server {
 struct WorkItem {
   Op op = Op::kPing;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< never 0 once admitted (server mints)
   std::string spec;          ///< compress pipeline spec ("" = server default)
   Bytes payload;
 

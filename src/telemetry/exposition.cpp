@@ -1,0 +1,128 @@
+#include "telemetry/exposition.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "telemetry/json_util.h"
+
+namespace lc::telemetry {
+namespace {
+
+/// "lc.server.request_ns" -> "lc_server_request_ns". Prometheus metric
+/// names admit [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string prometheus_name(std::string_view dotted) {
+  std::string out(dotted);
+  for (char& ch : out) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    if (!ok) ch = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+void write_hex_id(std::ostream& os, std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  os << buf;
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    detail::write_json_string(os, name);
+    os << ':' << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    detail::write_json_string(os, name);
+    os << ':' << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    detail::write_json_string(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << h.buckets[i] << '}';
+    }
+    os << ']';
+    if (h.exemplar_trace_id != 0) {
+      os << ",\"exemplar\":{\"value\":" << h.exemplar_value
+         << ",\"trace_id\":\"";
+      write_hex_id(os, h.exemplar_trace_id);
+      os << "\"}";
+    }
+    os << '}';
+  }
+  os << "}}";
+}
+
+void write_prometheus_text(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& [name, v] : snap.counters) {
+    // Classic text format: the TYPE line names the sample exactly, and
+    // counter samples carry the conventional _total suffix.
+    const std::string n = prometheus_name(name) + "_total";
+    os << "# TYPE " << n << " counter\n" << n << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << v << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prometheus_name(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    // The exemplar attaches to the (cumulative) bucket its value falls
+    // in — the first bound >= value, else +Inf.
+    std::size_t ex_bucket = h.bounds.size();
+    if (h.exemplar_trace_id != 0) {
+      const auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(),
+                                       h.exemplar_value);
+      ex_bucket = static_cast<std::size_t>(it - h.bounds.begin());
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cum += h.buckets[i];
+      os << n << "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cum;
+      if (h.exemplar_trace_id != 0 && i >= ex_bucket) {
+        // OpenMetrics exemplar syntax; plain-Prometheus parsers that stop
+        // at the value ignore everything after '#'.
+        os << " # {trace_id=\"";
+        write_hex_id(os, h.exemplar_trace_id);
+        os << "\"} " << h.exemplar_value;
+        ex_bucket = h.buckets.size();  // only on the first qualifying bucket
+      }
+      os << '\n';
+    }
+    os << n << "_sum " << h.sum << '\n' << n << "_count " << h.count << '\n';
+  }
+}
+
+}  // namespace lc::telemetry

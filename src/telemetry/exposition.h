@@ -1,0 +1,62 @@
+#ifndef LC_TELEMETRY_EXPOSITION_H
+#define LC_TELEMETRY_EXPOSITION_H
+
+/// \file exposition.h
+/// Consistent metrics snapshots and the two wire formats they serialize
+/// to: the repo's JSON schema (unchanged since PR 2) and Prometheus text
+/// exposition format. The server's kStatsFull op and `lc_cli stats
+/// --remote` are the consumers; both formats render from ONE snapshot
+/// taken under the registry lock, so a scrape never mixes values from
+/// different instants across the two formats or across metrics.
+///
+/// Prometheus naming: dotted lc names are mangled `.` -> `_`
+/// ("lc.server.requests" -> "lc_server_requests"), counters get the
+/// `_total` suffix, histograms expand to cumulative `_bucket{le="..."}`
+/// series plus `_sum`/`_count`, and a histogram with a recorded exemplar
+/// attaches it OpenMetrics-style (`# {trace_id="<hex>"} <value>`) to the
+/// bucket the exemplar value falls in.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lc::telemetry {
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> bounds;   ///< ascending inclusive upper bounds
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t exemplar_value = 0;
+    std::uint64_t exemplar_trace_id = 0;  ///< 0 = no exemplar recorded
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+};
+
+/// Copy every registered metric under the registry lock (one consistent
+/// instant across all metrics; individual atomics are relaxed reads).
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// The JSON schema from docs/TELEMETRY.md:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{name:{"count":n,"sum":s,"buckets":[{"le":...},...]}}}
+/// Histograms with an exemplar additionally carry
+/// "exemplar":{"value":v,"trace_id":"<16-hex>"} — additive, so existing
+/// consumers keep parsing.
+void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os);
+
+/// Prometheus text exposition format (version 0.0.4 framing: # TYPE
+/// comments, cumulative buckets with le="+Inf", counters suffixed
+/// _total). Safe to serve as text/plain; promtool check metrics clean.
+void write_prometheus_text(const MetricsSnapshot& snap, std::ostream& os);
+
+}  // namespace lc::telemetry
+
+#endif  // LC_TELEMETRY_EXPOSITION_H

@@ -1,10 +1,12 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <mutex>
 #include <ostream>
 
+#include "telemetry/exposition.h"
 #include "telemetry/json_util.h"
 
 namespace lc::telemetry {
@@ -27,18 +29,42 @@ Registry& registry() {
 
 }  // namespace
 
-Histogram::Histogram(std::vector<std::uint64_t> bounds)
+Histogram::Histogram(std::vector<std::uint64_t> bounds, int pow2_lo_shift)
     : bounds_(std::move(bounds)),
-      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      pow2_lo_shift_(pow2_lo_shift) {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
 }
 
 void Histogram::record(std::uint64_t v) noexcept {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::size_t idx;
+  if (pow2_lo_shift_ >= 0) {
+    // First bound with v <= 2^k is k = ceil(log2(v)) = bit_width(v - 1);
+    // values at or below 2^lo land in bucket 0, values above 2^hi in the
+    // overflow bucket. Matches lower_bound on the materialized bounds
+    // exactly (pinned by the telemetry tests).
+    const unsigned k = v <= 1 ? 0 : static_cast<unsigned>(std::bit_width(v - 1));
+    idx = k <= static_cast<unsigned>(pow2_lo_shift_)
+              ? 0
+              : std::min<std::size_t>(k - static_cast<unsigned>(pow2_lo_shift_),
+                                      bounds_.size());
+  } else {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    idx = static_cast<std::size_t>(it - bounds_.begin());
+  }
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t v, std::uint64_t trace_id) noexcept {
+  record(v);
+  if (trace_id != 0) {
+    // Last-writer-wins pair; the two stores are not atomic together, but
+    // an exemplar is a sampling hint, not an invariant.
+    exemplar_value_.store(v, std::memory_order_relaxed);
+    exemplar_trace_id_.store(trace_id, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::reset() noexcept {
@@ -47,6 +73,8 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  exemplar_value_.store(0, std::memory_order_relaxed);
+  exemplar_trace_id_.store(0, std::memory_order_relaxed);
 }
 
 Counter& counter(std::string_view name) {
@@ -79,52 +107,64 @@ Histogram& histogram(std::string_view name,
     it = r.histograms
              .emplace(std::string(name),
                       std::unique_ptr<Histogram>(new Histogram(
-                          std::vector<std::uint64_t>(bounds))))
+                          std::vector<std::uint64_t>(bounds), -1)))
              .first;
   }
   return *it->second;
 }
 
-void write_metrics_json(std::ostream& os) {
+Histogram& histogram_pow2(std::string_view name, unsigned lo_shift,
+                          unsigned hi_shift) {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
-  os << "{\"counters\":{";
-  bool first = true;
-  for (const auto& [name, c] : r.counters) {
-    if (!first) os << ',';
-    first = false;
-    detail::write_json_string(os, name);
-    os << ':' << c->value();
-  }
-  os << "},\"gauges\":{";
-  first = true;
-  for (const auto& [name, g] : r.gauges) {
-    if (!first) os << ',';
-    first = false;
-    detail::write_json_string(os, name);
-    os << ':' << g->value();
-  }
-  os << "},\"histograms\":{";
-  first = true;
-  for (const auto& [name, h] : r.histograms) {
-    if (!first) os << ',';
-    first = false;
-    detail::write_json_string(os, name);
-    os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
-       << ",\"buckets\":[";
-    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
-      if (i > 0) os << ',';
-      os << "{\"le\":";
-      if (i < h->bounds().size()) {
-        os << h->bounds()[i];
-      } else {
-        os << "\"inf\"";
-      }
-      os << ",\"count\":" << h->bucket_count(i) << '}';
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(hi_shift - lo_shift + 1);
+    for (unsigned s = lo_shift; s <= hi_shift && s < 64; ++s) {
+      bounds.push_back(std::uint64_t{1} << s);
     }
-    os << "]}";
+    it = r.histograms
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::move(bounds), static_cast<int>(lo_shift))))
+             .first;
   }
-  os << "}}";
+  return *it->second;
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    MetricsSnapshot::HistogramData d;
+    d.name = name;
+    d.count = h->count();
+    d.sum = h->sum();
+    d.bounds = h->bounds();
+    d.buckets.reserve(h->num_buckets());
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      d.buckets.push_back(h->bucket_count(i));
+    }
+    d.exemplar_trace_id = h->exemplar_trace_id();
+    d.exemplar_value = h->exemplar_value();
+    snap.histograms.push_back(std::move(d));
+  }
+  return snap;
+}
+
+void write_metrics_json(std::ostream& os) {
+  write_metrics_json(snapshot_metrics(), os);
 }
 
 void print_metrics(std::ostream& os, bool include_zero) {

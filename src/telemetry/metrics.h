@@ -80,9 +80,19 @@ class Gauge {
 /// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
 /// and an implicit overflow bucket catches everything above the last
 /// bound. record(v) lands in the first bucket with v <= bound.
+///
+/// Two bucket layouts share this class: arbitrary bounds (the original
+/// linear/list form, `histogram()`) and log2 bounds `{2^lo .. 2^hi}`
+/// (`histogram_pow2()`), which cover µs→s latency ranges in ~25 buckets
+/// and classify with shift arithmetic instead of a binary search. The
+/// JSON snapshot shape is identical for both.
 class Histogram {
  public:
   void record(std::uint64_t v) noexcept;
+  /// record() plus an exemplar: remembers (v, trace_id) when trace_id is
+  /// nonzero, so the exposition can point at a concrete request that
+  /// landed in this histogram (Prometheus/OpenMetrics exemplars).
+  void record(std::uint64_t v, std::uint64_t trace_id) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -101,17 +111,29 @@ class Histogram {
   [[nodiscard]] std::size_t num_buckets() const noexcept {
     return bounds_.size() + 1;
   }
+  /// Last exemplar recorded via record(v, trace_id). value is only
+  /// meaningful when trace_id() != 0.
+  [[nodiscard]] std::uint64_t exemplar_value() const noexcept {
+    return exemplar_value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t exemplar_trace_id() const noexcept {
+    return exemplar_trace_id_.load(std::memory_order_relaxed);
+  }
   void reset() noexcept;
 
  private:
   friend Histogram& histogram(std::string_view,
                               std::initializer_list<std::uint64_t>);
-  explicit Histogram(std::vector<std::uint64_t> bounds);
+  friend Histogram& histogram_pow2(std::string_view, unsigned, unsigned);
+  Histogram(std::vector<std::uint64_t> bounds, int pow2_lo_shift);
 
   std::vector<std::uint64_t> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> exemplar_value_{0};
+  std::atomic<std::uint64_t> exemplar_trace_id_{0};
+  int pow2_lo_shift_ = -1;  ///< >=0: bounds are {2^lo..2^hi}, shift classify
 };
 
 /// Find-or-create by name. The returned reference is stable for the
@@ -120,6 +142,14 @@ class Histogram {
 [[nodiscard]] Gauge& gauge(std::string_view name);
 [[nodiscard]] Histogram& histogram(std::string_view name,
                                    std::initializer_list<std::uint64_t> bounds);
+
+/// Log2-bucketed histogram with inclusive upper bounds
+/// {2^lo_shift, 2^(lo_shift+1), ..., 2^hi_shift} plus the overflow bucket.
+/// E.g. (10, 34) spans ~1 µs .. ~17 s in 25 buckets — the meaningful
+/// range for server request latency in nanoseconds. Requires
+/// lo_shift <= hi_shift < 64. Same snapshot/JSON shape as histogram().
+[[nodiscard]] Histogram& histogram_pow2(std::string_view name,
+                                        unsigned lo_shift, unsigned hi_shift);
 
 /// Histogram bound presets.
 /// Nanosecond durations: 1 us .. 10 s, one bucket per decade half-step.

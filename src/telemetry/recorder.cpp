@@ -1,0 +1,237 @@
+#include "telemetry/recorder.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace lc::telemetry {
+namespace {
+
+std::size_t flight_capacity_from_env() {
+  if (const char* s = std::getenv("LC_FLIGHT_BUFFER")) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 4096;
+}
+
+/// The black box. One mutex serializes record and dump — events are
+/// low-rate control-plane facts (admissions, faults), not per-span data,
+/// so a short critical section beats TSan-hostile lock-free slot races.
+/// The ring array itself never moves after construction, which is what
+/// lets the signal-safe dumper walk it without the lock.
+struct FlightState {
+  explicit FlightState(std::size_t capacity)
+      : ring(new FlightEvent[capacity]), cap(capacity) {}
+  std::mutex mutex;
+  FlightEvent* const ring;
+  const std::size_t cap;
+  std::atomic<std::uint64_t> total{0};  ///< events ever pushed
+};
+
+std::atomic<FlightState*> g_flight{nullptr};
+
+FlightState& state() {
+  FlightState* s = g_flight.load(std::memory_order_acquire);
+  if (s == nullptr) {
+    static std::mutex init_mutex;
+    const std::lock_guard<std::mutex> lock(init_mutex);
+    s = g_flight.load(std::memory_order_acquire);
+    if (s == nullptr) {
+      s = new FlightState(flight_capacity_from_env());  // never destroyed
+      g_flight.store(s, std::memory_order_release);
+    }
+  }
+  return *s;
+}
+
+const char* kind_name(FlightKind k) noexcept {
+  switch (k) {
+    case FlightKind::kAdmit: return "admit";
+    case FlightKind::kReject: return "reject";
+    case FlightKind::kDegrade: return "degrade";
+    case FlightKind::kDeadlineMiss: return "deadline_miss";
+    case FlightKind::kCancel: return "cancel";
+    case FlightKind::kFault: return "fault";
+    case FlightKind::kConnOpen: return "conn_open";
+    case FlightKind::kConnClose: return "conn_close";
+    case FlightKind::kDump: return "dump";
+  }
+  return "unknown";
+}
+
+/// One event as a JSONL line into `buf`. snprintf only — shared by the
+/// ostream dumper and the signal-handler path. Notes are literal tags by
+/// contract; anything JSON-hostile is dropped rather than escaped.
+int format_event(const FlightEvent& e, std::uint64_t seq, char* buf,
+                 std::size_t n) {
+  char note[kFlightNoteCap];
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < kFlightNoteCap && e.note[i] != '\0'; ++i) {
+    const unsigned char ch = static_cast<unsigned char>(e.note[i]);
+    if (ch >= 0x20 && ch != '"' && ch != '\\') note[j++] = e.note[i];
+  }
+  note[j] = '\0';
+  return std::snprintf(
+      buf, n,
+      "{\"seq\":%llu,\"ts_ns\":%llu,\"kind\":\"%s\",\"op\":%u,"
+      "\"status\":%u,\"request_id\":%llu,\"trace_id\":\"%016llx\","
+      "\"arg\":%llu,\"note\":\"%s\"}\n",
+      static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(e.ts_ns), kind_name(e.kind),
+      static_cast<unsigned>(e.op), static_cast<unsigned>(e.status),
+      static_cast<unsigned long long>(e.request_id),
+      static_cast<unsigned long long>(e.trace_id),
+      static_cast<unsigned long long>(e.arg), note);
+}
+
+void record_locked(FlightState& s, const FlightEvent& ev) {
+  const std::uint64_t total = s.total.load(std::memory_order_relaxed);
+  FlightEvent& slot = s.ring[total % s.cap];
+  slot = ev;
+  if (slot.ts_ns == 0) slot.ts_ns = now_ns();
+  s.total.store(total + 1, std::memory_order_relaxed);
+}
+
+void dump_locked(FlightState& s, std::ostream& os, std::string_view reason) {
+  const std::uint64_t total = s.total.load(std::memory_order_relaxed);
+  const std::uint64_t n = total < s.cap ? total : s.cap;
+  const std::uint64_t dropped = total - n;
+  os << "{\"schema\":\"lc-flight-v1\",\"pid\":" << static_cast<long>(getpid())
+     << ",\"capacity\":" << s.cap << ",\"total\":" << total
+     << ",\"dropped\":" << dropped << ",\"dumped\":" << n << ",\"reason\":\"";
+  for (const char ch : reason) {
+    if (static_cast<unsigned char>(ch) >= 0x20 && ch != '"' && ch != '\\') {
+      os << ch;
+    }
+  }
+  os << "\"}\n";
+  char line[512];
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t seq = dropped + i;  // oldest surviving first
+    format_event(s.ring[seq % s.cap], seq, line, sizeof(line));
+    os << line;
+  }
+}
+
+}  // namespace
+
+FlightEvent make_flight_event(FlightKind kind, std::string_view note,
+                              std::uint64_t request_id, std::uint64_t trace_id,
+                              std::uint64_t arg) noexcept {
+  FlightEvent ev;
+  ev.kind = kind;
+  ev.request_id = request_id;
+  ev.trace_id = trace_id;
+  ev.arg = arg;
+  const std::size_t n =
+      note.size() < kFlightNoteCap - 1 ? note.size() : kFlightNoteCap - 1;
+  std::memcpy(ev.note, note.data(), n);
+  ev.note[n] = '\0';
+  return ev;
+}
+
+void flight_record(const FlightEvent& ev) noexcept {
+  FlightState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  record_locked(s, ev);
+}
+
+std::uint64_t flight_total_count() noexcept {
+  return state().total.load(std::memory_order_relaxed);
+}
+
+std::size_t flight_capacity() noexcept { return state().cap; }
+
+std::uint64_t flight_dropped_count() noexcept {
+  FlightState& s = state();
+  const std::uint64_t total = s.total.load(std::memory_order_relaxed);
+  return total > s.cap ? total - s.cap : 0;
+}
+
+void flight_dump(std::ostream& os, std::string_view reason) {
+  FlightState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  dump_locked(s, os, reason);
+}
+
+void flight_record_and_dump(const FlightEvent& ev, std::ostream& os,
+                            std::string_view reason) {
+  FlightState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  record_locked(s, ev);
+  dump_locked(s, os, reason);
+}
+
+std::string flight_dump_to_file(std::string_view dir, std::string_view reason,
+                                const FlightEvent* ev) {
+  char name[128];
+  std::snprintf(name, sizeof(name), "lc_flight_%ld_%llu.jsonl",
+                static_cast<long>(getpid()),
+                static_cast<unsigned long long>(now_ns()));
+  std::string path(dir);
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  path += name;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return {};
+  if (ev != nullptr) {
+    flight_record_and_dump(*ev, out, reason);
+  } else {
+    flight_dump(out, reason);
+  }
+  out.flush();
+  return out ? path : std::string{};
+}
+
+void flight_dump_signal_safe(int fd) noexcept {
+  FlightState* s = g_flight.load(std::memory_order_acquire);
+  char line[512];
+  if (s == nullptr) {
+    const int k = std::snprintf(line, sizeof(line),
+                                "{\"schema\":\"lc-flight-v1\",\"pid\":%ld,"
+                                "\"capacity\":0,\"total\":0,\"dropped\":0,"
+                                "\"dumped\":0,\"reason\":\"signal\"}\n",
+                                static_cast<long>(getpid()));
+    if (k > 0) (void)!write(fd, line, static_cast<std::size_t>(k));
+    return;
+  }
+  // No lock: the process is dying. Events being written concurrently may
+  // tear; every completed event is intact because slots are only reused
+  // after cap newer events.
+  const std::uint64_t total = s->total.load(std::memory_order_relaxed);
+  const std::uint64_t n = total < s->cap ? total : s->cap;
+  const std::uint64_t dropped = total - n;
+  int k = std::snprintf(line, sizeof(line),
+                        "{\"schema\":\"lc-flight-v1\",\"pid\":%ld,"
+                        "\"capacity\":%llu,\"total\":%llu,\"dropped\":%llu,"
+                        "\"dumped\":%llu,\"reason\":\"signal\"}\n",
+                        static_cast<long>(getpid()),
+                        static_cast<unsigned long long>(s->cap),
+                        static_cast<unsigned long long>(total),
+                        static_cast<unsigned long long>(dropped),
+                        static_cast<unsigned long long>(n));
+  if (k > 0) (void)!write(fd, line, static_cast<std::size_t>(k));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t seq = dropped + i;
+    k = format_event(s->ring[seq % s->cap], seq, line, sizeof(line));
+    if (k > 0) (void)!write(fd, line, static_cast<std::size_t>(k));
+  }
+}
+
+void flight_reset() noexcept {
+  FlightState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.total.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lc::telemetry

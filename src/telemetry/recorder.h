@@ -1,0 +1,105 @@
+#ifndef LC_TELEMETRY_RECORDER_H
+#define LC_TELEMETRY_RECORDER_H
+
+/// \file recorder.h
+/// The flight recorder: an always-on, bounded, process-wide ring of the
+/// last N structured events — the black box that survives until the
+/// moment of a crash. Where trace spans answer "where did the time go",
+/// flight events answer "what was the server *doing* right before it
+/// died": admissions, rejections, degradations, deadline misses,
+/// cancellations, faults, connection churn.
+///
+/// Design constraints, in order:
+///  1. always on — recording must be cheap enough to leave enabled in
+///     production (one short mutex hold + a 64-byte copy; no allocation
+///     after the ring is built, so the server's zero-allocation steady
+///     state holds);
+///  2. bounded — the ring never grows; old events are overwritten and
+///     flight_dropped_count() is exact (total_pushed - capacity);
+///  3. the trigger survives — flight_record_and_dump() writes the event
+///     and dumps under one lock acquisition, so the fault that caused
+///     the dump can never be a casualty of the overwrite it races.
+///
+/// Dumps are JSONL (one header line, then one line per event, oldest
+/// first) read by scripts/flight_summary.py. For fatal signals there is
+/// a write(2)-only best-effort path that takes no locks.
+///
+/// LC_FLIGHT_BUFFER overrides the ring capacity (events, default 4096).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace lc::telemetry {
+
+/// What happened. Values are stable (they appear in dump files).
+enum class FlightKind : std::uint8_t {
+  kAdmit = 1,         ///< request admitted to the queue
+  kReject = 2,        ///< request rejected (overload / shutdown)
+  kDegrade = 3,       ///< degradation ladder engaged (fast spec / salvage)
+  kDeadlineMiss = 4,  ///< deadline exceeded (queued or mid-run)
+  kCancel = 5,        ///< request cancelled (disconnect / shutdown)
+  kFault = 6,         ///< injected or caught fault (exception, bad_alloc)
+  kConnOpen = 7,      ///< connection accepted
+  kConnClose = 8,     ///< connection closed (note says why)
+  kDump = 9,          ///< diagnostics dump requested (op / signal)
+};
+
+inline constexpr std::size_t kFlightNoteCap = 21;
+
+/// One black-box event. POD, fixed size; `note` is a truncated literal
+/// tag ("overload", "bad_alloc", "slowloris"), not free text.
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;  ///< telemetry::now_ns(); stamped if left 0
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t arg = 0;  ///< kind-specific (bytes, queue depth, fd, ...)
+  FlightKind kind{};
+  std::uint8_t op = 0;      ///< server opcode if request-scoped
+  std::uint8_t status = 0;  ///< response status if known
+  char note[kFlightNoteCap] = {};
+};
+
+/// Convenience builder: fills the common fields and copies `note`
+/// (truncated to kFlightNoteCap - 1 bytes).
+[[nodiscard]] FlightEvent make_flight_event(FlightKind kind,
+                                            std::string_view note = {},
+                                            std::uint64_t request_id = 0,
+                                            std::uint64_t trace_id = 0,
+                                            std::uint64_t arg = 0) noexcept;
+
+/// Append one event to the ring (stamps ts_ns when 0). Never allocates
+/// after the first call; never blocks on I/O.
+void flight_record(const FlightEvent& ev) noexcept;
+
+/// Total events ever pushed / capacity / exact overwrite loss.
+[[nodiscard]] std::uint64_t flight_total_count() noexcept;
+[[nodiscard]] std::size_t flight_capacity() noexcept;
+[[nodiscard]] std::uint64_t flight_dropped_count() noexcept;
+
+/// Dump the surviving events as JSONL, oldest first. `reason` lands in
+/// the header line.
+void flight_dump(std::ostream& os, std::string_view reason);
+
+/// Atomically record `ev` and dump — one lock acquisition, so `ev` is
+/// guaranteed present in the output (the trigger is never dropped).
+void flight_record_and_dump(const FlightEvent& ev, std::ostream& os,
+                            std::string_view reason);
+
+/// Write `lc_flight_<pid>_<ts>.jsonl` under `dir` (record `ev` first when
+/// non-null). Returns the path, or "" on I/O failure.
+std::string flight_dump_to_file(std::string_view dir, std::string_view reason,
+                                const FlightEvent* ev = nullptr);
+
+/// Best-effort dump for fatal-signal handlers: write(2) only, no locks,
+/// no allocation — events may tear if writers are mid-store, but a
+/// crashing process has no better option. Safe to call from a handler.
+void flight_dump_signal_safe(int fd) noexcept;
+
+/// Drop all recorded events and reset counts (capacity keeps). Tests.
+void flight_reset() noexcept;
+
+}  // namespace lc::telemetry
+
+#endif  // LC_TELEMETRY_RECORDER_H

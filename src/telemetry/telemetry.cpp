@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -18,6 +20,7 @@ struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  std::uint64_t trace_id = 0;  ///< request context; 0 = none
   std::uint8_t n_args = 0;
   SpanArg args[kMaxSpanArgs];
 };
@@ -61,6 +64,7 @@ TraceState& state() {
 
 thread_local ThreadBuffer* tl_buffer = nullptr;
 thread_local char tl_name[32] = {};
+thread_local std::uint64_t tl_trace_id = 0;
 
 ThreadBuffer& buffer() {
   if (tl_buffer == nullptr) {
@@ -115,6 +119,7 @@ std::uint64_t now_ns() noexcept {
 void Span::open(const char* name) noexcept {
   armed_ = true;
   name_ = name;
+  trace_id_ = tl_trace_id;
   start_ns_ = now_ns();
 }
 
@@ -126,9 +131,32 @@ void Span::close() noexcept {
   e.name = name_;
   e.start_ns = start_ns_;
   e.dur_ns = end_ns - start_ns_;
+  e.trace_id = trace_id_;
   e.n_args = n_args_;
   for (std::uint8_t a = 0; a < n_args_; ++a) e.args[a] = args_[a];
 }
+
+std::uint64_t current_trace_id() noexcept { return tl_trace_id; }
+
+std::uint64_t mint_trace_id() noexcept {
+  // splitmix64 over a process-wide counter seeded off the trace epoch:
+  // unique within the process, well-spread across processes, never 0.
+  static std::atomic<std::uint64_t> counter{
+      static_cast<std::uint64_t>(getpid()) << 32 ^ now_ns()};
+  std::uint64_t z = counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                      std::memory_order_relaxed) +
+                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+TraceScope::TraceScope(std::uint64_t id) noexcept : prev_(tl_trace_id) {
+  tl_trace_id = id;
+}
+
+TraceScope::~TraceScope() { tl_trace_id = prev_; }
 
 void Span::arg(const char* key, std::uint64_t v) noexcept {
   if (!armed_ || n_args_ >= kMaxSpanArgs) return;
@@ -160,14 +188,17 @@ void set_thread_name(const char* name) noexcept {
 void write_chrome_trace(std::ostream& os) {
   TraceState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
+  // Real pid so traces from multiple processes (daemon + clients) can be
+  // merged without tid collisions; consumers key lanes by (pid, tid).
+  const long pid = static_cast<long>(getpid());
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   for (const auto& buf : s.buffers) {
     if (buf->name[0] != '\0') {
       if (!first) os << ',';
       first = false;
-      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
-         << buf->tid << ",\"args\":{\"name\":";
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+         << ",\"tid\":" << buf->tid << ",\"args\":{\"name\":";
       detail::write_json_string(os, buf->name);
       os << "}}";
     }
@@ -186,8 +217,27 @@ void write_chrome_trace(std::ostream& os) {
                     ",\"cat\":\"lc\",\"ts\":%.3f,\"dur\":%.3f",
                     static_cast<double>(e.start_ns) / 1000.0,
                     static_cast<double>(e.dur_ns) / 1000.0);
-      os << num << ",\"pid\":1,\"tid\":" << buf->tid << ',';
-      write_args_json(os, e.args, e.n_args);
+      os << num << ",\"pid\":" << pid << ",\"tid\":" << buf->tid << ',';
+      // Hex string, not a JSON number: 64-bit IDs would lose precision
+      // past 2^53 in double-based JSON parsers.
+      if (e.trace_id != 0) {
+        std::snprintf(num, sizeof(num), "\"args\":{\"trace_id\":\"%016llx\"",
+                      static_cast<unsigned long long>(e.trace_id));
+        os << num;
+        for (std::uint8_t a = 0; a < e.n_args; ++a) {
+          os << ',';
+          detail::write_json_string(os, e.args[a].key);
+          os << ':';
+          if (e.args[a].is_string) {
+            detail::write_json_string(os, e.args[a].str);
+          } else {
+            os << e.args[a].num;
+          }
+        }
+        os << '}';
+      } else {
+        write_args_json(os, e.args, e.n_args);
+      }
       os << '}';
     }
   }

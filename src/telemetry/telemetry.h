@@ -53,6 +53,36 @@ void set_enabled(bool on) noexcept;
 /// Nanoseconds since the process's trace epoch (steady clock).
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
+// --- Request-scoped trace context -----------------------------------------
+//
+// A 64-bit trace ID bound to the current thread. While a TraceScope is
+// live, every Span the thread opens records the ID, so all spans a request
+// produced — across admission, worker dispatch and codec stages — can be
+// pulled out of one trace file by ID (`trace_summary.py --by-request`).
+// The ID crosses threads explicitly: ThreadPool::submit captures the
+// submitter's ID and re-binds it in the worker; the server binds the
+// request's ID around Service::serve. 0 means "no request context".
+
+/// The trace ID bound to the calling thread (0 when none).
+[[nodiscard]] std::uint64_t current_trace_id() noexcept;
+
+/// Mint a process-unique, never-zero 64-bit trace ID (cheap: one relaxed
+/// atomic increment + a mix). Usable even when tracing is disabled.
+[[nodiscard]] std::uint64_t mint_trace_id() noexcept;
+
+/// RAII: binds `id` as the calling thread's trace ID, restoring the
+/// previous binding on destruction (scopes nest).
+class TraceScope {
+ public:
+  explicit TraceScope(std::uint64_t id) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
 inline constexpr std::size_t kMaxSpanArgs = 3;
 inline constexpr std::size_t kArgStrCap = 24;
 
@@ -106,6 +136,7 @@ class Span {
   std::uint8_t n_args_ = 0;
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
   SpanArg args_[kMaxSpanArgs];
 };
 
@@ -116,8 +147,11 @@ void set_thread_name(const char* name) noexcept;
 /// Serialize every recorded span as Chrome trace-event JSON:
 ///   {"displayTimeUnit":"ns","traceEvents":[
 ///     {"ph":"M","name":"thread_name",...},
-///     {"ph":"X","name":...,"cat":"lc","ts":us,"dur":us,"pid":1,"tid":t,
+///     {"ph":"X","name":...,"cat":"lc","ts":us,"dur":us,"pid":p,"tid":t,
 ///      "args":{...}}, ...]}
+/// `pid` is the real process ID so multi-process traces (daemon + client)
+/// can be concatenated without tid collisions. Spans recorded under a
+/// TraceScope carry the ID as a hex-string arg `"trace_id":"%016x"`.
 /// Call at a quiescent point (after pool.wait_idle() / before exit);
 /// events still being written by live threads may be skipped or stale but
 /// the output is always well-formed JSON.

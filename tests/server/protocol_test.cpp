@@ -128,9 +128,9 @@ TEST(Protocol, MalformedBodiesThrowCorruptDataError) {
 
   // Spec length running past the body.
   Bytes spec_frame = request_frame(Op::kCompress, 4, 0, "RLE_1", {});
-  // The u16 spec length sits after op(1)+id(8)+deadline(4).
-  spec_frame[kFrameHeaderSize + 13] = Byte{0xFF};
-  spec_frame[kFrameHeaderSize + 14] = Byte{0xFF};
+  // The u16 spec length sits after op(1)+id(8)+trace(8)+deadline(4).
+  spec_frame[kFrameHeaderSize + 21] = Byte{0xFF};
+  spec_frame[kFrameHeaderSize + 22] = Byte{0xFF};
   EXPECT_THROW((void)parse_request_body(ByteSpan(
                    spec_frame.data() + kFrameHeaderSize,
                    spec_frame.size() - kFrameHeaderSize)),
@@ -141,9 +141,44 @@ TEST(Protocol, StatusAndOpNamesAreStable) {
   EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");
   EXPECT_STREQ(to_string(Status::kPartialData), "partial-data");
   EXPECT_STREQ(to_string(Op::kSalvage), "salvage");
+  EXPECT_STREQ(to_string(Op::kStatsFull), "stats-full");
+  EXPECT_STREQ(to_string(Op::kDumpDiagnostics), "dump-diagnostics");
   EXPECT_FALSE(valid_op(0));
-  EXPECT_FALSE(valid_op(7));
+  EXPECT_FALSE(valid_op(9));
   EXPECT_TRUE(valid_op(static_cast<std::uint8_t>(Op::kStats)));
+  EXPECT_TRUE(valid_op(static_cast<std::uint8_t>(Op::kStatsFull)));
+  EXPECT_TRUE(valid_op(static_cast<std::uint8_t>(Op::kDumpDiagnostics)));
+}
+
+TEST(Protocol, TraceIdRoundTripsAndDefaultsToZero) {
+  // Request: trace id is the 8 bytes after the request id; default 0.
+  Bytes frame;
+  append_request(frame, Op::kCompress, 11, 0, "RLE_1", ByteSpan(),
+                 0x0123456789ABCDEFull);
+  FrameReader reader(1 << 20);
+  ASSERT_EQ(reader.feed(ByteSpan(frame.data(), frame.size())),
+            FrameReader::State::kFrame);
+  EXPECT_EQ(parse_request_body(reader.body()).trace_id,
+            0x0123456789ABCDEFull);
+
+  Bytes untraced = request_frame(Op::kPing, 12, 0, {}, {});
+  FrameReader reader2(1 << 20);
+  ASSERT_EQ(reader2.feed(ByteSpan(untraced.data(), untraced.size())),
+            FrameReader::State::kFrame);
+  EXPECT_EQ(parse_request_body(reader2.body()).trace_id, 0u);
+
+  // Response: trace id survives the round trip too.
+  Response r;
+  r.status = Status::kOk;
+  r.request_id = 11;
+  r.trace_id = 0xFEDCBA9876543210ull;
+  Bytes rframe;
+  append_response(rframe, r);
+  FrameReader reader3(1 << 20);
+  ASSERT_EQ(reader3.feed(ByteSpan(rframe.data(), rframe.size())),
+            FrameReader::State::kFrame);
+  EXPECT_EQ(parse_response_body(reader3.body()).trace_id,
+            0xFEDCBA9876543210ull);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <new>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "common/fault.h"
 #include "lc/codec.h"
 #include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace lc::server {
@@ -209,6 +211,100 @@ TEST_F(ServiceTest, StatsReturnsMetricsJson) {
                          r.payload.size());
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("lc.server.requests"), std::string::npos);
+}
+
+TEST_F(ServiceTest, StatsFullReturnsJsonAndPrometheus) {
+  // Default / "json" payload: the consistent snapshot as JSON.
+  Bytes json_fmt = {Byte{'j'}, Byte{'s'}, Byte{'o'}, Byte{'n'}};
+  for (const Bytes& fmt : {Bytes{}, json_fmt}) {
+    const Response r = serve_one(service_, make_item(Op::kStatsFull, fmt));
+    ASSERT_EQ(r.status, Status::kOk) << r.detail;
+    const std::string body(reinterpret_cast<const char*>(r.payload.data()),
+                           r.payload.size());
+    EXPECT_NE(body.find("\"counters\""), std::string::npos);
+    EXPECT_NE(body.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(body.find("lc.server.request_ns"), std::string::npos);
+  }
+
+  // "prom" payload: Prometheus text with mangled lc_server_* names.
+  const Bytes prom = {Byte{'p'}, Byte{'r'}, Byte{'o'}, Byte{'m'}};
+  const Response r = serve_one(service_, make_item(Op::kStatsFull, prom));
+  ASSERT_EQ(r.status, Status::kOk) << r.detail;
+  const std::string text(reinterpret_cast<const char*>(r.payload.data()),
+                         r.payload.size());
+  EXPECT_NE(text.find("# TYPE lc_server_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_request_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  // Anything else is a typed bad request, not a crash.
+  const Bytes junk = {Byte{'x'}, Byte{'m'}, Byte{'l'}};
+  const Response bad = serve_one(service_, make_item(Op::kStatsFull, junk));
+  EXPECT_EQ(bad.status, Status::kBadRequest);
+}
+
+TEST_F(ServiceTest, DumpDiagnosticsReturnsFlightDump) {
+  telemetry::flight_reset();
+  const Response r =
+      serve_one(service_, make_item(Op::kDumpDiagnostics, Bytes{}));
+  ASSERT_EQ(r.status, Status::kOk) << r.detail;
+  const std::string dump(reinterpret_cast<const char*>(r.payload.data()),
+                         r.payload.size());
+  EXPECT_NE(dump.find("\"schema\":\"lc-flight-v1\""), std::string::npos);
+  // The dump op records itself, so the dump always holds >= 1 event —
+  // its own kDump trigger.
+  EXPECT_NE(dump.find("\"kind\":\"dump\""), std::string::npos);
+}
+
+TEST_F(ServiceTest, ResponsesEchoTheTraceId) {
+  WorkItem item = make_item(Op::kPing, ramp_payload(8));
+  item.trace_id = 0xA1B2C3D4E5F60708ull;
+  const Response ok = serve_one(service_, std::move(item));
+  EXPECT_EQ(ok.trace_id, 0xA1B2C3D4E5F60708ull);
+
+  // Error paths keep the trace id too — reset() wipes the response, so
+  // the catch handlers must restore it.
+  WorkItem bad = make_item(Op::kDecompress, ramp_payload(64));
+  bad.trace_id = 0x1122334455667788ull;
+  const Response err = serve_one(service_, std::move(bad));
+  EXPECT_EQ(err.status, Status::kCorruptInput);
+  EXPECT_EQ(err.trace_id, 0x1122334455667788ull);
+}
+
+TEST_F(ServiceTest, ServeBindsTraceContextAndRecordsExemplar) {
+  telemetry::reset_trace();
+  telemetry::reset_all_metrics();
+  telemetry::set_enabled(true);
+  WorkItem item = make_item(Op::kCompress, ramp_payload(1000), "RLE_1");
+  item.trace_id = 0x00000000BEEF0001ull;
+  const Response r = serve_one(service_, std::move(item));
+  telemetry::set_enabled(false);
+  ASSERT_EQ(r.status, Status::kOk) << r.detail;
+
+  // The latency histogram's exemplar points at this request.
+  const Response stats =
+      serve_one(service_, make_item(Op::kStatsFull, Bytes{}));
+  const std::string json(
+      reinterpret_cast<const char*>(stats.payload.data()),
+      stats.payload.size());
+  EXPECT_NE(json.find("\"trace_id\":\"00000000beef0001\""),
+            std::string::npos);
+
+  // And the trace holds serve + codec spans tagged with the id — the
+  // per-stage breakdown is recoverable by trace id alone.
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  const std::string trace = os.str();
+  std::size_t tagged = 0;
+  for (std::size_t pos = trace.find("\"trace_id\":\"00000000beef0001\"");
+       pos != std::string::npos;
+       pos = trace.find("\"trace_id\":\"00000000beef0001\"", pos + 1)) {
+    ++tagged;
+  }
+  EXPECT_GE(tagged, 2u) << "expected serve + codec spans to carry the id";
+  EXPECT_NE(trace.find("lc.server.serve"), std::string::npos);
+  telemetry::reset_trace();
+  telemetry::reset_all_metrics();
 }
 
 TEST(ServiceDegradation, CompressDowngradesUnderPressure) {

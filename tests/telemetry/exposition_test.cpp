@@ -1,0 +1,235 @@
+// Exposition-plane tests: log2 histogram bucketing equivalence against
+// the generic search path, exemplar capture, the consistent metrics
+// snapshot, Prometheus text output, the backward-compatible JSON schema,
+// and the request trace-context plumbing (mint / TraceScope / span
+// tagging / thread-pool propagation).
+
+#include "telemetry/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace lc::telemetry {
+namespace {
+
+/// RAII: enable telemetry for one test, restore + wipe state after.
+struct TelemetryScope {
+  TelemetryScope() {
+    reset_trace();
+    reset_all_metrics();
+    set_enabled(true);
+  }
+  ~TelemetryScope() {
+    set_enabled(false);
+    reset_trace();
+    reset_all_metrics();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pow2 histograms.
+
+TEST(Pow2Histogram, BoundsArePowersOfTwo) {
+  const TelemetryScope scope;
+  Histogram& h = histogram_pow2("test.pow2.bounds", 3, 7);
+  const std::vector<std::uint64_t> expect = {8, 16, 32, 64, 128};
+  EXPECT_EQ(h.bounds(), expect);
+}
+
+TEST(Pow2Histogram, ShiftClassifierMatchesGenericSearch) {
+  // The pow2 fast path must agree with "first bucket with v <= bound"
+  // on every interesting value: zeros, exact powers, off-by-ones, and
+  // values past the top bound (overflow bucket).
+  const TelemetryScope scope;
+  Histogram& fast = histogram_pow2("test.pow2.fast", 4, 12);
+  Histogram& slow = histogram("test.pow2.slow",
+                              {16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+  ASSERT_EQ(fast.bounds(), slow.bounds());
+
+  std::vector<std::uint64_t> values = {0, 1, 2, 15, 16, 17};
+  for (unsigned s = 4; s <= 13; ++s) {
+    values.push_back((std::uint64_t{1} << s) - 1);
+    values.push_back(std::uint64_t{1} << s);
+    values.push_back((std::uint64_t{1} << s) + 1);
+  }
+  values.push_back(~std::uint64_t{0});
+  for (const std::uint64_t v : values) {
+    fast.record(v);
+    slow.record(v);
+  }
+  for (std::size_t i = 0; i < fast.num_buckets(); ++i) {
+    EXPECT_EQ(fast.bucket_count(i), slow.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(fast.count(), slow.count());
+  EXPECT_EQ(fast.sum(), slow.sum());
+}
+
+TEST(Pow2Histogram, ExemplarRemembersLastTracedObservation) {
+  const TelemetryScope scope;
+  Histogram& h = histogram_pow2("test.pow2.exemplar", 0, 10);
+  h.record(5);            // untraced: no exemplar
+  EXPECT_EQ(h.exemplar_trace_id(), 0u);
+  h.record(100, 0xABCu);  // traced
+  h.record(200, 0);       // trace_id 0 must not clobber the exemplar
+  EXPECT_EQ(h.exemplar_value(), 100u);
+  EXPECT_EQ(h.exemplar_trace_id(), 0xABCu);
+  h.record(300, 0xDEFu);  // last traced writer wins
+  EXPECT_EQ(h.exemplar_value(), 300u);
+  EXPECT_EQ(h.exemplar_trace_id(), 0xDEFu);
+  h.reset();
+  EXPECT_EQ(h.exemplar_trace_id(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exposition formats.
+
+TEST(Exposition, SnapshotIsConsistentAndJsonIsBackwardCompatible) {
+  const TelemetryScope scope;
+  counter("test.expo.requests").add(7);
+  gauge("test.expo.depth").set(-3);
+  Histogram& h = histogram("test.expo.lat", {10, 100});
+  h.record(5);
+  h.record(50);
+  h.record(500);
+
+  const MetricsSnapshot snap = snapshot_metrics();
+  std::ostringstream from_snap;
+  write_metrics_json(snap, from_snap);
+  // The legacy entry point (no snapshot argument) must produce the same
+  // bytes — callers of the old API see an unchanged schema.
+  std::ostringstream legacy;
+  write_metrics_json(legacy);
+  EXPECT_EQ(from_snap.str(), legacy.str());
+
+  const std::string json = from_snap.str();
+  EXPECT_NE(json.find("\"test.expo.requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.expo.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.expo.lat\""), std::string::npos);
+  // No exemplar was recorded, so the additive key must be absent.
+  EXPECT_EQ(json.find("\"exemplar\""), std::string::npos);
+
+  Histogram& traced = histogram("test.expo.traced", {10});
+  traced.record(4, 0x12345678u);
+  std::ostringstream with_ex;
+  write_metrics_json(snapshot_metrics(), with_ex);
+  EXPECT_NE(with_ex.str().find("\"exemplar\""), std::string::npos);
+  EXPECT_NE(with_ex.str().find("\"trace_id\":\"0000000012345678\""),
+            std::string::npos);
+}
+
+TEST(Exposition, PrometheusTextFormat) {
+  const TelemetryScope scope;
+  counter("lc.server.requests_admitted").add(3);
+  gauge("lc.server.queue_depth").set(2);
+  Histogram& h = histogram("lc.server.request_ns", {100, 1000});
+  h.record(50, 0x99u);
+  h.record(5000);
+
+  std::ostringstream os;
+  write_prometheus_text(snapshot_metrics(), os);
+  const std::string text = os.str();
+
+  // Names mangle '.' to '_'; counters get the _total suffix convention.
+  EXPECT_NE(text.find("# TYPE lc_server_requests_admitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_requests_admitted_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lc_server_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_queue_depth 2"), std::string::npos);
+
+  // Histogram: cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("# TYPE lc_server_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_request_ns_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_request_ns_bucket{le=\"1000\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_request_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lc_server_request_ns_sum 5050"), std::string::npos);
+  EXPECT_NE(text.find("lc_server_request_ns_count 2"), std::string::npos);
+
+  // OpenMetrics exemplar rides the first bucket that contains it.
+  EXPECT_NE(text.find("lc_server_request_ns_bucket{le=\"100\"} 1 "
+                      "# {trace_id=\"0000000000000099\"} 50"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace context.
+
+TEST(TraceContext, MintNeverReturnsZeroAndIsUnique) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = mint_trace_id();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceContext, TraceScopeBindsAndRestores) {
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    const TraceScope outer(0x11u);
+    EXPECT_EQ(current_trace_id(), 0x11u);
+    {
+      const TraceScope inner(0x22u);
+      EXPECT_EQ(current_trace_id(), 0x22u);
+    }
+    EXPECT_EQ(current_trace_id(), 0x11u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+TEST(TraceContext, SpansCarryTheBoundTraceIdIntoTheTrace) {
+  const TelemetryScope scope;
+  {
+    const TraceScope bind(0xCAFEBABEull);
+    Span span("test.traced.span");
+  }
+  { Span span("test.untraced.span"); }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"trace_id\":\"00000000cafebabe\""),
+            std::string::npos);
+  // Exactly one span was traced.
+  const std::size_t first = json.find("\"trace_id\"");
+  EXPECT_EQ(json.find("\"trace_id\"", first + 1), std::string::npos);
+}
+
+TEST(TraceContext, ThreadPoolPropagatesSubmitterTraceId) {
+  const TelemetryScope scope;
+  ThreadPool pool(2);
+  std::uint64_t seen[4] = {};
+  {
+    const TraceScope bind(0x5151u);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&seen, i] { seen[i] = current_trace_id(); });
+    }
+    pool.wait_idle();
+  }
+  for (const std::uint64_t id : seen) EXPECT_EQ(id, 0x5151u);
+
+  // Untraced submits stay untraced — workers must not leak a previous
+  // task's binding.
+  std::uint64_t leak = 99;
+  pool.submit([&leak] { leak = current_trace_id(); });
+  pool.wait_idle();
+  EXPECT_EQ(leak, 0u);
+}
+
+}  // namespace
+}  // namespace lc::telemetry

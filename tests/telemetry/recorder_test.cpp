@@ -1,0 +1,163 @@
+// Flight-recorder unit tests (docs/TELEMETRY.md): exact overwrite
+// accounting under forced overflow, the record-and-dump atomicity
+// contract (the fault that triggers a dump is never a casualty of the
+// ring overwrite it races), and the lc-flight-v1 dump format that
+// scripts/flight_summary.py parses.
+//
+// The ring is process-global; every test calls flight_reset() first and
+// derives expectations from flight_capacity() rather than assuming the
+// default 4096 (LC_FLIGHT_BUFFER may be set in the environment).
+
+#include "telemetry/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lc::telemetry {
+namespace {
+
+std::string first_line(const std::string& text) {
+  return text.substr(0, text.find('\n'));
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(FlightRecorder, CountsAreExactBelowCapacity) {
+  flight_reset();
+  for (int i = 0; i < 10; ++i) {
+    flight_record(make_flight_event(FlightKind::kAdmit, "test", 100 + i));
+  }
+  EXPECT_EQ(flight_total_count(), 10u);
+  EXPECT_EQ(flight_dropped_count(), 0u);
+}
+
+TEST(FlightRecorder, DroppedCountIsExactUnderForcedOverflow) {
+  flight_reset();
+  const std::size_t cap = flight_capacity();
+  const std::size_t pushed = cap + 123;
+  for (std::size_t i = 0; i < pushed; ++i) {
+    flight_record(make_flight_event(FlightKind::kAdmit, "ovf", i));
+  }
+  EXPECT_EQ(flight_total_count(), pushed);
+  EXPECT_EQ(flight_dropped_count(), 123u);
+
+  // The dump agrees: header accounting matches, survivors are exactly
+  // the newest `cap` events, sequence numbers are the global indices.
+  std::ostringstream os;
+  flight_dump(os, "overflow test");
+  const std::vector<std::string> lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1 + cap);
+  EXPECT_NE(lines[0].find("\"schema\":\"lc-flight-v1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dropped\":123"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"reason\":\"overflow test\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":123,"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"request_id\":123,"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"request_id\":" + std::to_string(pushed - 1)),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, TriggerEventSurvivesDumpEvenAtFullRing) {
+  // flight_record_and_dump() holds one lock across record + dump — the
+  // trigger must appear in the output even when the ring is already at
+  // capacity and every slot is being recycled.
+  flight_reset();
+  const std::size_t cap = flight_capacity();
+  for (std::size_t i = 0; i < cap * 2; ++i) {
+    flight_record(make_flight_event(FlightKind::kAdmit, "filler", i));
+  }
+  const FlightEvent trigger = make_flight_event(
+      FlightKind::kFault, "bad_alloc", 0xDEAD, 0xABCDEF0011223344ull);
+  std::ostringstream os;
+  flight_record_and_dump(trigger, os, "worker fault");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"kind\":\"fault\""), std::string::npos);
+  EXPECT_NE(text.find("\"request_id\":57005,"), std::string::npos);  // 0xDEAD
+  EXPECT_NE(text.find("\"trace_id\":\"abcdef0011223344\""),
+            std::string::npos);
+  // And it is the *last* line: newest event, highest seq.
+  const std::vector<std::string> lines = lines_of(text);
+  EXPECT_NE(lines.back().find("bad_alloc"), std::string::npos);
+}
+
+TEST(FlightRecorder, TriggerSurvivesConcurrentRecorders) {
+  // Hammer the ring from writer threads while dumping with a trigger:
+  // whatever interleaving happens, the trigger is in the dump. This is
+  // the racy version of the contract the TSan job checks for data races.
+  flight_reset();
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 2000; ++i) {
+        flight_record(make_flight_event(FlightKind::kAdmit, "noise",
+                                        static_cast<std::uint64_t>(t)));
+      }
+    });
+  }
+  const FlightEvent trigger =
+      make_flight_event(FlightKind::kFault, "trigger", 424242);
+  std::ostringstream os;
+  flight_record_and_dump(trigger, os, "concurrent");
+  for (std::thread& w : writers) w.join();
+  EXPECT_NE(os.str().find("\"request_id\":424242,"), std::string::npos);
+}
+
+TEST(FlightRecorder, HeaderSanitizesReasonAndNotesSanitizeHostileBytes) {
+  flight_reset();
+  FlightEvent ev = make_flight_event(FlightKind::kReject, "a\"b\\c\nd");
+  flight_record(ev);
+  std::ostringstream os;
+  flight_dump(os, "why\"not\\here\n?");
+  const std::vector<std::string> lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"reason\":\"whynothere?\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"note\":\"abcd\""), std::string::npos);
+}
+
+TEST(FlightRecorder, NoteIsTruncatedNotOverrun) {
+  flight_reset();
+  const std::string long_note(100, 'x');
+  const FlightEvent ev = make_flight_event(FlightKind::kDegrade, long_note);
+  EXPECT_EQ(std::string(ev.note), std::string(kFlightNoteCap - 1, 'x'));
+}
+
+TEST(FlightRecorder, EventsCarryTimestampsAndStableKindNames) {
+  flight_reset();
+  flight_record(make_flight_event(FlightKind::kDeadlineMiss, "queued"));
+  flight_record(make_flight_event(FlightKind::kConnClose, "peer"));
+  std::ostringstream os;
+  flight_dump(os, "kinds");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"kind\":\"deadline_miss\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"conn_close\""), std::string::npos);
+  // ts_ns was left 0 in the builder and must be stamped at record time.
+  EXPECT_EQ(text.find("\"ts_ns\":0,"), std::string::npos);
+}
+
+TEST(FlightRecorder, ResetClearsEventsButKeepsCapacity) {
+  flight_reset();
+  const std::size_t cap = flight_capacity();
+  flight_record(make_flight_event(FlightKind::kAdmit));
+  flight_reset();
+  EXPECT_EQ(flight_total_count(), 0u);
+  EXPECT_EQ(flight_dropped_count(), 0u);
+  EXPECT_EQ(flight_capacity(), cap);
+  std::ostringstream os;
+  flight_dump(os, "empty");
+  EXPECT_EQ(lines_of(os.str()).size(), 1u);  // header only
+  EXPECT_NE(first_line(os.str()).find("\"dumped\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lc::telemetry

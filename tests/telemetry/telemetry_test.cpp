@@ -7,6 +7,7 @@
 #include "telemetry/telemetry.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
@@ -349,7 +350,7 @@ TEST(Trace, SpansRecordWithArgs) {
   }
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->at("cat").str, "lc");
-  EXPECT_EQ(found->at("pid").number, 1.0);
+  EXPECT_EQ(found->at("pid").number, static_cast<double>(getpid()));
   EXPECT_GE(found->at("dur").number, 0.0);
   EXPECT_EQ(found->at("args").at("bytes").number, 123.0);
   EXPECT_EQ(found->at("args").at("component").str, "DIFF_4");
