@@ -45,6 +45,7 @@
 #include "charlab/sweep.h"
 #include "charlab/timing_grid.h"
 #include "common/error.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "data/sp_dataset.h"
 #include "lc/registry.h"
@@ -74,6 +75,23 @@ struct FamilyStats {
   DirStats encode, decode;
 };
 
+/// Emit the resolved SIMD dispatch as a JSON object so baselines record
+/// which variants produced them (bench_diff.py prints it back).
+void write_simd_header(std::FILE* f) {
+  std::fprintf(f, "  \"simd\": {\n");
+  std::fprintf(f, "    \"detected\": \"%s\",\n",
+               lc::simd::to_string(lc::simd::detected_level()));
+  std::fprintf(f, "    \"active\": \"%s\",\n",
+               lc::simd::to_string(lc::simd::active_level()));
+  std::fprintf(f, "    \"dispatch\": {");
+  const auto table = lc::simd::describe_dispatch();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                 table[i].first.c_str(), table[i].second.c_str());
+  }
+  std::fprintf(f, "}\n  },\n");
+}
+
 void run_micro(const std::string& path, int iters) {
   // A realistic float stream: the head of the synthetic msg_bt file
   // (the same buffer micro_components uses).
@@ -81,6 +99,11 @@ void run_micro(const std::string& path, int iters) {
   input.resize(64 * 1024);
   const lc::ByteSpan in(input.data(), input.size());
 
+  // Min-of-N: each of the N iterations is timed on its own and only the
+  // fastest survives. The minimum is the noise-robust estimator for a
+  // deterministic kernel on a shared machine — scheduler preemption and
+  // cache pollution only ever add time — so baselines recorded on noisy
+  // CI runners stay comparable.
   std::map<std::string, FamilyStats> families;
   for (const lc::Component* comp : lc::Registry::instance().all()) {
     FamilyStats& fam = families[family_of(comp->name())];
@@ -88,19 +111,22 @@ void run_micro(const std::string& path, int iters) {
     comp->encode(in, encoded);  // warm-up + decode input
     comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
 
-    Clock::time_point t0 = Clock::now();
+    double best_enc = 1e300, best_dec = 1e300;
     for (int i = 0; i < iters; ++i) {
+      const Clock::time_point t0 = Clock::now();
       comp->encode(in, out);
+      best_enc = std::min(best_enc, seconds_since(t0));
     }
-    fam.encode.secs += seconds_since(t0);
-    fam.encode.bytes += static_cast<double>(input.size()) * iters;
+    fam.encode.secs += best_enc;
+    fam.encode.bytes += static_cast<double>(input.size());
 
-    t0 = Clock::now();
     for (int i = 0; i < iters; ++i) {
+      const Clock::time_point t0 = Clock::now();
       comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+      best_dec = std::min(best_dec, seconds_since(t0));
     }
-    fam.decode.secs += seconds_since(t0);
-    fam.decode.bytes += static_cast<double>(input.size()) * iters;
+    fam.decode.secs += best_dec;
+    fam.decode.bytes += static_cast<double>(input.size());
   }
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -111,6 +137,8 @@ void run_micro(const std::string& path, int iters) {
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-micro-v1\",\n");
   std::fprintf(f, "  \"input_bytes\": %zu,\n  \"iters\": %d,\n", input.size(),
                iters);
+  std::fprintf(f, "  \"aggregation\": \"min-of-n\",\n");
+  write_simd_header(f);
   std::fprintf(f, "  \"families\": {\n");
   std::size_t i = 0;
   for (const auto& [name, fam] : families) {
@@ -148,6 +176,7 @@ void run_sweep(const std::string& path, std::size_t chunks,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-sweep-v1\",\n");
+  write_simd_header(f);
   std::fprintf(f, "  \"inputs\": %zu,\n  \"chunks_per_input\": %zu,\n",
                sweep.num_inputs(), config.chunks_per_input);
   std::fprintf(f, "  \"scale\": %.8f,\n  \"threads\": %zu,\n", config.scale,
@@ -235,6 +264,7 @@ void run_grid(const std::string& path, std::size_t chunks,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-grid-v1\",\n");
+  write_simd_header(f);
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"cells\": %zu,\n  \"pipelines\": %zu,\n", cells.size(),
                pipelines);

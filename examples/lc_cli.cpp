@@ -47,6 +47,7 @@
 #include "charlab/sweep.h"
 #include "charlab/timing_grid.h"
 #include "common/error.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "lc/codec.h"
 #include "lc/pipeline.h"
@@ -409,6 +410,27 @@ int run(const std::vector<std::string>& args) {
                 result.ok_count(), result.chunks.size(),
                 result.content_checksum_ok ? "ok" : "MISMATCH");
     print_salvage_throughput(result, packed.size());
+    // Execution environment: which kernel variants ran, and whether the
+    // fused single-pass path was taken (it is bypassed whenever telemetry
+    // is on — as in this very command — so per-stage spans stay visible;
+    // see docs/PERFORMANCE.md, "SIMD dispatch & pipeline fusion").
+    std::printf("simd: active=%s (detected %s)\n",
+                to_string(simd::active_level()),
+                to_string(simd::detected_level()));
+    for (const auto& [group, variant] : simd::describe_dispatch()) {
+      std::printf("  %-16s %s\n", group.c_str(), variant.c_str());
+    }
+    std::printf(
+        "fused pipeline: encode %llu hits / %llu misses, "
+        "decode %llu hits / %llu misses\n",
+        static_cast<unsigned long long>(
+            telemetry::counter("lc.codec.fused_encode_hits").value()),
+        static_cast<unsigned long long>(
+            telemetry::counter("lc.codec.fused_encode_misses").value()),
+        static_cast<unsigned long long>(
+            telemetry::counter("lc.codec.fused_decode_hits").value()),
+        static_cast<unsigned long long>(
+            telemetry::counter("lc.codec.fused_decode_misses").value()));
     std::printf("telemetry snapshot (%llu spans recorded):\n",
                 static_cast<unsigned long long>(
                     telemetry::recorded_span_count()));

@@ -37,6 +37,22 @@ def load(path):
     return data
 
 
+def print_simd(base, cur):
+    """Newer harnesses record the resolved SIMD dispatch in a "simd"
+    header object; surface it so cross-machine diffs are explainable.
+    Baselines recorded before the header existed just print nothing."""
+    for label, data in (("baseline", base), ("current ", cur)):
+        s = data.get("simd")
+        if s:
+            print(f"{label} simd: active={s.get('active', '?')} "
+                  f"(detected {s.get('detected', '?')})")
+    b = (base.get("simd") or {}).get("active")
+    c = (cur.get("simd") or {}).get("active")
+    if b and c and b != c:
+        print(f"  warning: simd level differs ({b} vs {c}) — "
+              f"throughput not directly comparable")
+
+
 def fmt_speedup(new, old):
     if old <= 0:
         return "n/a"
@@ -185,6 +201,7 @@ def main(argv):
     if base["schema"] != cur["schema"]:
         sys.exit(f"bench_diff: schema mismatch: "
                  f"{base['schema']} vs {cur['schema']}")
+    print_simd(base, cur)
 
     if base["schema"] == "lc-bench-micro-v1":
         regressions = diff_micro(base, cur, threshold if check else None)

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstddef>
 
+#include "common/simd.h"
+
 namespace lc {
 namespace {
 
@@ -59,12 +61,10 @@ std::uint64_t exclusive_scan_lookback(ThreadPool& pool,
     const std::size_t lo = t * tile_size;
     const std::size_t hi = std::min(n, lo + tile_size);
 
-    // Phase 1: local scan, publish the tile aggregate.
-    std::uint64_t aggregate = 0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      out[i] = aggregate;  // local exclusive prefix, offset added below
-      aggregate += values[i];
-    }
+    // Phase 1: local scan (dispatched SIMD tile kernel), publish the tile
+    // aggregate. out[] holds the local exclusive prefix; offset below.
+    const std::uint64_t aggregate =
+        simd::kernels().scan_tile(values.data() + lo, hi - lo, out.data() + lo);
     if (t == 0) {
       status[0].store(pack_status(kStatusPrefix, aggregate),
                       std::memory_order_release);
@@ -99,7 +99,9 @@ std::uint64_t exclusive_scan_lookback(ThreadPool& pool,
                       std::memory_order_release);
     }
 
-    for (std::size_t i = lo; i < hi; ++i) out[i] += exclusive;
+    if (exclusive != 0) {
+      simd::kernels().scan_add_offset(out.data() + lo, hi - lo, exclusive);
+    }
     if (hi == n) {
       grand_total.store(exclusive + aggregate, std::memory_order_release);
     }
@@ -123,12 +125,8 @@ std::uint64_t exclusive_scan_blocked(ThreadPool& pool,
   parallel_for(pool, 0, blocks, [&](std::size_t b) {
     const std::size_t lo = b * block_size;
     const std::size_t hi = std::min(n, lo + block_size);
-    std::uint64_t sum = 0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      out[i] = sum;
-      sum += values[i];
-    }
-    block_sums[b] = sum;
+    block_sums[b] =
+        simd::kernels().scan_tile(values.data() + lo, hi - lo, out.data() + lo);
   });
 
   // Phase 2: scan of the block sums (small; sequential).
@@ -139,7 +137,10 @@ std::uint64_t exclusive_scan_blocked(ThreadPool& pool,
   parallel_for(pool, 0, blocks, [&](std::size_t b) {
     const std::size_t lo = b * block_size;
     const std::size_t hi = std::min(n, lo + block_size);
-    for (std::size_t i = lo; i < hi; ++i) out[i] += block_offsets[b];
+    if (block_offsets[b] != 0) {
+      simd::kernels().scan_add_offset(out.data() + lo, hi - lo,
+                                      block_offsets[b]);
+    }
   });
 
   return total;

@@ -1,0 +1,170 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/simd_internal.h"
+
+// The scalar reference table lives in this TU, which is compiled with the
+// build's baseline flags — it must run on any x86-64 (or non-x86) host.
+#define LC_SIMD_KERNELS_NS scalar_impl
+#include "common/simd_kernels.h"
+
+namespace lc::simd {
+
+namespace {
+
+Level probe_cpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  // AVX2 kernels lean on BMI2 (pext/pdep) and the AVX-512 ones on the
+  // BW/DQ/VL extensions, so gate each level on the full set it needs.
+  const bool avx2 = __builtin_cpu_supports("avx2") &&
+                    __builtin_cpu_supports("bmi") &&
+                    __builtin_cpu_supports("bmi2");
+  if (!avx2) return Level::kScalar;
+  const bool avx512 = __builtin_cpu_supports("avx512f") &&
+                      __builtin_cpu_supports("avx512bw") &&
+                      __builtin_cpu_supports("avx512dq") &&
+                      __builtin_cpu_supports("avx512vl") &&
+                      __builtin_cpu_supports("avx512cd");
+  return avx512 ? Level::kAvx512 : Level::kAvx2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// LC_SIMD resolution: unset/empty means auto (detected level); anything
+/// else must parse strictly and be supported by this CPU.
+Level resolve_env_level() {
+  const char* env = std::getenv("LC_SIMD");
+  if (env == nullptr || *env == '\0') return detected_level();
+  const Level requested = parse_level(env, "LC_SIMD");
+  if (requested > detected_level()) {
+    throw Error(std::string("LC: LC_SIMD=") + env +
+                " requested but this CPU supports at most " +
+                to_string(detected_level()));
+  }
+  return requested;
+}
+
+// Active-table state. g_forced/g_active are test hooks plus the one-time
+// lazy resolution; steady-state kernels() is a single acquire load.
+std::atomic<int> g_forced{-1};
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Level detected_level() {
+  static const Level level = probe_cpu();
+  return level;
+}
+
+Level parse_level(const char* text, const char* what) {
+  if (text != nullptr) {
+    if (std::strcmp(text, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(text, "avx2") == 0) return Level::kAvx2;
+    if (std::strcmp(text, "avx512") == 0) return Level::kAvx512;
+  }
+  throw Error(std::string("LC: ") + what + " must be one of "
+              "scalar|avx2|avx512, got \"" + (text ? text : "") + "\"");
+}
+
+Level active_level() {
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level level = resolve_env_level();
+  return level;
+}
+
+const Kernels& kernels_for(Level level) {
+  if (level > detected_level()) {
+    throw Error(std::string("LC: SIMD level ") + to_string(level) +
+                " is not supported by this CPU (detected " +
+                to_string(detected_level()) + ")");
+  }
+  switch (level) {
+    case Level::kAvx512: {
+      static const Kernels k = [] {
+        Kernels t{};
+        avx512::fill_table(t);
+        return t;
+      }();
+      return k;
+    }
+    case Level::kAvx2: {
+      static const Kernels k = [] {
+        Kernels t{};
+        avx2::fill_table(t);
+        return t;
+      }();
+      return k;
+    }
+    case Level::kScalar:
+    default: {
+      static const Kernels k = [] {
+        Kernels t{};
+        scalar_impl::fill_table(t);
+        return t;
+      }();
+      return k;
+    }
+  }
+}
+
+const Kernels& kernels() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = &kernels_for(active_level());
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+void force_active_level_for_testing(Level level) {
+  const Kernels& table = kernels_for(level);  // validates vs detected
+  g_forced.store(static_cast<int>(level), std::memory_order_release);
+  g_active.store(&table, std::memory_order_release);
+}
+
+void reset_active_level_for_testing() {
+  g_forced.store(-1, std::memory_order_release);
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+std::vector<std::pair<std::string, std::string>> describe_dispatch() {
+  const Level level = active_level();
+  const char* name = to_string(level);
+  std::vector<std::pair<std::string, std::string>> groups;
+  // Keep in sync with the #ifdef selection in simd_kernels.h: a few slots
+  // stay scalar (or BMI2-scalar) even in the wide tables.
+  const bool wide = level != Level::kScalar;
+  groups.emplace_back("run-masks", name);
+  groups.emplace_back("mask-bitmap", name);
+  groups.emplace_back("compact",
+                      level == Level::kAvx512 ? "avx512(u32,u64)/memchr(u8,u16)"
+                                              : "memchr");
+  groups.emplace_back("or-reduce", wide ? std::string(name) + "-autovec"
+                                        : "swar");
+  groups.emplace_back("bitpack", wide ? "bmi2-pext" : "scalar");
+  groups.emplace_back("diff-encode", wide ? std::string(name) + "-autovec"
+                                          : "scalar");
+  groups.emplace_back("diff-decode",
+                      wide ? "avx2(u32,u64)/scalar(u8,u16)" : "scalar");
+  groups.emplace_back("bit-transpose", name);
+  groups.emplace_back("scan", wide ? "avx2" : "scalar");
+  return groups;
+}
+
+}  // namespace lc::simd

@@ -1,0 +1,149 @@
+#ifndef LC_COMMON_SIMD_H
+#define LC_COMMON_SIMD_H
+
+/// \file simd.h
+/// Runtime ISA dispatch for the hot component kernels (docs/PERFORMANCE.md,
+/// "SIMD dispatch & pipeline fusion").
+///
+/// The paper attributes much of the compiler-to-compiler spread to per-
+/// kernel codegen quality (§6.1, §6.5); PR 3 made the kernels
+/// auto-vectorizable, but the portable release build still targets the
+/// x86-64 baseline (SSE2). This layer detects AVX2/AVX-512 with cpuid at
+/// startup, resolves a per-kernel function-pointer table once, and lets
+/// every component call through it — so one binary runs as fast as the
+/// host actually allows, and `LC_SIMD=scalar|avx2|avx512` turns A/B
+/// comparisons into a one-env-var affair.
+///
+/// Contract: every kernel variant is bit-exact against the scalar
+/// reference (integer-only code; proven by tests/common/simd_test.cpp and
+/// the forced-dispatch CI leg). All kernels accept unaligned pointers and
+/// read words little-endian, exactly like load_word/store_word.
+///
+/// Level requirements (conservative on purpose):
+///   kAvx2   = AVX2 + BMI1/BMI2 + LZCNT (Haswell/Excavator or newer)
+///   kAvx512 = kAvx2 + AVX-512 F/BW/DQ/VL/CD (Skylake-SP or newer)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bytes.h"
+
+namespace lc::simd {
+
+/// ISA levels, ordered: a higher level implies every lower one.
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+[[nodiscard]] const char* to_string(Level level) noexcept;
+
+/// Highest level this CPU supports (cpuid probe, cached).
+[[nodiscard]] Level detected_level();
+
+/// Level in use: detected_level() capped/overridden by LC_SIMD. Resolved
+/// once at first use; a malformed or unsupported LC_SIMD value throws
+/// lc::Error (strict knob parsing, like LC_JOBS).
+[[nodiscard]] Level active_level();
+
+/// Strict parse of an LC_SIMD-style value. Accepts exactly "scalar",
+/// "avx2" or "avx512"; throws lc::Error (mentioning `what`) otherwise.
+[[nodiscard]] Level parse_level(const char* text, const char* what);
+
+/// Word-size index used by the kernel tables: 1/2/4/8-byte words map to
+/// 0/1/2/3.
+template <typename T>
+inline constexpr int kWordLog =
+    sizeof(T) == 1 ? 0 : (sizeof(T) == 2 ? 1 : (sizeof(T) == 4 ? 2 : 3));
+
+/// DIFF* residual representations, in dispatch order.
+inline constexpr int kRepPlain = 0;
+inline constexpr int kRepMs = 1;
+inline constexpr int kRepNb = 2;
+
+// Kernel signatures. `data`/`in`/`words` point at packed little-endian
+// words of the table slot's width W; all pointers may be unaligned.
+//
+// eq_prev_mask: mask[i] = ((word(i) ^ word(i-1)) >> shift) == 0 ? 1 : 0,
+//               mask[0] = 0. Returns the number of 1s.
+// zero_mask:    mask[i] = (word(i) >> shift) == 0 ? 1 : 0. Returns #1s.
+using MaskFn = std::size_t (*)(const Byte* data, std::size_t n, int shift,
+                               Byte* mask);
+// bits[t/8] bit (t%8) = mask[t] & 1; writes ceil(n/8) bytes, zero-padded.
+using PackMaskBitsFn = void (*)(const Byte* mask, std::size_t n, Byte* bits);
+// Append the `kept` words with drop[i] == 0 to `out`, in order.
+using CompactFn = void (*)(const Byte* data, const Byte* drop, std::size_t n,
+                           std::size_t kept, Bytes& out);
+// OR of `count` words, zero-extended (or_reduce_ms ORs to_magnitude_sign
+// of each word first — the HCLOG rescue probe).
+using OrReduceFn = std::uint64_t (*)(const Byte* data, std::size_t count);
+// bw.put(word(i) >> shift, width) for every word (pack_bits_ms applies
+// to_magnitude_sign before the shift). Stream-identical to the loop.
+using PackBitsFn = void (*)(const Byte* data, std::size_t count, int width,
+                            int shift, BitWriter& bw);
+// store_word(dst + i*W, (T)br.get(width)) for every word (unpack_bits_ms
+// applies from_magnitude_sign to each value).
+using UnpackBitsFn = void (*)(BitReader& br, std::size_t count, int width,
+                              Byte* dst);
+// diff_encode: out[0] = map(in[0]); out[i] = map(in[i] - in[i-1]).
+// diff_decode: acc = 0; acc += unmap(in[i]); out[i] = acc.
+// `in` and `out` must not alias.
+using DiffFn = void (*)(const Byte* in, Byte* out, std::size_t count);
+// Bit-plane transpose cores (count must be a multiple of 64):
+// bit_gather: dst[j] bit k = (word(64j + k) >> b) & 1.
+// bit_scatter: word(i) |= ((src[i/64] >> (i%64)) & 1) << b.
+using BitGatherFn = void (*)(const Byte* data, std::size_t count, int b,
+                             std::uint64_t* dst);
+using BitScatterFn = void (*)(const std::uint64_t* src, std::size_t count,
+                              int b, Byte* words);
+// Tile-local pass of the decoupled look-back scan: exclusive prefix sum
+// into out[0..n), returning the tile aggregate; and the offset fix-up.
+using ScanTileFn = std::uint64_t (*)(const std::uint64_t* values,
+                                     std::size_t n, std::uint64_t* out);
+using ScanAddFn = void (*)(std::uint64_t* out, std::size_t n,
+                           std::uint64_t offset);
+
+/// One resolved dispatch table. Arrays are indexed by kWordLog; the DIFF
+/// tables additionally by kRepPlain/kRepMs/kRepNb.
+struct Kernels {
+  MaskFn eq_prev_mask[4];
+  MaskFn zero_mask[4];
+  PackMaskBitsFn pack_mask_bits;
+  CompactFn compact_kept[4];
+  OrReduceFn or_reduce[4];
+  OrReduceFn or_reduce_ms[4];
+  PackBitsFn pack_bits[4];
+  PackBitsFn pack_bits_ms[4];
+  UnpackBitsFn unpack_bits[4];
+  UnpackBitsFn unpack_bits_ms[4];
+  DiffFn diff_encode[4][3];
+  DiffFn diff_decode[4][3];
+  BitGatherFn bit_gather[4];
+  BitScatterFn bit_scatter[4];
+  ScanTileFn scan_tile;
+  ScanAddFn scan_add_offset;
+};
+
+/// The active table (kernels_for(active_level())). Hot-path accessor:
+/// one atomic-free pointer read after first resolution.
+[[nodiscard]] const Kernels& kernels();
+
+/// A specific level's table, for A/B tests. Requesting a level above
+/// detected_level() throws lc::Error (its kernels would fault).
+[[nodiscard]] const Kernels& kernels_for(Level level);
+
+/// Test hooks: force the active level in-process (must not race with
+/// concurrent kernel users) and restore the LC_SIMD/default resolution.
+void force_active_level_for_testing(Level level);
+void reset_active_level_for_testing();
+
+/// Human-readable (kernel group -> resolved variant) pairs for the active
+/// table, printed by perf_harness's JSON header and `lc_cli stats` so
+/// baselines are comparable across machines.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>>
+describe_dispatch();
+
+}  // namespace lc::simd
+
+#endif  // LC_COMMON_SIMD_H

@@ -1,0 +1,16 @@
+// AVX2 + BMI2 kernel set. This TU is compiled with -mavx2 -mbmi -mbmi2
+// -mlzcnt (see src/common/CMakeLists.txt); the hand-vectorized paths in
+// simd_kernels.h are selected by those macros, and the remaining generic
+// bodies get auto-vectorized under the same flags. Nothing in this TU may
+// run before simd.cpp's cpuid probe has confirmed AVX2 support.
+
+#define LC_SIMD_KERNELS_NS avx2_impl
+#include "common/simd_kernels.h"
+
+#include "common/simd_internal.h"
+
+namespace lc::simd::avx2 {
+
+void fill_table(Kernels& k) { avx2_impl::fill_table(k); }
+
+}  // namespace lc::simd::avx2

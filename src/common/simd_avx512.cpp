@@ -1,0 +1,16 @@
+// AVX-512 kernel set (F/BW/DQ/VL/CD, plus the AVX2/BMI2 baseline). The
+// mask-register paths in simd_kernels.h key off __AVX512BW__ etc.; slots
+// without a 512-bit specialization fall back to the AVX2/BMI2 bodies,
+// auto-vectorized under this TU's flags. Nothing in this TU may run
+// before simd.cpp's cpuid probe has confirmed AVX-512 support.
+
+#define LC_SIMD_KERNELS_NS avx512_impl
+#include "common/simd_kernels.h"
+
+#include "common/simd_internal.h"
+
+namespace lc::simd::avx512 {
+
+void fill_table(Kernels& k) { avx512_impl::fill_table(k); }
+
+}  // namespace lc::simd::avx512

@@ -1,0 +1,21 @@
+#ifndef LC_COMMON_SIMD_INTERNAL_H
+#define LC_COMMON_SIMD_INTERNAL_H
+
+/// \file simd_internal.h
+/// Private seam between simd.cpp (compiled for the baseline ISA) and the
+/// per-ISA translation units. Each ISA TU exports exactly one symbol — a
+/// table filler — and simd.cpp calls it only after the cpuid probe has
+/// confirmed the level, so no AVX instruction can execute on a CPU that
+/// lacks it. Nothing else may include this header.
+
+#include "common/simd.h"
+
+namespace lc::simd::avx2 {
+void fill_table(Kernels& k);  // defined in simd_avx2.cpp (-mavx2 -mbmi2)
+}
+
+namespace lc::simd::avx512 {
+void fill_table(Kernels& k);  // defined in simd_avx512.cpp (-mavx512*)
+}
+
+#endif  // LC_COMMON_SIMD_INTERNAL_H

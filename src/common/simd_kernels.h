@@ -1,0 +1,896 @@
+#ifndef LC_SIMD_KERNELS_NS
+#error "define LC_SIMD_KERNELS_NS before including simd_kernels.h"
+#endif
+
+/// \file simd_kernels.h
+/// Width-generic bodies for every kernel in simd::Kernels, plus a
+/// fill_table() that wires them up. This header is included once per ISA
+/// translation unit with LC_SIMD_KERNELS_NS set to a TU-unique namespace
+/// name; the hand-vectorized paths are selected by the TU's compile-time
+/// ISA macros (__BMI2__ / __AVX2__ / __AVX512BW__+__AVX512VL__), so the
+/// same source yields three genuinely different instruction streams:
+///
+///   simd.cpp        (baseline flags)  -> portable scalar reference
+///   simd_avx2.cpp   (-mavx2 -mbmi2)   -> AVX2 + pext/pdep kernels
+///   simd_avx512.cpp (-mavx512* too)   -> AVX-512 mask-register kernels
+///
+/// The per-TU namespace is load-bearing: plain templates have vague
+/// linkage, and the linker would otherwise merge the three instantiation
+/// sets into one — picking an arbitrary TU's (possibly AVX-512) code for
+/// the scalar table and faulting on older CPUs. Distinct namespaces give
+/// distinct symbols, so nothing merges.
+///
+/// Every path here is bit-exact against the scalar reference by
+/// construction (integer ops only); tests/common/simd_test.cpp checks all
+/// kernels pairwise across the detected levels.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "common/bytes.h"
+#include "common/simd.h"
+
+#if defined(__BMI2__) || defined(__AVX2__) || defined(__AVX512F__)
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12 reports false-positive -Wmaybe-uninitialized from inside the
+// AVX-512 intrinsic headers when shift counts arrive via
+// _mm_cvtsi32_si128 (GCC PR105593). Scope the suppression to this header
+// (popped at the end of the file).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#define LC_SIMD_KERNELS_DIAG_PUSHED 1
+#endif
+#include <immintrin.h>
+#endif
+
+namespace lc::simd {
+namespace LC_SIMD_KERNELS_NS {
+
+inline constexpr std::uint64_t kLowBytes = 0x0101010101010101ULL;
+
+template <Word T>
+[[nodiscard]] constexpr T id_map(T v) noexcept {
+  return v;
+}
+
+/// to_magnitude_sign applied independently to each T lane of a packed u64
+/// (SWAR; the per-lane products below never carry across lanes).
+template <Word T>
+[[nodiscard]] inline std::uint64_t swar_to_ms(std::uint64_t x) noexcept {
+  if constexpr (sizeof(T) == 1) {
+    const std::uint64_t dbl = (x << 1) & 0xFEFEFEFEFEFEFEFEULL;
+    const std::uint64_t sign = ((x >> 7) & kLowBytes) * 0xFFULL;
+    return dbl ^ sign;
+  } else if constexpr (sizeof(T) == 2) {
+    const std::uint64_t dbl = (x << 1) & 0xFFFEFFFEFFFEFFFEULL;
+    const std::uint64_t sign = ((x >> 15) & 0x0001000100010001ULL) * 0xFFFFULL;
+    return dbl ^ sign;
+  } else {
+    static_assert(sizeof(T) == 4);
+    const std::uint64_t dbl = (x << 1) & 0xFFFFFFFEFFFFFFFEULL;
+    const std::uint64_t sign =
+        ((x >> 31) & 0x0000000100000001ULL) * 0xFFFFFFFFULL;
+    return dbl ^ sign;
+  }
+}
+
+/// from_magnitude_sign applied independently to each T lane of a packed
+/// u64 (inverse of swar_to_ms; same no-carry argument).
+template <Word T>
+[[nodiscard]] inline std::uint64_t swar_from_ms(std::uint64_t x) noexcept {
+  if constexpr (sizeof(T) == 1) {
+    const std::uint64_t half = (x >> 1) & 0x7F7F7F7F7F7F7F7FULL;
+    const std::uint64_t sign = (x & kLowBytes) * 0xFFULL;
+    return half ^ sign;
+  } else if constexpr (sizeof(T) == 2) {
+    const std::uint64_t half = (x >> 1) & 0x7FFF7FFF7FFF7FFFULL;
+    const std::uint64_t sign = (x & 0x0001000100010001ULL) * 0xFFFFULL;
+    return half ^ sign;
+  } else {
+    static_assert(sizeof(T) == 4);
+    const std::uint64_t half = (x >> 1) & 0x7FFFFFFF7FFFFFFFULL;
+    const std::uint64_t sign = (x & 0x0000000100000001ULL) * 0xFFFFFFFFULL;
+    return half ^ sign;
+  }
+}
+
+// ---------------------------------------------------------------------
+// eq_prev_mask / zero_mask
+// ---------------------------------------------------------------------
+
+#if defined(__AVX512BW__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+
+/// (v >> shift) per T lane, for lane widths without a native byte shift.
+inline __m512i srl_lanes_epi8(__m512i v, int shift) {
+  const __m512i wide = _mm512_srl_epi16(v, _mm_cvtsi32_si128(shift));
+  return _mm512_and_si512(
+      wide, _mm512_set1_epi8(static_cast<char>(0xFFu >> shift)));
+}
+
+template <Word T>
+[[nodiscard]] inline __m512i srl_lanes(__m512i v, int shift) {
+  if constexpr (sizeof(T) == 1) return srl_lanes_epi8(v, shift);
+  if constexpr (sizeof(T) == 2)
+    return _mm512_srl_epi16(v, _mm_cvtsi32_si128(shift));
+  if constexpr (sizeof(T) == 4)
+    return _mm512_srl_epi32(v, _mm_cvtsi32_si128(shift));
+  if constexpr (sizeof(T) == 8)
+    return _mm512_srl_epi64(v, _mm_cvtsi32_si128(shift));
+}
+
+/// Store one 0/1 mask byte per T lane of the compare mask `m`.
+template <Word T>
+inline void store_lane_mask(Byte* dst, std::uint64_t m) {
+  if constexpr (sizeof(T) == 1) {
+    _mm512_storeu_si512(dst, _mm512_maskz_mov_epi8(static_cast<__mmask64>(m),
+                                                   _mm512_set1_epi8(1)));
+  } else if constexpr (sizeof(T) == 2) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                        _mm256_maskz_mov_epi8(static_cast<__mmask32>(m),
+                                              _mm256_set1_epi8(1)));
+  } else if constexpr (sizeof(T) == 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                     _mm_maskz_mov_epi8(static_cast<__mmask16>(m),
+                                        _mm_set1_epi8(1)));
+  } else {
+    const std::uint64_t bytes = _pdep_u64(m, kLowBytes);
+    std::memcpy(dst, &bytes, 8);
+  }
+}
+
+template <Word T>
+[[nodiscard]] inline std::uint64_t cmp_zero_mask(__m512i v) {
+  if constexpr (sizeof(T) == 1)
+    return _mm512_cmpeq_epi8_mask(v, _mm512_setzero_si512());
+  if constexpr (sizeof(T) == 2)
+    return _mm512_cmpeq_epi16_mask(v, _mm512_setzero_si512());
+  if constexpr (sizeof(T) == 4)
+    return _mm512_cmpeq_epi32_mask(v, _mm512_setzero_si512());
+  if constexpr (sizeof(T) == 8)
+    return _mm512_cmpeq_epi64_mask(v, _mm512_setzero_si512());
+}
+
+#elif defined(__AVX2__) && defined(__BMI2__)
+
+/// 0/1 mask bytes (little-endian, one per T lane) for "lane == 0", as a
+/// packed bitfield of 32/sizeof(T) bits — produced with movemask + pext.
+template <Word T>
+[[nodiscard]] inline std::uint32_t cmp_zero_bits256(__m256i v) {
+  const __m256i zero = _mm256_setzero_si256();
+  if constexpr (sizeof(T) == 1) {
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+  } else if constexpr (sizeof(T) == 2) {
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, zero)));
+    return static_cast<std::uint32_t>(_pext_u32(m, 0x55555555u));
+  } else if constexpr (sizeof(T) == 4) {
+    return static_cast<std::uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero))));
+  } else {
+    return static_cast<std::uint32_t>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, zero))));
+  }
+}
+
+template <Word T>
+[[nodiscard]] inline __m256i srl_lanes256(__m256i v, int shift) {
+  if constexpr (sizeof(T) == 1) {
+    const __m256i wide = _mm256_srl_epi16(v, _mm_cvtsi32_si128(shift));
+    return _mm256_and_si256(
+        wide, _mm256_set1_epi8(static_cast<char>(0xFFu >> shift)));
+  } else if constexpr (sizeof(T) == 2) {
+    return _mm256_srl_epi16(v, _mm_cvtsi32_si128(shift));
+  } else if constexpr (sizeof(T) == 4) {
+    return _mm256_srl_epi32(v, _mm_cvtsi32_si128(shift));
+  } else {
+    return _mm256_srl_epi64(v, _mm_cvtsi32_si128(shift));
+  }
+}
+
+/// Expand `lanes` compare bits into 0/1 mask bytes at dst (one byte per
+/// T lane, lanes = 32/sizeof(T) of them).
+template <Word T>
+inline void store_lane_mask256(Byte* dst, std::uint32_t bits) {
+  constexpr int kLanes = 32 / static_cast<int>(sizeof(T));
+  if constexpr (sizeof(T) == 1) {
+    std::uint64_t lo = _pdep_u64(bits & 0xFFFFu, kLowBytes);
+    std::uint64_t mid = _pdep_u64((bits >> 16) & 0xFFu, kLowBytes);
+    std::uint64_t hi = _pdep_u64(bits >> 24, kLowBytes);
+    std::memcpy(dst, &lo, 8);
+    std::uint64_t lo2 = _pdep_u64((bits >> 8) & 0xFFu, kLowBytes);
+    std::memcpy(dst + 8, &lo2, 8);
+    std::memcpy(dst + 16, &mid, 8);
+    std::memcpy(dst + 24, &hi, 8);
+  } else if constexpr (sizeof(T) == 2) {
+    std::uint64_t lo = _pdep_u64(bits & 0xFFu, kLowBytes);
+    std::uint64_t hi = _pdep_u64((bits >> 8) & 0xFFu, kLowBytes);
+    std::memcpy(dst, &lo, 8);
+    std::memcpy(dst + 8, &hi, 8);
+  } else {
+    static_assert(kLanes <= 8);
+    std::uint64_t bytes = _pdep_u64(bits, kLowBytes);
+    std::memcpy(dst, &bytes, kLanes);
+  }
+}
+
+#endif  // ISA selection for the mask kernels
+
+template <Word T>
+std::size_t eq_prev_mask(const Byte* data, std::size_t n, int shift,
+                         Byte* mask) {
+  constexpr std::size_t W = sizeof(T);
+  if (n == 0) return 0;
+  mask[0] = 0;
+  std::size_t ones = 0;
+  std::size_t i = 1;
+#if defined(__AVX512BW__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+  constexpr std::size_t kLanes = 64 / W;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m512i cur = _mm512_loadu_si512(data + i * W);
+    const __m512i prev = _mm512_loadu_si512(data + (i - 1) * W);
+    __m512i x = _mm512_xor_si512(cur, prev);
+    if (shift != 0) x = srl_lanes<T>(x, shift);
+    const std::uint64_t m = cmp_zero_mask<T>(x);
+    store_lane_mask<T>(mask + i, m);
+    ones += static_cast<std::size_t>(__builtin_popcountll(m));
+  }
+#elif defined(__AVX2__) && defined(__BMI2__)
+  constexpr std::size_t kLanes = 32 / W;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i * W));
+    const __m256i prev = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + (i - 1) * W));
+    __m256i x = _mm256_xor_si256(cur, prev);
+    if (shift != 0) x = srl_lanes256<T>(x, shift);
+    const std::uint32_t m = cmp_zero_bits256<T>(x);
+    store_lane_mask256<T>(mask + i, m);
+    ones += static_cast<std::size_t>(__builtin_popcount(m));
+  }
+#endif
+  for (; i < n; ++i) {
+    const T x = static_cast<T>(load_word<T>(data + i * W) ^
+                               load_word<T>(data + (i - 1) * W));
+    const Byte m = static_cast<Byte>(static_cast<T>(x >> shift) == 0);
+    mask[i] = m;
+    ones += m;
+  }
+  return ones;
+}
+
+template <Word T>
+std::size_t zero_mask(const Byte* data, std::size_t n, int shift, Byte* mask) {
+  constexpr std::size_t W = sizeof(T);
+  std::size_t ones = 0;
+  std::size_t i = 0;
+#if defined(__AVX512BW__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+  constexpr std::size_t kLanes = 64 / W;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m512i x = _mm512_loadu_si512(data + i * W);
+    if (shift != 0) x = srl_lanes<T>(x, shift);
+    const std::uint64_t m = cmp_zero_mask<T>(x);
+    store_lane_mask<T>(mask + i, m);
+    ones += static_cast<std::size_t>(__builtin_popcountll(m));
+  }
+#elif defined(__AVX2__) && defined(__BMI2__)
+  constexpr std::size_t kLanes = 32 / W;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i * W));
+    if (shift != 0) x = srl_lanes256<T>(x, shift);
+    const std::uint32_t m = cmp_zero_bits256<T>(x);
+    store_lane_mask256<T>(mask + i, m);
+    ones += static_cast<std::size_t>(__builtin_popcount(m));
+  }
+#endif
+  for (; i < n; ++i) {
+    const T x = load_word<T>(data + i * W);
+    const Byte m = static_cast<Byte>(static_cast<T>(x >> shift) == 0);
+    mask[i] = m;
+    ones += m;
+  }
+  return ones;
+}
+
+// ---------------------------------------------------------------------
+// pack_mask_bits
+// ---------------------------------------------------------------------
+
+inline void pack_mask_bits(const Byte* mask, std::size_t n, Byte* bits) {
+  std::size_t t = 0;
+#if defined(__AVX512BW__)
+  for (; t + 64 <= n; t += 64) {
+    const __m512i v = _mm512_loadu_si512(mask + t);
+    const std::uint64_t m = _mm512_test_epi8_mask(v, v);
+    std::memcpy(bits + t / 8, &m, 8);
+  }
+#elif defined(__AVX2__)
+  for (; t + 32 <= n; t += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + t));
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi8(v, _mm256_setzero_si256())));
+    std::memcpy(bits + t / 8, &m, 4);
+  }
+#endif
+  if (t < n || n == 0) {
+    const std::size_t nb = (n + 7) / 8;
+    std::memset(bits + t / 8, 0, nb - t / 8);
+    for (; t < n; ++t) {
+      bits[t / 8] |= static_cast<Byte>((mask[t] & 1) << (t % 8));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// compact_kept
+// ---------------------------------------------------------------------
+
+template <Word T>
+void compact_kept(const Byte* data, const Byte* drop, std::size_t n,
+                  std::size_t kept, Bytes& out) {
+  constexpr std::size_t W = sizeof(T);
+  const std::size_t base = out.size();
+#if defined(__AVX512BW__) && defined(__AVX512VL__)
+  if constexpr (W >= 4) {
+    // Over-allocate one vector so full-width stores of the compressed
+    // lanes never write past the end; trimmed back below.
+    out.resize(base + kept * W + 64);
+    Byte* dst = out.data() + base;
+    std::size_t i = 0;
+    if constexpr (W == 4) {
+      for (; i + 16 <= n; i += 16) {
+        const __m128i d =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(drop + i));
+        const __mmask16 keep =
+            static_cast<__mmask16>(~_mm_test_epi8_mask(d, d));
+        const __m512i v = _mm512_loadu_si512(data + i * W);
+        _mm512_storeu_si512(dst, _mm512_maskz_compress_epi32(keep, v));
+        dst += static_cast<std::size_t>(__builtin_popcount(keep)) * W;
+      }
+    } else {
+      for (; i + 8 <= n; i += 8) {
+        std::uint64_t d8;
+        std::memcpy(&d8, drop + i, 8);
+        const __mmask8 keep = static_cast<__mmask8>(
+            ~_pext_u64(d8, kLowBytes) & 0xFFu);
+        const __m512i v = _mm512_loadu_si512(data + i * W);
+        _mm512_storeu_si512(dst, _mm512_maskz_compress_epi64(keep, v));
+        dst += static_cast<std::size_t>(__builtin_popcount(keep)) * W;
+      }
+    }
+    for (; i < n; ++i) {
+      if (!drop[i]) {
+        std::memcpy(dst, data + i * W, W);
+        dst += W;
+      }
+    }
+    out.resize(base + kept * W);
+    return;
+  }
+#endif
+  // Stretch-copy walk: runs of kept words become single memcpys.
+  out.resize(base + kept * W);
+  Byte* dst = out.data() + base;
+  std::size_t t = 0;
+  while (t < n) {
+    if (drop[t]) {
+      const void* p = std::memchr(drop + t, 0, n - t);
+      if (p == nullptr) break;
+      t = static_cast<std::size_t>(static_cast<const Byte*>(p) - drop);
+    }
+    std::size_t end = n;
+    if (const void* p = std::memchr(drop + t, 1, n - t)) {
+      end = static_cast<std::size_t>(static_cast<const Byte*>(p) - drop);
+    }
+    std::memcpy(dst, data + t * W, (end - t) * W);
+    dst += (end - t) * W;
+    t = end;
+  }
+}
+
+// ---------------------------------------------------------------------
+// or_reduce (plain and magnitude-sign variants)
+// ---------------------------------------------------------------------
+
+template <Word T, bool kMs>
+std::uint64_t or_reduce(const Byte* data, std::size_t count) {
+  constexpr std::size_t W = sizeof(T);
+  T acc = 0;
+  std::size_t i = 0;
+  if constexpr (W < 8) {
+    // SWAR over packed u64 groups; the auto-vectorizer widens this.
+    constexpr std::size_t kGroup = 8 / W;
+    std::uint64_t wide = 0;
+    for (; i + kGroup <= count; i += kGroup) {
+      std::uint64_t x = load_word<std::uint64_t>(data + i * W);
+      if constexpr (kMs) x = swar_to_ms<T>(x);
+      wide |= x;
+    }
+    for (std::size_t g = 0; g < kGroup; ++g) {
+      acc = static_cast<T>(acc | static_cast<T>(wide >> (g * kBits<T>)));
+    }
+  }
+  for (; i < count; ++i) {
+    T v = load_word<T>(data + i * W);
+    if constexpr (kMs) v = to_magnitude_sign(v);
+    acc = static_cast<T>(acc | v);
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+// ---------------------------------------------------------------------
+// pack_bits / unpack_bits (the BitWriter/BitReader hot loops)
+// ---------------------------------------------------------------------
+
+template <Word T, bool kMs>
+void pack_bits(const Byte* data, std::size_t count, int width, int shift,
+               BitWriter& bw) {
+  constexpr std::size_t W = sizeof(T);
+  std::size_t i = 0;
+#if defined(__BMI2__)
+  if constexpr (W < 8) {
+    // Pack 8/W values per pext: the per-slot field masks extract
+    // (word >> shift) & ((1 << width) - 1) in stream order, and one
+    // bw.put of the concatenation is bit-identical to 8/W small puts.
+    constexpr std::size_t kGroup = 8 / W;
+    if (width > 0) {
+      const std::uint64_t field =
+          (width == kBits<T> ? static_cast<T>(~T{0})
+                             : static_cast<T>((T{1} << width) - 1));
+      std::uint64_t fmask = 0;
+      for (std::size_t g = 0; g < kGroup; ++g) {
+        fmask |= (field << shift) << (g * kBits<T>);
+      }
+      const int group_bits = width * static_cast<int>(kGroup);
+      for (; i + kGroup <= count; i += kGroup) {
+        std::uint64_t x = load_word<std::uint64_t>(data + i * W);
+        if constexpr (kMs) x = swar_to_ms<T>(x);
+        bw.put(_pext_u64(x, fmask), group_bits);
+      }
+    } else {
+      i = count;  // width == 0 emits nothing, matching the plain loop
+    }
+  }
+#endif
+  for (; i < count; ++i) {
+    T v = load_word<T>(data + i * W);
+    if constexpr (kMs) v = to_magnitude_sign(v);
+    bw.put(static_cast<std::uint64_t>(static_cast<T>(v >> shift)), width);
+  }
+}
+
+template <Word T, bool kMs>
+void unpack_bits(BitReader& br, std::size_t count, int width, Byte* dst) {
+  constexpr std::size_t W = sizeof(T);
+  std::size_t i = 0;
+#if defined(__BMI2__)
+  if constexpr (W < 8) {
+    constexpr std::size_t kGroup = 8 / W;
+    if (width > 0) {
+      const std::uint64_t field =
+          (width == kBits<T> ? static_cast<T>(~T{0})
+                             : static_cast<T>((T{1} << width) - 1));
+      std::uint64_t fmask = 0;
+      for (std::size_t g = 0; g < kGroup; ++g) {
+        fmask |= field << (g * kBits<T>);
+      }
+      const int group_bits = width * static_cast<int>(kGroup);
+      for (; i + kGroup <= count; i += kGroup) {
+        std::uint64_t x = _pdep_u64(br.get(group_bits), fmask);
+        if constexpr (kMs) x = swar_from_ms<T>(x);
+        store_word<std::uint64_t>(dst + i * W, x);
+      }
+    } else {
+      std::memset(dst, 0, count * W);
+      if constexpr (kMs) {
+        // from_magnitude_sign(0) == 0, so zero-fill is still exact.
+      }
+      i = count;
+    }
+  }
+#endif
+  for (; i < count; ++i) {
+    T v = static_cast<T>(br.get(width));
+    if constexpr (kMs) v = from_magnitude_sign(v);
+    store_word<T>(dst + i * W, v);
+  }
+}
+
+// ---------------------------------------------------------------------
+// diff_encode / diff_decode
+// ---------------------------------------------------------------------
+
+template <Word T, int kRep>
+[[nodiscard]] constexpr T residual_map(T v) noexcept {
+  if constexpr (kRep == kRepMs) return to_magnitude_sign(v);
+  if constexpr (kRep == kRepNb) return to_negabinary(v);
+  return v;
+}
+
+template <Word T, int kRep>
+[[nodiscard]] constexpr T residual_unmap(T v) noexcept {
+  if constexpr (kRep == kRepMs) return from_magnitude_sign(v);
+  if constexpr (kRep == kRepNb) return from_negabinary(v);
+  return v;
+}
+
+template <Word T, int kRep>
+void diff_encode(const Byte* in, Byte* out, std::size_t count) {
+  constexpr std::size_t W = sizeof(T);
+  if (count == 0) return;
+  store_word<T>(out, residual_map<T, kRep>(load_word<T>(in)));
+  const Byte* __restrict src = in;
+  Byte* __restrict dst = out;
+  // Independent loads per iteration keep this auto-vectorizable under
+  // the TU's ISA flags.
+  for (std::size_t i = 1; i < count; ++i) {
+    const T cur = load_word<T>(src + i * W);
+    const T prev = load_word<T>(src + (i - 1) * W);
+    store_word<T>(dst + i * W,
+                  residual_map<T, kRep>(static_cast<T>(cur - prev)));
+  }
+}
+
+#if defined(__AVX2__)
+
+/// Per-lane residual_unmap on a vector of u32/u64 lanes.
+template <Word T, int kRep>
+[[nodiscard]] inline __m256i unmap_lanes256(__m256i v) {
+  static_assert(sizeof(T) >= 4);
+  if constexpr (kRep == kRepMs) {
+    if constexpr (sizeof(T) == 4) {
+      const __m256i half = _mm256_srli_epi32(v, 1);
+      const __m256i sign = _mm256_sub_epi32(
+          _mm256_setzero_si256(),
+          _mm256_and_si256(v, _mm256_set1_epi32(1)));
+      return _mm256_xor_si256(half, sign);
+    } else {
+      const __m256i half = _mm256_srli_epi64(v, 1);
+      const __m256i sign = _mm256_sub_epi64(
+          _mm256_setzero_si256(),
+          _mm256_and_si256(v, _mm256_set1_epi64x(1)));
+      return _mm256_xor_si256(half, sign);
+    }
+  } else if constexpr (kRep == kRepNb) {
+    if constexpr (sizeof(T) == 4) {
+      const __m256i m = _mm256_set1_epi32(static_cast<int>(0xAAAAAAAAu));
+      return _mm256_sub_epi32(_mm256_xor_si256(v, m), m);
+    } else {
+      const __m256i m =
+          _mm256_set1_epi64x(static_cast<long long>(0xAAAAAAAAAAAAAAAAULL));
+      return _mm256_sub_epi64(_mm256_xor_si256(v, m), m);
+    }
+  } else {
+    return v;
+  }
+}
+
+#endif  // __AVX2__
+
+template <Word T, int kRep>
+void diff_decode(const Byte* in, Byte* out, std::size_t count) {
+  constexpr std::size_t W = sizeof(T);
+  T acc = 0;
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  // In-register prefix sum for the 4/8-byte widths (the u8/u16 loops are
+  // too short-carried to win). Shift-add scan inside 128-bit halves,
+  // propagate the low-half total, then add the running carry.
+  if constexpr (W == 4) {
+    __m256i carry = _mm256_setzero_si256();
+    for (; i + 8 <= count; i += 8) {
+      __m256i x = unmap_lanes256<T, kRep>(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in + i * W)));
+      x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+      x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+      const __m256i low_total =
+          _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(3));
+      x = _mm256_add_epi32(
+          x, _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0));
+      x = _mm256_add_epi32(x, carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i * W), x);
+      carry = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(7));
+    }
+    acc = static_cast<T>(
+        static_cast<std::uint32_t>(_mm256_extract_epi32(carry, 0)));
+  } else if constexpr (W == 8) {
+    __m256i carry = _mm256_setzero_si256();
+    for (; i + 4 <= count; i += 4) {
+      __m256i x = unmap_lanes256<T, kRep>(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in + i * W)));
+      x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+      const __m256i low_total = _mm256_permute4x64_epi64(x, 0x55);
+      x = _mm256_add_epi64(
+          x, _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0));
+      x = _mm256_add_epi64(x, carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i * W), x);
+      carry = _mm256_permute4x64_epi64(x, 0xFF);
+    }
+    acc = static_cast<T>(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(carry, 0)));
+  }
+#endif
+  for (; i < count; ++i) {
+    acc = static_cast<T>(
+        acc + residual_unmap<T, kRep>(load_word<T>(in + i * W)));
+    store_word<T>(out + i * W, acc);
+  }
+}
+
+// ---------------------------------------------------------------------
+// bit_gather / bit_scatter (BIT transpose cores; count % 64 == 0)
+// ---------------------------------------------------------------------
+
+template <Word T>
+void bit_gather(const Byte* data, std::size_t count, int b,
+                std::uint64_t* dst) {
+  constexpr std::size_t W = sizeof(T);
+  for (std::size_t j = 0; j < count / 64; ++j) {
+    const Byte* p = data + j * 64 * W;
+    std::uint64_t bits = 0;
+#if defined(__AVX512BW__) && defined(__AVX512DQ__)
+    if constexpr (W == 1) {
+      const __m512i v = _mm512_loadu_si512(p);
+      bits = _mm512_test_epi8_mask(v, _mm512_set1_epi8(
+          static_cast<char>(1u << b)));
+    } else if constexpr (W == 2) {
+      const __m512i lo = _mm512_loadu_si512(p);
+      const __m512i hi = _mm512_loadu_si512(p + 64);
+      const __m512i probe = _mm512_set1_epi16(static_cast<short>(1u << b));
+      bits = static_cast<std::uint64_t>(_mm512_test_epi16_mask(lo, probe)) |
+             (static_cast<std::uint64_t>(_mm512_test_epi16_mask(hi, probe))
+              << 32);
+    } else if constexpr (W == 4) {
+      const __m512i probe = _mm512_set1_epi32(static_cast<int>(1u << b));
+      for (int q = 0; q < 4; ++q) {
+        const __m512i v = _mm512_loadu_si512(p + q * 64);
+        bits |= static_cast<std::uint64_t>(_mm512_test_epi32_mask(v, probe))
+                << (q * 16);
+      }
+    } else {
+      const __m512i probe = _mm512_set1_epi64(
+          static_cast<long long>(1ULL << b));
+      for (int q = 0; q < 8; ++q) {
+        const __m512i v = _mm512_loadu_si512(p + q * 64);
+        bits |= static_cast<std::uint64_t>(_mm512_test_epi64_mask(v, probe))
+                << (q * 8);
+      }
+    }
+#elif defined(__AVX2__) && defined(__BMI2__)
+    if constexpr (W == 1) {
+      for (int h = 0; h < 2; ++h) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p + h * 32));
+        const __m256i sh = _mm256_slli_epi16(v, 7 - b);
+        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    _mm256_movemask_epi8(sh)))
+                << (h * 32);
+      }
+    } else if constexpr (W == 2) {
+      const std::uint64_t probe = 0x0001000100010001ULL << b;
+      for (int g = 0; g < 16; ++g) {
+        bits |= _pext_u64(load_word<std::uint64_t>(p + g * 8), probe)
+                << (g * 4);
+      }
+    } else if constexpr (W == 4) {
+      for (int g = 0; g < 8; ++g) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p + g * 32));
+        const __m256i sh = _mm256_slli_epi32(v, 31 - b);
+        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    _mm256_movemask_ps(_mm256_castsi256_ps(sh))))
+                << (g * 8);
+      }
+    } else {
+      for (int g = 0; g < 16; ++g) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p + g * 32));
+        const __m256i sh = _mm256_slli_epi64(v, 63 - b);
+        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    _mm256_movemask_pd(_mm256_castsi256_pd(sh))))
+                << (g * 4);
+      }
+    }
+#else
+    if constexpr (W == 1) {
+      for (int g = 0; g < 8; ++g) {
+        const std::uint64_t x = load_word<std::uint64_t>(p + 8 * g);
+        const std::uint64_t m = (x >> b) & kLowBytes;
+        bits |= ((m * 0x0102040810204080ULL) >> 56) << (8 * g);
+      }
+    } else {
+      std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+      for (int k = 0; k < 16; ++k) {
+        c0 |= static_cast<std::uint64_t>(
+                  (load_word<T>(p + (4 * k + 0) * W) >> b) & 1)
+              << (4 * k + 0);
+        c1 |= static_cast<std::uint64_t>(
+                  (load_word<T>(p + (4 * k + 1) * W) >> b) & 1)
+              << (4 * k + 1);
+        c2 |= static_cast<std::uint64_t>(
+                  (load_word<T>(p + (4 * k + 2) * W) >> b) & 1)
+              << (4 * k + 2);
+        c3 |= static_cast<std::uint64_t>(
+                  (load_word<T>(p + (4 * k + 3) * W) >> b) & 1)
+              << (4 * k + 3);
+      }
+      bits = c0 | c1 | c2 | c3;
+    }
+#endif
+    dst[j] = bits;
+  }
+}
+
+template <Word T>
+void bit_scatter(const std::uint64_t* src, std::size_t count, int b,
+                 Byte* words) {
+  constexpr std::size_t W = sizeof(T);
+  for (std::size_t j = 0; j < count / 64; ++j) {
+    const std::uint64_t q = src[j];
+    Byte* p = words + j * 64 * W;
+#if defined(__AVX512BW__) && defined(__AVX512VL__)
+    if constexpr (W == 1) {
+      const __m512i cur = _mm512_loadu_si512(p);
+      const __m512i add = _mm512_maskz_mov_epi8(
+          static_cast<__mmask64>(q),
+          _mm512_set1_epi8(static_cast<char>(1u << b)));
+      _mm512_storeu_si512(p, _mm512_or_si512(cur, add));
+    } else if constexpr (W == 2) {
+      const __m512i probe = _mm512_set1_epi16(static_cast<short>(1u << b));
+      for (int h = 0; h < 2; ++h) {
+        const __m512i cur = _mm512_loadu_si512(p + h * 64);
+        const __m512i add = _mm512_maskz_mov_epi16(
+            static_cast<__mmask32>(q >> (h * 32)), probe);
+        _mm512_storeu_si512(p + h * 64, _mm512_or_si512(cur, add));
+      }
+    } else if constexpr (W == 4) {
+      const __m512i probe = _mm512_set1_epi32(static_cast<int>(1u << b));
+      for (int h = 0; h < 4; ++h) {
+        const __m512i cur = _mm512_loadu_si512(p + h * 64);
+        const __m512i add = _mm512_maskz_mov_epi32(
+            static_cast<__mmask16>(q >> (h * 16)), probe);
+        _mm512_storeu_si512(p + h * 64, _mm512_or_si512(cur, add));
+      }
+    } else {
+      const __m512i probe =
+          _mm512_set1_epi64(static_cast<long long>(1ULL << b));
+      for (int h = 0; h < 8; ++h) {
+        const __m512i cur = _mm512_loadu_si512(p + h * 64);
+        const __m512i add = _mm512_maskz_mov_epi64(
+            static_cast<__mmask8>(q >> (h * 8)), probe);
+        _mm512_storeu_si512(p + h * 64, _mm512_or_si512(cur, add));
+      }
+    }
+#elif defined(__BMI2__)
+    if constexpr (W == 1) {
+      for (int g = 0; g < 8; ++g) {
+        const std::uint64_t add =
+            _pdep_u64((q >> (8 * g)) & 0xFFu, kLowBytes) << b;
+        store_word<std::uint64_t>(
+            p + 8 * g, load_word<std::uint64_t>(p + 8 * g) | add);
+      }
+    } else {
+      constexpr std::uint64_t kSlotOnes =
+          W == 2 ? 0x0001000100010001ULL
+                 : (W == 4 ? 0x0000000100000001ULL : 1ULL);
+      constexpr int kGroup = static_cast<int>(8 / W);
+      for (int g = 0; g < 64 / kGroup; ++g) {
+        const std::uint64_t sel =
+            (q >> (g * kGroup)) & ((1ULL << kGroup) - 1);
+        const std::uint64_t add = _pdep_u64(sel, kSlotOnes) << b;
+        store_word<std::uint64_t>(
+            p + 8 * g, load_word<std::uint64_t>(p + 8 * g) | add);
+      }
+    }
+#else
+    if constexpr (W == 1) {
+      for (int g = 0; g < 8; ++g) {
+        const std::uint64_t byte = (q >> (8 * g)) & 0xFFu;
+        const std::uint64_t spread =
+            ((((byte * kLowBytes) & 0x8040201008040201ULL) +
+              0x7F7F7F7F7F7F7F7FULL) &
+             0x8080808080808080ULL) >>
+            7;
+        store_word<std::uint64_t>(
+            p + 8 * g, load_word<std::uint64_t>(p + 8 * g) | (spread << b));
+      }
+    } else {
+      for (int k = 0; k < 64; ++k) {
+        const T cur = load_word<T>(p + k * W);
+        store_word<T>(p + k * W,
+                      static_cast<T>(cur | (static_cast<T>((q >> k) & 1)
+                                            << b)));
+      }
+    }
+#endif
+  }
+}
+
+// ---------------------------------------------------------------------
+// scan_tile / scan_add_offset (decoupled look-back scan building blocks)
+// ---------------------------------------------------------------------
+
+inline std::uint64_t scan_tile(const std::uint64_t* values, std::size_t n,
+                               std::uint64_t* out) {
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  // exclusive = carry + (inclusive - v); works in-place because v is
+  // loaded before out is stored.
+  __m256i carry = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(values + i));
+    __m256i inc = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+    const __m256i low_total = _mm256_permute4x64_epi64(inc, 0x55);
+    inc = _mm256_add_epi64(
+        inc, _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0));
+    const __m256i ex =
+        _mm256_add_epi64(carry, _mm256_sub_epi64(inc, v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), ex);
+    carry = _mm256_permute4x64_epi64(
+        _mm256_add_epi64(carry, inc), 0xFF);
+  }
+  acc = static_cast<std::uint64_t>(_mm256_extract_epi64(carry, 0));
+#endif
+  for (; i < n; ++i) {
+    const std::uint64_t v = values[i];
+    out[i] = acc;
+    acc += v;
+  }
+  return acc;
+}
+
+inline void scan_add_offset(std::uint64_t* out, std::size_t n,
+                            std::uint64_t offset) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += offset;
+}
+
+// ---------------------------------------------------------------------
+// Table assembly
+// ---------------------------------------------------------------------
+
+template <Word T>
+inline void fill_word_slots(Kernels& k) {
+  constexpr int w = kWordLog<T>;
+  k.eq_prev_mask[w] = &eq_prev_mask<T>;
+  k.zero_mask[w] = &zero_mask<T>;
+  k.compact_kept[w] = &compact_kept<T>;
+  k.or_reduce[w] = &or_reduce<T, false>;
+  k.or_reduce_ms[w] = &or_reduce<T, true>;
+  k.pack_bits[w] = &pack_bits<T, false>;
+  k.pack_bits_ms[w] = &pack_bits<T, true>;
+  k.unpack_bits[w] = &unpack_bits<T, false>;
+  k.unpack_bits_ms[w] = &unpack_bits<T, true>;
+  k.diff_encode[w][kRepPlain] = &diff_encode<T, kRepPlain>;
+  k.diff_encode[w][kRepMs] = &diff_encode<T, kRepMs>;
+  k.diff_encode[w][kRepNb] = &diff_encode<T, kRepNb>;
+  k.diff_decode[w][kRepPlain] = &diff_decode<T, kRepPlain>;
+  k.diff_decode[w][kRepMs] = &diff_decode<T, kRepMs>;
+  k.diff_decode[w][kRepNb] = &diff_decode<T, kRepNb>;
+  k.bit_gather[w] = &bit_gather<T>;
+  k.bit_scatter[w] = &bit_scatter<T>;
+}
+
+inline void fill_table(Kernels& k) {
+  fill_word_slots<std::uint8_t>(k);
+  fill_word_slots<std::uint16_t>(k);
+  fill_word_slots<std::uint32_t>(k);
+  fill_word_slots<std::uint64_t>(k);
+  k.pack_mask_bits = &pack_mask_bits;
+  k.scan_tile = &scan_tile;
+  k.scan_add_offset = &scan_add_offset;
+}
+
+}  // namespace LC_SIMD_KERNELS_NS
+}  // namespace lc::simd
+
+#ifdef LC_SIMD_KERNELS_DIAG_PUSHED
+#pragma GCC diagnostic pop
+#undef LC_SIMD_KERNELS_DIAG_PUSHED
+#endif

@@ -25,6 +25,14 @@ struct CodecMetrics {
       telemetry::counter("lc.codec.chunks_decoded");
   telemetry::Counter& stage_fallbacks =
       telemetry::counter("lc.codec.stage_fallbacks");
+  telemetry::Counter& fused_encode_hits =
+      telemetry::counter("lc.codec.fused_encode_hits");
+  telemetry::Counter& fused_encode_misses =
+      telemetry::counter("lc.codec.fused_encode_misses");
+  telemetry::Counter& fused_decode_hits =
+      telemetry::counter("lc.codec.fused_decode_hits");
+  telemetry::Counter& fused_decode_misses =
+      telemetry::counter("lc.codec.fused_decode_misses");
   telemetry::Counter& salvage_chunks_ok =
       telemetry::counter("lc.salvage.chunks_ok");
   telemetry::Counter& salvage_chunks_damaged =
@@ -227,6 +235,19 @@ void encode_chunk_into(const Pipeline& pipeline, ByteSpan chunk,
     trace->resize(pipeline.size());
   }
 
+  // Fused single-pass path (docs/PERFORMANCE.md). Stage tracing and
+  // enabled telemetry both want the per-stage intermediates and spans, so
+  // only plain encodes take it — which is every hot path: sweeps, benches
+  // and the server run with telemetry off.
+  if (trace == nullptr && !telemetry::enabled() &&
+      encode_chunk_fused(pipeline, chunk, applied_mask, out)) {
+    metrics().fused_encode_hits.add();
+    if ((applied_mask & 0b100) == 0) metrics().stage_fallbacks.add();
+    metrics().chunks_encoded.add();
+    return;
+  }
+  metrics().fused_encode_misses.add();
+
   const bool timed = trace != nullptr || telemetry::enabled();
   // Ping-pong between `out` and one arena buffer; swapping a leased
   // buffer is allowed (the arena keeps whichever allocation it gets back).
@@ -269,6 +290,17 @@ Bytes encode_chunk(const Pipeline& pipeline, ByteSpan chunk,
 void decode_chunk(const Pipeline& pipeline, ByteSpan record,
                   std::uint8_t applied_mask, std::size_t original_size,
                   Bytes& out) {
+  // Same telemetry gate as the encode side: keep per-stage spans when
+  // anyone is watching.
+  if (!telemetry::enabled() &&
+      decode_chunk_fused(pipeline, record, applied_mask, out)) {
+    metrics().fused_decode_hits.add();
+    metrics().chunks_decoded.add();
+    LC_DECODE_REQUIRE(out.size() == original_size,
+                      "chunk decoded to the wrong size");
+    return;
+  }
+  metrics().fused_decode_misses.add();
   out.assign(record.begin(), record.end());
   ScratchArena::Lease tmp_lease;
   Bytes& tmp = *tmp_lease;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/error.h"
 
 namespace lc {
 
@@ -96,6 +97,42 @@ class Component {
   /// Invert encode. `out` is cleared first. Throws CorruptDataError when
   /// `in` is not a valid encoding.
   virtual void decode(ByteSpan in, Bytes& out) const = 0;
+
+  /// Fused-pipeline tile hooks (docs/PERFORMANCE.md, "SIMD dispatch &
+  /// pipeline fusion"). A tileable component can transform a window of
+  /// the stream given only O(1) carried state, which lets the pipeline
+  /// layer run a stage triple as one pass with no inter-stage buffers.
+  /// Per-word maps (carry-free) and DIFF* predictors (one carried word)
+  /// qualify; whole-buffer permutations (BIT, TUPL) do not.
+  [[nodiscard]] virtual bool tileable() const noexcept { return false; }
+
+  /// Encode the window [in, in+bytes) of the logical stream into `out`
+  /// (same length). `prev` points at the word-size bytes immediately
+  /// preceding `in` in the stream, or nullptr at stream start. The caller
+  /// keeps the word grid aligned: every tile except the last must be a
+  /// multiple of 8 bytes, so trailing partial-word bytes (copied
+  /// verbatim) can only occur in the final tile. Byte-identical to
+  /// running encode() over the whole stream and slicing the same window.
+  virtual void encode_tile(const Byte* in, const Byte* prev,
+                           std::size_t bytes, Byte* out) const {
+    (void)in;
+    (void)prev;
+    (void)bytes;
+    (void)out;
+    throw Error("LC: encode_tile called on non-tileable component " + name_);
+  }
+
+  /// Invert encode_tile. `carry` is the running inverse-transform state
+  /// (the DIFF prefix accumulator); it must start at 0 for the first tile
+  /// and be threaded unchanged across tiles in stream order.
+  virtual void decode_tile(const Byte* in, std::size_t bytes, Byte* out,
+                           std::uint64_t& carry) const {
+    (void)in;
+    (void)bytes;
+    (void)out;
+    (void)carry;
+    throw Error("LC: decode_tile called on non-tileable component " + name_);
+  }
 
  private:
   std::string name_;

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/bits.h"
+#include "common/simd.h"
 #include "lc/component.h"
 #include "lc/components/word_codec.h"
 
@@ -26,6 +27,15 @@ namespace lc {
 namespace {
 
 enum class ResidualRep { kPlain, kMagnitudeSign, kNegabinary };
+
+constexpr int rep_index(ResidualRep rep) {
+  switch (rep) {
+    case ResidualRep::kMagnitudeSign: return simd::kRepMs;
+    case ResidualRep::kNegabinary: return simd::kRepNb;
+    case ResidualRep::kPlain: break;
+  }
+  return simd::kRepPlain;
+}
 
 template <Word T, ResidualRep kRep>
 constexpr T residual_map(T v) {
@@ -58,31 +68,55 @@ class DiffComponent final : public Component {
 
   void encode(ByteSpan in, Bytes& out) const override {
     out.resize(in.size());
-    const detail::WordView<T> v(in);
-    if (v.count > 0) {
-      store_word<T>(out.data(), residual_map<T, kRep>(v.word(0)));
-      // Each residual depends only on two adjacent loads — vectorizable.
-      for (std::size_t i = 1; i < v.count; ++i) {
-        store_word<T>(out.data() + i * sizeof(T),
-                      residual_map<T, kRep>(
-                          static_cast<T>(v.word(i) - v.word(i - 1))));
-      }
-    }
-    std::copy(v.tail.begin(), v.tail.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(v.count * sizeof(T)));
+    encode_tile(in.data(), nullptr, in.size(), out.data());
   }
 
   void decode(ByteSpan in, Bytes& out) const override {
     out.resize(in.size());
-    const detail::WordView<T> v(in);
-    // Prefix sum of the un-mapped residuals (a scan kernel on the GPU).
-    T acc = 0;
-    for (std::size_t i = 0; i < v.count; ++i) {
-      acc = static_cast<T>(acc + residual_unmap<T, kRep>(v.word(i)));
-      store_word<T>(out.data() + i * sizeof(T), acc);
+    std::uint64_t carry = 0;
+    decode_tile(in.data(), in.size(), out.data(), carry);
+  }
+
+  // One carried word (the previous input word on encode, the running
+  // prefix on decode) is all the cross-tile state DIFF needs.
+  [[nodiscard]] bool tileable() const noexcept override { return true; }
+
+  void encode_tile(const Byte* in, const Byte* prev, std::size_t bytes,
+                   Byte* out) const override {
+    constexpr std::size_t W = sizeof(T);
+    const std::size_t count = bytes / W;
+    if (count > 0) {
+      simd::kernels().diff_encode[simd::kWordLog<T>][rep_index(kRep)](
+          in, out, count);
+      if (prev != nullptr) {
+        // Mid-stream window: the first residual is against the word just
+        // before the tile, not an absolute value.
+        store_word<T>(out, residual_map<T, kRep>(static_cast<T>(
+                               load_word<T>(in) - load_word<T>(prev))));
+      }
     }
-    std::copy(v.tail.begin(), v.tail.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(v.count * sizeof(T)));
+    std::copy(in + count * W, in + bytes, out + count * W);
+  }
+
+  void decode_tile(const Byte* in, std::size_t bytes, Byte* out,
+                   std::uint64_t& carry) const override {
+    constexpr std::size_t W = sizeof(T);
+    const std::size_t count = bytes / W;
+    if (count > 0) {
+      // Local prefix sum, then add the carried prefix — addition is
+      // associative mod 2^bits, so this matches the whole-buffer scan.
+      simd::kernels().diff_decode[simd::kWordLog<T>][rep_index(kRep)](
+          in, out, count);
+      const T base = static_cast<T>(carry);
+      if (base != 0) {
+        for (std::size_t i = 0; i < count; ++i) {
+          store_word<T>(out + i * W,
+                        static_cast<T>(load_word<T>(out + i * W) + base));
+        }
+      }
+      carry = static_cast<std::uint64_t>(load_word<T>(out + (count - 1) * W));
+    }
+    std::copy(in + count * W, in + bytes, out + count * W);
   }
 };
 

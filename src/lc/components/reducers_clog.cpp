@@ -26,6 +26,7 @@
 
 #include "common/bitpack.h"
 #include "common/bits.h"
+#include "common/simd.h"
 #include "lc/components/reducer_base.h"
 
 namespace lc {
@@ -57,19 +58,19 @@ class ClogComponent final : public detail::ReducerBase<T> {
     // warp reduction on the GPU), optionally retried under TCMS for HCLOG.
     Byte widths[kSubchunks];
     bool use_tcms[kSubchunks] = {};
+    const simd::Kernels& k = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
     for (std::size_t s = 0; s < subchunks; ++s) {
       const std::size_t lo = sub_begin(s, n, subchunks);
       const std::size_t hi = sub_begin(s + 1, n, subchunks);
-      T acc{0};
-      for (std::size_t i = lo; i < hi; ++i) acc |= v.word(i);
+      const T acc = static_cast<T>(
+          k.or_reduce[w](v.data + lo * sizeof(T), hi - lo));
       const int min_clz = leading_zeros<T>(acc);
       int width = kBits<T> - min_clz;
       if constexpr (kHybrid) {
         if (min_clz == 0) {
-          T acc_tcms{0};
-          for (std::size_t i = lo; i < hi; ++i) {
-            acc_tcms |= to_magnitude_sign<T>(v.word(i));
-          }
+          const T acc_tcms = static_cast<T>(
+              k.or_reduce_ms[w](v.data + lo * sizeof(T), hi - lo));
           const int min_clz_tcms = leading_zeros<T>(acc_tcms);
           if (min_clz_tcms > 0) {
             use_tcms[s] = true;
@@ -81,22 +82,14 @@ class ClogComponent final : public detail::ReducerBase<T> {
     }
     append(out, ByteSpan(widths, subchunks));
 
-    // Pass 2: pack the kept low bits.
+    // Pass 2: pack the kept low bits (pext-grouped under AVX dispatch).
     BitWriter bw(out);
     for (std::size_t s = 0; s < subchunks; ++s) {
       const std::size_t lo = sub_begin(s, n, subchunks);
       const std::size_t hi = sub_begin(s + 1, n, subchunks);
       const int width = widths[s] & 0x7F;
-      if (use_tcms[s]) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          bw.put(static_cast<std::uint64_t>(to_magnitude_sign<T>(v.word(i))),
-                 width);
-        }
-      } else {
-        for (std::size_t i = lo; i < hi; ++i) {
-          bw.put(static_cast<std::uint64_t>(v.word(i)), width);
-        }
-      }
+      (use_tcms[s] ? k.pack_bits_ms[w] : k.pack_bits[w])(
+          v.data + lo * sizeof(T), hi - lo, width, 0, bw);
     }
     bw.finish();
   }
@@ -109,6 +102,8 @@ class ClogComponent final : public detail::ReducerBase<T> {
     const ByteSpan widths = payload.first(subchunks);
     BitReader br(payload.subspan(subchunks));
     Byte* dst = this->grow_words(out, count);
+    const simd::Kernels& k = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
     for (std::size_t s = 0; s < subchunks; ++s) {
       const std::size_t lo = sub_begin(s, count, subchunks);
       const std::size_t hi = sub_begin(s + 1, count, subchunks);
@@ -116,16 +111,8 @@ class ClogComponent final : public detail::ReducerBase<T> {
       const bool tcms = (widths[s] & 0x80) != 0;
       LC_DECODE_REQUIRE(width <= kBits<T>, "CLOG width out of range");
       LC_DECODE_REQUIRE(kHybrid || !tcms, "CLOG stream with HCLOG flag");
-      if (tcms) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          store_word<T>(dst + i * sizeof(T),
-                        from_magnitude_sign<T>(static_cast<T>(br.get(width))));
-        }
-      } else {
-        for (std::size_t i = lo; i < hi; ++i) {
-          store_word<T>(dst + i * sizeof(T), static_cast<T>(br.get(width)));
-        }
-      }
+      (tcms ? k.unpack_bits_ms[w] : k.unpack_bits[w])(
+          br, hi - lo, width, dst + lo * sizeof(T));
     }
   }
 };

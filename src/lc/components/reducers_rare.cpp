@@ -30,6 +30,7 @@
 #include "common/arena.h"
 #include "common/bitpack.h"
 #include "common/bits.h"
+#include "common/simd.h"
 #include "common/varint.h"
 #include "lc/components/bitmap_codec.h"
 #include "lc/components/reducer_base.h"
@@ -101,48 +102,49 @@ class RareComponent final : public detail::ReducerBase<T> {
 
     const int k = best_k;
     const int low_bits = B - k;
+    const simd::Kernels& kern = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
 
-    // Byte-wide drop mask on the upper-k values (vectorizable compare).
+    // Byte-wide drop mask on the upper-k values: the dispatched compare
+    // kernels take the split point as their shift parameter.
     ScratchArena::Lease mask_lease;
     Bytes& drop = *mask_lease;
     drop.resize(n);
-    if constexpr (kKind == SplitKind::kRepeat) {
-      drop[0] = Byte{0};
-      for (std::size_t t = 1; t < n; ++t) {
-        const T x = static_cast<T>(v.word(t) ^ v.word(t - 1));
-        drop[t] = static_cast<Byte>(static_cast<T>(x >> low_bits) == T{0});
-      }
-    } else {
-      for (std::size_t t = 0; t < n; ++t) {
-        drop[t] =
-            static_cast<Byte>(static_cast<T>(v.word(t) >> low_bits) == T{0});
-      }
-    }
-    std::size_t lit_count = 0;
-    for (std::size_t t = 0; t < n; ++t) lit_count += drop[t] == Byte{0};
+    const std::size_t dropped =
+        (kKind == SplitKind::kRepeat)
+            ? kern.eq_prev_mask[w](v.data, n, low_bits, drop.data())
+            : kern.zero_mask[w](v.data, n, low_bits, drop.data());
+    const std::size_t lit_count = n - dropped;
 
     ScratchArena::Lease bits_lease;
     Bytes& drop_bits = *bits_lease;
-    drop_bits.assign((n + 7) / 8, Byte{0});
-    for (std::size_t t = 0; t < n; ++t) {
-      drop_bits[t / 8] =
-          static_cast<Byte>(drop_bits[t / 8] | ((drop[t] & 1u) << (t % 8)));
-    }
+    drop_bits.resize((n + 7) / 8);
+    kern.pack_mask_bits(drop.data(), n, drop_bits.data());
 
     put_varint(out, lit_count);
     detail::encode_bitmap_bytes(ByteSpan(drop_bits.data(), drop_bits.size()),
                                 out);
     BitWriter bw(out);
-    for (std::size_t t = 0; t < n; ++t) {
-      if (drop[t] == Byte{0}) {
-        bw.put(static_cast<std::uint64_t>(v.word(t) >> low_bits), k);
+    // Literal uppers: kept words are contiguous stretches in the input
+    // (memchr finds the boundaries), so each stretch packs as one grouped
+    // kernel call with shift = low_bits.
+    const Byte* mask = drop.data();
+    std::size_t t = 0;
+    while (t < n) {
+      if (mask[t] != Byte{0}) {
+        const void* p = std::memchr(mask + t, 0, n - t);
+        if (p == nullptr) break;
+        t = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
       }
+      std::size_t end = n;
+      if (const void* p = std::memchr(mask + t, 1, n - t)) {
+        end = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
+      }
+      kern.pack_bits[w](v.data + t * sizeof(T), end - t, k, low_bits, bw);
+      t = end;
     }
     if (low_bits > 0) {
-      const T low_mask = static_cast<T>((T(~T{0})) >> k);
-      for (std::size_t t = 0; t < n; ++t) {
-        bw.put(static_cast<std::uint64_t>(v.word(t) & low_mask), low_bits);
-      }
+      kern.pack_bits[w](v.data, n, low_bits, 0, bw);
     }
     bw.finish();
   }
@@ -171,6 +173,17 @@ class RareComponent final : public detail::ReducerBase<T> {
     detail::decode_bitmap_bytes(payload, pos, (count + 7) / 8, bitmap);
 
     BitReader br(payload.subspan(pos));
+    const simd::Kernels& kern = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
+
+    // Bulk-unpack the literal uppers (grouped kernel), then replay the
+    // bitmap to place them — the bitmap walk itself is inherently serial.
+    ScratchArena::Lease lit_lease;
+    Bytes& lit_bytes = *lit_lease;
+    lit_bytes.resize(static_cast<std::size_t>(lit_count) * sizeof(T));
+    kern.unpack_bits[w](br, static_cast<std::size_t>(lit_count), k,
+                        lit_bytes.data());
+
     ScratchArena::Lease uppers_lease;
     Bytes& uppers_bytes = *uppers_lease;
     uppers_bytes.resize(count * sizeof(T));
@@ -188,7 +201,7 @@ class RareComponent final : public detail::ReducerBase<T> {
         }
       } else {
         LC_DECODE_REQUIRE(used < lit_count, "RARE literal uppers exhausted");
-        u = static_cast<T>(br.get(k));
+        u = load_word<T>(lit_bytes.data() + used * sizeof(T));
         ++used;
       }
       store_word<T>(uppers + t * sizeof(T), u);
@@ -198,11 +211,16 @@ class RareComponent final : public detail::ReducerBase<T> {
 
     Byte* dst = this->grow_words(out, count);
     if (low_bits > 0) {
+      ScratchArena::Lease lows_lease;
+      Bytes& lows_bytes = *lows_lease;
+      lows_bytes.resize(count * sizeof(T));
+      kern.unpack_bits[w](br, count, low_bits, lows_bytes.data());
+      const Byte* lows = lows_bytes.data();
       for (std::size_t t = 0; t < count; ++t) {
         const T u = load_word<T>(uppers + t * sizeof(T));
-        const T w = static_cast<T>(
-            static_cast<T>(u << low_bits) | static_cast<T>(br.get(low_bits)));
-        store_word<T>(dst + t * sizeof(T), w);
+        const T word = static_cast<T>(static_cast<T>(u << low_bits) |
+                                      load_word<T>(lows + t * sizeof(T)));
+        store_word<T>(dst + t * sizeof(T), word);
       }
     } else {
       std::memcpy(dst, uppers, count * sizeof(T));

@@ -15,11 +15,11 @@
 /// threshold.
 ///
 /// The encoder mirrors the GPU formulation's two phases: a branch-free
-/// neighbour-compare pass first materializes a byte mask (neq[i] = word i
-/// differs from word i-1 — the ballot the GPU takes per warp), which the
-/// compiler vectorizes; the token scan then walks the mask instead of
-/// re-comparing full words, and literal stretches are flushed with one
-/// memcpy since they are contiguous in the input.
+/// neighbour-compare pass first materializes a byte mask (eq[i] = word i
+/// repeats word i-1 — the ballot the GPU takes per warp) through the
+/// runtime SIMD dispatch table; the token scan then walks the mask
+/// instead of re-comparing full words, and literal stretches are flushed
+/// with one memcpy since they are contiguous in the input.
 ///
 /// Stream layout (after ReducerBase framing):
 ///   per subchunk: u32 section length, then tokens:
@@ -32,6 +32,7 @@
 #include <string>
 
 #include "common/arena.h"
+#include "common/simd.h"
 #include "common/varint.h"
 #include "lc/components/reducer_base.h"
 
@@ -57,14 +58,12 @@ class RleComponent final : public detail::ReducerBase<T> {
     if (n == 0) return;
     const std::size_t subchunks = std::min(kRleSubchunks, n);
 
-    // Neighbour-compare pass over the whole chunk (vectorizable).
+    // Neighbour-compare pass over the whole chunk (dispatched kernel;
+    // eq[i] = 1 when word i repeats word i-1, eq[0] = 0).
     ScratchArena::Lease mask_lease;
-    Bytes& neq = *mask_lease;
-    neq.resize(n);
-    neq[0] = Byte{1};
-    for (std::size_t i = 1; i < n; ++i) {
-      neq[i] = static_cast<Byte>(v.word(i) != v.word(i - 1));
-    }
+    Bytes& eq = *mask_lease;
+    eq.resize(n);
+    simd::kernels().eq_prev_mask[simd::kWordLog<T>](v.data, n, 0, eq.data());
 
     for (std::size_t s = 0; s < subchunks; ++s) {
       const std::size_t lo = sub_begin(s, n, subchunks);
@@ -76,7 +75,7 @@ class RleComponent final : public detail::ReducerBase<T> {
       const std::size_t len_at = out.size();
       append_le<std::uint32_t>(out, 0);
       const std::size_t body_at = out.size();
-      encode_section(v, lo, hi, neq, out);
+      encode_section(v, lo, hi, eq, out);
       const std::uint32_t len =
           static_cast<std::uint32_t>(out.size() - body_at);
       std::memcpy(out.data() + len_at, &len, sizeof(len));  // little-endian
@@ -105,17 +104,17 @@ class RleComponent final : public detail::ReducerBase<T> {
 
  private:
   void encode_section(const detail::WordView<T>& v, std::size_t lo,
-                      std::size_t hi, const Bytes& neq, Bytes& out) const {
+                      std::size_t hi, const Bytes& eq, Bytes& out) const {
     // Token boundaries are located with memchr on the 0/1 mask: a run ends
-    // at the next 1 (next value change), a literal stretch ends just
-    // before the next 0 (next repeat pair). memchr scans wide, so the
+    // at the next 0 (next value change), a literal stretch ends just
+    // before the next 1 (next repeat pair). memchr scans wide, so the
     // token walk costs far less than re-comparing words.
-    const Byte* mask = neq.data();
+    const Byte* mask = eq.data();
     std::size_t pos = lo;
     while (pos < hi) {
-      // Maximal run at pos: the value repeats while the mask stays 0.
+      // Maximal run at pos: the value repeats while the mask stays 1.
       std::size_t run_end = hi;
-      if (const void* p = std::memchr(mask + pos + 1, 1, hi - pos - 1)) {
+      if (const void* p = std::memchr(mask + pos + 1, 0, hi - pos - 1)) {
         run_end = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
       }
 
@@ -123,7 +122,7 @@ class RleComponent final : public detail::ReducerBase<T> {
       std::size_t lit_end = hi;
       if (run_end < hi) {
         if (const void* p =
-                std::memchr(mask + run_end + 1, 0, hi - run_end - 1)) {
+                std::memchr(mask + run_end + 1, 1, hi - run_end - 1)) {
           lit_end =
               static_cast<std::size_t>(static_cast<const Byte*>(p) - mask) - 1;
         }

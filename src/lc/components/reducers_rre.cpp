@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/arena.h"
+#include "common/simd.h"
 #include "common/varint.h"
 #include "lc/components/bitmap_codec.h"
 #include "lc/components/reducer_base.h"
@@ -45,51 +46,28 @@ class RreComponent final : public detail::ReducerBase<T> {
   void encode_words(const detail::WordView<T>& v, Bytes& out) const override {
     const std::size_t n = v.count;
 
-    // Phase 1: byte-wide drop mask (vectorizable), then pack it to bits.
+    // Phase 1: byte-wide drop mask via the dispatched compare kernel (the
+    // warp ballot on the GPU), then pack it to bits.
+    const simd::Kernels& k = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
     ScratchArena::Lease mask_lease;
     Bytes& drop = *mask_lease;
     drop.resize(n);
-    std::size_t kept = 0;
-    if (n > 0) {
-      if constexpr (kKind == BitmapKind::kRepeat) {
-        drop[0] = Byte{0};
-        for (std::size_t t = 1; t < n; ++t) {
-          drop[t] = static_cast<Byte>(v.word(t) == v.word(t - 1));
-        }
-      } else {
-        for (std::size_t t = 0; t < n; ++t) {
-          drop[t] = static_cast<Byte>(v.word(t) == T{0});
-        }
-      }
-      for (std::size_t t = 0; t < n; ++t) kept += drop[t] == Byte{0};
-    }
+    const std::size_t dropped =
+        (kKind == BitmapKind::kRepeat)
+            ? k.eq_prev_mask[w](v.data, n, 0, drop.data())
+            : k.zero_mask[w](v.data, n, 0, drop.data());
+    const std::size_t kept = n - dropped;
 
     ScratchArena::Lease bits_lease;
     Bytes& drop_bits = *bits_lease;
-    drop_bits.assign((n + 7) / 8, Byte{0});
-    for (std::size_t t = 0; t < n; ++t) {
-      drop_bits[t / 8] =
-          static_cast<Byte>(drop_bits[t / 8] | ((drop[t] & 1u) << (t % 8)));
-    }
+    drop_bits.resize((n + 7) / 8);
+    k.pack_mask_bits(drop.data(), n, drop_bits.data());
 
-    // Phase 2: compact the kept words, flushing contiguous stretches
-    // (memchr on the 0/1 mask finds both stretch boundaries).
+    // Phase 2: compact the kept words (compress-store or stretch memcpy,
+    // by dispatch level).
     put_varint(out, kept);
-    const Byte* mask = drop.data();
-    std::size_t t = 0;
-    while (t < n) {
-      if (mask[t] != Byte{0}) {
-        const void* p = std::memchr(mask + t, 0, n - t);
-        if (p == nullptr) break;
-        t = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
-      }
-      std::size_t end = n;
-      if (const void* p = std::memchr(mask + t, 1, n - t)) {
-        end = static_cast<std::size_t>(static_cast<const Byte*>(p) - mask);
-      }
-      append(out, ByteSpan(v.data + t * sizeof(T), (end - t) * sizeof(T)));
-      t = end;
-    }
+    k.compact_kept[w](v.data, drop.data(), n, kept, out);
     detail::encode_bitmap_bytes(ByteSpan(drop_bits.data(), drop_bits.size()),
                                 out);
   }

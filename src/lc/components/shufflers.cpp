@@ -16,8 +16,10 @@
 #include <memory>
 #include <string>
 
+#include "common/arena.h"
 #include "common/bitpack.h"
 #include "common/bits.h"
+#include "common/simd.h"
 #include "lc/component.h"
 #include "lc/components/word_codec.h"
 
@@ -35,45 +37,24 @@ class BitComponent final : public Component {
     out.clear();
     out.reserve(in.size());
     const detail::WordView<T> v(in);
+    const simd::Kernels& kern = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
+    // MSB plane first, per the paper's description. The dispatched gather
+    // extracts one plane of 64-word groups into the scratch qwords (the
+    // __shfl_xor butterfly stand-in); the writer then streams them out —
+    // same stream layout as the per-bit formulation.
+    const std::size_t full = v.count & ~std::size_t{63};
+    ScratchArena::Lease plane_lease;
+    Bytes& plane = *plane_lease;
+    plane.resize(full / 8);
+    auto* qwords = reinterpret_cast<std::uint64_t*>(plane.data());
     BitWriter bw(out);
-    // MSB plane first, per the paper's description. Bits are gathered 64
-    // input words at a time per put() — same stream layout as the per-bit
-    // formulation, one writer round trip per 64.
     for (int b = kBits<T> - 1; b >= 0; --b) {
-      std::size_t i = 0;
-      if constexpr (sizeof(T) == 1) {
-        // Multiply-gather: one 8-byte load yields plane bit b of 8 words;
-        // the multiply funnels the strided bits into the top byte with no
-        // carry collisions (all 64 partial products land on distinct bit
-        // positions).
-        for (; i + 64 <= v.count; i += 64) {
-          std::uint64_t bits = 0;
-          for (int g = 0; g < 8; ++g) {
-            std::uint64_t x;
-            std::memcpy(&x, v.data + i + 8 * static_cast<std::size_t>(g), 8);
-            const std::uint64_t m =
-                (x >> b) & 0x0101010101010101ULL;
-            bits |= ((m * 0x0102040810204080ULL) >> 56) << (8 * g);
-          }
-          bw.put(bits, 64);
-        }
-      } else {
-        // Four independent accumulator chains so the ORs pipeline.
-        for (; i + 64 <= v.count; i += 64) {
-          std::uint64_t b0 = 0, b1 = 0, b2 = 0, b3 = 0;
-          for (int j = 0; j < 16; ++j) {
-            const auto bit = [&](std::size_t at) {
-              return static_cast<std::uint64_t>((v.word(at) >> b) & 1);
-            };
-            b0 |= bit(i + static_cast<std::size_t>(j)) << j;
-            b1 |= bit(i + 16 + static_cast<std::size_t>(j)) << (16 + j);
-            b2 |= bit(i + 32 + static_cast<std::size_t>(j)) << (32 + j);
-            b3 |= bit(i + 48 + static_cast<std::size_t>(j)) << (48 + j);
-          }
-          bw.put(b0 | b1 | b2 | b3, 64);
-        }
+      if (full > 0) {
+        kern.bit_gather[w](v.data, full, b, qwords);
+        for (std::size_t j = 0; j < full / 64; ++j) bw.put(qwords[j], 64);
       }
-      for (; i < v.count; ++i) {
+      for (std::size_t i = full; i < v.count; ++i) {
         bw.put_bit(((v.word(i) >> b) & 1) != 0);
       }
     }
@@ -83,45 +64,24 @@ class BitComponent final : public Component {
 
   void decode(ByteSpan in, Bytes& out) const override {
     // Words are assembled plane by plane directly in `out` (pre-zeroed);
-    // no side buffer needed.
+    // the dispatched scatter ORs each plane back into place.
     out.assign(in.size(), Byte{0});
     const std::size_t count = in.size() / sizeof(T);
+    const simd::Kernels& kern = simd::kernels();
+    constexpr int w = simd::kWordLog<T>;
+    const std::size_t full = count & ~std::size_t{63};
+    ScratchArena::Lease plane_lease;
+    Bytes& plane = *plane_lease;
+    plane.resize(full / 8);
+    auto* qwords = reinterpret_cast<std::uint64_t*>(plane.data());
     BitReader br(in.first(count * sizeof(T)));
     Byte* words = out.data();
     for (int b = kBits<T> - 1; b >= 0; --b) {
-      std::size_t i = 0;
-      if constexpr (sizeof(T) == 1) {
-        // Inverse multiply-gather: spread 8 plane bits across 8 output
-        // bytes (select bit j in replicated byte j, normalize to 0/1 via
-        // the sign-bit trick), then OR into the output with one 8-byte
-        // read-modify-write.
-        for (; i + 64 <= count; i += 64) {
-          const std::uint64_t bits = br.get(64);
-          for (int g = 0; g < 8; ++g) {
-            const std::uint64_t q = (bits >> (8 * g)) & 0xFF;
-            const std::uint64_t spread =
-                ((((q * 0x0101010101010101ULL) & 0x8040201008040201ULL) +
-                  0x7F7F7F7F7F7F7F7FULL) &
-                 0x8080808080808080ULL) >> 7;
-            Byte* p = words + i + 8 * static_cast<std::size_t>(g);
-            std::uint64_t cur;
-            std::memcpy(&cur, p, 8);
-            cur |= spread << b;
-            std::memcpy(p, &cur, 8);
-          }
-        }
-      } else {
-        for (; i + 64 <= count; i += 64) {
-          const std::uint64_t bits = br.get(64);
-          for (int j = 0; j < 64; ++j) {
-            Byte* p = words + (i + static_cast<std::size_t>(j)) * sizeof(T);
-            store_word<T>(p, static_cast<T>(load_word<T>(p) |
-                                            (static_cast<T>((bits >> j) & 1)
-                                             << b)));
-          }
-        }
+      if (full > 0) {
+        for (std::size_t j = 0; j < full / 64; ++j) qwords[j] = br.get(64);
+        kern.bit_scatter[w](qwords, full, b, words);
       }
-      for (; i < count; ++i) {
+      for (std::size_t i = full; i < count; ++i) {
         Byte* p = words + i * sizeof(T);
         store_word<T>(p, static_cast<T>(load_word<T>(p) |
                                         (static_cast<T>(br.get_bit()) << b)));

@@ -51,16 +51,36 @@ class MapComponent final : public Component {
   void encode(ByteSpan in, Bytes& out) const override { run(in, out, fwd_); }
   void decode(ByteSpan in, Bytes& out) const override { run(in, out, inv_); }
 
+  // Per-word maps carry no state across words, so any window of the
+  // stream encodes independently — the fused pipeline path exploits this.
+  [[nodiscard]] bool tileable() const noexcept override { return true; }
+
+  void encode_tile(const Byte* in, const Byte* prev, std::size_t bytes,
+                   Byte* out) const override {
+    (void)prev;
+    run_tile(in, bytes, out, fwd_);
+  }
+
+  void decode_tile(const Byte* in, std::size_t bytes, Byte* out,
+                   std::uint64_t& carry) const override {
+    (void)carry;
+    run_tile(in, bytes, out, inv_);
+  }
+
  private:
   template <typename F>
   void run(ByteSpan in, Bytes& out, F f) const {
     out.resize(in.size());
-    const WordView<T> v(in);
-    for (std::size_t i = 0; i < v.count; ++i) {
-      store_word<T>(out.data() + i * sizeof(T), f(v.word(i)));
+    run_tile(in.data(), in.size(), out.data(), f);
+  }
+
+  template <typename F>
+  void run_tile(const Byte* in, std::size_t bytes, Byte* out, F f) const {
+    const std::size_t count = bytes / sizeof(T);
+    for (std::size_t i = 0; i < count; ++i) {
+      store_word<T>(out + i * sizeof(T), f(load_word<T>(in + i * sizeof(T))));
     }
-    std::copy(v.tail.begin(), v.tail.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(v.count * sizeof(T)));
+    std::copy(in + count * sizeof(T), in + bytes, out + count * sizeof(T));
   }
 
   Fwd fwd_;

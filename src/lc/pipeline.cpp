@@ -1,12 +1,100 @@
 #include "lc/pipeline.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "telemetry/telemetry.h"
 
 namespace lc {
+namespace {
+
+/// Fused-pass tile size. 4 kB keeps both ping-pong halves plus the input
+/// window inside L1, and is a multiple of every word size (1/2/4/8), so
+/// the word grid stays aligned on every tile but the last.
+constexpr std::size_t kFuseTile = 4096;
+
+}  // namespace
+
+bool fusible(const Pipeline& p) noexcept {
+  return p.size() == 3 && p.stage(0).tileable() && p.stage(1).tileable() &&
+         p.stage(0).size_preserving() && p.stage(1).size_preserving();
+}
+
+bool encode_chunk_fused(const Pipeline& p, ByteSpan chunk,
+                        std::uint8_t& applied_mask, Bytes& out) {
+  if (!fusible(p)) return false;
+  const Component& s0 = p.stage(0);
+  const Component& s1 = p.stage(1);
+
+  // Both ping-pong halves live in one lease; the previous tile's stage-0
+  // output stays valid in the other half, supplying stage 1's `prev` word.
+  ScratchArena::Lease half_lease;
+  Bytes& halves = *half_lease;
+  halves.resize(2 * kFuseTile);
+  ScratchArena::Lease composed_lease;
+  Bytes& composed = *composed_lease;
+  composed.resize(chunk.size());
+
+  std::size_t cur = 0;
+  for (std::size_t off = 0; off < chunk.size(); off += kFuseTile) {
+    const std::size_t len = std::min(kFuseTile, chunk.size() - off);
+    Byte* mid = halves.data() + cur * kFuseTile;
+    const Byte* prev0 =
+        off == 0 ? nullptr
+                 : chunk.data() + off - static_cast<std::size_t>(s0.word_size());
+    s0.encode_tile(chunk.data() + off, prev0, len, mid);
+    const Byte* prev1 =
+        off == 0 ? nullptr
+                 : halves.data() + (1 - cur) * kFuseTile + kFuseTile -
+                       static_cast<std::size_t>(s1.word_size());
+    s1.encode_tile(mid, prev1, len, composed.data() + off);
+    cur = 1 - cur;
+  }
+
+  p.stage(2).encode(ByteSpan(composed.data(), composed.size()), out);
+  if (out.size() <= composed.size()) {  // LC copy-fallback, as unfused
+    applied_mask = 0b111;
+  } else {
+    applied_mask = 0b011;
+    out.assign(composed.begin(), composed.end());
+  }
+  return true;
+}
+
+bool decode_chunk_fused(const Pipeline& p, ByteSpan record,
+                        std::uint8_t applied_mask, Bytes& out) {
+  if (!fusible(p) || (applied_mask & 0b011) != 0b011) return false;
+  const Component& s0 = p.stage(0);
+  const Component& s1 = p.stage(1);
+
+  ScratchArena::Lease composed_lease;
+  Bytes& composed = *composed_lease;
+  const Byte* src = record.data();
+  std::size_t n = record.size();
+  if ((applied_mask & 0b100) != 0) {
+    p.stage(2).decode(record, composed);
+    src = composed.data();
+    n = composed.size();
+  }
+
+  // One tile buffer suffices on decode: each stage threads its own O(1)
+  // carry instead of looking back at the previous tile.
+  out.resize(n);
+  ScratchArena::Lease tile_lease;
+  Bytes& tile = *tile_lease;
+  tile.resize(kFuseTile);
+  std::uint64_t carry0 = 0;
+  std::uint64_t carry1 = 0;
+  for (std::size_t off = 0; off < n; off += kFuseTile) {
+    const std::size_t len = std::min(kFuseTile, n - off);
+    s1.decode_tile(src + off, len, tile.data(), carry1);
+    s0.decode_tile(tile.data(), len, out.data() + off, carry0);
+  }
+  return true;
+}
 
 std::string Pipeline::spec() const {
   std::string s;

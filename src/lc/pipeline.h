@@ -48,6 +48,29 @@ class Pipeline {
   std::vector<const Component*> stages_;
 };
 
+/// True when the fused single-pass path applies to `p`: a 3-stage chain
+/// whose first two stages are tileable size-preserving transforms (the
+/// reducer tail runs generically on the composed stream). See
+/// docs/PERFORMANCE.md, "SIMD dispatch & pipeline fusion".
+[[nodiscard]] bool fusible(const Pipeline& p) noexcept;
+
+/// Fused encode: run stages 0 and 1 as one tile-by-tile pass through two
+/// cache-resident ping-pong buffers (no full-size inter-stage buffer or
+/// initial chunk copy), then the stage-2 reducer on the composed stream.
+/// Byte-identical to the stage-at-a-time path, including the copy-fallback
+/// (bits 0 and 1 of `applied_mask` are always set — size-preserving stages
+/// never expand; bit 2 reports whether the reducer output was kept).
+/// Returns false (outputs untouched) when `p` is not fusible.
+bool encode_chunk_fused(const Pipeline& p, ByteSpan chunk,
+                        std::uint8_t& applied_mask, Bytes& out);
+
+/// Invert encode_chunk_fused: stage-2 generic decode (when bit 2 is set),
+/// then one pass undoing stages 1 and 0 tile by tile with O(1) carried
+/// state. Returns false (out untouched) when `p` is not fusible or
+/// `applied_mask` lacks bits 0-1 (a corrupt mask decodes generically).
+bool decode_chunk_fused(const Pipeline& p, ByteSpan record,
+                        std::uint8_t applied_mask, Bytes& out);
+
 /// Enumerate all 62*62*28 three-stage pipelines in a fixed order
 /// (stage-1 major, stage-3 minor). The returned vector's size is asserted
 /// in tests to match the paper's 107,632.

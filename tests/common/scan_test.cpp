@@ -72,5 +72,52 @@ TEST(Scan, LookbackManyThreadsStress) {
   }
 }
 
+// Sizes straddling the SIMD scan-tile width and the scan tile boundary:
+// the vector main loop, its scalar tail, and the exact-multiple case all
+// agree with the sequential reference.
+TEST(Scan, TileBoundarySizes) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {3u, 4u, 5u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    const auto values = random_values(n, 1000 + n);
+    std::vector<std::uint64_t> expected, got;
+    const std::uint64_t want = exclusive_scan_sequential(values, expected);
+    EXPECT_EQ(exclusive_scan_lookback(pool, values, got, 64), want) << n;
+    EXPECT_EQ(got, expected) << n;
+    EXPECT_EQ(exclusive_scan_blocked(pool, values, got, 64), want) << n;
+    EXPECT_EQ(got, expected) << n;
+  }
+}
+
+// Single tile covering the whole input: the look-back loop never runs and
+// tile 0 publishes the grand total directly.
+TEST(Scan, SingleTileCoversInput) {
+  ThreadPool pool(4);
+  const auto values = random_values(100, 13);
+  std::vector<std::uint64_t> expected, got;
+  const std::uint64_t want = exclusive_scan_sequential(values, expected);
+  EXPECT_EQ(exclusive_scan_lookback(pool, values, got, 1000), want);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(exclusive_scan_blocked(pool, values, got, 1000), want);
+  EXPECT_EQ(got, expected);
+}
+
+// Offsets past 2^32: chunk records are small, but the scan contract is
+// 64-bit (bounded only by the 2^62 status-word packing), and the SIMD
+// fix-up path must carry the full-width offset.
+TEST(Scan, TotalsBeyond32Bits) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> values(300, std::uint64_t{1} << 33);
+  values.push_back(12345);
+  std::vector<std::uint64_t> expected, got;
+  const std::uint64_t want = exclusive_scan_sequential(values, expected);
+  ASSERT_GT(want, std::uint64_t{1} << 40);
+  for (const std::size_t tile : {7u, 64u}) {
+    EXPECT_EQ(exclusive_scan_lookback(pool, values, got, tile), want);
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(exclusive_scan_blocked(pool, values, got, tile), want);
+    EXPECT_EQ(got, expected);
+  }
+}
+
 }  // namespace
 }  // namespace lc

@@ -1,0 +1,267 @@
+// Bit-exactness proof for the runtime SIMD dispatch layer: every kernel
+// in every table this CPU can run (scalar, and avx2/avx512 when
+// detected) must produce byte-identical results to the scalar reference,
+// on random data, run-heavy data, and ragged (non-multiple-of-group)
+// lengths. The forced-dispatch CI leg proves the same property end to
+// end on whole containers; this test pins down the individual kernels so
+// a future regression names the culprit directly.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "common/hash.h"
+
+namespace lc {
+namespace {
+
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  if (simd::detected_level() >= simd::Level::kAvx512) {
+    levels.push_back(simd::Level::kAvx512);
+  }
+  return levels;
+}
+
+/// Mixed payload: random words, repeat runs, zero runs, small-magnitude
+/// words — hits every branch of the mask/compact/pack kernels.
+Bytes make_payload(std::size_t bytes, std::uint64_t seed) {
+  SplitMix rng(seed);
+  Bytes data(bytes);
+  std::size_t i = 0;
+  while (i < bytes) {
+    const std::uint64_t mode = rng.next_below(4);
+    std::size_t run = 1 + rng.next_below(48);
+    Byte value = static_cast<Byte>(rng.next_below(256));
+    if (mode == 1) value = 0;
+    for (; run > 0 && i < bytes; --run, ++i) {
+      data[i] = (mode >= 2) ? static_cast<Byte>(rng.next_below(256)) : value;
+    }
+  }
+  return data;
+}
+
+const std::vector<std::size_t>& test_counts() {
+  // Ragged counts around the 8/16/32/64-lane group boundaries.
+  static const std::vector<std::size_t> counts{0,  1,  2,  7,   8,   9,
+                                               31, 64, 65, 255, 256, 1000};
+  return counts;
+}
+
+template <Word T>
+void expect_mask_kernels_match(const simd::Kernels& scalar,
+                               const simd::Kernels& other,
+                               const char* label) {
+  constexpr int w = simd::kWordLog<T>;
+  const Bytes data = make_payload(8192, 0x5eed0 + w);
+  for (const std::size_t n : test_counts()) {
+    for (const int shift : {0, 1, kBits<T> / 2, kBits<T> - 1}) {
+      std::vector<Byte> a(n + 1, 0xAA), b(n + 1, 0xAA);
+      const std::size_t ca = scalar.eq_prev_mask[w](data.data(), n, shift,
+                                                    a.data());
+      const std::size_t cb = other.eq_prev_mask[w](data.data(), n, shift,
+                                                   b.data());
+      EXPECT_EQ(ca, cb) << label << " eq_prev w=" << w << " n=" << n
+                        << " shift=" << shift;
+      EXPECT_EQ(a, b) << label << " eq_prev w=" << w << " n=" << n
+                      << " shift=" << shift;
+      const std::size_t za = scalar.zero_mask[w](data.data(), n, shift,
+                                                 a.data());
+      const std::size_t zb = other.zero_mask[w](data.data(), n, shift,
+                                                b.data());
+      EXPECT_EQ(za, zb) << label << " zero w=" << w << " n=" << n;
+      EXPECT_EQ(a, b) << label << " zero w=" << w << " n=" << n;
+    }
+  }
+}
+
+template <Word T>
+void expect_word_kernels_match(const simd::Kernels& scalar,
+                               const simd::Kernels& other,
+                               const char* label) {
+  constexpr int w = simd::kWordLog<T>;
+  constexpr std::size_t W = sizeof(T);
+  const Bytes data = make_payload(8192, 0xbeef0 + w);
+
+  for (const std::size_t n : test_counts()) {
+    // compact_kept against every drop pattern the masks can produce.
+    std::vector<Byte> drop(n + 1, 0xAA);
+    const std::size_t dropped =
+        scalar.eq_prev_mask[w](data.data(), n, 0, drop.data());
+    Bytes outa{0x42}, outb{0x42};
+    scalar.compact_kept[w](data.data(), drop.data(), n, n - dropped, outa);
+    other.compact_kept[w](data.data(), drop.data(), n, n - dropped, outb);
+    EXPECT_EQ(outa, outb) << label << " compact w=" << w << " n=" << n;
+
+    // pack_mask_bits.
+    Bytes bitsa((n + 7) / 8 + 1, 0xEE), bitsb((n + 7) / 8 + 1, 0xEE);
+    scalar.pack_mask_bits(drop.data(), n, bitsa.data());
+    other.pack_mask_bits(drop.data(), n, bitsb.data());
+    EXPECT_EQ(bitsa, bitsb) << label << " pack_mask_bits n=" << n;
+
+    // or_reduce, plain and magnitude-sign.
+    EXPECT_EQ(scalar.or_reduce[w](data.data(), n),
+              other.or_reduce[w](data.data(), n))
+        << label << " or_reduce w=" << w << " n=" << n;
+    EXPECT_EQ(scalar.or_reduce_ms[w](data.data(), n),
+              other.or_reduce_ms[w](data.data(), n))
+        << label << " or_reduce_ms w=" << w << " n=" << n;
+
+    // pack_bits/unpack_bits across widths and shifts, with a pre-seeded
+    // BitWriter so group puts land on misaligned bit offsets.
+    for (const int width : {0, 1, 3, kBits<T> / 2, kBits<T> - 1, kBits<T>}) {
+      for (const int shift : {0, kBits<T> - width}) {
+        if (shift < 0 || width + shift > kBits<T>) continue;
+        Bytes sa, sb;
+        BitWriter bwa(sa), bwb(sb);
+        bwa.put(0x2D, 7);  // misalign fill
+        bwb.put(0x2D, 7);
+        scalar.pack_bits[w](data.data(), n, width, shift, bwa);
+        other.pack_bits[w](data.data(), n, width, shift, bwb);
+        bwa.finish();
+        bwb.finish();
+        EXPECT_EQ(sa, sb) << label << " pack_bits w=" << w << " n=" << n
+                          << " width=" << width << " shift=" << shift;
+        if (shift == 0) {
+          Bytes ma, mb;
+          BitWriter bma(ma), bmb(mb);
+          scalar.pack_bits_ms[w](data.data(), n, width, 0, bma);
+          other.pack_bits_ms[w](data.data(), n, width, 0, bmb);
+          bma.finish();
+          bmb.finish();
+          EXPECT_EQ(ma, mb) << label << " pack_bits_ms w=" << w << " n=" << n
+                            << " width=" << width;
+          // Round-trip the ms stream through both unpack tables.
+          if (width == kBits<T>) {
+            Bytes da(n * W + W, 0xCC), db(n * W + W, 0xCC);
+            BitReader ra(ma), rb(mb);
+            scalar.unpack_bits_ms[w](ra, n, width, da.data());
+            other.unpack_bits_ms[w](rb, n, width, db.data());
+            EXPECT_EQ(da, db) << label << " unpack_bits_ms w=" << w;
+          }
+        }
+        Bytes da(n * W + W, 0xCC), db(n * W + W, 0xCC);
+        BitReader ra(sa), rb(sb);
+        EXPECT_EQ(ra.get(7), 0x2Du);
+        EXPECT_EQ(rb.get(7), 0x2Du);
+        scalar.unpack_bits[w](ra, n, width, da.data());
+        other.unpack_bits[w](rb, n, width, db.data());
+        EXPECT_EQ(da, db) << label << " unpack_bits w=" << w << " n=" << n
+                          << " width=" << width;
+      }
+    }
+
+    // DIFF encode/decode for every residual representation.
+    for (const int rep : {simd::kRepPlain, simd::kRepMs, simd::kRepNb}) {
+      Bytes ea(n * W, 0xAB), eb(n * W, 0xAB);
+      scalar.diff_encode[w][rep](data.data(), ea.data(), n);
+      other.diff_encode[w][rep](data.data(), eb.data(), n);
+      EXPECT_EQ(ea, eb) << label << " diff_encode w=" << w << " rep=" << rep
+                        << " n=" << n;
+      Bytes da(n * W, 0xAB), db(n * W, 0xAB);
+      scalar.diff_decode[w][rep](ea.data(), da.data(), n);
+      other.diff_decode[w][rep](eb.data(), db.data(), n);
+      EXPECT_EQ(da, db) << label << " diff_decode w=" << w << " rep=" << rep
+                        << " n=" << n;
+      EXPECT_EQ(da, Bytes(data.begin(), data.begin() + n * W))
+          << label << " diff round-trip w=" << w << " rep=" << rep;
+    }
+  }
+
+  // bit_gather / bit_scatter (counts must be multiples of 64).
+  for (const std::size_t count : {std::size_t{0}, std::size_t{64},
+                                  std::size_t{512}}) {
+    for (int b = 0; b < kBits<T>; b += (b < 2 ? 1 : kBits<T> / 3)) {
+      std::vector<std::uint64_t> ga(count / 64 + 1, 0x11),
+          gb(count / 64 + 1, 0x11);
+      scalar.bit_gather[w](data.data(), count, b, ga.data());
+      other.bit_gather[w](data.data(), count, b, gb.data());
+      EXPECT_EQ(ga, gb) << label << " bit_gather w=" << w << " b=" << b;
+      Bytes wa(count * W, 0), wb(count * W, 0);
+      scalar.bit_scatter[w](ga.data(), count, b, wa.data());
+      other.bit_scatter[w](gb.data(), count, b, wb.data());
+      EXPECT_EQ(wa, wb) << label << " bit_scatter w=" << w << " b=" << b;
+    }
+  }
+}
+
+TEST(SimdDispatch, AllLevelsBitExact) {
+  const simd::Kernels& scalar = simd::kernels_for(simd::Level::kScalar);
+  for (const simd::Level level : available_levels()) {
+    const simd::Kernels& table = simd::kernels_for(level);
+    const char* label = simd::to_string(level);
+    expect_mask_kernels_match<std::uint8_t>(scalar, table, label);
+    expect_mask_kernels_match<std::uint16_t>(scalar, table, label);
+    expect_mask_kernels_match<std::uint32_t>(scalar, table, label);
+    expect_mask_kernels_match<std::uint64_t>(scalar, table, label);
+    expect_word_kernels_match<std::uint8_t>(scalar, table, label);
+    expect_word_kernels_match<std::uint16_t>(scalar, table, label);
+    expect_word_kernels_match<std::uint32_t>(scalar, table, label);
+    expect_word_kernels_match<std::uint64_t>(scalar, table, label);
+  }
+}
+
+TEST(SimdDispatch, ScanKernelsMatchAcrossLevels) {
+  const simd::Kernels& scalar = simd::kernels_for(simd::Level::kScalar);
+  SplitMix rng(97);
+  for (const simd::Level level : available_levels()) {
+    const simd::Kernels& table = simd::kernels_for(level);
+    for (const std::size_t n : test_counts()) {
+      std::vector<std::uint64_t> values(n);
+      for (auto& v : values) v = rng.next_below(1u << 30);
+      std::vector<std::uint64_t> a(n, 7), b(n, 7);
+      const std::uint64_t ta = scalar.scan_tile(values.data(), n, a.data());
+      const std::uint64_t tb = table.scan_tile(values.data(), n, b.data());
+      EXPECT_EQ(ta, tb) << simd::to_string(level) << " n=" << n;
+      EXPECT_EQ(a, b) << simd::to_string(level) << " n=" << n;
+      scalar.scan_add_offset(a.data(), n, 0x123456789ULL);
+      table.scan_add_offset(b.data(), n, 0x123456789ULL);
+      EXPECT_EQ(a, b) << simd::to_string(level) << " add n=" << n;
+      // In-place use (as in exclusive_scan_blocked phase 1).
+      std::vector<std::uint64_t> ia = values, ib = values;
+      EXPECT_EQ(scalar.scan_tile(ia.data(), n, ia.data()),
+                table.scan_tile(ib.data(), n, ib.data()));
+      EXPECT_EQ(ia, ib) << simd::to_string(level) << " in-place n=" << n;
+    }
+  }
+}
+
+TEST(SimdDispatch, LevelParsingIsStrict) {
+  EXPECT_EQ(simd::parse_level("scalar", "LC_SIMD"), simd::Level::kScalar);
+  EXPECT_EQ(simd::parse_level("avx2", "LC_SIMD"), simd::Level::kAvx2);
+  EXPECT_EQ(simd::parse_level("avx512", "LC_SIMD"), simd::Level::kAvx512);
+  for (const char* bad : {"", "AVX2", "avx2 ", "sse", "avx-512", "auto"}) {
+    EXPECT_THROW((void)simd::parse_level(bad, "LC_SIMD"), Error) << bad;
+  }
+  EXPECT_THROW((void)simd::parse_level(nullptr, "LC_SIMD"), Error);
+}
+
+TEST(SimdDispatch, ForceLevelHookSwitchesActiveTable) {
+  for (const simd::Level level : available_levels()) {
+    simd::force_active_level_for_testing(level);
+    EXPECT_EQ(simd::active_level(), level);
+    EXPECT_EQ(&simd::kernels(), &simd::kernels_for(level));
+  }
+  simd::reset_active_level_for_testing();
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+}
+
+TEST(SimdDispatch, DescribeDispatchNamesEveryGroup) {
+  const auto groups = simd::describe_dispatch();
+  EXPECT_GE(groups.size(), 8u);
+  for (const auto& [group, variant] : groups) {
+    EXPECT_FALSE(group.empty());
+    EXPECT_FALSE(variant.empty());
+  }
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,168 @@
+// Fused single-pass pipeline execution (docs/PERFORMANCE.md, "SIMD
+// dispatch & pipeline fusion"): the fused encode/decode must be
+// byte-identical to the stage-at-a-time path for every fusible pipeline,
+// across every SIMD dispatch level the host supports, and containers
+// produced at any level must be interchangeable.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/simd.h"
+#include "lc/codec.h"
+#include "lc/pipeline.h"
+#include "tests/lc/test_buffers.h"
+
+namespace lc {
+namespace {
+
+// Fusible triples: stages 0-1 are tileable (mutators / predictors), the
+// tail is a reducer. Word sizes deliberately mixed across stages.
+const char* const kFusiblePipelines[] = {
+    "DIFF_4 TCMS_4 CLOG_4",   "DBEFS_4 DIFFMS_4 RZE_4",
+    "TCNB_2 DIFFNB_2 RARE_2", "DIFF_8 DBESF_8 RLE_8",
+    "DIFF_1 TCMS_2 RRE_4",    "DIFFMS_8 DIFFNB_4 RAZE_1",
+};
+
+// Not fusible: a shuffler in the front stages, or the wrong shape.
+const char* const kUnfusiblePipelines[] = {
+    "BIT_4 DIFF_4 RZE_4",
+    "DIFF_4 TUPL2_4 RLE_4",
+    "DIFF_4 CLOG_4",
+};
+
+std::vector<Bytes> chunk_inputs() {
+  std::vector<Bytes> inputs;
+  for (auto& [name, data] : testing::component_stress_buffers()) {
+    inputs.push_back(std::move(data));
+  }
+  // Tile-boundary sizes around the 4 kB fuse tile.
+  inputs.push_back(testing::random_bytes(4095, 21));
+  inputs.push_back(testing::random_bytes(4096, 22));
+  inputs.push_back(testing::random_bytes(4097, 23));
+  inputs.push_back(testing::run_heavy_bytes(8192 + 5, 24));
+  return inputs;
+}
+
+TEST(FusedPipeline, FusibilityDetection) {
+  for (const char* spec : kFusiblePipelines) {
+    EXPECT_TRUE(fusible(Pipeline::parse(spec))) << spec;
+  }
+  for (const char* spec : kUnfusiblePipelines) {
+    EXPECT_FALSE(fusible(Pipeline::parse(spec))) << spec;
+  }
+}
+
+// A trace request forces the stage-at-a-time path, so encoding with and
+// without one compares the two implementations directly.
+TEST(FusedPipeline, EncodeMatchesStageAtATimePath) {
+  for (const char* spec : kFusiblePipelines) {
+    const Pipeline p = Pipeline::parse(spec);
+    ASSERT_TRUE(fusible(p)) << spec;
+    for (const Bytes& input : chunk_inputs()) {
+      const ByteSpan in(input.data(), input.size());
+      std::uint8_t fused_mask = 0xFF;
+      const Bytes fused = encode_chunk(p, in, fused_mask);
+      std::uint8_t plain_mask = 0xFF;
+      std::vector<StageTrace> trace;
+      const Bytes plain = encode_chunk(p, in, plain_mask, &trace);
+      EXPECT_EQ(fused_mask, plain_mask)
+          << spec << " on " << input.size() << " bytes";
+      EXPECT_EQ(fused, plain) << spec << " on " << input.size() << " bytes";
+    }
+  }
+}
+
+TEST(FusedPipeline, DecodeRoundTripsAndMatchesGenericDecode) {
+  for (const char* spec : kFusiblePipelines) {
+    const Pipeline p = Pipeline::parse(spec);
+    for (const Bytes& input : chunk_inputs()) {
+      const ByteSpan in(input.data(), input.size());
+      std::uint8_t mask = 0;
+      const Bytes record = encode_chunk(p, in, mask);
+      // Fused decode (the codec default).
+      Bytes out;
+      decode_chunk(p, ByteSpan(record.data(), record.size()), mask,
+                   input.size(), out);
+      EXPECT_EQ(out, input) << spec << " on " << input.size() << " bytes";
+      // Direct fused decode reports handled and agrees.
+      Bytes direct;
+      ASSERT_TRUE(decode_chunk_fused(p, ByteSpan(record.data(), record.size()),
+                                     mask, direct));
+      EXPECT_EQ(direct, input) << spec;
+    }
+  }
+}
+
+TEST(FusedPipeline, UnfusiblePipelinesStillRoundTrip) {
+  for (const char* spec : kUnfusiblePipelines) {
+    const Pipeline p = Pipeline::parse(spec);
+    const Bytes input = testing::smooth_floats(3000, 77);
+    const ByteSpan in(input.data(), input.size());
+    std::uint8_t mask = 0;
+    const Bytes record = encode_chunk(p, in, mask);
+    Bytes direct;
+    EXPECT_FALSE(
+        decode_chunk_fused(p, ByteSpan(record.data(), record.size()), mask,
+                           direct))
+        << spec;
+    Bytes out;
+    decode_chunk(p, ByteSpan(record.data(), record.size()), mask, input.size(),
+                 out);
+    EXPECT_EQ(out, input) << spec;
+  }
+}
+
+// A corrupt mask with the always-set bits cleared must fall back to the
+// generic decoder instead of mis-applying the fused inverse.
+TEST(FusedPipeline, CorruptMaskFallsBackToGenericDecode) {
+  const Pipeline p = Pipeline::parse(kFusiblePipelines[0]);
+  const Bytes input = testing::smooth_floats(2000, 5);
+  std::uint8_t mask = 0;
+  const Bytes record =
+      encode_chunk(p, ByteSpan(input.data(), input.size()), mask);
+  Bytes out;
+  EXPECT_FALSE(decode_chunk_fused(
+      p, ByteSpan(record.data(), record.size()),
+      static_cast<std::uint8_t>(mask & ~std::uint8_t{1}), out));
+}
+
+// Containers must be byte-identical no matter which dispatch level built
+// them, and decodable at any other level (the CI forced-dispatch leg
+// asserts the same property across runners).
+TEST(FusedPipeline, ContainerBytesIdenticalAcrossSimdLevels) {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  if (simd::detected_level() >= simd::Level::kAvx512) {
+    levels.push_back(simd::Level::kAvx512);
+  }
+  const Bytes input = testing::smooth_floats(16384 * 3 / 4 + 55, 11);
+  const ByteSpan in(input.data(), input.size());
+  for (const char* spec :
+       {"DIFF_4 TCMS_4 CLOG_4", "BIT_4 DIFF_4 RZE_4", "DIFF_2 BIT_2 RARE_2"}) {
+    const Pipeline p = Pipeline::parse(spec);
+    std::vector<Bytes> containers;
+    for (const simd::Level level : levels) {
+      simd::force_active_level_for_testing(level);
+      containers.push_back(compress(p, in));
+    }
+    simd::reset_active_level_for_testing();
+    for (std::size_t i = 1; i < containers.size(); ++i) {
+      EXPECT_EQ(containers[i], containers[0])
+          << spec << " at " << to_string(levels[i]);
+    }
+    for (const simd::Level level : levels) {
+      simd::force_active_level_for_testing(level);
+      const Bytes out = decompress(
+          ByteSpan(containers[0].data(), containers[0].size()));
+      EXPECT_EQ(out, input) << spec << " at " << to_string(level);
+    }
+    simd::reset_active_level_for_testing();
+  }
+}
+
+}  // namespace
+}  // namespace lc

@@ -16,6 +16,7 @@
 #include "charlab/stage_eval.h"
 #include "common/arena.h"
 #include "common/hash.h"
+#include "common/simd.h"
 #include "lc/codec.h"
 #include "lc/pipeline.h"
 #include "lc/registry.h"
@@ -132,6 +133,62 @@ TEST(ZeroAlloc, ChunkCodecSteadyState) {
   EXPECT_EQ(dec_allocs, 0u);
   ASSERT_EQ(decoded.size(), chunk.size());
   EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(), chunk.begin()));
+}
+
+// The fused single-pass path (tile halves, composed buffer, tile scratch
+// all come from the arena) must also be allocation-free at steady state.
+TEST(ZeroAlloc, FusedChunkCodecSteadyState) {
+  const Bytes chunk = make_chunk();
+  const ByteSpan in(chunk.data(), chunk.size());
+  const Pipeline p = Pipeline::parse("DIFF_4 TCMS_4 CLOG_4");
+  ASSERT_TRUE(fusible(p));
+  std::uint8_t mask = 0;
+  Bytes record, decoded;
+  for (int round = 0; round < 3; ++round) {
+    encode_chunk_into(p, in, mask, record);
+    decode_chunk(p, ByteSpan(record.data(), record.size()), mask,
+                 chunk.size(), decoded);
+  }
+  count_start();
+  encode_chunk_into(p, in, mask, record);
+  EXPECT_EQ(count_stop(), 0u);
+  count_start();
+  decode_chunk(p, ByteSpan(record.data(), record.size()), mask, chunk.size(),
+               decoded);
+  EXPECT_EQ(count_stop(), 0u);
+  ASSERT_EQ(decoded.size(), chunk.size());
+  EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(), chunk.begin()));
+}
+
+// Every SIMD dispatch variant the host supports keeps the contract: the
+// kernels write into caller buffers and the one compress-store
+// over-allocation reserve is part of the warmed high-water mark.
+TEST(ZeroAlloc, EveryDispatchLevelSteadyState) {
+  const Bytes chunk = make_chunk();
+  const ByteSpan in(chunk.data(), chunk.size());
+  const Registry& reg = Registry::instance();
+  Bytes enc, dec;
+  for (int level = 0; level <= static_cast<int>(simd::detected_level());
+       ++level) {
+    simd::force_active_level_for_testing(static_cast<simd::Level>(level));
+    for (const auto& comp : reg.all()) {
+      for (int round = 0; round < 3; ++round) {
+        comp->encode(in, enc);
+        comp->decode(ByteSpan(enc.data(), enc.size()), dec);
+      }
+      count_start();
+      comp->encode(in, enc);
+      comp->decode(ByteSpan(enc.data(), enc.size()), dec);
+      const std::size_t allocs = count_stop();
+      EXPECT_EQ(allocs, 0u)
+          << comp->name() << " at "
+          << to_string(static_cast<simd::Level>(level));
+      ASSERT_EQ(dec.size(), chunk.size()) << comp->name();
+      EXPECT_TRUE(std::equal(dec.begin(), dec.end(), chunk.begin()))
+          << comp->name();
+    }
+  }
+  simd::reset_active_level_for_testing();
 }
 
 }  // namespace
