@@ -1,6 +1,7 @@
-// Machine-readable perf regression harness (ISSUE 3; grid mode ISSUE 5).
+// Machine-readable perf regression harness (ISSUE 3; grid mode ISSUE 5;
+// counters mode ISSUE 9).
 //
-// Three modes, combinable:
+// Four modes, combinable:
 //   --micro[=PATH]   per-component-family encode/decode throughput over a
 //                    fixed 64 kB synthetic float buffer -> BENCH_micro.json
 //   --sweep[=PATH]   cold-cache characterization sweep wall clock
@@ -12,6 +13,15 @@
 //                    BatchCostEvaluator path the figure suite uses) or
 //                    "legacy" (per-record Sweep::geomean_throughput,
 //                    parallelized the same way — the pre-grid baseline).
+//   --counters[=PATH] the micro families again, but instrumented with
+//                    lc::perfmon hardware counters, once per supported
+//                    LC_SIMD dispatch level (or only the forced level
+//                    when LC_SIMD is set) -> BENCH_counters.json with
+//                    per-family IPC, cache/branch miss rates and
+//                    bytes/cycle. On hosts without PMU access every
+//                    "counters" value is the JSON literal null and the
+//                    wall-clock throughputs still populate (the
+//                    documented fallback; docs/PERFORMANCE.md).
 //
 // The JSON files are the machine-tracked perf trajectory: CI's perf-smoke
 // job compares fresh BENCH_micro.json / BENCH_grid.json against the
@@ -49,6 +59,7 @@
 #include "common/thread_pool.h"
 #include "data/sp_dataset.h"
 #include "lc/registry.h"
+#include "perfmon/perfmon.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -74,6 +85,34 @@ struct DirStats {
 struct FamilyStats {
   DirStats encode, decode;
 };
+
+/// Emit the producing compiler and its flags so benchmark artifacts carry
+/// the paper's cross-compiler axis (bench_diff.py warns when two files
+/// disagree). Version macros identify the compiler; the flag string is
+/// baked in by the build system (bench/CMakeLists.txt), -march included.
+void write_compiler_header(std::FILE* f) {
+#ifndef LC_BENCH_CXX_FLAGS
+#define LC_BENCH_CXX_FLAGS ""
+#endif
+#if defined(__clang__)
+  const char* id = "clang";
+  char version[32];
+  std::snprintf(version, sizeof(version), "%d.%d.%d", __clang_major__,
+                __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  const char* id = "gcc";
+  char version[32];
+  std::snprintf(version, sizeof(version), "%d.%d.%d", __GNUC__,
+                __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  const char* id = "unknown";
+  char version[32] = "";
+#endif
+  std::fprintf(f,
+               "  \"compiler\": {\"id\": \"%s\", \"version\": \"%s\", "
+               "\"flags\": \"%s\"},\n",
+               id, version, LC_BENCH_CXX_FLAGS);
+}
 
 /// Emit the resolved SIMD dispatch as a JSON object so baselines record
 /// which variants produced them (bench_diff.py prints it back).
@@ -138,6 +177,7 @@ void run_micro(const std::string& path, int iters) {
   std::fprintf(f, "  \"input_bytes\": %zu,\n  \"iters\": %d,\n", input.size(),
                iters);
   std::fprintf(f, "  \"aggregation\": \"min-of-n\",\n");
+  write_compiler_header(f);
   write_simd_header(f);
   std::fprintf(f, "  \"families\": {\n");
   std::size_t i = 0;
@@ -152,6 +192,155 @@ void run_micro(const std::string& path, int iters) {
   std::fclose(f);
   std::fprintf(stderr, "[perf] wrote %s (%zu families)\n", path.c_str(),
                families.size());
+}
+
+/// Per-(family, direction) accumulation of counter readings: totals
+/// across the family's components, so derived metrics (IPC, miss rates,
+/// bytes/cycle) describe the family as a whole, like the MB/s numbers.
+struct CounterAgg {
+  double bytes = 0.0;
+  double secs = 0.0;       ///< min-of-n wall, summed over components
+  int measured = 0;        ///< component readings folded in
+  bool valid = true;       ///< false once any reading lacked counters
+  bool multiplexed = false;
+  std::uint64_t cycles = 0, instructions = 0, cache_references = 0,
+                cache_misses = 0, branch_misses = 0;
+
+  void fold(const lc::perfmon::Reading& r, double region_bytes, int iters) {
+    bytes += region_bytes;
+    ++measured;
+    if (!r.valid) {
+      valid = false;
+      return;
+    }
+    // Counters cover all `iters` timed iterations; store per-iteration
+    // means so they line up with `bytes` (one iteration's worth each).
+    const auto per_iter = [iters](std::uint64_t v) {
+      return v / static_cast<std::uint64_t>(iters);
+    };
+    cycles += per_iter(r.cycles.value_or(0));
+    instructions += per_iter(r.instructions.value_or(0));
+    cache_references += per_iter(r.cache_references.value_or(0));
+    cache_misses += per_iter(r.cache_misses.value_or(0));
+    branch_misses += per_iter(r.branch_misses.value_or(0));
+    multiplexed = multiplexed || r.multiplexed;
+  }
+
+  [[nodiscard]] lc::perfmon::Reading reading() const {
+    lc::perfmon::Reading r;
+    r.valid = valid && measured > 0;
+    r.multiplexed = multiplexed;
+    r.cycles = cycles;
+    r.instructions = instructions;
+    r.cache_references = cache_references;
+    r.cache_misses = cache_misses;
+    r.branch_misses = branch_misses;
+    return r;
+  }
+};
+
+struct FamilyCounters {
+  CounterAgg encode, decode;
+};
+
+/// One dispatch level's worth of counter-instrumented micro measurements.
+std::map<std::string, FamilyCounters> measure_counters_at_level(
+    const lc::ByteSpan in, int iters) {
+  std::map<std::string, FamilyCounters> families;
+  for (const lc::Component* comp : lc::Registry::instance().all()) {
+    FamilyCounters& fam = families[family_of(comp->name())];
+    lc::Bytes encoded, out;
+    comp->encode(in, encoded);  // warm-up + decode input
+    comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+
+    // Wall clock stays min-of-n (noise-robust); counters are read once
+    // around all n iterations and folded in as per-iteration means —
+    // counts are far less scheduler-sensitive than wall time.
+    lc::perfmon::CounterGroup enc_group;
+    double best_enc = 1e300;
+    enc_group.start();
+    for (int i = 0; i < iters; ++i) {
+      const Clock::time_point t0 = Clock::now();
+      comp->encode(in, out);
+      best_enc = std::min(best_enc, seconds_since(t0));
+    }
+    fam.encode.fold(enc_group.stop(), static_cast<double>(in.size()), iters);
+    fam.encode.secs += best_enc;
+
+    lc::perfmon::CounterGroup dec_group;
+    double best_dec = 1e300;
+    dec_group.start();
+    for (int i = 0; i < iters; ++i) {
+      const Clock::time_point t0 = Clock::now();
+      comp->decode(lc::ByteSpan(encoded.data(), encoded.size()), out);
+      best_dec = std::min(best_dec, seconds_since(t0));
+    }
+    fam.decode.fold(dec_group.stop(), static_cast<double>(in.size()), iters);
+    fam.decode.secs += best_dec;
+  }
+  return families;
+}
+
+void run_counters(const std::string& path, int iters) {
+  lc::Bytes input = lc::data::generate_sp_file("msg_bt", 1.0 / 2048);
+  input.resize(64 * 1024);
+  const lc::ByteSpan in(input.data(), input.size());
+
+  // One measurement pass per dispatch level: every supported level when
+  // the choice is ours, or exactly the forced one when LC_SIMD is set
+  // (forcing a level the harness would then override would silently lie
+  // about what was measured).
+  std::vector<lc::simd::Level> levels;
+  if (std::getenv("LC_SIMD") != nullptr) {
+    levels.push_back(lc::simd::active_level());
+  } else {
+    for (int l = 0; l <= static_cast<int>(lc::simd::detected_level()); ++l) {
+      levels.push_back(static_cast<lc::simd::Level>(l));
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_harness: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const lc::perfmon::Backend backend = lc::perfmon::default_backend();
+  std::fprintf(f, "{\n  \"schema\": \"lc-bench-counters-v1\",\n");
+  std::fprintf(f, "  \"input_bytes\": %zu,\n  \"iters\": %d,\n", input.size(),
+               iters);
+  std::fprintf(f, "  \"aggregation\": \"min-of-n wall, mean-of-n counters\",\n");
+  std::fprintf(f, "  \"backend\": \"%s\",\n", lc::perfmon::to_string(backend));
+  write_compiler_header(f);
+  write_simd_header(f);
+  std::fprintf(f, "  \"levels\": {\n");
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const lc::simd::Level level = levels[li];
+    lc::simd::force_active_level_for_testing(level);
+    const auto families = measure_counters_at_level(in, iters);
+    std::fprintf(f, "    \"%s\": {\"families\": {\n",
+                 lc::simd::to_string(level));
+    std::size_t i = 0;
+    for (const auto& [name, fam] : families) {
+      const auto dir_json = [&](const CounterAgg& agg) {
+        const double mb_s = agg.bytes / agg.secs / 1e6;
+        char head[64];
+        std::snprintf(head, sizeof(head), "{\"mb_s\": %.1f, \"counters\": ",
+                      mb_s);
+        return std::string(head) +
+               lc::perfmon::counters_json(agg.reading(), agg.bytes) + "}";
+      };
+      std::fprintf(f, "      \"%s\": {\"encode\": %s, \"decode\": %s}%s\n",
+                   name.c_str(), dir_json(fam.encode).c_str(),
+                   dir_json(fam.decode).c_str(),
+                   ++i < families.size() ? "," : "");
+    }
+    std::fprintf(f, "    }}%s\n", li + 1 < levels.size() ? "," : "");
+  }
+  lc::simd::reset_active_level_for_testing();
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[perf] wrote %s (%zu levels, backend %s)\n",
+               path.c_str(), levels.size(), lc::perfmon::to_string(backend));
 }
 
 void run_sweep(const std::string& path, std::size_t chunks,
@@ -176,6 +365,7 @@ void run_sweep(const std::string& path, std::size_t chunks,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-sweep-v1\",\n");
+  write_compiler_header(f);
   write_simd_header(f);
   std::fprintf(f, "  \"inputs\": %zu,\n  \"chunks_per_input\": %zu,\n",
                sweep.num_inputs(), config.chunks_per_input);
@@ -264,6 +454,7 @@ void run_grid(const std::string& path, std::size_t chunks,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-grid-v1\",\n");
+  write_compiler_header(f);
   write_simd_header(f);
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
   std::fprintf(f, "  \"cells\": %zu,\n  \"pipelines\": %zu,\n", cells.size(),
@@ -283,10 +474,11 @@ void run_grid(const std::string& path, std::size_t chunks,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool micro = false, sweep = false, grid = false;
+  bool micro = false, sweep = false, grid = false, counters = false;
   std::string micro_path = "BENCH_micro.json";
   std::string sweep_path = "BENCH_sweep.json";
   std::string grid_path = "BENCH_grid.json";
+  std::string counters_path = "BENCH_counters.json";
   std::string grid_mode = "batched";
   std::string grid_cache;
   std::string metrics_path;
@@ -314,6 +506,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--grid" || arg.rfind("--grid=", 0) == 0) {
       grid = true;
       if (arg.find('=') != std::string::npos) grid_path = value();
+    } else if (arg == "--counters" || arg.rfind("--counters=", 0) == 0) {
+      counters = true;
+      if (arg.find('=') != std::string::npos) counters_path = value();
     } else if (arg.rfind("--grid-mode=", 0) == 0) {
       grid_mode = value();
     } else if (arg.rfind("--grid-cache=", 0) == 0) {
@@ -342,16 +537,18 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_harness [--micro[=PATH]] [--sweep[=PATH]] "
-                   "[--grid[=PATH]] [--grid-mode=batched|legacy] "
+                   "[--grid[=PATH]] [--counters[=PATH]] "
+                   "[--grid-mode=batched|legacy] "
                    "[--grid-cache=PATH] [--metrics=PATH] [--iters=N] "
                    "[--chunks=N] [--scale=X] [--inputs=a,b] [--threads=N]\n");
       return 2;
     }
   }
-  if (!micro && !sweep && !grid) {
+  if (!micro && !sweep && !grid && !counters) {
     micro = sweep = true;
   }
   if (micro) run_micro(micro_path, iters);
+  if (counters) run_counters(counters_path, iters);
   if (sweep) run_sweep(sweep_path, chunks, inputs, threads);
   if (grid) run_grid(grid_path, chunks, inputs, threads, scale, grid_mode,
                      grid_cache);

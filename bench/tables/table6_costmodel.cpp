@@ -1,0 +1,286 @@
+// Table 6 (extension): cost-model validation. For every registered
+// component, measure the real per-byte cost of encode and decode on this
+// host (hardware cycles via lc::perfmon when the PMU is available, wall
+// nanoseconds otherwise) and put it next to the gpusim timing model's
+// predicted per-byte cost for the reference configuration (RTX 4090,
+// Clang -O3). The absolute scales are incomparable by construction — one
+// is a CPU, the other a modeled GPU — but the *ranking* of components
+// should broadly agree: both machines execute the same abstract work and
+// span classes (Table 2). scripts/costmodel_check.py computes the
+// Spearman rank correlation per direction and flags the components whose
+// rank disagrees most; CI's profile-smoke job runs the pair end to end.
+//
+// Flags:
+//   --iters=N   timed iterations per component direction (default 12)
+//   --out=PATH  output JSON path (default costmodel_validation.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "data/sp_dataset.h"
+#include "gpusim/cost_model.h"
+#include "lc/codec.h"
+#include "lc/registry.h"
+#include "perfmon/perfmon.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Measured cost of one (component, direction): wall time always,
+/// cycles when the counter backend is live.
+struct Measured {
+  double ns_per_byte = 0.0;        ///< per uncompressed input byte
+  bool cycles_valid = false;
+  double cycles_per_byte = 0.0;
+};
+
+struct ComponentRow {
+  const lc::Component* component = nullptr;
+  lc::gpusim::StageStats stats;    ///< measured chunk statistics
+  Measured encode, decode;
+  double predicted_encode_cycles_per_byte = 0.0;
+  double predicted_decode_cycles_per_byte = 0.0;
+};
+
+/// Chunk the input on the codec's 16 kB grid — the granularity both the
+/// real pipeline and the timing model reason about.
+std::vector<lc::Bytes> make_chunks(const lc::Bytes& input) {
+  std::vector<lc::Bytes> chunks;
+  for (std::size_t lo = 0; lo < input.size(); lo += lc::kChunkSize) {
+    const std::size_t hi = std::min(input.size(), lo + lc::kChunkSize);
+    chunks.emplace_back(input.begin() + static_cast<std::ptrdiff_t>(lo),
+                        input.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  return chunks;
+}
+
+/// Measure one component over all chunks: encode and decode timed
+/// separately, counters read once around all iterations (the same
+/// min-of-n wall / mean-of-n counters split as perf_harness). Decode is
+/// only run on chunks the copy-fallback kept, mirroring both the codec
+/// and the model's decode-skip accounting; both directions are
+/// normalized per *uncompressed* input byte so skipped work shows up as
+/// cheapness, exactly as it does in modeled throughput.
+ComponentRow measure_component(const lc::Component& comp,
+                               const std::vector<lc::Bytes>& chunks,
+                               double input_bytes, int iters) {
+  ComponentRow row;
+  row.component = &comp;
+
+  std::vector<lc::Bytes> encoded(chunks.size());
+  std::vector<bool> applied(chunks.size(), false);
+  double bytes_in = 0.0, bytes_out = 0.0;
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    comp.encode(lc::ByteSpan(chunks[c].data(), chunks[c].size()),
+                encoded[c]);
+    bytes_in += static_cast<double>(chunks[c].size());
+    bytes_out += static_cast<double>(encoded[c].size());
+    applied[c] = encoded[c].size() <= chunks[c].size();
+    if (applied[c]) ++kept;
+  }
+  row.stats.component = &comp;
+  row.stats.avg_bytes_in = bytes_in / static_cast<double>(chunks.size());
+  row.stats.avg_bytes_out = bytes_out / static_cast<double>(chunks.size());
+  row.stats.applied_fraction =
+      static_cast<double>(kept) / static_cast<double>(chunks.size());
+
+  lc::Bytes out;
+  lc::perfmon::CounterGroup enc_group;
+  double best_enc = 1e300;
+  enc_group.start();
+  for (int i = 0; i < iters; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    for (const lc::Bytes& chunk : chunks) {
+      comp.encode(lc::ByteSpan(chunk.data(), chunk.size()), out);
+    }
+    best_enc = std::min(best_enc, seconds_since(t0));
+  }
+  const lc::perfmon::Reading enc_r = enc_group.stop();
+  row.encode.ns_per_byte = best_enc * 1e9 / input_bytes;
+  if (enc_r.valid && enc_r.cycles.has_value()) {
+    row.encode.cycles_valid = true;
+    row.encode.cycles_per_byte =
+        static_cast<double>(*enc_r.cycles) /
+        (static_cast<double>(iters) * input_bytes);
+  }
+
+  lc::perfmon::CounterGroup dec_group;
+  double best_dec = 1e300;
+  dec_group.start();
+  for (int i = 0; i < iters; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (!applied[c]) continue;
+      comp.decode(lc::ByteSpan(encoded[c].data(), encoded[c].size()), out);
+    }
+    best_dec = std::min(best_dec, seconds_since(t0));
+  }
+  const lc::perfmon::Reading dec_r = dec_group.stop();
+  row.decode.ns_per_byte = best_dec * 1e9 / input_bytes;
+  if (dec_r.valid && dec_r.cycles.has_value()) {
+    row.decode.cycles_valid = true;
+    row.decode.cycles_per_byte =
+        static_cast<double>(*dec_r.cycles) /
+        (static_cast<double>(iters) * input_bytes);
+  }
+  return row;
+}
+
+/// The model's predicted *kernel compute* cycles per uncompressed input
+/// byte for one stage: lane-op cycles spread over the machine width plus
+/// the per-wave serial ladder. Deliberately NOT simulate() — at a small
+/// validation input the end-to-end time is dominated by the memory,
+/// launch and framework floors, which are identical for every component
+/// and would flatten the very ranking this table exists to test.
+double predict_cycles_per_byte(const lc::gpusim::StageStats& stats,
+                               double input_bytes, double chunk_count,
+                               const lc::gpusim::GpuSpec& gpu,
+                               lc::gpusim::Direction dir) {
+  using namespace lc::gpusim;
+  const CompilerFactors f =
+      compiler_factors(Toolchain::kClang, gpu.vendor, OptLevel::kO3, dir);
+  const StageCost c = stage_cost(stats, gpu, f, dir, chunk_count);
+  const double lanes =
+      static_cast<double>(gpu.model_sms) * gpu.lanes_per_sm;
+  const double waves = std::max(
+      1.0, chunk_count / static_cast<double>(resident_blocks(gpu)));
+  return (c.lane_ops / lanes + waves * c.serial_cycles_per_wave) /
+         input_bytes;
+}
+
+void write_measured_json(std::FILE* f, const Measured& m) {
+  std::fprintf(f, "{\"measured_ns_per_byte\": %.6f, ", m.ns_per_byte);
+  if (m.cycles_valid) {
+    std::fprintf(f, "\"measured_cycles_per_byte\": %.6f", m.cycles_per_byte);
+  } else {
+    std::fprintf(f, "\"measured_cycles_per_byte\": null");
+  }
+}
+
+void write_compiler_header(std::FILE* f) {
+#ifndef LC_BENCH_CXX_FLAGS
+#define LC_BENCH_CXX_FLAGS ""
+#endif
+#if defined(__clang__)
+  const char* id = "clang";
+  char version[32];
+  std::snprintf(version, sizeof(version), "%d.%d.%d", __clang_major__,
+                __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  const char* id = "gcc";
+  char version[32];
+  std::snprintf(version, sizeof(version), "%d.%d.%d", __GNUC__,
+                __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  const char* id = "unknown";
+  char version[32] = "";
+#endif
+  std::fprintf(f,
+               "  \"compiler\": {\"id\": \"%s\", \"version\": \"%s\", "
+               "\"flags\": \"%s\"},\n",
+               id, version, LC_BENCH_CXX_FLAGS);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  int iters = 12;
+  std::string out_path = "costmodel_validation.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::atoi(argv[i] + 8);
+      LC_REQUIRE(iters > 0, "--iters must be positive");
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // The same realistic float stream the counter-instrumented micro
+  // families use: the head of the synthetic msg_bt file, four chunks.
+  lc::Bytes input = lc::data::generate_sp_file("msg_bt", 1.0 / 2048);
+  input.resize(64 * 1024);
+  const double input_bytes = static_cast<double>(input.size());
+  const std::vector<lc::Bytes> chunks = make_chunks(input);
+  const double chunk_count = static_cast<double>(chunks.size());
+
+  const lc::gpusim::GpuSpec& gpu = lc::gpusim::gpu_by_name("RTX 4090");
+  lc::perfmon::CounterGroup probe;
+  const bool pmu = probe.backend() == lc::perfmon::Backend::kPmu;
+
+  std::printf("Table 6 (extension): measured vs modeled per-component "
+              "cost\n");
+  std::printf("perfmon: %s\n", lc::perfmon::describe().c_str());
+  std::printf("model reference: %s, clang, O3\n\n", gpu.name.c_str());
+  std::printf("  %-10s %5s | %14s %14s | %14s %14s\n", "component", "kept",
+              pmu ? "enc cyc/B" : "enc ns/B", "enc model cyc/B",
+              pmu ? "dec cyc/B" : "dec ns/B", "dec model cyc/B");
+
+  std::vector<ComponentRow> rows;
+  for (const lc::Component* comp : lc::Registry::instance().all()) {
+    ComponentRow row = measure_component(*comp, chunks, input_bytes, iters);
+    row.predicted_encode_cycles_per_byte =
+        predict_cycles_per_byte(row.stats, input_bytes, chunk_count, gpu,
+                            lc::gpusim::Direction::kEncode);
+    row.predicted_decode_cycles_per_byte =
+        predict_cycles_per_byte(row.stats, input_bytes, chunk_count, gpu,
+                            lc::gpusim::Direction::kDecode);
+    std::printf("  %-10s %4.0f%% | %14.4f %14.4f | %14.4f %14.4f\n",
+                comp->name().c_str(), 100.0 * row.stats.applied_fraction,
+                pmu ? row.encode.cycles_per_byte : row.encode.ns_per_byte,
+                row.predicted_encode_cycles_per_byte,
+                pmu ? row.decode.cycles_per_byte : row.decode.ns_per_byte,
+                row.predicted_decode_cycles_per_byte);
+    rows.push_back(std::move(row));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  LC_REQUIRE(f != nullptr, "cannot open output file: " + out_path);
+  std::fprintf(f, "{\n  \"schema\": \"lc-costmodel-v1\",\n");
+  std::fprintf(f, "  \"input_bytes\": %zu,\n", input.size());
+  std::fprintf(f, "  \"chunk_bytes\": %zu,\n", lc::kChunkSize);
+  std::fprintf(f, "  \"iters\": %d,\n", iters);
+  std::fprintf(f, "  \"backend\": \"%s\",\n", pmu ? "pmu" : "fallback");
+  write_compiler_header(f);
+  std::fprintf(f,
+               "  \"model\": {\"gpu\": \"%s\", \"toolchain\": \"clang\", "
+               "\"opt\": \"O3\"},\n",
+               gpu.name.c_str());
+  std::fprintf(f, "  \"components\": {\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ComponentRow& row = rows[i];
+    std::fprintf(f, "    \"%s\": {\"applied_fraction\": %.4f,\n",
+                 row.component->name().c_str(), row.stats.applied_fraction);
+    std::fprintf(f, "      \"encode\": ");
+    write_measured_json(f, row.encode);
+    std::fprintf(f, ", \"predicted_cycles_per_byte\": %.6f},\n",
+                 row.predicted_encode_cycles_per_byte);
+    std::fprintf(f, "      \"decode\": ");
+    write_measured_json(f, row.decode);
+    std::fprintf(f, ", \"predicted_cycles_per_byte\": %.6f}}%s\n",
+                 row.predicted_decode_cycles_per_byte,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu components) — run "
+              "scripts/costmodel_check.py on it\n",
+              out_path.c_str(), rows.size());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "table6_costmodel: %s\n", e.what());
+  return 1;
+}

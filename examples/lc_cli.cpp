@@ -9,6 +9,10 @@
 //   lc_cli stats --remote <addr> [--format=F]      live lc_server metrics
 //                                                  (addr: unix:PATH or
 //                                                  HOST:PORT; F: json|prom)
+//   lc_cli profile "<pipeline spec>" <input>       per-stage hardware-counter
+//                                                  table (lc::perfmon; falls
+//                                                  back to wall clock when
+//                                                  the host denies PMU access)
 //   lc_cli [flags] sweep [sweep flags]             run the characterization
 //                                                  sweep (and timing grid)
 //   lc_cli list                                    list the 62 components
@@ -33,7 +37,9 @@
 //   4  corrupt input: container failed integrity checks (strict decode)
 //   5  internal error: unexpected exception — a bug, please report it
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +58,7 @@
 #include "lc/codec.h"
 #include "lc/pipeline.h"
 #include "lc/registry.h"
+#include "perfmon/perfmon.h"
 #include "server/client.h"
 #include "telemetry/telemetry.h"
 
@@ -90,6 +97,7 @@ int usage() {
                "  lc_cli [flags] salvage <input> <output>\n"
                "  lc_cli [flags] stats <input>\n"
                "  lc_cli stats --remote <addr> [--format=json|prom]\n"
+               "  lc_cli profile \"<pipeline spec>\" <input>\n"
                "  lc_cli [flags] sweep [sweep flags]\n"
                "  lc_cli list\n"
                "flags:\n"
@@ -249,6 +257,161 @@ int run_remote_stats(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+/// Per-(stage, direction) accumulation for `lc_cli profile`: bytes, wall
+/// time and hardware-counter totals over all chunks of the input.
+struct StageProfile {
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  std::uint64_t wall_ns = 0;
+  bool counters_valid = true;
+  std::uint64_t cycles = 0, instructions = 0, cache_references = 0,
+                cache_misses = 0, branch_misses = 0;
+  std::size_t applied_chunks = 0;
+  std::size_t chunks = 0;
+
+  void fold(const lc::perfmon::Reading& r) {
+    wall_ns += r.wall_ns;
+    if (!r.valid) {
+      counters_valid = false;
+      return;
+    }
+    cycles += r.cycles.value_or(0);
+    instructions += r.instructions.value_or(0);
+    cache_references += r.cache_references.value_or(0);
+    cache_misses += r.cache_misses.value_or(0);
+    branch_misses += r.branch_misses.value_or(0);
+  }
+};
+
+void print_profile_row(const char* dir, std::size_t stage, const char* name,
+                       const StageProfile& p) {
+  const double mb_s = p.wall_ns > 0
+                          ? p.bytes_in * 1e3 / static_cast<double>(p.wall_ns)
+                          : 0.0;
+  std::printf("  %-6s %zu  %-10s %12.0f %12.0f %9.1f", dir, stage, name,
+              p.bytes_in, p.bytes_out, mb_s);
+  if (p.counters_valid && p.cycles > 0) {
+    const double cyc_per_byte =
+        static_cast<double>(p.cycles) / (p.bytes_in > 0 ? p.bytes_in : 1.0);
+    const double ipc = static_cast<double>(p.instructions) /
+                       static_cast<double>(p.cycles);
+    const double miss_pct =
+        p.cache_references > 0
+            ? 100.0 * static_cast<double>(p.cache_misses) /
+                  static_cast<double>(p.cache_references)
+            : 0.0;
+    const double br_ki = p.instructions > 0
+                             ? 1e3 * static_cast<double>(p.branch_misses) /
+                                   static_cast<double>(p.instructions)
+                             : 0.0;
+    std::printf(" %9.2f %6.2f %8.2f %9.2f", cyc_per_byte, ipc, miss_pct,
+                br_ki);
+  } else {
+    std::printf(" %9s %6s %8s %9s", "-", "-", "-", "-");
+  }
+  std::printf("  %zu/%zu\n", p.applied_chunks, p.chunks);
+}
+
+/// `lc_cli profile`: run one pipeline over the input stage-at-a-time —
+/// the same copy-fallback semantics as the codec — with a hardware
+/// counter group around each stage's chunk loop, and print the per-stage
+/// attribution table (cycles/byte, IPC, cache-miss rate, branch
+/// misses/kinstr). The stage-major loop keeps each measured region large
+/// (all chunks of one stage) so start/stop syscall overhead stays
+/// negligible against the measured work.
+int run_profile(const std::vector<std::string>& args) {
+  using namespace lc;
+  const Pipeline pipeline = Pipeline::parse(args[1]);
+  LC_REQUIRE(!pipeline.empty(), "pipeline must have at least one stage");
+  const Bytes input = read_file(args[2]);
+  LC_REQUIRE(!input.empty(), "profile: input file is empty");
+
+  const std::size_t n_chunks = (input.size() + kChunkSize - 1) / kChunkSize;
+  std::vector<Bytes> bufs(n_chunks);
+  std::vector<std::uint8_t> masks(n_chunks, 0);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t lo = c * kChunkSize;
+    const std::size_t hi = std::min(input.size(), lo + kChunkSize);
+    bufs[c].assign(input.begin() + static_cast<std::ptrdiff_t>(lo),
+                   input.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+
+  const std::size_t n_stages = pipeline.size();
+  std::vector<StageProfile> enc(n_stages), dec(n_stages);
+  perfmon::CounterGroup group;
+
+  // Encode, stage-major: stage s transforms every chunk before stage s+1
+  // runs, exactly reproducing per-chunk codec semantics (each chunk's
+  // copy-fallback mask is tracked independently).
+  Bytes tmp;
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    const Component& comp = pipeline.stage(s);
+    StageProfile& p = enc[s];
+    group.start();
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      p.bytes_in += static_cast<double>(bufs[c].size());
+      comp.encode(ByteSpan(bufs[c].data(), bufs[c].size()), tmp);
+      const bool applied = tmp.size() <= bufs[c].size();
+      if (applied) {
+        masks[c] = static_cast<std::uint8_t>(masks[c] | (1u << s));
+        bufs[c].swap(tmp);
+        ++p.applied_chunks;
+      }
+      p.bytes_out += static_cast<double>(bufs[c].size());
+      ++p.chunks;
+    }
+    p.fold(group.stop());
+  }
+
+  // Decode, stage-major in reverse, honoring each chunk's applied mask.
+  for (std::size_t s = n_stages; s-- > 0;) {
+    const Component& comp = pipeline.stage(s);
+    StageProfile& p = dec[s];
+    group.start();
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      if ((masks[c] & (1u << s)) == 0) continue;
+      p.bytes_in += static_cast<double>(bufs[c].size());
+      comp.decode(ByteSpan(bufs[c].data(), bufs[c].size()), tmp);
+      bufs[c].swap(tmp);
+      p.bytes_out += static_cast<double>(bufs[c].size());
+      ++p.applied_chunks;
+      ++p.chunks;
+    }
+    p.fold(group.stop());
+  }
+
+  // Round-trip sanity: the profile ran the real transforms, so the
+  // decoded chunks must reassemble the input bit-exactly.
+  std::size_t off = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    LC_REQUIRE(off + bufs[c].size() <= input.size() &&
+                   std::memcmp(bufs[c].data(), input.data() + off,
+                               bufs[c].size()) == 0,
+               "profile round-trip mismatch — this is a bug, please report");
+    off += bufs[c].size();
+  }
+  LC_REQUIRE(off == input.size(), "profile round-trip size mismatch");
+
+  std::printf("profile: pipeline \"%s\", %zu bytes in %zu chunks\n",
+              pipeline.spec().c_str(), input.size(), n_chunks);
+  std::printf("perfmon: %s\n", perfmon::describe().c_str());
+  if (group.backend() == perfmon::Backend::kFallback) {
+    std::printf("note: wall-clock fallback — counter columns are '-'; see "
+                "docs/PERFORMANCE.md \"Hardware counters\" for the required "
+                "perf_event_paranoid level\n");
+  }
+  std::printf("  %-6s %s  %-10s %12s %12s %9s %9s %6s %8s %9s  %s\n", "dir",
+              "#", "component", "bytes_in", "bytes_out", "MB/s", "cyc/B",
+              "IPC", "$miss%", "brm/KI", "applied");
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    print_profile_row("encode", s, pipeline.stage(s).name().c_str(), enc[s]);
+  }
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    print_profile_row("decode", s, pipeline.stage(s).name().c_str(), dec[s]);
+  }
+  return kExitOk;
+}
+
 /// Print the per-chunk damage map of a salvage result; returns the number
 /// of damaged chunks.
 std::size_t report_chunks(const lc::SalvageResult& result) {
@@ -393,6 +556,9 @@ int run(const std::vector<std::string>& args) {
     print_salvage_throughput(result, packed.size());
     return result.complete() ? kExitOk : kExitDamage;
   }
+  if (mode == "profile" && args.size() == 3) {
+    return run_profile(args);
+  }
   if (mode == "stats" && args.size() >= 2 && args[1] == "--remote") {
     return run_remote_stats(args);
   }
@@ -420,6 +586,7 @@ int run(const std::vector<std::string>& args) {
     for (const auto& [group, variant] : simd::describe_dispatch()) {
       std::printf("  %-16s %s\n", group.c_str(), variant.c_str());
     }
+    std::printf("perfmon: %s\n", perfmon::describe().c_str());
     std::printf(
         "fused pipeline: encode %llu hits / %llu misses, "
         "decode %llu hits / %llu misses\n",

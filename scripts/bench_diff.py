@@ -13,8 +13,12 @@ Usage:
       absorbs CI machine noise; real regressions are usually 10x.
 
 Both files must share a schema ("lc-bench-micro-v1", "lc-bench-sweep-v1",
-"lc-bench-grid-v1" or "lc-bench-server-v1"), produced by
-bench/perf_harness or bench/server/load_gen. See docs/PERFORMANCE.md.
+"lc-bench-grid-v1", "lc-bench-counters-v1" or "lc-bench-server-v1"),
+produced by bench/perf_harness or bench/server/load_gen. See
+docs/PERFORMANCE.md. For lc-bench-counters-v1 the gate is throughput per
+(SIMD level, family, direction); the hardware-counter payloads are
+printed as context, never gated — counts are stable, but gating them
+would make CI depend on the host's PMU model.
 Keys added after a baseline was recorded are treated as absent rather
 than errors, so old baselines keep working.
 
@@ -51,6 +55,29 @@ def print_simd(base, cur):
     if b and c and b != c:
         print(f"  warning: simd level differs ({b} vs {c}) — "
               f"throughput not directly comparable")
+
+
+def print_compiler(base, cur):
+    """Newer harnesses record the producing compiler and flags in a
+    "compiler" header object (the paper's cross-compiler axis). Warn when
+    the two files were built differently — a 'regression' between a GCC
+    baseline and a Clang current run is usually just the compiler."""
+    for label, data in (("baseline", base), ("current ", cur)):
+        c = data.get("compiler")
+        if c:
+            print(f"{label} compiler: {c.get('id', '?')} "
+                  f"{c.get('version', '?')} {c.get('flags', '')}".rstrip())
+    b, c = base.get("compiler"), cur.get("compiler")
+    if b and c:
+        if (b.get("id"), b.get("version")) != (c.get("id"), c.get("version")):
+            print(f"  warning: compiler differs "
+                  f"({b.get('id')} {b.get('version')} vs "
+                  f"{c.get('id')} {c.get('version')}) — "
+                  f"throughput not directly comparable")
+        elif b.get("flags") != c.get("flags"):
+            print(f"  warning: compiler flags differ "
+                  f"({b.get('flags')!r} vs {c.get('flags')!r}) — "
+                  f"throughput not directly comparable")
 
 
 def fmt_speedup(new, old):
@@ -132,6 +159,68 @@ def diff_grid(base, cur, threshold):
     return []
 
 
+def fmt_counters(entry):
+    """One direction's counter payload as a short context string.
+    "counters": null (wall-clock fallback host) prints as plain "-"."""
+    c = entry.get("counters")
+    if not c:
+        return "-"
+    parts = []
+    if "ipc" in c:
+        parts.append(f"ipc {c['ipc']:.2f}")
+    if "cache_miss_rate" in c:
+        parts.append(f"$miss {100 * c['cache_miss_rate']:.1f}%")
+    if "bytes_per_cycle" in c:
+        parts.append(f"{c['bytes_per_cycle']:.2f} B/cyc")
+    if c.get("multiplexed"):
+        parts.append(f"mux x{c.get('scale', 1.0):.2f}")
+    return ", ".join(parts) if parts else "-"
+
+
+def diff_counters(base, cur, threshold):
+    """lc-bench-counters-v1: per-(SIMD level, family, direction)
+    throughput, gated like micro; counter payloads are context only.
+    Levels present in only one file (different detection ceiling on the
+    two hosts) are listed but not compared."""
+    regressions = []
+    b_backend, c_backend = base.get("backend"), cur.get("backend")
+    if b_backend != c_backend:
+        print(f"  warning: counter backend differs "
+              f"({b_backend} vs {c_backend}) — counter payloads are "
+              f"one-sided; throughput still compared")
+    blevels = base.get("levels", {})
+    clevels = cur.get("levels", {})
+    for level in sorted(set(blevels) | set(clevels)):
+        if level not in blevels or level not in clevels:
+            print(f"[{level}] (only in one file — skipped)")
+            continue
+        bfam = blevels[level].get("families", {})
+        cfam = clevels[level].get("families", {})
+        print(f"[{level}]")
+        width = max((len(f) for f in set(bfam) | set(cfam)), default=6)
+        print(f"  {'family':<{width}}  {'encode':<30}  {'decode':<30}  "
+              f"counters (current)")
+        for fam in sorted(set(bfam) | set(cfam)):
+            b, c = bfam.get(fam), cfam.get(fam)
+            if b is None or c is None:
+                print(f"  {fam:<{width}}  (only in one file)")
+                continue
+            cells = []
+            for direction in ("encode", "decode"):
+                old = b[direction]["mb_s"]
+                new = c[direction]["mb_s"]
+                cells.append(f"{old:.0f} -> {new:.0f} MB/s "
+                             f"({fmt_speedup(new, old)})")
+                if threshold and new * threshold < old:
+                    regressions.append(
+                        f"[{level}] {fam} {direction}: {old:.0f} -> "
+                        f"{new:.0f} MB/s (>{threshold}x regression)")
+            ctx = (f"e: {fmt_counters(c['encode'])} | "
+                   f"d: {fmt_counters(c['decode'])}")
+            print(f"  {fam:<{width}}  {cells[0]:<30}  {cells[1]:<30}  {ctx}")
+    return regressions
+
+
 def diff_server(base, cur, threshold, max_loss_pct):
     """lc-bench-server-v1: the load_gen concurrency ramp. Throughput and
     p99 per matched step are context; the gate is peak req/s across the
@@ -202,6 +291,7 @@ def main(argv):
         sys.exit(f"bench_diff: schema mismatch: "
                  f"{base['schema']} vs {cur['schema']}")
     print_simd(base, cur)
+    print_compiler(base, cur)
 
     if base["schema"] == "lc-bench-micro-v1":
         regressions = diff_micro(base, cur, threshold if check else None)
@@ -209,6 +299,8 @@ def main(argv):
         regressions = diff_sweep(base, cur, threshold if check else None)
     elif base["schema"] == "lc-bench-grid-v1":
         regressions = diff_grid(base, cur, threshold if check else None)
+    elif base["schema"] == "lc-bench-counters-v1":
+        regressions = diff_counters(base, cur, threshold if check else None)
     elif base["schema"] == "lc-bench-server-v1":
         regressions = diff_server(base, cur, threshold if check else None,
                                   max_loss_pct if check else None)

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate the gpusim timing model against measured per-component cost.
+
+Usage:
+  scripts/costmodel_check.py costmodel_validation.json
+      Print, per direction, the measured-vs-predicted table sorted by
+      measured cost, the Spearman rank correlation, and the components
+      whose measured and predicted ranks disagree the most.
+
+  scripts/costmodel_check.py --min-spearman=0.3 costmodel_validation.json
+      Additionally exit non-zero if either direction's rank correlation
+      falls below the bound (CI's profile-smoke gate).
+
+The input is the "lc-costmodel-v1" JSON written by bench/table6_costmodel.
+Measured cost is hardware cycles per byte when the producing host had PMU
+access, wall nanoseconds per byte otherwise ("backend": "fallback") —
+rank correlation is scale-free, so the check works identically on both,
+and fallback data is exactly what PMU-less CI produces. The absolute
+magnitudes are NOT comparable (real CPU vs modeled GPU); only the
+ordering is meaningful, which is why the gate is rank-based.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "lc-costmodel-v1":
+        sys.exit(f"costmodel_check: {path}: expected schema "
+                 f"lc-costmodel-v1, got {data.get('schema')!r}")
+    return data
+
+
+def measured_cost(entry):
+    """One direction's measured cost: cycles when recorded, wall ns
+    otherwise. Within one file the backend is uniform, so mixing cannot
+    occur across components."""
+    c = entry.get("measured_cycles_per_byte")
+    if c is not None:
+        return float(c), "cyc/B"
+    return float(entry["measured_ns_per_byte"]), "ns/B"
+
+
+def ranks(values):
+    """Average-tied ranks, 1-based."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    rank = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            rank[order[k]] = avg
+        i = j + 1
+    return rank
+
+
+def spearman(xs, ys):
+    """Spearman rho = Pearson correlation of the rank vectors (handles
+    ties, unlike the 6*d^2 shortcut)."""
+    n = len(xs)
+    if n < 3:
+        return None
+    rx, ry = ranks(xs), ranks(ys)
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0 or vy == 0:
+        return None
+    return cov / (vx * vy) ** 0.5
+
+
+def check_direction(data, direction, flag_count):
+    comps = data["components"]
+    names = sorted(comps)
+    measured, predicted = [], []
+    unit = "?"
+    for name in names:
+        entry = comps[name][direction]
+        m, unit = measured_cost(entry)
+        measured.append(m)
+        predicted.append(float(entry["predicted_cycles_per_byte"]))
+
+    rho = spearman(measured, predicted)
+    mr, pr = ranks(measured), ranks(predicted)
+    disagreement = sorted(range(len(names)),
+                          key=lambda i: abs(mr[i] - pr[i]), reverse=True)
+
+    print(f"\n== {direction} ({len(names)} components, measured in {unit}, "
+          f"predicted in model cyc/B) ==")
+    print(f"  Spearman rank correlation: "
+          f"{'n/a' if rho is None else f'{rho:+.3f}'}")
+    print(f"  {'component':<10} {'measured':>12} {'rank':>5} "
+          f"{'predicted':>12} {'rank':>5} {'Δrank':>6}")
+    for i in sorted(range(len(names)), key=lambda i: mr[i]):
+        print(f"  {names[i]:<10} {measured[i]:>12.4f} {mr[i]:>5.0f} "
+              f"{predicted[i]:>12.4f} {pr[i]:>5.0f} "
+              f"{abs(mr[i] - pr[i]):>6.0f}")
+
+    worst = [i for i in disagreement[:flag_count] if abs(mr[i] - pr[i]) > 0]
+    if worst:
+        print(f"  largest rank disagreements "
+              f"(model mispredicts relative cost):")
+        for i in worst:
+            side = ("model under-ranks" if pr[i] < mr[i]
+                    else "model over-ranks")
+            print(f"    {names[i]:<10} measured rank {mr[i]:.0f} vs "
+                  f"predicted rank {pr[i]:.0f} ({side})")
+    return rho
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Rank-validate gpusim costs against measurements")
+    ap.add_argument("report", help="lc-costmodel-v1 JSON from "
+                    "bench/table6_costmodel")
+    ap.add_argument("--min-spearman", type=float, default=None,
+                    help="fail if either direction's rank correlation is "
+                    "below this bound")
+    ap.add_argument("--flag", type=int, default=5,
+                    help="how many top rank disagreements to list "
+                    "(default 5)")
+    args = ap.parse_args()
+
+    data = load(args.report)
+    model = data.get("model", {})
+    backend = data.get("backend", "?")
+    print(f"cost-model validation: {args.report}")
+    print(f"  measured on: backend={backend}"
+          + (" (wall-clock fallback — no PMU on producing host)"
+             if backend == "fallback" else ""))
+    compiler = data.get("compiler", {})
+    if compiler:
+        print(f"  host compiler: {compiler.get('id', '?')} "
+              f"{compiler.get('version', '?')} {compiler.get('flags', '')}")
+    print(f"  model reference: {model.get('gpu', '?')}, "
+          f"{model.get('toolchain', '?')}, {model.get('opt', '?')}")
+
+    failures = []
+    for direction in ("encode", "decode"):
+        rho = check_direction(data, direction, args.flag)
+        if args.min_spearman is not None:
+            if rho is None or rho < args.min_spearman:
+                failures.append(
+                    f"{direction}: rho="
+                    f"{'n/a' if rho is None else f'{rho:.3f}'} "
+                    f"< {args.min_spearman}")
+
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        sys.exit(1)
+    if args.min_spearman is not None:
+        print(f"\nOK: both directions at or above "
+              f"rho >= {args.min_spearman}")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,13 @@ def validate(trace: object) -> list[dict]:
                     int(trace_id, 16)
                 except ValueError:
                     fail(f"event {i}: args.trace_id {trace_id!r} is not hex")
+            # Hardware-counter deltas (LC_TELEMETRY_COUNTERS=1, see
+            # docs/TELEMETRY.md) are numeric args, present all-or-nothing
+            # per span.
+            for key in ("pmu_cycles", "pmu_instr", "pmu_cache_miss"):
+                v = ev.get("args", {}).get(key)
+                if v is not None and not isinstance(v, int):
+                    fail(f"event {i}: args.{key} must be an integer")
             spans.append(ev)
         elif ev["name"] == "thread_name":
             if "name" not in ev.get("args", {}):
@@ -148,15 +155,32 @@ def main() -> None:
 
     total_us = defaultdict(float)
     counts = defaultdict(int)
+    cache_misses = defaultdict(int)
     threads = set()
     requests = set()
     for ev in spans:
         total_us[ev["name"]] += ev["dur"]
         counts[ev["name"]] += 1
+        cache_misses[ev["name"]] += ev.get("args", {}).get(
+            "pmu_cache_miss", 0)
         threads.add((ev["pid"], ev["tid"]))
         tid = span_trace_id(ev)
         if tid is not None:
             requests.add(tid)
+    have_pmu = any(cache_misses.values())
+
+    names = set(total_us)
+    if "lc.encode_stage" in names or "lc.decode_stage" in names:
+        # Per-stage spans only exist because telemetry forces the codec
+        # off its fused single-pass path (src/lc/codec.cpp gates fusion
+        # on telemetry being off). Say so explicitly: the stage timings
+        # below describe the staged path, and the traced run is NOT the
+        # production-speed configuration (docs/PERFORMANCE.md, "SIMD
+        # dispatch & pipeline fusion").
+        print("note: per-stage spans present — the fused single-pass "
+              "pipeline path is auto-disabled while telemetry is "
+              "recording, so these timings reflect the staged "
+              "(per-component) execution path.")
 
     processes = {pid for pid, _ in threads}
     wall_us = (max(ev["ts"] + ev["dur"] for ev in spans) -
@@ -167,11 +191,17 @@ def main() -> None:
           f"{len(processes)} process(es){traced}, "
           f"{wall_us / 1e3:.2f} ms span extent")
     print(f"top {args.top} span names by total time:")
-    print(f"  {'name':<32} {'count':>8} {'total ms':>10} {'mean us':>10}")
+    pmu_col = f" {'$miss':>12}" if have_pmu else ""
+    print(f"  {'name':<32} {'count':>8} {'total ms':>10} {'mean us':>10}"
+          f"{pmu_col}")
     ranked = sorted(total_us.items(), key=lambda kv: kv[1], reverse=True)
     for name, us in ranked[:args.top]:
         n = counts[name]
-        print(f"  {name:<32} {n:>8} {us / 1e3:>10.3f} {us / n:>10.2f}")
+        pmu = f" {cache_misses[name]:>12}" if have_pmu else ""
+        print(f"  {name:<32} {n:>8} {us / 1e3:>10.3f} {us / n:>10.2f}{pmu}")
+    if have_pmu:
+        print("  ($miss: summed pmu_cache_miss deltas attributed to each "
+              "span name; see docs/TELEMETRY.md)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,384 @@
+#include "perfmon/perfmon.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define LC_PERFMON_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define LC_PERFMON_HAVE_PERF 0
+#endif
+
+namespace lc::perfmon {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Logical event order shared by open_events and read_group. Raw events
+/// follow at kLogicalRawBase + index.
+enum Logical : int {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kLogicalRawBase
+};
+
+const char* logical_name(int logical) {
+  switch (logical) {
+    case kCycles: return "cycles";
+    case kInstructions: return "instructions";
+    case kCacheReferences: return "cache-references";
+    case kCacheMisses: return "cache-misses";
+    case kBranchMisses: return "branch-misses";
+    default: return "raw";
+  }
+}
+
+int g_forced_errno = 0;  ///< force_open_failure_for_testing
+
+/// LC_PERFMON knob: true = PMU allowed (default), false = forced
+/// fallback. Strict parsing per the repo convention for LC_* knobs.
+bool pmu_allowed_from_env() {
+  const char* s = std::getenv("LC_PERFMON");
+  if (s == nullptr || s[0] == '\0') return true;
+  const std::string v(s);
+  if (v == "on" || v == "1") return true;
+  if (v == "off" || v == "0") return false;
+  throw lc::Error("LC_PERFMON must be on|1|off|0, got \"" + v + "\"");
+}
+
+#if LC_PERFMON_HAVE_PERF
+
+long perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  if (g_forced_errno != 0) {
+    errno = g_forced_errno;
+    return -1;
+  }
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;  // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0);
+}
+
+std::string open_error_hint(int err) {
+  std::string msg = "perf_event_open: ";
+  msg += std::strerror(err);
+  if (err == EACCES || err == EPERM) {
+    msg += "; check /proc/sys/kernel/perf_event_paranoid <= 2";
+  } else if (err == ENOENT) {
+    msg += "; no PMU exposed (VM/container without PMU passthrough)";
+  } else if (err == ENOSYS) {
+    msg += "; kernel built without perf events";
+  }
+  return msg;
+}
+
+#endif  // LC_PERFMON_HAVE_PERF
+
+}  // namespace
+
+const char* to_string(Backend b) noexcept {
+  return b == Backend::kPmu ? "pmu" : "fallback";
+}
+
+std::uint64_t scale_value(std::uint64_t raw, std::uint64_t time_enabled,
+                          std::uint64_t time_running) noexcept {
+  if (time_running == 0) return 0;  // never scheduled: nothing to scale
+  if (time_running >= time_enabled) return raw;  // counted the whole window
+  const double scaled = static_cast<double>(raw) *
+                        static_cast<double>(time_enabled) /
+                        static_cast<double>(time_running);
+  return static_cast<std::uint64_t>(scaled + 0.5);
+}
+
+std::optional<double> Reading::ipc() const {
+  if (!cycles || !instructions || *cycles == 0) return std::nullopt;
+  return static_cast<double>(*instructions) / static_cast<double>(*cycles);
+}
+
+std::optional<double> Reading::cache_miss_rate() const {
+  if (!cache_references || !cache_misses || *cache_references == 0) {
+    return std::nullopt;
+  }
+  return static_cast<double>(*cache_misses) /
+         static_cast<double>(*cache_references);
+}
+
+std::optional<double> Reading::branch_miss_per_kinstr() const {
+  if (!branch_misses || !instructions || *instructions == 0) {
+    return std::nullopt;
+  }
+  return 1e3 * static_cast<double>(*branch_misses) /
+         static_cast<double>(*instructions);
+}
+
+std::optional<double> Reading::bytes_per_cycle(double bytes) const {
+  if (!cycles || *cycles == 0 || bytes <= 0.0) return std::nullopt;
+  return bytes / static_cast<double>(*cycles);
+}
+
+CounterGroup::CounterGroup(const EventConfig& config) {
+  open_events(config);
+}
+
+CounterGroup::~CounterGroup() { close_all(); }
+
+CounterGroup::CounterGroup(CounterGroup&& other) noexcept
+    : backend_(other.backend_),
+      fallback_reason_(std::move(other.fallback_reason_)),
+      leader_(other.leader_),
+      events_(std::move(other.events_)),
+      wall_start_ns_(other.wall_start_ns_) {
+  other.leader_ = -1;
+  other.events_.clear();
+  other.backend_ = Backend::kFallback;
+}
+
+CounterGroup& CounterGroup::operator=(CounterGroup&& other) noexcept {
+  if (this != &other) {
+    close_all();
+    backend_ = other.backend_;
+    fallback_reason_ = std::move(other.fallback_reason_);
+    leader_ = other.leader_;
+    events_ = std::move(other.events_);
+    wall_start_ns_ = other.wall_start_ns_;
+    other.leader_ = -1;
+    other.events_.clear();
+    other.backend_ = Backend::kFallback;
+  }
+  return *this;
+}
+
+void CounterGroup::close_all() noexcept {
+#if LC_PERFMON_HAVE_PERF
+  for (const EventFd& e : events_) {
+    if (e.fd >= 0) close(e.fd);
+  }
+#endif
+  events_.clear();
+  leader_ = -1;
+}
+
+void CounterGroup::open_events(const EventConfig& config) {
+  if (!pmu_allowed_from_env()) {
+    backend_ = Backend::kFallback;
+    fallback_reason_ = "LC_PERFMON=off";
+    return;
+  }
+#if !LC_PERFMON_HAVE_PERF
+  (void)config;
+  backend_ = Backend::kFallback;
+  fallback_reason_ = "perf_event not supported on this platform";
+#else
+  struct Want {
+    bool on;
+    int logical;
+    std::uint32_t type;
+    std::uint64_t cfg;
+  };
+  const Want standard[] = {
+      {config.cycles, kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {config.instructions, kInstructions, PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_INSTRUCTIONS},
+      {config.cache_references, kCacheReferences, PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_CACHE_REFERENCES},
+      {config.cache_misses, kCacheMisses, PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_CACHE_MISSES},
+      {config.branch_misses, kBranchMisses, PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_BRANCH_MISSES},
+  };
+  for (const Want& w : standard) {
+    if (!w.on) continue;
+    const long fd = perf_open(w.type, w.cfg, leader_);
+    if (fd < 0) {
+      if (leader_ == -1) {
+        // The leader could not open: the whole group degrades. Remember
+        // why, for describe() and `lc_cli stats`.
+        backend_ = Backend::kFallback;
+        fallback_reason_ = open_error_hint(errno);
+        return;
+      }
+      continue;  // non-leader miss: drop this event, keep the group
+    }
+    if (leader_ == -1) leader_ = static_cast<int>(fd);
+    events_.push_back(
+        EventFd{static_cast<int>(fd), w.logical, logical_name(w.logical)});
+  }
+  for (std::size_t i = 0; i < config.raw.size(); ++i) {
+    const EventConfig::RawEvent& r = config.raw[i];
+    const long fd = perf_open(r.type, r.config, leader_);
+    if (fd < 0) {
+      if (leader_ == -1) {
+        backend_ = Backend::kFallback;
+        fallback_reason_ = open_error_hint(errno);
+        return;
+      }
+      continue;
+    }
+    if (leader_ == -1) leader_ = static_cast<int>(fd);
+    events_.push_back(EventFd{static_cast<int>(fd),
+                              kLogicalRawBase + static_cast<int>(i), r.name});
+  }
+  if (leader_ == -1) {
+    backend_ = Backend::kFallback;
+    fallback_reason_ = "no events requested";
+    return;
+  }
+  backend_ = Backend::kPmu;
+#endif
+}
+
+void CounterGroup::start() {
+  wall_start_ns_ = wall_now_ns();
+#if LC_PERFMON_HAVE_PERF
+  if (leader_ >= 0) {
+    ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+Reading CounterGroup::read_group(bool with_wall) const {
+  Reading r;
+  if (with_wall) r.wall_ns = wall_now_ns() - wall_start_ns_;
+  if (backend_ != Backend::kPmu) return r;
+#if LC_PERFMON_HAVE_PERF
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  std::uint64_t buf[3 + 64];
+  const std::size_t want = 3 + events_.size();
+  if (want > sizeof(buf) / sizeof(buf[0])) return r;
+  const ssize_t n =
+      read(leader_, buf, want * sizeof(std::uint64_t));
+  if (n < static_cast<ssize_t>(want * sizeof(std::uint64_t))) return r;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  r.valid = true;
+  r.scale = enabled > 0 ? static_cast<double>(running) /
+                              static_cast<double>(enabled)
+                        : 1.0;
+  r.multiplexed = running < enabled;
+  for (std::size_t i = 0; i < events_.size() && i < nr; ++i) {
+    const std::uint64_t v = scale_value(buf[3 + i], enabled, running);
+    switch (events_[i].logical) {
+      case kCycles: r.cycles = v; break;
+      case kInstructions: r.instructions = v; break;
+      case kCacheReferences: r.cache_references = v; break;
+      case kCacheMisses: r.cache_misses = v; break;
+      case kBranchMisses: r.branch_misses = v; break;
+      default: r.raw.emplace_back(events_[i].name, v); break;
+    }
+  }
+#endif
+  return r;
+}
+
+Reading CounterGroup::stop() {
+#if LC_PERFMON_HAVE_PERF
+  if (leader_ >= 0) {
+    ioctl(leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+  return read_group(/*with_wall=*/true);
+}
+
+Reading CounterGroup::sample() const { return read_group(/*with_wall=*/true); }
+
+Backend default_backend() {
+  const CounterGroup probe{EventConfig{}};
+  return probe.backend();
+}
+
+std::string describe() {
+  const CounterGroup probe{EventConfig{}};
+  if (probe.backend() == Backend::kFallback) {
+    return "fallback (" + probe.fallback_reason() + ")";
+  }
+  // Rebuilding the event-name list from a probe keeps describe() honest
+  // about which events this host actually granted.
+  std::string names;
+  const Reading r = probe.sample();
+  const struct {
+    bool present;
+    const char* name;
+  } fields[] = {
+      {r.cycles.has_value(), "cycles"},
+      {r.instructions.has_value(), "instructions"},
+      {r.cache_references.has_value(), "cache-references"},
+      {r.cache_misses.has_value(), "cache-misses"},
+      {r.branch_misses.has_value(), "branch-misses"},
+  };
+  for (const auto& f : fields) {
+    if (!f.present) continue;
+    if (!names.empty()) names += ',';
+    names += f.name;
+  }
+  return "pmu (" + names + ")";
+}
+
+std::string counters_json(const Reading& r, double bytes) {
+  if (!r.valid) return "null";
+  std::string out = "{";
+  char buf[64];
+  bool first = true;
+  const auto emit_u64 = [&](const char* key,
+                            const std::optional<std::uint64_t>& v) {
+    if (!v) return;
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", first ? "" : ", ", key,
+                  static_cast<unsigned long long>(*v));
+    out += buf;
+    first = false;
+  };
+  const auto emit_f = [&](const char* key, const std::optional<double>& v,
+                          const char* fmt) {
+    if (!v) return;
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": ", first ? "" : ", ", key);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), fmt, *v);
+    out += buf;
+    first = false;
+  };
+  emit_u64("cycles", r.cycles);
+  emit_u64("instructions", r.instructions);
+  emit_u64("cache_references", r.cache_references);
+  emit_u64("cache_misses", r.cache_misses);
+  emit_u64("branch_misses", r.branch_misses);
+  emit_f("ipc", r.ipc(), "%.3f");
+  emit_f("cache_miss_rate", r.cache_miss_rate(), "%.4f");
+  emit_f("branch_miss_per_kinstr", r.branch_miss_per_kinstr(), "%.3f");
+  emit_f("bytes_per_cycle", r.bytes_per_cycle(bytes), "%.4f");
+  std::snprintf(buf, sizeof(buf), "%s\"scale\": %.4f, \"multiplexed\": %s",
+                first ? "" : ", ", r.scale, r.multiplexed ? "true" : "false");
+  out += buf;
+  out += "}";
+  return out;
+}
+
+void force_open_failure_for_testing(int err) { g_forced_errno = err; }
+
+}  // namespace lc::perfmon

@@ -1,0 +1,196 @@
+#ifndef LC_PERFMON_PERFMON_H
+#define LC_PERFMON_PERFMON_H
+
+/// \file perfmon.h
+/// Hardware-counter profiling (`lc::perfmon`): RAII groups of Linux
+/// `perf_event_open` counters with multiplexing-aware scaling and a
+/// wall-clock-only fallback backend, so every caller works unchanged on
+/// hosts where the syscall is unavailable (containers, CI runners,
+/// locked-down `perf_event_paranoid` levels, non-Linux builds).
+///
+/// The paper is a performance *characterization* study, but wall clock
+/// alone can say a kernel got faster, never why. This subsystem supplies
+/// the why: cycles, instructions, cache references/misses and branch
+/// misses per measured region, from which the harnesses derive IPC, miss
+/// rates and bytes/cycle — and against which the gpusim cost model's
+/// per-component rank order is validated (scripts/costmodel_check.py).
+///
+/// Usage:
+///   perfmon::CounterGroup g;            // default event set
+///   g.start();
+///   ...workload...
+///   const perfmon::Reading r = g.stop();
+///   if (r.valid) use(*r.cycles, r.ipc());
+///   // r.wall_ns is always populated, PMU or not.
+///
+/// Degradation contract: constructing a CounterGroup NEVER throws for
+/// environmental reasons. If the group leader cannot be opened (ENOSYS,
+/// EACCES, EPERM, ENOENT, ...), the group silently becomes the fallback
+/// backend: start()/stop() still work, wall_ns is still measured, and
+/// Reading.valid is false so JSON emitters write `"counters": null`
+/// instead of fabricated numbers. Individual non-leader events that fail
+/// to open are dropped from the group (their Reading fields are nullopt)
+/// without demoting the whole group.
+///
+/// Multiplexing: the kernel time-shares PMU slots when a group asks for
+/// more events than the hardware has. Readings carry the group's
+/// time_enabled/time_running ratio; values are linearly extrapolated
+/// (the standard perf scaling) and `multiplexed` is set so consumers can
+/// flag the estimate. scale_value() is exposed pure for tests.
+///
+/// Environment: LC_PERFMON=off|0 forces the fallback backend (strict
+/// knob: any other non-empty value but "on"/"1" throws lc::Error on
+/// first use). The required kernel setting for unprivileged counting is
+/// perf_event_paranoid <= 2 (process-scope, exclude_kernel); see
+/// docs/PERFORMANCE.md, "Hardware counters".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lc::perfmon {
+
+enum class Backend {
+  kPmu,      ///< real perf_event_open counters
+  kFallback  ///< wall clock only (syscall unavailable or denied)
+};
+
+[[nodiscard]] const char* to_string(Backend b) noexcept;
+
+/// Which events a CounterGroup asks for. The default set covers the
+/// derived metrics the harnesses report (IPC, cache miss rate, branch
+/// miss rate, bytes/cycle).
+struct EventConfig {
+  bool cycles = true;
+  bool instructions = true;
+  bool cache_references = true;
+  bool cache_misses = true;
+  bool branch_misses = true;
+
+  /// Extra raw PMU events (perf_event_attr type/config), e.g.
+  /// {PERF_TYPE_RAW, 0x01b1, "uops_executed"}. Values appear in
+  /// Reading::raw under `name`.
+  struct RawEvent {
+    std::uint32_t type = 0;
+    std::uint64_t config = 0;
+    std::string name;
+  };
+  std::vector<RawEvent> raw;
+};
+
+/// One scaled reading of a counter group (from CounterGroup::stop() or
+/// sample()). All counter fields are multiplexing-scaled; a nullopt
+/// field means that event could not be opened on this host.
+struct Reading {
+  bool valid = false;        ///< false on the fallback backend
+  std::uint64_t wall_ns = 0; ///< always measured, both backends
+  double scale = 1.0;        ///< time_running / time_enabled of the group
+  bool multiplexed = false;  ///< scale < 1: values are extrapolated
+
+  std::optional<std::uint64_t> cycles;
+  std::optional<std::uint64_t> instructions;
+  std::optional<std::uint64_t> cache_references;
+  std::optional<std::uint64_t> cache_misses;
+  std::optional<std::uint64_t> branch_misses;
+  std::vector<std::pair<std::string, std::uint64_t>> raw;
+
+  /// Derived metrics; nullopt when an ingredient is missing.
+  [[nodiscard]] std::optional<double> ipc() const;
+  [[nodiscard]] std::optional<double> cache_miss_rate() const;
+  /// Branch misses per thousand instructions.
+  [[nodiscard]] std::optional<double> branch_miss_per_kinstr() const;
+  /// `bytes` processed per measured cycle (the table the paper never had).
+  [[nodiscard]] std::optional<double> bytes_per_cycle(double bytes) const;
+};
+
+/// The standard perf multiplexing extrapolation:
+///   raw * time_enabled / time_running,
+/// with running == 0 mapping to 0 (the event never got a slot; there is
+/// nothing to extrapolate from). Exposed pure for the scaling sanity
+/// test.
+[[nodiscard]] std::uint64_t scale_value(std::uint64_t raw,
+                                        std::uint64_t time_enabled,
+                                        std::uint64_t time_running) noexcept;
+
+/// An RAII group of hardware counters for the calling thread (counts
+/// this thread only, user space only). The first successfully-opened
+/// event is the group leader; all events start/stop atomically via the
+/// leader, so ratios between them (IPC, miss rates) are consistent.
+class CounterGroup {
+ public:
+  explicit CounterGroup(const EventConfig& config = EventConfig{});
+  ~CounterGroup();
+
+  CounterGroup(CounterGroup&& other) noexcept;
+  CounterGroup& operator=(CounterGroup&& other) noexcept;
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+  /// Why the group fell back (empty on the PMU backend).
+  [[nodiscard]] const std::string& fallback_reason() const noexcept {
+    return fallback_reason_;
+  }
+
+  /// Zero the counters and start counting (records the wall-clock
+  /// origin). May be called repeatedly; each start() begins a fresh
+  /// measurement window.
+  void start();
+
+  /// Stop counting and return the scaled reading for the window since
+  /// start(). On the fallback backend only wall_ns is populated.
+  [[nodiscard]] Reading stop();
+
+  /// Read the current values without stopping — for continuously-running
+  /// groups (telemetry span deltas). Counter fields are cumulative since
+  /// start().
+  [[nodiscard]] Reading sample() const;
+
+ private:
+  struct EventFd {
+    int fd = -1;
+    int logical = 0;  ///< index into the logical event order (see .cpp)
+    std::string name;
+  };
+
+  void open_events(const EventConfig& config);
+  void close_all() noexcept;
+  [[nodiscard]] Reading read_group(bool with_wall) const;
+
+  Backend backend_ = Backend::kFallback;
+  std::string fallback_reason_;
+  int leader_ = -1;
+  std::vector<EventFd> events_;
+  std::uint64_t wall_start_ns_ = 0;
+};
+
+/// Probe (uncached): would a default CounterGroup get real counters
+/// right now? Opens and closes a probe fd; cheap enough for status
+/// output (`lc_cli stats`, harness headers), and uncached so the
+/// force_open_failure_for_testing hook behaves predictably in tests.
+[[nodiscard]] Backend default_backend();
+
+/// One-line availability description for status output, e.g.
+///   "pmu (cycles,instructions,cache-references,cache-misses,branch-misses)"
+///   "fallback (perf_event_open: Permission denied; check
+///    /proc/sys/kernel/perf_event_paranoid <= 2)"
+[[nodiscard]] std::string describe();
+
+/// The "counters" JSON value for one reading: an object with scaled
+/// values and derived metrics, or the literal string "null" when the
+/// reading is invalid (fallback backend) — the shape contract the
+/// harness, the CLI and the fallback tests all share. `bytes` > 0 adds
+/// "bytes_per_cycle".
+[[nodiscard]] std::string counters_json(const Reading& r, double bytes = 0.0);
+
+/// Test hook: make every subsequent perf_event_open attempt (including
+/// default_backend() probes) fail with errno `err`; 0 restores the real
+/// syscall. Not thread-safe with concurrent group construction — test
+/// use only.
+void force_open_failure_for_testing(int err);
+
+}  // namespace lc::perfmon
+
+#endif  // LC_PERFMON_PERFMON_H

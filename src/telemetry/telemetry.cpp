@@ -6,10 +6,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <vector>
 
+#include "perfmon/perfmon.h"
 #include "telemetry/json_util.h"
 
 namespace lc::telemetry {
@@ -21,6 +23,12 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint64_t trace_id = 0;  ///< request context; 0 = none
+  /// Hardware-counter deltas over the span (0 = not collected). Stored as
+  /// dedicated fields, not SpanArgs, so they never compete with the three
+  /// caller-provided argument slots.
+  std::uint64_t pmu_cycles = 0;
+  std::uint64_t pmu_instructions = 0;
+  std::uint64_t pmu_cache_misses = 0;
   std::uint8_t n_args = 0;
   SpanArg args[kMaxSpanArgs];
 };
@@ -83,19 +91,62 @@ int enabled_from_env() {
   return (s != nullptr && s[0] != '\0' && s[0] != '0') ? 1 : 0;
 }
 
-void write_args_json(std::ostream& os, const SpanArg* args,
-                     std::uint8_t n_args) {
-  os << "\"args\":{";
-  for (std::uint8_t a = 0; a < n_args; ++a) {
-    if (a > 0) os << ',';
-    detail::write_json_string(os, args[a].key);
-    os << ':';
-    if (args[a].is_string) {
-      detail::write_json_string(os, args[a].str);
-    } else {
-      os << args[a].num;
+int counters_from_env() {
+  const char* s = std::getenv("LC_TELEMETRY_COUNTERS");
+  return (s != nullptr && s[0] != '\0' && s[0] != '0') ? 1 : 0;
+}
+
+std::atomic<int> g_span_counters{counters_from_env()};
+
+/// The calling thread's continuously-running counter group, or nullptr
+/// when the host denies PMU access (the group is only constructed once
+/// per thread; a fallback-backend group is immediately discarded so the
+/// hot path stays a null check). Cycles, instructions and cache misses
+/// only: three events fit the fixed counters of every PMU generation the
+/// repo targets, so span deltas are never multiplexed.
+perfmon::CounterGroup* thread_counters() {
+  thread_local std::unique_ptr<perfmon::CounterGroup> group;
+  thread_local bool resolved = false;
+  if (!resolved) {
+    resolved = true;
+    perfmon::EventConfig config;
+    config.cache_references = false;
+    config.branch_misses = false;
+    auto g = std::make_unique<perfmon::CounterGroup>(config);
+    if (g->backend() == perfmon::Backend::kPmu) {
+      g->start();
+      group = std::move(g);
     }
   }
+  return group.get();
+}
+
+/// The span's counter deltas, appended to an already-open args object
+/// ("pmu_cycles" etc., numeric). Emitted only when collected, so traces
+/// recorded without span counters are byte-identical to before.
+void write_pmu_args(std::ostream& os, const TraceEvent& e, bool lead_comma) {
+  if (e.pmu_cycles == 0 && e.pmu_instructions == 0 &&
+      e.pmu_cache_misses == 0) {
+    return;
+  }
+  os << (lead_comma ? "," : "") << "\"pmu_cycles\":" << e.pmu_cycles
+     << ",\"pmu_instr\":" << e.pmu_instructions
+     << ",\"pmu_cache_miss\":" << e.pmu_cache_misses;
+}
+
+void write_args_json(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\":{";
+  for (std::uint8_t a = 0; a < e.n_args; ++a) {
+    if (a > 0) os << ',';
+    detail::write_json_string(os, e.args[a].key);
+    os << ':';
+    if (e.args[a].is_string) {
+      detail::write_json_string(os, e.args[a].str);
+    } else {
+      os << e.args[a].num;
+    }
+  }
+  write_pmu_args(os, e, /*lead_comma=*/e.n_args > 0);
   os << '}';
 }
 
@@ -120,6 +171,17 @@ void Span::open(const char* name) noexcept {
   armed_ = true;
   name_ = name;
   trace_id_ = tl_trace_id;
+  if (span_counters_enabled()) {
+    if (const perfmon::CounterGroup* g = thread_counters()) {
+      const perfmon::Reading r = g->sample();
+      if (r.valid) {
+        pmu0_[0] = r.cycles.value_or(0);
+        pmu0_[1] = r.instructions.value_or(0);
+        pmu0_[2] = r.cache_misses.value_or(0);
+        pmu_armed_ = true;
+      }
+    }
+  }
   start_ns_ = now_ns();
 }
 
@@ -132,8 +194,37 @@ void Span::close() noexcept {
   e.start_ns = start_ns_;
   e.dur_ns = end_ns - start_ns_;
   e.trace_id = trace_id_;
+  e.pmu_cycles = e.pmu_instructions = e.pmu_cache_misses = 0;
+  if (pmu_armed_) {
+    if (const perfmon::CounterGroup* g = thread_counters()) {
+      const perfmon::Reading r = g->sample();
+      if (r.valid) {
+        // The group runs continuously; deltas are cumulative-minus-open.
+        // Monotonicity can break if the group was restarted mid-span, so
+        // clamp instead of wrapping.
+        const std::uint64_t c = r.cycles.value_or(0);
+        const std::uint64_t i = r.instructions.value_or(0);
+        const std::uint64_t m = r.cache_misses.value_or(0);
+        e.pmu_cycles = c > pmu0_[0] ? c - pmu0_[0] : 0;
+        e.pmu_instructions = i > pmu0_[1] ? i - pmu0_[1] : 0;
+        e.pmu_cache_misses = m > pmu0_[2] ? m - pmu0_[2] : 0;
+      }
+    }
+  }
   e.n_args = n_args_;
   for (std::uint8_t a = 0; a < n_args_; ++a) e.args[a] = args_[a];
+}
+
+void set_span_counters_enabled(bool on) noexcept {
+  g_span_counters.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool span_counters_enabled() noexcept {
+  return g_span_counters.load(std::memory_order_relaxed) != 0;
+}
+
+bool span_counters_available() {
+  return span_counters_enabled() && thread_counters() != nullptr;
 }
 
 std::uint64_t current_trace_id() noexcept { return tl_trace_id; }
@@ -234,9 +325,10 @@ void write_chrome_trace(std::ostream& os) {
             os << e.args[a].num;
           }
         }
+        write_pmu_args(os, e, /*lead_comma=*/true);
         os << '}';
       } else {
-        write_args_json(os, e.args, e.n_args);
+        write_args_json(os, e);
       }
       os << '}';
     }

@@ -50,6 +50,26 @@ extern std::atomic<int> g_enabled;
 
 void set_enabled(bool on) noexcept;
 
+// --- Hardware-counter span deltas (lc::perfmon) ---------------------------
+//
+// When span counters are on (LC_TELEMETRY_COUNTERS=1 or
+// set_span_counters_enabled(true)) and the host grants PMU access, every
+// enabled Span additionally records the cycles / instructions /
+// cache-miss deltas its region consumed, read from a per-thread
+// continuously-running perfmon::CounterGroup. write_chrome_trace emits
+// them as numeric args ("pmu_cycles", "pmu_instr", "pmu_cache_miss") so
+// trace_summary.py can attribute cache misses to pipeline stages. On
+// hosts without PMU access the flag is inert: spans record exactly what
+// they always did (graceful degradation, docs/PERFORMANCE.md).
+
+void set_span_counters_enabled(bool on) noexcept;
+[[nodiscard]] bool span_counters_enabled() noexcept;
+
+/// True when the calling thread actually has a live PMU counter group
+/// (span counters enabled AND perf_event_open succeeded). Tests use this
+/// to assert the fallback path stayed silent.
+[[nodiscard]] bool span_counters_available();
+
 /// Nanoseconds since the process's trace epoch (steady clock).
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
@@ -133,10 +153,12 @@ class Span {
   void close() noexcept;
 
   bool armed_ = false;
+  bool pmu_armed_ = false;  ///< span counters sampled at open
   std::uint8_t n_args_ = 0;
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
   std::uint64_t trace_id_ = 0;
+  std::uint64_t pmu0_[3] = {};  ///< cycles/instr/cache-miss at open
   SpanArg args_[kMaxSpanArgs];
 };
 

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "lc/codec.h"
 #include "lc/pipeline.h"
+#include "perfmon/perfmon.h"
 
 namespace lc::telemetry {
 namespace {
@@ -354,6 +356,38 @@ TEST(Trace, SpansRecordWithArgs) {
   EXPECT_GE(found->at("dur").number, 0.0);
   EXPECT_EQ(found->at("args").at("bytes").number, 123.0);
   EXPECT_EQ(found->at("args").at("component").str, "DIFF_4");
+}
+
+// Span counter deltas degrade exactly like everything else in perfmon:
+// with collection requested but no PMU (forced ENOSYS), spans still
+// record, the trace stays schema-valid, and no pmu_* args appear —
+// traces from PMU-less hosts are byte-compatible with pre-counter ones.
+TEST(Trace, SpanCountersFallBackToPlainSpans) {
+  perfmon::force_open_failure_for_testing(ENOSYS);
+  const TelemetryScope scope;
+  set_span_counters_enabled(true);
+  EXPECT_FALSE(span_counters_available());
+  {
+    Span span("test.counters", "bytes", std::uint64_t{64});
+  }
+  set_span_counters_enabled(false);
+  perfmon::force_open_failure_for_testing(0);
+
+  EXPECT_GE(recorded_span_count(), 1u);
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const JsonValue root = parse_json_or_die(os.str());
+  const JsonValue* found = nullptr;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").str == "X" && e.at("name").str == "test.counters") {
+      found = &e;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->at("args").at("bytes").number, 64.0);
+  EXPECT_EQ(found->at("args").object.count("pmu_cycles"), 0u);
+  EXPECT_EQ(found->at("args").object.count("pmu_instr"), 0u);
+  EXPECT_EQ(found->at("args").object.count("pmu_cache_miss"), 0u);
 }
 
 TEST(Trace, LongStringArgsAreTruncatedNotCorrupted) {
