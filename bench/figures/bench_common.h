@@ -21,7 +21,11 @@
 ///   LC_JOBS    worker-thread cap for sweep + grid evaluation
 ///              (default: hardware concurrency)
 ///   LC_CACHE   sweep cache path (default ./lc_sweep_cache.bin)
-///   LC_GRID_CACHE  timing-grid cache path (default ./lc_grid_cache.bin)
+///   LC_GRID_CACHE  timing-grid cache path (default: lc_grid_cache.bin
+///              next to the sweep cache; resolved by the charlab library,
+///              so lc_cli and the figures agree)
+///   LC_GRID_MODE   mapped (default) | owned — how a grid cache hit is
+///              loaded (mmap'd shared view vs private digest-checked copy)
 ///   LC_INPUTS  comma-separated SP file subset (default: all 13)
 ///   LC_CSV     if set, also write <figure>.csv to this directory
 ///   LC_TELEMETRY  if 1, embed the telemetry metrics snapshot in every
@@ -101,9 +105,10 @@ inline charlab::SweepConfig config_from_env() {
 }
 
 inline charlab::TimingGrid::Config grid_config_from_env() {
-  charlab::TimingGrid::Config config;
-  if (const char* s = std::getenv("LC_GRID_CACHE")) config.cache_path = s;
-  return config;
+  // LC_GRID_CACHE and LC_GRID_MODE are honored inside the charlab
+  // library (TimingGrid::resolve_cache_path / load_or_compute), so every
+  // consumer — figures, lc_cli, benches — resolves identically.
+  return charlab::TimingGrid::Config{};
 }
 
 /// The sweep, computed once per process (and cached on disk across
@@ -136,11 +141,14 @@ inline const charlab::TimingGrid& shared_grid() {
     // unspecified, and global() throws on a malformed LC_JOBS.
     const charlab::Sweep& sweep = shared_sweep();
     charlab::TimingGrid g = charlab::TimingGrid::load_or_compute(sweep, config);
+    const char* how =
+        g.load_mode() == charlab::GridLoadMode::kMappedCache ? "mapped from"
+        : g.loaded_from_cache()                              ? "reloaded from"
+                                                             : "evaluated into";
     std::fprintf(stderr, "[grid] 44 cells x %zu pipelines (%s %s)\n",
-                 g.num_pipelines(),
-                 g.loaded_from_cache() ? "reloaded from" : "evaluated into",
-                 config.cache_path.empty() ? "lc_grid_cache.bin"
-                                           : config.cache_path.c_str());
+                 g.num_pipelines(), how,
+                 charlab::TimingGrid::resolve_cache_path(sweep,
+                                                         config).c_str());
     return g;
   }();
   return grid;
@@ -148,11 +156,13 @@ inline const charlab::TimingGrid& shared_grid() {
 
 /// Geomean throughput of every pipeline for one execution context, in
 /// enumeration order (i1-major). ~107,632 values, served from the shared
-/// grid without re-evaluating the cost model.
-inline const std::vector<double>& all_throughputs(const gpusim::GpuSpec& gpu,
-                                                  gpusim::Toolchain tc,
-                                                  gpusim::OptLevel opt,
-                                                  gpusim::Direction dir) {
+/// grid without re-evaluating the cost model. The view points into the
+/// grid's storage (an mmap'd page in mapped mode) — copy via to_vector()
+/// only where a sorter needs to own the population.
+inline charlab::CellView all_throughputs(const gpusim::GpuSpec& gpu,
+                                         gpusim::Toolchain tc,
+                                         gpusim::OptLevel opt,
+                                         gpusim::Direction dir) {
   return shared_grid().cell_values(gpu, tc, opt, dir);
 }
 
@@ -168,7 +178,7 @@ inline std::vector<double> throughputs_where(
     const std::function<bool(const Component&, const Component&,
                              const Component&)>& pred) {
   const charlab::Sweep& sweep = shared_sweep();
-  const std::vector<double>& values = all_throughputs(gpu, tc, opt, dir);
+  const charlab::CellView values = all_throughputs(gpu, tc, opt, dir);
   std::vector<double> out;
   std::size_t p = 0;
   for (std::size_t i1 = 0; i1 < sweep.num_components(); ++i1) {

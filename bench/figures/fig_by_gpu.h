@@ -13,7 +13,10 @@ inline void run_fig_by_gpu(const std::string& figure_id,
                            gpusim::Direction dir) {
   const std::vector<charlab::Series> series = gpu_compiler_series(
       [dir](const gpusim::GpuSpec& gpu, gpusim::Toolchain tc) {
-        return all_throughputs(gpu, tc, gpusim::OptLevel::kO3, dir);
+        // The series owns its population (letter values reorder it), so
+        // materialize the cell view.
+        return all_throughputs(gpu, tc, gpusim::OptLevel::kO3, dir)
+            .to_vector();
       });
   emit(figure_id,
        std::string(gpusim::to_string(dir)) + " throughputs by GPU",

@@ -13,9 +13,9 @@ inline void run_fig_opt_speedup(const std::string& figure_id,
                                 gpusim::Direction dir) {
   const std::vector<charlab::Series> series = gpu_compiler_series(
       [dir](const gpusim::GpuSpec& gpu, gpusim::Toolchain tc) {
-        const std::vector<double>& o3 =
+        const charlab::CellView o3 =
             all_throughputs(gpu, tc, gpusim::OptLevel::kO3, dir);
-        const std::vector<double>& o1 =
+        const charlab::CellView o1 =
             all_throughputs(gpu, tc, gpusim::OptLevel::kO1, dir);
         std::vector<double> speedup;
         speedup.reserve(o3.size());

@@ -10,9 +10,14 @@
 //   --grid[=PATH]    timing-grid evaluation wall clock (all 44 cells x
 //                    107,632 pipelines) -> BENCH_grid.json. --grid-mode
 //                    selects the implementation: "batched" (the SoA
-//                    BatchCostEvaluator path the figure suite uses) or
+//                    BatchCostEvaluator path the figure suite uses),
 //                    "legacy" (per-record Sweep::geomean_throughput,
-//                    parallelized the same way — the pre-grid baseline).
+//                    parallelized the same way — the pre-grid baseline),
+//                    or the cache *load* A/B pair "mapped" / "owned":
+//                    evaluate + save the LCGR v2 cache once untimed,
+//                    then time min-of-N per-process reloads (mmap'd view
+//                    vs owned digest-checked deserialization) and record
+//                    grid_load_ms + load_mode in the JSON.
 //   --counters[=PATH] the micro families again, but instrumented with
 //                    lc::perfmon hardware counters, once per supported
 //                    LC_SIMD dispatch level (or only the forced level
@@ -37,8 +42,9 @@
 //                concurrency)
 //   --scale=X    sweep dataset scale for --grid (default 1/512: the grid
 //                cost is sweep-size-independent, so keep the setup cheap)
-//   --grid-mode=batched|legacy   (default batched)
-//   --grid-cache=PATH  also save the evaluated grid cache here (artifact)
+//   --grid-mode=batched|legacy|mapped|owned   (default batched)
+//   --grid-cache=PATH  save the evaluated grid cache here (artifact; for
+//                the mapped/owned load modes this is the measured file)
 //   --metrics=PATH     write a telemetry metrics JSON snapshot on exit
 
 #include <algorithm>
@@ -129,6 +135,18 @@ void write_simd_header(std::FILE* f) {
                  table[i].first.c_str(), table[i].second.c_str());
   }
   std::fprintf(f, "}\n  },\n");
+}
+
+/// Shard attribution (ISSUE 10): which slice of the sweep item space the
+/// producing process owned — {0, 1} for an unsharded run. Read from the
+/// lc.sweep.shard_* gauges the sweep sets, so the header is only written
+/// by sweep-backed benches (after the sweep ran).
+void write_shard_header(std::FILE* f) {
+  std::fprintf(f, "  \"shard\": {\"index\": %lld, \"count\": %lld},\n",
+               static_cast<long long>(
+                   lc::telemetry::gauge("lc.sweep.shard_index").value()),
+               static_cast<long long>(
+                   lc::telemetry::gauge("lc.sweep.shard_count").value()));
 }
 
 void run_micro(const std::string& path, int iters) {
@@ -367,6 +385,7 @@ void run_sweep(const std::string& path, std::size_t chunks,
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-sweep-v1\",\n");
   write_compiler_header(f);
   write_simd_header(f);
+  write_shard_header(f);
   std::fprintf(f, "  \"inputs\": %zu,\n  \"chunks_per_input\": %zu,\n",
                sweep.num_inputs(), config.chunks_per_input);
   std::fprintf(f, "  \"scale\": %.8f,\n  \"threads\": %zu,\n", config.scale,
@@ -405,7 +424,49 @@ void run_grid(const std::string& path, std::size_t chunks,
   const std::size_t r = sweep.num_reducers();
 
   double wall = 0.0;
-  if (mode == "batched") {
+  double grid_load_ms = -1.0;
+  if (mode == "mapped" || mode == "owned") {
+    // Cache *load* A/B: evaluate and write the LCGR v2 cache once
+    // (untimed setup), then reload it min-of-N in the requested mode.
+    // This is the per-process startup cost every figure binary and
+    // lc_server warm start pays — the number the >= 5x mapped-vs-owned
+    // CI gate (ISSUE 10) is about.
+    const std::string cache_path =
+        grid_cache.empty() ? path + ".grid_cache.bin" : grid_cache;
+    lc::charlab::TimingGrid::Config cfg;
+    cfg.cache_path = cache_path;
+    {
+      const lc::charlab::TimingGrid setup =
+          lc::charlab::TimingGrid::load_or_compute(sweep, cfg, pool);
+      if (setup.num_pipelines() != pipelines) {
+        std::fprintf(stderr, "perf_harness: grid setup produced %zu rows\n",
+                     setup.num_pipelines());
+        std::exit(1);
+      }
+    }
+    cfg.mode = mode == "mapped"
+                   ? lc::charlab::TimingGrid::Config::Mode::kMapped
+                   : lc::charlab::TimingGrid::Config::Mode::kOwned;
+    constexpr int kLoadIters = 9;
+    wall = 1e9;
+    std::uint64_t sink = 0;
+    for (int it = 0; it < kLoadIters; ++it) {
+      const Clock::time_point t0 = Clock::now();
+      const lc::charlab::TimingGrid grid =
+          lc::charlab::TimingGrid::load_or_compute(sweep, cfg, pool);
+      const double s = seconds_since(t0);
+      if (!grid.loaded_from_cache()) {
+        std::fprintf(stderr,
+                     "perf_harness: grid cache miss during load bench\n");
+        std::exit(1);
+      }
+      sink ^= grid.fingerprint() + grid.num_pipelines();
+      wall = std::min(wall, s);
+    }
+    if (sink == 0) std::fprintf(stderr, "[perf] (sink %llu)\n",
+                                static_cast<unsigned long long>(sink));
+    grid_load_ms = wall * 1000.0;
+  } else if (mode == "batched") {
     const Clock::time_point t0 = Clock::now();
     const lc::charlab::TimingGrid grid =
         lc::charlab::TimingGrid::evaluate(sweep, pool);
@@ -440,7 +501,9 @@ void run_grid(const std::string& path, std::size_t chunks,
     });
     wall = seconds_since(t0);
   } else {
-    std::fprintf(stderr, "perf_harness: unknown --grid-mode=%s\n",
+    std::fprintf(stderr,
+                 "perf_harness: unknown --grid-mode=%s (want batched, "
+                 "legacy, mapped or owned)\n",
                  mode.c_str());
     std::exit(2);
   }
@@ -456,7 +519,15 @@ void run_grid(const std::string& path, std::size_t chunks,
   std::fprintf(f, "{\n  \"schema\": \"lc-bench-grid-v1\",\n");
   write_compiler_header(f);
   write_simd_header(f);
+  write_shard_header(f);
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
+  if (grid_load_ms >= 0.0) {
+    // Load modes measure cache deserialization, not evaluation: expose
+    // the per-process load explicitly so bench_diff can gate the
+    // mapped-vs-owned speedup.
+    std::fprintf(f, "  \"load_mode\": \"%s\",\n", mode.c_str());
+    std::fprintf(f, "  \"grid_load_ms\": %.4f,\n", grid_load_ms);
+  }
   std::fprintf(f, "  \"cells\": %zu,\n  \"pipelines\": %zu,\n", cells.size(),
                pipelines);
   std::fprintf(f, "  \"inputs\": %zu,\n  \"threads\": %zu,\n",
@@ -464,7 +535,7 @@ void run_grid(const std::string& path, std::size_t chunks,
   std::fprintf(f, "  \"scale\": %.8f,\n", scale);
   std::fprintf(f, "  \"cell_evals\": %.0f,\n  \"model_evals\": %.0f,\n",
                cell_evals, model_evals);
-  std::fprintf(f, "  \"wall_s\": %.4f,\n  \"evals_per_s\": %.0f\n}\n", wall,
+  std::fprintf(f, "  \"wall_s\": %.6f,\n  \"evals_per_s\": %.0f\n}\n", wall,
                model_evals / wall);
   std::fclose(f);
   std::fprintf(stderr, "[perf] wrote %s (%s: %.4f s, %.0f model evals)\n",
@@ -538,7 +609,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: perf_harness [--micro[=PATH]] [--sweep[=PATH]] "
                    "[--grid[=PATH]] [--counters[=PATH]] "
-                   "[--grid-mode=batched|legacy] "
+                   "[--grid-mode=batched|legacy|mapped|owned] "
                    "[--grid-cache=PATH] [--metrics=PATH] [--iters=N] "
                    "[--chunks=N] [--scale=X] [--inputs=a,b] [--threads=N]\n");
       return 2;

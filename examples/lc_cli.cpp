@@ -99,6 +99,7 @@ int usage() {
                "  lc_cli stats --remote <addr> [--format=json|prom]\n"
                "  lc_cli profile \"<pipeline spec>\" <input>\n"
                "  lc_cli [flags] sweep [sweep flags]\n"
+               "  lc_cli merge <partial>... -o <cache>\n"
                "  lc_cli list\n"
                "flags:\n"
                "  --trace=<file>    write a Perfetto-loadable trace "
@@ -115,6 +116,12 @@ int usage() {
                "  --no-cache        force recomputation, no cache I/O\n"
                "  --grid[=<file>]   also evaluate the 44-cell timing grid "
                "(cache at <file>)\n"
+               "  --shard=<i>/<n>   compute only shard i of n (1-based) of "
+               "the stage-2/3\n"
+               "                    work items; writes a mergeable partial "
+               "checkpoint at\n"
+               "                    <cache>.shard<i>of<n> (merge with `lc_cli "
+               "merge`)\n"
                "exit codes:\n"
                "  0 success   1 handled damage (verify/salvage)   2 usage\n"
                "  3 I/O error   4 corrupt input   5 internal error\n");
@@ -174,10 +181,36 @@ int run_sweep(const std::vector<std::string>& args) {
     } else if (a.rfind("--grid=", 0) == 0) {
       want_grid = true;
       grid_config.cache_path = value("--grid=");
+    } else if (a.rfind("--shard=", 0) == 0) {
+      const std::string spec = value("--shard=");
+      const std::size_t slash = spec.find('/');
+      LC_REQUIRE(slash != std::string::npos,
+                 "--shard expects <i>/<n>, got \"" + spec + "\"");
+      const std::size_t index = parse_job_count(
+          spec.substr(0, slash).c_str(), "--shard index");
+      config.shard_count =
+          parse_job_count(spec.substr(slash + 1).c_str(), "--shard count");
+      LC_REQUIRE(index >= 1 && index <= config.shard_count,
+                 "--shard index must be in [1, count], got \"" + spec + "\"");
+      config.shard_index = index - 1;  // 1-based on the CLI, 0-based inside
     } else {
       std::fprintf(stderr, "sweep: unknown flag %s\n", a.c_str());
       return usage();
     }
+  }
+  const bool sharded = config.shard_count > 1;
+  if (sharded) {
+    // A shard holds only its slice of the stage-2/3 records — it cannot
+    // feed the timing grid; merge the partials first.
+    LC_REQUIRE(!want_grid, "--grid cannot be combined with --shard "
+                           "(merge the partials, then run --grid)");
+    // Each shard checkpoints to its own partial file derived from the
+    // canonical cache path, so N shards on one filesystem never collide.
+    const std::string base =
+        config.cache_path.empty() ? "lc_sweep_cache.bin" : config.cache_path;
+    config.cache_path = base + ".shard" +
+                        std::to_string(config.shard_index + 1) + "of" +
+                        std::to_string(config.shard_count);
   }
 
   std::optional<ThreadPool> local_pool;
@@ -185,6 +218,15 @@ int run_sweep(const std::vector<std::string>& args) {
   ThreadPool& pool = local_pool ? *local_pool : ThreadPool::global();
   std::printf("sweep: %zu threads, scale %g, %zu chunks/input\n", pool.size(),
               config.scale, config.chunks_per_input);
+
+  if (sharded) {
+    const std::size_t n = Registry::instance().all().size();
+    const charlab::ShardRange range = charlab::shard_item_range(
+        config.shard_index, config.shard_count, n * n);
+    std::printf("sweep: shard %zu/%zu, stage-2/3 items [%zu, %zu) -> %s\n",
+                config.shard_index + 1, config.shard_count, range.begin,
+                range.end, config.cache_path.c_str());
+  }
 
   const charlab::Sweep sweep = charlab::Sweep::load_or_compute(config, pool);
   std::printf("sweep: %zu inputs, %zu pipelines (%zu inputs resumed from "
@@ -206,6 +248,36 @@ int run_sweep(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(grid.fingerprint()));
   }
   return 0;
+}
+
+/// `lc_cli merge <partial>... -o <cache>`: validate and merge a complete
+/// set of shard partials (from `sweep --shard`) into the canonical sweep
+/// cache, byte-identical to an unsharded run's cache. Rejections
+/// (overlap, gap, fingerprint mismatch, incomplete or malformed partial)
+/// are typed MergeErrors and exit with the corrupt-input code (4).
+int run_merge(const std::vector<std::string>& args) {
+  using namespace lc;
+  std::vector<std::string> partials;
+  std::string out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (a.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "merge: unknown flag %s\n", a.c_str());
+      return usage();
+    } else {
+      partials.push_back(a);
+    }
+  }
+  if (partials.empty() || out_path.empty()) {
+    std::fprintf(stderr, "merge: need at least one partial and -o <cache>\n");
+    return usage();
+  }
+  charlab::merge_shard_partials(partials, out_path);
+  std::printf("merge: %zu partials -> %s\n", partials.size(),
+              out_path.c_str());
+  return kExitOk;
 }
 
 /// `lc_cli stats --remote`: scrape a live lc_server's metrics snapshot
@@ -502,6 +574,9 @@ int run(const std::vector<std::string>& args) {
   if (mode == "sweep") {
     return run_sweep(args);
   }
+  if (mode == "merge") {
+    return run_merge(args);
+  }
   if (mode == "list") {
     for (const Component* c : Registry::instance().all()) {
       std::printf("%-10s %s, %d-byte words\n", c->name().c_str(),
@@ -619,6 +694,11 @@ int main(int argc, char** argv) {
     rc = run(args);
   } catch (const lc::CorruptDataError& e) {
     std::fprintf(stderr, "error: corrupt input: %s\n", e.what());
+    rc = kExitCorrupt;
+  } catch (const lc::charlab::MergeError& e) {
+    // A rejected merge means the partial set is bad data, not bad usage.
+    std::fprintf(stderr, "error: %s [%s]\n", e.what(),
+                 lc::charlab::MergeError::to_string(e.kind()));
     rc = kExitCorrupt;
   } catch (const lc::IoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +28,9 @@
 #include <string>
 #include <thread>
 
+#include "common/mmap_file.h"
 #include "server/server.h"
+#include "telemetry/telemetry.h"
 #include "telemetry/recorder.h"
 
 namespace {
@@ -75,6 +78,7 @@ int usage(const char* argv0) {
       "          [--queue N] [--max-frame-bytes N] [--degrade-at F]\n"
       "          [--default-spec SPEC] [--fast-spec SPEC] [--print-port]\n"
       "          [--flight-dir DIR] [--inject-fault-after N]\n"
+      "          [--warm-grid PATH]\n"
       "\n"
       "At least one of --unix / --tcp is required. --tcp 0 binds an\n"
       "ephemeral port; --print-port writes 'PORT=<n>' to stdout for\n"
@@ -82,7 +86,10 @@ int usage(const char* argv0) {
       "worker faults, kDumpDiagnostics, and fatal signals).\n"
       "--inject-fault-after N throws from the Nth request's worker — a\n"
       "chaos knob for exercising the fault path end to end (CI's\n"
-      "observability-smoke job). See docs/SERVER.md.\n",
+      "observability-smoke job). --warm-grid maps the LCGR v2 timing\n"
+      "grid read-only at startup (shared page-cache copy across\n"
+      "processes; lc.grid.* gauges in the stats snapshot). See\n"
+      "docs/SERVER.md.\n",
       argv0);
   return 2;
 }
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
   lc::server::ServerConfig cfg;
   bool print_port = false;
   long inject_fault_after = 0;
+  std::string warm_grid_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +133,8 @@ int main(int argc, char** argv) {
       std::strncpy(g_flight_dir, v, sizeof(g_flight_dir) - 1);
     } else if (arg == "--inject-fault-after" && (v = value())) {
       inject_fault_after = std::atol(v);
+    } else if (arg == "--warm-grid" && (v = value())) {
+      warm_grid_path = v;
     } else if (arg == "--print-port") {
       print_port = true;
     } else {
@@ -145,6 +155,39 @@ int main(int argc, char** argv) {
         throw std::runtime_error("injected fault (--inject-fault-after)");
       }
     };
+  }
+
+  // Warm start: map the characterization grid read-only before serving.
+  // The mapping shares one page-cache copy of the ~38 MB matrix across
+  // every process on the host, and the first consumer (the planned
+  // grid-driven spec selector; today the stats exposition) pays no
+  // deserialization. Failure is a warning, not fatal — the server is
+  // fully functional without the grid.
+  lc::MappedGrid warm_grid;
+  if (!warm_grid_path.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string err;
+    if (warm_grid.open(warm_grid_path, &err)) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0).count();
+      std::fprintf(stderr,
+                   "lc_server: warm grid mapped: %zu cells x %zu pipelines "
+                   "from %s in %.2f ms\n",
+                   warm_grid.cell_count(), warm_grid.row_count(),
+                   warm_grid_path.c_str(), ms);
+      lc::telemetry::gauge("lc.grid.load_mode").set(2);  // kMappedCache
+      lc::telemetry::gauge("lc.grid.cells")
+          .set(static_cast<std::int64_t>(warm_grid.cell_count()));
+      lc::telemetry::gauge("lc.grid.pipelines")
+          .set(static_cast<std::int64_t>(warm_grid.row_count()));
+    } else {
+      std::fprintf(stderr,
+                   "lc_server: warning: cannot map warm grid %s (%s); "
+                   "continuing without it\n",
+                   warm_grid_path.c_str(),
+                   err.empty() ? "not an LCGR v2 cache" : err.c_str());
+    }
   }
 
   try {

@@ -27,6 +27,12 @@ with a percentage gate on peak throughput: the current run's best
 req/s across steps must be within P percent of the baseline's. This is
 the telemetry-overhead gate (docs/TELEMETRY.md) — compare a --telemetry
 load_gen run against the telemetry-off baseline with --max-loss-pct=3.
+
+For lc-bench-grid-v1, --min-speedup=F replaces the regression threshold
+with an improvement floor: the current run must be at least F times
+faster than the baseline. This is the mapped-grid-cache gate
+(docs/PERFORMANCE.md) — compare a --grid-mode=mapped run against a
+--grid-mode=owned baseline with --min-speedup=5.
 """
 
 import json
@@ -133,28 +139,58 @@ def diff_sweep(base, cur, threshold):
     return []
 
 
-def diff_grid(base, cur, threshold):
+def diff_grid(base, cur, threshold, min_speedup=None):
     """lc-bench-grid-v1: one timing-grid evaluation (44 cells x 107,632
-    pipelines). Wall clock is the gate; everything else is context.
-    Tolerates keys absent from baselines recorded by older harnesses."""
-    b, c = base.get("wall_s"), cur.get("wall_s")
+    pipelines) or, for the mapped/owned harness modes, one cache *load*.
+    Wall clock is the gate; everything else is context. Tolerates keys
+    absent from baselines recorded by older harnesses.
+
+    --min-speedup=F inverts the gate: the current file must be at least
+    F times FASTER than the baseline (base.wall_s / cur.wall_s >= F).
+    This is the mapped-grid gate: an owned-mode BENCH_grid.json as the
+    baseline, a mapped-mode run as current, F = 5."""
+    # When both files carry grid_load_ms (the mapped/owned harness
+    # modes) compare that — it has the precision wall_s lacks for a
+    # micro-second mapped load.
+    if (base.get("grid_load_ms") is not None
+            and cur.get("grid_load_ms") is not None):
+        b = base["grid_load_ms"] / 1000.0
+        c = cur["grid_load_ms"] / 1000.0
+        what = "grid cache load"
+    else:
+        b, c = base.get("wall_s"), cur.get("wall_s")
+        what = "grid evaluation"
     if b is None or c is None:
         print("grid: wall_s missing from one file — nothing to compare")
         return []
     speedup = b / c if c > 0 else float("inf")
-    print(f"grid evaluation wall clock: {b:.4f} s -> {c:.4f} s "
+    print(f"{what} wall clock: {b:.4f} s -> {c:.4f} s "
           f"({speedup:.2f}x {'faster' if speedup >= 1 else 'slower'})")
     print(f"mode: {base.get('mode', '?')} -> {cur.get('mode', '?')}; "
           f"model evals: {base.get('model_evals', '?')} -> "
           f"{cur.get('model_evals', '?')}; "
           f"evals/s: {base.get('evals_per_s', 0):.0f} -> "
           f"{cur.get('evals_per_s', 0):.0f}")
+    for label, data in (("baseline", base), ("current ", cur)):
+        if data.get("grid_load_ms") is not None:
+            print(f"{label} load: {data['grid_load_ms']:.2f} ms "
+                  f"({data.get('load_mode', '?')})")
+        shard = data.get("shard")
+        if shard and shard.get("count", 1) > 1:
+            print(f"{label} shard: {shard.get('index')}/{shard.get('count')}"
+                  f" — partial-sweep numbers, not comparable to full runs")
     for key in ("cells", "pipelines", "inputs", "threads", "scale"):
         if base.get(key) != cur.get(key):
             print(f"  warning: {key} differs "
                   f"({base.get(key)} vs {cur.get(key)}) — not comparable")
+    if min_speedup is not None:
+        if speedup < min_speedup:
+            return [f"{what}: {b:.4f} s -> {c:.4f} s is only "
+                    f"{speedup:.2f}x faster (< required {min_speedup}x)"]
+        print(f"speedup gate: {speedup:.2f}x >= {min_speedup}x")
+        return []
     if threshold and c > b * threshold:
-        return [f"grid evaluation wall clock: {b:.4f} s -> {c:.4f} s "
+        return [f"{what} wall clock: {b:.4f} s -> {c:.4f} s "
                 f"(>{threshold}x regression)"]
     return []
 
@@ -265,6 +301,7 @@ def diff_server(base, cur, threshold, max_loss_pct):
 def main(argv):
     threshold = None
     max_loss_pct = None
+    min_speedup = None
     check = False
     paths = []
     for arg in argv[1:]:
@@ -274,6 +311,8 @@ def main(argv):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--max-loss-pct="):
             max_loss_pct = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -298,7 +337,8 @@ def main(argv):
     elif base["schema"] == "lc-bench-sweep-v1":
         regressions = diff_sweep(base, cur, threshold if check else None)
     elif base["schema"] == "lc-bench-grid-v1":
-        regressions = diff_grid(base, cur, threshold if check else None)
+        regressions = diff_grid(base, cur, threshold if check else None,
+                                min_speedup if check else None)
     elif base["schema"] == "lc-bench-counters-v1":
         regressions = diff_counters(base, cur, threshold if check else None)
     elif base["schema"] == "lc-bench-server-v1":
@@ -308,6 +348,7 @@ def main(argv):
         sys.exit(f"bench_diff: unknown schema {base['schema']}")
 
     gate = (f"{max_loss_pct}% loss budget" if max_loss_pct is not None
+            else f"min speedup {min_speedup}x" if min_speedup is not None
             else f"threshold {threshold}x")
     if check and regressions:
         print(f"\nREGRESSIONS ({gate}):")

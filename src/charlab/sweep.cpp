@@ -9,6 +9,7 @@
 
 #include "charlab/stage_eval.h"
 #include "common/arena.h"
+#include "common/atomic_file.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "lc/codec.h"
@@ -35,6 +36,11 @@ struct SweepMetrics {
       telemetry::gauge("charlab.sweep.stage2_tasks_total");
   telemetry::Gauge& tasks_done =
       telemetry::gauge("charlab.sweep.stage2_tasks_done");
+  // Shard attribution (docs/TELEMETRY.md): snapshots and traces from a
+  // fleet of sharded sweep workers identify which slice each process
+  // owns. 0-based index; count 1 = unsharded.
+  telemetry::Gauge& shard_index = telemetry::gauge("lc.sweep.shard_index");
+  telemetry::Gauge& shard_count = telemetry::gauge("lc.sweep.shard_count");
 };
 
 SweepMetrics& metrics() {
@@ -45,6 +51,11 @@ SweepMetrics& metrics() {
 // 0003: checkpointed format — records the total and completed input
 // counts so an interrupted sweep resumes where it left off.
 constexpr char kCacheMagic[8] = {'L', 'C', 'S', 'W', '0', '0', '0', '3'};
+
+// Shard partial checkpoint: one shard's slice of the stage-2/3 records
+// plus the descriptor merge_shard_partials() needs to validate coverage.
+// See docs/FORMAT.md "Shard partials".
+constexpr char kPartialMagic[8] = {'L', 'C', 'S', 'P', '0', '0', '0', '1'};
 
 /// Evenly spaced sample chunk offsets over a file of `total` bytes.
 std::vector<std::size_t> sample_chunk_offsets(std::size_t total,
@@ -117,7 +128,75 @@ StageRecord make_record(double in, double out, double applied,
   return r;
 }
 
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u64(std::ifstream& in, std::uint64_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+void write_stage_vec(std::ofstream& out, const std::vector<StageRecord>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(StageRecord)));
+}
+
+bool read_stage_vec(std::ifstream& in, std::vector<StageRecord>& v,
+                    std::size_t expect) {
+  std::uint64_t sz = 0;
+  if (!read_u64(in, sz) || sz != expect) return false;
+  v.resize(sz);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(sz * sizeof(StageRecord)));
+  return static_cast<bool>(in);
+}
+
+/// Canonical LCSW0003 byte stream. This is the ONLY writer of the
+/// canonical format — save_cache() and merge_shard_partials() both route
+/// through it, which is what makes a merged cache byte-identical to an
+/// unsharded run's cache.
+bool write_canonical_cache(std::ofstream& out, std::uint64_t fp,
+                           std::uint64_t inputs, std::uint64_t done,
+                           const std::vector<double>& file_bytes,
+                           const std::vector<std::vector<StageRecord>>& s1,
+                           const std::vector<std::vector<StageRecord>>& s2,
+                           const std::vector<std::vector<StageRecord>>& s3) {
+  out.write(kCacheMagic, sizeof(kCacheMagic));
+  write_u64(out, fp);
+  write_u64(out, inputs);
+  write_u64(out, done);
+  for (std::size_t i = 0; i < done; ++i) {
+    out.write(reinterpret_cast<const char*>(&file_bytes[i]), sizeof(double));
+    write_stage_vec(out, s1[i]);
+    write_stage_vec(out, s2[i]);
+    write_stage_vec(out, s3[i]);
+  }
+  return static_cast<bool>(out);
+}
+
 }  // namespace
+
+ShardRange shard_item_range(std::size_t index, std::size_t count,
+                            std::size_t items) {
+  LC_REQUIRE(count >= 1, "shard count must be >= 1");
+  LC_REQUIRE(index < count, "shard index out of range");
+  LC_REQUIRE(count <= items, "more shards than work items");
+  return {index * items / count, (index + 1) * items / count};
+}
+
+const char* MergeError::to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kBadPartial: return "bad-partial";
+    case Kind::kFingerprintMismatch: return "fingerprint-mismatch";
+    case Kind::kShardMismatch: return "shard-mismatch";
+    case Kind::kOverlap: return "overlap";
+    case Kind::kGap: return "gap";
+    case Kind::kIncomplete: return "incomplete";
+  }
+  return "unknown";
+}
 
 /// Working memory reused across an entire sweep run: the stage-1 outputs
 /// (post-fallback, read by every stage-2/3 evaluation) and their
@@ -134,6 +213,11 @@ Sweep Sweep::make_skeleton(const SweepConfig& config) {
   const Registry& reg = Registry::instance();
   sweep.n_ = reg.all().size();
   sweep.r_ = reg.reducers().size();
+  const ShardRange range = shard_item_range(config.shard_index,
+                                            config.shard_count,
+                                            sweep.n_ * sweep.n_);
+  sweep.item_begin_ = range.begin;
+  sweep.item_end_ = range.end;
   std::vector<std::string> names = config.inputs;
   if (names.empty()) {
     for (const auto& f : data::sp_files()) names.push_back(f.name);
@@ -153,6 +237,8 @@ Sweep Sweep::make_skeleton(const SweepConfig& config) {
 
 Sweep Sweep::compute(const SweepConfig& config, ThreadPool& pool) {
   Sweep sweep = make_skeleton(config);
+  metrics().shard_index.set(static_cast<std::int64_t>(config.shard_index));
+  metrics().shard_count.set(static_cast<std::int64_t>(config.shard_count));
   ComputeScratch scratch;
   for (std::size_t i = 0; i < sweep.input_names_.size(); ++i) {
     sweep.compute_input(i, sweep.input_names_[i], pool, scratch);
@@ -221,12 +307,16 @@ void Sweep::compute_input(std::size_t input_index, const std::string& name,
   // left workers idle for the whole tail of the longest group). Each item
   // re-encodes stage 2 once per chunk into an arena buffer, then runs all
   // r reducers on it; the heartbeat gauges tick per completed item so an
-  // operator can watch utilization (docs/TELEMETRY.md).
-  metrics().tasks_total.set(static_cast<std::int64_t>(n_ * n_));
+  // operator can watch utilization (docs/TELEMETRY.md). A sharded run
+  // walks only its [item_begin_, item_end_) slice — items are mutually
+  // independent, so the per-item bytes a shard produces are exactly the
+  // bytes the unsharded run produces for those items.
+  metrics().tasks_total.set(static_cast<std::int64_t>(item_end_ -
+                                                      item_begin_));
   metrics().tasks_done.set(0);
   {
     const telemetry::Span stage23("charlab.sweep.stage23", "input", name);
-    parallel_for(pool, 0, n_ * n_, [&](std::size_t item) {
+    parallel_for(pool, item_begin_, item_end_, [&](std::size_t item) {
       const std::size_t i1 = item / n_;
       const std::size_t i2 = item % n_;
       // Leases come from the worker thread's arena; they must not cross
@@ -385,45 +475,52 @@ std::uint64_t Sweep::fingerprint() const {
 bool Sweep::save_cache(const std::string& path, std::size_t completed) const {
   const telemetry::Span span("charlab.sweep.checkpoint", "completed",
                              completed);
-  // Write-then-rename so a crash mid-checkpoint can never leave a
-  // half-written cache where resume state used to be: the old checkpoint
-  // stays intact until the new one is fully on disk, and rename() within
-  // a directory replaces it atomically.
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(kCacheMagic, sizeof(kCacheMagic));
   const std::uint64_t fp = fingerprint();
-  out.write(reinterpret_cast<const char*>(&fp), sizeof(fp));
   const std::uint64_t inputs = input_names_.size();
-  out.write(reinterpret_cast<const char*>(&inputs), sizeof(inputs));
   const std::uint64_t done = std::min<std::uint64_t>(completed, inputs);
-  out.write(reinterpret_cast<const char*>(&done), sizeof(done));
-  for (std::size_t i = 0; i < done; ++i) {
-    out.write(reinterpret_cast<const char*>(&file_bytes_[i]),
-              sizeof(double));
-    const auto write_vec = [&out](const std::vector<StageRecord>& v) {
-      const std::uint64_t sz = v.size();
-      out.write(reinterpret_cast<const char*>(&sz), sizeof(sz));
-      out.write(reinterpret_cast<const char*>(v.data()),
-                static_cast<std::streamsize>(sz * sizeof(StageRecord)));
-    };
-    write_vec(s1_[i]);
-    write_vec(s2_[i]);
-    write_vec(s3_[i]);
+  // atomic_write_file (write-then-rename) so a crash mid-checkpoint can
+  // never leave a half-written cache where resume state used to be.
+  bool ok;
+  if (!is_partial()) {
+    ok = atomic_write_file(path, [&](std::ofstream& out) {
+      return write_canonical_cache(out, fp, inputs, done, file_bytes_, s1_,
+                                   s2_, s3_);
+    });
+  } else {
+    // Shard partial: full stage-1 records (every shard recomputes them),
+    // but only this shard's [item_begin_, item_end_) slice of stages 2/3.
+    const std::size_t begin = item_begin_, width = item_end_ - item_begin_;
+    ok = atomic_write_file(path, [&](std::ofstream& out) {
+      out.write(kPartialMagic, sizeof(kPartialMagic));
+      write_u64(out, fp);
+      write_u64(out, config_.shard_index);
+      write_u64(out, config_.shard_count);
+      write_u64(out, item_begin_);
+      write_u64(out, item_end_);
+      write_u64(out, n_);
+      write_u64(out, r_);
+      write_u64(out, inputs);
+      write_u64(out, done);
+      std::vector<StageRecord> slice;
+      for (std::size_t i = 0; i < done; ++i) {
+        out.write(reinterpret_cast<const char*>(&file_bytes_[i]),
+                  sizeof(double));
+        write_stage_vec(out, s1_[i]);
+        slice.assign(s2_[i].begin() + static_cast<std::ptrdiff_t>(begin),
+                     s2_[i].begin() + static_cast<std::ptrdiff_t>(begin +
+                                                                  width));
+        write_stage_vec(out, slice);
+        slice.assign(
+            s3_[i].begin() + static_cast<std::ptrdiff_t>(begin * r_),
+            s3_[i].begin() + static_cast<std::ptrdiff_t>((begin + width) *
+                                                         r_));
+        write_stage_vec(out, slice);
+      }
+      return static_cast<bool>(out);
+    });
   }
-  out.flush();
-  if (!out) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  out.close();
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  metrics().checkpoints.add();
-  return true;
+  if (ok) metrics().checkpoints.add();
+  return ok;
 }
 
 std::size_t Sweep::load_cache(const std::string& path,
@@ -432,29 +529,56 @@ std::size_t Sweep::load_cache(const std::string& path,
   if (!in) return 0;
   char magic[sizeof(kCacheMagic)];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return 0;
-  std::uint64_t fp = 0;
-  in.read(reinterpret_cast<char*>(&fp), sizeof(fp));
-  if (!in || fp != fingerprint) return 0;
-  std::uint64_t inputs = 0, done = 0;
-  in.read(reinterpret_cast<char*>(&inputs), sizeof(inputs));
-  in.read(reinterpret_cast<char*>(&done), sizeof(done));
-  if (!in || inputs != out.input_names_.size() || done > inputs) return 0;
+  if (!in) return 0;
+  if (!out.is_partial()) {
+    if (std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return 0;
+    std::uint64_t fp = 0;
+    if (!read_u64(in, fp) || fp != fingerprint) return 0;
+    std::uint64_t inputs = 0, done = 0;
+    if (!read_u64(in, inputs) || !read_u64(in, done)) return 0;
+    if (inputs != out.input_names_.size() || done > inputs) return 0;
+    for (std::size_t i = 0; i < done; ++i) {
+      in.read(reinterpret_cast<char*>(&out.file_bytes_[i]), sizeof(double));
+      if (!read_stage_vec(in, out.s1_[i], out.n_)) return 0;
+      if (!read_stage_vec(in, out.s2_[i], out.n_ * out.n_)) return 0;
+      if (!read_stage_vec(in, out.s3_[i], out.n_ * out.n_ * out.r_)) return 0;
+    }
+    return static_cast<std::size_t>(done);
+  }
+
+  // Partial resume: the checkpoint must describe exactly this shard of
+  // exactly this sweep; anything else is a miss, not an error.
+  if (std::memcmp(magic, kPartialMagic, sizeof(magic)) != 0) return 0;
+  std::uint64_t fp = 0, index = 0, count = 0, begin = 0, end = 0;
+  std::uint64_t n = 0, r = 0, inputs = 0, done = 0;
+  if (!read_u64(in, fp) || !read_u64(in, index) || !read_u64(in, count) ||
+      !read_u64(in, begin) || !read_u64(in, end) || !read_u64(in, n) ||
+      !read_u64(in, r) || !read_u64(in, inputs) || !read_u64(in, done)) {
+    return 0;
+  }
+  if (fp != fingerprint || index != out.config_.shard_index ||
+      count != out.config_.shard_count || begin != out.item_begin_ ||
+      end != out.item_end_ || n != out.n_ || r != out.r_ ||
+      inputs != out.input_names_.size() || done > inputs) {
+    return 0;
+  }
+  const std::size_t width = out.item_end_ - out.item_begin_;
+  std::vector<StageRecord> slice;
   for (std::size_t i = 0; i < done; ++i) {
     in.read(reinterpret_cast<char*>(&out.file_bytes_[i]), sizeof(double));
-    const auto read_vec = [&in](std::vector<StageRecord>& v,
-                                std::size_t expect) {
-      std::uint64_t sz = 0;
-      in.read(reinterpret_cast<char*>(&sz), sizeof(sz));
-      if (!in || sz != expect) return false;
-      v.resize(sz);
-      in.read(reinterpret_cast<char*>(v.data()),
-              static_cast<std::streamsize>(sz * sizeof(StageRecord)));
-      return static_cast<bool>(in);
-    };
-    if (!read_vec(out.s1_[i], out.n_)) return 0;
-    if (!read_vec(out.s2_[i], out.n_ * out.n_)) return 0;
-    if (!read_vec(out.s3_[i], out.n_ * out.n_ * out.r_)) return 0;
+    if (!read_stage_vec(in, out.s1_[i], out.n_)) return 0;
+    // Slices land at their true offsets inside full-size (zero-filled)
+    // vectors, so the stage accessors and a later checkpoint see the
+    // same in-memory shape a fresh sharded compute produces.
+    out.s2_[i].assign(out.n_ * out.n_, {});
+    out.s3_[i].assign(out.n_ * out.n_ * out.r_, {});
+    if (!read_stage_vec(in, slice, width)) return 0;
+    std::copy(slice.begin(), slice.end(),
+              out.s2_[i].begin() + static_cast<std::ptrdiff_t>(begin));
+    if (!read_stage_vec(in, slice, width * out.r_)) return 0;
+    std::copy(slice.begin(), slice.end(),
+              out.s3_[i].begin() + static_cast<std::ptrdiff_t>(begin *
+                                                               out.r_));
   }
   return static_cast<std::size_t>(done);
 }
@@ -464,6 +588,8 @@ Sweep Sweep::load_or_compute(const SweepConfig& config, ThreadPool& pool) {
       config.cache_path.empty() ? "lc_sweep_cache.bin" : config.cache_path;
 
   Sweep sweep = make_skeleton(config);
+  metrics().shard_index.set(static_cast<std::int64_t>(config.shard_index));
+  metrics().shard_count.set(static_cast<std::int64_t>(config.shard_count));
 
   // Resume: restore every input the checkpoint already covers, then
   // compute (and checkpoint) only the rest.
@@ -494,6 +620,181 @@ Sweep Sweep::load_or_compute(const SweepConfig& config, ThreadPool& pool) {
   }
   sweep.finalize_pipeline_ids();
   return sweep;
+}
+
+namespace {
+
+/// One shard partial, fully parsed into memory for merging.
+struct PartialData {
+  std::string path;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t item_begin = 0;
+  std::uint64_t item_end = 0;
+  std::uint64_t n = 0;
+  std::uint64_t r = 0;
+  std::uint64_t inputs = 0;
+  std::uint64_t done = 0;
+  std::vector<double> file_bytes;
+  std::vector<std::vector<StageRecord>> s1, s2, s3;  ///< s2/s3 are slices
+};
+
+PartialData load_partial_for_merge(const std::string& path) {
+  using Kind = MergeError::Kind;
+  const auto bad = [&path](const std::string& why) {
+    return MergeError(Kind::kBadPartial, path + ": " + why);
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw bad("cannot open");
+  char magic[sizeof(kPartialMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kPartialMagic, sizeof(magic)) != 0) {
+    throw bad("not a shard partial (bad magic)");
+  }
+  PartialData p;
+  p.path = path;
+  if (!read_u64(in, p.fingerprint) || !read_u64(in, p.shard_index) ||
+      !read_u64(in, p.shard_count) || !read_u64(in, p.item_begin) ||
+      !read_u64(in, p.item_end) || !read_u64(in, p.n) || !read_u64(in, p.r) ||
+      !read_u64(in, p.inputs) || !read_u64(in, p.done)) {
+    throw bad("truncated header");
+  }
+  if (p.shard_count == 0 || p.shard_index >= p.shard_count ||
+      p.item_begin > p.item_end || p.item_end > p.n * p.n ||
+      p.done > p.inputs) {
+    throw bad("inconsistent shard descriptor");
+  }
+  const std::size_t width =
+      static_cast<std::size_t>(p.item_end - p.item_begin);
+  p.file_bytes.resize(p.done);
+  p.s1.resize(p.done);
+  p.s2.resize(p.done);
+  p.s3.resize(p.done);
+  for (std::size_t i = 0; i < p.done; ++i) {
+    in.read(reinterpret_cast<char*>(&p.file_bytes[i]), sizeof(double));
+    if (!in || !read_stage_vec(in, p.s1[i], p.n) ||
+        !read_stage_vec(in, p.s2[i], width) ||
+        !read_stage_vec(in, p.s3[i], width * p.r)) {
+      throw bad("truncated records");
+    }
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw bad("trailing bytes after records");
+  }
+  return p;
+}
+
+}  // namespace
+
+void merge_shard_partials(const std::vector<std::string>& partial_paths,
+                          const std::string& out_path) {
+  using Kind = MergeError::Kind;
+  const telemetry::Span span("charlab.sweep.merge", "partials",
+                             partial_paths.size());
+  if (partial_paths.empty()) {
+    throw MergeError(Kind::kGap, "no partials given");
+  }
+  std::vector<PartialData> parts;
+  parts.reserve(partial_paths.size());
+  for (const std::string& path : partial_paths) {
+    parts.push_back(load_partial_for_merge(path));
+  }
+
+  const PartialData& first = parts.front();
+  for (const PartialData& p : parts) {
+    if (p.fingerprint != first.fingerprint) {
+      throw MergeError(Kind::kFingerprintMismatch,
+                       p.path + ": sweep fingerprint disagrees with " +
+                           first.path + " (different config or inputs)");
+    }
+    if (p.shard_count != first.shard_count || p.n != first.n ||
+        p.r != first.r || p.inputs != first.inputs) {
+      throw MergeError(Kind::kShardMismatch,
+                       p.path + ": shard count or dimensions disagree with " +
+                           first.path);
+    }
+    if (p.done != p.inputs) {
+      throw MergeError(Kind::kIncomplete,
+                       p.path + ": only " + std::to_string(p.done) + " of " +
+                           std::to_string(p.inputs) + " inputs completed");
+    }
+  }
+
+  // Coverage: sorted by range start, the slices must tile [0, n*n)
+  // exactly — any deviation is an overlap or a gap, never silently
+  // tolerated.
+  std::vector<const PartialData*> order;
+  order.reserve(parts.size());
+  for (const PartialData& p : parts) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [](const PartialData* a, const PartialData* b) {
+              return a->item_begin < b->item_begin;
+            });
+  const std::uint64_t items = first.n * first.n;
+  std::uint64_t cursor = 0;
+  for (const PartialData* p : order) {
+    if (p->item_begin < cursor) {
+      throw MergeError(Kind::kOverlap,
+                       p->path + ": items [" +
+                           std::to_string(p->item_begin) + ", " +
+                           std::to_string(p->item_end) +
+                           ") overlap an earlier partial");
+    }
+    if (p->item_begin > cursor) {
+      throw MergeError(Kind::kGap,
+                       "items [" + std::to_string(cursor) + ", " +
+                           std::to_string(p->item_begin) +
+                           ") are covered by no partial");
+    }
+    cursor = p->item_end;
+  }
+  if (cursor != items) {
+    throw MergeError(Kind::kGap, "items [" + std::to_string(cursor) + ", " +
+                                     std::to_string(items) +
+                                     ") are covered by no partial");
+  }
+
+  // Every shard recomputed stage 1 and the input files; determinism says
+  // they must agree bit for bit. A mismatch means the partials were not
+  // produced by equivalent builds — refuse to merge them.
+  const std::size_t n = static_cast<std::size_t>(first.n);
+  const std::size_t r = static_cast<std::size_t>(first.r);
+  const std::size_t inputs = static_cast<std::size_t>(first.inputs);
+  for (const PartialData& p : parts) {
+    for (std::size_t i = 0; i < inputs; ++i) {
+      if (p.file_bytes[i] != first.file_bytes[i] ||
+          std::memcmp(p.s1[i].data(), first.s1[i].data(),
+                      n * sizeof(StageRecord)) != 0) {
+        throw MergeError(Kind::kShardMismatch,
+                         p.path + ": stage-1 records disagree with " +
+                             first.path +
+                             " (partials from non-equivalent builds?)");
+      }
+    }
+  }
+
+  // Assemble the canonical per-input record vectors from the slices.
+  std::vector<std::vector<StageRecord>> s2(inputs), s3(inputs);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    s2[i].assign(items, {});
+    s3[i].assign(items * r, {});
+    for (const PartialData* p : order) {
+      const std::size_t begin = static_cast<std::size_t>(p->item_begin);
+      std::copy(p->s2[i].begin(), p->s2[i].end(),
+                s2[i].begin() + static_cast<std::ptrdiff_t>(begin));
+      std::copy(p->s3[i].begin(), p->s3[i].end(),
+                s3[i].begin() + static_cast<std::ptrdiff_t>(begin * r));
+    }
+  }
+
+  const bool ok = atomic_write_file(out_path, [&](std::ofstream& out) {
+    return write_canonical_cache(out, first.fingerprint, inputs, inputs,
+                                 first.file_bytes, first.s1, s2, s3);
+  });
+  if (!ok) {
+    throw IoError("merge: cannot write canonical cache " + out_path);
+  }
 }
 
 }  // namespace lc::charlab

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "data/sp_dataset.h"
 #include "gpusim/cost_model.h"
@@ -53,7 +54,58 @@ struct SweepConfig {
   /// checkpointing this many inputs — a deterministic stand-in for an
   /// interrupted 107k-pipeline sweep. 0 = never abort.
   std::size_t interrupt_after_inputs = 0;
+  /// Shard descriptor (0-based). When shard_count > 1 this process
+  /// computes only its deterministic contiguous slice of the 62x62
+  /// stage-2/3 chunk-x-prefix item space (stage 1 is cheap and recomputed
+  /// by every shard, since stage 2 reads its outputs) and writes a
+  /// *partial* checkpoint at cache_path instead of the canonical cache;
+  /// merge_shard_partials() reassembles the canonical, bit-identical
+  /// cache from a complete shard set. shard_count == 1 is the ordinary
+  /// unsharded sweep.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
+
+/// The contiguous stage-2/3 item range [begin, end) owned by one shard,
+/// over `items` total work items (n*n per input). Ranges tile [0, items)
+/// exactly and differ in size by at most one item.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+[[nodiscard]] ShardRange shard_item_range(std::size_t index,
+                                          std::size_t count,
+                                          std::size_t items);
+
+/// A merge rejected the partial set. `kind()` says why; lc_cli maps every
+/// kind to the corrupt-input exit code (4).
+class MergeError : public Error {
+ public:
+  enum class Kind {
+    kBadPartial,           ///< unreadable / wrong magic / malformed file
+    kFingerprintMismatch,  ///< partials come from different sweep configs
+    kShardMismatch,        ///< shard counts or dimensions disagree
+    kOverlap,              ///< two partials cover the same work items
+    kGap,                  ///< the set does not cover the full item space
+    kIncomplete,           ///< a partial has unfinished inputs
+  };
+  MergeError(Kind kind, const std::string& what)
+      : Error("merge: " + what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] static const char* to_string(Kind kind);
+
+ private:
+  Kind kind_;
+};
+
+/// Merges a complete set of shard partials (written by sharded
+/// Sweep::load_or_compute runs) into the canonical sweep cache at
+/// `out_path`, written atomically. The result is byte-identical to the
+/// cache an unsharded run would have written. Throws MergeError when the
+/// set is invalid (fingerprint mismatch, overlap, gap, incomplete or
+/// malformed partial) and IoError when the output cannot be written.
+void merge_shard_partials(const std::vector<std::string>& partial_paths,
+                          const std::string& out_path);
 
 /// One quarantined component: during the sweep its encode threw, so its
 /// measurements for that input fall back to copy semantics (avg_out =
@@ -171,6 +223,17 @@ class Sweep {
     return resumed_inputs_;
   }
 
+  /// True when this sweep holds only one shard's slice of the stage-2/3
+  /// records. A partial sweep can checkpoint and merge but must not feed
+  /// the timing grid or the stage accessors outside its item range.
+  [[nodiscard]] bool is_partial() const noexcept {
+    return config_.shard_count > 1;
+  }
+  /// The stage-2/3 item range this sweep covers ([0, n*n) unsharded).
+  [[nodiscard]] ShardRange item_range() const noexcept {
+    return {item_begin_, item_end_};
+  }
+
   /// Config/measurement fingerprint keying the sweep cache. The timing
   /// grid cache (timing_grid.h) folds this into its own key so a grid
   /// derived from a different sweep can never be served.
@@ -192,10 +255,13 @@ class Sweep {
   void compute_input(std::size_t input_index, const std::string& name,
                      ThreadPool& pool, ComputeScratch& scratch);
   void finalize_pipeline_ids();
+  /// Writes the canonical cache (unsharded) or a shard partial (sharded)
+  /// at `path`, atomically.
   [[nodiscard]] bool save_cache(const std::string& path,
                                 std::size_t completed) const;
   /// Returns the number of completed inputs restored (0 on any
-  /// incompatibility).
+  /// incompatibility). Dispatches on `out.is_partial()` between the
+  /// canonical and partial formats.
   [[nodiscard]] static std::size_t load_cache(const std::string& path,
                                               std::uint64_t fingerprint,
                                               Sweep& out);
@@ -203,6 +269,8 @@ class Sweep {
   SweepConfig config_;
   std::size_t n_ = 0;  ///< 62
   std::size_t r_ = 0;  ///< 28
+  std::size_t item_begin_ = 0;  ///< stage-2/3 item range (sharding)
+  std::size_t item_end_ = 0;    ///< = n_*n_ when unsharded
   std::vector<std::string> input_names_;
   std::vector<double> file_bytes_;
   std::vector<double> nominal_bytes_;  ///< Table 3 sizes (model inputs)

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "charlab/stats_table.h"
 #include "charlab/sweep.h"
+#include "common/atomic_file.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "gpusim/batch_eval.h"
@@ -25,6 +27,10 @@ struct GridMetrics {
       telemetry::counter("charlab.grid.cache_writes");
   telemetry::Counter& cache_corrupt =
       telemetry::counter("charlab.grid.cache_corrupt");
+  // How the grid values got here: 0 evaluated, 1 owned cache, 2 mapped
+  // cache (GridLoadMode) — lets traces and snapshots from a figure fleet
+  // show who paid for deserialization.
+  telemetry::Gauge& load_mode = telemetry::gauge("lc.grid.load_mode");
 };
 
 GridMetrics& metrics() {
@@ -32,11 +38,10 @@ GridMetrics& metrics() {
   return m;
 }
 
-// Cache format 0002 appends a payload digest (FNV-1a over the raw double
-// matrix) after the header so a truncated or bit-flipped cache file is
-// detected and transparently re-evaluated instead of silently feeding
-// garbage throughputs to every figure (and to lc_server's warm start).
-constexpr char kCacheMagic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '2'};
+// Legacy cache format (v1): header + digest + densely packed rows,
+// deserialized into owned vectors. Still readable; saves write the v2
+// mappable layout (grid_v2 in common/mmap_file.h, docs/FORMAT.md).
+constexpr char kLegacyMagic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '2'};
 
 /// Rows per parallel work item. 44 cells x ~13 slices keeps every pool
 /// worker busy to the end while each item still walks long contiguous
@@ -51,15 +56,29 @@ std::uint64_t cell_mode_bits(const GridCell& c) {
 
 /// Digest of the cached value matrix, hashed row by row (the rows are
 /// contiguous double arrays; cells/pipelines counts are covered by the
-/// header fields that precede the digest).
-std::uint64_t payload_digest(const std::vector<std::vector<double>>& values) {
+/// header fields). Identical in v1 and v2.
+std::uint64_t payload_digest(const std::vector<const double*>& cells,
+                             std::size_t rows) {
   std::uint64_t h = hash_string("grid-cache-payload");
-  for (const std::vector<double>& v : values) {
+  for (const double* cell : cells) {
     h = hash_combine(
-        h, hash_bytes(reinterpret_cast<const unsigned char*>(v.data()),
-                      v.size() * sizeof(double)));
+        h, hash_bytes(reinterpret_cast<const unsigned char*>(cell),
+                      rows * sizeof(double)));
   }
   return h;
+}
+
+/// LC_GRID_MODE=mapped|owned; anything else is fatal (strict env
+/// parsing, like LC_SCALE and friends).
+bool mapped_from_env() {
+  const char* env = std::getenv("LC_GRID_MODE");
+  if (env == nullptr || *env == '\0' ||
+      std::strcmp(env, "mapped") == 0) {
+    return true;
+  }
+  if (std::strcmp(env, "owned") == 0) return false;
+  throw Error(std::string("LC_GRID_MODE must be 'mapped' or 'owned', got '") +
+              env + "'");
 }
 
 }  // namespace
@@ -95,9 +114,36 @@ std::uint64_t TimingGrid::make_fingerprint(const Sweep& sweep) {
   return h;
 }
 
+std::string TimingGrid::resolve_cache_path(const Sweep& sweep,
+                                           const Config& config) {
+  if (!config.cache_path.empty()) return config.cache_path;
+  const char* env = std::getenv("LC_GRID_CACHE");
+  if (env != nullptr && *env != '\0') return env;
+  // Default next to the sweep cache, NOT the working directory: figure
+  // binaries, lc_cli and the benches may run from different CWDs but
+  // they agree on the sweep cache, so they now agree on the grid too.
+  const std::string& sweep_path = sweep.config().cache_path;
+  const std::size_t slash = sweep_path.rfind('/');
+  if (sweep_path.empty() || slash == std::string::npos) {
+    return "lc_grid_cache.bin";
+  }
+  return sweep_path.substr(0, slash + 1) + "lc_grid_cache.bin";
+}
+
+void TimingGrid::adopt_owned(std::size_t pipelines) {
+  rows_ = pipelines;
+  cell_data_.resize(owned_.size());
+  for (std::size_t i = 0; i < owned_.size(); ++i) {
+    cell_data_[i] = owned_[i].data();
+  }
+}
+
 TimingGrid TimingGrid::evaluate(const Sweep& sweep, ThreadPool& pool) {
   const telemetry::Span span("charlab.grid.evaluate", "pipelines",
                              sweep.num_pipelines());
+  LC_REQUIRE(!sweep.is_partial(),
+             "TimingGrid needs a complete sweep, not a shard partial — "
+             "merge the shards first");
 
   const StatsTable table = [&sweep] {
     const telemetry::Span build("charlab.grid.build_stats_table");
@@ -115,7 +161,7 @@ TimingGrid TimingGrid::evaluate(const Sweep& sweep, ThreadPool& pool) {
   result.fingerprint_ = make_fingerprint(sweep);
   const std::size_t pipelines = table.num_pipelines();
   const std::size_t inputs = table.num_inputs();
-  result.values_.assign(grid.size(), std::vector<double>(pipelines));
+  result.owned_.assign(grid.size(), std::vector<double>(pipelines));
 
   // One work item = one (cell, pipeline-slice) pair; pipelines are
   // independent, so the geomean accumulation never crosses items.
@@ -140,31 +186,36 @@ TimingGrid TimingGrid::evaluate(const Sweep& sweep, ThreadPool& pool) {
                                       disp.data(), tput.data());
       for (std::size_t i = 0; i < len; ++i) log_sum[i] += std::log(tput[i]);
     }
-    double* out = result.values_[cell].data() + begin;
+    double* out = result.owned_[cell].data() + begin;
     const double n = static_cast<double>(inputs);
     for (std::size_t i = 0; i < len; ++i) out[i] = std::exp(log_sum[i] / n);
     metrics().rows_evaluated.add(len);
   });
   metrics().cells_evaluated.add(grid.size());
+  result.adopt_owned(pipelines);
   return result;
 }
 
 TimingGrid TimingGrid::load_or_compute(const Sweep& sweep,
                                        const Config& config,
                                        ThreadPool& pool) {
-  const std::string path =
-      config.cache_path.empty() ? "lc_grid_cache.bin" : config.cache_path;
+  const std::string path = resolve_cache_path(sweep, config);
+  const bool mapped = config.mode == Config::Mode::kDefault
+                          ? mapped_from_env()
+                          : config.mode == Config::Mode::kMapped;
   const std::uint64_t fp = make_fingerprint(sweep);
 
   if (config.use_cache) {
     TimingGrid cached;
-    if (load_cache(path, fp, sweep.num_pipelines(), cached)) {
+    if (load_cache(path, fp, sweep.num_pipelines(), mapped, cached)) {
       metrics().cache_hits.add();
+      metrics().load_mode.set(static_cast<std::int64_t>(cached.load_mode_));
       return cached;
     }
   }
 
   TimingGrid grid = evaluate(sweep, pool);
+  metrics().load_mode.set(static_cast<std::int64_t>(grid.load_mode_));
   if (config.use_cache) {
     if (grid.save_cache(path)) {
       metrics().cache_writes.add();
@@ -177,15 +228,15 @@ TimingGrid TimingGrid::load_or_compute(const Sweep& sweep,
   return grid;
 }
 
-const std::vector<double>& TimingGrid::cell_values(
-    const gpusim::GpuSpec& gpu, gpusim::Toolchain tc, gpusim::OptLevel opt,
-    gpusim::Direction dir) const {
+CellView TimingGrid::cell_values(const gpusim::GpuSpec& gpu,
+                                 gpusim::Toolchain tc, gpusim::OptLevel opt,
+                                 gpusim::Direction dir) const {
   const std::vector<GridCell>& grid = cells();
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const GridCell& c = grid[i];
     if (c.gpu->name == gpu.name && c.tc == tc && c.opt == opt &&
         c.dir == dir) {
-      return values_[i];
+      return CellView(cell_data_[i], rows_);
     }
   }
   throw Error("TimingGrid: no cell for " + gpu.name + " / " +
@@ -195,59 +246,121 @@ const std::vector<double>& TimingGrid::cell_values(
 
 bool TimingGrid::save_cache(const std::string& path) const {
   const telemetry::Span span("charlab.grid.save_cache");
-  // Write-then-rename, like the sweep cache: a crash mid-write leaves the
-  // previous cache (or no cache), never a torn one.
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(kCacheMagic, sizeof(kCacheMagic));
-  out.write(reinterpret_cast<const char*>(&fingerprint_),
-            sizeof(fingerprint_));
-  const std::uint64_t cells = values_.size();
-  const std::uint64_t pipelines = num_pipelines();
-  out.write(reinterpret_cast<const char*>(&cells), sizeof(cells));
-  out.write(reinterpret_cast<const char*>(&pipelines), sizeof(pipelines));
-  const std::uint64_t digest = payload_digest(values_);
-  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
-  for (const std::vector<double>& v : values_) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(double)));
-  }
-  out.flush();
-  if (!out) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  out.close();
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // LCGR v2 (docs/FORMAT.md): fixed 64-byte header, per-cell offset
+  // table, 64-byte-aligned raw double pages — laid out so readers can
+  // mmap the file and index cells in place. Written atomically like
+  // every other cache.
+  return atomic_write_file(path, [this](std::ofstream& out) {
+    const std::size_t cells = cell_data_.size();
+    grid_v2::Header hdr{};
+    std::memcpy(hdr.magic, grid_v2::kMagic, sizeof(hdr.magic));
+    hdr.fingerprint = fingerprint_;
+    hdr.cell_count = cells;
+    hdr.row_count = rows_;
+    hdr.payload_digest = payload_digest(cell_data_, rows_);
+    hdr.table_offset = grid_v2::kHeaderSize;
+    hdr.data_begin = grid_v2::data_begin(cells);
+    hdr.reserved = 0;
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    const std::size_t stride = grid_v2::page_stride(rows_);
+    for (std::size_t i = 0; i < cells; ++i) {
+      const std::uint64_t off = hdr.data_begin + i * stride;
+      out.write(reinterpret_cast<const char*>(&off), sizeof(off));
+    }
+    const char zeros[grid_v2::kAlign] = {};
+    const std::size_t table_end =
+        grid_v2::kHeaderSize + cells * sizeof(std::uint64_t);
+    out.write(zeros,
+              static_cast<std::streamsize>(hdr.data_begin - table_end));
+    const std::size_t pad = stride - rows_ * sizeof(double);
+    for (std::size_t i = 0; i < cells; ++i) {
+      out.write(reinterpret_cast<const char*>(cell_data_[i]),
+                static_cast<std::streamsize>(rows_ * sizeof(double)));
+      out.write(zeros, static_cast<std::streamsize>(pad));
+    }
+    return static_cast<bool>(out);
+  });
 }
 
 bool TimingGrid::load_cache(const std::string& path, std::uint64_t fingerprint,
-                            std::size_t pipelines, TimingGrid& out) {
+                            std::size_t pipelines, bool mapped,
+                            TimingGrid& out) {
   const telemetry::Span span("charlab.grid.load_cache");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
 
   // A miss with a diagnosis: corruption is logged loudly (the caller
   // transparently re-evaluates either way), while an absent, stale or
   // foreign file stays a silent miss — that is the cache working as
   // intended, not failing.
-  const auto corrupt = [&path](const char* why) {
+  const auto corrupt = [&path](const std::string& why) {
     metrics().cache_corrupt.add();
     std::fprintf(stderr,
                  "charlab: grid cache %s is corrupt (%s); discarding it and "
                  "re-evaluating\n",
-                 path.c_str(), why);
+                 path.c_str(), why.c_str());
     return false;
   };
 
-  char magic[sizeof(kCacheMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kCacheMagic, sizeof(magic)) != 0) return false;
+  char magic[8];
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return false;  // no cache yet: silent miss
+    probe.read(magic, sizeof(magic));
+    if (!probe) return false;  // too short to even identify: foreign file
+  }
+
+  if (std::memcmp(magic, grid_v2::kMagic, sizeof(magic)) == 0) {
+    MappedGrid grid;
+    std::string err;
+    if (!grid.open(path, &err)) {
+      return corrupt(err.empty() ? "unreadable v2 header" : err);
+    }
+    if (grid.fingerprint() != fingerprint) return false;  // stale: silent
+    if (grid.cell_count() != cells().size() ||
+        grid.row_count() != pipelines) {
+      return corrupt("cell/pipeline counts disagree with the fingerprint");
+    }
+    if (mapped) {
+      // No payload digest check: pages fault in lazily as cells are
+      // read, which is what makes the mapped load O(header) instead of
+      // O(38 MB). LC_GRID_VERIFY=1 opts into the full check.
+      const char* verify = std::getenv("LC_GRID_VERIFY");
+      if (verify != nullptr && std::strcmp(verify, "1") == 0 &&
+          !grid.verify_payload_digest()) {
+        return corrupt("payload digest mismatch (bit rot or torn write)");
+      }
+      out.mapped_ = std::move(grid);
+      out.cell_data_.resize(out.mapped_.cell_count());
+      for (std::size_t i = 0; i < out.mapped_.cell_count(); ++i) {
+        out.cell_data_[i] = out.mapped_.cell(i);
+      }
+      out.rows_ = out.mapped_.row_count();
+      out.load_mode_ = GridLoadMode::kMappedCache;
+    } else {
+      // Owned: private copy + full digest check (the v1 integrity
+      // contract, for consumers that outlive the file or distrust it).
+      if (!grid.verify_payload_digest()) {
+        return corrupt("payload digest mismatch (bit rot or torn write)");
+      }
+      out.owned_.assign(grid.cell_count(), std::vector<double>());
+      for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+        out.owned_[i].assign(grid.cell(i), grid.cell(i) + grid.row_count());
+      }
+      out.adopt_owned(grid.row_count());
+      out.load_mode_ = GridLoadMode::kOwnedCache;
+    }
+    out.fingerprint_ = fingerprint;
+    return true;
+  }
+
+  if (std::memcmp(magic, kLegacyMagic, sizeof(magic)) != 0) {
+    return false;  // foreign file: silent miss
+  }
+
+  // Legacy v1: always deserializes into owned vectors (the layout is not
+  // mappable — no alignment, no offset table).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(sizeof(magic));
   std::uint64_t fp = 0, cell_count = 0, row_count = 0, want_digest = 0;
   in.read(reinterpret_cast<char*>(&fp), sizeof(fp));
   in.read(reinterpret_cast<char*>(&cell_count), sizeof(cell_count));
@@ -258,25 +371,28 @@ bool TimingGrid::load_cache(const std::string& path, std::uint64_t fingerprint,
   if (cell_count != cells().size() || row_count != pipelines) {
     return corrupt("cell/pipeline counts disagree with the fingerprint");
   }
-  out.values_.assign(cell_count, std::vector<double>(row_count));
-  for (std::vector<double>& v : out.values_) {
+  out.owned_.assign(cell_count, std::vector<double>(row_count));
+  for (std::vector<double>& v : out.owned_) {
     in.read(reinterpret_cast<char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(double)));
   }
   if (!in) {
-    out.values_.clear();
+    out.owned_.clear();
     return corrupt("payload truncated");
   }
   if (in.peek() != std::ifstream::traits_type::eof()) {
-    out.values_.clear();
+    out.owned_.clear();
     return corrupt("trailing bytes after payload");
   }
-  if (payload_digest(out.values_) != want_digest) {
-    out.values_.clear();
+  out.adopt_owned(row_count);
+  if (payload_digest(out.cell_data_, out.rows_) != want_digest) {
+    out.owned_.clear();
+    out.cell_data_.clear();
+    out.rows_ = 0;
     return corrupt("payload digest mismatch (bit rot or torn write)");
   }
   out.fingerprint_ = fingerprint;
-  out.loaded_from_cache_ = true;
+  out.load_mode_ = GridLoadMode::kOwnedCache;
   return true;
 }
 

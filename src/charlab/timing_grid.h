@@ -15,19 +15,30 @@
 /// items — and cached on disk next to the sweep cache. The first figure
 /// bench evaluates it; the other 18 binaries reload it.
 ///
+/// Reloading comes in two modes. *Mapped* (the default) mmaps the LCGR
+/// v2 cache read-only and points the cells straight into the page cache:
+/// per-process load cost is parsing a 64-byte header and a 44-entry
+/// offset table, and N concurrent processes share one physical copy of
+/// the ~38 MB matrix. *Owned* deserializes into private vectors (the v1
+/// behavior) and verifies the payload digest — use it when you want the
+/// integrity check or need the grid to outlive the cache file. Legacy v1
+/// (LCGR0002) caches still load, always owned; saves write v2.
+///
 /// Values are bit-identical to Sweep::geomean_throughput (golden test:
 /// tests/charlab/timing_grid_test.cpp), so every figure's letter values
-/// are unchanged.
+/// are unchanged — in either load mode.
 ///
 /// Cache: binary, fingerprinted by the sweep fingerprint + the cell
 /// layout + a model-version salt (bump kModelVersion when the cost model
 /// changes), written atomically (write-then-rename) like the sweep
-/// cache. Default path "lc_grid_cache.bin" (LC_GRID_CACHE for benches).
+/// cache. Default path: LC_GRID_CACHE when set, else
+/// "lc_grid_cache.bin" next to the sweep cache (resolve_cache_path).
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/mmap_file.h"
 #include "common/thread_pool.h"
 #include "gpusim/compiler_model.h"
 #include "gpusim/gpu_model.h"
@@ -44,6 +55,41 @@ struct GridCell {
   gpusim::Direction dir = gpusim::Direction::kEncode;
 };
 
+/// Non-owning view of one cell's per-pipeline values. The storage behind
+/// it is either the grid's owned vectors or the read-only mapping; it is
+/// valid for the lifetime of the TimingGrid it came from.
+class CellView {
+ public:
+  CellView() = default;
+  CellView(const double* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const double* begin() const noexcept { return data_; }
+  [[nodiscard]] const double* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] double operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] double front() const { return data_[0]; }
+  [[nodiscard]] double back() const { return data_[size_ - 1]; }
+
+  /// Materialize a private copy (figure code hands values to sorters).
+  [[nodiscard]] std::vector<double> to_vector() const {
+    return std::vector<double>(data_, data_ + size_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// How this process obtained its grid values. Exposed as the
+/// `lc.grid.load_mode` gauge (the numeric value of the enumerator).
+enum class GridLoadMode : int {
+  kEvaluated = 0,    ///< computed in-process (cache miss or disabled)
+  kOwnedCache = 1,   ///< deserialized into private vectors, digest-checked
+  kMappedCache = 2,  ///< mmap'd read-only view of the v2 cache
+};
+
 class TimingGrid {
  public:
   /// Bump when the cost model's arithmetic changes: stale grid caches
@@ -51,10 +97,16 @@ class TimingGrid {
   static constexpr std::uint64_t kModelVersion = 1;
 
   struct Config {
-    /// Cache file; empty = "lc_grid_cache.bin" in the working directory.
+    /// Cache file; empty = resolve_cache_path() (LC_GRID_CACHE, else
+    /// next to the sweep cache).
     std::string cache_path;
     /// Set false to force re-evaluation (no cache I/O).
     bool use_cache = true;
+    /// Cache load mode. kDefault honors LC_GRID_MODE=mapped|owned and
+    /// falls back to mapped; the explicit values ignore the env (the
+    /// perf_harness A/B knob).
+    enum class Mode { kDefault, kMapped, kOwned };
+    Mode mode = Mode::kDefault;
   };
 
   /// The paper's full grid in a stable order: for each GPU (Tables 4/5
@@ -62,8 +114,15 @@ class TimingGrid {
   /// direction. 44 cells.
   [[nodiscard]] static const std::vector<GridCell>& cells();
 
+  /// The cache path this config resolves to for this sweep:
+  /// config.cache_path, else $LC_GRID_CACHE, else "lc_grid_cache.bin" in
+  /// the directory of the sweep's cache file — so figure binaries,
+  /// lc_cli and the benches all agree on one location.
+  [[nodiscard]] static std::string resolve_cache_path(const Sweep& sweep,
+                                                      const Config& config);
+
   /// Load from cache if the fingerprint matches, else evaluate (and
-  /// write the cache).
+  /// write the cache). Throws lc::Error for a malformed LC_GRID_MODE.
   [[nodiscard]] static TimingGrid load_or_compute(
       const Sweep& sweep, const Config& config,
       ThreadPool& pool = ThreadPool::global());
@@ -72,26 +131,30 @@ class TimingGrid {
   [[nodiscard]] static TimingGrid evaluate(
       const Sweep& sweep, ThreadPool& pool = ThreadPool::global());
 
+  TimingGrid(TimingGrid&&) noexcept = default;
+  TimingGrid& operator=(TimingGrid&&) noexcept = default;
+
   [[nodiscard]] std::size_t num_cells() const noexcept {
-    return values_.size();
+    return cell_data_.size();
   }
-  [[nodiscard]] std::size_t num_pipelines() const noexcept {
-    return values_.empty() ? 0 : values_.front().size();
-  }
+  [[nodiscard]] std::size_t num_pipelines() const noexcept { return rows_; }
 
   /// Geomean throughput (GB/s across inputs) of every pipeline for one
   /// cell, in pipeline enumeration order (i1-major) — the population
   /// bench_common's all_throughputs used to recompute. Throws lc::Error
   /// for a combination outside the grid.
-  [[nodiscard]] const std::vector<double>& cell_values(
-      const gpusim::GpuSpec& gpu, gpusim::Toolchain tc, gpusim::OptLevel opt,
-      gpusim::Direction dir) const;
+  [[nodiscard]] CellView cell_values(const gpusim::GpuSpec& gpu,
+                                     gpusim::Toolchain tc,
+                                     gpusim::OptLevel opt,
+                                     gpusim::Direction dir) const;
 
   /// True when this grid was reloaded from a compatible cache instead of
   /// evaluated in this process.
   [[nodiscard]] bool loaded_from_cache() const noexcept {
-    return loaded_from_cache_;
+    return load_mode_ != GridLoadMode::kEvaluated;
   }
+  /// Evaluated, owned-cache or mapped-cache (lc.grid.load_mode gauge).
+  [[nodiscard]] GridLoadMode load_mode() const noexcept { return load_mode_; }
 
   /// Cache key: sweep fingerprint + cell layout + model version.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
@@ -105,11 +168,21 @@ class TimingGrid {
   [[nodiscard]] bool save_cache(const std::string& path) const;
   [[nodiscard]] static bool load_cache(const std::string& path,
                                        std::uint64_t fingerprint,
-                                       std::size_t pipelines, TimingGrid& out);
+                                       std::size_t pipelines, bool mapped,
+                                       TimingGrid& out);
+  /// Points cell_data_ at the owned vectors.
+  void adopt_owned(std::size_t pipelines);
 
-  std::vector<std::vector<double>> values_;  ///< [cell][pipeline]
+  /// Backing storage: exactly one of these is populated after a
+  /// successful load/evaluate. Moving the grid is safe — cell_data_
+  /// points into the inner vectors' heap buffers / the mapping, both of
+  /// which are stable across moves.
+  std::vector<std::vector<double>> owned_;  ///< [cell][pipeline]
+  MappedGrid mapped_;
+  std::vector<const double*> cell_data_;  ///< [cell], rows_ doubles each
+  std::size_t rows_ = 0;
   std::uint64_t fingerprint_ = 0;
-  bool loaded_from_cache_ = false;
+  GridLoadMode load_mode_ = GridLoadMode::kEvaluated;
 };
 
 }  // namespace lc::charlab

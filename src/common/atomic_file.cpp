@@ -1,0 +1,41 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+
+namespace lc {
+namespace {
+
+void (*g_pre_rename_hook)(const std::string&) = nullptr;
+
+}  // namespace
+
+void set_atomic_write_pre_rename_hook(void (*hook)(const std::string&)) {
+  g_pre_rename_hook = hook;
+}
+
+bool atomic_write_file(const std::string& path,
+                       const std::function<bool(std::ofstream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  if (!writer(out)) {
+    out.close();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  out.flush();
+  if (!out) {
+    out.close();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  out.close();
+  if (g_pre_rename_hook) g_pre_rename_hook(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lc

@@ -1,0 +1,35 @@
+#ifndef LC_COMMON_ATOMIC_FILE_H
+#define LC_COMMON_ATOMIC_FILE_H
+
+/// \file atomic_file.h
+/// Atomic write-then-rename, shared by every on-disk cache and checkpoint
+/// writer (sweep checkpoints, shard partials, merge output, grid cache).
+/// A crash at any point — including SIGKILL between the write and the
+/// rename — leaves either the previous file intact or no file at all,
+/// never a torn one: the payload is streamed to `<path>.tmp`, flushed,
+/// closed, and only then renamed over `path` (rename within a directory
+/// is atomic on POSIX).
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace lc {
+
+/// Streams `writer(out)` to `<path>.tmp` and renames it over `path`.
+/// Returns false (and removes the tmp file) if the stream cannot be
+/// opened, the writer returns false, any write fails, or the rename
+/// fails. The writer must not close the stream.
+[[nodiscard]] bool atomic_write_file(
+    const std::string& path, const std::function<bool(std::ofstream&)>& writer);
+
+/// Test-only fault-injection hook, called after the tmp file is fully
+/// written and closed but *before* the rename — the widest crash window a
+/// torn-write bug could hide in. A test forks, installs a hook that
+/// `_exit`s, and asserts the target file was never touched. Pass nullptr
+/// to clear. Not thread-safe; set it only from single-threaded test code.
+void set_atomic_write_pre_rename_hook(void (*hook)(const std::string& tmp));
+
+}  // namespace lc
+
+#endif  // LC_COMMON_ATOMIC_FILE_H

@@ -1,0 +1,154 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace lc {
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+bool MappedFile::open(const std::string& path, std::string* error) {
+  close();
+  const auto fail = [error](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return fail("open(" + path + ")");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("fstat(" + path + ")");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(len=0) is EINVAL; model an empty file as a valid empty view.
+    ::close(fd);
+    data_ = reinterpret_cast<const unsigned char*>(this);
+    size_ = 0;
+    return true;
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) return fail("mmap(" + path + ")");
+  data_ = static_cast<const unsigned char*>(p);
+  size_ = size;
+  return true;
+}
+
+void MappedFile::close() noexcept {
+  if (data_ != nullptr && size_ != 0) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+bool MappedGrid::open(const std::string& path, std::string* error) {
+  close();
+  if (error) error->clear();
+  MappedFile file;
+  if (!file.open(path, error)) return false;
+  using grid_v2::Header;
+  if (file.size() < grid_v2::kHeaderSize) {
+    if (error) *error = "file shorter than the 64-byte v2 header";
+    return false;
+  }
+  Header hdr;
+  std::memcpy(&hdr, file.data(), sizeof(hdr));
+  if (std::memcmp(hdr.magic, grid_v2::kMagic, sizeof(hdr.magic)) != 0) {
+    // Wrong magic is "not a v2 cache", not corruption: the caller may
+    // fall back to the legacy v1 reader. Leave `error` empty to signal
+    // the distinction.
+    return false;
+  }
+  const auto corrupt = [error](const char* why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (hdr.reserved != 0) return corrupt("reserved header field is nonzero");
+  if (hdr.table_offset != grid_v2::kHeaderSize) {
+    return corrupt("offset table is not at byte 64");
+  }
+  if (hdr.cell_count == 0 || hdr.row_count == 0) {
+    return corrupt("zero cell or row count");
+  }
+  // Reject dimensions whose layout arithmetic would overflow before
+  // comparing against the real file size.
+  if (hdr.cell_count > (1u << 20) || hdr.row_count > (1ull << 32)) {
+    return corrupt("implausible cell/row counts");
+  }
+  const std::size_t cells = static_cast<std::size_t>(hdr.cell_count);
+  const std::size_t rows = static_cast<std::size_t>(hdr.row_count);
+  if (hdr.data_begin != grid_v2::data_begin(cells)) {
+    return corrupt("data_begin disagrees with the cell count");
+  }
+  if (file.size() != grid_v2::file_size(cells, rows)) {
+    return corrupt("file size disagrees with the header dimensions");
+  }
+  std::vector<const double*> ptrs(cells);
+  const unsigned char* base = file.data();
+  const std::size_t stride = grid_v2::page_stride(rows);
+  for (std::size_t i = 0; i < cells; ++i) {
+    std::uint64_t off = 0;
+    std::memcpy(&off, base + grid_v2::kHeaderSize + i * sizeof(off),
+                sizeof(off));
+    if (off != hdr.data_begin + i * stride) {
+      return corrupt("cell offset table does not tile the data region");
+    }
+    ptrs[i] = reinterpret_cast<const double*>(base + off);
+  }
+  file_ = std::move(file);
+  cell_ptrs_ = std::move(ptrs);
+  rows_ = rows;
+  fingerprint_ = hdr.fingerprint;
+  digest_ = hdr.payload_digest;
+  return true;
+}
+
+void MappedGrid::close() noexcept {
+  file_.close();
+  cell_ptrs_.clear();
+  rows_ = 0;
+  fingerprint_ = 0;
+  digest_ = 0;
+}
+
+bool MappedGrid::verify_payload_digest() const {
+  if (!valid()) return false;
+  // Same scheme as the v1 owned loader: FNV-1a per cell page, combined
+  // row by row, seeded with the payload tag.
+  std::uint64_t h = hash_string("grid-cache-payload");
+  for (const double* cell : cell_ptrs_) {
+    h = hash_combine(
+        h, hash_bytes(reinterpret_cast<const unsigned char*>(cell),
+                      rows_ * sizeof(double)));
+  }
+  return h == digest_;
+}
+
+}  // namespace lc

@@ -1,0 +1,150 @@
+#ifndef LC_COMMON_MMAP_FILE_H
+#define LC_COMMON_MMAP_FILE_H
+
+/// \file mmap_file.h
+/// Read-only memory-mapped files and the mapped view of the LCGR v2
+/// timing-grid cache.
+///
+/// The characterization grid (44 cells x 107,632 pipelines of doubles,
+/// ~38 MB) is consumed by all 19 figure/table binaries and by lc_server's
+/// warm start. The v1 cache format forced every process to deserialize
+/// the whole matrix into owned vectors; the v2 layout (docs/FORMAT.md)
+/// is designed so a process can instead mmap the file and point straight
+/// into the page cache: a fixed 64-byte header, a per-cell offset table,
+/// and raw little-endian double pages, each 64-byte aligned. N processes
+/// then share one physical copy of the grid, and per-process load time is
+/// the cost of parsing 64 + 8*cells bytes.
+///
+/// `MappedGrid` validates the header, dimensions, offset table and file
+/// size eagerly but does NOT hash the payload: pages fault in lazily as
+/// cells are read, which is the entire point. Owned loads (and
+/// `verify_payload_digest()`) check the digest; mapped consumers trust
+/// the file the same way they trust any mmap'd artifact.
+///
+/// This layer deliberately has no charlab dependencies so lc_server can
+/// warm-map a grid without linking the sweep machinery.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// RAII read-only mmap of a whole file. Move-only; the mapping lives
+/// until close() or destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. On failure returns false and, if `error` is
+  /// non-null, stores a one-line diagnosis. An empty file maps to a
+  /// valid zero-length view.
+  [[nodiscard]] bool open(const std::string& path, std::string* error);
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// On-disk layout constants for the LCGR v2 grid cache, shared by the
+/// writer (charlab::TimingGrid::save_cache) and this reader so the two
+/// can never drift. See docs/FORMAT.md "LCGR v2 grid cache".
+namespace grid_v2 {
+
+inline constexpr char kMagic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '3'};
+inline constexpr std::size_t kHeaderSize = 64;
+inline constexpr std::size_t kAlign = 64;
+
+/// Fixed 64-byte header at offset 0 (all fields little-endian u64 after
+/// the magic).
+struct Header {
+  char magic[8];
+  std::uint64_t fingerprint;     ///< sweep+model+cell-layout key
+  std::uint64_t cell_count;      ///< 44 for the paper's grid
+  std::uint64_t row_count;       ///< pipelines per cell (107,632)
+  std::uint64_t payload_digest;  ///< FNV-1a over the cell pages (v1 scheme)
+  std::uint64_t table_offset;    ///< offset of the cell-offset table (= 64)
+  std::uint64_t data_begin;      ///< offset of the first cell page
+  std::uint64_t reserved;        ///< 0
+};
+static_assert(sizeof(Header) == kHeaderSize);
+
+[[nodiscard]] inline constexpr std::size_t align_up(std::size_t v) {
+  return (v + (kAlign - 1)) & ~(kAlign - 1);
+}
+/// Bytes from one cell page start to the next (page padded to 64).
+[[nodiscard]] inline constexpr std::size_t page_stride(std::size_t rows) {
+  return align_up(rows * sizeof(double));
+}
+/// Offset of the first cell page: header + offset table, 64-aligned.
+[[nodiscard]] inline constexpr std::size_t data_begin(std::size_t cells) {
+  return align_up(kHeaderSize + cells * sizeof(std::uint64_t));
+}
+/// Total file size of a v2 cache with the given dimensions.
+[[nodiscard]] inline constexpr std::size_t file_size(std::size_t cells,
+                                                     std::size_t rows) {
+  return data_begin(cells) + cells * page_stride(rows);
+}
+
+}  // namespace grid_v2
+
+/// A validated, lazily-paged view of an LCGR v2 grid cache. Cell pages
+/// are 64-byte aligned in the file, so `cell(i)` is a directly usable
+/// `const double*` into the mapping.
+class MappedGrid {
+ public:
+  MappedGrid() = default;
+  MappedGrid(MappedGrid&&) noexcept = default;
+  MappedGrid& operator=(MappedGrid&&) noexcept = default;
+
+  /// Maps `path` and validates magic, header invariants, offset table
+  /// and exact file size. Returns false with a diagnosis in `error`
+  /// (when non-null) on any mismatch; distinguishes "not a v2 cache"
+  /// (wrong magic — `error` left empty) from structural corruption.
+  [[nodiscard]] bool open(const std::string& path, std::string* error);
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return file_.valid(); }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cell_ptrs_.size();
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
+  [[nodiscard]] std::uint64_t payload_digest() const noexcept {
+    return digest_;
+  }
+
+  /// Pointer to cell `i`'s `row_count()` doubles inside the mapping.
+  [[nodiscard]] const double* cell(std::size_t i) const {
+    return cell_ptrs_[i];
+  }
+
+  /// Full FNV-1a payload check against the header digest. Pages in the
+  /// entire file — use it for explicit verification (LC_GRID_VERIFY),
+  /// never on the warm-start path.
+  [[nodiscard]] bool verify_payload_digest() const;
+
+ private:
+  MappedFile file_;
+  std::vector<const double*> cell_ptrs_;
+  std::size_t rows_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace lc
+
+#endif  // LC_COMMON_MMAP_FILE_H

@@ -1,0 +1,315 @@
+// Sharded sweep + merge tests. The load-bearing guarantee (ISSUE 10):
+// merging a complete set of shard partials produces a canonical sweep
+// cache BYTE-IDENTICAL to the cache an unsharded run writes — any shard
+// count, any machine, same bytes. Plus the typed rejection matrix for
+// invalid shard sets and a fault-injected mid-merge kill.
+
+#include "charlab/sweep.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "charlab/timing_grid.h"
+#include "common/atomic_file.h"
+#include "common/error.h"
+#include "telemetry/metrics.h"
+
+namespace lc::charlab {
+namespace {
+
+SweepConfig tiny_config(const std::string& cache_path) {
+  SweepConfig config;
+  config.scale = 1.0 / 512.0;
+  config.chunks_per_input = 1;
+  config.inputs = {"msg_bt", "num_plasma"};
+  config.cache_path = cache_path;
+  config.use_cache = true;
+  return config;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Computes shard i/N of the tiny sweep, leaving the partial checkpoint
+/// at the returned path.
+std::string compute_shard(std::size_t index, std::size_t count) {
+  const std::string path = "shard_test_part_" + std::to_string(index + 1) +
+                           "of" + std::to_string(count) + ".bin";
+  std::remove(path.c_str());
+  SweepConfig config = tiny_config(path);
+  config.shard_index = index;
+  config.shard_count = count;
+  const Sweep sweep = Sweep::load_or_compute(config);
+  EXPECT_EQ(sweep.is_partial(), count > 1);
+  EXPECT_TRUE(file_exists(path));
+  return path;
+}
+
+/// The unsharded reference cache, computed once. Also pins the
+/// stage-eval invariant: sharding must not change how much work the
+/// *unsharded* path does.
+const std::string& reference_cache() {
+  static const std::string path = [] {
+    const std::string p = "shard_test_reference.bin";
+    std::remove(p.c_str());
+    telemetry::Counter& evals =
+        telemetry::counter("charlab.sweep.stage_encodes");
+    const std::uint64_t before = evals.value();
+    const Sweep sweep = Sweep::load_or_compute(tiny_config(p));
+    EXPECT_FALSE(sweep.is_partial());
+    EXPECT_EQ(evals.value() - before, 223076u)
+        << "unsharded stage-eval count changed — the sharding refactor "
+           "must not alter the baseline compute path";
+    return p;
+  }();
+  return path;
+}
+
+TEST(ShardRange, TilesItemSpaceExactly) {
+  for (const std::size_t count : {1u, 3u, 7u, 62u}) {
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const ShardRange r = shard_item_range(i, count, 3844);
+      EXPECT_EQ(r.begin, cursor) << i << "/" << count;
+      EXPECT_GE(r.end, r.begin);
+      // Balanced: all shards within one item of each other.
+      EXPECT_LE(r.end - r.begin, 3844 / count + 1);
+      EXPECT_GE(r.end - r.begin, 3844 / count);
+      cursor = r.end;
+    }
+    EXPECT_EQ(cursor, 3844u) << count;
+  }
+}
+
+TEST(ShardRange, RejectsBadDescriptors) {
+  EXPECT_THROW((void)shard_item_range(0, 0, 10), Error);
+  EXPECT_THROW((void)shard_item_range(3, 3, 10), Error);
+  EXPECT_THROW((void)shard_item_range(0, 11, 10), Error);
+}
+
+// The tentpole guarantee, for 1-, 3- and 7-way splits. shard_count == 1
+// is by contract an ordinary unsharded sweep — it writes the canonical
+// cache directly (nothing to merge), and must match byte for byte too.
+TEST(ShardMerge, MergedCacheByteIdenticalToUnsharded) {
+  const std::string reference = read_bytes(reference_cache());
+  ASSERT_FALSE(reference.empty());
+
+  {
+    const std::string solo = compute_shard(0, 1);
+    EXPECT_EQ(read_bytes(solo), reference)
+        << "--shard=1/1 did not produce the canonical cache";
+    std::remove(solo.c_str());
+  }
+
+  for (const std::size_t count : {3u, 7u}) {
+    std::vector<std::string> parts;
+    for (std::size_t i = 0; i < count; ++i) {
+      parts.push_back(compute_shard(i, count));
+    }
+    const std::string merged_path =
+        "shard_test_merged_" + std::to_string(count) + ".bin";
+    std::remove(merged_path.c_str());
+    merge_shard_partials(parts, merged_path);
+    EXPECT_EQ(read_bytes(merged_path), reference)
+        << count << "-way merge is not byte-identical";
+    std::remove(merged_path.c_str());
+    for (const std::string& p : parts) std::remove(p.c_str());
+  }
+}
+
+// A merged cache is a first-class sweep cache: a normal unsharded run
+// must load it as a hit (no recompute) and serve identical measurements.
+TEST(ShardMerge, MergedCacheLoadsAsOrdinaryCache) {
+  std::vector<std::string> parts = {compute_shard(0, 2), compute_shard(1, 2)};
+  const std::string merged_path = "shard_test_merged_load.bin";
+  std::remove(merged_path.c_str());
+  merge_shard_partials(parts, merged_path);
+
+  telemetry::Counter& evals =
+      telemetry::counter("charlab.sweep.stage_encodes");
+  const std::uint64_t stage23_before = evals.value();
+  const Sweep loaded = Sweep::load_or_compute(tiny_config(merged_path));
+  EXPECT_FALSE(loaded.is_partial());
+  EXPECT_EQ(loaded.resumed_inputs(), 2u);
+  EXPECT_EQ(evals.value(), stage23_before) << "cache hit still recomputed";
+
+  std::remove(merged_path.c_str());
+  for (const std::string& p : parts) std::remove(p.c_str());
+}
+
+TEST(ShardMerge, EmptySetRejectedAsGap) {
+  try {
+    merge_shard_partials({}, "shard_test_never_written.bin");
+    FAIL() << "empty merge accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kGap);
+  }
+  EXPECT_FALSE(file_exists("shard_test_never_written.bin"));
+}
+
+TEST(ShardMerge, DuplicateShardRejectedAsOverlap) {
+  std::vector<std::string> parts = {compute_shard(0, 3), compute_shard(1, 3),
+                                    compute_shard(2, 3)};
+  try {
+    merge_shard_partials({parts[0], parts[1], parts[1], parts[2]},
+                         "shard_test_overlap_out.bin");
+    FAIL() << "duplicate shard accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kOverlap);
+  }
+  EXPECT_FALSE(file_exists("shard_test_overlap_out.bin"));
+
+  // Missing shard from the same set: gap.
+  try {
+    merge_shard_partials({parts[0], parts[2]}, "shard_test_gap_out.bin");
+    FAIL() << "incomplete coverage accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kGap);
+  }
+  EXPECT_FALSE(file_exists("shard_test_gap_out.bin"));
+  for (const std::string& p : parts) std::remove(p.c_str());
+}
+
+TEST(ShardMerge, ForeignFingerprintRejected) {
+  const std::string salted_path = "shard_test_salted.bin";
+  std::remove(salted_path.c_str());
+  SweepConfig salted = tiny_config(salted_path);
+  salted.shard_index = 0;
+  salted.shard_count = 2;
+  salted.seed_salt = 42;  // different measurements, different fingerprint
+  (void)Sweep::load_or_compute(salted);
+
+  const std::string other = compute_shard(1, 2);
+  try {
+    merge_shard_partials({salted_path, other}, "shard_test_fp_out.bin");
+    FAIL() << "mixed-fingerprint merge accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kFingerprintMismatch);
+  }
+  std::remove(salted_path.c_str());
+  std::remove(other.c_str());
+}
+
+TEST(ShardMerge, MixedShardCountRejected) {
+  const std::string from2 = compute_shard(0, 2);
+  const std::string from3a = compute_shard(1, 3);
+  const std::string from3b = compute_shard(2, 3);
+  try {
+    merge_shard_partials({from2, from3a, from3b}, "shard_test_count_out.bin");
+    FAIL() << "mixed shard counts accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kShardMismatch);
+  }
+  for (const std::string& p : {from2, from3a, from3b}) std::remove(p.c_str());
+}
+
+TEST(ShardMerge, IncompletePartialRejected) {
+  // A shard interrupted after 1 of 2 inputs: valid file, unfinished work.
+  const std::string path = "shard_test_incomplete.bin";
+  std::remove(path.c_str());
+  SweepConfig config = tiny_config(path);
+  config.shard_index = 0;
+  config.shard_count = 2;
+  config.interrupt_after_inputs = 1;
+  EXPECT_THROW((void)Sweep::load_or_compute(config), Error);
+  ASSERT_TRUE(file_exists(path));
+
+  const std::string other = compute_shard(1, 2);
+  try {
+    merge_shard_partials({path, other}, "shard_test_incomplete_out.bin");
+    FAIL() << "incomplete partial accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kIncomplete);
+  }
+  std::remove(path.c_str());
+  std::remove(other.c_str());
+}
+
+TEST(ShardMerge, MalformedPartialRejected) {
+  const std::string junk = "shard_test_junk.bin";
+  {
+    std::ofstream out(junk, std::ios::binary);
+    out << "this is not a shard partial";
+  }
+  try {
+    merge_shard_partials({junk}, "shard_test_junk_out.bin");
+    FAIL() << "junk file accepted";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kBadPartial);
+  }
+  std::remove(junk.c_str());
+
+  // An ordinary *canonical* cache is not a partial either.
+  try {
+    merge_shard_partials({reference_cache()}, "shard_test_junk_out.bin");
+    FAIL() << "canonical cache accepted as partial";
+  } catch (const MergeError& e) {
+    EXPECT_EQ(e.kind(), MergeError::Kind::kBadPartial);
+  }
+}
+
+// A shard partial is an intermediate product, not a grid input: the
+// grid must refuse it loudly instead of silently characterizing 1/N of
+// the pipeline space.
+TEST(ShardMerge, TimingGridRefusesPartialSweep) {
+  SweepConfig config = tiny_config("shard_test_grid_part.bin");
+  config.use_cache = false;
+  config.shard_index = 0;
+  config.shard_count = 2;
+  const Sweep partial = Sweep::compute(config, ThreadPool::global());
+  ASSERT_TRUE(partial.is_partial());
+  EXPECT_THROW((void)TimingGrid::evaluate(partial), Error);
+}
+
+// Crash mid-merge: the child dies between writing the temp file and the
+// rename. The target path must be untouched (no torn cache), and a
+// re-merge from the surviving partials must succeed.
+TEST(ShardMerge, KilledMidMergeLeavesNoTornCache) {
+  std::vector<std::string> parts = {compute_shard(0, 3), compute_shard(1, 3),
+                                    compute_shard(2, 3)};
+  const std::string out_path = "shard_test_kill_out.bin";
+  std::remove(out_path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: die at the most damaging instant — temp file fully written,
+    // canonical path not yet renamed into place.
+    set_atomic_write_pre_rename_hook(
+        [](const std::string&) { _exit(42); });
+    merge_shard_partials(parts, out_path);
+    _exit(0);  // not reached
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42) << "child did not die pre-rename";
+
+  EXPECT_FALSE(file_exists(out_path))
+      << "crash mid-merge left a (possibly torn) cache at the target path";
+
+  // Recovery: the partials are intact, so the merge just runs again.
+  merge_shard_partials(parts, out_path);
+  EXPECT_EQ(read_bytes(out_path), read_bytes(reference_cache()));
+  std::remove(out_path.c_str());
+  std::remove((out_path + ".tmp").c_str());
+  for (const std::string& p : parts) std::remove(p.c_str());
+}
+
+}  // namespace
+}  // namespace lc::charlab

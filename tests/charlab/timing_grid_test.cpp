@@ -8,14 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <utility>
 
 #include "charlab/letter_values.h"
 #include "charlab/stats_table.h"
 #include "charlab/sweep.h"
 #include "common/error.h"
+#include "common/hash.h"
 #include "telemetry/metrics.h"
 
 namespace lc::charlab {
@@ -75,7 +78,7 @@ TEST(TimingGrid, BitIdenticalToPerRecordGeomean) {
   const Sweep& s = tiny_sweep();
   const TimingGrid& g = tiny_grid();
   for (const GridCell& cell : TimingGrid::cells()) {
-    const std::vector<double>& values =
+    const CellView values =
         g.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir);
     ASSERT_EQ(values.size(), s.num_pipelines());
     // 613 is coprime to 107,632, so the stride visits a spread of (i1,
@@ -103,7 +106,8 @@ TEST(TimingGrid, FullCellAndLetterValuesMatchReference) {
   const auto opt = gpusim::OptLevel::kO3;
   const auto dir = gpusim::Direction::kDecode;
 
-  const std::vector<double>& values = g.cell_values(gpu, tc, opt, dir);
+  const std::vector<double> values =
+      g.cell_values(gpu, tc, opt, dir).to_vector();
   std::vector<double> reference(values.size());
   for (std::size_t p = 0; p < values.size(); ++p) {
     std::size_t i1 = 0, i2 = 0, i3 = 0;
@@ -147,9 +151,71 @@ TEST(TimingGrid, CacheRoundTripIsExact) {
   EXPECT_TRUE(second.loaded_from_cache());
   EXPECT_EQ(second.fingerprint(), first.fingerprint());
   for (const GridCell& cell : TimingGrid::cells()) {
-    EXPECT_EQ(second.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir),
-              first.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir));
+    EXPECT_EQ(
+        second.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir).to_vector(),
+        first.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir).to_vector());
   }
+  std::remove(path.c_str());
+}
+
+// The mapped path is the default for figure fleets: every one of the 44
+// cells must be EXACTLY the evaluated values (same bits — the view
+// points at the very bytes save_cache wrote), and the grid must report
+// how it was loaded.
+TEST(TimingGrid, MappedLoadGoldenExactAcrossAllCells) {
+  const std::string path = "timing_grid_test_mapped.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+  const TimingGrid first = TimingGrid::load_or_compute(tiny_sweep(), config);
+  ASSERT_EQ(first.load_mode(), GridLoadMode::kEvaluated);
+
+  config.mode = TimingGrid::Config::Mode::kMapped;
+  const TimingGrid mapped = TimingGrid::load_or_compute(tiny_sweep(), config);
+  ASSERT_TRUE(mapped.loaded_from_cache());
+  EXPECT_EQ(mapped.load_mode(), GridLoadMode::kMappedCache);
+  EXPECT_EQ(telemetry::gauge("lc.grid.load_mode").value(), 2);
+  EXPECT_EQ(mapped.fingerprint(), first.fingerprint());
+  ASSERT_EQ(mapped.num_cells(), 44u);
+  for (const GridCell& cell : TimingGrid::cells()) {
+    const CellView got =
+        mapped.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir);
+    const CellView want =
+        first.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t p = 0; p < got.size(); ++p) {
+      ASSERT_EQ(got[p], want[p]) << cell.gpu->name << " pipeline " << p;
+    }
+  }
+
+  config.mode = TimingGrid::Config::Mode::kOwned;
+  const TimingGrid owned = TimingGrid::load_or_compute(tiny_sweep(), config);
+  ASSERT_TRUE(owned.loaded_from_cache());
+  EXPECT_EQ(owned.load_mode(), GridLoadMode::kOwnedCache);
+  EXPECT_EQ(telemetry::gauge("lc.grid.load_mode").value(), 1);
+  std::remove(path.c_str());
+}
+
+// A mapped TimingGrid must survive being moved: the views point into the
+// mapping, which does not relocate.
+TEST(TimingGrid, MappedGridIsMoveSafe) {
+  const std::string path = "timing_grid_test_mapped_move.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+  (void)TimingGrid::load_or_compute(tiny_sweep(), config);
+  config.mode = TimingGrid::Config::Mode::kMapped;
+  TimingGrid mapped = TimingGrid::load_or_compute(tiny_sweep(), config);
+  const gpusim::GpuSpec& gpu = gpusim::gpu_by_name("RTX 4090");
+  const double before = mapped.cell_values(gpu, gpusim::Toolchain::kClang,
+                                           gpusim::OptLevel::kO3,
+                                           gpusim::Direction::kDecode)[17];
+  const TimingGrid moved = std::move(mapped);
+  EXPECT_EQ(moved.cell_values(gpu, gpusim::Toolchain::kClang,
+                              gpusim::OptLevel::kO3,
+                              gpusim::Direction::kDecode)[17],
+            before);
+  EXPECT_EQ(moved.load_mode(), GridLoadMode::kMappedCache);
   std::remove(path.c_str());
 }
 
@@ -161,6 +227,9 @@ TEST(TimingGrid, CorruptCacheDetectedAndReevaluated) {
   std::remove(path.c_str());
   TimingGrid::Config config;
   config.cache_path = path;
+  // Owned mode: it carries the payload-digest integrity contract. The
+  // mapped path deliberately skips the digest (see the tests below).
+  config.mode = TimingGrid::Config::Mode::kOwned;
   const TimingGrid first = TimingGrid::load_or_compute(tiny_sweep(), config);
 
   telemetry::Counter& corrupt_hits =
@@ -205,12 +274,189 @@ TEST(TimingGrid, CorruptCacheDetectedAndReevaluated) {
     const gpusim::GpuSpec& gpu = gpusim::gpu_by_name("RTX 4090");
     EXPECT_EQ(healed2.cell_values(gpu, gpusim::Toolchain::kClang,
                                   gpusim::OptLevel::kO3,
-                                  gpusim::Direction::kDecode),
+                                  gpusim::Direction::kDecode).to_vector(),
               first.cell_values(gpu, gpusim::Toolchain::kClang,
                                 gpusim::OptLevel::kO3,
-                                gpusim::Direction::kDecode));
+                                gpusim::Direction::kDecode).to_vector());
   }
   std::remove(path.c_str());
+}
+
+// Mapped mode still validates *structure* eagerly — truncation and
+// header damage are caught at open(), before any value is served. Only
+// the payload digest is deferred (that deferral is the entire point of
+// the mapped load).
+TEST(TimingGrid, MappedDetectsStructuralDamage) {
+  const std::string path = "timing_grid_test_mapped_damage.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+  config.mode = TimingGrid::Config::Mode::kMapped;
+  const TimingGrid first = TimingGrid::load_or_compute(tiny_sweep(), config);
+
+  telemetry::Counter& corrupt_hits =
+      telemetry::counter("charlab.grid.cache_corrupt");
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  // Truncation mid-payload: the offset table no longer tiles the file.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 128));
+  }
+  const std::uint64_t before = corrupt_hits.value();
+  const TimingGrid healed = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_FALSE(healed.loaded_from_cache());
+  EXPECT_GT(corrupt_hits.value(), before) << "truncation not diagnosed";
+
+  // Header damage: a nonzero reserved field means a writer we don't
+  // understand (or rot in the header itself).
+  std::string tampered = bytes;
+  tampered[56] = 0x7;  // Header.reserved (offset 56, docs/FORMAT.md)
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(tampered.data(), static_cast<std::streamsize>(tampered.size()));
+  }
+  const std::uint64_t before2 = corrupt_hits.value();
+  const TimingGrid healed2 = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_FALSE(healed2.loaded_from_cache());
+  EXPECT_GT(corrupt_hits.value(), before2) << "header damage not diagnosed";
+  std::remove(path.c_str());
+}
+
+// The documented mapped-mode contract: payload bit rot is NOT detected
+// by default (no digest pass — lazy page-in is the speedup), and
+// LC_GRID_VERIFY=1 opts back into the full check.
+TEST(TimingGrid, MappedVerifyEnvOptsIntoDigestCheck) {
+  const std::string path = "timing_grid_test_mapped_verify.bin";
+  std::remove(path.c_str());
+  TimingGrid::Config config;
+  config.cache_path = path;
+  config.mode = TimingGrid::Config::Mode::kMapped;
+  (void)TimingGrid::load_or_compute(tiny_sweep(), config);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const TimingGrid lax = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_TRUE(lax.loaded_from_cache()) << "mapped mode must not pay a digest";
+
+  ::setenv("LC_GRID_VERIFY", "1", 1);
+  const TimingGrid strict = TimingGrid::load_or_compute(tiny_sweep(), config);
+  ::unsetenv("LC_GRID_VERIFY");
+  EXPECT_FALSE(strict.loaded_from_cache()) << "bit flip missed with verify on";
+  std::remove(path.c_str());
+}
+
+// Caches written before LCGR v2 (magic LCGR0002: plain header + digest +
+// packed rows) must still load — always into owned storage.
+TEST(TimingGrid, LegacyV1CacheStillLoads) {
+  const std::string path = "timing_grid_test_v1.bin";
+  std::remove(path.c_str());
+  const TimingGrid& g = tiny_grid();
+  const std::vector<GridCell>& cells = TimingGrid::cells();
+
+  std::uint64_t digest = hash_string("grid-cache-payload");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'L', 'C', 'G', 'R', '0', '0', '0', '2'};
+    out.write(magic, sizeof(magic));
+    const std::uint64_t fp = g.fingerprint();
+    const std::uint64_t cell_count = cells.size();
+    const std::uint64_t row_count = g.num_pipelines();
+    for (const GridCell& cell : cells) {
+      const CellView v = g.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir);
+      digest = hash_combine(
+          digest, hash_bytes(reinterpret_cast<const unsigned char*>(v.data()),
+                             v.size() * sizeof(double)));
+    }
+    out.write(reinterpret_cast<const char*>(&fp), sizeof(fp));
+    out.write(reinterpret_cast<const char*>(&cell_count), sizeof(cell_count));
+    out.write(reinterpret_cast<const char*>(&row_count), sizeof(row_count));
+    out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    for (const GridCell& cell : cells) {
+      const CellView v = g.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir);
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size() * sizeof(double)));
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  TimingGrid::Config config;
+  config.cache_path = path;
+  config.mode = TimingGrid::Config::Mode::kMapped;  // v1 cannot map...
+  const TimingGrid loaded = TimingGrid::load_or_compute(tiny_sweep(), config);
+  ASSERT_TRUE(loaded.loaded_from_cache());
+  // ...so it loads owned even when mapped was requested.
+  EXPECT_EQ(loaded.load_mode(), GridLoadMode::kOwnedCache);
+  for (const GridCell& cell : cells) {
+    EXPECT_EQ(
+        loaded.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir).to_vector(),
+        g.cell_values(*cell.gpu, cell.tc, cell.opt, cell.dir).to_vector());
+  }
+  std::remove(path.c_str());
+}
+
+// The CWD-fallback fix: when no explicit path is given, the grid cache
+// resolves next to the *sweep* cache (not the process CWD), with
+// LC_GRID_CACHE as the override between the two.
+TEST(TimingGrid, ResolveCachePathPrecedence) {
+  // A sweep whose cache lives in a directory: the grid must follow it
+  // there rather than landing in whatever CWD the process happens to
+  // have (the historical bug this fixes).
+  SweepConfig sc = tiny_config();
+  sc.inputs = {"msg_bt"};
+  sc.cache_path = "some/shared/dir/lc_sweep_cache.bin";
+  sc.use_cache = false;  // resolution reads the config, not the file
+  const Sweep s = Sweep::compute(sc, ThreadPool::global());
+
+  TimingGrid::Config config;
+  config.cache_path = "explicit.bin";
+  EXPECT_EQ(TimingGrid::resolve_cache_path(s, config), "explicit.bin");
+
+  config.cache_path.clear();
+  ::setenv("LC_GRID_CACHE", "/tmp/env_grid.bin", 1);
+  EXPECT_EQ(TimingGrid::resolve_cache_path(s, config), "/tmp/env_grid.bin");
+  ::unsetenv("LC_GRID_CACHE");
+
+  EXPECT_EQ(TimingGrid::resolve_cache_path(s, config),
+            "some/shared/dir/lc_grid_cache.bin");
+
+  // No directory in the sweep path -> plain name (old behavior, now an
+  // explicit fallback instead of the only case that worked).
+  EXPECT_EQ(TimingGrid::resolve_cache_path(tiny_sweep(), config),
+            "lc_grid_cache.bin");
+}
+
+// LC_GRID_MODE is parsed strictly, like every other LC_* env knob:
+// garbage is a hard error, not a silent default.
+TEST(TimingGrid, GridModeEnvIsStrict) {
+  TimingGrid::Config config;
+  config.cache_path = "timing_grid_test_envmode.bin";
+  std::remove(config.cache_path.c_str());
+  ::setenv("LC_GRID_MODE", "bogus", 1);
+  EXPECT_THROW((void)TimingGrid::load_or_compute(tiny_sweep(), config), Error);
+
+  ::setenv("LC_GRID_MODE", "owned", 1);
+  (void)TimingGrid::load_or_compute(tiny_sweep(), config);  // writes cache
+  const TimingGrid owned = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_EQ(owned.load_mode(), GridLoadMode::kOwnedCache);
+
+  ::setenv("LC_GRID_MODE", "mapped", 1);
+  const TimingGrid mapped = TimingGrid::load_or_compute(tiny_sweep(), config);
+  EXPECT_EQ(mapped.load_mode(), GridLoadMode::kMappedCache);
+  ::unsetenv("LC_GRID_MODE");
+  std::remove(config.cache_path.c_str());
 }
 
 TEST(TimingGrid, MismatchedFingerprintIsNotServed) {
